@@ -1,0 +1,87 @@
+//! `cps` — Center-piece Subgraph (Tong & Faloutsos, KDD 2006).
+//!
+//! One random walk with restart *per query vertex*; per-vertex scores are
+//! combined with the Hadamard (component-wise) product — the "k-softAND"
+//! that rewards vertices close to *all* query vertices simultaneously.
+//! As in the paper's setup (§6.1), no budget is imposed: vertices are
+//! added greedily by combined score until `Q` is connected.
+
+use mwc_core::{wsq::normalize_query, Connector, Result};
+use mwc_graph::{Graph, NodeId};
+
+use crate::greedy::greedy_connect;
+use crate::rwr::{random_walk_with_restart, RwrParams};
+
+/// Runs the `cps` baseline with the paper's default RWR parameters.
+pub fn cps(g: &Graph, q: &[NodeId]) -> Result<Connector> {
+    cps_with_params(g, q, RwrParams::default())
+}
+
+/// Runs the `cps` baseline with explicit RWR parameters.
+pub fn cps_with_params(g: &Graph, q: &[NodeId], params: RwrParams) -> Result<Connector> {
+    let q = normalize_query(g, q)?;
+    // Hadamard product in log-space: vertices unreachable from any single
+    // query vertex get -∞ and are never added (a vertex that no walk
+    // reaches cannot sit "between" the queries).
+    let mut combined = vec![0.0f64; g.num_nodes()];
+    for &s in &q {
+        let scores = random_walk_with_restart(g, &[s], params);
+        for (acc, &x) in combined.iter_mut().zip(scores.iter()) {
+            *acc += if x > 0.0 { x.ln() } else { f64::NEG_INFINITY };
+        }
+    }
+    greedy_connect(g, &q, &combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{karate::karate_club, structured};
+
+    #[test]
+    fn connects_query_on_karate() {
+        let g = karate_club();
+        let q: Vec<NodeId> = vec![11, 24, 25, 29];
+        let c = cps(&g, &q).unwrap();
+        assert!(c.contains_all(&q));
+    }
+
+    #[test]
+    fn prefers_vertices_between_queries() {
+        // Barbell-ish: two stars joined by a middle vertex. The middle
+        // vertex scores high for both queries and should be chosen.
+        // star A: hub 0, leaves 1..4; star B: hub 5, leaves 6..9; bridge 10.
+        let mut edges = vec![(0u32, 10), (5u32, 10)];
+        for leaf in 1..5 {
+            edges.push((0, leaf));
+        }
+        for leaf in 6..10 {
+            edges.push((5, leaf));
+        }
+        let g = Graph::from_edges(11, &edges).unwrap();
+        let c = cps(&g, &[1, 6]).unwrap();
+        assert!(
+            c.contains(10),
+            "bridge vertex not selected: {:?}",
+            c.vertices()
+        );
+        assert!(c.contains(0) && c.contains(5));
+    }
+
+    #[test]
+    fn softand_excludes_one_sided_vertices() {
+        // A pendant far from one query vertex has a tiny product score and
+        // must not be included when a direct connection exists.
+        let g = structured::path(5);
+        let c = cps(&g, &[1, 3]).unwrap();
+        assert!(!c.contains(0) || !c.contains(4));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn single_query_vertex() {
+        let g = structured::path(3);
+        let c = cps(&g, &[1]).unwrap();
+        assert_eq!(c.vertices(), &[1]);
+    }
+}

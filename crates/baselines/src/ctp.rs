@@ -1,0 +1,265 @@
+//! `ctp` — the Cocktail Party / community-search baseline (Sozio & Gionis,
+//! KDD 2010).
+//!
+//! The original problem maximizes the minimum degree of a connected
+//! subgraph containing `Q`. Its parameter-free greedy returns near-whole
+//! graphs, so the paper's evaluation (§6.1) first shrinks the arena: run a
+//! BFS from each query vertex until the rest of `Q` is covered, keep the
+//! *smallest* such ball, and apply the Sozio–Gionis greedy inside it.
+//!
+//! The greedy repeatedly deletes a minimum-degree non-query vertex
+//! (stopping when only query vertices attain the minimum degree) and
+//! returns, among all intermediate graphs in which `Q` is still connected,
+//! the one maximizing the minimum degree — implemented with a bucket queue
+//! in `O(|ball| + |E(ball)|)` plus one connectivity check per candidate
+//! snapshot.
+
+use mwc_core::{wsq::normalize_query, Connector, CoreError, Result};
+use mwc_graph::traversal::bfs::BfsWorkspace;
+use mwc_graph::{Graph, InducedSubgraph, NodeId};
+
+/// Runs the `ctp` baseline.
+pub fn ctp(g: &Graph, q: &[NodeId]) -> Result<Connector> {
+    let q = normalize_query(g, q)?;
+    if q.len() == 1 {
+        return Ok(Connector::new_unchecked(g, q));
+    }
+
+    // Smallest covering ball over all query sources.
+    let mut ws = BfsWorkspace::new();
+    let mut best_ball: Option<Vec<NodeId>> = None;
+    for &s in &q {
+        let visited = ws.run_until_covered(g, s, &q);
+        let covered = {
+            let mut in_ball = vec![false; g.num_nodes()];
+            for &v in &visited {
+                in_ball[v as usize] = true;
+            }
+            q.iter().all(|&v| in_ball[v as usize])
+        };
+        if !covered {
+            return Err(CoreError::QueryNotConnectable);
+        }
+        if best_ball.as_ref().is_none_or(|b| visited.len() < b.len()) {
+            best_ball = Some(visited);
+        }
+    }
+    let ball = best_ball.expect("query is non-empty");
+    let sub = g.induced(&ball)?;
+    let local_q: Vec<NodeId> = sub.to_local_many(&q).expect("ball contains the query set");
+
+    let chosen_local = sozio_gionis_greedy(&sub, &local_q);
+    let global: Vec<NodeId> = chosen_local.iter().map(|&v| sub.to_global(v)).collect();
+    Ok(Connector::new_unchecked(g, global))
+}
+
+/// The greedy min-degree peel, over the ball's local ids. Returns the
+/// vertex set (local ids) of the best valid intermediate graph.
+fn sozio_gionis_greedy(sub: &InducedSubgraph, local_q: &[NodeId]) -> Vec<NodeId> {
+    let gsub = sub.graph();
+    let n = gsub.num_nodes();
+    let mut is_q = vec![false; n];
+    for &v in local_q {
+        is_q[v as usize] = true;
+    }
+
+    let mut alive = vec![true; n];
+    let mut degree: Vec<u32> = (0..n as NodeId).map(|v| gsub.degree(v) as u32).collect();
+    // Bucket queue with lazy (stale) entries: every degree decrease pushes
+    // a fresh entry, so `buckets[d]` always contains every vertex whose
+    // current degree is `d` (possibly alongside stale entries).
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n as NodeId {
+        buckets[degree[v as usize] as usize].push(v);
+    }
+
+    let mut deletion_order: Vec<NodeId> = Vec::with_capacity(n);
+    // Candidate snapshots (deletions-so-far, min-degree-at-that-time);
+    // recorded whenever the min degree reaches a new maximum, plus the
+    // final stopped graph.
+    let mut snapshots: Vec<(usize, u32)> = Vec::new();
+    let mut best_mindeg_seen: Option<u32> = None;
+
+    let mut cur = 0usize;
+    'peel: loop {
+        // Find the smallest degree with a live vertex; prefer deleting a
+        // non-query vertex, stop if only query vertices attain the minimum.
+        let mut victim: Option<NodeId> = None;
+        let mut q_blocked = false;
+        while cur <= max_deg {
+            let mut q_at_cur: Vec<NodeId> = Vec::new();
+            while let Some(v) = buckets[cur].pop() {
+                if !alive[v as usize] || degree[v as usize] as usize != cur {
+                    continue; // stale
+                }
+                if is_q[v as usize] {
+                    q_at_cur.push(v);
+                    continue;
+                }
+                victim = Some(v);
+                break;
+            }
+            // Query vertices at the minimum stay in the graph.
+            for v in q_at_cur.iter().copied() {
+                buckets[cur].push(v);
+            }
+            if victim.is_some() {
+                break;
+            }
+            if !q_at_cur.is_empty() {
+                q_blocked = true;
+                break;
+            }
+            cur += 1;
+        }
+        let Some(v) = victim else {
+            // Either the min degree is attained only by query vertices, or
+            // everything deletable is gone: stop and snapshot.
+            let mindeg = if q_blocked { cur as u32 } else { u32::MAX };
+            if mindeg != u32::MAX {
+                snapshots.push((deletion_order.len(), mindeg));
+            }
+            break 'peel;
+        };
+
+        // The graph *before* this deletion has min degree `cur`.
+        if best_mindeg_seen.is_none_or(|m| (cur as u32) > m) {
+            best_mindeg_seen = Some(cur as u32);
+            snapshots.push((deletion_order.len(), cur as u32));
+        }
+
+        alive[v as usize] = false;
+        deletion_order.push(v);
+        for &nb in gsub.neighbors(v) {
+            if alive[nb as usize] {
+                degree[nb as usize] -= 1;
+                buckets[degree[nb as usize] as usize].push(nb);
+            }
+        }
+        cur = cur.saturating_sub(1);
+    }
+
+    // Among snapshots where Q is still connected, pick the one with maximum
+    // min degree (ties: the latest, i.e. smallest graph). The t = 0 ball is
+    // always valid, so a solution exists.
+    snapshots.push((0, 0));
+    snapshots.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+    for &(t, _) in &snapshots {
+        if let Some(comp) = query_component_at(gsub, &deletion_order, t, local_q) {
+            return comp;
+        }
+    }
+    unreachable!("the initial ball always connects the query");
+}
+
+/// The component of `local_q[0]` in the graph after the first `t`
+/// deletions, if it contains all of `local_q`.
+fn query_component_at(
+    gsub: &Graph,
+    deletion_order: &[NodeId],
+    t: usize,
+    local_q: &[NodeId],
+) -> Option<Vec<NodeId>> {
+    let n = gsub.num_nodes();
+    let mut alive = vec![true; n];
+    for &v in &deletion_order[..t] {
+        alive[v as usize] = false;
+    }
+    debug_assert!(
+        local_q.iter().all(|&v| alive[v as usize]),
+        "query never deleted"
+    );
+
+    let mut seen = vec![false; n];
+    let mut queue = vec![local_q[0]];
+    seen[local_q[0] as usize] = true;
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &v in gsub.neighbors(u) {
+            if alive[v as usize] && !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push(v);
+            }
+        }
+    }
+    if local_q.iter().all(|&v| seen[v as usize]) {
+        queue.sort_unstable();
+        Some(queue)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{karate::karate_club, structured};
+    use mwc_graph::metrics;
+
+    #[test]
+    fn contains_query_and_is_connected() {
+        let g = karate_club();
+        let q: Vec<NodeId> = vec![11, 24, 25, 29];
+        let c = ctp(&g, &q).unwrap();
+        assert!(c.contains_all(&q));
+        // Connector::new re-validates connectivity.
+        assert!(Connector::new(&g, c.vertices()).is_ok());
+    }
+
+    #[test]
+    fn returns_dense_community_like_solutions() {
+        // ctp maximizes min degree: on a clique-with-tail, querying two
+        // clique members keeps the clique, not the tail.
+        // Clique 0..5, tail 5-6-7.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        edges.extend_from_slice(&[(4, 5), (5, 6), (6, 7)]);
+        let g = Graph::from_edges(8, &edges).unwrap();
+        let c = ctp(&g, &[0, 2]).unwrap();
+        assert!(
+            c.contains_all(&[0, 1, 2, 3, 4]),
+            "clique kept: {:?}",
+            c.vertices()
+        );
+        assert!(!c.contains(7), "tail should be peeled: {:?}", c.vertices());
+    }
+
+    #[test]
+    fn single_query_vertex() {
+        let g = structured::path(4);
+        let c = ctp(&g, &[2]).unwrap();
+        assert_eq!(c.vertices(), &[2]);
+    }
+
+    #[test]
+    fn path_query_keeps_path() {
+        let g = structured::path(9);
+        let c = ctp(&g, &[2, 6]).unwrap();
+        assert!(c.contains_all(&[2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn disconnected_query_errors() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(ctp(&g, &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn solutions_are_larger_and_denser_than_trees() {
+        // Table 3's qualitative shape: ctp returns community-like chunks.
+        let g = karate_club();
+        let q: Vec<NodeId> = vec![0, 33];
+        let c = ctp(&g, &q).unwrap();
+        let st = crate::st::steiner_tree_baseline(&g, &q).unwrap();
+        assert!(c.len() >= st.len());
+        let sub = c.induced(&g).unwrap();
+        assert!(metrics::average_degree(sub.graph()) >= 2.0);
+    }
+}

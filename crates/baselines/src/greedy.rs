@@ -1,0 +1,131 @@
+//! Shared greedy "add by score until the query connects" expansion used by
+//! the `ppr` and `cps` baselines (§6.1: "we greedily add to the solution
+//! the highest-score vertex, until we connect the vertices in Q").
+
+use mwc_core::steiner::UnionFind;
+use mwc_core::{wsq::normalize_query, Connector, CoreError, Result};
+use mwc_graph::{Graph, NodeId};
+
+/// Expands `Q` by repeatedly adding the highest-scoring vertex until the
+/// query vertices lie in one component of the induced subgraph; returns
+/// that component as the solution connector.
+///
+/// Vertices are ranked by `(score desc, id asc)` — deterministic under
+/// ties. Vertices never added: those with `-∞` score. Errors if the scores
+/// cannot connect `Q` (e.g. the query spans graph components).
+pub fn greedy_connect(g: &Graph, q: &[NodeId], score: &[f64]) -> Result<Connector> {
+    let q = normalize_query(g, q)?;
+    assert_eq!(
+        score.len(),
+        g.num_nodes(),
+        "score vector must cover the graph"
+    );
+
+    let n = g.num_nodes();
+    let mut added = vec![false; n];
+    let mut uf = UnionFind::new(n);
+    let add = |v: NodeId, added: &mut Vec<bool>, uf: &mut UnionFind| {
+        added[v as usize] = true;
+        for &nb in g.neighbors(v) {
+            if added[nb as usize] {
+                uf.union(v, nb);
+            }
+        }
+    };
+
+    for &v in &q {
+        add(v, &mut added, &mut uf);
+    }
+    let connected = |uf: &mut UnionFind| -> bool {
+        let root = uf.find(q[0]);
+        q.iter().all(|&v| uf.find(v) == root)
+    };
+
+    if !connected(&mut uf) {
+        // Rank all remaining vertices once; stop as soon as Q connects.
+        let mut order: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| !added[v as usize] && score[v as usize].is_finite())
+            .collect();
+        order.sort_unstable_by(|&a, &b| {
+            score[b as usize]
+                .total_cmp(&score[a as usize])
+                .then(a.cmp(&b))
+        });
+        for v in order {
+            add(v, &mut added, &mut uf);
+            if connected(&mut uf) {
+                break;
+            }
+        }
+        if !connected(&mut uf) {
+            return Err(CoreError::QueryNotConnectable);
+        }
+    }
+
+    // Solution = Q's component within the added set.
+    let root = uf.find(q[0]);
+    let solution: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| added[v as usize] && uf.find(v) == root)
+        .collect();
+    Ok(Connector::new_unchecked(g, solution))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::structured;
+
+    #[test]
+    fn adds_along_best_scores() {
+        // Path 0-1-2-3-4, Q = {0, 4}; interior scores force the whole path.
+        let g = structured::path(5);
+        let score = vec![0.0, 3.0, 2.0, 1.0, 0.0];
+        let c = greedy_connect(&g, &[0, 4], &score).unwrap();
+        assert_eq!(c.vertices(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stops_as_soon_as_connected() {
+        // Diamond: 0-1-3, 0-2-3; vertex 1 scores higher → 2 is never added.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+        let score = vec![0.0, 10.0, 1.0, 0.0];
+        let c = greedy_connect(&g, &[0, 3], &score).unwrap();
+        assert_eq!(c.vertices(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn prunes_disconnected_additions() {
+        // High-scoring vertex 4 is irrelevant to connecting {0, 2}; it may
+        // be added but must not appear in the final component.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]).unwrap();
+        let score = vec![0.0, 0.5, 0.0, 0.0, 9.0, 8.0];
+        let c = greedy_connect(&g, &[0, 2], &score).unwrap();
+        assert_eq!(c.vertices(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn already_connected_query_returns_query() {
+        let g = structured::complete(5);
+        let score = vec![1.0; 5];
+        let c = greedy_connect(&g, &[1, 3], &score).unwrap();
+        assert_eq!(c.vertices(), &[1, 3]);
+    }
+
+    #[test]
+    fn infeasible_query_errors() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let score = vec![1.0; 4];
+        assert!(matches!(
+            greedy_connect(&g, &[0, 3], &score),
+            Err(CoreError::QueryNotConnectable)
+        ));
+    }
+
+    #[test]
+    fn neg_infinity_scores_are_never_added() {
+        let g = structured::path(3);
+        let mut score = vec![1.0; 3];
+        score[1] = f64::NEG_INFINITY;
+        assert!(greedy_connect(&g, &[0, 2], &score).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! The query-dependent subgraph baselines the paper compares against
+//! (§6.1), implemented from scratch:
+//!
+//! * [`ppr`](crate::ppr::ppr) — personalized PageRank expansion
+//!   (Kloumann & Kleinberg's recommended setup);
+//! * [`cps`](crate::cps::cps) — Center-piece Subgraph (Tong & Faloutsos)
+//!   with Hadamard-product scoring;
+//! * [`ctp`](crate::ctp::ctp) — the Cocktail Party community search
+//!   (Sozio & Gionis) on the smallest covering BFS ball;
+//! * [`st`](crate::st::steiner_tree_baseline) — Mehlhorn's Steiner tree.
+//!
+//! All baselines consume a graph + query set and return a
+//! [`mwc_core::Connector`], so the evaluation harness can measure size,
+//! density, centrality, and Wiener index uniformly (Table 3).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cps;
+pub mod ctp;
+pub mod greedy;
+pub mod greedy_wiener;
+pub mod ppr;
+pub mod rwr;
+pub mod st;
+
+pub use cps::cps;
+pub use ctp::ctp;
+pub use greedy_wiener::greedy_wiener;
+pub use ppr::ppr;
+pub use rwr::RwrParams;
+pub use st::steiner_tree_baseline;
+
+use mwc_core::{Connector, Result};
+use mwc_graph::{Graph, NodeId};
+
+/// The five methods of the paper's evaluation, including `ws-q` itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Cocktail party (community search).
+    Ctp,
+    /// Center-piece subgraph.
+    Cps,
+    /// Personalized PageRank.
+    Ppr,
+    /// Steiner tree (Mehlhorn).
+    St,
+    /// The paper's algorithm (Algorithm 1).
+    WsQ,
+}
+
+impl Method {
+    /// All methods, in the row order of Table 3.
+    pub const ALL: [Method; 5] = [
+        Method::Ctp,
+        Method::Cps,
+        Method::Ppr,
+        Method::St,
+        Method::WsQ,
+    ];
+
+    /// The paper's short name for the method.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Ctp => "ctp",
+            Method::Cps => "cps",
+            Method::Ppr => "ppr",
+            Method::St => "st",
+            Method::WsQ => "ws-q",
+        }
+    }
+
+    /// Runs the method on `(g, q)` and returns its connector.
+    pub fn run(self, g: &Graph, q: &[NodeId]) -> Result<Connector> {
+        match self {
+            Method::Ctp => ctp::ctp(g, q),
+            Method::Cps => cps::cps(g, q),
+            Method::Ppr => ppr::ppr(g, q),
+            Method::St => st::steiner_tree_baseline(g, q),
+            Method::WsQ => Ok(mwc_core::minimum_wiener_connector(g, q)?.connector),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::karate::karate_club;
+
+    #[test]
+    fn all_methods_produce_valid_connectors() {
+        let g = karate_club();
+        let q: Vec<NodeId> = vec![11, 24, 25, 29];
+        for m in Method::ALL {
+            let c = m
+                .run(&g, &q)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", m.name()));
+            assert!(c.contains_all(&q), "{} missing query vertices", m.name());
+            assert!(
+                Connector::new(&g, c.vertices()).is_ok(),
+                "{} returned a disconnected set",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn wsq_has_smallest_wiener_index_on_karate() {
+        // The defining property (Table 3's W(H) row): ws-q minimizes the
+        // Wiener index among all methods.
+        let g = karate_club();
+        let q: Vec<NodeId> = vec![11, 24, 25, 29];
+        let wsq_w = Method::WsQ.run(&g, &q).unwrap().wiener_index(&g).unwrap();
+        for m in [Method::Ctp, Method::Cps, Method::Ppr, Method::St] {
+            let w = m.run(&g, &q).unwrap().wiener_index(&g).unwrap();
+            assert!(wsq_w <= w, "{} achieved W = {w} < ws-q's {wsq_w}", m.name());
+        }
+    }
+
+    #[test]
+    fn method_names_match_paper() {
+        let names: Vec<&str> = Method::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["ctp", "cps", "ppr", "st", "ws-q"]);
+    }
+}

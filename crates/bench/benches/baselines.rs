@@ -1,0 +1,48 @@
+//! Criterion benchmarks comparing per-query latency of all five methods
+//! (the runtime side of Table 3 — the paper notes cps/ppr are limited by
+//! random-walk processing time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use mwc_baselines::Method;
+use mwc_datasets::{realworld, workloads};
+
+fn bench_methods(c: &mut Criterion) {
+    let si = realworld::standin("email").unwrap();
+    let g = si.graph;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let q = workloads::distance_controlled_query(
+        &g,
+        &workloads::WorkloadConfig::new(10, 4.0),
+        &mut rng,
+    )
+    .unwrap()
+    .vertices;
+
+    let mut group = c.benchmark_group("methods_email_q10");
+    group.sample_size(10);
+    for m in Method::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &q, |b, q| {
+            b.iter(|| m.run(&g, q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_rwr(c: &mut Criterion) {
+    let si = realworld::standin("oregon").unwrap();
+    let g = si.graph;
+    c.bench_function("rwr_oregon", |b| {
+        b.iter(|| {
+            mwc_baselines::rwr::random_walk_with_restart(
+                &g,
+                &[0, 5000, 9000],
+                mwc_baselines::RwrParams::default(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_methods, bench_rwr);
+criterion_main!(benches);

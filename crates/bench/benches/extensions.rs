@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the extension substrates: community
+//! detection (§7 pipeline), the landmark distance oracle (§6.6), the
+//! Steiner subroutine variants, and the LP machinery behind the §5
+//! bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+
+use mwc_core::ilp_solve::{lp_relaxation, to_lp};
+use mwc_core::ilp::{fundamental_cycles, tree_formulation};
+use mwc_core::steiner::{steiner_tree, SteinerAlgorithm};
+use mwc_datasets::realworld;
+use mwc_graph::community::{cnm, label_propagation, CnmStop};
+use mwc_graph::generators::karate::karate_club;
+use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
+use mwc_lp::{branch_and_bound, Cmp, LpProblem, MipConfig, SimplexConfig, Var};
+
+fn bench_community(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community");
+    group.sample_size(10);
+    for name in ["email", "yeast"] {
+        let g = realworld::standin(name).unwrap().graph;
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("cnm_peak", name), &g, |b, g| {
+            b.iter(|| cnm(g, CnmStop::PeakModularity));
+        });
+        group.bench_with_input(BenchmarkId::new("label_propagation", name), &g, |b, g| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| label_propagation(g, 20, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let g = realworld::standin("oregon").unwrap().graph;
+    let mut group = c.benchmark_group("oracle");
+    group.throughput(Throughput::Elements(g.num_nodes() as u64));
+    group.bench_function("build_16_hubs", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        b.iter(|| LandmarkOracle::build(&g, 16, LandmarkStrategy::HighestDegree, &mut rng));
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let oracle = LandmarkOracle::build(&g, 16, LandmarkStrategy::HighestDegree, &mut rng);
+    group.bench_function("estimate_all", |b| {
+        let mut src = 1u32;
+        b.iter(|| {
+            let est = oracle.estimate_all(src % g.num_nodes() as u32);
+            src = src.wrapping_add(7919);
+            est
+        });
+    });
+    group.finish();
+}
+
+fn bench_steiner_variants(c: &mut Criterion) {
+    let g = realworld::standin("email").unwrap().graph;
+    let terminals: Vec<u32> = vec![3, 97, 405, 771, 1002, 1100];
+    let mut group = c.benchmark_group("steiner_variants");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    for (label, alg) in [
+        ("mehlhorn", SteinerAlgorithm::Mehlhorn),
+        ("kmb", SteinerAlgorithm::KouMarkowskyBerman),
+        ("takahashi", SteinerAlgorithm::TakahashiMatsuyama),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| steiner_tree(alg, &g, &terminals, |_, _| 1.0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp");
+    group.sample_size(10);
+
+    // A mid-size dense LP: 40 vars, 60 rows.
+    group.bench_function("simplex_40x60", |b| {
+        let mut lp = LpProblem::minimize();
+        let vars: Vec<Var> = (0..40)
+            .map(|i| lp.add_var(format!("x{i}"), 0.0, 10.0, ((i % 7) as f64) - 3.0).unwrap())
+            .collect();
+        for r in 0..60usize {
+            let terms: Vec<(Var, f64)> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (((i + r) % 5) as f64) - 2.0))
+                .collect();
+            lp.add_constraint(terms, Cmp::Le, 25.0 + r as f64).unwrap();
+        }
+        b.iter(|| lp.solve(&SimplexConfig::default()).unwrap());
+    });
+
+    // The Table 2 pipeline pieces on the karate club.
+    let g = karate_club();
+    let q = vec![11u32, 24, 25, 29];
+    let cycles = fundamental_cycles(&g);
+    group.bench_function("program7_karate_relaxation", |b| {
+        let ip = tree_formulation(&g, &q, &cycles).unwrap();
+        b.iter(|| lp_relaxation(&ip, &SimplexConfig::default()).unwrap());
+    });
+    group.bench_function("program7_karate_mip_50_nodes", |b| {
+        let ip = tree_formulation(&g, &q, &cycles).unwrap();
+        let (lp, bins) = to_lp(&ip).unwrap();
+        let cfg = MipConfig { max_nodes: 50, ..MipConfig::default() };
+        b.iter(|| branch_and_bound(&lp, &bins, &cfg).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_community,
+    bench_oracle,
+    bench_steiner_variants,
+    bench_lp
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the solver stack: Mehlhorn's Steiner
+//! approximation, AdjustDistances, and end-to-end ws-q — the components
+//! whose runtimes compose into Figure 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use mwc_core::adjust::adjust_distances;
+use mwc_core::exact::{exact_minimum, ExactConfig};
+use mwc_core::steiner::mehlhorn_steiner;
+use mwc_core::{WienerSteiner, WsqConfig};
+use mwc_datasets::{karate, realworld, workloads};
+use mwc_graph::traversal::bfs::bfs_parents;
+
+fn bench_steiner(c: &mut Criterion) {
+    let si = realworld::standin("oregon").unwrap();
+    let g = si.graph;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("mehlhorn_steiner");
+    for q_size in [5usize, 20, 80] {
+        let q = workloads::uniform_query(&g, q_size, &mut rng)
+            .unwrap()
+            .vertices;
+        group.bench_with_input(BenchmarkId::new("unit_weights", q_size), &q, |b, q| {
+            b.iter(|| mehlhorn_steiner(&g, q, |_, _| 1.0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_adjust(c: &mut Criterion) {
+    let si = realworld::standin("oregon").unwrap();
+    let g = si.graph;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let q = workloads::uniform_query(&g, 20, &mut rng).unwrap().vertices;
+    let tree = mehlhorn_steiner(&g, &q, |_, _| 1.0).unwrap();
+    let bfs = bfs_parents(&g, q[0]);
+    c.bench_function("adjust_distances", |b| {
+        b.iter(|| adjust_distances(&g, &tree, q[0], &bfs.dist, &bfs.parent));
+    });
+}
+
+fn bench_wsq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsq_end_to_end");
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for name in ["email", "oregon"] {
+        let si = realworld::standin(name).unwrap();
+        let g = si.graph;
+        for q_size in [5usize, 10] {
+            let q = workloads::uniform_query(&g, q_size, &mut rng)
+                .unwrap()
+                .vertices;
+            let id = format!("{name}_q{q_size}");
+            group.bench_with_input(BenchmarkId::new("parallel", &id), &q, |b, q| {
+                let solver = WienerSteiner::new(&g);
+                b.iter(|| solver.solve(q).unwrap());
+            });
+            group.bench_with_input(BenchmarkId::new("sequential", &id), &q, |b, q| {
+                let solver = WienerSteiner::with_config(
+                    &g,
+                    WsqConfig {
+                        parallel: false,
+                        ..WsqConfig::default()
+                    },
+                );
+                b.iter(|| solver.solve(q).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let g = karate::karate_club();
+    let mut group = c.benchmark_group("exact_enumeration");
+    group.sample_size(10);
+    for q in [vec![0u32, 33], vec![11, 24, 25, 29]] {
+        let label = format!("karate_q{}", q.len());
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &q, |b, q| {
+            b.iter(|| exact_minimum(&g, q, None, &ExactConfig::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steiner, bench_adjust, bench_wsq, bench_exact);
+criterion_main!(benches);

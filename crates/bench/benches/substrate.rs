@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for the graph substrate: the primitives
+//! whose cost model Theorem 4's `Õ(|Q||E|)` analysis is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+
+use mwc_datasets::realworld;
+use mwc_graph::traversal::bfs::BfsWorkspace;
+use mwc_graph::traversal::dijkstra::{dijkstra, multi_source_dijkstra};
+use mwc_graph::{centrality, wiener};
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    for name in ["email", "oregon"] {
+        let si = realworld::standin(name).unwrap();
+        let g = si.graph;
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        let mut ws = BfsWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("full", name), &g, |b, g| {
+            let mut src = 0u32;
+            b.iter(|| {
+                ws.run(g, src % g.num_nodes() as u32);
+                src = src.wrapping_add(7919);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let si = realworld::standin("email").unwrap();
+    let g = si.graph;
+    let mut group = c.benchmark_group("dijkstra");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("single_source_unit", |b| {
+        b.iter(|| dijkstra(&g, 0, |_, _| 1.0));
+    });
+    let terminals: Vec<u32> = vec![1, 100, 500, 900, 1100];
+    group.bench_function("multi_source_reweighted", |b| {
+        let mut ws = BfsWorkspace::new();
+        let dist = ws.run(&g, 0).to_vec();
+        let lambda = 2.0;
+        b.iter(|| {
+            multi_source_dijkstra(&g, &terminals, |u, v| {
+                lambda + dist[u as usize].max(dist[v as usize]) as f64 / lambda
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_wiener(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wiener");
+    // Typical candidate sizes for ws-q evaluation.
+    for k in [16usize, 64, 256] {
+        let g = mwc_graph::generators::structured::grid(k / 4, 4, false);
+        group.bench_with_input(BenchmarkId::new("exact", k), &g, |b, g| {
+            b.iter(|| wiener::wiener_index(g).unwrap());
+        });
+    }
+    let big = mwc_graph::generators::structured::grid(60, 60, false);
+    group.bench_function("sampled_3600", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| wiener::wiener_index_sampled(&big, 32, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_centrality(c: &mut Criterion) {
+    let si = realworld::standin("email").unwrap();
+    let g = si.graph;
+    let mut group = c.benchmark_group("betweenness");
+    group.sample_size(10);
+    group.bench_function("sampled_64_sources", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        b.iter(|| centrality::betweenness_sampled(&g, 64, true, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_induced(c: &mut Criterion) {
+    let si = realworld::standin("oregon").unwrap();
+    let g = si.graph;
+    let nodes: Vec<u32> = (0..512u32).map(|i| i * 17 % g.num_nodes() as u32).collect();
+    c.bench_function("induced_subgraph_512", |b| {
+        b.iter(|| g.induced(&nodes).unwrap());
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("barabasi_albert_50k", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| mwc_graph::generators::barabasi_albert(50_000, 3, &mut rng));
+    });
+    group.bench_function("gnm_50k_100k", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        b.iter(|| mwc_graph::generators::gnm(50_000, 100_000, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bfs,
+    bench_dijkstra,
+    bench_wiener,
+    bench_centrality,
+    bench_induced,
+    bench_generators
+);
+criterion_main!(benches);

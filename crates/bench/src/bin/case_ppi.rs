@@ -1,0 +1,73 @@
+//! Figure 6 — the protein–protein-interaction case study (§7).
+//!
+//! Extracts the minimum Wiener connector for the disease-protein query on
+//! the synthetic PPI stand-in and reports the next-hop structure the paper
+//! highlights (each query protein reaching the others through a hub).
+
+use mwc_bench::parse_args;
+use mwc_core::minimum_wiener_connector;
+use mwc_datasets::ppi;
+use mwc_graph::centrality;
+use rand::SeedableRng;
+
+fn main() {
+    let _ = parse_args();
+    let net = ppi::ppi_network();
+    println!(
+        "Figure 6: PPI case study (synthetic stand-in, {} proteins, {} interactions)\n",
+        net.graph.num_nodes(),
+        net.graph.num_edges()
+    );
+
+    let q = ppi::disease_query(&net);
+    println!("query proteins: {:?}", net.render(&q));
+    let sol = minimum_wiener_connector(&net.graph, &q).expect("solve");
+
+    println!(
+        "\nconnector ({} proteins, W = {}):",
+        sol.connector.len(),
+        sol.wiener_index
+    );
+    let bc = centrality::betweenness_sampled(
+        &net.graph,
+        400,
+        true,
+        &mut rand::rngs::StdRng::seed_from_u64(1),
+    );
+    for &p in sol.connector.vertices() {
+        let role = if q.contains(&p) {
+            "query    "
+        } else {
+            "connector"
+        };
+        println!(
+            "  {role}  {:<10} degree {:>3}  bc {:.4}",
+            net.label(p),
+            net.graph.degree(p),
+            bc[p as usize]
+        );
+    }
+
+    let sub = sol.connector.induced(&net.graph).expect("induced");
+    println!("\nnext hops (query → connector neighbors):");
+    for &qp in &q {
+        let local = sub.to_local(qp).unwrap();
+        let hops: Vec<&str> = sub
+            .graph()
+            .neighbors(local)
+            .iter()
+            .map(|&nb| net.label(sub.to_global(nb)))
+            .collect();
+        println!("  {:<10} → {:?}", net.label(qp), hops);
+    }
+
+    let hub_hits: Vec<&str> = ppi::HUBS
+        .iter()
+        .copied()
+        .filter(|h| sol.connector.contains(net.id_of(h).unwrap()))
+        .collect();
+    println!("\nhub proteins recruited: {hub_hits:?}");
+    println!("\npaper (original BioGrid network): query {{BMP1, JAK2, PSEN, SLC6A4}} is");
+    println!("connected through {{p53, HSP90, GSK3B, SNCA}}, each next-hop matching a");
+    println!("literature-verified disease association.");
+}

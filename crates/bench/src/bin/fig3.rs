@@ -1,0 +1,113 @@
+//! Figure 3 — sweeps on the oregon stand-in.
+//!
+//! Left column of the figure: fixed average distance AD = 4, query size
+//! |Q| ∈ {10..50}. Right column: fixed |Q| = 5, AD ∈ {1..7}. Series per
+//! method: solution size |V(H)|, density δ(H), betweenness bc(H).
+
+use mwc_baselines::Method;
+use mwc_bench::eval::{average_metrics, evaluate_method};
+use mwc_bench::table::{fmt_f64, Table};
+use mwc_bench::{parse_args, Scale};
+use mwc_datasets::{realworld, workloads};
+use mwc_graph::centrality;
+use rand::SeedableRng;
+
+fn main() {
+    let args = parse_args();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+
+    let scale = match args.scale {
+        Scale::Quick => 0.2,
+        Scale::Medium => 1.0,
+        Scale::Full => 1.0,
+    };
+    let si = realworld::standin_scaled("oregon", scale).expect("oregon");
+    let g = &si.graph;
+    println!(
+        "Figure 3: oregon stand-in (n = {}, m = {}), series per method\n",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let bc_samples = args.scale.pick(200, 800, 1600);
+    let bc = centrality::betweenness_sampled(g, bc_samples, true, &mut rng);
+    let reps = args.scale.pick(1, 3, 5);
+
+    // Left column: AD = 4, varying |Q|.
+    let q_sizes: Vec<usize> = args.scale.pick(
+        vec![10, 20, 30],
+        vec![10, 20, 30, 40, 50],
+        vec![10, 20, 30, 40, 50],
+    );
+    println!("left column: AD = 4, varying |Q|");
+    let mut t = Table::new(&["|Q|", "method", "|V(H)|", "δ(H)", "bc(H)"]);
+    for &qs in &q_sizes {
+        for method in Method::ALL {
+            let mut runs = Vec::new();
+            for _ in 0..reps {
+                if let Some(q) = workloads::distance_controlled_query(
+                    g,
+                    &workloads::WorkloadConfig::new(qs, 4.0),
+                    &mut rng,
+                ) {
+                    if let Ok(m) = evaluate_method(method, g, &q.vertices, &bc, 1024, 32, &mut rng)
+                    {
+                        runs.push(m);
+                    }
+                }
+            }
+            if runs.is_empty() {
+                continue;
+            }
+            let avg = average_metrics(&runs);
+            t.add_row(vec![
+                qs.to_string(),
+                method.name().to_string(),
+                avg.size.to_string(),
+                fmt_f64(avg.density, 4),
+                fmt_f64(avg.avg_betweenness, 4),
+            ]);
+        }
+    }
+    t.print();
+
+    // Right column: |Q| = 5, varying AD.
+    let ads: Vec<f64> = args.scale.pick(
+        vec![2.0, 4.0, 6.0],
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+    );
+    println!("\nright column: |Q| = 5, varying AD");
+    let mut t = Table::new(&["AD", "method", "|V(H)|", "δ(H)", "bc(H)"]);
+    for &ad in &ads {
+        for method in Method::ALL {
+            let mut runs = Vec::new();
+            for _ in 0..reps {
+                if let Some(q) = workloads::distance_controlled_query(
+                    g,
+                    &workloads::WorkloadConfig::new(5, ad),
+                    &mut rng,
+                ) {
+                    if let Ok(m) = evaluate_method(method, g, &q.vertices, &bc, 1024, 32, &mut rng)
+                    {
+                        runs.push(m);
+                    }
+                }
+            }
+            if runs.is_empty() {
+                continue;
+            }
+            let avg = average_metrics(&runs);
+            t.add_row(vec![
+                fmt_f64(ad, 0),
+                method.name().to_string(),
+                avg.size.to_string(),
+                fmt_f64(avg.density, 4),
+                fmt_f64(avg.avg_betweenness, 4),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nExpected shape (paper): ctp/cps/ppr sizes grow into the thousands and");
+    println!("densities fall with |Q| and AD; st and ws-q stay below ~10² vertices with");
+    println!("ws-q the densest and most central throughout.");
+}

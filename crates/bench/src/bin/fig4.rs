@@ -1,0 +1,108 @@
+//! Figure 4 — ws-q vs st on Steiner-tree benchmarks.
+//!
+//! Runs both methods on the puc-like and vienna-like suites and prints the
+//! CDFs of (a) the solution-size ratio |V(H_ST)| / |V(H_WSQ)| and (b) the
+//! Wiener-index ratio W(H_ST) / W(H_WSQ) — the paper's two panels.
+
+use mwc_baselines::Method;
+use mwc_bench::stats::cdf_at;
+use mwc_bench::table::{fmt_f64, Table};
+use mwc_bench::{parse_args, Scale};
+use mwc_datasets::{puc_like, vienna_like, BenchmarkInstance};
+use rand::SeedableRng;
+
+fn run_suite(
+    label: &str,
+    suite: &[BenchmarkInstance],
+    rng: &mut rand::rngs::StdRng,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut size_ratios = Vec::new();
+    let mut wiener_ratios = Vec::new();
+    for inst in suite {
+        let st = match Method::St.run(&inst.graph, &inst.terminals) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[fig4] {}: st failed: {e}", inst.name);
+                continue;
+            }
+        };
+        let wsq = match Method::WsQ.run(&inst.graph, &inst.terminals) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[fig4] {}: ws-q failed: {e}", inst.name);
+                continue;
+            }
+        };
+        let mut w = |c: &mwc_core::Connector| -> f64 {
+            if c.len() <= 2048 {
+                c.wiener_index(&inst.graph).unwrap() as f64
+            } else {
+                c.wiener_index_sampled(&inst.graph, 64, rng).unwrap()
+            }
+        };
+        size_ratios.push(st.len() as f64 / wsq.len() as f64);
+        wiener_ratios.push(w(&st) / w(&wsq));
+    }
+    eprintln!("[fig4] {label}: {} instances evaluated", size_ratios.len());
+    (size_ratios, wiener_ratios)
+}
+
+fn print_cdf(name: &str, xs: &[(String, Vec<f64>)], grid: &[f64]) {
+    println!("\nCDF of {name}:");
+    let mut headers = vec!["ratio ≤".to_string()];
+    headers.extend(xs.iter().map(|(l, _)| l.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&headers_ref);
+    for &x in grid {
+        let mut row = vec![fmt_f64(x, 2)];
+        for (_, samples) in xs {
+            row.push(fmt_f64(cdf_at(samples, x), 2));
+        }
+        t.add_row(row);
+    }
+    t.print();
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+
+    let (vienna_count, use_full_puc) = match args.scale {
+        Scale::Quick => (6, false),
+        Scale::Medium => (30, true),
+        Scale::Full => (85, true),
+    };
+    let puc = if use_full_puc {
+        puc_like(args.seed)
+    } else {
+        puc_like(args.seed).into_iter().take(8).collect()
+    };
+    let vienna = vienna_like(vienna_count, args.seed.wrapping_add(1));
+
+    println!(
+        "Figure 4: st vs ws-q on Steiner benchmarks ({} puc-like, {} vienna-like instances)",
+        puc.len(),
+        vienna.len()
+    );
+
+    let (puc_size, puc_wiener) = run_suite("puc", &puc, &mut rng);
+    let (vienna_size, vienna_wiener) = run_suite("vienna", &vienna, &mut rng);
+
+    let size_grid = [0.8, 0.9, 1.0, 1.1, 1.2, 1.4];
+    print_cdf(
+        "(a) |V(H_ST)| / |V(H_WSQ)|",
+        &[("vienna".into(), vienna_size), ("puc".into(), puc_size)],
+        &size_grid,
+    );
+    let wiener_grid = [1.0, 1.2, 1.4, 1.6, 2.0, 2.4, 3.0];
+    print_cdf(
+        "(b) W(H_ST) / W(H_WSQ)",
+        &[("vienna".into(), vienna_wiener), ("puc".into(), puc_wiener)],
+        &wiener_grid,
+    );
+
+    println!("\nExpected shape (paper): panel (a) mass concentrated near 1.0 — ws-q");
+    println!("solutions are comparable in size, often no larger, than st's even though");
+    println!("st optimizes size; panel (b) ratios ≥ 1 with a long tail to ~2.4 — ws-q");
+    println!("has a much smaller Wiener index throughout.");
+}

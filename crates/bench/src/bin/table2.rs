@@ -1,0 +1,144 @@
+//! Table 2 — approximation quality of ws-q against optimality bounds.
+//!
+//! For each (dataset, |Q|): the ws-q Wiener index, an upper bound `GU`
+//! (local-search refinement of the ws-q solution — the role Gurobi's
+//! warm-started incumbent plays in the paper), a lower bound `GL`
+//! (certified combinatorial bound; on ≤64-vertex graphs the exact optimum
+//! via enumeration), and the implied error interval. A zero-width interval
+//! proves optimality, exactly as in the paper's Table 2.
+
+use mwc_bench::table::{fmt_f64, Table};
+use mwc_bench::{parse_args, Scale};
+use mwc_core::exact::{exact_minimum, ExactConfig};
+use mwc_core::local_search::{refine, LocalSearchConfig};
+use mwc_core::lower_bound::{certified_lower_bound, error_interval};
+use mwc_core::minimum_wiener_connector;
+use mwc_datasets::{karate, realworld, workloads};
+use mwc_graph::Graph;
+use rand::SeedableRng;
+
+/// Paper Table 2 reference: (dataset, |Q|, ws-q, GU, GL).
+const PAPER: &[(&str, usize, u64, u64, u64)] = &[
+    ("football", 3, 40, 40, 40),
+    ("football", 5, 172, 172, 164),
+    ("football", 10, 656, 598, 538),
+    ("football", 20, 2352, 2018, 1546),
+    ("jazz", 3, 16, 16, 16),
+    ("jazz", 5, 44, 44, 44),
+    ("jazz", 10, 276, 276, 260),
+    ("jazz", 20, 1014, 964, 936),
+    ("celegans", 3, 36, 36, 36),
+    ("celegans", 5, 106, 106, 106),
+    ("celegans", 10, 330, 330, 326),
+    ("celegans", 20, 1204, 1196, 1192),
+    ("email", 3, 58, 58, 58),
+    ("email", 5, 250, 250, 240),
+    ("email", 10, 1352, 1208, 1033),
+    ("email", 20, 5490, 5490, 4032),
+];
+
+fn main() {
+    let args = parse_args();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+
+    let (datasets, sizes): (Vec<&str>, Vec<usize>) = match args.scale {
+        Scale::Quick => (vec!["karate", "football", "jazz"], vec![3, 5, 10]),
+        _ => (
+            vec!["karate", "football", "jazz", "celegans", "email"],
+            vec![3, 5, 10, 20],
+        ),
+    };
+    let queries_per_cell = args.scale.pick(1, 3, 5);
+
+    println!("Table 2: ws-q vs provable bounds (ours) | paper reference\n");
+    let mut t = Table::new(&[
+        "dataset",
+        "|Q|",
+        "ws-q",
+        "GU",
+        "GL",
+        "error interval",
+        "exact?",
+        "paper ws-q",
+        "paper [GL,GU]",
+    ]);
+
+    for name in datasets {
+        let graph: Graph = if name == "karate" {
+            karate::karate_club()
+        } else {
+            realworld::standin(name).expect("dataset").graph
+        };
+        for &qsize in &sizes {
+            if qsize >= graph.num_nodes() {
+                continue;
+            }
+            // Averages over queries_per_cell random queries, as the paper
+            // averages over its workload.
+            let mut wsq_sum = 0u64;
+            let mut gu_sum = 0u64;
+            let mut gl_sum = 0u64;
+            let mut all_exact = true;
+            for _ in 0..queries_per_cell {
+                let q = workloads::uniform_query(&graph, qsize, &mut rng).expect("workload");
+                let wsq = minimum_wiener_connector(&graph, &q.vertices).expect("solve");
+                let (_, gu) = refine(
+                    &graph,
+                    &q.vertices,
+                    &wsq.connector,
+                    &LocalSearchConfig::default(),
+                )
+                .expect("refine");
+                // Exact optimum when feasible (n ≤ 64), else certified bound.
+                let gl = if graph.num_nodes() <= 64 {
+                    let exact = exact_minimum(
+                        &graph,
+                        &q.vertices,
+                        Some(&wsq.connector),
+                        &ExactConfig::default(),
+                    )
+                    .expect("exact");
+                    if exact.optimal {
+                        exact.wiener_index
+                    } else {
+                        all_exact = false;
+                        certified_lower_bound(&graph, &q.vertices)
+                            .expect("lb")
+                            .value
+                    }
+                } else {
+                    all_exact = false;
+                    certified_lower_bound(&graph, &q.vertices)
+                        .expect("lb")
+                        .value
+                };
+                wsq_sum += wsq.wiener_index;
+                gu_sum += gu;
+                gl_sum += gl.min(gu);
+            }
+            let k = queries_per_cell as u64;
+            let (wsq, gu, gl) = (wsq_sum / k, gu_sum / k, gl_sum / k);
+            let (lo, hi) = error_interval(wsq, gl, gu);
+            let paper = PAPER.iter().find(|r| r.0 == name && r.1 == qsize);
+            t.add_row(vec![
+                name.to_string(),
+                qsize.to_string(),
+                wsq.to_string(),
+                gu.to_string(),
+                gl.to_string(),
+                format!("[{}%, {}%]", fmt_f64(lo * 100.0, 1), fmt_f64(hi * 100.0, 1)),
+                if all_exact { "yes".into() } else { "no".into() },
+                paper.map(|r| r.2.to_string()).unwrap_or_else(|| "-".into()),
+                paper
+                    .map(|r| format!("[{}, {}]", r.4, r.3))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nGU = local-search refinement of ws-q (paper: Gurobi upper bound).");
+    println!("GL = exact optimum on ≤64-vertex graphs, else certified combinatorial bound");
+    println!("(paper: Gurobi LP/ILP lower bound). The certified bound is looser than an");
+    println!("ILP bound, so wide intervals on larger graphs overestimate the true error,");
+    println!("mirroring the paper's own memory-out rows (†).");
+}

@@ -1,0 +1,120 @@
+//! Table 2 (LP edition) — ws-q against lower bounds obtained by actually
+//! *solving* the paper's Program 7 with the from-scratch `mwc-lp` solver
+//! (cutting-plane loop + branch-and-bound), the closest reproduction of
+//! the paper's Gurobi runs.
+//!
+//! The dense simplex limits this to the smaller datasets — exactly as in
+//! the paper, where "this comparison was carried out on small graphs as
+//! otherwise the number of variables would be too large to even formulate
+//! the integer program". Three lower bounds are reported side by side:
+//!
+//! * `comb GL` — the certified combinatorial bound (no LP),
+//! * `LP GL`   — Program 7 LP relaxation with lazy cycle cuts,
+//! * `MIP GL`  — Program 7 after branch-and-bound (node-limited; a
+//!   truncated run still certifies its frontier bound, the paper's †).
+
+use std::time::Duration;
+
+use mwc_bench::table::{fmt_f64, Table};
+use mwc_bench::{parse_args, Scale};
+use mwc_core::ilp_solve::{program7_bounds, Program7Config};
+use mwc_core::local_search::{refine, LocalSearchConfig};
+use mwc_core::lower_bound::{certified_lower_bound, error_interval};
+use mwc_core::minimum_wiener_connector;
+use mwc_datasets::{karate, workloads};
+use mwc_graph::generators::sbm;
+use mwc_graph::Graph;
+use mwc_lp::MipConfig;
+use rand::SeedableRng;
+
+fn main() {
+    let args = parse_args();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+
+    // Instances sized for the dense simplex: the karate club plus small
+    // planted-partition graphs standing in for the paper's community-
+    // structured datasets (see DESIGN.md §3).
+    let mut instances: Vec<(String, Graph)> = vec![("karate".into(), karate::karate_club())];
+    for (sizes, label) in [
+        (vec![8usize, 8, 8], "sbm-24"),
+        (vec![10, 10, 10, 10], "sbm-40"),
+    ] {
+        let pp = sbm::planted_partition(&sizes, 0.5, 0.06, &mut rng);
+        if let Ok((g, _)) = mwc_graph::connectivity::largest_component_graph(&pp.graph) {
+            instances.push((label.to_string(), g));
+        }
+    }
+
+    let sizes: Vec<usize> = match args.scale {
+        Scale::Quick => vec![3, 5],
+        _ => vec![3, 5, 10],
+    };
+    let node_budget = args.scale.pick(60, 200, 800);
+
+    println!("Table 2 (LP edition): ws-q vs Program 7 bounds solved with mwc-lp\n");
+    let mut t = Table::new(&[
+        "dataset",
+        "|V|",
+        "|Q|",
+        "ws-q",
+        "GU",
+        "comb GL",
+        "LP GL",
+        "MIP GL",
+        "error (MIP)",
+        "mip status",
+        "cuts",
+        "nodes",
+    ]);
+
+    for (name, graph) in &instances {
+        for &qsize in &sizes {
+            if qsize >= graph.num_nodes() {
+                continue;
+            }
+            let q = workloads::uniform_query(graph, qsize, &mut rng).expect("workload");
+            let wsq = minimum_wiener_connector(graph, &q.vertices).expect("solve");
+            let (_, gu) = refine(
+                graph,
+                &q.vertices,
+                &wsq.connector,
+                &LocalSearchConfig::default(),
+            )
+            .expect("refine");
+            let comb = certified_lower_bound(graph, &q.vertices).expect("lb").value;
+
+            let config = Program7Config {
+                mip: MipConfig {
+                    max_nodes: node_budget,
+                    time_limit: Some(Duration::from_secs(60)),
+                    ..MipConfig::default()
+                },
+                ..Program7Config::default()
+            };
+            let p7 = program7_bounds(graph, &q.vertices, &config).expect("program 7");
+            let gl = p7.lower_bound.max(comb).min(gu);
+            let (lo, hi) = error_interval(wsq.wiener_index, gl, gu);
+
+            t.add_row(vec![
+                name.clone(),
+                graph.num_nodes().to_string(),
+                qsize.to_string(),
+                wsq.wiener_index.to_string(),
+                gu.to_string(),
+                comb.to_string(),
+                fmt_f64(p7.lp_bound, 1),
+                p7.lower_bound.to_string(),
+                format!("[{}%, {}%]", fmt_f64(lo * 100.0, 1), fmt_f64(hi * 100.0, 1)),
+                format!("{:?}", p7.mip_status),
+                p7.cuts_added.to_string(),
+                p7.nodes.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nLP GL = Program 7 relaxation + lazy cycle cuts; MIP GL = after branch-and-");
+    println!("bound (truncated runs report the certified frontier bound — the paper's †).");
+    println!("All three GLs are valid lower bounds on the optimal Wiener index; the MIP");
+    println!("bound dominates the LP bound, which dominates nothing in general — the");
+    println!("combinatorial bound can win on query sets with large pairwise distances.");
+}

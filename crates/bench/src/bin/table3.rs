@@ -1,0 +1,174 @@
+//! Table 3 — solution characterization across methods.
+//!
+//! For each stand-in dataset: queries of `|Q| = 10` with average distance
+//! 4, 5 repetitions (paper setup); reports average `|V(H)|`, `δ(H)`,
+//! `bc(H)`, `W(H)` for ctp / cps / ppr / st / ws-q next to the paper's
+//! values.
+
+use mwc_baselines::Method;
+use mwc_bench::eval::{average_metrics, evaluate_method};
+use mwc_bench::table::{fmt_big, fmt_f64, Table};
+use mwc_bench::{parse_args, Scale};
+use mwc_datasets::{realworld, workloads};
+use mwc_graph::centrality;
+use rand::SeedableRng;
+
+/// One paper cell: `(|V(H)|, δ(H), bc(H), W(H))`.
+type PaperCell = (f64, f64, f64, f64);
+
+/// Paper Table 3 (per dataset, per method), methods in order
+/// ctp, cps, ppr, st, ws-q.
+const PAPER: &[(&str, [PaperCell; 5])] = &[
+    (
+        "email",
+        [
+            (671.0, 0.016, 0.005, 750e3),
+            (155.0, 0.047, 0.03, 54_598.0),
+            (137.0, 0.029, 0.03, 52_222.0),
+            (26.0, 0.080, 0.09, 1200.0),
+            (24.0, 0.093, 0.11, 968.0),
+        ],
+    ),
+    (
+        "yeast",
+        [
+            (819.0, 0.016, 0.005, 2e6),
+            (188.0, 0.028, 0.02, 69_296.0),
+            (100.0, 0.039, 0.005, 15_838.0),
+            (24.0, 0.088, 0.07, 1259.0),
+            (24.0, 0.091, 0.11, 931.0),
+        ],
+    ),
+    (
+        "oregon",
+        [
+            (9028.0, 0.01, 0.005, 137e6),
+            (4556.0, 0.02, 0.005, 50e6),
+            (1846.0, 0.02, 0.005, 7.5e6),
+            (26.0, 0.090, 0.10, 1164.0),
+            (23.0, 0.106, 0.12, 923.0),
+        ],
+    ),
+    (
+        "astro",
+        [
+            (12758.0, 0.005, 0.005, 292e6),
+            (1735.0, 0.019, 0.005, 8.3e6),
+            (598.0, 0.07, 0.02, 40_079.0),
+            (26.0, 0.09, 0.11, 1318.0),
+            (23.0, 0.13, 0.14, 1007.0),
+        ],
+    ),
+    (
+        "dblp",
+        [
+            (11804.0, 0.005, 0.005, 400e6),
+            (7349.0, 0.01, 0.005, 12.6e6),
+            (842.0, 0.01, 0.01, 1.2e6),
+            (25.0, 0.08, 0.10, 3371.0),
+            (23.0, 0.11, 0.12, 2043.0),
+        ],
+    ),
+    (
+        "youtube",
+        [
+            (17865.0, 0.01, 0.005, 1.5e9),
+            (5615.0, 0.005, 0.005, 561e6),
+            (684.0, 0.02, 0.005, 1.3e6),
+            (19.0, 0.1, 0.13, 1324.0),
+            (17.0, 0.13, 0.18, 956.0),
+        ],
+    ),
+];
+
+fn main() {
+    let args = parse_args();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+
+    let datasets: Vec<(&str, f64)> = match args.scale {
+        Scale::Quick => vec![("email", 1.0), ("yeast", 1.0)],
+        Scale::Medium => {
+            vec![
+                ("email", 1.0),
+                ("yeast", 1.0),
+                ("oregon", 1.0),
+                ("dblp", 0.02),
+            ]
+        }
+        Scale::Full => vec![
+            ("email", 1.0),
+            ("yeast", 1.0),
+            ("oregon", 1.0),
+            ("astro", 1.0),
+            ("dblp", 0.2),
+            ("youtube", 0.05),
+        ],
+    };
+    let repetitions = args.scale.pick(2, 5, 5);
+    let bc_samples = args.scale.pick(200, 600, 1200);
+
+    println!("Table 3: solution characterization, |Q| = 10, AD = 4, {repetitions} runs per cell");
+    println!("(columns: ours | paper)\n");
+    let mut t = Table::new(&[
+        "dataset", "method", "|V[H]|", "paper", "δ(H)", "paper", "bc(H)", "paper", "W(H)", "paper",
+    ]);
+
+    for (name, scale) in datasets {
+        let si = realworld::standin_scaled(name, scale).expect("dataset");
+        let g = &si.graph;
+        eprintln!(
+            "[table3] {name}: n = {}, m = {}",
+            g.num_nodes(),
+            g.num_edges()
+        );
+        let bc = centrality::betweenness_sampled(g, bc_samples, true, &mut rng);
+
+        // Build the workload once so all methods see the same queries.
+        let mut queries = Vec::new();
+        for _ in 0..repetitions {
+            let q = workloads::distance_controlled_query(
+                g,
+                &workloads::WorkloadConfig::new(10, 4.0),
+                &mut rng,
+            )
+            .expect("workload");
+            queries.push(q.vertices);
+        }
+
+        for (mi, method) in Method::ALL.iter().enumerate() {
+            let mut runs = Vec::new();
+            for q in &queries {
+                match evaluate_method(*method, g, q, &bc, 2048, 48, &mut rng) {
+                    Ok(m) => runs.push(m),
+                    Err(e) => eprintln!("[table3] {name}/{}: {e}", method.name()),
+                }
+            }
+            if runs.is_empty() {
+                continue;
+            }
+            let avg = average_metrics(&runs);
+            let paper = PAPER
+                .iter()
+                .find(|(d, _)| *d == name)
+                .map(|(_, rows)| rows[mi]);
+            let paper_cell =
+                |f: fn(PaperCell) -> String| paper.map(f).unwrap_or_else(|| "-".into());
+            t.add_row(vec![
+                name.to_string(),
+                method.name().to_string(),
+                avg.size.to_string(),
+                paper_cell(|p| fmt_big(p.0)),
+                fmt_f64(avg.density, 3),
+                paper_cell(|p| fmt_f64(p.1, 3)),
+                fmt_f64(avg.avg_betweenness, 3),
+                paper_cell(|p| fmt_f64(p.2, 3)),
+                fmt_big(avg.wiener),
+                paper_cell(|p| fmt_big(p.3)),
+            ]);
+        }
+    }
+    t.print();
+    println!("\npaper bc/δ cells listed as 0.005 correspond to '<0.01' entries.");
+    println!("Expected shape: |V[H]| ctp ≥ cps ≥ ppr ≫ st ≈ ws-q; ws-q densest,");
+    println!("most central, minimum W(H).");
+}

@@ -1,0 +1,112 @@
+//! Minimal argument parsing shared by all harness binaries (no external
+//! CLI crate — two flags do not justify a dependency).
+
+/// Experiment scale: trades runtime for fidelity to the paper's sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds: smallest graphs, fewest repetitions.
+    Quick,
+    /// Minutes: medium stand-ins, paper repetition counts.
+    Medium,
+    /// Paper-scale graphs where memory allows; expect long runtimes.
+    Full,
+}
+
+impl Scale {
+    /// Parses `quick` / `medium` / `full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Picks among three values by scale.
+    pub fn pick<T>(self, quick: T, medium: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Medium => medium,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Requested scale (default: quick).
+    pub scale: Scale,
+    /// Workload seed (default: 42).
+    pub seed: u64,
+}
+
+/// Parses `--scale` and `--seed` from `std::env::args`, exiting with a
+/// usage message on malformed input.
+pub fn parse_args() -> HarnessArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+fn parse_from(args: impl Iterator<Item = String>) -> HarnessArgs {
+    let mut out = HarnessArgs {
+        scale: Scale::Quick,
+        seed: 42,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                out.scale = Scale::parse(&v).unwrap_or_else(|| usage(&format!("bad scale {v:?}")));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                out.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    out
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <binary> [--scale quick|medium|full] [--seed <u64>]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> HarnessArgs {
+        parse_from(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["--scale", "full", "--seed", "7"]);
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Medium.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+}

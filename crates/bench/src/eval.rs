@@ -1,0 +1,109 @@
+//! Uniform evaluation of a method's solution: the Table 3 metrics.
+
+use mwc_baselines::Method;
+use mwc_graph::{metrics, Graph, NodeId};
+use rand::Rng;
+
+use crate::stats::timed;
+
+/// The per-solution measurements of Table 3 / Figure 3.
+#[derive(Debug, Clone)]
+pub struct SolutionMetrics {
+    /// Method that produced the solution.
+    pub method: Method,
+    /// `|V[H]|`.
+    pub size: usize,
+    /// `δ(H) = |E[H]| / C(|V[H]|, 2)`.
+    pub density: f64,
+    /// Average betweenness centrality (in the input graph) of the
+    /// solution's vertices — `bc(H)`.
+    pub avg_betweenness: f64,
+    /// Wiener index `W(H)` (exact below `exact_threshold` vertices, sampled
+    /// above).
+    pub wiener: f64,
+    /// Wall-clock seconds for the solve itself (metrics excluded).
+    pub seconds: f64,
+}
+
+/// Runs `method` on `(g, q)` and measures the solution.
+///
+/// `bc` is the betweenness vector of `g` (computed once per graph by the
+/// caller — it is the expensive part). Solutions larger than
+/// `exact_threshold` get a sampled Wiener index with `wiener_samples`
+/// sources.
+pub fn evaluate_method<R: Rng>(
+    method: Method,
+    g: &Graph,
+    q: &[NodeId],
+    bc: &[f64],
+    exact_threshold: usize,
+    wiener_samples: usize,
+    rng: &mut R,
+) -> mwc_core::Result<SolutionMetrics> {
+    let (result, seconds) = timed(|| method.run(g, q));
+    let connector = result?;
+    let sub = connector.induced(g)?;
+    let density = metrics::density(sub.graph());
+    let wiener = if connector.len() <= exact_threshold {
+        connector.wiener_index(g)? as f64
+    } else {
+        connector.wiener_index_sampled(g, wiener_samples, rng)?
+    };
+    Ok(SolutionMetrics {
+        method,
+        size: connector.len(),
+        density,
+        avg_betweenness: connector.average_score(bc),
+        wiener,
+        seconds,
+    })
+}
+
+/// Averages a slice of metrics (all from the same method).
+pub fn average_metrics(runs: &[SolutionMetrics]) -> SolutionMetrics {
+    assert!(!runs.is_empty());
+    let n = runs.len() as f64;
+    SolutionMetrics {
+        method: runs[0].method,
+        size: (runs.iter().map(|r| r.size).sum::<usize>() as f64 / n).round() as usize,
+        density: runs.iter().map(|r| r.density).sum::<f64>() / n,
+        avg_betweenness: runs.iter().map(|r| r.avg_betweenness).sum::<f64>() / n,
+        wiener: runs.iter().map(|r| r.wiener).sum::<f64>() / n,
+        seconds: runs.iter().map(|r| r.seconds).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::centrality::betweenness;
+    use mwc_graph::generators::karate::karate_club;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluates_all_methods_on_karate() {
+        let g = karate_club();
+        let bc = betweenness(&g, true);
+        let q: Vec<NodeId> = vec![11, 24, 25, 29];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for m in Method::ALL {
+            let sm = evaluate_method(m, &g, &q, &bc, 4096, 32, &mut rng).unwrap();
+            assert!(sm.size >= q.len(), "{}", m.name());
+            assert!(sm.density > 0.0 && sm.density <= 1.0);
+            assert!(sm.wiener > 0.0);
+            assert!(sm.avg_betweenness >= 0.0);
+        }
+    }
+
+    #[test]
+    fn averaging() {
+        let g = karate_club();
+        let bc = betweenness(&g, true);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = evaluate_method(Method::St, &g, &[0, 33], &bc, 4096, 32, &mut rng).unwrap();
+        let b = evaluate_method(Method::St, &g, &[11, 24], &bc, 4096, 32, &mut rng).unwrap();
+        let avg = average_metrics(&[a.clone(), b.clone()]);
+        assert_eq!(avg.method, Method::St);
+        assert!((avg.wiener - (a.wiener + b.wiener) / 2.0).abs() < 1e-9);
+    }
+}

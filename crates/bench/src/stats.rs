@@ -1,0 +1,106 @@
+//! Small statistics helpers for the harness.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock timer.
+#[derive(Debug)]
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Starts a timer.
+    pub fn start() -> Self {
+        Timer(Instant::now())
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Times a closure, returning its output and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Timer::start();
+    let out = f();
+    (out, t.seconds())
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Empirical CDF evaluated at `x`: the fraction of samples `<= x`.
+pub fn cdf_at(samples: &[f64], x: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&s| s <= x).count() as f64 / samples.len() as f64
+}
+
+/// Quantile by linear interpolation over sorted data (`q ∈ [0, 1]`).
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(cdf_at(&s, 0.5), 0.0);
+        assert_eq!(cdf_at(&s, 2.0), 0.5);
+        assert_eq!(cdf_at(&s, 9.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = [0.0, 10.0];
+        assert_eq!(quantile(&s, 0.0), 0.0);
+        assert_eq!(quantile(&s, 0.5), 5.0);
+        assert_eq!(quantile(&s, 1.0), 10.0);
+    }
+
+    #[test]
+    fn timer_measures_something() {
+        let (out, secs) = timed(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(out > 0);
+        assert!(secs >= 0.0);
+    }
+}

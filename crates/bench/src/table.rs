@@ -1,0 +1,120 @@
+//! Plain-text aligned tables for harness output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table printed to stdout.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:>width$}  ");
+            }
+            let _ = writeln!(out);
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with sensible precision for table cells.
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Formats large counts the way the paper does (`≈ 1.5G`, `≈ 2M`, plain
+/// numbers below 100k).
+pub fn fmt_big(x: f64) -> String {
+    if x >= 1e9 {
+        format!("~{:.1}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("~{:.1}M", x / 1e6)
+    } else if x >= 1e5 {
+        format!("~{:.0}k", x / 1e3)
+    } else {
+        format!("{}", x.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.add_row(vec!["x".into(), "1".into()]);
+        t.add_row(vec!["longer".into(), "23".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // All data lines have equal length (alignment).
+        assert!(lines[2].trim_end().len() <= lines[3].trim_end().len() + 6);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.add_row(vec!["1".into()]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn big_number_formatting() {
+        assert_eq!(fmt_big(1_500_000_000.0), "~1.5G");
+        assert_eq!(fmt_big(2_000_000.0), "~2.0M");
+        assert_eq!(fmt_big(137_000.0), "~137k");
+        assert_eq!(fmt_big(968.0), "968");
+    }
+}

@@ -1,0 +1,470 @@
+//! Solving the §5 integer programs with the from-scratch [`mwc_lp`]
+//! solver — the reproduction of the paper's Gurobi runs behind Table 2.
+//!
+//! The paper computes a lower bound `GL` on the optimal Wiener index by
+//! solving Program 7 (the tree-based relaxation whose objective measures
+//! distances in the *input* graph) with lazily-added cycle-elimination
+//! constraints, and an upper bound `GU` by warm-starting the solver with
+//! the `ws-q` solution. This module supplies the same machinery:
+//!
+//! * [`to_lp`] — converts a [`IntegerProgram`] (§5 formulation) into an
+//!   [`LpProblem`], relaxing binaries to `[0, 1]`;
+//! * [`program7_bounds`] — the cutting-plane loop: solve the LP
+//!   relaxation, separate violated cycle constraints (a minimum-weight
+//!   cycle search on `1 − x` edge weights), re-solve, then optionally run
+//!   branch-and-bound for the integral Program 7 optimum. Every
+//!   intermediate value is a certified lower bound on the optimal Wiener
+//!   index, so truncation by node/time limits still yields a valid `GL` —
+//!   matching the paper's "ran out of memory → best lower bound so far"
+//!   protocol;
+//! * [`program6_exact`] — branch-and-bound on Program 6, whose optimum
+//!   *equals* the minimum Wiener index (Theorem 5). Only viable on tiny
+//!   graphs, where it cross-validates the subset-enumeration solver in
+//!   [`crate::exact`].
+
+use mwc_graph::hash::FxHashSet;
+use mwc_graph::{Graph, NodeId};
+use mwc_lp::{
+    branch_and_bound, Cmp as LpCmp, LpProblem, LpSolution, LpStatus, MipConfig, MipResult,
+    MipStatus, SimplexConfig, Var,
+};
+
+use crate::error::{CoreError, Result};
+use crate::ilp::{flow_formulation, tree_formulation, Cmp, FlowLayout, IntegerProgram};
+use crate::wsq::normalize_query;
+
+/// Converts a §5 formulation into an LP model. Binary variables get
+/// bounds `[0, 1]` (their integrality is the returned list, to be enforced
+/// by [`branch_and_bound`]); continuous variables get `[0, ∞)`.
+pub fn to_lp(ip: &IntegerProgram) -> Result<(LpProblem, Vec<Var>)> {
+    let mut lp = LpProblem::minimize();
+    let mut binaries = Vec::new();
+    for (i, name) in ip.var_names.iter().enumerate() {
+        let hi = if ip.binary[i] { 1.0 } else { f64::INFINITY };
+        let v = lp.add_var(name.clone(), 0.0, hi, 0.0).map_err(CoreError::from)?;
+        if ip.binary[i] {
+            binaries.push(v);
+        }
+    }
+    let mut dense = vec![0.0f64; ip.num_vars()];
+    for &(i, c) in &ip.objective {
+        dense[i] += c;
+    }
+    for (i, &c) in dense.iter().enumerate() {
+        if c != 0.0 {
+            lp.set_objective(Var::from_index(i), c)?;
+        }
+    }
+    for con in &ip.constraints {
+        let terms: Vec<(Var, f64)> = con
+            .terms
+            .iter()
+            .map(|&(i, c)| (Var::from_index(i), c))
+            .collect();
+        let op = match con.op {
+            Cmp::Le => LpCmp::Le,
+            Cmp::Ge => LpCmp::Ge,
+            Cmp::Eq => LpCmp::Eq,
+        };
+        lp.add_constraint(terms, op, con.rhs)?;
+    }
+    Ok((lp, binaries))
+}
+
+/// Solves the LP relaxation of a §5 formulation.
+pub fn lp_relaxation(ip: &IntegerProgram, config: &SimplexConfig) -> Result<LpSolution> {
+    let (lp, _) = to_lp(ip)?;
+    Ok(lp.solve(config)?)
+}
+
+/// Configuration of the Program 7 cutting-plane / branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct Program7Config {
+    /// Rounds of cycle separation on the LP relaxation.
+    pub max_cut_rounds: usize,
+    /// Cuts added per round.
+    pub cuts_per_round: usize,
+    /// Whether to run branch-and-bound after the cut loop (tighter `GL`,
+    /// more time).
+    pub run_mip: bool,
+    /// Branch-and-bound limits.
+    pub mip: MipConfig,
+    /// Per-LP simplex settings.
+    pub simplex: SimplexConfig,
+}
+
+impl Default for Program7Config {
+    fn default() -> Self {
+        Program7Config {
+            max_cut_rounds: 6,
+            cuts_per_round: 16,
+            run_mip: true,
+            mip: MipConfig { max_nodes: 400, ..MipConfig::default() },
+            simplex: SimplexConfig::default(),
+        }
+    }
+}
+
+/// Certified bounds produced by [`program7_bounds`].
+#[derive(Debug, Clone)]
+pub struct Program7Bounds {
+    /// Final LP-with-cuts relaxation value.
+    pub lp_bound: f64,
+    /// Certified lower bound on the optimal Wiener index: the best of the
+    /// LP and branch-and-bound bounds, rounded up (the Wiener index is
+    /// integral).
+    pub lower_bound: u64,
+    /// Branch-and-bound incumbent objective, if the MIP ran and found one.
+    /// This is the Program 7 optimum (or an upper bound on it), *not* an
+    /// upper bound on the Wiener index.
+    pub incumbent: Option<f64>,
+    /// Branch-and-bound status, if it ran.
+    pub mip_status: Option<MipStatus>,
+    /// Cut-loop rounds executed.
+    pub cut_rounds: usize,
+    /// Total cycle cuts added.
+    pub cuts_added: usize,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+/// Runs the Program 7 cutting-plane loop (and optionally branch-and-bound)
+/// for `(g, q)`, returning a certified lower bound on the minimum Wiener
+/// index — the paper's `GL`.
+///
+/// ```
+/// use mwc_core::ilp_solve::{program7_bounds, Program7Config};
+/// use mwc_graph::generators::structured;
+///
+/// // P5 with Q = endpoints: the only connector is the whole path, and
+/// // Program 7 is tight — GL equals the optimum W(P5) = 20.
+/// let g = structured::path(5);
+/// let bounds = program7_bounds(&g, &[0, 4], &Program7Config::default()).unwrap();
+/// assert_eq!(bounds.lower_bound, 20);
+/// ```
+pub fn program7_bounds(g: &Graph, q: &[NodeId], config: &Program7Config) -> Result<Program7Bounds> {
+    let q = normalize_query(g, q)?;
+    let layout = FlowLayout::for_graph(g);
+    let n = g.num_nodes();
+    let arc_base = n + n * (n - 1) / 2;
+
+    let mut cycles: Vec<Vec<NodeId>> = Vec::new();
+    let mut seen: FxHashSet<Vec<NodeId>> = FxHashSet::default();
+    let mut lp_bound = 0.0f64;
+    let mut rounds = 0usize;
+
+    let final_ip: IntegerProgram = loop {
+        let ip = tree_formulation(g, &q, &cycles)?;
+        let sol = lp_relaxation(&ip, &config.simplex)?;
+        if sol.status != LpStatus::Optimal {
+            // Program 7 is feasible for every connected instance (take all
+            // vertices and a BFS tree) and its objective is nonnegative.
+            return Err(CoreError::UnsupportedInstance {
+                what: format!("program 7 relaxation reported {:?}", sol.status),
+            });
+        }
+        lp_bound = sol.objective.max(lp_bound);
+        rounds += 1;
+        if rounds > config.max_cut_rounds {
+            break ip;
+        }
+        let fresh = separate_cycles(
+            g,
+            &sol.x,
+            &layout,
+            arc_base,
+            config.cuts_per_round,
+            &mut seen,
+        );
+        if fresh.is_empty() {
+            break ip;
+        }
+        cycles.extend(fresh);
+    };
+
+    let mut bounds = Program7Bounds {
+        lp_bound,
+        lower_bound: ceil_int(lp_bound),
+        incumbent: None,
+        mip_status: None,
+        cut_rounds: rounds,
+        cuts_added: cycles.len(),
+        nodes: 0,
+    };
+    if config.run_mip {
+        let (lp, bins) = to_lp(&final_ip)?;
+        let res = branch_and_bound(&lp, &bins, &config.mip)?;
+        bounds.nodes = res.nodes;
+        bounds.mip_status = Some(res.status);
+        bounds.incumbent = res.objective;
+        let mip_bound = match res.status {
+            // Optimal: the incumbent itself is the Program 7 optimum.
+            MipStatus::Optimal => res.objective.unwrap_or(res.lower_bound),
+            // Truncated: the frontier bound is still certified.
+            MipStatus::Feasible | MipStatus::Unknown => res.lower_bound,
+            // Infeasible/unbounded cannot happen for connected instances;
+            // fall back to the LP bound rather than guessing.
+            _ => f64::NEG_INFINITY,
+        };
+        if mip_bound.is_finite() {
+            bounds.lower_bound = bounds.lower_bound.max(ceil_int(mip_bound));
+            bounds.lp_bound = bounds.lp_bound.max(mip_bound.min(bounds.incumbent.unwrap_or(mip_bound)));
+        }
+    }
+    Ok(bounds)
+}
+
+/// Solves Program 6 exactly by branch-and-bound. By Theorem 5 the optimum
+/// equals the minimum Wiener index. Exponential variable counts make this
+/// viable only on tiny graphs (it exists to cross-validate `crate::exact`
+/// and the formulation itself).
+pub fn program6_exact(g: &Graph, q: &[NodeId], mip: &MipConfig) -> Result<MipResult> {
+    let (ip, _layout) = flow_formulation(g, q)?;
+    let (lp, bins) = to_lp(&ip)?;
+    Ok(branch_and_bound(&lp, &bins, mip)?)
+}
+
+/// Rounds a certified fractional bound up to the next integer (valid
+/// because the Wiener index is integral), with a small tolerance so
+/// `19.999999` becomes `20`, not `21` via floating noise.
+fn ceil_int(bound: f64) -> u64 {
+    if !bound.is_finite() || bound <= 0.0 {
+        return 0;
+    }
+    (bound - 1e-6).ceil().max(0.0) as u64
+}
+
+/// Finds up to `max_cuts` cycle constraints violated by the fractional
+/// arc values `x`: cycles `C` with `Σ_{(u,v) ∈ C} (x_uv + x_vu) > |C| − 1`,
+/// equivalently `Σ (1 − w_e) < 1` on edge weights `w_e = x_uv + x_vu`.
+/// For each edge with positive weight, the cheapest completion is a
+/// shortest `u → v` path on `1 − w` costs avoiding the edge itself.
+fn separate_cycles(
+    g: &Graph,
+    x: &[f64],
+    layout: &FlowLayout,
+    arc_base: usize,
+    max_cuts: usize,
+    seen: &mut FxHashSet<Vec<NodeId>>,
+) -> Vec<Vec<NodeId>> {
+    const TOL: f64 = 1e-6;
+    let weight = |a: NodeId, b: NodeId| -> f64 {
+        let f = layout.arc(a, b).map_or(0.0, |i| x[arc_base + i]);
+        let r = layout.arc(b, a).map_or(0.0, |i| x[arc_base + i]);
+        (f + r).min(1.0)
+    };
+    let mut cuts = Vec::new();
+    for (u, v) in g.edges() {
+        if cuts.len() >= max_cuts {
+            break;
+        }
+        let w_uv = weight(u, v);
+        // If any cycle edge has weight 0, the cycle sum is ≤ |C| − 1:
+        // only edges carrying fractional flow can participate in a cut.
+        if w_uv <= TOL {
+            continue;
+        }
+        let Some((cost, path)) = cheapest_path_avoiding(g, u, v, weight) else {
+            continue;
+        };
+        if cost + (1.0 - w_uv) < 1.0 - TOL && path.len() >= 3 {
+            let mut key = path.clone();
+            key.sort_unstable();
+            if seen.insert(key) {
+                cuts.push(path);
+            }
+        }
+    }
+    cuts
+}
+
+/// Dijkstra on `1 − w` edge costs from `u` to `v`, not using the edge
+/// `{u, v}` itself. Dense `O(n²)` scan — separation runs on the small
+/// graphs where Program 7 is tractable at all.
+fn cheapest_path_avoiding(
+    g: &Graph,
+    u: NodeId,
+    v: NodeId,
+    weight: impl Fn(NodeId, NodeId) -> f64,
+) -> Option<(f64, Vec<NodeId>)> {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![mwc_graph::NO_NODE; n];
+    let mut done = vec![false; n];
+    dist[u as usize] = 0.0;
+    for _ in 0..n {
+        let cur = (0..n)
+            .filter(|&i| !done[i] && dist[i].is_finite())
+            .min_by(|&a, &b| dist[a].total_cmp(&dist[b]))?;
+        if cur == v as usize {
+            break;
+        }
+        done[cur] = true;
+        for &nb in g.neighbors(cur as NodeId) {
+            if (cur as NodeId == u && nb == v) || (cur as NodeId == v && nb == u) {
+                continue; // the avoided edge
+            }
+            let cost = dist[cur] + (1.0 - weight(cur as NodeId, nb)).max(0.0);
+            if cost < dist[nb as usize] {
+                dist[nb as usize] = cost;
+                parent[nb as usize] = cur as NodeId;
+            }
+        }
+    }
+    if !dist[v as usize].is_finite() {
+        return None;
+    }
+    let mut path = vec![v];
+    let mut cur = v;
+    while cur != u {
+        cur = parent[cur as usize];
+        if cur == mwc_graph::NO_NODE {
+            return None;
+        }
+        path.push(cur);
+    }
+    path.reverse();
+    Some((dist[v as usize], path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_minimum, ExactConfig};
+    use mwc_graph::generators::structured;
+    use rand::SeedableRng;
+
+    fn quick_config() -> Program7Config {
+        Program7Config {
+            max_cut_rounds: 4,
+            cuts_per_round: 8,
+            run_mip: true,
+            mip: MipConfig { max_nodes: 200, ..MipConfig::default() },
+            simplex: SimplexConfig::default(),
+        }
+    }
+
+    #[test]
+    fn path_graph_bound_is_tight() {
+        // P5, Q = endpoints: the only connector is the whole path, and
+        // Program 7 distances coincide with induced ones → GL = W = 20.
+        let g = structured::path(5);
+        let b = program7_bounds(&g, &[0, 4], &quick_config()).unwrap();
+        assert_eq!(b.lower_bound, 20);
+        assert_eq!(b.mip_status, Some(MipStatus::Optimal));
+    }
+
+    #[test]
+    fn star_graph_bound_is_tight() {
+        // Star with 5 leaves (center 0), Q = two leaves: optimum is
+        // {leaf, center, leaf} with W = 1 + 1 + 2 = 4.
+        let g = structured::star(5);
+        let b = program7_bounds(&g, &[1, 2], &quick_config()).unwrap();
+        assert_eq!(b.lower_bound, 4);
+        let exact = exact_minimum(&g, &[1, 2], None, &ExactConfig::default()).unwrap();
+        assert_eq!(exact.wiener_index, 4);
+    }
+
+    #[test]
+    fn cycle_graph_bound_matches_exact() {
+        // C6, Q = antipodal: either half-path is optimal, W = 10.
+        let g = structured::cycle(6);
+        let exact = exact_minimum(&g, &[0, 3], None, &ExactConfig::default()).unwrap();
+        assert_eq!(exact.wiener_index, 10);
+        let b = program7_bounds(&g, &[0, 3], &quick_config()).unwrap();
+        assert!(b.lower_bound <= 10, "GL {} exceeds optimum", b.lower_bound);
+        assert_eq!(b.lower_bound, 10, "Program 7 is tight on C6");
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact_optimum_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut checked = 0;
+        while checked < 5 {
+            let g = mwc_graph::generators::gnm(9, 14, &mut rng);
+            let Ok((g, _)) = mwc_graph::connectivity::largest_component_graph(&g) else {
+                continue;
+            };
+            let n = g.num_nodes() as NodeId;
+            if n < 5 {
+                continue;
+            }
+            let q = vec![0, n / 2, n - 1];
+            let exact = exact_minimum(&g, &q, None, &ExactConfig::default()).unwrap();
+            let b = program7_bounds(&g, &q, &quick_config()).unwrap();
+            assert!(
+                b.lower_bound <= exact.wiener_index,
+                "GL {} > OPT {} on n={} m={}",
+                b.lower_bound,
+                exact.wiener_index,
+                g.num_nodes(),
+                g.num_edges()
+            );
+            checked += 1;
+        }
+    }
+
+    #[test]
+    fn cuts_never_loosen_the_lp_bound() {
+        let g = structured::figure2_graph(5);
+        let q: Vec<NodeId> = (0..5).collect();
+        let no_cuts = Program7Config {
+            max_cut_rounds: 0,
+            run_mip: false,
+            ..quick_config()
+        };
+        let with_cuts = Program7Config { run_mip: false, ..quick_config() };
+        let weak = program7_bounds(&g, &q, &no_cuts).unwrap();
+        let strong = program7_bounds(&g, &q, &with_cuts).unwrap();
+        assert!(strong.lp_bound >= weak.lp_bound - 1e-6);
+    }
+
+    #[test]
+    fn program6_mip_equals_exact_optimum_on_tiny_graphs() {
+        // Theorem 5 end-to-end: branch-and-bound on the flow formulation
+        // recovers the exact minimum Wiener index.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut checked = 0;
+        while checked < 3 {
+            let g = mwc_graph::generators::gnm(6, 8, &mut rng);
+            let Ok((g, _)) = mwc_graph::connectivity::largest_component_graph(&g) else {
+                continue;
+            };
+            let n = g.num_nodes() as NodeId;
+            if n < 4 {
+                continue;
+            }
+            let q = vec![0, n - 1];
+            let exact = exact_minimum(&g, &q, None, &ExactConfig::default()).unwrap();
+            let res = program6_exact(&g, &q, &MipConfig::default()).unwrap();
+            assert_eq!(res.status, MipStatus::Optimal);
+            let obj = res.objective.unwrap();
+            assert!(
+                (obj - exact.wiener_index as f64).abs() < 1e-6,
+                "Program 6 MIP {} != exact {} (n={}, m={})",
+                obj,
+                exact.wiener_index,
+                g.num_nodes(),
+                g.num_edges()
+            );
+            checked += 1;
+        }
+    }
+
+    #[test]
+    fn singleton_query_bound_is_zero() {
+        let g = structured::path(4);
+        let b = program7_bounds(&g, &[2], &quick_config()).unwrap();
+        assert_eq!(b.lower_bound, 0);
+    }
+
+    #[test]
+    fn ceil_int_handles_float_noise() {
+        assert_eq!(ceil_int(19.9999995), 20);
+        assert_eq!(ceil_int(20.0000004), 20);
+        assert_eq!(ceil_int(20.3), 21);
+        assert_eq!(ceil_int(0.0), 0);
+        assert_eq!(ceil_int(-3.0), 0);
+        assert_eq!(ceil_int(f64::NEG_INFINITY), 0);
+    }
+}

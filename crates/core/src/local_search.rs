@@ -1,0 +1,247 @@
+//! Local-search refinement of connectors.
+//!
+//! Used by the Table 2 reproduction as the upper-bound (`GU`) generator:
+//! the paper warm-starts Gurobi with the `ws-q` solution so the solver's
+//! upper bound can only improve on it; here a vertex add/remove local
+//! search plays that role. Also exposed as an optional polish step on any
+//! connector.
+
+use mwc_graph::{wiener, Graph, NodeId};
+
+use crate::connector::Connector;
+use crate::error::{CoreError, Result};
+use crate::wsq::normalize_query;
+
+/// Limits for [`refine`].
+#[derive(Debug, Clone)]
+pub struct LocalSearchConfig {
+    /// Maximum improvement rounds (each round scans all moves once).
+    pub max_rounds: usize,
+    /// Skip *addition* moves once the connector reaches this size (keeps
+    /// the `O(|S|² · (|S| + |E[S]|))` per-round cost bounded).
+    pub max_size: usize,
+    /// Try swap moves (replace one non-query member by one frontier
+    /// vertex) when the connector has at most this many vertices — swaps
+    /// escape local optima that pure add/remove cannot, at `O(|S| ·
+    /// frontier)` Wiener evaluations per round.
+    pub swap_threshold: usize,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        LocalSearchConfig {
+            max_rounds: 64,
+            max_size: 512,
+            swap_threshold: 48,
+        }
+    }
+}
+
+/// Improves `initial` by repeated first-improvement vertex removals and
+/// additions, preserving `Q ⊆ S` and connectivity. Returns the refined
+/// connector and its Wiener index.
+///
+/// Deterministic: moves are scanned in ascending vertex order.
+pub fn refine(
+    g: &Graph,
+    q: &[NodeId],
+    initial: &Connector,
+    cfg: &LocalSearchConfig,
+) -> Result<(Connector, u64)> {
+    let q = normalize_query(g, q)?;
+    if !initial.contains_all(&q) {
+        return Err(CoreError::UnsupportedInstance {
+            what: "initial connector does not contain the query set".into(),
+        });
+    }
+    let mut current: Vec<NodeId> = initial.vertices().to_vec();
+    let mut best_w = initial.wiener_index(g)?;
+
+    for _round in 0..cfg.max_rounds {
+        let mut improved = false;
+
+        // Removal pass: try dropping each non-query vertex.
+        let snapshot = current.clone();
+        for &v in &snapshot {
+            if q.binary_search(&v).is_ok() || current.len() <= 2 {
+                continue;
+            }
+            let candidate: Vec<NodeId> = current.iter().copied().filter(|&x| x != v).collect();
+            if let Some(w) = subset_wiener(g, &candidate) {
+                if w < best_w {
+                    current = candidate;
+                    best_w = w;
+                    improved = true;
+                }
+            }
+        }
+
+        // Addition pass: try each frontier vertex (neighbor of the set).
+        if current.len() < cfg.max_size {
+            for v in frontier(g, &current) {
+                let mut candidate = current.clone();
+                candidate.push(v);
+                candidate.sort_unstable();
+                if let Some(w) = subset_wiener(g, &candidate) {
+                    if w < best_w {
+                        current = candidate;
+                        best_w = w;
+                        improved = true;
+                    }
+                }
+                if current.len() >= cfg.max_size {
+                    break;
+                }
+            }
+        }
+
+        // Swap pass: exchange one removable member for one frontier vertex.
+        // Only on small connectors — the move set is quadratic.
+        if !improved && current.len() <= cfg.swap_threshold {
+            let frontier_now = frontier(g, &current);
+            'swaps: for &out in &current.clone() {
+                if q.binary_search(&out).is_ok() {
+                    continue;
+                }
+                for &inn in &frontier_now {
+                    if inn == out {
+                        continue;
+                    }
+                    let mut candidate: Vec<NodeId> =
+                        current.iter().copied().filter(|&x| x != out).collect();
+                    candidate.push(inn);
+                    candidate.sort_unstable();
+                    if let Some(w) = subset_wiener(g, &candidate) {
+                        if w < best_w {
+                            current = candidate;
+                            best_w = w;
+                            improved = true;
+                            break 'swaps;
+                        }
+                    }
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    Ok((Connector::new_unchecked(g, current), best_w))
+}
+
+/// Sorted frontier: vertices adjacent to the set but outside it.
+fn frontier(g: &Graph, set: &[NodeId]) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::new();
+    for &u in set {
+        for &v in g.neighbors(u) {
+            if set.binary_search(&v).is_err() {
+                out.push(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Wiener index of `G[S]`, `None` if disconnected. Thin wrapper keeping
+/// the hot path free of `Result` plumbing.
+fn subset_wiener(g: &Graph, set: &[NodeId]) -> Option<u64> {
+    let sub = g.induced(set).ok()?;
+    wiener::wiener_index(sub.graph())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{karate::karate_club, structured};
+
+    #[test]
+    fn refinement_never_worsens() {
+        let g = karate_club();
+        let q: Vec<NodeId> = vec![11, 24, 25, 29];
+        let sol = crate::wsq::minimum_wiener_connector(&g, &q).unwrap();
+        let (refined, w) = refine(&g, &q, &sol.connector, &LocalSearchConfig::default()).unwrap();
+        assert!(w <= sol.wiener_index);
+        assert!(refined.contains_all(&q));
+        assert_eq!(w, refined.wiener_index(&g).unwrap());
+    }
+
+    #[test]
+    fn removes_useless_vertices() {
+        // Start from the whole path but query only the middle: local search
+        // should peel the dangling ends.
+        let g = structured::path(9);
+        let q: Vec<NodeId> = vec![3, 5];
+        let all = Connector::new(&g, &(0..9).collect::<Vec<_>>()).unwrap();
+        let (refined, w) = refine(&g, &q, &all, &LocalSearchConfig::default()).unwrap();
+        assert_eq!(refined.vertices(), &[3, 4, 5]);
+        assert_eq!(w, 4); // path of 3: 1 + 1 + 2
+    }
+
+    #[test]
+    fn adds_profitable_hub() {
+        // Figure 2: start from the bare line (W = 165); adding the roots
+        // reaches the optimum 142.
+        let g = structured::figure2_graph(10);
+        let q: Vec<NodeId> = (0..10).collect();
+        let line = Connector::new(&g, &q).unwrap();
+        let (refined, w) = refine(&g, &q, &line, &LocalSearchConfig::default()).unwrap();
+        assert!(w < 165, "local search failed to improve: {w}");
+        assert!(refined.len() > 10);
+        assert_eq!(w, 142, "both roots should be added");
+    }
+
+    #[test]
+    fn respects_query_containment() {
+        let g = structured::path(5);
+        let q: Vec<NodeId> = vec![0, 4];
+        let all = Connector::new(&g, &(0..5).collect::<Vec<_>>()).unwrap();
+        let (refined, _) = refine(&g, &q, &all, &LocalSearchConfig::default()).unwrap();
+        assert!(refined.contains_all(&q));
+        assert_eq!(refined.len(), 5); // nothing removable on a path
+    }
+
+    #[test]
+    fn rejects_initial_missing_query() {
+        let g = structured::path(5);
+        let c = Connector::new(&g, &[0, 1]).unwrap();
+        assert!(refine(&g, &[0, 4], &c, &LocalSearchConfig::default()).is_err());
+    }
+
+    #[test]
+    fn swap_escapes_add_remove_local_optimum() {
+        // Two parallel 2-hop routes between query endpoints: 0-1-3 and
+        // 0-2-3 where vertex 2 additionally shortcuts to both queries'
+        // far sides... construct: diamond + pendant making route via 1
+        // initially chosen but route via 2 strictly better after a swap
+        // (2 also adjacent to an extra query vertex 4).
+        // Edges: 0-1, 1-3, 0-2, 2-3, 2-4, 3-4.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 3), (0, 2), (2, 3), (2, 4), (3, 4)]).unwrap();
+        let q: Vec<NodeId> = vec![0, 3, 4];
+        // Start from the suboptimal route through 1: {0, 1, 3, 4}, W = 10.
+        // Vertex 1 cannot be removed (0 would disconnect) and adding 2
+        // raises W to 14 — only the swap 1 → 2 reaches the optimum
+        // {0, 2, 3, 4} with W = 8.
+        let start = Connector::new(&g, &[0, 1, 3, 4]).unwrap();
+        assert_eq!(start.wiener_index(&g).unwrap(), 10);
+        let (refined, w) = refine(&g, &q, &start, &LocalSearchConfig::default()).unwrap();
+        assert_eq!(w, 8, "refined to {:?}", refined.vertices());
+        assert!(refined.contains(2) && !refined.contains(1));
+    }
+
+    #[test]
+    fn max_rounds_zero_is_identity() {
+        let g = structured::path(5);
+        let c = Connector::new(&g, &(0..5).collect::<Vec<_>>()).unwrap();
+        let cfg = LocalSearchConfig {
+            max_rounds: 0,
+            ..Default::default()
+        };
+        let (refined, w) = refine(&g, &[0, 4], &c, &cfg).unwrap();
+        assert_eq!(refined.vertices(), c.vertices());
+        assert_eq!(w, c.wiener_index(&g).unwrap());
+    }
+}

@@ -1,0 +1,332 @@
+//! Mehlhorn's 2-approximation for the Steiner tree problem in graphs
+//! (Inf. Proc. Letters 1988) — the algorithm the paper uses both as the
+//! `st` baseline and inside `ws-q` (§4 Corollary 3, §6.1).
+//!
+//! Steps:
+//! 1. multi-source Dijkstra from the terminals → Voronoi partition
+//!    (`s(v)` = nearest terminal, `d(s(v), v)` = distance to it);
+//! 2. terminal distance graph: for each graph edge `(u, v)` crossing two
+//!    Voronoi regions, a candidate terminal-terminal edge of weight
+//!    `d(s(u), u) + w(u, v) + d(v, s(v))`, keeping the cheapest per pair;
+//! 3. MST of the terminal distance graph (Kruskal);
+//! 4. expansion of each MST edge into the corresponding graph path;
+//! 5. MST of the expanded subgraph;
+//! 6. repeated deletion of non-terminal leaves.
+//!
+//! The result is a tree spanning the terminals with total weight at most
+//! `2 (1 - 1/|Q|)` times optimal. Edge weights are supplied as a closure so
+//! the reweighted graph `G_{r,λ}` of Lemma 4 never has to be materialized.
+
+use mwc_graph::hash::{FxHashMap, FxHashSet};
+use mwc_graph::traversal::dijkstra::multi_source_dijkstra;
+use mwc_graph::{Graph, NodeId, NO_NODE};
+
+use crate::error::{CoreError, Result};
+use crate::steiner::mst::{kruskal, WeightedEdge};
+
+/// A tree subgraph of the input graph, over global vertex ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    /// Sorted vertex set.
+    pub nodes: Vec<NodeId>,
+    /// Tree edges (global ids, `u < v`); `edges.len() == nodes.len() - 1`.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Total weight of the tree edges under the weight function it was
+    /// built with.
+    pub total_weight: f64,
+}
+
+impl SteinerTree {
+    /// A tree with a single vertex and no edges.
+    pub fn singleton(v: NodeId) -> Self {
+        SteinerTree {
+            nodes: vec![v],
+            edges: Vec::new(),
+            total_weight: 0.0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `v` is a tree vertex.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Adjacency lists of the tree, keyed by global id.
+    pub fn adjacency(&self) -> FxHashMap<NodeId, Vec<NodeId>> {
+        let mut adj: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+        adj.reserve(self.nodes.len());
+        for &v in &self.nodes {
+            adj.entry(v).or_default();
+        }
+        for &(u, v) in &self.edges {
+            adj.get_mut(&u).expect("edge endpoint in nodes").push(v);
+            adj.get_mut(&v).expect("edge endpoint in nodes").push(u);
+        }
+        adj
+    }
+
+    /// Checks the structural invariants (tree = connected + acyclic via
+    /// edge count, endpoints within node set). Used by tests and debug
+    /// assertions.
+    pub fn validate(&self) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        if self.edges.len() + 1 != self.nodes.len() {
+            return false;
+        }
+        let index: FxHashMap<NodeId, u32> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut uf = crate::steiner::UnionFind::new(self.nodes.len());
+        for &(u, v) in &self.edges {
+            let (Some(&ul), Some(&vl)) = (index.get(&u), index.get(&v)) else {
+                return false;
+            };
+            if !uf.union(ul, vl) {
+                return false; // cycle
+            }
+        }
+        uf.num_sets() == 1
+    }
+}
+
+/// Computes an approximately minimum Steiner tree for `terminals` in `g`
+/// under the symmetric, non-negative edge weight `weight(u, v)`.
+///
+/// Duplicate terminals are merged. Errors with
+/// [`CoreError::QueryNotConnectable`] if the terminals do not share a
+/// connected component, [`CoreError::EmptyQuery`] on an empty terminal set.
+///
+/// `O((|V| + |E|) log |V|)` once the weight closure is `O(1)`.
+pub fn mehlhorn_steiner<W>(g: &Graph, terminals: &[NodeId], weight: W) -> Result<SteinerTree>
+where
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    let mut terms: Vec<NodeId> = terminals.to_vec();
+    terms.sort_unstable();
+    terms.dedup();
+    if terms.is_empty() {
+        return Err(CoreError::EmptyQuery);
+    }
+    for &t in &terms {
+        g.check_node(t).map_err(CoreError::from)?;
+    }
+    if terms.len() == 1 {
+        return Ok(SteinerTree::singleton(terms[0]));
+    }
+
+    // Step 1: Voronoi partition around the terminals.
+    let voronoi = multi_source_dijkstra(g, &terms, &weight);
+
+    // Step 2: cheapest crossing edge per terminal pair. The map also
+    // remembers the graph edge realizing the candidate, needed for path
+    // expansion in step 4.
+    let mut crossing: FxHashMap<(u32, u32), (f64, NodeId, NodeId)> = FxHashMap::default();
+    for u in g.nodes() {
+        let su = voronoi.source_index[u as usize];
+        if su == u32::MAX {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            let sv = voronoi.source_index[v as usize];
+            if sv == u32::MAX || sv == su {
+                continue;
+            }
+            let w = voronoi.dist[u as usize] + weight(u, v) + voronoi.dist[v as usize];
+            let key = (su.min(sv), su.max(sv));
+            use std::collections::hash_map::Entry;
+            match crossing.entry(key) {
+                Entry::Occupied(mut e) => {
+                    if w < e.get().0 {
+                        e.insert((w, u, v));
+                    }
+                }
+                Entry::Vacant(e) => {
+                    e.insert((w, u, v));
+                }
+            }
+        }
+    }
+
+    // Step 3: MST over the terminal distance graph.
+    let mut term_edges: Vec<WeightedEdge> = crossing
+        .iter()
+        .map(|(&(a, b), &(w, _, _))| (w, a, b))
+        .collect();
+    let (term_mst, _) = kruskal(terms.len(), &mut term_edges);
+    if term_mst.len() + 1 != terms.len() {
+        return Err(CoreError::QueryNotConnectable);
+    }
+
+    // Step 4: expand each terminal-MST edge into its graph path
+    // s(u) ⇝ u — v ⇝ s(v), following the Voronoi parent pointers.
+    let mut sub_nodes: FxHashSet<NodeId> = FxHashSet::default();
+    let mut sub_edges: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+    let mut add_edge = |a: NodeId, b: NodeId, nodes: &mut FxHashSet<NodeId>| {
+        nodes.insert(a);
+        nodes.insert(b);
+        sub_edges.insert((a.min(b), a.max(b)));
+    };
+    for &t in &terms {
+        sub_nodes.insert(t);
+    }
+    for &(w, a, b) in &term_mst {
+        // Identify the graph edge realizing this terminal pair.
+        let &(_, u, v) = crossing
+            .get(&(a.min(b), a.max(b)))
+            .expect("terminal MST edge has a crossing entry");
+        let _ = w;
+        add_edge(u, v, &mut sub_nodes);
+        for mut cur in [u, v] {
+            while voronoi.parent[cur as usize] != NO_NODE {
+                let p = voronoi.parent[cur as usize];
+                add_edge(cur, p, &mut sub_nodes);
+                cur = p;
+            }
+        }
+    }
+
+    // Steps 5–6: MST of the expanded subgraph, then leaf pruning (shared
+    // with Kou–Markowsky–Berman, which ends identically).
+    Ok(crate::steiner::expand::mst_then_prune(
+        &terms, sub_nodes, &sub_edges, &weight,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{karate::karate_club, structured};
+    use rand::SeedableRng;
+
+    const UNIT: fn(NodeId, NodeId) -> f64 = |_, _| 1.0;
+
+    #[test]
+    fn two_terminals_give_shortest_path() {
+        let g = structured::grid(5, 5, false);
+        // Corners of the grid: distance 8.
+        let t = mehlhorn_steiner(&g, &[0, 24], UNIT).unwrap();
+        assert!(t.validate());
+        assert_eq!(t.total_weight, 8.0);
+        assert_eq!(t.num_nodes(), 9);
+        assert!(t.contains(0) && t.contains(24));
+    }
+
+    #[test]
+    fn single_and_duplicate_terminals() {
+        let g = structured::path(5);
+        let t = mehlhorn_steiner(&g, &[3], UNIT).unwrap();
+        assert_eq!(t, SteinerTree::singleton(3));
+        let t = mehlhorn_steiner(&g, &[2, 2, 2], UNIT).unwrap();
+        assert_eq!(t, SteinerTree::singleton(2));
+    }
+
+    #[test]
+    fn empty_terminals_error() {
+        let g = structured::path(3);
+        assert!(matches!(
+            mehlhorn_steiner(&g, &[], UNIT),
+            Err(CoreError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn disconnected_terminals_error() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            mehlhorn_steiner(&g, &[0, 3], UNIT),
+            Err(CoreError::QueryNotConnectable)
+        ));
+    }
+
+    #[test]
+    fn star_terminals_use_the_hub() {
+        let g = structured::star(8);
+        let t = mehlhorn_steiner(&g, &[1, 3, 5, 7], UNIT).unwrap();
+        assert!(t.contains(0), "hub must be selected as Steiner point");
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.total_weight, 4.0);
+    }
+
+    #[test]
+    fn no_superfluous_nonterminal_leaves() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for seed in 0..10u64 {
+            use rand::Rng;
+            let _ = seed;
+            let g = mwc_graph::generators::barabasi_albert(80, 2, &mut rng);
+            let terms: Vec<NodeId> = (0..5).map(|_| rng.gen_range(0..80)).collect();
+            let t = mehlhorn_steiner(&g, &terms, UNIT).unwrap();
+            assert!(t.validate());
+            let adj = t.adjacency();
+            for (&v, nbrs) in &adj {
+                if nbrs.len() <= 1 && t.num_nodes() > 1 {
+                    assert!(terms.contains(&v), "non-terminal leaf {v} survived pruning");
+                }
+            }
+            for &q in &terms {
+                assert!(t.contains(q));
+            }
+        }
+    }
+
+    #[test]
+    fn within_factor_two_of_optimum_on_karate() {
+        // For |Q| = 2 the optimum is the shortest path; check the 2x bound
+        // (Mehlhorn in fact returns an exact shortest path here).
+        let g = karate_club();
+        let d = mwc_graph::traversal::bfs::bfs_distances(&g, 0);
+        for t in [15u32, 23, 33] {
+            let tree = mehlhorn_steiner(&g, &[0, t], UNIT).unwrap();
+            assert_eq!(tree.total_weight, d[t as usize] as f64, "terminal {t}");
+        }
+    }
+
+    #[test]
+    fn respects_weight_function() {
+        // Path 0-1-2 plus heavy shortcut edge (0,2): unit weights take the
+        // shortcut, skewed weights avoid it.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let t = mehlhorn_steiner(&g, &[0, 2], UNIT).unwrap();
+        assert_eq!(t.num_nodes(), 2);
+        let heavy = |u: NodeId, v: NodeId| {
+            if (u, v) == (0, 2) || (v, u) == (0, 2) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let t = mehlhorn_steiner(&g, &[0, 2], heavy).unwrap();
+        assert_eq!(t.num_nodes(), 3, "should detour through vertex 1");
+        assert_eq!(t.total_weight, 2.0);
+    }
+
+    #[test]
+    fn spans_many_terminals_on_random_graphs() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let g = mwc_graph::generators::gnm(120, 360, &mut rng);
+            let (lc, _) = mwc_graph::connectivity::largest_component_graph(&g).unwrap();
+            let n = lc.num_nodes();
+            let terms: Vec<NodeId> = (0..8).map(|_| rng.gen_range(0..n as NodeId)).collect();
+            let t = mehlhorn_steiner(&lc, &terms, UNIT).unwrap();
+            assert!(t.validate());
+            for &q in &terms {
+                assert!(t.contains(q));
+            }
+        }
+    }
+}

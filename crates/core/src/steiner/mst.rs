@@ -1,0 +1,87 @@
+//! Kruskal's minimum spanning tree / forest over explicit edge lists.
+
+use super::unionfind::UnionFind;
+
+/// A weighted edge `(weight, u, v)` over dense vertex ids.
+pub type WeightedEdge = (f64, u32, u32);
+
+/// Kruskal's algorithm over `num_nodes` vertices.
+///
+/// Returns the selected edges (a minimum spanning forest if the input is
+/// disconnected) and the total weight. Sorts `edges` in place;
+/// `O(m log m)`.
+pub fn kruskal(num_nodes: usize, edges: &mut [WeightedEdge]) -> (Vec<WeightedEdge>, f64) {
+    edges.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut uf = UnionFind::new(num_nodes);
+    let mut picked = Vec::with_capacity(num_nodes.saturating_sub(1));
+    let mut total = 0.0f64;
+    for &(w, u, v) in edges.iter() {
+        if uf.union(u, v) {
+            picked.push((w, u, v));
+            total += w;
+            if picked.len() + 1 == num_nodes {
+                break;
+            }
+        }
+    }
+    (picked, total)
+}
+
+/// Whether the edge set connects all `num_nodes` vertices.
+pub fn spans_all(num_nodes: usize, edges: &[WeightedEdge]) -> bool {
+    let mut uf = UnionFind::new(num_nodes);
+    for &(_, u, v) in edges {
+        uf.union(u, v);
+    }
+    uf.num_sets() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_cheapest_spanning_edges() {
+        // Square with a cheap diagonal.
+        let mut edges = vec![
+            (1.0, 0, 1),
+            (4.0, 1, 2),
+            (3.0, 2, 3),
+            (2.0, 3, 0),
+            (1.5, 0, 2),
+        ];
+        let (mst, total) = kruskal(4, &mut edges);
+        assert_eq!(mst.len(), 3);
+        assert_eq!(total, 1.0 + 1.5 + 2.0);
+    }
+
+    #[test]
+    fn forest_on_disconnected_input() {
+        let mut edges = vec![(1.0, 0, 1), (2.0, 2, 3)];
+        let (mst, total) = kruskal(4, &mut edges);
+        assert_eq!(mst.len(), 2);
+        assert_eq!(total, 3.0);
+        // A two-component forest does not span a single set.
+        assert!(!spans_all(4, &mst));
+        let mut tree = vec![(1.0, 0, 1), (1.0, 1, 2), (1.0, 2, 3)];
+        let (spanning, _) = kruskal(4, &mut tree);
+        assert!(spans_all(4, &spanning));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let mut e1 = vec![(1.0, 0, 1), (1.0, 1, 2), (1.0, 0, 2)];
+        let mut e2 = e1.clone();
+        e2.reverse();
+        let (m1, _) = kruskal(3, &mut e1);
+        let (m2, _) = kruskal(3, &mut e2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn single_node() {
+        let (mst, total) = kruskal(1, &mut []);
+        assert!(mst.is_empty());
+        assert_eq!(total, 0.0);
+    }
+}

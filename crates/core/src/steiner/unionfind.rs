@@ -1,0 +1,115 @@
+//! Disjoint-set union (union-find) with union by rank and path halving.
+//!
+//! Used by Kruskal's MST inside Mehlhorn's Steiner approximation, and by
+//! the greedy baselines' incremental "is Q connected yet?" checks.
+
+/// Disjoint-set forest over `0..len`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Number of disjoint sets remaining.
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+            num_sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already merged.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.num_sets(), 2);
+    }
+
+    #[test]
+    fn chain_unions_collapse() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n as u32 {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        let root = uf.find(0);
+        for i in 0..n as u32 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(UnionFind::new(3).len(), 3);
+    }
+}

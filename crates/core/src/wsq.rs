@@ -1,0 +1,585 @@
+//! `ws-q` — the paper's constant-factor approximation algorithm
+//! (Algorithm 1, `WienerSteiner`).
+//!
+//! For each candidate root `r` (a query vertex, justified by Lemma 5) and
+//! each λ in a geometric grid covering `[1/√2, √|V|]` (Lemma 3):
+//!
+//! 1. reweight the graph to `G_{r,λ}` with
+//!    `w(u, v) = λ + max(d_G(r, u), d_G(r, v)) / λ` (Lemma 4);
+//! 2. run Mehlhorn's Steiner 2-approximation on terminals `Q` — this
+//!    4-approximates the linearized objective `B(·, r, λ)` (Corollary 3);
+//! 3. post-process with `AdjustDistances` (Lemma 2) so distances *inside*
+//!    the solution stay within `1 + √2` of distances in `G`;
+//! 4. keep the candidate minimizing `A(H, r)` (or the exact Wiener index
+//!    when all candidates are small — Remark 1).
+//!
+//! Theorem 4: the result is an `O(1)`-approximate minimum Wiener connector,
+//! in time `O(|Q| (|E| log|V| + |V| log²|V|))`. The paper's §6.6 notes the
+//! root loop parallelizes embarrassingly; [`WsqConfig::parallel`] does
+//! exactly that with scoped threads.
+
+use mwc_graph::traversal::bfs::BfsWorkspace;
+use mwc_graph::{wiener, Graph, NodeId, INF_DIST};
+
+use crate::adjust::adjust_distances;
+use crate::connector::Connector;
+use crate::error::{CoreError, Result};
+use crate::steiner::{klein_ravi, steiner_tree, SteinerAlgorithm};
+
+/// Which vertices Algorithm 1 tries as the root `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootPolicy {
+    /// Only query vertices (the paper's choice — Lemma 5 shows this loses
+    /// at most a factor 3).
+    QueryOnly,
+    /// Every vertex of the graph (the exhaustive variant of §4 Step 5;
+    /// `O(|V|)` times slower — only sensible on small graphs, used by the
+    /// Lemma 5 ablation bench).
+    AllVertices,
+}
+
+/// Tuning knobs for [`WienerSteiner`]. The defaults reproduce the paper's
+/// parameter-free setting.
+#[derive(Debug, Clone)]
+pub struct WsqConfig {
+    /// λ-grid resolution: consecutive candidates differ by `1 + beta`
+    /// (Algorithm 1 line 3 suggests `β = 1`). Smaller β → finer grid →
+    /// better constants, more Steiner calls.
+    pub beta: f64,
+    /// Parallelize the root loop across scoped threads.
+    pub parallel: bool,
+    /// Candidates up to this many vertices are compared by exact Wiener
+    /// index; if any candidate exceeds it, all candidates are compared by
+    /// `A(H, r)` instead (Remark 1's worst-case fallback).
+    pub wiener_exact_threshold: usize,
+    /// Root sweep policy.
+    pub roots: RootPolicy,
+    /// Apply the `AdjustDistances` post-processing (disable only for the
+    /// ablation study; required for the approximation guarantee).
+    pub adjust: bool,
+    /// Record every candidate inspected (for the ablation/diagnostic
+    /// benches).
+    pub keep_trace: bool,
+    /// Which Steiner subroutine solves the per-`(root, λ)` instances. All
+    /// choices carry the same approximation factor; the paper (and the
+    /// default) uses Mehlhorn's algorithm (§6.1).
+    pub steiner: SteinerAlgorithm,
+    /// Bypass Lemma 4's node-to-edge cost shift and solve Problem 4
+    /// directly with the Klein–Ravi node-weighted greedy (`O(log |Q|)`
+    /// factor). Exists for the ablation study: it measures what the
+    /// paper's constant-factor trick is worth (DESIGN.md §7). When set,
+    /// `steiner` is ignored.
+    pub node_weighted_steiner: bool,
+}
+
+impl Default for WsqConfig {
+    fn default() -> Self {
+        WsqConfig {
+            beta: 1.0,
+            parallel: true,
+            wiener_exact_threshold: 4096,
+            roots: RootPolicy::QueryOnly,
+            adjust: true,
+            keep_trace: false,
+            steiner: SteinerAlgorithm::default(),
+            node_weighted_steiner: false,
+        }
+    }
+}
+
+/// One `(root, λ)` candidate inspected by the solver.
+#[derive(Debug, Clone)]
+pub struct CandidateRecord {
+    /// Root vertex `r` of this candidate.
+    pub root: NodeId,
+    /// λ used for the reweighting.
+    pub lambda: f64,
+    /// Number of vertices of the candidate connector.
+    pub size: usize,
+    /// `A(H, r)` (Lemma 1 proxy objective).
+    pub a_value: u64,
+    /// Exact `W(G[H])`, if the candidate was small enough to evaluate.
+    pub wiener: Option<u64>,
+}
+
+/// Solution returned by [`WienerSteiner::solve`].
+#[derive(Debug, Clone)]
+pub struct WsqSolution {
+    /// The connector (vertex set inducing a connected subgraph ⊇ Q).
+    pub connector: Connector,
+    /// Exact Wiener index of the connector.
+    pub wiener_index: u64,
+    /// Root `r` of the winning candidate.
+    pub best_root: NodeId,
+    /// λ of the winning candidate.
+    pub best_lambda: f64,
+    /// Number of `(root, λ)` candidates inspected.
+    pub num_candidates: usize,
+    /// Full candidate trace (only when [`WsqConfig::keep_trace`]).
+    pub trace: Vec<CandidateRecord>,
+}
+
+/// The `ws-q` solver. Borrows the graph; one instance can serve many
+/// queries.
+#[derive(Debug, Clone)]
+pub struct WienerSteiner<'g> {
+    graph: &'g Graph,
+    config: WsqConfig,
+}
+
+impl<'g> WienerSteiner<'g> {
+    /// Solver with the paper's default (parameter-free) configuration.
+    pub fn new(graph: &'g Graph) -> Self {
+        WienerSteiner {
+            graph,
+            config: WsqConfig::default(),
+        }
+    }
+
+    /// Solver with an explicit configuration.
+    pub fn with_config(graph: &'g Graph, config: WsqConfig) -> Self {
+        assert!(config.beta > 0.0, "beta must be positive");
+        WienerSteiner { graph, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WsqConfig {
+        &self.config
+    }
+
+    /// Computes an approximately minimum Wiener connector for `q`.
+    ///
+    /// Errors on an empty query, out-of-range vertices, or query vertices
+    /// spanning multiple components.
+    pub fn solve(&self, q: &[NodeId]) -> Result<WsqSolution> {
+        let g = self.graph;
+        let q = normalize_query(g, q)?;
+        if q.len() == 1 {
+            return Ok(WsqSolution {
+                connector: Connector::new_unchecked(g, q.clone()),
+                wiener_index: 0,
+                best_root: q[0],
+                best_lambda: 1.0,
+                num_candidates: 1,
+                trace: Vec::new(),
+            });
+        }
+
+        // Feasibility: all query vertices in one component (checked from
+        // q[0]; BFS results are recomputed per root inside the workers,
+        // keeping per-thread memory at one distance array).
+        {
+            let mut ws = BfsWorkspace::new();
+            let dist = ws.run(g, q[0]);
+            if q.iter().any(|&v| dist[v as usize] == INF_DIST) {
+                return Err(CoreError::QueryNotConnectable);
+            }
+        }
+
+        let lambdas = lambda_grid(g.num_nodes(), self.config.beta);
+        let roots: Vec<NodeId> = match self.config.roots {
+            RootPolicy::QueryOnly => q.clone(),
+            RootPolicy::AllVertices => g.nodes().collect(),
+        };
+
+        let threads = if self.config.parallel {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(roots.len())
+        } else {
+            1
+        };
+
+        let mut candidates: Vec<CandidateRecord> = Vec::new();
+        let mut best: Option<(CandidateRecord, Vec<NodeId>)> = None;
+
+        let results: Vec<Result<Vec<EvaluatedCandidate>>> = if threads <= 1 {
+            vec![run_roots(g, &self.config, &q, &roots, &lambdas)]
+        } else {
+            let chunk = roots.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = roots
+                    .chunks(chunk)
+                    .map(|chunk_roots| {
+                        let (q, lambdas, cfg) = (&q, &lambdas, &self.config);
+                        scope.spawn(move || run_roots(g, cfg, q, chunk_roots, lambdas))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Merge in deterministic (root-chunk) order.
+        let mut all: Vec<EvaluatedCandidate> = Vec::new();
+        for r in results {
+            all.extend(r?);
+        }
+
+        // Remark 1, engineered: Lemma 1 gives A(H,r)/2 ≤ W(H) ≤ A(H,r), so
+        // a candidate with A > 2 · min_A cannot have a smaller Wiener index
+        // than the argmin-A candidate — only the others need the (much more
+        // expensive) exact evaluation. Candidates above the size threshold
+        // fall back to the A-proxy, as in the paper's worst-case analysis.
+        let min_a = all.iter().map(|(rec, _)| rec.a_value).min().unwrap_or(0);
+        for (rec, nodes) in &mut all {
+            if rec.a_value <= 2 * min_a && nodes.len() <= self.config.wiener_exact_threshold {
+                let sub = g.induced(nodes)?;
+                rec.wiener = wiener::wiener_index(sub.graph());
+            }
+        }
+        let total_candidates = all.len();
+        for (rec, nodes) in all {
+            let better = match &best {
+                None => true,
+                Some((cur, _)) => {
+                    // Exact values win over proxies; among proxies use A.
+                    match (rec.wiener, cur.wiener) {
+                        (Some(a), Some(b)) => a < b,
+                        (Some(a), None) => a < cur.a_value,
+                        (None, Some(b)) => rec.a_value / 2 < b && rec.a_value < cur.a_value,
+                        (None, None) => rec.a_value < cur.a_value,
+                    }
+                }
+            };
+            if better {
+                best = Some((rec.clone(), nodes));
+            }
+            if self.config.keep_trace {
+                candidates.push(rec);
+            }
+        }
+        let num_candidates = total_candidates;
+
+        let (best_rec, best_nodes) =
+            best.expect("at least one (root, λ) candidate is always produced");
+        let connector = Connector::new_unchecked(g, best_nodes);
+        let wiener_index = match best_rec.wiener {
+            Some(w) => w,
+            None => connector.wiener_index(g)?,
+        };
+        Ok(WsqSolution {
+            connector,
+            wiener_index,
+            best_root: best_rec.root,
+            best_lambda: best_rec.lambda,
+            num_candidates,
+            trace: candidates,
+        })
+    }
+}
+
+/// Convenience entry point with default configuration.
+pub fn minimum_wiener_connector(g: &Graph, q: &[NodeId]) -> Result<WsqSolution> {
+    WienerSteiner::new(g).solve(q)
+}
+
+/// Validates and canonicalizes a query set: sorted, deduplicated,
+/// non-empty, in range. Shared by every solver and baseline.
+pub fn normalize_query(g: &Graph, q: &[NodeId]) -> Result<Vec<NodeId>> {
+    if q.is_empty() {
+        return Err(CoreError::EmptyQuery);
+    }
+    let mut q: Vec<NodeId> = q.to_vec();
+    q.sort_unstable();
+    q.dedup();
+    for &v in &q {
+        g.check_node(v)?;
+    }
+    Ok(q)
+}
+
+/// The λ grid: powers of `(1 + β)` covering `[1/√2, √n]` — the range
+/// Lemma 3 guarantees contains the optimal λ, so some tried value is
+/// within a `(1 + β)` factor of it.
+pub(crate) fn lambda_grid(n: usize, beta: f64) -> Vec<f64> {
+    let base = 1.0 + beta;
+    let lo = std::f64::consts::FRAC_1_SQRT_2;
+    let hi = (n.max(2) as f64).sqrt();
+    let t_min = (lo.ln() / base.ln()).floor() as i32;
+    let t_max = (hi.ln() / base.ln()).ceil() as i32;
+    (t_min..=t_max).map(|t| base.powi(t)).collect()
+}
+
+/// A candidate's record plus its vertex set.
+type EvaluatedCandidate = (CandidateRecord, Vec<NodeId>);
+
+/// Worker: full λ sweep for a chunk of roots, returning evaluated
+/// candidates.
+fn run_roots(
+    g: &Graph,
+    cfg: &WsqConfig,
+    q: &[NodeId],
+    roots: &[NodeId],
+    lambdas: &[f64],
+) -> Result<Vec<EvaluatedCandidate>> {
+    let mut out = Vec::with_capacity(roots.len() * lambdas.len());
+    let mut ws = BfsWorkspace::new();
+    let mut terminals: Vec<NodeId> = Vec::with_capacity(q.len() + 1);
+    for &r in roots {
+        let (dist_r, parent_r) = ws.run_with_parents(g, r);
+        // Terminals: Q ∪ {r} (identical to Q under RootPolicy::QueryOnly).
+        terminals.clear();
+        terminals.extend_from_slice(q);
+        if !q.contains(&r) {
+            if dist_r[q[0] as usize] == INF_DIST {
+                continue; // root in a different component: useless
+            }
+            terminals.push(r);
+        }
+        for &lambda in lambdas {
+            let weight = |u: NodeId, v: NodeId| {
+                lambda + dist_r[u as usize].max(dist_r[v as usize]) as f64 / lambda
+            };
+            let tree = if cfg.node_weighted_steiner {
+                // Problem 4 solved directly: vertex cost λ + d_G(r, u)/λ.
+                let node_cost = |u: NodeId| {
+                    let d = dist_r[u as usize];
+                    let d = if d == INF_DIST { g.num_nodes() as u32 } else { d };
+                    lambda + d as f64 / lambda
+                };
+                klein_ravi(g, &terminals, node_cost)?
+            } else {
+                steiner_tree(cfg.steiner, g, &terminals, weight)?
+            };
+            let final_tree = if cfg.adjust {
+                adjust_distances(g, &tree, r, dist_r, parent_r)
+            } else {
+                tree
+            };
+            let nodes = final_tree.nodes;
+            let a_value = evaluate_a(g, &nodes, r)?;
+            out.push((
+                CandidateRecord {
+                    root: r,
+                    lambda,
+                    size: nodes.len(),
+                    a_value,
+                    wiener: None,
+                },
+                nodes,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `A(G[S], r)` — one BFS inside the induced subgraph.
+fn evaluate_a(g: &Graph, nodes: &[NodeId], r: NodeId) -> Result<u64> {
+    let sub = g.induced(nodes)?;
+    let r_local = sub.to_local(r).expect("root belongs to its candidate");
+    let mut ws = BfsWorkspace::new();
+    ws.run(sub.graph(), r_local);
+    let (sum, reached) = ws.last_run_distance_sum();
+    debug_assert_eq!(
+        reached,
+        sub.num_nodes(),
+        "candidate must induce a connected subgraph"
+    );
+    Ok(sum * sub.num_nodes() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{karate::karate_club, structured};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lambda_grid_covers_lemma3_range() {
+        for n in [2usize, 10, 100, 10_000, 1_000_000] {
+            let grid = lambda_grid(n, 1.0);
+            let lo = std::f64::consts::FRAC_1_SQRT_2;
+            let hi = (n as f64).sqrt();
+            assert!(grid.first().unwrap() <= &lo, "n={n}");
+            assert!(grid.last().unwrap() >= &hi, "n={n}");
+            // Geometric spacing.
+            for w in grid.windows(2) {
+                assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_query_vertex_is_trivial() {
+        let g = structured::path(5);
+        let sol = minimum_wiener_connector(&g, &[3]).unwrap();
+        assert_eq!(sol.connector.vertices(), &[3]);
+        assert_eq!(sol.wiener_index, 0);
+    }
+
+    #[test]
+    fn two_query_vertices_on_a_path() {
+        let g = structured::path(7);
+        let sol = minimum_wiener_connector(&g, &[0, 6]).unwrap();
+        // Only one connector exists: the whole path.
+        assert_eq!(sol.connector.len(), 7);
+        assert_eq!(sol.wiener_index, (343 - 7) / 6);
+    }
+
+    #[test]
+    fn rejects_bad_queries() {
+        let g = structured::path(4);
+        assert!(matches!(
+            minimum_wiener_connector(&g, &[]),
+            Err(CoreError::EmptyQuery)
+        ));
+        assert!(minimum_wiener_connector(&g, &[9]).is_err());
+        let split = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            minimum_wiener_connector(&split, &[0, 3]),
+            Err(CoreError::QueryNotConnectable)
+        ));
+    }
+
+    #[test]
+    fn solution_contains_query_and_is_connected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        for _ in 0..10 {
+            let g = mwc_graph::generators::barabasi_albert(200, 2, &mut rng);
+            let q: Vec<NodeId> = (0..5).map(|_| rng.gen_range(0..200)).collect();
+            let sol = minimum_wiener_connector(&g, &q).unwrap();
+            assert!(sol.connector.contains_all(&q));
+            // Connector::new validates connectivity; re-wrap to assert it.
+            assert!(Connector::new(&g, sol.connector.vertices()).is_ok());
+            assert_eq!(sol.wiener_index, sol.connector.wiener_index(&g).unwrap());
+        }
+    }
+
+    #[test]
+    fn figure2_instance_beats_steiner_tree() {
+        // On the Fig 2 graph with Q = the line, st returns W = 165 while the
+        // optimum is 142; ws-q must include at least one root and do
+        // strictly better than the bare line.
+        let g = structured::figure2_graph(10);
+        let q: Vec<NodeId> = (0..10).collect();
+        let sol = minimum_wiener_connector(&g, &q).unwrap();
+        assert!(
+            sol.wiener_index < 165,
+            "ws-q should beat the Steiner tree (got {})",
+            sol.wiener_index
+        );
+        assert!(sol.connector.len() > 10, "some root vertex should be added");
+    }
+
+    #[test]
+    fn karate_dc_query_includes_bridging_leaders() {
+        // Fig 1 (left): Q = {12, 25, 26, 30} (paper ids) spans both factions;
+        // the minimum Wiener connector adds the leaders 1, 34 and bridge 32.
+        let g = karate_club();
+        let q = mwc_graph::generators::karate::from_paper_ids(&[12, 25, 26, 30]);
+        let sol = minimum_wiener_connector(&g, &q).unwrap();
+        assert!(sol.connector.contains_all(&q));
+        // The solution should stay small and pick up central vertices.
+        assert!(sol.connector.len() <= 10, "size {}", sol.connector.len());
+        let picks: Vec<NodeId> = sol
+            .connector
+            .vertices()
+            .iter()
+            .copied()
+            .filter(|v| !q.contains(v))
+            .collect();
+        // At least one of the leaders (0 or 33) must appear.
+        assert!(
+            picks.contains(&0) || picks.contains(&33),
+            "expected a community leader among {picks:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let g = mwc_graph::generators::barabasi_albert(300, 3, &mut rng);
+        let q: Vec<NodeId> = vec![7, 63, 155, 240, 299];
+        let seq = WienerSteiner::with_config(
+            &g,
+            WsqConfig {
+                parallel: false,
+                ..WsqConfig::default()
+            },
+        )
+        .solve(&q)
+        .unwrap();
+        let par = WienerSteiner::with_config(
+            &g,
+            WsqConfig {
+                parallel: true,
+                ..WsqConfig::default()
+            },
+        )
+        .solve(&q)
+        .unwrap();
+        assert_eq!(seq.wiener_index, par.wiener_index);
+        assert_eq!(seq.connector.vertices(), par.connector.vertices());
+    }
+
+    #[test]
+    fn trace_records_all_candidates() {
+        let g = karate_club();
+        let q = vec![0u32, 33];
+        let solver = WienerSteiner::with_config(
+            &g,
+            WsqConfig {
+                keep_trace: true,
+                parallel: false,
+                ..WsqConfig::default()
+            },
+        );
+        let sol = solver.solve(&q).unwrap();
+        let expected = 2 * lambda_grid(34, 1.0).len();
+        assert_eq!(sol.trace.len(), expected);
+        assert_eq!(sol.num_candidates, expected);
+        let min_a = sol.trace.iter().map(|r| r.a_value).min().unwrap();
+        for rec in &sol.trace {
+            assert!(q.contains(&rec.root));
+            assert!(rec.size >= 2);
+            // Exact Wiener evaluated exactly for the Lemma-1 survivors.
+            assert_eq!(rec.wiener.is_some(), rec.a_value <= 2 * min_a);
+        }
+        assert!(sol.trace.iter().any(|r| r.wiener.is_some()));
+    }
+
+    #[test]
+    fn adjust_ablation_runs() {
+        let g = karate_club();
+        let q = vec![11u32, 24, 25, 29];
+        let no_adjust = WienerSteiner::with_config(
+            &g,
+            WsqConfig {
+                adjust: false,
+                parallel: false,
+                ..WsqConfig::default()
+            },
+        )
+        .solve(&q)
+        .unwrap();
+        assert!(no_adjust.connector.contains_all(&q));
+    }
+
+    #[test]
+    fn all_vertices_root_policy_no_worse_on_small_graph() {
+        let g = karate_club();
+        let q = vec![11u32, 24, 25, 29];
+        let query_only = minimum_wiener_connector(&g, &q).unwrap();
+        let exhaustive = WienerSteiner::with_config(
+            &g,
+            WsqConfig {
+                roots: RootPolicy::AllVertices,
+                ..WsqConfig::default()
+            },
+        )
+        .solve(&q)
+        .unwrap();
+        assert!(exhaustive.wiener_index <= query_only.wiener_index);
+    }
+
+    #[test]
+    fn duplicate_query_vertices_are_merged() {
+        let g = structured::path(6);
+        let sol = minimum_wiener_connector(&g, &[2, 2, 4, 4]).unwrap();
+        assert_eq!(sol.connector.vertices(), &[2, 3, 4]);
+    }
+}

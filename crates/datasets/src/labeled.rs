@@ -1,0 +1,75 @@
+//! Graphs with human-readable vertex labels, for the §7 case studies.
+
+use mwc_graph::{Graph, NodeId};
+
+/// A graph whose vertices carry string labels (protein names, Twitter
+/// handles, …).
+#[derive(Debug, Clone)]
+pub struct LabeledGraph {
+    /// The graph.
+    pub graph: Graph,
+    /// `labels[v]` = display label of vertex `v`.
+    pub labels: Vec<String>,
+}
+
+impl LabeledGraph {
+    /// Builds a labeled graph, checking that every vertex has a label.
+    pub fn new(graph: Graph, labels: Vec<String>) -> Self {
+        assert_eq!(graph.num_nodes(), labels.len(), "one label per vertex");
+        LabeledGraph { graph, labels }
+    }
+
+    /// The label of `v`.
+    pub fn label(&self, v: NodeId) -> &str {
+        &self.labels[v as usize]
+    }
+
+    /// Finds the vertex with the given label (linear scan — labels are for
+    /// case studies, not hot paths).
+    pub fn id_of(&self, label: &str) -> Option<NodeId> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as NodeId)
+    }
+
+    /// Maps a list of labels to ids, panicking on unknown labels (case
+    /// studies use fixed label sets).
+    pub fn ids_of(&self, labels: &[&str]) -> Vec<NodeId> {
+        labels
+            .iter()
+            .map(|l| {
+                self.id_of(l)
+                    .unwrap_or_else(|| panic!("unknown label {l:?}"))
+            })
+            .collect()
+    }
+
+    /// Renders a vertex set as labels (sorted by id).
+    pub fn render(&self, vs: &[NodeId]) -> Vec<&str> {
+        vs.iter().map(|&v| self.label(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::structured;
+
+    #[test]
+    fn label_round_trip() {
+        let g = structured::path(3);
+        let lg = LabeledGraph::new(g, vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(lg.label(1), "b");
+        assert_eq!(lg.id_of("c"), Some(2));
+        assert_eq!(lg.id_of("zz"), None);
+        assert_eq!(lg.ids_of(&["c", "a"]), vec![2, 0]);
+        assert_eq!(lg.render(&[0, 2]), vec!["a", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per vertex")]
+    fn mismatched_label_count_panics() {
+        LabeledGraph::new(structured::path(3), vec!["x".into()]);
+    }
+}

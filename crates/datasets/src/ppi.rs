@@ -1,0 +1,188 @@
+//! Synthetic protein–protein-interaction network for the §7 case study.
+//!
+//! The paper extracts a minimum Wiener connector from a BioGrid human PPI
+//! network (15 312 proteins) for the query {BMP1, JAK2, PSEN, SLC6A4} and
+//! observes that the connector recruits hub proteins {p53, HSP90, GSK3B,
+//! SNCA} that link the queries' disease modules (Figure 6). BioGrid data
+//! is not redistributable here, so this module builds a synthetic PPI-like
+//! network with the same *structure*: two dense disease modules ("cancer",
+//! "alzheimers") over a scale-free background, with the four named hubs
+//! positioned as high-degree connectors and each named query protein
+//! attached near "its" hub, reproducing the figure's next-hop pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mwc_graph::{GraphBuilder, NodeId};
+
+use crate::labeled::LabeledGraph;
+
+/// Named hub proteins of the case study, in vertex order `0..4`.
+pub const HUBS: [&str; 4] = ["p53", "HSP90", "GSK3B", "SNCA"];
+
+/// Named query proteins, in vertex order `4..8`.
+pub const QUERIES: [&str; 4] = ["BMP1", "JAK2", "PSEN", "SLC6A4"];
+
+/// Number of background proteins per disease module.
+const MODULE_SIZE: usize = 600;
+/// Number of unaffiliated background proteins.
+const BACKGROUND: usize = 800;
+
+/// Builds the synthetic PPI network (deterministic).
+///
+/// Layout: ids 0–3 hubs, 4–7 query proteins, then the cancer module, the
+/// alzheimers module, and the unaffiliated background.
+pub fn ppi_network() -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(0x9919);
+    let n = 8 + 2 * MODULE_SIZE + BACKGROUND;
+    let mut b = GraphBuilder::with_capacity(n, n * 4);
+
+    let p53: NodeId = 0;
+    let hsp90: NodeId = 1;
+    let gsk3b: NodeId = 2;
+    let snca: NodeId = 3;
+    let (bmp1, jak2, psen, slc6a4): (NodeId, NodeId, NodeId, NodeId) = (4, 5, 6, 7);
+
+    let cancer_start = 8 as NodeId;
+    let alz_start = cancer_start + MODULE_SIZE as NodeId;
+    let bg_start = alz_start + MODULE_SIZE as NodeId;
+
+    // Disease modules: sparse random interactions among members, plus
+    // strong attachment to the module hubs.
+    let mut wire_module = |start: NodeId, hub_a: NodeId, hub_b: NodeId, rng: &mut StdRng| {
+        for i in 0..MODULE_SIZE as NodeId {
+            let v = start + i;
+            // Every module protein interacts with 1–3 peers.
+            for _ in 0..rng.gen_range(1..=3) {
+                let w = start + rng.gen_range(0..MODULE_SIZE as NodeId);
+                b.add_edge_unchecked(v, w);
+            }
+            // Hubs are party hubs: ~40% attachment each.
+            if rng.gen_bool(0.4) {
+                b.add_edge_unchecked(v, hub_a);
+            }
+            if rng.gen_bool(0.4) {
+                b.add_edge_unchecked(v, hub_b);
+            }
+        }
+    };
+    wire_module(cancer_start, p53, hsp90, &mut rng);
+    wire_module(alz_start, gsk3b, snca, &mut rng);
+
+    // Cross-module biology (the cancer–Alzheimer's interplay §7 mentions):
+    // p53 ↔ GSK3B interaction plus hub cross-talk.
+    b.add_edge_unchecked(p53, gsk3b);
+    b.add_edge_unchecked(hsp90, gsk3b);
+    b.add_edge_unchecked(p53, hsp90);
+    b.add_edge_unchecked(gsk3b, snca);
+    // A handful of weak cross-module interactions.
+    for _ in 0..20 {
+        let u = cancer_start + rng.gen_range(0..MODULE_SIZE as NodeId);
+        let v = alz_start + rng.gen_range(0..MODULE_SIZE as NodeId);
+        b.add_edge_unchecked(u, v);
+    }
+
+    // Query proteins attach primarily to their literature hub plus a couple
+    // of module peers (so the hub is their natural next hop).
+    let mut attach_query = |q: NodeId, hub: NodeId, module_start: NodeId, rng: &mut StdRng| {
+        b.add_edge_unchecked(q, hub);
+        for _ in 0..3 {
+            b.add_edge_unchecked(q, module_start + rng.gen_range(0..MODULE_SIZE as NodeId));
+        }
+    };
+    attach_query(bmp1, p53, cancer_start, &mut rng);
+    attach_query(jak2, hsp90, cancer_start, &mut rng);
+    attach_query(psen, gsk3b, alz_start, &mut rng);
+    attach_query(slc6a4, snca, alz_start, &mut rng);
+
+    // Unaffiliated background: preferential-attachment-ish chain into the
+    // existing network.
+    for i in 0..BACKGROUND as NodeId {
+        let v = bg_start + i;
+        let anchor = rng.gen_range(0..v);
+        b.add_edge_unchecked(v, anchor);
+        if rng.gen_bool(0.5) {
+            let anchor2 = rng.gen_range(0..v);
+            b.add_edge_unchecked(v, anchor2);
+        }
+    }
+
+    let graph = b.build();
+    let mut labels: Vec<String> = Vec::with_capacity(n);
+    labels.extend(HUBS.iter().map(|s| s.to_string()));
+    labels.extend(QUERIES.iter().map(|s| s.to_string()));
+    for i in 0..(n - 8) {
+        labels.push(format!("P{:05}", i));
+    }
+    LabeledGraph::new(graph, labels)
+}
+
+/// The Figure 6 query: ids of {BMP1, JAK2, PSEN, SLC6A4}.
+pub fn disease_query(net: &LabeledGraph) -> Vec<NodeId> {
+    net.ids_of(&QUERIES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::connectivity::is_connected;
+
+    #[test]
+    fn network_is_connected_and_sized() {
+        let net = ppi_network();
+        assert!(is_connected(&net.graph));
+        assert_eq!(net.graph.num_nodes(), 8 + 2 * MODULE_SIZE + BACKGROUND);
+    }
+
+    #[test]
+    fn hubs_have_high_degree() {
+        let net = ppi_network();
+        let avg = 2.0 * net.graph.num_edges() as f64 / net.graph.num_nodes() as f64;
+        for hub in HUBS {
+            let id = net.id_of(hub).unwrap();
+            let deg = net.graph.degree(id) as f64;
+            assert!(deg > 20.0 * avg, "{hub}: degree {deg} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn queries_touch_their_hubs() {
+        let net = ppi_network();
+        for (q, h) in [
+            ("BMP1", "p53"),
+            ("JAK2", "HSP90"),
+            ("PSEN", "GSK3B"),
+            ("SLC6A4", "SNCA"),
+        ] {
+            let qi = net.id_of(q).unwrap();
+            let hi = net.id_of(h).unwrap();
+            assert!(net.graph.has_edge(qi, hi), "{q} not adjacent to {h}");
+        }
+    }
+
+    #[test]
+    fn connector_recruits_the_hub_layer() {
+        // The actual §7 claim: the minimum Wiener connector for the disease
+        // query consists of the queries plus (mostly) the named hubs.
+        let net = ppi_network();
+        let q = disease_query(&net);
+        let sol = mwc_core::minimum_wiener_connector(&net.graph, &q).unwrap();
+        assert!(
+            sol.connector.len() <= 12,
+            "connector too large: {}",
+            sol.connector.len()
+        );
+        let hub_hits = HUBS
+            .iter()
+            .filter(|h| sol.connector.contains(net.id_of(h).unwrap()))
+            .count();
+        assert!(hub_hits >= 2, "only {hub_hits} hubs recruited");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ppi_network();
+        let b = ppi_network();
+        assert_eq!(a.graph, b.graph);
+    }
+}

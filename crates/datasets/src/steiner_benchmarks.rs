@@ -1,0 +1,205 @@
+//! SteinLib-style benchmark instances with predefined terminal sets
+//! (§6.5, Figure 4).
+//!
+//! The paper uses `puc` (25 hard instances on small structured graphs,
+//! many hypercube-based, `|Q| ∈ [8, 2048]`) and `vienna` (85 real-world
+//! telecommunication/road instances, `|V| ∈ [1991, 8755]`,
+//! `|Q| ∈ [50, ≈5k]`). SteinLib is a curated external archive, so this
+//! module generates instances of the same two shapes: hypercubes with
+//! random terminal sets (`puc`-like) and perforated road grids with
+//! diagonals (`vienna`-like), both deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mwc_graph::connectivity::largest_component_graph;
+use mwc_graph::generators::structured;
+use mwc_graph::{Graph, GraphBuilder, NodeId};
+
+/// One benchmark instance: a graph plus its predefined terminal set.
+#[derive(Debug, Clone)]
+pub struct BenchmarkInstance {
+    /// Instance name (e.g. `puc-d08-q032-0`).
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// Terminal / query set (distinct vertices).
+    pub terminals: Vec<NodeId>,
+}
+
+/// Generates the `puc`-like suite: hypercubes of dimension 6–10 with
+/// terminal counts sweeping 8..256, several instances per configuration
+/// (25 instances total, matching the original suite's size).
+pub fn puc_like(seed: u64) -> Vec<BenchmarkInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let configs: [(u32, &[usize]); 5] = [
+        (6, &[8, 16]),
+        (7, &[8, 16, 32]),
+        (8, &[16, 32, 64]),
+        (9, &[32, 64, 128]),
+        (10, &[64, 128, 256, 512]),
+    ];
+    for (dim, term_counts) in configs {
+        let graph = structured::hypercube(dim);
+        for &q in term_counts {
+            // Two instances per (dim, |Q|) for the larger cubes, one for the
+            // small ones — 25 instances total, like the original suite.
+            let copies = if dim <= 7 { 1 } else { 2 };
+            for copy in 0..copies {
+                let terminals = sample_terminals(&graph, q, &mut rng);
+                out.push(BenchmarkInstance {
+                    name: format!("puc-d{dim:02}-q{q:03}-{copy}"),
+                    graph: graph.clone(),
+                    terminals,
+                });
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), 25);
+    out
+}
+
+/// Generates the `vienna`-like suite: road-style grids with diagonals,
+/// random perforation (removed blocks), and long-range shortcut edges,
+/// sized `|V| ∈ ~[2000, 9000]` with `|Q| ∈ [50, 500]`.
+///
+/// `count` instances are produced (the original suite has 85; the harness
+/// default uses fewer for quick runs).
+pub fn vienna_like(count: usize, seed: u64) -> Vec<BenchmarkInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let rows = rng.gen_range(45..95);
+        let cols = rng.gen_range(45..95);
+        let graph = perforated_grid(rows, cols, 0.08, 0.01, &mut rng);
+        let max_q = (graph.num_nodes() / 12).max(51);
+        let q = rng.gen_range(50..=max_q.min(500));
+        let terminals = sample_terminals(&graph, q, &mut rng);
+        out.push(BenchmarkInstance {
+            name: format!("vienna-{i:03}-n{}-q{q}", graph.num_nodes()),
+            graph,
+            terminals,
+        });
+    }
+    out
+}
+
+/// A grid with diagonals, `hole_fraction` of vertices removed (city
+/// blocks), and a few long-range shortcuts (arterial roads); returns the
+/// largest connected component.
+fn perforated_grid<R: Rng>(
+    rows: usize,
+    cols: usize,
+    hole_fraction: f64,
+    shortcut_fraction: f64,
+    rng: &mut R,
+) -> Graph {
+    let base = structured::grid(rows, cols, true);
+    let n = base.num_nodes();
+    let keep: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() >= hole_fraction).collect();
+    let mut b = GraphBuilder::with_capacity(n, base.num_edges());
+    for (u, v) in base.edges() {
+        if keep[u as usize] && keep[v as usize] {
+            b.add_edge_unchecked(u, v);
+        }
+    }
+    // Long-range shortcuts between surviving vertices.
+    let shortcuts = (n as f64 * shortcut_fraction) as usize;
+    for _ in 0..shortcuts {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if keep[u as usize] && keep[v as usize] {
+            b.add_edge_unchecked(u, v);
+        }
+    }
+    largest_component_graph(&b.build())
+        .expect("grid is non-empty")
+        .0
+}
+
+/// `count` distinct random terminals.
+fn sample_terminals<R: Rng>(g: &Graph, count: usize, rng: &mut R) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert!(count <= n, "terminal count exceeds graph size");
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(count);
+    let mut used = vec![false; n];
+    while chosen.len() < count {
+        let v = rng.gen_range(0..n as NodeId);
+        if !used[v as usize] {
+            used[v as usize] = true;
+            chosen.push(v);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::connectivity::is_connected;
+
+    #[test]
+    fn puc_suite_has_25_valid_instances() {
+        let suite = puc_like(7);
+        assert_eq!(suite.len(), 25);
+        for inst in &suite {
+            assert!(is_connected(&inst.graph), "{} disconnected", inst.name);
+            assert!(inst.terminals.len() >= 8);
+            let mut t = inst.terminals.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(
+                t.len(),
+                inst.terminals.len(),
+                "{} duplicate terminals",
+                inst.name
+            );
+            for &v in &inst.terminals {
+                assert!((v as usize) < inst.graph.num_nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn puc_dimensions_span_64_to_1024_vertices() {
+        let suite = puc_like(7);
+        let min = suite.iter().map(|i| i.graph.num_nodes()).min().unwrap();
+        let max = suite.iter().map(|i| i.graph.num_nodes()).max().unwrap();
+        assert_eq!(min, 64);
+        assert_eq!(max, 1024);
+    }
+
+    #[test]
+    fn vienna_suite_matches_paper_ranges() {
+        let suite = vienna_like(10, 13);
+        assert_eq!(suite.len(), 10);
+        for inst in &suite {
+            assert!(is_connected(&inst.graph), "{} disconnected", inst.name);
+            let n = inst.graph.num_nodes();
+            assert!((1500..=9500).contains(&n), "{}: n = {n}", inst.name);
+            let q = inst.terminals.len();
+            assert!((50..=500).contains(&q), "{}: |Q| = {q}", inst.name);
+        }
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = vienna_like(3, 99);
+        let b = vienna_like(3, 99);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.graph, y.graph);
+            assert_eq!(x.terminals, y.terminals);
+        }
+    }
+
+    #[test]
+    fn grids_look_like_roads() {
+        // Average degree between 3 and 8 (grid with diagonals, minus holes).
+        let suite = vienna_like(3, 5);
+        for inst in &suite {
+            let avg = 2.0 * inst.graph.num_edges() as f64 / inst.graph.num_nodes() as f64;
+            assert!((3.0..8.5).contains(&avg), "{}: avg degree {avg}", inst.name);
+        }
+    }
+}

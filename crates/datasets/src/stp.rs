@@ -1,0 +1,449 @@
+//! SteinLib STP format I/O for benchmark instances.
+//!
+//! The paper's §6.5 benchmarks (`puc`, `vienna`) are distributed by
+//! SteinLib (<http://steinlib.zib.de/>) in the STP text format. The
+//! archive itself is not redistributable here, so the instances are
+//! *generated* ([`crate::steiner_benchmarks`]) — but the format support
+//! makes the harness interoperable: generated suites can be exported for
+//! external Steiner solvers, and a user holding the real SteinLib files
+//! can run the Figure 4 comparison on them unchanged.
+//!
+//! Supported subset (what `puc`/`vienna` instances use):
+//!
+//! ```text
+//! 33D32945 STP File, STP Format Version 1.0
+//! SECTION Comment … END        (free-form, preserved as `name`)
+//! SECTION Graph
+//!   Nodes n / Edges m / E u v w   (1-based vertex ids)
+//! END
+//! SECTION Terminals
+//!   Terminals k / T t
+//! END
+//! EOF
+//! ```
+//!
+//! Edge weights are parsed but collapsed to the unweighted graphs this
+//! reproduction studies (the paper works on unweighted graphs; `puc`
+//! instances are unit-weight already). A warning count of non-unit
+//! weights is reported so silently-lossy reads cannot happen.
+
+use std::fmt::Write as _;
+
+use mwc_graph::{GraphBuilder, NodeId};
+
+use crate::steiner_benchmarks::BenchmarkInstance;
+
+/// The STP magic header line.
+pub const STP_MAGIC: &str = "33D32945 STP File, STP Format Version 1.0";
+
+/// Errors produced by the STP parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StpError {
+    /// The first non-blank line is not the STP magic.
+    BadMagic,
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A vertex id was outside `1..=Nodes`.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending id.
+        id: i64,
+    },
+    /// Required sections were missing (`Graph` and `Terminals`).
+    MissingSection(&'static str),
+}
+
+impl std::fmt::Display for StpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StpError::BadMagic => write!(f, "missing STP magic header"),
+            StpError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            StpError::VertexOutOfRange { line, id } => {
+                write!(f, "line {line}: vertex id {id} out of range")
+            }
+            StpError::MissingSection(s) => write!(f, "missing SECTION {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StpError {}
+
+/// Outcome of a parse: the instance plus fidelity notes.
+#[derive(Debug)]
+pub struct StpParse {
+    /// The parsed instance (unweighted; 0-based ids).
+    pub instance: BenchmarkInstance,
+    /// Number of edges whose declared weight differed from 1 (collapsed
+    /// to unit weight on read).
+    pub non_unit_weights: usize,
+    /// Duplicate / self-loop edge lines dropped by the builder.
+    pub dropped_edges: usize,
+}
+
+/// Parses an STP document from a string.
+///
+/// ```
+/// use mwc_datasets::stp::{parse_stp, write_stp};
+///
+/// let suite = mwc_datasets::puc_like(1);
+/// let text = write_stp(&suite[0]);
+/// let parsed = parse_stp(&text).unwrap();
+/// assert_eq!(parsed.instance.graph.num_edges(), suite[0].graph.num_edges());
+/// ```
+pub fn parse_stp(text: &str) -> Result<StpParse, StpError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+
+    // Magic.
+    let Some((_, first)) = lines.by_ref().find(|(_, l)| !l.is_empty()) else {
+        return Err(StpError::BadMagic);
+    };
+    if !first.eq_ignore_ascii_case(STP_MAGIC) {
+        return Err(StpError::BadMagic);
+    }
+
+    let mut name = String::from("stp-instance");
+    let mut nodes: Option<usize> = None;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut declared_edges: Option<usize> = None;
+    let mut terminals: Vec<NodeId> = Vec::new();
+    let mut declared_terminals: Option<usize> = None;
+    let mut non_unit = 0usize;
+    let mut raw_edge_lines = 0usize;
+
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Comment,
+        Graph,
+        Terminals,
+        Other,
+    }
+    let mut section = Section::None;
+
+    let check_vertex = |line: usize, id: i64, n: Option<usize>| -> Result<NodeId, StpError> {
+        let n = n.ok_or(StpError::Malformed {
+            line,
+            reason: "edge/terminal before Nodes declaration".into(),
+        })? as i64;
+        if id < 1 || id > n {
+            return Err(StpError::VertexOutOfRange { line, id });
+        }
+        Ok((id - 1) as NodeId)
+    };
+
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        match section {
+            Section::None => match head.to_ascii_uppercase().as_str() {
+                "SECTION" => {
+                    section = match tokens.next().map(|s| s.to_ascii_lowercase()).as_deref() {
+                        Some("comment") => Section::Comment,
+                        Some("graph") => Section::Graph,
+                        Some("terminals") => Section::Terminals,
+                        _ => Section::Other,
+                    };
+                }
+                "EOF" => break,
+                _ => {
+                    return Err(StpError::Malformed {
+                        line: lineno,
+                        reason: format!("unexpected token {head:?} outside any section"),
+                    })
+                }
+            },
+            Section::Comment => match head.to_ascii_lowercase().as_str() {
+                "end" => section = Section::None,
+                "name" => {
+                    let rest = line[head.len()..].trim().trim_matches('"');
+                    if !rest.is_empty() {
+                        name = rest.to_string();
+                    }
+                }
+                _ => {} // Creator/Remark/Problem: preserved semantics not needed
+            },
+            Section::Graph => match head.to_ascii_lowercase().as_str() {
+                "end" => section = Section::None,
+                "nodes" => {
+                    nodes = Some(parse_num(lineno, tokens.next())? as usize);
+                }
+                "edges" | "arcs" => {
+                    declared_edges = Some(parse_num(lineno, tokens.next())? as usize);
+                }
+                "e" | "a" => {
+                    let u = parse_num(lineno, tokens.next())?;
+                    let v = parse_num(lineno, tokens.next())?;
+                    // Weight is optional in some writers; default 1.
+                    let w = match tokens.next() {
+                        Some(t) => t.parse::<f64>().map_err(|_| StpError::Malformed {
+                            line: lineno,
+                            reason: format!("bad weight {t:?}"),
+                        })?,
+                        None => 1.0,
+                    };
+                    if (w - 1.0).abs() > 1e-12 {
+                        non_unit += 1;
+                    }
+                    raw_edge_lines += 1;
+                    edges.push((
+                        check_vertex(lineno, u, nodes)?,
+                        check_vertex(lineno, v, nodes)?,
+                    ));
+                }
+                _ => {
+                    return Err(StpError::Malformed {
+                        line: lineno,
+                        reason: format!("unknown Graph directive {head:?}"),
+                    })
+                }
+            },
+            Section::Terminals => match head.to_ascii_lowercase().as_str() {
+                "end" => section = Section::None,
+                "terminals" => {
+                    declared_terminals = Some(parse_num(lineno, tokens.next())? as usize);
+                }
+                "t" => {
+                    let t = parse_num(lineno, tokens.next())?;
+                    terminals.push(check_vertex(lineno, t, nodes)?);
+                }
+                _ => {
+                    return Err(StpError::Malformed {
+                        line: lineno,
+                        reason: format!("unknown Terminals directive {head:?}"),
+                    })
+                }
+            },
+            Section::Other => {
+                if head.eq_ignore_ascii_case("end") {
+                    section = Section::None;
+                }
+            }
+        }
+    }
+
+    let n = nodes.ok_or(StpError::MissingSection("Graph"))?;
+    if terminals.is_empty() && declared_terminals.is_none() {
+        return Err(StpError::MissingSection("Terminals"));
+    }
+    if let Some(k) = declared_terminals {
+        if k != terminals.len() {
+            return Err(StpError::Malformed {
+                line: 0,
+                reason: format!("Terminals declares {k} but {} T lines found", terminals.len()),
+            });
+        }
+    }
+    if let Some(m) = declared_edges {
+        if m != raw_edge_lines {
+            return Err(StpError::Malformed {
+                line: 0,
+                reason: format!("Edges declares {m} but {raw_edge_lines} E lines found"),
+            });
+        }
+    }
+
+    let mut builder = GraphBuilder::with_capacity(n, edges.len());
+    for &(u, v) in &edges {
+        // Ids were range-checked during parsing.
+        builder.add_edge_unchecked(u, v);
+    }
+    let graph = builder.build();
+    let dropped = raw_edge_lines - graph.num_edges();
+    terminals.sort_unstable();
+    terminals.dedup();
+
+    Ok(StpParse {
+        instance: BenchmarkInstance { name, graph, terminals },
+        non_unit_weights: non_unit,
+        dropped_edges: dropped,
+    })
+}
+
+fn parse_num(line: usize, token: Option<&str>) -> Result<i64, StpError> {
+    let t = token.ok_or(StpError::Malformed { line, reason: "missing number".into() })?;
+    t.parse::<i64>().map_err(|_| StpError::Malformed {
+        line,
+        reason: format!("bad number {t:?}"),
+    })
+}
+
+/// Serializes an instance as an STP document (unit weights, 1-based ids).
+pub fn write_stp(instance: &BenchmarkInstance) -> String {
+    let g = &instance.graph;
+    let mut out = String::with_capacity(64 + 16 * g.num_edges());
+    out.push_str(STP_MAGIC);
+    out.push_str("\n\nSECTION Comment\n");
+    let _ = writeln!(out, "Name    \"{}\"", instance.name);
+    out.push_str("Creator \"mwc-datasets\"\n");
+    out.push_str("Remark  \"generated stand-in instance (unit weights)\"\n");
+    out.push_str("END\n\nSECTION Graph\n");
+    let _ = writeln!(out, "Nodes {}", g.num_nodes());
+    let _ = writeln!(out, "Edges {}", g.num_edges());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "E {} {} 1", u + 1, v + 1);
+    }
+    out.push_str("END\n\nSECTION Terminals\n");
+    let _ = writeln!(out, "Terminals {}", instance.terminals.len());
+    for &t in &instance.terminals {
+        let _ = writeln!(out, "T {}", t + 1);
+    }
+    out.push_str("END\n\nEOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steiner_benchmarks::{puc_like, vienna_like};
+
+    #[test]
+    fn roundtrip_preserves_generated_instances() {
+        for inst in puc_like(7).into_iter().take(3).chain(vienna_like(3, 7)) {
+            let text = write_stp(&inst);
+            let parsed = parse_stp(&text).expect("roundtrip parse");
+            assert_eq!(parsed.instance.name, inst.name);
+            assert_eq!(parsed.instance.graph.num_nodes(), inst.graph.num_nodes());
+            assert_eq!(parsed.instance.graph.num_edges(), inst.graph.num_edges());
+            let mut terms = inst.terminals.clone();
+            terms.sort_unstable();
+            assert_eq!(parsed.instance.terminals, terms);
+            assert_eq!(parsed.non_unit_weights, 0);
+            assert_eq!(parsed.dropped_edges, 0);
+            // Edge sets equal.
+            let a: Vec<_> = inst.graph.edges().collect();
+            let b: Vec<_> = parsed.instance.graph.edges().collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_document() {
+        let text = r#"
+33D32945 STP File, STP Format Version 1.0
+
+SECTION Comment
+Name "tiny"
+Creator "by hand"
+END
+
+SECTION Graph
+Nodes 4
+Edges 4
+E 1 2 1
+E 2 3 1
+E 3 4 1
+E 4 1 1
+END
+
+SECTION Terminals
+Terminals 2
+T 1
+T 3
+END
+
+EOF
+"#;
+        let parsed = parse_stp(text).unwrap();
+        assert_eq!(parsed.instance.name, "tiny");
+        assert_eq!(parsed.instance.graph.num_nodes(), 4);
+        assert_eq!(parsed.instance.graph.num_edges(), 4);
+        assert_eq!(parsed.instance.terminals, vec![0, 2]);
+    }
+
+    #[test]
+    fn non_unit_weights_are_counted_not_silently_lost() {
+        let text = format!(
+            "{STP_MAGIC}\nSECTION Graph\nNodes 3\nEdges 2\nE 1 2 5\nE 2 3 1\nEND\nSECTION Terminals\nTerminals 2\nT 1\nT 3\nEND\nEOF\n"
+        );
+        let parsed = parse_stp(&text).unwrap();
+        assert_eq!(parsed.non_unit_weights, 1);
+    }
+
+    #[test]
+    fn missing_weight_defaults_to_unit() {
+        let text = format!(
+            "{STP_MAGIC}\nSECTION Graph\nNodes 2\nEdges 1\nE 1 2\nEND\nSECTION Terminals\nTerminals 2\nT 1\nT 2\nEND\nEOF\n"
+        );
+        let parsed = parse_stp(&text).unwrap();
+        assert_eq!(parsed.non_unit_weights, 0);
+        assert_eq!(parsed.instance.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(parse_stp("not an stp file\n"), Err(StpError::BadMagic)));
+        assert!(matches!(parse_stp(""), Err(StpError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_vertex_out_of_range() {
+        let text = format!(
+            "{STP_MAGIC}\nSECTION Graph\nNodes 3\nEdges 1\nE 1 9 1\nEND\nSECTION Terminals\nTerminals 1\nT 1\nEND\nEOF\n"
+        );
+        assert!(matches!(
+            parse_stp(&text),
+            Err(StpError::VertexOutOfRange { id: 9, .. })
+        ));
+        let text = format!(
+            "{STP_MAGIC}\nSECTION Graph\nNodes 3\nEdges 1\nE 0 1 1\nEND\nSECTION Terminals\nTerminals 1\nT 1\nEND\nEOF\n"
+        );
+        assert!(matches!(
+            parse_stp(&text),
+            Err(StpError::VertexOutOfRange { id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_count_mismatches() {
+        let text = format!(
+            "{STP_MAGIC}\nSECTION Graph\nNodes 3\nEdges 2\nE 1 2 1\nEND\nSECTION Terminals\nTerminals 1\nT 1\nEND\nEOF\n"
+        );
+        assert!(matches!(parse_stp(&text), Err(StpError::Malformed { .. })));
+        let text = format!(
+            "{STP_MAGIC}\nSECTION Graph\nNodes 3\nEdges 1\nE 1 2 1\nEND\nSECTION Terminals\nTerminals 2\nT 1\nEND\nEOF\n"
+        );
+        assert!(matches!(parse_stp(&text), Err(StpError::Malformed { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_sections() {
+        let text = format!("{STP_MAGIC}\nEOF\n");
+        assert!(matches!(
+            parse_stp(&text),
+            Err(StpError::MissingSection("Graph"))
+        ));
+        let text = format!("{STP_MAGIC}\nSECTION Graph\nNodes 2\nEdges 1\nE 1 2 1\nEND\nEOF\n");
+        assert!(matches!(
+            parse_stp(&text),
+            Err(StpError::MissingSection("Terminals"))
+        ));
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let text = format!(
+            "{STP_MAGIC}\nSECTION Presolve\nFixed 0\nEND\nSECTION Graph\nNodes 2\nEdges 1\nE 1 2 1\nEND\nSECTION Terminals\nTerminals 1\nT 2\nEND\nEOF\n"
+        );
+        let parsed = parse_stp(&text).unwrap();
+        assert_eq!(parsed.instance.terminals, vec![1]);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_are_dropped_and_counted() {
+        let text = format!(
+            "{STP_MAGIC}\nSECTION Graph\nNodes 3\nEdges 4\nE 1 2 1\nE 2 1 1\nE 1 1 1\nE 2 3 1\nEND\nSECTION Terminals\nTerminals 1\nT 1\nEND\nEOF\n"
+        );
+        let parsed = parse_stp(&text).unwrap();
+        assert_eq!(parsed.instance.graph.num_edges(), 2);
+        assert_eq!(parsed.dropped_edges, 2);
+    }
+}

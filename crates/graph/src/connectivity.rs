@@ -1,0 +1,202 @@
+//! Connected components and connectivity predicates.
+
+use crate::csr::Graph;
+use crate::error::{GraphError, Result};
+use crate::NodeId;
+
+/// Connected-component labelling of a graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `label[v]` is the component id of `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of connected components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Whether `u` and `v` are in the same component.
+    #[inline]
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+
+    /// Sizes of the components, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Labels connected components via repeated BFS. `O(|V| + |E|)`.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue: Vec<NodeId> = Vec::new();
+    for start in 0..n as NodeId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = count;
+        queue.clear();
+        queue.push(start);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = count;
+                    queue.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        label,
+        count: count as usize,
+    }
+}
+
+/// Whether the whole graph is connected. The empty graph counts as
+/// connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_nodes() == 0 || connected_components(g).count == 1
+}
+
+/// Whether the subgraph induced by `nodes` is connected (BFS restricted to
+/// the set; `nodes` need not be sorted). Empty sets count as connected.
+///
+/// `O(Σ_{v ∈ S} deg_G(v))` after an `O(|S| log |S|)` sort — no subgraph is
+/// materialized, which matters for the greedy baselines that call this in a
+/// loop.
+pub fn is_connected_subset(g: &Graph, nodes: &[NodeId]) -> Result<bool> {
+    if nodes.is_empty() {
+        return Ok(true);
+    }
+    let mut sorted: Vec<NodeId> = nodes.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for &v in &sorted {
+        g.check_node(v)?;
+    }
+    let mut seen = vec![false; sorted.len()];
+    let mut queue = vec![0usize]; // positions into `sorted`
+    seen[0] = true;
+    let mut head = 0;
+    let mut reached = 1usize;
+    while head < queue.len() {
+        let u = sorted[queue[head]];
+        head += 1;
+        for &nb in g.neighbors(u) {
+            if let Ok(pos) = sorted.binary_search(&nb) {
+                if !seen[pos] {
+                    seen[pos] = true;
+                    reached += 1;
+                    queue.push(pos);
+                }
+            }
+        }
+    }
+    Ok(reached == sorted.len())
+}
+
+/// The vertex set of the largest connected component (ties broken by lowest
+/// label).
+pub fn largest_component(g: &Graph) -> Vec<NodeId> {
+    let comps = connected_components(g);
+    if comps.count == 0 {
+        return Vec::new();
+    }
+    let sizes = comps.sizes();
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    (0..g.num_nodes() as NodeId)
+        .filter(|&v| comps.label[v as usize] == best)
+        .collect()
+}
+
+/// Extracts the largest connected component as a standalone graph.
+///
+/// Returns the new graph and the mapping `local → original id`. Errors with
+/// [`GraphError::Empty`] on a zero-node graph.
+pub fn largest_component_graph(g: &Graph) -> Result<(Graph, Vec<NodeId>)> {
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    let nodes = largest_component(g);
+    let sub = g.induced(&nodes)?;
+    let mapping = sub.original_ids().to_vec();
+    Ok((sub.graph().clone(), mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap()
+    }
+
+    #[test]
+    fn counts_components() {
+        let g = two_triangles(); // plus isolated vertex 6
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert!(c.same(0, 2));
+        assert!(!c.same(0, 3));
+        assert_eq!(c.sizes().iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn connected_predicates() {
+        assert!(is_connected(
+            &Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+        ));
+        assert!(!is_connected(&two_triangles()));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn subset_connectivity() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        assert!(is_connected_subset(&g, &[1, 2, 3]).unwrap());
+        assert!(!is_connected_subset(&g, &[1, 3]).unwrap()); // 2 missing
+        assert!(is_connected_subset(&g, &[]).unwrap());
+        assert!(is_connected_subset(&g, &[4]).unwrap());
+        // Duplicates tolerated.
+        assert!(is_connected_subset(&g, &[2, 2, 3]).unwrap());
+        assert!(is_connected_subset(&g, &[0, 99]).is_err());
+    }
+
+    #[test]
+    fn largest_component_prefers_biggest() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4), (4, 2), (2, 5)]).unwrap();
+        assert_eq!(largest_component(&g), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn largest_component_graph_relabels() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4), (4, 2), (2, 5)]).unwrap();
+        let (lc, mapping) = largest_component_graph(&g).unwrap();
+        assert_eq!(lc.num_nodes(), 4);
+        assert_eq!(lc.num_edges(), 4);
+        assert_eq!(mapping, vec![2, 3, 4, 5]);
+        assert!(is_connected(&lc));
+    }
+
+    #[test]
+    fn largest_component_graph_rejects_empty() {
+        assert!(largest_component_graph(&Graph::empty(0)).is_err());
+    }
+}

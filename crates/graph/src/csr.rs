@@ -1,0 +1,232 @@
+//! Immutable compressed-sparse-row (CSR) graph.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::subgraph::InducedSubgraph;
+use crate::NodeId;
+
+/// A simple, undirected, unweighted graph in CSR form.
+///
+/// Invariants (established by [`GraphBuilder`]):
+/// * no self-loops, no parallel edges,
+/// * every adjacency list is sorted ascending (enables `O(log d)`
+///   [`Graph::has_edge`] and linear-merge set operations),
+/// * each undirected edge `{u, v}` is stored twice (`u → v` and `v → u`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists; length `2 * num_edges`.
+    neighbors: Vec<NodeId>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Assembles a graph from pre-validated CSR arrays.
+    ///
+    /// Only callable from within the crate; external users go through
+    /// [`GraphBuilder`] or [`Graph::from_edges`], which establish the
+    /// invariants documented on the type.
+    pub(crate) fn from_csr_parts(offsets: Vec<u32>, neighbors: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        debug_assert_eq!(neighbors.len() % 2, 0);
+        let num_edges = neighbors.len() / 2;
+        Graph {
+            offsets,
+            neighbors,
+            num_edges,
+        }
+    }
+
+    /// Builds a graph with `num_nodes` vertices from an undirected edge list.
+    ///
+    /// Self-loops are dropped and duplicate edges (in either orientation) are
+    /// merged. Returns an error if an endpoint is `>= num_nodes`.
+    ///
+    /// ```
+    /// use mwc_graph::Graph;
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 1), (1, 2)]).unwrap();
+    /// assert_eq!(g.num_edges(), 2); // (0,1) deduped, (1,1) dropped
+    /// ```
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Result<Self> {
+        let mut b = GraphBuilder::with_capacity(num_nodes, edges.len());
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// An empty graph with `num_nodes` isolated vertices.
+    pub fn empty(num_nodes: usize) -> Self {
+        Graph {
+            offsets: vec![0; num_nodes + 1],
+            neighbors: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbors of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Whether the undirected edge `{u, v}` exists. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over vertices `0..num_nodes`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterates over undirected edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Validates that `v` is a vertex of this graph.
+    #[inline]
+    pub fn check_node(&self, v: NodeId) -> Result<()> {
+        if (v as usize) < self.num_nodes() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: v as u64,
+                num_nodes: self.num_nodes(),
+            })
+        }
+    }
+
+    /// The subgraph induced by `nodes` (deduplicated, order-insensitive),
+    /// with a local/global id mapping. See [`InducedSubgraph`].
+    pub fn induced(&self, nodes: &[NodeId]) -> Result<InducedSubgraph> {
+        InducedSubgraph::new(self, nodes)
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("num_nodes", &self.num_nodes())
+            .field("num_edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1-2 triangle, 2-3 tail.
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle_plus_tail();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(g.has_edge(u, v), g.has_edge(v, u), "({u},{v})");
+            }
+        }
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn edges_iterates_each_once_in_order() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.edges().next().is_none());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert!(g.nodes().next().is_none());
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let err = Graph::from_edges(2, &[(0, 5)]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = Graph::empty(3);
+        assert!(g.check_node(2).is_ok());
+        assert!(g.check_node(3).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Convenience alias for `Result<T, GraphError>`.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced while building or querying graphs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a vertex outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// The operation requires a non-empty graph or node set.
+    Empty,
+    /// The operation requires the (sub)graph to be connected, or the query
+    /// vertices to lie in a single connected component.
+    Disconnected,
+    /// The graph exceeds a representation limit (e.g. more than `u32::MAX`
+    /// adjacency entries in the CSR arrays).
+    TooLarge {
+        /// Human-readable description of the violated limit.
+        what: &'static str,
+    },
+    /// An I/O error while reading or writing a graph.
+    Io(std::io::Error),
+    /// A parse error while reading an edge list.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the malformed content.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {num_nodes} nodes"
+                )
+            }
+            GraphError::Empty => write!(f, "operation requires a non-empty graph or node set"),
+            GraphError::Disconnected => {
+                write!(
+                    f,
+                    "operation requires connectivity (query vertices must share a component)"
+                )
+            }
+            GraphError::TooLarge { what } => write!(f, "graph too large: {what}"),
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        assert!(GraphError::Disconnected.to_string().contains("connect"));
+        assert!(GraphError::TooLarge { what: "x" }.to_string().contains('x'));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

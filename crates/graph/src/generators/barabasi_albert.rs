@@ -1,0 +1,110 @@
+//! Barabási–Albert preferential attachment (power-law degree
+//! distribution), used for the paper's `PL` synthetic graphs (§6.6) and the
+//! social/web stand-ins.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// Barabási–Albert graph: starts from a small clique and attaches each new
+/// vertex to `k` existing vertices chosen proportionally to degree.
+///
+/// Implementation: the classic "repeated nodes" list — every edge endpoint
+/// is appended to a list, and sampling uniformly from the list is sampling
+/// proportionally to degree. Produces a connected graph with
+/// `m ≈ k · n` edges and a power-law degree tail (`γ ≈ 3`).
+///
+/// # Panics
+/// Panics if `k == 0` or `n <= k`.
+pub fn barabasi_albert<R: Rng>(n: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(k >= 1, "BA: attachment count k must be >= 1");
+    assert!(n > k, "BA: need n > k (got n = {n}, k = {k})");
+
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    // Seed: clique on the first k + 1 vertices so every early vertex has
+    // degree >= k and the repeated-nodes list is non-degenerate.
+    let seed = k + 1;
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * k);
+    for u in 0..seed as NodeId {
+        for v in (u + 1)..seed as NodeId {
+            b.add_edge_unchecked(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut targets: Vec<NodeId> = Vec::with_capacity(k);
+    for v in seed..n {
+        targets.clear();
+        // Rejection-sample k distinct targets by degree.
+        while targets.len() < k {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge_unchecked(v as NodeId, t);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn edge_count_is_clique_plus_attachments() {
+        let (n, k) = (200usize, 3usize);
+        let g = barabasi_albert(n, k, &mut rng(1));
+        let expect = (k + 1) * k / 2 + (n - k - 1) * k;
+        assert_eq!(g.num_edges(), expect);
+        assert_eq!(g.num_nodes(), n);
+    }
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..5 {
+            let g = barabasi_albert(300, 2, &mut rng(seed));
+            assert!(is_connected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn min_degree_is_k() {
+        let g = barabasi_albert(150, 4, &mut rng(2));
+        let min_deg = (0..150).map(|v| g.degree(v)).min().unwrap();
+        assert!(min_deg >= 4);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Hubs should emerge: max degree far above the median.
+        let g = barabasi_albert(2000, 2, &mut rng(3));
+        let mut degs: Vec<usize> = (0..2000).map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        let median = degs[1000];
+        let max = *degs.last().unwrap();
+        assert!(
+            max >= 8 * median,
+            "expected heavy tail: max {max}, median {median}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n > k")]
+    fn rejects_tiny_n() {
+        barabasi_albert(3, 3, &mut rng(4));
+    }
+}

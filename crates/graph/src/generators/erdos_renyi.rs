@@ -1,0 +1,129 @@
+//! Erdős–Rényi random graphs (`G(n, m)` and `G(n, p)`), used for the
+//! scalability experiments (§6.6, Fig 5).
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::hash::FxHashSet;
+use crate::NodeId;
+
+/// `G(n, m)`: exactly `m` distinct undirected edges, uniformly at random.
+///
+/// # Panics
+/// Panics if `m` exceeds `C(n, 2)`.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "G(n,m): m = {m} exceeds C({n},2) = {max_edges}"
+    );
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(m * 2);
+    let mut added = 0usize;
+    while added < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = ((u.min(v) as u64) << 32) | u.max(v) as u64;
+        if seen.insert(key) {
+            b.add_edge_unchecked(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)`: each of the `C(n, 2)` edges present independently with
+/// probability `p`, sampled in expected `O(n + m)` time via geometric
+/// skipping.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "G(n,p): p must be in [0,1]");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        return super::structured::complete(n);
+    }
+    // Iterate over the implicit sequence of all C(n,2) pairs, jumping
+    // Geometric(p) positions between successive present edges
+    // (Batagelj–Brandes).
+    let log1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        w += 1 + (r.ln() / log1p) as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge_unchecked(w as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = gnm(50, 200, &mut rng(1));
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_extremes() {
+        assert_eq!(gnm(10, 0, &mut rng(2)).num_edges(), 0);
+        let full = gnm(6, 15, &mut rng(3));
+        assert_eq!(full.num_edges(), 15); // complete K6
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_impossible_m() {
+        gnm(4, 7, &mut rng(4));
+    }
+
+    #[test]
+    fn gnp_density_is_near_p() {
+        let n = 400usize;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng(5));
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "edges {got} far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, &mut rng(6)).num_edges(), 0);
+        assert_eq!(gnp(6, 1.0, &mut rng(7)).num_edges(), 15);
+        assert_eq!(gnp(1, 0.5, &mut rng(8)).num_edges(), 0);
+        assert_eq!(gnp(0, 0.5, &mut rng(9)).num_nodes(), 0);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(100, 0.03, &mut rng(42));
+        let b = gnp(100, 0.03, &mut rng(42));
+        assert_eq!(a, b);
+    }
+}

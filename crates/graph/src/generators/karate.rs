@@ -1,0 +1,183 @@
+//! Zachary's karate club network (the paper's Figure 1 example).
+//!
+//! 34 members of a university karate club; an edge records interaction
+//! outside the club. A dispute between the instructor (vertex 1 in the
+//! paper's 1-based numbering) and the president (vertex 34) split the club
+//! into two known factions — the classic ground-truth community benchmark.
+
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// Number of vertices in the karate club graph.
+pub const KARATE_NUM_NODES: usize = 34;
+
+/// The 78 edges, 1-indexed as in Zachary's original paper (and the paper's
+/// Figure 1).
+const EDGES_1_INDEXED: [(NodeId, NodeId); 78] = [
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (1, 5),
+    (1, 6),
+    (1, 7),
+    (1, 8),
+    (1, 9),
+    (1, 11),
+    (1, 12),
+    (1, 13),
+    (1, 14),
+    (1, 18),
+    (1, 20),
+    (1, 22),
+    (1, 32),
+    (2, 3),
+    (2, 4),
+    (2, 8),
+    (2, 14),
+    (2, 18),
+    (2, 20),
+    (2, 22),
+    (2, 31),
+    (3, 4),
+    (3, 8),
+    (3, 9),
+    (3, 10),
+    (3, 14),
+    (3, 28),
+    (3, 29),
+    (3, 33),
+    (4, 8),
+    (4, 13),
+    (4, 14),
+    (5, 7),
+    (5, 11),
+    (6, 7),
+    (6, 11),
+    (6, 17),
+    (7, 17),
+    (9, 31),
+    (9, 33),
+    (9, 34),
+    (10, 34),
+    (14, 34),
+    (15, 33),
+    (15, 34),
+    (16, 33),
+    (16, 34),
+    (19, 33),
+    (19, 34),
+    (20, 34),
+    (21, 33),
+    (21, 34),
+    (23, 33),
+    (23, 34),
+    (24, 26),
+    (24, 28),
+    (24, 30),
+    (24, 33),
+    (24, 34),
+    (25, 26),
+    (25, 28),
+    (25, 32),
+    (26, 32),
+    (27, 30),
+    (27, 34),
+    (28, 34),
+    (29, 32),
+    (29, 34),
+    (30, 33),
+    (30, 34),
+    (31, 33),
+    (31, 34),
+    (32, 33),
+    (32, 34),
+    (33, 34),
+];
+
+/// Members who sided with the instructor (vertex 1), 1-indexed.
+const FACTION_INSTRUCTOR: [NodeId; 16] = [1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 17, 18, 20, 22];
+
+/// The karate club graph with **0-indexed** vertices (paper vertex `k` is
+/// node `k - 1`).
+pub fn karate_club() -> Graph {
+    let edges: Vec<(NodeId, NodeId)> = EDGES_1_INDEXED
+        .iter()
+        .map(|&(u, v)| (u - 1, v - 1))
+        .collect();
+    Graph::from_edges(KARATE_NUM_NODES, &edges).expect("static karate edges are valid")
+}
+
+/// Ground-truth faction of each (0-indexed) vertex: `0` = instructor's
+/// faction (paper vertex 1), `1` = president's faction (paper vertex 34).
+pub fn karate_factions() -> Vec<u32> {
+    let mut f = vec![1u32; KARATE_NUM_NODES];
+    for &v in &FACTION_INSTRUCTOR {
+        f[(v - 1) as usize] = 0;
+    }
+    f
+}
+
+/// Converts the paper's 1-indexed karate vertex ids to this crate's
+/// 0-indexed ids.
+pub fn from_paper_ids(ids: &[NodeId]) -> Vec<NodeId> {
+    ids.iter().map(|&v| v - 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn classic_statistics() {
+        let g = karate_club();
+        assert_eq!(g.num_nodes(), 34);
+        assert_eq!(g.num_edges(), 78);
+        assert!(is_connected(&g));
+        // The two leaders are the highest-degree hubs.
+        assert_eq!(g.degree(33), 17); // president (paper vertex 34)
+        assert_eq!(g.degree(0), 16); // instructor (paper vertex 1)
+    }
+
+    #[test]
+    fn leaders_are_not_adjacent() {
+        // Central to Fig 1's discussion: vertices 1 and 34 have no direct
+        // edge; vertex 32 (0-indexed 31) bridges them.
+        let g = karate_club();
+        assert!(!g.has_edge(0, 33));
+        assert!(g.has_edge(0, 31));
+        assert!(g.has_edge(31, 33));
+    }
+
+    #[test]
+    fn factions_partition_the_club() {
+        let f = karate_factions();
+        assert_eq!(f.len(), 34);
+        assert_eq!(f.iter().filter(|&&x| x == 0).count(), 16);
+        assert_eq!(f.iter().filter(|&&x| x == 1).count(), 18);
+        assert_eq!(f[0], 0);
+        assert_eq!(f[33], 1);
+    }
+
+    #[test]
+    fn factions_are_internally_dense() {
+        // More intra-faction than inter-faction edges (it is a community
+        // structure, after all).
+        let g = karate_club();
+        let f = karate_factions();
+        let (mut intra, mut inter) = (0, 0);
+        for (u, v) in g.edges() {
+            if f[u as usize] == f[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra}, inter {inter}");
+    }
+
+    #[test]
+    fn paper_id_conversion() {
+        assert_eq!(from_paper_ids(&[12, 25, 26, 30]), vec![11, 24, 25, 29]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Planted-partition stochastic block model: random graphs with
+//! ground-truth communities.
+//!
+//! §6.4 of the paper uses graphs with ground-truth communities (dblp,
+//! youtube) to build same-community (`sc`) and different-community (`dc`)
+//! query workloads. The planted partition is the standard synthetic model
+//! with that property: dense blocks (`p_in`), sparse cross-block edges
+//! (`p_out`).
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// A graph together with its planted ground-truth communities.
+#[derive(Debug, Clone)]
+pub struct PlantedPartition {
+    /// The generated graph.
+    pub graph: Graph,
+    /// `membership[v]` = community id of `v`, in `0..num_communities`.
+    pub membership: Vec<u32>,
+}
+
+impl PlantedPartition {
+    /// Number of planted communities.
+    pub fn num_communities(&self) -> usize {
+        self.membership
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Vertices of community `c`.
+    pub fn community(&self, c: u32) -> Vec<NodeId> {
+        (0..self.membership.len() as NodeId)
+            .filter(|&v| self.membership[v as usize] == c)
+            .collect()
+    }
+
+    /// Sizes of all communities.
+    pub fn community_sizes(&self) -> Vec<usize> {
+        let k = self.num_communities();
+        let mut sizes = vec![0usize; k];
+        for &c in &self.membership {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Generates a planted partition with the given community `sizes`,
+/// within-community edge probability `p_in` and cross-community
+/// probability `p_out`.
+///
+/// Intra- and inter-community edges are sampled with geometric skipping, so
+/// generation is `O(n + m)` in expectation. Vertices are numbered community
+/// by community.
+pub fn planted_partition<R: Rng>(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> PlantedPartition {
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n: usize = sizes.iter().sum();
+    let mut membership = vec![0u32; n];
+    let mut starts = Vec::with_capacity(sizes.len() + 1);
+    let mut acc = 0usize;
+    for (c, &s) in sizes.iter().enumerate() {
+        starts.push(acc);
+        membership[acc..acc + s].fill(c as u32);
+        acc += s;
+    }
+    starts.push(acc);
+
+    let mut b = GraphBuilder::new(n);
+
+    // Within each community: sample pairs (i, j), i < j, with prob p_in.
+    for (c, &s) in sizes.iter().enumerate() {
+        let base = starts[c] as NodeId;
+        sample_pairs(s, p_in, rng, |i, j| {
+            b.add_edge_unchecked(base + i, base + j);
+        });
+    }
+    // Between each pair of communities: bipartite sampling with prob p_out.
+    for c1 in 0..sizes.len() {
+        for c2 in (c1 + 1)..sizes.len() {
+            let (b1, s1) = (starts[c1] as NodeId, sizes[c1]);
+            let (b2, s2) = (starts[c2] as NodeId, sizes[c2]);
+            sample_bipartite(s1, s2, p_out, rng, |i, j| {
+                b.add_edge_unchecked(b1 + i, b2 + j);
+            });
+        }
+    }
+
+    PlantedPartition {
+        graph: b.build(),
+        membership,
+    }
+}
+
+/// Convenience constructor: `k` equal communities of size `n / k`, with
+/// `p_in`/`p_out` chosen to hit an expected average degree split between
+/// `deg_in` internal and `deg_out` external neighbors per vertex.
+pub fn planted_partition_by_degree<R: Rng>(
+    n: usize,
+    k: usize,
+    deg_in: f64,
+    deg_out: f64,
+    rng: &mut R,
+) -> PlantedPartition {
+    assert!(k >= 1 && n >= k);
+    let size = n / k;
+    let sizes: Vec<usize> = (0..k)
+        .map(|i| if i < k - 1 { size } else { n - size * (k - 1) })
+        .collect();
+    let p_in = (deg_in / (size.max(2) as f64 - 1.0)).min(1.0);
+    let p_out = if k > 1 {
+        (deg_out / ((n - size) as f64)).min(1.0)
+    } else {
+        0.0
+    };
+    planted_partition(&sizes, p_in, p_out, rng)
+}
+
+/// Calls `emit(i, j)` for each pair `0 <= i < j < s` present with
+/// probability `p` (geometric skipping over the triangular index space).
+fn sample_pairs<R: Rng>(s: usize, p: f64, rng: &mut R, mut emit: impl FnMut(NodeId, NodeId)) {
+    if p <= 0.0 || s < 2 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..s as NodeId {
+            for j in (i + 1)..s as NodeId {
+                emit(i, j);
+            }
+        }
+        return;
+    }
+    let log1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let s = s as i64;
+    while v < s {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        w += 1 + (r.ln() / log1p) as i64;
+        while w >= v && v < s {
+            w -= v;
+            v += 1;
+        }
+        if v < s {
+            emit(w as NodeId, v as NodeId);
+        }
+    }
+}
+
+/// Calls `emit(i, j)` for each pair in the `s1 × s2` bipartite index space
+/// present with probability `p`.
+fn sample_bipartite<R: Rng>(
+    s1: usize,
+    s2: usize,
+    p: f64,
+    rng: &mut R,
+    mut emit: impl FnMut(NodeId, NodeId),
+) {
+    if p <= 0.0 || s1 == 0 || s2 == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..s1 as NodeId {
+            for j in 0..s2 as NodeId {
+                emit(i, j);
+            }
+        }
+        return;
+    }
+    let log1p = (1.0 - p).ln();
+    let total = (s1 as u64) * (s2 as u64);
+    let mut pos: i64 = -1;
+    loop {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        pos += 1 + (r.ln() / log1p) as i64;
+        if pos as u64 >= total {
+            break;
+        }
+        let i = (pos as u64 / s2 as u64) as NodeId;
+        let j = (pos as u64 % s2 as u64) as NodeId;
+        emit(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn membership_matches_sizes() {
+        let pp = planted_partition(&[10, 20, 30], 0.5, 0.01, &mut rng(1));
+        assert_eq!(pp.graph.num_nodes(), 60);
+        assert_eq!(pp.num_communities(), 3);
+        assert_eq!(pp.community_sizes(), vec![10, 20, 30]);
+        assert_eq!(pp.community(0).len(), 10);
+        assert!(pp.community(2).iter().all(|&v| v >= 30));
+    }
+
+    #[test]
+    fn intra_density_exceeds_inter_density() {
+        let pp = planted_partition(&[100, 100], 0.2, 0.01, &mut rng(2));
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in pp.graph.edges() {
+            if pp.membership[u as usize] == pp.membership[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // Expected intra ≈ 2 * 0.2 * C(100,2) = 1980, inter ≈ 0.01 * 10000 = 100.
+        assert!(intra > 5 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn edge_counts_near_expectation() {
+        let pp = planted_partition(&[200, 200], 0.1, 0.005, &mut rng(3));
+        let expected = 2.0 * 0.1 * (200.0 * 199.0 / 2.0) + 0.005 * 200.0 * 200.0;
+        let got = pp.graph.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let pp = planted_partition(&[5, 5], 1.0, 0.0, &mut rng(4));
+        // Two disjoint K5s.
+        assert_eq!(pp.graph.num_edges(), 2 * 10);
+        assert!(!crate::connectivity::is_connected(&pp.graph));
+        let pp = planted_partition(&[3, 3], 0.0, 1.0, &mut rng(5));
+        assert_eq!(pp.graph.num_edges(), 9); // complete bipartite
+    }
+
+    #[test]
+    fn by_degree_constructor_hits_average_degree() {
+        let pp = planted_partition_by_degree(1000, 10, 8.0, 2.0, &mut rng(6));
+        let avg_deg = 2.0 * pp.graph.num_edges() as f64 / 1000.0;
+        assert!((avg_deg - 10.0).abs() < 1.5, "avg degree {avg_deg}");
+        assert_eq!(pp.community_sizes().len(), 10);
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic structured graph families.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// Path graph `P_n`: vertices `0..n`, edges `(i, i+1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n as NodeId {
+        b.add_edge_unchecked(i - 1, i);
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n` (requires `n >= 3` to be simple; smaller `n` degrades
+/// to a path).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for i in 1..n as NodeId {
+        b.add_edge_unchecked(i - 1, i);
+    }
+    if n >= 3 {
+        b.add_edge_unchecked(n as NodeId - 1, 0);
+    }
+    b.build()
+}
+
+/// Star graph: vertex 0 is the hub, `1..n` are leaves.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n as NodeId {
+        b.add_edge_unchecked(0, i);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge_unchecked(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The paper's Figure 2 graph, generalized to a line of `h` vertices.
+///
+/// Line `v_1 .. v_h` (ids `0..h`) plus two root vertices: `r_1` (id `h`)
+/// adjacent to the first `h/2 + 1` line vertices and `r_2` (id `h + 1`)
+/// adjacent to the last `h/2 + 1` (the two roots share the middle two line
+/// vertices and are not adjacent to each other).
+///
+/// With `h = 10` and `Q` = the line, this reproduces the paper's numbers
+/// exactly: the unique optimal Steiner tree is the line itself with
+/// `W(Q) = 165`; `W(Q ∪ {r_1}) = W(Q ∪ {r_2}) = 151`; the minimum Wiener
+/// connector is the whole graph with `W = 142` (§2, verified by brute
+/// force against all 151/142-compatible wirings).
+pub fn figure2_graph(h: usize) -> Graph {
+    assert!(h >= 4, "figure2_graph needs a line of at least 4 vertices");
+    let n = h + 2;
+    let cover = h / 2 + 1;
+    let mut b = GraphBuilder::with_capacity(n, h - 1 + 2 * cover);
+    for i in 1..h as NodeId {
+        b.add_edge_unchecked(i - 1, i);
+    }
+    let (r1, r2) = (h as NodeId, h as NodeId + 1);
+    for v in 0..cover as NodeId {
+        b.add_edge_unchecked(r1, v);
+    }
+    for v in (h - cover) as NodeId..h as NodeId {
+        b.add_edge_unchecked(r2, v);
+    }
+    b.build()
+}
+
+/// A line of `h` vertices (ids `0..h`) plus a single hub (id `h`) adjacent
+/// to every line vertex — the generalization in §2 showing Steiner trees
+/// can be arbitrarily bad: the line alone has Wiener index `Ω(h³)` while
+/// including the hub achieves `O(h²)`.
+pub fn line_with_hub(h: usize) -> Graph {
+    let n = h + 1;
+    let mut b = GraphBuilder::with_capacity(n, h.saturating_sub(1) + h);
+    for i in 1..h as NodeId {
+        b.add_edge_unchecked(i - 1, i);
+    }
+    for v in 0..h as NodeId {
+        b.add_edge_unchecked(h as NodeId, v);
+    }
+    b.build()
+}
+
+/// 2-D grid graph with `rows × cols` vertices; vertex `(r, c)` has id
+/// `r * cols + c`. With `diagonals`, the down-right diagonal is added,
+/// giving a rough road-network texture (used for the vienna-like Steiner
+/// benchmark instances).
+pub fn grid(rows: usize, cols: usize, diagonals: bool) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n + if diagonals { n } else { 0 });
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge_unchecked(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge_unchecked(id(r, c), id(r + 1, c));
+            }
+            if diagonals && r + 1 < rows && c + 1 < cols {
+                b.add_edge_unchecked(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube `Q_d`: `2^d` vertices, edges between ids
+/// differing in exactly one bit (the structure underlying the `puc`
+/// Steiner benchmarks).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d <= 24, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_capacity(n, n * d as usize / 2);
+    for v in 0..n as NodeId {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge_unchecked(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete `branching`-ary tree of the given `depth` (depth 0 = single
+/// root). Vertices are numbered level by level, root = 0.
+pub fn balanced_tree(branching: usize, depth: usize) -> Graph {
+    assert!(branching >= 1);
+    // n = 1 + b + b² + ... + b^depth
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= branching;
+        n += level;
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for child in 1..n {
+        let parent = (child - 1) / branching;
+        b.add_edge_unchecked(parent as NodeId, child as NodeId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!((0..6).all(|v| g.degree(v) == 2));
+        // Degenerate sizes.
+        assert_eq!(cycle(2).num_edges(), 1);
+        assert_eq!(cycle(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_and_complete_shapes() {
+        assert_eq!(star(7).degree(0), 6);
+        assert_eq!(star(7).num_edges(), 6);
+        let k5 = complete(5);
+        assert_eq!(k5.num_edges(), 10);
+        assert!((0..5).all(|v| k5.degree(v) == 4));
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let g = figure2_graph(10);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 9 + 12);
+        assert_eq!(g.degree(10), 6); // r1 covers v1..v6
+        assert_eq!(g.degree(11), 6); // r2 covers v5..v10
+        assert!(!g.has_edge(10, 11)); // roots are not adjacent
+        assert!(g.has_edge(10, 0) && !g.has_edge(10, 6));
+        assert!(g.has_edge(11, 9) && !g.has_edge(11, 3));
+        // Overlap: middle vertices see both roots.
+        assert!(g.has_edge(10, 4) && g.has_edge(11, 4));
+        assert!(g.has_edge(10, 5) && g.has_edge(11, 5));
+    }
+
+    #[test]
+    fn line_with_hub_shape() {
+        let g = line_with_hub(8);
+        assert_eq!(g.num_nodes(), 9);
+        assert_eq!(g.num_edges(), 7 + 8);
+        assert_eq!(g.degree(8), 8);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, false);
+        assert_eq!(g.num_nodes(), 12);
+        // 3*3 horizontal per row... rows*(cols-1) + cols*(rows-1) = 9 + 8.
+        assert_eq!(g.num_edges(), 17);
+        assert!(is_connected(&g));
+        let gd = grid(3, 4, true);
+        assert_eq!(gd.num_edges(), 17 + 6);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 32);
+        assert!((0..16).all(|v| g.degree(v) == 4));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert!(is_connected(&g));
+        assert_eq!(balanced_tree(3, 0).num_nodes(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text edge-list I/O (the SNAP interchange format the paper's
+//! datasets ship in).
+//!
+//! Format: one `u v` pair per line, whitespace-separated; lines starting
+//! with `#` or `%` are comments. Node ids need not be contiguous — they are
+//! compacted to `0..n` and the mapping is returned.
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::{GraphError, Result};
+use crate::hash::FxHashMap;
+use crate::NodeId;
+
+/// An edge-list graph plus the mapping from compact ids back to the ids in
+/// the file.
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The graph over compact ids `0..n`.
+    pub graph: Graph,
+    /// `original_id[v]` = id as written in the input.
+    pub original_id: Vec<u64>,
+}
+
+/// Reads an edge list, remapping arbitrary ids to `0..n` (first-seen
+/// order).
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph> {
+    let mut id_map: FxHashMap<u64, NodeId> = FxHashMap::default();
+    let mut original_id: Vec<u64> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+
+    let mut intern = |raw: u64, original_id: &mut Vec<u64>| -> NodeId {
+        *id_map.entry(raw).or_insert_with(|| {
+            let id = original_id.len() as NodeId;
+            original_id.push(raw);
+            id
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad node id {tok:?}: {e}"),
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        let ul = intern(u, &mut original_id);
+        let vl = intern(v, &mut original_id);
+        edges.push((ul, vl));
+    }
+
+    let mut b = GraphBuilder::with_capacity(original_id.len(), edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(LoadedGraph {
+        graph: b.build(),
+        original_id,
+    })
+}
+
+/// Writes a graph as an edge list (one `u v` per line, `u < v`), with a
+/// leading comment describing the size.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
+    writeln!(writer, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip() {
+        let g = crate::generators::karate::karate_club();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), g.num_nodes());
+        assert_eq!(loaded.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n% more\n0 1\n1 2\n";
+        let loaded = read_edge_list(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        assert_eq!(loaded.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn non_contiguous_ids_are_compacted() {
+        let text = "100 2000\n2000 5\n";
+        let loaded = read_edge_list(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        assert_eq!(loaded.original_id, vec![100, 2000, 5]);
+        // 100 ↔ 2000 and 2000 ↔ 5.
+        assert!(loaded.graph.has_edge(0, 1));
+        assert!(loaded.graph.has_edge(1, 2));
+        assert!(!loaded.graph.has_edge(0, 2));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let text = "0 1\nbogus\n";
+        let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let text = "0\n";
+        assert!(read_edge_list(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_edges_cleaned() {
+        let text = "0 1\n1 0\n2 2\n1 2\n";
+        let loaded = read_edge_list(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Whole-graph statistics: the columns of the paper's Table 1 (density,
+//! average degree, clustering coefficient, effective diameter) plus the
+//! per-solution statistics of Table 3.
+
+use rand::Rng;
+
+use crate::csr::Graph;
+use crate::traversal::bfs::BfsWorkspace;
+use crate::NodeId;
+
+/// Edge density `|E| / C(n, 2)`; 0 for graphs with fewer than 2 vertices.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.num_nodes() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    g.num_edges() as f64 / (n * (n - 1.0) / 2.0)
+}
+
+/// Average degree `2|E| / n`.
+pub fn average_degree(g: &Graph) -> f64 {
+    let n = g.num_nodes() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    2.0 * g.num_edges() as f64 / n
+}
+
+/// Exact average local clustering coefficient.
+///
+/// For each vertex: (# edges among its neighbors) / C(deg, 2); vertices of
+/// degree < 2 contribute 0, as in the SNAP convention the paper's Table 1
+/// follows. `O(Σ_v deg(v)²)` via sorted-adjacency lookups.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..n as NodeId).map(|v| local_clustering(g, v)).sum();
+    total / n as f64
+}
+
+/// Sampled average local clustering coefficient over `samples` uniform
+/// vertices. Falls back to exact when `samples >= n`.
+pub fn clustering_coefficient_sampled<R: Rng>(g: &Graph, samples: usize, rng: &mut R) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    if samples >= n {
+        return clustering_coefficient(g);
+    }
+    let samples = samples.max(1);
+    let total: f64 = (0..samples)
+        .map(|_| local_clustering(g, rng.gen_range(0..n as NodeId)))
+        .sum();
+    total / samples as f64
+}
+
+/// Local clustering coefficient of a single vertex.
+pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    links as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Effective diameter: the `q`-th quantile (paper/SNAP use 0.9) of the
+/// pairwise-distance distribution, with linear interpolation between
+/// integer distances, estimated from BFS over `samples` random sources.
+///
+/// Returns 0 for graphs with no reachable pairs.
+pub fn effective_diameter<R: Rng>(g: &Graph, q: f64, samples: usize, rng: &mut R) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    let n = g.num_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut ws = BfsWorkspace::new();
+    // histogram[d] = number of sampled (source, target) pairs at distance d.
+    let mut histogram: Vec<u64> = Vec::new();
+    let exact = samples >= n;
+    let runs = if exact { n } else { samples.max(1) };
+    for i in 0..runs {
+        let s = if exact {
+            i as NodeId
+        } else {
+            rng.gen_range(0..n as NodeId)
+        };
+        let dist = ws.run(g, s);
+        for &d in dist.iter() {
+            if d != crate::INF_DIST && d > 0 {
+                if histogram.len() <= d as usize {
+                    histogram.resize(d as usize + 1, 0);
+                }
+                histogram[d as usize] += 1;
+            }
+        }
+    }
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = q * total as f64;
+    let mut acc = 0u64;
+    for (d, &count) in histogram.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let next = acc + count;
+        if next as f64 >= target {
+            // Interpolate within distance bucket d: fraction of the bucket
+            // needed to reach the quantile, counted from d - 1.
+            let frac = (target - acc as f64) / count as f64;
+            return (d as f64 - 1.0) + frac;
+        }
+        acc = next;
+    }
+    (histogram.len() - 1) as f64
+}
+
+/// Bundle of the Table 1 statistics for one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_nodes: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Edge density δ.
+    pub density: f64,
+    /// Average degree `ad`.
+    pub average_degree: f64,
+    /// Average local clustering coefficient `cc`.
+    pub clustering: f64,
+    /// 90% effective diameter `ed`.
+    pub effective_diameter: f64,
+}
+
+/// Computes all Table 1 statistics, sampling the expensive ones on graphs
+/// larger than `exact_threshold` vertices.
+pub fn graph_stats<R: Rng>(g: &Graph, exact_threshold: usize, rng: &mut R) -> GraphStats {
+    let n = g.num_nodes();
+    let samples = exact_threshold.max(1);
+    let clustering = if n <= exact_threshold {
+        clustering_coefficient(g)
+    } else {
+        clustering_coefficient_sampled(g, samples, rng)
+    };
+    let ed_samples = if n <= exact_threshold {
+        n
+    } else {
+        samples.min(256)
+    };
+    GraphStats {
+        num_nodes: n,
+        num_edges: g.num_edges(),
+        density: density(g),
+        average_degree: average_degree(g),
+        clustering,
+        effective_diameter: effective_diameter(g, 0.9, ed_samples, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn density_and_degree_basics() {
+        let g = structured::complete(5);
+        assert_eq!(density(&g), 1.0);
+        assert_eq!(average_degree(&g), 4.0);
+        let p = structured::path(5);
+        assert_eq!(average_degree(&p), 1.6);
+        assert!((density(&p) - 0.4).abs() < 1e-12);
+        assert_eq!(density(&crate::Graph::empty(1)), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_complete_is_one_of_tree_zero() {
+        assert_eq!(clustering_coefficient(&structured::complete(6)), 1.0);
+        assert_eq!(
+            clustering_coefficient(&structured::balanced_tree(2, 3)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_tail() {
+        // Triangle 0-1-2, tail 2-3. cc(0)=cc(1)=1, cc(2)=1/3, cc(3)=0.
+        let g = crate::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let expect = (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0;
+        assert!((clustering_coefficient(&g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_clustering_close_to_exact() {
+        let mut r = rng();
+        let g = crate::generators::barabasi_albert(500, 4, &mut r);
+        let exact = clustering_coefficient(&g);
+        let sampled = clustering_coefficient_sampled(&g, 250, &mut r);
+        assert!(
+            (exact - sampled).abs() < 0.08,
+            "exact {exact}, sampled {sampled}"
+        );
+    }
+
+    #[test]
+    fn effective_diameter_of_complete_is_one() {
+        let mut r = rng();
+        let ed = effective_diameter(&structured::complete(10), 0.9, 10, &mut r);
+        assert!((0.0..=1.0).contains(&ed), "ed = {ed}");
+        assert!(ed > 0.5);
+    }
+
+    #[test]
+    fn effective_diameter_grows_with_path_length() {
+        let mut r = rng();
+        let short = effective_diameter(&structured::path(10), 0.9, 100, &mut r);
+        let long = effective_diameter(&structured::path(100), 0.9, 200, &mut r);
+        assert!(long > 2.0 * short, "short {short}, long {long}");
+    }
+
+    #[test]
+    fn stats_bundle_is_consistent() {
+        let mut r = rng();
+        let g = crate::generators::karate::karate_club();
+        let s = graph_stats(&g, 1000, &mut r);
+        assert_eq!(s.num_nodes, 34);
+        assert_eq!(s.num_edges, 78);
+        assert!((s.average_degree - 2.0 * 78.0 / 34.0).abs() < 1e-12);
+        // Known ballparks for karate: cc ≈ 0.588, 90% eff. diameter < 5.
+        assert!((s.clustering - 0.588).abs() < 0.02, "cc = {}", s.clustering);
+        assert!(s.effective_diameter > 1.0 && s.effective_diameter < 5.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let mut r = rng();
+        let s = graph_stats(&crate::Graph::empty(0), 10, &mut r);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.effective_diameter, 0.0);
+    }
+}

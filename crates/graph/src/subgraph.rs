@@ -1,0 +1,168 @@
+//! Induced subgraphs `G[S]` with local/global id mapping.
+
+use crate::csr::Graph;
+use crate::error::Result;
+use crate::NodeId;
+
+/// The subgraph of a [`Graph`] induced by a vertex set `S`, re-indexed to
+/// local ids `0..|S|`.
+///
+/// The Wiener connector objective is defined over induced subgraphs
+/// (`W(S) = W(G[S])`, paper §2), so this is the unit the solvers and the
+/// evaluation harness operate on. The original ids are kept sorted, giving
+/// `O(log |S|)` global→local lookups and making local id order consistent
+/// with global order.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    graph: Graph,
+    /// Sorted original ids; `original[local] = global`.
+    original: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Builds `G[S]` for `S = nodes` (deduplicated; order-insensitive).
+    ///
+    /// Runs in `O(Σ_{v ∈ S} deg_G(v) · log |S|)`.
+    pub fn new(g: &Graph, nodes: &[NodeId]) -> Result<Self> {
+        let mut original: Vec<NodeId> = nodes.to_vec();
+        original.sort_unstable();
+        original.dedup();
+        for &v in &original {
+            g.check_node(v)?;
+        }
+
+        // For each member, keep the neighbors that are also members,
+        // translated to local ids. Merging two sorted lists would also work;
+        // binary search keeps the code simpler and is fast enough since |S|
+        // is typically small.
+        let k = original.len();
+        let mut offsets = vec![0u32; k + 1];
+        let mut neighbors: Vec<NodeId> = Vec::new();
+        for (local, &global) in original.iter().enumerate() {
+            for &nb in g.neighbors(global) {
+                if let Ok(nb_local) = original.binary_search(&nb) {
+                    neighbors.push(nb_local as NodeId);
+                }
+            }
+            offsets[local + 1] = neighbors.len() as u32;
+        }
+        // Global adjacency is sorted and `original` is sorted, so each local
+        // list is already sorted and deduplicated.
+        Ok(InducedSubgraph {
+            graph: Graph::from_csr_parts(offsets, neighbors),
+            original,
+        })
+    }
+
+    /// The induced subgraph as a standalone [`Graph`] over local ids.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices in the subgraph.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.original.len()
+    }
+
+    /// Sorted original (global) ids; index = local id.
+    #[inline]
+    pub fn original_ids(&self) -> &[NodeId] {
+        &self.original
+    }
+
+    /// Global id of a local vertex.
+    #[inline]
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.original[local as usize]
+    }
+
+    /// Local id of a global vertex, if it belongs to the subgraph.
+    #[inline]
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        self.original
+            .binary_search(&global)
+            .ok()
+            .map(|i| i as NodeId)
+    }
+
+    /// Whether a global vertex belongs to the subgraph.
+    #[inline]
+    pub fn contains(&self, global: NodeId) -> bool {
+        self.original.binary_search(&global).is_ok()
+    }
+
+    /// Translates a slice of global ids to local ids.
+    ///
+    /// Returns `None` if any id is not in the subgraph.
+    pub fn to_local_many(&self, globals: &[NodeId]) -> Option<Vec<NodeId>> {
+        globals.iter().map(|&g| self.to_local(g)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2-3 path plus chord (0,3) plus isolated-ish vertex 4 attached to 0.
+    fn fixture() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 4)]).unwrap()
+    }
+
+    #[test]
+    fn induces_expected_edges() {
+        let g = fixture();
+        let s = g.induced(&[0, 1, 3]).unwrap();
+        assert_eq!(s.num_nodes(), 3);
+        // Local ids: 0→0, 1→1, 3→2. Edges kept: (0,1) and (0,3).
+        let edges: Vec<_> = s.graph().edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn id_round_trip() {
+        let g = fixture();
+        let s = g.induced(&[3, 0, 4, 3]).unwrap(); // unsorted + duplicate
+        assert_eq!(s.original_ids(), &[0, 3, 4]);
+        for local in 0..s.num_nodes() as NodeId {
+            assert_eq!(s.to_local(s.to_global(local)), Some(local));
+        }
+        assert_eq!(s.to_local(1), None);
+        assert!(s.contains(4));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn to_local_many_fails_on_missing() {
+        let g = fixture();
+        let s = g.induced(&[0, 1]).unwrap();
+        assert_eq!(s.to_local_many(&[1, 0]), Some(vec![1, 0]));
+        assert_eq!(s.to_local_many(&[0, 2]), None);
+    }
+
+    #[test]
+    fn whole_graph_induction_is_identity() {
+        let g = fixture();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let s = g.induced(&all).unwrap();
+        assert_eq!(s.graph().num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(s.graph().neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_member() {
+        let g = fixture();
+        assert!(g.induced(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn empty_set_gives_empty_subgraph() {
+        let g = fixture();
+        let s = g.induced(&[]).unwrap();
+        assert_eq!(s.num_nodes(), 0);
+        assert_eq!(s.graph().num_edges(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Breadth-first search on unweighted graphs.
+//!
+//! The paper's graphs are unweighted, so single-source shortest paths are
+//! BFS. Algorithm 1 (`WienerSteiner`) runs one BFS per query vertex up
+//! front (`O(|Q|(|V| + |E|))`), and the evaluation harness runs all-pairs
+//! BFS over candidate subgraphs, so this is the hottest code path in the
+//! project. A reusable [`BfsWorkspace`] avoids reallocating the distance,
+//! parent, and queue arrays on every call (perf-book: reuse workhorse
+//! collections).
+
+use crate::csr::Graph;
+use crate::{NodeId, INF_DIST, NO_NODE};
+
+/// Distances (and optionally parents) from a BFS source.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// `dist[v]` is the hop distance from the source, or [`INF_DIST`] if
+    /// unreachable.
+    pub dist: Vec<u32>,
+    /// `parent[v]` is the BFS-tree parent, [`NO_NODE`] for the source and
+    /// unreachable vertices. Empty if parents were not requested.
+    pub parent: Vec<NodeId>,
+}
+
+/// Reusable buffers for BFS runs over graphs of the same size.
+#[derive(Debug, Default)]
+pub struct BfsWorkspace {
+    dist: Vec<u32>,
+    parent: Vec<NodeId>,
+    queue: Vec<NodeId>,
+}
+
+impl BfsWorkspace {
+    /// A workspace; buffers grow lazily to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize, want_parents: bool) {
+        self.dist.clear();
+        self.dist.resize(n, INF_DIST);
+        self.parent.clear();
+        if want_parents {
+            self.parent.resize(n, NO_NODE);
+        }
+        self.queue.clear();
+    }
+
+    /// BFS distances from `source`, written into the workspace.
+    ///
+    /// Returns the filled distance slice. `O(|V| + |E|)`.
+    pub fn run(&mut self, g: &Graph, source: NodeId) -> &[u32] {
+        self.run_inner(g, source, false);
+        &self.dist
+    }
+
+    /// BFS distances and parents from `source`.
+    pub fn run_with_parents(&mut self, g: &Graph, source: NodeId) -> (&[u32], &[NodeId]) {
+        self.run_inner(g, source, true);
+        (&self.dist, &self.parent)
+    }
+
+    /// BFS from `source` that stops once every vertex in `targets` has been
+    /// reached (useful for the cocktail-party ball construction, §6.1).
+    ///
+    /// Returns the visited vertices in dequeue order, truncated at the end of
+    /// the level in which the last target was found. Unreached targets simply
+    /// never decrement the counter, so the BFS exhausts the component.
+    pub fn run_until_covered(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        targets: &[NodeId],
+    ) -> Vec<NodeId> {
+        self.reset(g.num_nodes(), false);
+        let mut needed: Vec<bool> = vec![false; g.num_nodes()];
+        let mut remaining = 0usize;
+        for &t in targets {
+            if !needed[t as usize] {
+                needed[t as usize] = true;
+                remaining += 1;
+            }
+        }
+
+        self.dist[source as usize] = 0;
+        self.queue.push(source);
+        if needed[source as usize] {
+            remaining -= 1;
+        }
+        // Once the last target is discovered at level L, vertices at level
+        // >= L are kept but no longer expanded, completing level L and
+        // stopping there.
+        let mut stop_level = if remaining == 0 { 0 } else { u32::MAX };
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            if du >= stop_level {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if self.dist[v as usize] == INF_DIST {
+                    self.dist[v as usize] = du + 1;
+                    self.queue.push(v);
+                    if needed[v as usize] {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            stop_level = du + 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.queue.clone()
+    }
+
+    fn run_inner(&mut self, g: &Graph, source: NodeId, want_parents: bool) {
+        let n = g.num_nodes();
+        debug_assert!((source as usize) < n);
+        self.reset(n, want_parents);
+        self.dist[source as usize] = 0;
+        self.queue.push(source);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &v in g.neighbors(u) {
+                if self.dist[v as usize] == INF_DIST {
+                    self.dist[v as usize] = du + 1;
+                    if want_parents {
+                        self.parent[v as usize] = u;
+                    }
+                    self.queue.push(v);
+                }
+            }
+        }
+    }
+
+    /// Sum of distances from the last run's source to all reachable
+    /// vertices, and the count of reachable vertices (including the source).
+    pub fn last_run_distance_sum(&self) -> (u64, usize) {
+        let mut sum = 0u64;
+        for &v in &self.queue {
+            sum += self.dist[v as usize] as u64;
+        }
+        (sum, self.queue.len())
+    }
+}
+
+/// One-shot BFS distances from `source`. Allocates; prefer
+/// [`BfsWorkspace`] in loops.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut ws = BfsWorkspace::new();
+    ws.run(g, source);
+    ws.dist
+}
+
+/// One-shot BFS distances and parents from `source`.
+pub fn bfs_parents(g: &Graph, source: NodeId) -> BfsResult {
+    let mut ws = BfsWorkspace::new();
+    ws.run_inner(g, source, true);
+    BfsResult {
+        dist: ws.dist,
+        parent: ws.parent,
+    }
+}
+
+/// Reconstructs the path `source → target` from a parent array produced by
+/// [`bfs_parents`] (or any shortest-path tree). Returns `None` if `target`
+/// is unreachable.
+pub fn path_from_parents(parent: &[NodeId], source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        let p = parent[cur as usize];
+        if p == NO_NODE {
+            return None;
+        }
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(NodeId, NodeId)> = (0..n as NodeId - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path_graph(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        let d = bfs_distances(&g, 3);
+        assert_eq!(d, vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INF_DIST);
+        assert_eq!(d[3], INF_DIST);
+    }
+
+    #[test]
+    fn parents_reconstruct_shortest_paths() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)]).unwrap();
+        let r = bfs_parents(&g, 0);
+        let p = path_from_parents(&r.parent, 0, 5).unwrap();
+        assert_eq!(p.len() as u32 - 1, r.dist[5]);
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 5);
+        // Each consecutive pair is an edge.
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn path_to_unreachable_is_none() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let r = bfs_parents(&g, 0);
+        assert!(path_from_parents(&r.parent, 0, 2).is_none());
+    }
+
+    #[test]
+    fn workspace_is_reusable() {
+        let g = path_graph(5);
+        let mut ws = BfsWorkspace::new();
+        let d0: Vec<u32> = ws.run(&g, 0).to_vec();
+        let d4: Vec<u32> = ws.run(&g, 4).to_vec();
+        assert_eq!(d0, vec![0, 1, 2, 3, 4]);
+        assert_eq!(d4, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn distance_sum_counts_component_only() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut ws = BfsWorkspace::new();
+        ws.run(&g, 0);
+        let (sum, reached) = ws.last_run_distance_sum();
+        assert_eq!(sum, 1 + 2);
+        assert_eq!(reached, 3);
+    }
+
+    #[test]
+    fn run_until_covered_stops_at_last_target_level() {
+        let g = path_graph(10);
+        let mut ws = BfsWorkspace::new();
+        let visited = ws.run_until_covered(&g, 0, &[3]);
+        // Level-synchronous cutoff: everything within distance 3.
+        let mut v = visited.clone();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_covered_with_source_in_targets() {
+        let g = path_graph(4);
+        let mut ws = BfsWorkspace::new();
+        let visited = ws.run_until_covered(&g, 1, &[1]);
+        assert_eq!(visited, vec![1]);
+    }
+
+    #[test]
+    fn run_until_covered_unreachable_target_visits_component() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut ws = BfsWorkspace::new();
+        let visited = ws.run_until_covered(&g, 0, &[4]);
+        let mut v = visited;
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Dijkstra shortest paths with caller-supplied edge weights.
+//!
+//! Algorithm 1 reweights the input graph into `G_{r,λ}` (edge weight
+//! `λ + max(d_G(r,u), d_G(r,v)) / λ`, Lemma 4) and runs Mehlhorn's Steiner
+//! approximation on it. Mehlhorn's algorithm needs a *multi-source* Dijkstra
+//! that also records, for every vertex, which source (terminal) is nearest —
+//! the Voronoi partition of the graph around the terminals. Weights are
+//! provided as a closure so the reweighted graph never has to be
+//! materialized.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::csr::Graph;
+use crate::{NodeId, NO_NODE};
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// `dist[v]` is the weighted distance from the source
+    /// (`f64::INFINITY` if unreachable).
+    pub dist: Vec<f64>,
+    /// Shortest-path-tree parent ([`NO_NODE`] for source/unreachable).
+    pub parent: Vec<NodeId>,
+}
+
+/// Result of a multi-source Dijkstra run: the Voronoi partition around the
+/// sources.
+#[derive(Debug, Clone)]
+pub struct VoronoiResult {
+    /// `dist[v]`: weighted distance to the nearest source.
+    pub dist: Vec<f64>,
+    /// `parent[v]`: next hop toward the nearest source ([`NO_NODE`] at a
+    /// source or unreachable vertex).
+    pub parent: Vec<NodeId>,
+    /// `source_index[v]`: index into the `sources` slice of the nearest
+    /// source (`u32::MAX` if unreachable). Ties are broken by first
+    /// settlement order, which is deterministic.
+    pub source_index: Vec<u32>,
+}
+
+/// Totally ordered f64 key for the binary heap.
+///
+/// Weights produced by `G_{r,λ}` are finite and positive, so `total_cmp`
+/// gives the ordering Dijkstra needs without pulling in an ordered-float
+/// dependency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapKey(f64);
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Single-source Dijkstra with edge weights from `weight(u, v)`.
+///
+/// `weight` must be symmetric and non-negative; it is evaluated once per
+/// directed edge relaxation. `O((|V| + |E|) log |V|)` with lazy deletion.
+pub fn dijkstra<W>(g: &Graph, source: NodeId, weight: W) -> DijkstraResult
+where
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![NO_NODE; n];
+    let mut heap: BinaryHeap<Reverse<(HeapKey, NodeId)>> = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(Reverse((HeapKey(0.0), source)));
+    run_heap(g, &weight, &mut dist, &mut parent, None, &mut heap);
+    DijkstraResult { dist, parent }
+}
+
+/// Multi-source Dijkstra producing the Voronoi partition around `sources`.
+///
+/// Every source starts at distance 0; `source_index[v]` reports which
+/// source's region `v` falls into (Mehlhorn's `s(v)`), and following
+/// `parent` from `v` leads to that source along a shortest path.
+pub fn multi_source_dijkstra<W>(g: &Graph, sources: &[NodeId], weight: W) -> VoronoiResult
+where
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![NO_NODE; n];
+    let mut source_index = vec![u32::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(HeapKey, NodeId)>> = BinaryHeap::new();
+    for (i, &s) in sources.iter().enumerate() {
+        debug_assert!((s as usize) < n);
+        // Duplicate sources: first one wins.
+        if dist[s as usize] != 0.0 || source_index[s as usize] == u32::MAX {
+            dist[s as usize] = 0.0;
+            source_index[s as usize] = i as u32;
+            heap.push(Reverse((HeapKey(0.0), s)));
+        }
+    }
+    run_heap(
+        g,
+        &weight,
+        &mut dist,
+        &mut parent,
+        Some(&mut source_index),
+        &mut heap,
+    );
+    VoronoiResult {
+        dist,
+        parent,
+        source_index,
+    }
+}
+
+fn run_heap<W>(
+    g: &Graph,
+    weight: &W,
+    dist: &mut [f64],
+    parent: &mut [NodeId],
+    mut source_index: Option<&mut [u32]>,
+    heap: &mut BinaryHeap<Reverse<(HeapKey, NodeId)>>,
+) where
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    let mut settled = vec![false; dist.len()];
+    while let Some(Reverse((HeapKey(du), u))) = heap.pop() {
+        if settled[u as usize] {
+            continue;
+        }
+        settled[u as usize] = true;
+        debug_assert!(du <= dist[u as usize] + 1e-12);
+        for &v in g.neighbors(u) {
+            if settled[v as usize] {
+                continue;
+            }
+            let w = weight(u, v);
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let cand = du + w;
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                parent[v as usize] = u;
+                if let Some(src) = source_index.as_deref_mut() {
+                    src[v as usize] = src[u as usize];
+                }
+                heap.push(Reverse((HeapKey(cand), v)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs::bfs_distances;
+    use crate::Graph;
+
+    const UNIT: fn(NodeId, NodeId) -> f64 = |_, _| 1.0;
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 4), (4, 6)])
+            .unwrap();
+        let d = dijkstra(&g, 0, UNIT);
+        let b = bfs_distances(&g, 0);
+        for (v, &expect) in b.iter().enumerate() {
+            assert_eq!(d.dist[v] as u32, expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_detour() {
+        // 0-1 heavy direct edge vs 0-2-1 light path.
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (2, 1)]).unwrap();
+        let weight = |u: NodeId, v: NodeId| {
+            if (u.min(v), u.max(v)) == (0, 1) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let d = dijkstra(&g, 0, weight);
+        assert_eq!(d.dist[1], 2.0);
+        assert_eq!(d.parent[1], 2);
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = dijkstra(&g, 0, UNIT);
+        assert!(d.dist[2].is_infinite());
+        assert_eq!(d.parent[2], NO_NODE);
+    }
+
+    #[test]
+    fn voronoi_partition_assigns_nearest_source() {
+        // Path 0-1-2-3-4-5 with sources {0, 5}.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let v = multi_source_dijkstra(&g, &[0, 5], UNIT);
+        assert_eq!(v.source_index[0], 0);
+        assert_eq!(v.source_index[1], 0);
+        assert_eq!(v.source_index[4], 1);
+        assert_eq!(v.source_index[5], 1);
+        assert_eq!(v.dist[2], 2.0);
+        assert_eq!(v.dist[3], 2.0);
+        // Parents lead back to the assigned source.
+        let mut cur = 4u32;
+        while v.parent[cur as usize] != NO_NODE {
+            cur = v.parent[cur as usize];
+        }
+        assert_eq!(cur, 5);
+    }
+
+    #[test]
+    fn voronoi_handles_duplicate_sources() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let v = multi_source_dijkstra(&g, &[0, 0, 2], UNIT);
+        assert_eq!(v.source_index[0], 0);
+        assert_eq!(v.source_index[2], 2);
+    }
+
+    #[test]
+    fn voronoi_distances_match_min_over_single_source() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 40;
+        let mut edges = Vec::new();
+        for i in 1..n as NodeId {
+            edges.push((rng.gen_range(0..i), i)); // random connected tree
+        }
+        for _ in 0..40 {
+            edges.push((rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId)));
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let sources = [3u32, 17, 29];
+        let multi = multi_source_dijkstra(&g, &sources, UNIT);
+        let singles: Vec<_> = sources.iter().map(|&s| dijkstra(&g, s, UNIT)).collect();
+        for v in 0..n {
+            let best = singles
+                .iter()
+                .map(|r| r.dist[v])
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(multi.dist[v], best, "vertex {v}");
+        }
+    }
+}

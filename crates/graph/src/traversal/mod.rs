@@ -1,0 +1,7 @@
+//! Graph traversals: BFS (unweighted) and Dijkstra (weighted).
+
+pub mod bfs;
+pub mod dijkstra;
+
+pub use bfs::{bfs_distances, bfs_parents, BfsResult, BfsWorkspace};
+pub use dijkstra::{dijkstra, multi_source_dijkstra, DijkstraResult, VoronoiResult};

@@ -1,0 +1,219 @@
+//! The Wiener index and related distance aggregates.
+//!
+//! `W(H) = Σ_{{u,v} ⊆ V(H)} d_H(u, v)` (paper Eq. 1, unordered pairs).
+//! The paper also uses the root-based proxy `A(H, r) = |V(H)| · Σ_v d_H(v, r)`
+//! (Lemma 1 sandwiches `W` between `A/2` and `A`), which lives in
+//! `mwc-core::objective`; this module provides the graph-level primitives.
+
+use crate::csr::Graph;
+use crate::error::Result;
+use crate::traversal::bfs::BfsWorkspace;
+use crate::NodeId;
+
+/// Exact Wiener index via all-pairs BFS; `None` if the graph is
+/// disconnected (the Wiener index is conventionally infinite then).
+///
+/// `O(|V| · (|V| + |E|))` — intended for the small candidate subgraphs the
+/// solvers produce, not for million-node inputs (use
+/// [`wiener_index_sampled`] there).
+pub fn wiener_index(g: &Graph) -> Option<u64> {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return Some(0);
+    }
+    let mut ws = BfsWorkspace::new();
+    let mut total = 0u64;
+    for v in 0..n as NodeId {
+        ws.run(g, v);
+        let (sum, reached) = ws.last_run_distance_sum();
+        if reached != n {
+            return None;
+        }
+        total += sum;
+    }
+    Some(total / 2)
+}
+
+/// Exact Wiener index of the subgraph induced by `nodes`.
+///
+/// `None` if the induced subgraph is disconnected; errors only on
+/// out-of-range ids.
+pub fn wiener_index_of_subset(g: &Graph, nodes: &[NodeId]) -> Result<Option<u64>> {
+    let sub = g.induced(nodes)?;
+    Ok(wiener_index(sub.graph()))
+}
+
+/// Sum of shortest-path distances from `r` to every vertex.
+///
+/// `None` if some vertex is unreachable from `r`.
+pub fn distance_sum_from(g: &Graph, r: NodeId) -> Option<u64> {
+    let mut ws = BfsWorkspace::new();
+    ws.run(g, r);
+    let (sum, reached) = ws.last_run_distance_sum();
+    (reached == g.num_nodes()).then_some(sum)
+}
+
+/// Average pairwise distance `W(G) / C(n, 2)`; `None` if disconnected or
+/// `n < 2`.
+pub fn average_distance(g: &Graph) -> Option<f64> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    let w = wiener_index(g)?;
+    let pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+    Some(w as f64 / pairs)
+}
+
+/// Unbiased sampled estimate of the Wiener index.
+///
+/// Runs BFS from `samples` uniform random sources and scales the average
+/// row sum: `W = (n / 2) · E_v[Σ_u d(v, u)]`. Returns `None` if any sampled
+/// source fails to reach the whole graph (disconnected). With `samples >=
+/// n` this degrades gracefully into the exact computation over all sources.
+pub fn wiener_index_sampled<R: rand::Rng>(g: &Graph, samples: usize, rng: &mut R) -> Option<f64> {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return Some(0.0);
+    }
+    if samples >= n {
+        return wiener_index(g).map(|w| w as f64);
+    }
+    let mut ws = BfsWorkspace::new();
+    let mut total = 0.0f64;
+    for _ in 0..samples.max(1) {
+        let v = rng.gen_range(0..n as NodeId);
+        ws.run(g, v);
+        let (sum, reached) = ws.last_run_distance_sum();
+        if reached != n {
+            return None;
+        }
+        total += sum as f64;
+    }
+    let avg_row = total / samples.max(1) as f64;
+    Some(avg_row * n as f64 / 2.0)
+}
+
+/// Eccentricity of `r` (max distance to any vertex); `None` if `r` does not
+/// reach the whole graph.
+pub fn eccentricity(g: &Graph, r: NodeId) -> Option<u32> {
+    let mut ws = BfsWorkspace::new();
+    let dist = ws.run(g, r);
+    let mut reached = 0usize;
+    let mut ecc = 0u32;
+    for &d in dist.iter() {
+        if d != crate::INF_DIST {
+            reached += 1;
+            ecc = ecc.max(d);
+        }
+    }
+    (reached == g.num_nodes()).then_some(ecc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured;
+    use rand::SeedableRng;
+
+    /// Closed form for a path on n vertices: W(P_n) = (n³ - n) / 6.
+    fn path_wiener(n: u64) -> u64 {
+        (n * n * n - n) / 6
+    }
+
+    #[test]
+    fn wiener_of_paths_matches_closed_form() {
+        for n in 2..=12u64 {
+            let g = structured::path(n as usize);
+            assert_eq!(wiener_index(&g), Some(path_wiener(n)), "P_{n}");
+        }
+    }
+
+    #[test]
+    fn wiener_of_complete_graph_is_pair_count() {
+        for n in 2..=8u64 {
+            let g = structured::complete(n as usize);
+            assert_eq!(wiener_index(&g), Some(n * (n - 1) / 2));
+        }
+    }
+
+    #[test]
+    fn wiener_of_star_is_known() {
+        // Star on n vertices: (n-1) spokes at distance 1, C(n-1,2) leaf pairs
+        // at distance 2.
+        for n in 2..=9u64 {
+            let g = structured::star(n as usize);
+            let leaves = n - 1;
+            let expect = leaves + 2 * (leaves * (leaves - 1) / 2);
+            assert_eq!(wiener_index(&g), Some(expect));
+        }
+    }
+
+    #[test]
+    fn paper_figure_2_values() {
+        // Fig 2: line v1..v10 plus two overlapping half-covering roots.
+        // W(Q) = 165 (the bare line), W(Q ∪ {r1}) = 151, W(Q ∪ {r1, r2}) = 142.
+        let g = structured::figure2_graph(10);
+        // Vertices 0..10 are the line, 10 and 11 the roots.
+        let line: Vec<NodeId> = (0..10).collect();
+        assert_eq!(wiener_index_of_subset(&g, &line).unwrap(), Some(165));
+        let with_r1: Vec<NodeId> = (0..11).collect();
+        assert_eq!(wiener_index_of_subset(&g, &with_r1).unwrap(), Some(151));
+        let with_both: Vec<NodeId> = (0..12).collect();
+        assert_eq!(wiener_index_of_subset(&g, &with_both).unwrap(), Some(142));
+    }
+
+    #[test]
+    fn disconnected_has_no_wiener_index() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(wiener_index(&g), None);
+        assert_eq!(wiener_index_of_subset(&g, &[0, 1, 2]).unwrap(), None);
+        assert_eq!(wiener_index_of_subset(&g, &[0, 1]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(wiener_index(&Graph::empty(0)), Some(0));
+        assert_eq!(wiener_index(&Graph::empty(1)), Some(0));
+        assert_eq!(average_distance(&Graph::empty(1)), None);
+    }
+
+    #[test]
+    fn distance_sum_and_eccentricity() {
+        let g = structured::path(5);
+        assert_eq!(distance_sum_from(&g, 0), Some(1 + 2 + 3 + 4));
+        assert_eq!(distance_sum_from(&g, 2), Some(1 + 1 + 2 + 2));
+        assert_eq!(eccentricity(&g, 0), Some(4));
+        assert_eq!(eccentricity(&g, 2), Some(2));
+        let h = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(distance_sum_from(&h, 0), None);
+        assert_eq!(eccentricity(&h, 0), None);
+    }
+
+    #[test]
+    fn average_distance_of_complete_is_one() {
+        let g = structured::complete(6);
+        assert_eq!(average_distance(&g), Some(1.0));
+    }
+
+    #[test]
+    fn sampled_estimate_is_close_on_moderate_graph() {
+        let g = structured::grid(20, 20, false);
+        let exact = wiener_index(&g).unwrap() as f64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let est = wiener_index_sampled(&g, 120, &mut rng).unwrap();
+        let rel = (est - exact).abs() / exact;
+        assert!(
+            rel < 0.1,
+            "relative error {rel} too large (est {est}, exact {exact})"
+        );
+    }
+
+    #[test]
+    fn sampled_falls_back_to_exact_for_large_sample_counts() {
+        let g = structured::path(8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let est = wiener_index_sampled(&g, 1000, &mut rng).unwrap();
+        assert_eq!(est, wiener_index(&g).unwrap() as f64);
+    }
+}

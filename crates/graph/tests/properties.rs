@@ -1,0 +1,184 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use mwc_graph::connectivity::{connected_components, is_connected, is_connected_subset};
+use mwc_graph::traversal::bfs::{bfs_distances, bfs_parents, path_from_parents};
+use mwc_graph::traversal::dijkstra::dijkstra;
+use mwc_graph::wiener::{distance_sum_from, wiener_index};
+use mwc_graph::{centrality, Graph, GraphBuilder, NodeId, INF_DIST};
+
+/// Strategy: an arbitrary (possibly disconnected) simple graph with
+/// 1..40 vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        1usize..40,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..120),
+    )
+        .prop_map(|(n, raw)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in raw {
+                let _ = b.add_edge(u % n as u32, v % n as u32);
+            }
+            b.build()
+        })
+}
+
+/// Strategy: a connected graph (random tree + extra edges).
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as NodeId {
+            b.add_edge(rng.gen_range(0..v), v).unwrap();
+        }
+        for _ in 0..rng.gen_range(0..2 * n) {
+            b.add_edge(rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId))
+                .unwrap();
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CSR adjacency is symmetric, sorted, deduplicated, loop-free.
+    #[test]
+    fn csr_invariants(g in arb_graph()) {
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted+dedup");
+            prop_assert!(!nbrs.contains(&v), "no self-loop");
+            for &u in nbrs {
+                prop_assert!(g.neighbors(u).contains(&v), "symmetry {u}<->{v}");
+            }
+        }
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    /// Induced subgraphs never shorten distances.
+    #[test]
+    fn induced_distances_dominate(g in arb_connected_graph(), pick in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(pick);
+        let n = g.num_nodes();
+        let size = rng.gen_range(1..=n);
+        let mut set: Vec<NodeId> = (0..size).map(|_| rng.gen_range(0..n as NodeId)).collect();
+        set.sort_unstable();
+        set.dedup();
+        let sub = g.induced(&set).unwrap();
+        let src_local = 0 as NodeId;
+        let src_global = sub.to_global(src_local);
+        let d_sub = bfs_distances(sub.graph(), src_local);
+        let d_g = bfs_distances(&g, src_global);
+        for local in 0..sub.num_nodes() as NodeId {
+            let global = sub.to_global(local);
+            if d_sub[local as usize] != INF_DIST {
+                prop_assert!(d_sub[local as usize] >= d_g[global as usize]);
+            }
+        }
+    }
+
+    /// BFS and unit-weight Dijkstra agree everywhere.
+    #[test]
+    fn bfs_matches_unit_dijkstra(g in arb_graph()) {
+        let d_bfs = bfs_distances(&g, 0);
+        let d_dij = dijkstra(&g, 0, |_, _| 1.0);
+        for v in 0..g.num_nodes() {
+            if d_bfs[v] == INF_DIST {
+                prop_assert!(d_dij.dist[v].is_infinite());
+            } else {
+                prop_assert_eq!(d_bfs[v] as f64, d_dij.dist[v]);
+            }
+        }
+    }
+
+    /// BFS parents reconstruct paths of exactly the reported length.
+    #[test]
+    fn bfs_paths_have_reported_length(g in arb_connected_graph()) {
+        let r = bfs_parents(&g, 0);
+        for t in 0..g.num_nodes() as NodeId {
+            let p = path_from_parents(&r.parent, 0, t).unwrap();
+            prop_assert_eq!(p.len() as u32 - 1, r.dist[t as usize]);
+            for w in p.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    /// The triangle inequality holds for BFS distances.
+    #[test]
+    fn triangle_inequality(g in arb_connected_graph(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.num_nodes() as NodeId;
+        let (a, b, c) = (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..n));
+        let da = bfs_distances(&g, a);
+        let db = bfs_distances(&g, b);
+        prop_assert!(da[c as usize] <= da[b as usize] + db[c as usize]);
+    }
+
+    /// W(G) equals half the sum of all single-source distance sums.
+    #[test]
+    fn wiener_consistent_with_row_sums(g in arb_connected_graph()) {
+        let w = wiener_index(&g).unwrap();
+        let rows: u64 = g.nodes().map(|v| distance_sum_from(&g, v).unwrap()).sum();
+        prop_assert_eq!(w, rows / 2);
+    }
+
+    /// Unnormalized betweenness sums to W(G) - C(n, 2) on connected graphs
+    /// (every pair spreads d(s,t) - 1 units over interior vertices).
+    #[test]
+    fn betweenness_mass_conservation(g in arb_connected_graph()) {
+        let n = g.num_nodes() as u64;
+        let w = wiener_index(&g).unwrap();
+        let bc = centrality::betweenness(&g, false);
+        let total: f64 = bc.iter().sum();
+        let expect = (w - n * (n - 1) / 2) as f64;
+        prop_assert!((total - expect).abs() < 1e-6 * expect.max(1.0),
+            "bc mass {total} vs {expect}");
+    }
+
+    /// Component labelling agrees with pairwise reachability.
+    #[test]
+    fn components_match_reachability(g in arb_graph()) {
+        let comps = connected_components(&g);
+        let d0 = bfs_distances(&g, 0);
+        for v in 0..g.num_nodes() {
+            prop_assert_eq!(comps.same(0, v as NodeId), d0[v] != INF_DIST);
+        }
+        prop_assert_eq!(comps.count == 1, is_connected(&g));
+    }
+
+    /// `is_connected_subset` agrees with materializing the subgraph.
+    #[test]
+    fn subset_connectivity_matches_materialized(g in arb_graph(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.num_nodes();
+        let size = rng.gen_range(1..=n);
+        let set: Vec<NodeId> = (0..size).map(|_| rng.gen_range(0..n as NodeId)).collect();
+        let quick = is_connected_subset(&g, &set).unwrap();
+        let sub = g.induced(&set).unwrap();
+        prop_assert_eq!(quick, is_connected(sub.graph()));
+    }
+
+    /// Edge-list round trip through the text format is lossless.
+    #[test]
+    fn io_round_trip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        mwc_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let loaded = mwc_graph::io::read_edge_list(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        // Isolated vertices are not representable in an edge list; every
+        // edge must survive with original ids recoverable.
+        for (u, v) in loaded.graph.edges() {
+            let (ou, ov) = (loaded.original_id[u as usize] as NodeId,
+                            loaded.original_id[v as usize] as NodeId);
+            prop_assert!(g.has_edge(ou, ov));
+        }
+    }
+}

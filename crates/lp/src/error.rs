@@ -1,0 +1,73 @@
+//! Error type for model construction and solving.
+//!
+//! Infeasibility and unboundedness are *statuses* (a well-posed question
+//! with a negative answer), not errors; [`LpError`] covers misuse of the
+//! API and resource exhaustion.
+
+use std::fmt;
+
+/// Errors raised by model construction or the solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint or objective referenced a variable that was never
+    /// added to the model.
+    UnknownVariable {
+        /// The offending index.
+        index: usize,
+        /// Number of variables in the model.
+        num_vars: usize,
+    },
+    /// A coefficient, bound, or right-hand side was NaN.
+    NotANumber {
+        /// Where the NaN appeared.
+        context: &'static str,
+    },
+    /// A variable was declared with `lo > hi`.
+    EmptyBounds {
+        /// Variable index.
+        index: usize,
+        /// Declared lower bound.
+        lo: f64,
+        /// Declared upper bound.
+        hi: f64,
+    },
+    /// A variable was declared with an infinite lower bound. The simplex
+    /// works in the shifted space `x' = x − lo ≥ 0`, so every variable
+    /// needs a finite lower bound (free variables are not required by the
+    /// §5 programs).
+    FreeVariable {
+        /// Variable index.
+        index: usize,
+    },
+    /// The pivot-count cap was exceeded (see
+    /// [`SimplexConfig::max_pivots`](crate::SimplexConfig)).
+    IterationLimit {
+        /// Pivots performed before giving up.
+        pivots: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable { index, num_vars } => {
+                write!(f, "variable index {index} out of range (model has {num_vars})")
+            }
+            LpError::NotANumber { context } => write!(f, "NaN encountered in {context}"),
+            LpError::EmptyBounds { index, lo, hi } => {
+                write!(f, "variable {index} has empty bounds [{lo}, {hi}]")
+            }
+            LpError::FreeVariable { index } => {
+                write!(f, "variable {index} has an infinite lower bound (unsupported)")
+            }
+            LpError::IterationLimit { pivots } => {
+                write!(f, "simplex exceeded the pivot limit ({pivots} pivots)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LpError>;

@@ -1,0 +1,55 @@
+//! A self-contained linear-programming substrate: dense two-phase simplex
+//! plus best-first branch-and-bound for mixed-integer programs.
+//!
+//! The paper ("The Minimum Wiener Connector Problem", SIGMOD 2015) obtains
+//! its Table 2 lower/upper bounds (`GL`/`GU`) by handing the §5 integer
+//! programs to Gurobi. A commercial solver is outside this reproduction's
+//! dependency policy, so this crate implements the solving machinery from
+//! scratch:
+//!
+//! * [`LpProblem`] — a minimization model with per-variable bounds and
+//!   sparse `≤ / ≥ / =` constraints,
+//! * [`solve`](LpProblem::solve) — dense tableau two-phase simplex with a
+//!   Dantzig pivot rule that falls back to Bland's rule under degeneracy
+//!   (guaranteeing termination),
+//! * [`branch_and_bound`] — best-first branch-and-bound over a declared
+//!   set of integer variables, returning a certified `[lower bound,
+//!   incumbent]` interval even when truncated by node or time limits —
+//!   exactly the semantics Table 2 reports when Gurobi runs out of memory.
+//!
+//! The solver is *dense*: every pivot touches the full tableau. That is the
+//! right trade-off here — the §5 programs are only ever instantiated on
+//! small graphs (the paper itself restricts Table 2 to graphs where the
+//! number of variables is not "too large to even formulate") — and it keeps the
+//! implementation small enough to test exhaustively.
+//!
+//! # Example
+//!
+//! ```
+//! use mwc_lp::{Cmp, LpProblem, LpStatus, SimplexConfig};
+//!
+//! // minimize -3x - 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  (Dantzig's
+//! // classic factory problem; optimum at (2, 6) with value -36).
+//! let mut lp = LpProblem::minimize();
+//! let x = lp.add_var("x", 0.0, f64::INFINITY, -3.0).unwrap();
+//! let y = lp.add_var("y", 0.0, f64::INFINITY, -5.0).unwrap();
+//! lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0).unwrap();
+//! lp.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0).unwrap();
+//! lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0).unwrap();
+//! let sol = lp.solve(&SimplexConfig::default()).unwrap();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - (-36.0)).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod mip;
+pub mod model;
+pub mod simplex;
+
+pub use error::{LpError, Result};
+pub use mip::{branch_and_bound, MipConfig, MipResult, MipStatus};
+pub use model::{Cmp, LpProblem, Var};
+pub use simplex::{LpSolution, LpStatus, SimplexConfig};

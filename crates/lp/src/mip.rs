@@ -1,0 +1,335 @@
+//! Best-first branch-and-bound over LP relaxations.
+//!
+//! Branching fixes variable-bound intervals (`x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`) rather
+//! than copying the model, so each node is a cheap bound-override list on
+//! top of the shared [`LpProblem`]. The open-node frontier is ordered by
+//! LP bound, which keeps the reported `lower_bound` tight: when the solver
+//! is truncated by node or time limits it still returns a certified
+//! `[lower_bound, incumbent]` interval — the same semantics the paper
+//! reports in Table 2 when Gurobi runs out of memory ("we report the best
+//! lower bound found so far").
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::error::Result;
+use crate::model::{LpProblem, Var};
+use crate::simplex::{LpStatus, SimplexConfig};
+
+/// Tuning knobs of branch-and-bound.
+#[derive(Debug, Clone)]
+pub struct MipConfig {
+    /// Configuration of the per-node LP solves.
+    pub simplex: SimplexConfig,
+    /// Maximum explored nodes before truncation.
+    pub max_nodes: usize,
+    /// Wall-clock budget; `None` means unlimited.
+    pub time_limit: Option<Duration>,
+    /// Tolerance for declaring a value integral.
+    pub int_tol: f64,
+    /// Nodes with an LP bound within `gap_tol` of the incumbent are
+    /// pruned. With an integral objective, a value just below `1.0` proves
+    /// optimality much earlier; the conservative default never prunes a
+    /// strictly better solution.
+    pub gap_tol: f64,
+}
+
+impl Default for MipConfig {
+    fn default() -> Self {
+        MipConfig {
+            simplex: SimplexConfig::default(),
+            max_nodes: 50_000,
+            time_limit: None,
+            int_tol: 1e-6,
+            gap_tol: 1e-9,
+        }
+    }
+}
+
+/// Outcome classification of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// The incumbent is optimal (within `gap_tol`).
+    Optimal,
+    /// Truncated with an incumbent; optimality not proved.
+    Feasible,
+    /// Proved that no integer-feasible point exists.
+    Infeasible,
+    /// A relaxation was unbounded — the model has no finite optimum.
+    Unbounded,
+    /// Truncated before any integer-feasible point was found.
+    Unknown,
+}
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct MipResult {
+    /// Outcome classification.
+    pub status: MipStatus,
+    /// Best integer-feasible assignment found, if any.
+    pub x: Option<Vec<f64>>,
+    /// Objective of the incumbent, if any.
+    pub objective: Option<f64>,
+    /// Certified lower bound on the optimal objective (`−∞` if the root
+    /// relaxation was never solved).
+    pub lower_bound: f64,
+    /// Nodes whose LP relaxation was solved.
+    pub nodes: usize,
+}
+
+/// An open node: the LP bound inherited from its parent plus the chain of
+/// bound overrides that define its subproblem.
+struct Node {
+    bound: f64,
+    overrides: Vec<(Var, f64, f64)>,
+}
+
+/// Max-heap adapter that pops the *smallest* bound first.
+struct ByBound(Node);
+
+impl PartialEq for ByBound {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for ByBound {}
+impl PartialOrd for ByBound {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByBound {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the least bound.
+        other.0.bound.total_cmp(&self.0.bound)
+    }
+}
+
+/// Minimizes `problem` with the listed variables required to take integer
+/// values. Returns a certified interval even when truncated.
+pub fn branch_and_bound(
+    problem: &LpProblem,
+    integer_vars: &[Var],
+    config: &MipConfig,
+) -> Result<MipResult> {
+    let started = Instant::now();
+    let mut heap: BinaryHeap<ByBound> = BinaryHeap::new();
+    heap.push(ByBound(Node { bound: f64::NEG_INFINITY, overrides: Vec::new() }));
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut nodes = 0usize;
+    let mut truncated = false;
+
+    while let Some(ByBound(node)) = heap.pop() {
+        // Best-first order: once the least open bound cannot beat the
+        // incumbent, nothing can — the incumbent is optimal.
+        if let Some((_, inc_obj)) = &incumbent {
+            if node.bound >= inc_obj - config.gap_tol {
+                heap.clear();
+                heap.push(ByBound(node)); // preserved for the bound report
+                break;
+            }
+        }
+        if nodes >= config.max_nodes
+            || config.time_limit.is_some_and(|lim| started.elapsed() >= lim)
+        {
+            heap.push(ByBound(node));
+            truncated = true;
+            break;
+        }
+
+        let sol = problem.solve_with_bounds(&node.overrides, &config.simplex)?;
+        nodes += 1;
+        match sol.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // An unbounded relaxation at any node means the mixed
+                // program itself has no finite optimum (our models always
+                // bound integer variables, so the ray is continuous).
+                return Ok(MipResult {
+                    status: MipStatus::Unbounded,
+                    x: None,
+                    objective: None,
+                    lower_bound: f64::NEG_INFINITY,
+                    nodes,
+                });
+            }
+            LpStatus::Optimal => {}
+        }
+        if let Some((_, inc_obj)) = &incumbent {
+            if sol.objective >= inc_obj - config.gap_tol {
+                continue;
+            }
+        }
+
+        // Most-fractional branching variable.
+        let frac = integer_vars
+            .iter()
+            .filter_map(|&v| {
+                let val = sol.x[v.index()];
+                let f = (val - val.round()).abs();
+                (f > config.int_tol).then_some((v, val, f))
+            })
+            .max_by(|a, b| a.2.total_cmp(&b.2));
+
+        match frac {
+            None => {
+                // Integer feasible; sol.objective < incumbent was checked.
+                incumbent = Some((sol.x, sol.objective));
+            }
+            Some((v, val, _)) => {
+                let down = val.floor();
+                for (lo, hi) in [(f64::NEG_INFINITY, down), (down + 1.0, f64::INFINITY)] {
+                    let mut overrides = node.overrides.clone();
+                    // Branch bounds intersect the model bounds inside the
+                    // solver; −∞ lower overrides are "no-ops" there, so
+                    // substitute the declared bound.
+                    let lo = if lo.is_finite() { lo } else { problem.lo[v.index()] };
+                    overrides.push((v, lo, hi));
+                    heap.push(ByBound(Node { bound: sol.objective, overrides }));
+                }
+            }
+        }
+    }
+
+    // The certified lower bound: the least open-node bound, or the
+    // incumbent itself when the tree is exhausted.
+    let open_min = heap.peek().map(|n| n.0.bound);
+    let (status, lower_bound) = match (&incumbent, open_min, truncated) {
+        (Some((_, obj)), None, _) => (MipStatus::Optimal, *obj),
+        (Some((_, obj)), Some(b), false) => (MipStatus::Optimal, b.max(*obj - config.gap_tol).min(*obj)),
+        (Some(_), Some(b), true) => (MipStatus::Feasible, b),
+        (None, None, false) => (MipStatus::Infeasible, f64::INFINITY),
+        (None, Some(b), _) => (MipStatus::Unknown, b),
+        (None, None, true) => (MipStatus::Unknown, f64::NEG_INFINITY),
+    };
+    let (x, objective) = match incumbent {
+        Some((x, obj)) => (Some(x), Some(obj)),
+        None => (None, None),
+    };
+    Ok(MipResult { status, x, objective, lower_bound, nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LpProblem};
+
+    const TOL: f64 = 1e-6;
+
+    #[test]
+    fn knapsack_toy_is_solved_exactly() {
+        // max 8a + 11b + 6c + 4d s.t. 5a + 7b + 4c + 3d ≤ 14, binary.
+        // Optimum picks {b, c, d}: value 21 at weight exactly 14.
+        let mut lp = LpProblem::minimize();
+        let vals = [8.0, 11.0, 6.0, 4.0];
+        let wts = [5.0, 7.0, 4.0, 3.0];
+        let vars: Vec<Var> = (0..4)
+            .map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, -vals[i]).unwrap())
+            .collect();
+        lp.add_constraint(vars.iter().copied().zip(wts).collect(), Cmp::Le, 14.0).unwrap();
+        let res = branch_and_bound(&lp, &vars, &MipConfig::default()).unwrap();
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.objective.unwrap() + 21.0).abs() < TOL, "{:?}", res.objective);
+        // LP bound ≤ MIP optimum for minimization.
+        assert!(res.lower_bound <= res.objective.unwrap() + TOL);
+        // All chosen values integral.
+        for v in &vars {
+            let val = res.x.as_ref().unwrap()[v.index()];
+            assert!((val - val.round()).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn integrality_gap_lp_below_mip() {
+        // min x + y s.t. 2x + 2y ≥ 3, binary: LP relaxation gives 1.5,
+        // MIP must pay 2.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, 1.0, 1.0).unwrap();
+        let y = lp.add_var("y", 0.0, 1.0, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Ge, 3.0).unwrap();
+        let relax = lp.solve(&SimplexConfig::default()).unwrap();
+        assert!((relax.objective - 1.5).abs() < TOL);
+        let res = branch_and_bound(&lp, &[x, y], &MipConfig::default()).unwrap();
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.objective.unwrap() - 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn infeasible_mip_is_proved() {
+        // 0.4 ≤ x ≤ 0.6 contains no integer; branching proves it.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.4, 0.6, 1.0).unwrap();
+        let res = branch_and_bound(&lp, &[x], &MipConfig::default()).unwrap();
+        assert_eq!(res.status, MipStatus::Infeasible);
+        assert!(res.x.is_none());
+    }
+
+    #[test]
+    fn truncation_reports_certified_interval() {
+        // Large enough tree that max_nodes = 1 truncates after the root.
+        let mut lp = LpProblem::minimize();
+        let vars: Vec<Var> = (0..6)
+            .map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, -((i + 1) as f64)).unwrap())
+            .collect();
+        lp.add_constraint(
+            vars.iter().map(|&v| (v, 2.0)).collect(),
+            Cmp::Le,
+            7.0,
+        )
+        .unwrap();
+        let config = MipConfig { max_nodes: 1, ..MipConfig::default() };
+        let res = branch_and_bound(&lp, &vars, &config).unwrap();
+        assert!(matches!(res.status, MipStatus::Unknown | MipStatus::Feasible));
+        assert_eq!(res.nodes, 1);
+        // The reported bound must lower-bound the true optimum (-15: take
+        // the three most valuable items at weight 6 ≤ 7).
+        let full = branch_and_bound(&lp, &vars, &MipConfig::default()).unwrap();
+        assert_eq!(full.status, MipStatus::Optimal);
+        assert!(res.lower_bound <= full.objective.unwrap() + TOL);
+    }
+
+    #[test]
+    fn pure_lp_passthrough_when_no_integer_vars() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
+        lp.add_constraint(vec![(x, 2.0)], Cmp::Le, 3.0).unwrap();
+        let res = branch_and_bound(&lp, &[], &MipConfig::default()).unwrap();
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.objective.unwrap() + 1.5).abs() < TOL);
+    }
+
+    #[test]
+    fn unbounded_relaxation_is_reported() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
+        let b = lp.add_var("b", 0.0, 1.0, 0.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (b, -1.0)], Cmp::Ge, 0.0).unwrap();
+        let res = branch_and_bound(&lp, &[b], &MipConfig::default()).unwrap();
+        assert_eq!(res.status, MipStatus::Unbounded);
+    }
+
+    #[test]
+    fn equality_tied_binaries() {
+        // min a + 2b + 3c s.t. a + b + c = 2, binary → {a, b}: 3.
+        let mut lp = LpProblem::minimize();
+        let a = lp.add_var("a", 0.0, 1.0, 1.0).unwrap();
+        let b = lp.add_var("b", 0.0, 1.0, 2.0).unwrap();
+        let c = lp.add_var("c", 0.0, 1.0, 3.0).unwrap();
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Cmp::Eq, 2.0).unwrap();
+        let res = branch_and_bound(&lp, &[a, b, c], &MipConfig::default()).unwrap();
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.objective.unwrap() - 3.0).abs() < TOL);
+    }
+
+    #[test]
+    fn general_integers_not_just_binaries() {
+        // min -x s.t. 3x ≤ 10, x integer in [0, 9] → x = 3.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, 9.0, -1.0).unwrap();
+        lp.add_constraint(vec![(x, 3.0)], Cmp::Le, 10.0).unwrap();
+        let res = branch_and_bound(&lp, &[x], &MipConfig::default()).unwrap();
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.x.unwrap()[0] - 3.0).abs() < TOL);
+    }
+}

@@ -1,0 +1,278 @@
+//! LP model construction: variables with bounds, sparse constraints, and a
+//! linear minimization objective.
+
+use crate::error::{LpError, Result};
+use crate::simplex::{solve_simplex, LpSolution, SimplexConfig};
+
+/// Handle to a model variable.
+///
+/// Returned by [`LpProblem::add_var`]; indices are dense and allocated in
+/// insertion order, so callers that build a model from an external layout
+/// (e.g. `mwc-core`'s `IntegerProgram`) can rely on `Var(i).index() == i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Constructs a handle from a raw index. The index is validated on
+    /// first use in [`LpProblem::add_constraint`] / objective access.
+    pub fn from_index(index: usize) -> Self {
+        Var(index)
+    }
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ aᵢxᵢ ≤ rhs`
+    Le,
+    /// `Σ aᵢxᵢ ≥ rhs`
+    Ge,
+    /// `Σ aᵢxᵢ = rhs`
+    Eq,
+}
+
+/// A sparse constraint row.
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub terms: Vec<(usize, f64)>,
+    pub op: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear program `min c·x  s.t.  rows, lo ≤ x ≤ hi`.
+///
+/// Every variable needs a finite lower bound (the simplex operates on the
+/// shifted nonnegative space `x − lo`); upper bounds may be infinite.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    pub(crate) names: Vec<String>,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) lo: Vec<f64>,
+    pub(crate) hi: Vec<f64>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl LpProblem {
+    /// Creates an empty minimization problem.
+    pub fn minimize() -> Self {
+        LpProblem::default()
+    }
+
+    /// Adds a variable with bounds `[lo, hi]` and objective coefficient
+    /// `obj`; returns its handle.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        obj: f64,
+    ) -> Result<Var> {
+        let index = self.names.len();
+        if lo.is_nan() || hi.is_nan() {
+            return Err(LpError::NotANumber { context: "variable bounds" });
+        }
+        if obj.is_nan() {
+            return Err(LpError::NotANumber { context: "objective coefficient" });
+        }
+        if !lo.is_finite() {
+            return Err(LpError::FreeVariable { index });
+        }
+        if lo > hi {
+            return Err(LpError::EmptyBounds { index, lo, hi });
+        }
+        self.names.push(name.into());
+        self.objective.push(obj);
+        self.lo.push(lo);
+        self.hi.push(hi);
+        Ok(Var(index))
+    }
+
+    /// Adds `n` variables sharing the same bounds and a zero objective;
+    /// coefficients can be set later with [`set_objective`](Self::set_objective).
+    pub fn add_vars(&mut self, n: usize, lo: f64, hi: f64) -> Result<Vec<Var>> {
+        (0..n)
+            .map(|i| self.add_var(format!("x{}", self.names.len() + i), lo, hi, 0.0))
+            .collect()
+    }
+
+    /// Overwrites the objective coefficient of `var`.
+    pub fn set_objective(&mut self, var: Var, coeff: f64) -> Result<()> {
+        self.check_var(var.0)?;
+        if coeff.is_nan() {
+            return Err(LpError::NotANumber { context: "objective coefficient" });
+        }
+        self.objective[var.0] = coeff;
+        Ok(())
+    }
+
+    /// Adds a sparse constraint `Σ coeff · var (op) rhs`. Duplicate
+    /// variables in `terms` are summed.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(Var, f64)>,
+        op: Cmp,
+        rhs: f64,
+    ) -> Result<()> {
+        if rhs.is_nan() {
+            return Err(LpError::NotANumber { context: "constraint rhs" });
+        }
+        let mut collected: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            self.check_var(v.0)?;
+            if c.is_nan() {
+                return Err(LpError::NotANumber { context: "constraint coefficient" });
+            }
+            collected.push((v.0, c));
+        }
+        // Sum duplicates so the tableau assembly can assume unique columns.
+        collected.sort_unstable_by_key(|&(i, _)| i);
+        collected.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 += later.1;
+                true
+            } else {
+                false
+            }
+        });
+        self.rows.push(Row { terms: collected, op, rhs });
+        Ok(())
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints (excluding variable bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The declared bounds of `var`.
+    pub fn bounds(&self, var: Var) -> Result<(f64, f64)> {
+        self.check_var(var.0)?;
+        Ok((self.lo[var.0], self.hi[var.0]))
+    }
+
+    /// Objective value of an assignment (no feasibility check).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Whether `x` satisfies all rows and bounds within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for ((xi, lo), hi) in x.iter().zip(&self.lo).zip(&self.hi) {
+            if *xi < lo - tol || *xi > hi + tol {
+                return false;
+            }
+        }
+        self.rows.iter().all(|row| {
+            let lhs: f64 = row.terms.iter().map(|&(i, c)| c * x[i]).sum();
+            match row.op {
+                Cmp::Le => lhs <= row.rhs + tol,
+                Cmp::Ge => lhs >= row.rhs - tol,
+                Cmp::Eq => (lhs - row.rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// Solves the LP with the two-phase simplex.
+    pub fn solve(&self, config: &SimplexConfig) -> Result<LpSolution> {
+        solve_simplex(self, &[], config)
+    }
+
+    /// Solves with per-variable bound overrides `(var, lo, hi)` applied on
+    /// top of the declared bounds — the branching mechanism of
+    /// [`branch_and_bound`](crate::branch_and_bound). The model itself is
+    /// not mutated.
+    pub fn solve_with_bounds(
+        &self,
+        overrides: &[(Var, f64, f64)],
+        config: &SimplexConfig,
+    ) -> Result<LpSolution> {
+        solve_simplex(self, overrides, config)
+    }
+
+    fn check_var(&self, index: usize) -> Result<()> {
+        if index >= self.num_vars() {
+            return Err(LpError::UnknownVariable { index, num_vars: self.num_vars() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_var_validates_bounds_and_nan() {
+        let mut lp = LpProblem::minimize();
+        assert!(matches!(
+            lp.add_var("bad", 2.0, 1.0, 0.0),
+            Err(LpError::EmptyBounds { .. })
+        ));
+        assert!(matches!(
+            lp.add_var("nan", f64::NAN, 1.0, 0.0),
+            Err(LpError::NotANumber { .. })
+        ));
+        assert!(matches!(
+            lp.add_var("free", f64::NEG_INFINITY, 1.0, 0.0),
+            Err(LpError::FreeVariable { .. })
+        ));
+        assert!(lp.add_var("ok", 0.0, f64::INFINITY, 1.0).is_ok());
+    }
+
+    #[test]
+    fn add_constraint_rejects_unknown_vars() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, 1.0, 1.0).unwrap();
+        assert!(lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0).is_ok());
+        let ghost = Var::from_index(7);
+        assert!(matches!(
+            lp.add_constraint(vec![(ghost, 1.0)], Cmp::Le, 1.0),
+            Err(LpError::UnknownVariable { index: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, 10.0, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (x, 2.0)], Cmp::Eq, 6.0).unwrap();
+        assert_eq!(lp.rows[0].terms, vec![(0, 3.0)]);
+        // 3x = 6 → x = 2 is the only feasible point.
+        assert!(lp.is_feasible(&[2.0], 1e-9));
+        assert!(!lp.is_feasible(&[3.0], 1e-9));
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_ops() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 1.0, 5.0, 0.0).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY, 0.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0).unwrap();
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 4.0).unwrap();
+        assert!(lp.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.5, 4.0], 1e-9)); // below lo of x
+        assert!(!lp.is_feasible(&[2.0, 0.5], 1e-9)); // violates Ge
+        assert!(!lp.is_feasible(&[2.0, 5.0], 1e-9)); // violates Le
+        assert!(!lp.is_feasible(&[2.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_value_is_dot_product() {
+        let mut lp = LpProblem::minimize();
+        lp.add_var("x", 0.0, 1.0, 2.0).unwrap();
+        lp.add_var("y", 0.0, 1.0, -1.0).unwrap();
+        assert_eq!(lp.objective_value(&[3.0, 4.0]), 2.0);
+    }
+}

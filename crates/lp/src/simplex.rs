@@ -1,0 +1,618 @@
+//! Dense two-phase tableau simplex.
+//!
+//! Phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible solution; phase 2 minimizes the real objective. Pivots use
+//! Dantzig's rule (most negative reduced cost) for speed and fall back to
+//! Bland's rule after a streak of degenerate pivots, which guarantees
+//! termination (Bland's anti-cycling theorem). Every pivot touches the
+//! whole tableau — dense is the right trade-off for the small §5 programs
+//! this crate exists to solve.
+
+use crate::error::{LpError, Result};
+use crate::model::{Cmp, LpProblem, Var};
+
+/// Outcome classification of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Outcome classification.
+    pub status: LpStatus,
+    /// Optimal assignment in the *original* variable space (empty unless
+    /// [`LpStatus::Optimal`]).
+    pub x: Vec<f64>,
+    /// Optimal objective value; `+∞` when infeasible, `−∞` when unbounded
+    /// (the conventional values for a minimization problem).
+    pub objective: f64,
+    /// Pivots performed across both phases.
+    pub pivots: usize,
+}
+
+impl LpSolution {
+    fn infeasible(pivots: usize) -> Self {
+        LpSolution { status: LpStatus::Infeasible, x: Vec::new(), objective: f64::INFINITY, pivots }
+    }
+
+    fn unbounded(pivots: usize) -> Self {
+        LpSolution {
+            status: LpStatus::Unbounded,
+            x: Vec::new(),
+            objective: f64::NEG_INFINITY,
+            pivots,
+        }
+    }
+}
+
+/// Tuning knobs of the simplex.
+#[derive(Debug, Clone)]
+pub struct SimplexConfig {
+    /// Hard cap on total pivots across both phases; exceeding it returns
+    /// [`LpError::IterationLimit`]. Bland's rule guarantees finite
+    /// termination, so the cap only bounds worst-case *time*.
+    pub max_pivots: usize,
+    /// Numerical tolerance for pivot eligibility and feasibility.
+    pub tol: f64,
+    /// Consecutive degenerate pivots before switching from Dantzig's rule
+    /// to Bland's rule.
+    pub bland_after: usize,
+}
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        SimplexConfig { max_pivots: 500_000, tol: 1e-9, bland_after: 64 }
+    }
+}
+
+/// One row of the standardized problem, before tableau assembly.
+struct StdRow {
+    terms: Vec<(usize, f64)>,
+    op: Cmp,
+    rhs: f64,
+}
+
+/// The working tableau: `rows × width` constraint matrix (rhs in the last
+/// column) plus a separate reduced-cost row.
+struct Tableau {
+    a: Vec<f64>,
+    width: usize,
+    m: usize,
+    basis: Vec<usize>,
+    cost: Vec<f64>,
+    blocked: Vec<bool>,
+    pivots: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.width + j]
+    }
+
+    fn rhs(&self, i: usize) -> f64 {
+        self.at(i, self.width - 1)
+    }
+
+    /// Gauss-Jordan pivot on `(prow, pcol)`, updating the cost row.
+    fn pivot(&mut self, prow: usize, pcol: usize) {
+        let w = self.width;
+        let piv = self.a[prow * w + pcol];
+        debug_assert!(piv.abs() > 0.0);
+        let inv = 1.0 / piv;
+        for j in 0..w {
+            self.a[prow * w + j] *= inv;
+        }
+        // Snapshot the pivot row to keep the borrow checker and the cache
+        // both happy during elimination.
+        let prow_vals: Vec<f64> = self.a[prow * w..(prow + 1) * w].to_vec();
+        for i in 0..self.m {
+            if i == prow {
+                continue;
+            }
+            let f = self.a[i * w + pcol];
+            if f != 0.0 {
+                for (a, pv) in self.a[i * w..(i + 1) * w].iter_mut().zip(&prow_vals) {
+                    *a -= f * pv;
+                }
+                self.a[i * w + pcol] = 0.0; // exact, not just tiny
+            }
+        }
+        let f = self.cost[pcol];
+        if f != 0.0 {
+            for (c, pv) in self.cost.iter_mut().zip(&prow_vals) {
+                *c -= f * pv;
+            }
+            self.cost[pcol] = 0.0;
+        }
+        self.basis[prow] = pcol;
+        self.pivots += 1;
+    }
+
+    /// Entering column: Dantzig unless `bland`, in which case the lowest
+    /// eligible index (anti-cycling).
+    fn entering(&self, tol: f64, bland: bool) -> Option<usize> {
+        let ncols = self.width - 1;
+        if bland {
+            (0..ncols).find(|&j| !self.blocked[j] && self.cost[j] < -tol)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..ncols {
+                if !self.blocked[j]
+                    && self.cost[j] < -tol
+                    && best.is_none_or(|(_, c)| self.cost[j] < c)
+                {
+                    best = Some((j, self.cost[j]));
+                }
+            }
+            best.map(|(j, _)| j)
+        }
+    }
+
+    /// Leaving row by the minimum-ratio test, ties broken by the smallest
+    /// basic variable index (required for Bland's rule to terminate).
+    fn leaving(&self, pcol: usize, tol: f64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.m {
+            let a = self.at(i, pcol);
+            if a > tol {
+                let ratio = self.rhs(i) / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - tol
+                            || (ratio < br + tol && self.basis[i] < self.basis[bi])
+                        {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Runs pivots until optimality/unboundedness; returns `None` on
+    /// optimal, `Some(Unbounded)` otherwise.
+    fn optimize(&mut self, config: &SimplexConfig) -> Result<Option<LpStatus>> {
+        let mut degenerate_streak = 0usize;
+        loop {
+            if self.pivots > config.max_pivots {
+                return Err(LpError::IterationLimit { pivots: self.pivots });
+            }
+            let bland = degenerate_streak >= config.bland_after;
+            let Some(pcol) = self.entering(config.tol, bland) else {
+                return Ok(None);
+            };
+            let Some(prow) = self.leaving(pcol, config.tol) else {
+                return Ok(Some(LpStatus::Unbounded));
+            };
+            let before = *self.cost.last().expect("cost row has rhs entry");
+            self.pivot(prow, pcol);
+            let after = *self.cost.last().expect("cost row has rhs entry");
+            if (after - before).abs() <= config.tol {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+        }
+    }
+
+    /// Removes constraint row `i` (used for redundant rows discovered at
+    /// the end of phase 1).
+    fn remove_row(&mut self, i: usize) {
+        let w = self.width;
+        self.a.drain(i * w..(i + 1) * w);
+        self.basis.remove(i);
+        self.m -= 1;
+    }
+}
+
+/// Solves `problem` (with optional per-variable bound overrides) by the
+/// two-phase simplex. See [`LpProblem::solve`].
+pub(crate) fn solve_simplex(
+    problem: &LpProblem,
+    overrides: &[(Var, f64, f64)],
+    config: &SimplexConfig,
+) -> Result<LpSolution> {
+    let n = problem.num_vars();
+
+    // Effective bounds; empty-interval overrides mean an infeasible
+    // branch-and-bound node, not a modelling error.
+    let mut lo = problem.lo.clone();
+    let mut hi = problem.hi.clone();
+    for &(v, l, h) in overrides {
+        if v.index() >= n {
+            return Err(LpError::UnknownVariable { index: v.index(), num_vars: n });
+        }
+        if l.is_nan() || h.is_nan() {
+            return Err(LpError::NotANumber { context: "bound override" });
+        }
+        if !l.is_finite() {
+            return Err(LpError::FreeVariable { index: v.index() });
+        }
+        lo[v.index()] = lo[v.index()].max(l);
+        hi[v.index()] = hi[v.index()].min(h);
+    }
+    if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+        return Ok(LpSolution::infeasible(0));
+    }
+
+    // Shift to x̂ = x − lo ≥ 0 and collect rows: model rows first, then
+    // upper-bound rows x̂_j ≤ hi_j − lo_j for finite upper bounds.
+    let mut rows: Vec<StdRow> = Vec::with_capacity(problem.rows.len() + n);
+    for row in &problem.rows {
+        let shift: f64 = row.terms.iter().map(|&(j, c)| c * lo[j]).sum();
+        rows.push(StdRow { terms: row.terms.clone(), op: row.op, rhs: row.rhs - shift });
+    }
+    for j in 0..n {
+        if hi[j].is_finite() {
+            rows.push(StdRow { terms: vec![(j, 1.0)], op: Cmp::Le, rhs: hi[j] - lo[j] });
+        }
+    }
+    // Normalize to rhs ≥ 0 (flip inequality direction when negating).
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for t in &mut row.terms {
+                t.1 = -t.1;
+            }
+            row.op = match row.op {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: structural (n) | slack/surplus (one per row) |
+    // artificial (Ge/Eq rows) | rhs.
+    let num_art = rows.iter().filter(|r| r.op != Cmp::Le).count();
+    let ncols = n + m + num_art;
+    let width = ncols + 1;
+
+    let mut tab = Tableau {
+        a: vec![0.0; m * width],
+        width,
+        m,
+        basis: vec![usize::MAX; m],
+        cost: vec![0.0; width],
+        blocked: vec![false; ncols],
+        pivots: 0,
+    };
+
+    let mut art_cursor = n + m;
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, c) in &row.terms {
+            tab.a[i * width + j] = c;
+        }
+        tab.a[i * width + width - 1] = row.rhs;
+        let slack_col = n + i;
+        match row.op {
+            Cmp::Le => {
+                tab.a[i * width + slack_col] = 1.0;
+                tab.basis[i] = slack_col;
+            }
+            Cmp::Ge => {
+                tab.a[i * width + slack_col] = -1.0;
+                tab.a[i * width + art_cursor] = 1.0;
+                tab.basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Cmp::Eq => {
+                // The slack column stays identically zero for Eq rows;
+                // block it so it can never be chosen as an entering column.
+                tab.blocked[slack_col] = true;
+                tab.a[i * width + art_cursor] = 1.0;
+                tab.basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+    debug_assert_eq!(art_cursor, ncols);
+
+    // Phase 1: minimize the sum of artificials.
+    if num_art > 0 {
+        for j in (n + m)..ncols {
+            tab.cost[j] = 1.0;
+        }
+        // Price out the initial basis (artificials are basic with cost 1).
+        for i in 0..m {
+            if tab.basis[i] >= n + m {
+                for j in 0..width {
+                    tab.cost[j] -= tab.a[i * width + j];
+                }
+            }
+        }
+        match tab.optimize(config)? {
+            None => {}
+            // Phase 1 has optimum ≥ 0 so it can never be unbounded; treat
+            // a claim of unboundedness as numerical failure via the limit.
+            Some(_) => return Err(LpError::IterationLimit { pivots: tab.pivots }),
+        }
+        let phase1_obj = -tab.cost[width - 1];
+        if phase1_obj > 1e-7 {
+            return Ok(LpSolution::infeasible(tab.pivots));
+        }
+        // Drive basic artificials (necessarily at value 0) out of the
+        // basis; rows where no structural/slack pivot exists are redundant.
+        let mut i = 0;
+        while i < tab.m {
+            if tab.basis[i] >= n + m {
+                let pcol = (0..n + m)
+                    .find(|&j| !tab.blocked[j] && tab.at(i, j).abs() > config.tol);
+                match pcol {
+                    Some(j) => tab.pivot(i, j),
+                    None => {
+                        tab.remove_row(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        for j in (n + m)..ncols {
+            tab.blocked[j] = true;
+        }
+    }
+
+    // Phase 2: real objective over the shifted space (shifting by a
+    // constant does not change the argmin).
+    tab.cost.fill(0.0);
+    for j in 0..n {
+        tab.cost[j] = problem.objective[j];
+    }
+    for i in 0..tab.m {
+        let b = tab.basis[i];
+        let cb = if b < n { problem.objective[b] } else { 0.0 };
+        if cb != 0.0 {
+            for j in 0..width {
+                tab.cost[j] -= cb * tab.a[i * width + j];
+            }
+        }
+    }
+    if let Some(LpStatus::Unbounded) = tab.optimize(config)? {
+        return Ok(LpSolution::unbounded(tab.pivots));
+    }
+
+    // Extract x = lo + x̂.
+    let mut x = lo;
+    for i in 0..tab.m {
+        let b = tab.basis[i];
+        if b < n {
+            x[b] += tab.rhs(i).max(0.0);
+        }
+    }
+    let objective = problem.objective_value(&x);
+    Ok(LpSolution { status: LpStatus::Optimal, x, objective, pivots: tab.pivots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LpProblem};
+
+    const TOL: f64 = 1e-7;
+
+    fn solve(lp: &LpProblem) -> LpSolution {
+        lp.solve(&SimplexConfig::default()).expect("solver error")
+    }
+
+    #[test]
+    fn trivial_empty_model_is_optimal_at_lower_bounds() {
+        let mut lp = LpProblem::minimize();
+        lp.add_var("x", 2.0, 10.0, 5.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 2.0).abs() < TOL);
+        assert!((sol.objective - 10.0).abs() < TOL);
+    }
+
+    #[test]
+    fn negative_cost_with_upper_bound_hits_the_bound() {
+        let mut lp = LpProblem::minimize();
+        lp.add_var("x", 0.0, 7.5, -2.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 7.5).abs() < TOL);
+        assert!((sol.objective + 15.0).abs() < TOL);
+    }
+
+    #[test]
+    fn negative_cost_without_upper_bound_is_unbounded() {
+        let mut lp = LpProblem::minimize();
+        lp.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Unbounded);
+        assert_eq!(sol.objective, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dantzig_factory_problem() {
+        // min -3x - 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), -36.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, -3.0).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY, -5.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0).unwrap();
+        lp.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0).unwrap();
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 2.0).abs() < TOL);
+        assert!((sol.x[1] - 6.0).abs() < TOL);
+        assert!((sol.objective + 36.0).abs() < TOL);
+    }
+
+    #[test]
+    fn equality_constraints_via_phase_one() {
+        // min x + y s.t. x + y = 10, x − y = 4 → (7, 3), 10.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 4.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 7.0).abs() < TOL);
+        assert!((sol.x[1] - 3.0).abs() < TOL);
+    }
+
+    #[test]
+    fn ge_constraints_diet_problem() {
+        // min 0.6x + y s.t. 10x + 4y ≥ 20, 5x + 5y ≥ 20. Vertices: (0,5)
+        // costs 5, the intersection (2/3, 10/3) costs 3.73̄, (4,0) costs
+        // 2.4 — the optimum.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, 0.6).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 10.0), (y, 4.0)], Cmp::Ge, 20.0).unwrap();
+        lp.add_constraint(vec![(x, 5.0), (y, 5.0)], Cmp::Ge, 20.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 2.4).abs() < 1e-6, "got {}", sol.objective);
+        assert!((sol.x[0] - 4.0).abs() < 1e-6);
+        assert!(sol.x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_system_is_detected() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 5.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 3.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Infeasible);
+        assert_eq!(sol.objective, f64::INFINITY);
+    }
+
+    #[test]
+    fn contradictory_equalities_are_infeasible() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, 10.0, 0.0).unwrap();
+        let y = lp.add_var("y", 0.0, 10.0, 0.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0).unwrap();
+        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Eq, 7.0).unwrap();
+        assert_eq!(solve(&lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_dropped_not_fatal() {
+        // x + y = 3 stated twice: phase 1 ends with a basic artificial in
+        // a redundant row, which must be removed, not crash phase 2.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY, 2.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 3.0).abs() < TOL); // all mass on the cheap var
+        assert!((sol.objective - 3.0).abs() < TOL);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale (1955): Dantzig's rule cycles forever on this LP without
+        // anti-cycling. min -0.75a + 150b - 0.02c + 6d subject to the
+        // classic three rows; optimum value -0.05.
+        let mut lp = LpProblem::minimize();
+        let a = lp.add_var("a", 0.0, f64::INFINITY, -0.75).unwrap();
+        let b = lp.add_var("b", 0.0, f64::INFINITY, 150.0).unwrap();
+        let c = lp.add_var("c", 0.0, f64::INFINITY, -0.02).unwrap();
+        let d = lp.add_var("d", 0.0, f64::INFINITY, 6.0).unwrap();
+        lp.add_constraint(vec![(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)], Cmp::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(vec![(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)], Cmp::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(vec![(c, 1.0)], Cmp::Le, 1.0).unwrap();
+        // Force Bland from the start to exercise the anti-cycling path.
+        let config = SimplexConfig { bland_after: 0, ..SimplexConfig::default() };
+        let sol = lp.solve(&config).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 0.05).abs() < 1e-6, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn shifted_lower_bounds_are_respected() {
+        // min x + y with x ≥ 2, y ≥ 3, x + y ≥ 7 → objective 7.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 2.0, f64::INFINITY, 1.0).unwrap();
+        let y = lp.add_var("y", 3.0, f64::INFINITY, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 7.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 7.0).abs() < TOL);
+        assert!(sol.x[0] >= 2.0 - TOL && sol.x[1] >= 3.0 - TOL);
+    }
+
+    #[test]
+    fn bound_overrides_tighten_without_mutating_model() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, 10.0, -1.0).unwrap();
+        let base = solve(&lp);
+        assert!((base.x[0] - 10.0).abs() < TOL);
+        let fixed = lp
+            .solve_with_bounds(&[(x, 4.0, 4.0)], &SimplexConfig::default())
+            .unwrap();
+        assert!((fixed.x[0] - 4.0).abs() < TOL);
+        // Original model unchanged.
+        assert_eq!(lp.bounds(x).unwrap(), (0.0, 10.0));
+    }
+
+    #[test]
+    fn empty_override_interval_is_infeasible_status_not_error() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, 10.0, 1.0).unwrap();
+        let sol = lp
+            .solve_with_bounds(&[(x, 6.0, 5.0)], &SimplexConfig::default())
+            .unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_lp_still_reaches_optimum() {
+        // Multiple constraints active at the origin (primal degeneracy).
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY, -1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0).unwrap();
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 2.0), (y, 1.0)], Cmp::Le, 2.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_the_model() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, 4.0, 2.0).unwrap();
+        let y = lp.add_var("y", 1.0, 9.0, -3.0).unwrap();
+        let z = lp.add_var("z", 0.0, f64::INFINITY, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0), (z, -1.0)], Cmp::Le, 11.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 2.0).unwrap();
+        lp.add_constraint(vec![(y, 1.0), (z, 3.0)], Cmp::Eq, 9.0).unwrap();
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(lp.is_feasible(&sol.x, 1e-6), "x = {:?}", sol.x);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, f64::INFINITY, -3.0).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY, -5.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0).unwrap();
+        let config = SimplexConfig { max_pivots: 0, ..SimplexConfig::default() };
+        assert!(matches!(lp.solve(&config), Err(LpError::IterationLimit { .. })));
+    }
+}

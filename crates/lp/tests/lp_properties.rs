@@ -1,0 +1,180 @@
+//! Property-based tests for the simplex and branch-and-bound solvers.
+//!
+//! The generators build LPs that are feasible *by construction* (the
+//! right-hand sides are derived from a known witness point), so every
+//! solver claim can be checked against the witness: the optimum can never
+//! exceed the witness objective, returned points must be feasible, and
+//! bound tightening must be monotone in the optimal value.
+
+use mwc_lp::{branch_and_bound, Cmp, LpProblem, LpStatus, MipConfig, MipStatus, SimplexConfig, Var};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-6;
+
+/// A randomly generated LP together with a feasible witness point.
+#[derive(Debug, Clone)]
+struct FeasibleLp {
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>, // dense coefficients, rhs (all Le)
+    witness: Vec<f64>,
+}
+
+impl FeasibleLp {
+    fn build(&self) -> (LpProblem, Vec<Var>) {
+        let mut lp = LpProblem::minimize();
+        let vars: Vec<Var> = self
+            .costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| lp.add_var(format!("x{i}"), 0.0, 10.0, c).unwrap())
+            .collect();
+        for (coeffs, rhs) in &self.rows {
+            let terms: Vec<(Var, f64)> =
+                vars.iter().copied().zip(coeffs.iter().copied()).collect();
+            lp.add_constraint(terms, Cmp::Le, *rhs).unwrap();
+        }
+        (lp, vars)
+    }
+}
+
+/// LPs over `n ∈ [1, 6]` bounded variables with `m ∈ [0, 8]` Le rows whose
+/// rhs is `A·witness + slack`, keeping the witness feasible.
+fn feasible_lp() -> impl Strategy<Value = FeasibleLp> {
+    (1usize..=6, 0usize..=8).prop_flat_map(|(n, m)| {
+        let costs = proptest::collection::vec(-5.0f64..5.0, n);
+        let witness = proptest::collection::vec(0.0f64..5.0, n);
+        let coeffs = proptest::collection::vec(
+            (proptest::collection::vec(-4.0f64..4.0, n), 0.0f64..3.0),
+            m,
+        );
+        (costs, witness, coeffs).prop_map(|(costs, witness, coeffs)| {
+            let rows = coeffs
+                .into_iter()
+                .map(|(row, slack)| {
+                    let dot: f64 = row.iter().zip(&witness).map(|(a, x)| a * x).sum();
+                    (row, dot + slack)
+                })
+                .collect();
+            FeasibleLp { costs, rows, witness }
+        })
+    })
+}
+
+/// Like [`feasible_lp`] but with a binary witness, so the MIP is feasible
+/// by construction too.
+fn feasible_binary_mip() -> impl Strategy<Value = FeasibleLp> {
+    (1usize..=6, 0usize..=6).prop_flat_map(|(n, m)| {
+        let costs = proptest::collection::vec(-5.0f64..5.0, n);
+        let witness = proptest::collection::vec(proptest::bool::ANY, n)
+            .prop_map(|bits| bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect());
+        let coeffs = proptest::collection::vec(
+            (proptest::collection::vec(-4.0f64..4.0, n), 0.0f64..3.0),
+            m,
+        );
+        (costs, witness, coeffs).prop_map(|(costs, witness, coeffs): (Vec<f64>, Vec<f64>, _)| {
+            let rows = coeffs
+                .into_iter()
+                .map(|(row, slack): (Vec<f64>, f64)| {
+                    let dot: f64 = row.iter().zip(&witness).map(|(a, x)| a * x).sum();
+                    (row, dot + slack)
+                })
+                .collect();
+            FeasibleLp { costs, rows, witness }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn simplex_never_beats_nor_misses_the_witness(instance in feasible_lp()) {
+        let (lp, _) = instance.build();
+        let sol = lp.solve(&SimplexConfig::default()).unwrap();
+        // Bounded + feasible by construction.
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!(lp.is_feasible(&sol.x, TOL), "returned point infeasible: {:?}", sol.x);
+        let witness_obj = lp.objective_value(&instance.witness);
+        prop_assert!(
+            sol.objective <= witness_obj + TOL,
+            "optimum {} worse than witness {}",
+            sol.objective,
+            witness_obj
+        );
+    }
+
+    #[test]
+    fn simplex_is_deterministic(instance in feasible_lp()) {
+        let (lp, _) = instance.build();
+        let a = lp.solve(&SimplexConfig::default()).unwrap();
+        let b = lp.solve(&SimplexConfig::default()).unwrap();
+        prop_assert_eq!(a.status, b.status);
+        prop_assert!((a.objective - b.objective).abs() <= TOL);
+    }
+
+    #[test]
+    fn bland_and_dantzig_agree_on_the_optimum(instance in feasible_lp()) {
+        let (lp, _) = instance.build();
+        let dantzig = lp.solve(&SimplexConfig::default()).unwrap();
+        let bland = lp
+            .solve(&SimplexConfig { bland_after: 0, ..SimplexConfig::default() })
+            .unwrap();
+        prop_assert!(
+            (dantzig.objective - bland.objective).abs() <= TOL,
+            "dantzig {} vs bland {}",
+            dantzig.objective,
+            bland.objective
+        );
+    }
+
+    #[test]
+    fn tightening_bounds_is_monotone(instance in feasible_lp(), which in 0usize..6) {
+        let (lp, vars) = instance.build();
+        let base = lp.solve(&SimplexConfig::default()).unwrap();
+        let v = vars[which % vars.len()];
+        // Shrink [0, 10] to [1, 9]: a subset, so the optimum cannot improve.
+        let tightened = lp
+            .solve_with_bounds(&[(v, 1.0, 9.0)], &SimplexConfig::default())
+            .unwrap();
+        if tightened.status == LpStatus::Optimal {
+            prop_assert!(tightened.objective >= base.objective - TOL);
+        }
+    }
+
+    #[test]
+    fn mip_interval_brackets_relaxation_and_witness(instance in feasible_binary_mip()) {
+        let (lp, vars) = instance.build();
+        // The LP relaxation: the same model with bounds tightened to [0, 1].
+        let overrides: Vec<(Var, f64, f64)> =
+            vars.iter().map(|&v| (v, 0.0, 1.0)).collect();
+        let relax = lp.solve_with_bounds(&overrides, &SimplexConfig::default()).unwrap();
+
+        // Rebuild the model with [0,1] bounds baked in for the MIP run.
+        let mut mip = LpProblem::minimize();
+        let mvars: Vec<Var> = instance
+            .costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| mip.add_var(format!("x{i}"), 0.0, 1.0, c).unwrap())
+            .collect();
+        for (coeffs, rhs) in &instance.rows {
+            let terms: Vec<(Var, f64)> =
+                mvars.iter().copied().zip(coeffs.iter().copied()).collect();
+            mip.add_constraint(terms, Cmp::Le, *rhs).unwrap();
+        }
+        let res = branch_and_bound(&mip, &mvars, &MipConfig::default()).unwrap();
+        prop_assert_eq!(res.status, MipStatus::Optimal);
+        let obj = res.objective.unwrap();
+        let x = res.x.unwrap();
+        // Incumbent: integral, feasible, no better than the LP relaxation,
+        // no worse than the binary witness.
+        for &v in &mvars {
+            prop_assert!((x[v.index()] - x[v.index()].round()).abs() <= TOL);
+        }
+        prop_assert!(mip.is_feasible(&x, TOL));
+        prop_assert!(obj >= relax.objective - TOL, "MIP {obj} beat its relaxation {}", relax.objective);
+        let witness_obj = mip.objective_value(&instance.witness);
+        prop_assert!(obj <= witness_obj + TOL, "MIP {obj} worse than witness {witness_obj}");
+        prop_assert!(res.lower_bound <= obj + TOL);
+    }
+}

@@ -1,0 +1,88 @@
+//! Structural holes: connectors across communities recruit bridge vertices.
+//!
+//! The paper's introduction argues that when query vertices span several
+//! communities, the minimum Wiener connector recruits vertices "incident
+//! to bridges" — the actors spanning structural holes, prime targets for
+//! blocking rumors or epidemics. This example makes that claim checkable
+//! end to end on a synthetic social network:
+//!
+//! 1. generate a planted-partition graph (4 communities);
+//! 2. rediscover the communities with Clauset–Newman–Moore (as the §7
+//!    case study does);
+//! 3. query one vertex per community;
+//! 4. verify the connector's *added* vertices have far higher betweenness
+//!    centrality than average — they are the bridges.
+//!
+//! Run with: `cargo run --release --example community_bridges`
+
+use rand::SeedableRng;
+use wiener_connector::core::WienerSteiner;
+use wiener_connector::graph::community::{cnm, communities_spanned, CnmStop};
+use wiener_connector::graph::{centrality, connectivity};
+use wiener_connector::graph::generators::sbm;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // A 4-community social network: dense inside, sparse across.
+    let pp = sbm::planted_partition(&[50, 50, 50, 50], 0.3, 0.01, &mut rng);
+    let (g, mapping) = connectivity::largest_component_graph(&pp.graph).expect("connected core");
+    let membership: Vec<u32> = mapping.iter().map(|&old| pp.membership[old as usize]).collect();
+    println!("planted-partition graph: {} vertices, {} edges", g.num_nodes(), g.num_edges());
+
+    // Rediscover the communities (the paper's §7 pipeline uses CNM).
+    let clustering = cnm(&g, CnmStop::PeakModularity);
+    println!(
+        "CNM finds {} communities (modularity {:.3})",
+        clustering.num_communities, clustering.modularity
+    );
+
+    // One query vertex per *planted* community: a cross-community query.
+    let mut q = Vec::new();
+    for c in 0..4u32 {
+        if let Some(v) = membership.iter().position(|&m| m == c) {
+            q.push(v as u32);
+        }
+    }
+    println!(
+        "query {:?} spans {} CNM communities",
+        q,
+        communities_spanned(&clustering.membership, &q)
+    );
+
+    let solution = WienerSteiner::new(&g).solve(&q).expect("solve");
+    println!(
+        "\nminimum Wiener connector: {} vertices, W = {}",
+        solution.connector.len(),
+        solution.wiener_index
+    );
+
+    // The added vertices should be bridges: compare their betweenness
+    // against the graph average.
+    let bc = centrality::betweenness(&g, true);
+    let avg: f64 = bc.iter().sum::<f64>() / bc.len() as f64;
+    println!("\n  vertex  community  betweenness (graph avg {:.4})", avg);
+    let mut added_bc = Vec::new();
+    for &v in solution.connector.vertices() {
+        let tag = if q.contains(&v) { "query" } else { "ADDED" };
+        let b = bc[v as usize];
+        if !q.contains(&v) {
+            added_bc.push(b);
+        }
+        println!(
+            "  {tag} {v:>4}  G{}         {b:.4}",
+            clustering.membership[v as usize] + 1
+        );
+    }
+    let added_avg = added_bc.iter().sum::<f64>() / added_bc.len().max(1) as f64;
+    println!(
+        "\nadded vertices average betweenness: {:.4} ({:.0}x the graph average)",
+        added_avg,
+        added_avg / avg.max(1e-12)
+    );
+    assert!(
+        added_avg > avg,
+        "connector should recruit above-average-centrality vertices"
+    );
+    println!("=> the connector recruited the structural-hole spanners, as §1 predicts.");
+}

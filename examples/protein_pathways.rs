@@ -1,0 +1,70 @@
+//! Protein pathway discovery: the §7 PPI case study.
+//!
+//! Given proteins of interest (queried from two disease modules), the
+//! minimum Wiener connector recruits the hub proteins that link them —
+//! the paper's Figure 6 shows {BMP1, JAK2, PSEN, SLC6A4} being connected
+//! through {p53, HSP90, GSK3B, SNCA}, each next-hop matching a
+//! literature-verified disease association.
+//!
+//! Run with: `cargo run --release --example protein_pathways`
+
+use wiener_connector::core::WienerSteiner;
+use wiener_connector::datasets::ppi;
+
+fn main() {
+    let net = ppi::ppi_network();
+    println!(
+        "synthetic PPI network: {} proteins, {} interactions",
+        net.graph.num_nodes(),
+        net.graph.num_edges()
+    );
+
+    let query = ppi::disease_query(&net);
+    println!("\nquery proteins: {:?}", net.render(&query));
+
+    let solution = WienerSteiner::new(&net.graph)
+        .solve(&query)
+        .expect("PPI network is connected");
+
+    println!(
+        "\nminimum Wiener connector ({} proteins):",
+        solution.connector.len()
+    );
+    for &p in solution.connector.vertices() {
+        let role = if query.contains(&p) {
+            "query"
+        } else {
+            "connector"
+        };
+        println!(
+            "  {:<10} [{role}]  degree {}",
+            net.label(p),
+            net.graph.degree(p)
+        );
+    }
+    println!("Wiener index: {}", solution.wiener_index);
+
+    // Next-hop analysis, as in the paper: for each query protein, which
+    // connector protein is its neighbor inside the solution?
+    let sub = solution
+        .connector
+        .induced(&net.graph)
+        .expect("valid connector");
+    println!("\nnext-hop analysis (query protein → connector neighbors):");
+    for &qp in &query {
+        let local = sub.to_local(qp).expect("query in connector");
+        let hops: Vec<&str> = sub
+            .graph()
+            .neighbors(local)
+            .iter()
+            .map(|&nb| net.label(sub.to_global(nb)))
+            .filter(|l| !ppi::QUERIES.contains(l))
+            .collect();
+        println!("  {:<10} → {:?}", net.label(qp), hops);
+    }
+    println!(
+        "\ninterpretation: each query protein reaches the rest of the query \
+         set through a high-degree hub — the connector proposes the \
+         pathway proteins worth investigating."
+    );
+}

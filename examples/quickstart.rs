@@ -1,0 +1,60 @@
+//! Quickstart: find a minimum Wiener connector on Zachary's karate club.
+//!
+//! Reproduces the paper's Figure 1 scenario: query vertices drawn from the
+//! two factions of the club are connected by a small subgraph that
+//! recruits the faction leaders (vertices 1 and 34 in the paper's
+//! numbering) and the bridge vertex 32.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wiener_connector::core::WienerSteiner;
+use wiener_connector::graph::centrality;
+use wiener_connector::graph::generators::karate::{from_paper_ids, karate_club, karate_factions};
+
+fn main() {
+    let graph = karate_club();
+    println!(
+        "karate club: {} vertices, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Figure 1 (left): query vertices spanning both factions (paper ids).
+    let query = from_paper_ids(&[12, 25, 26, 30]);
+    let solver = WienerSteiner::new(&graph);
+    let solution = solver.solve(&query).expect("karate club is connected");
+
+    println!("\nquery (paper ids): {:?}", paper_ids(&query));
+    println!(
+        "connector (paper ids): {:?}",
+        paper_ids(solution.connector.vertices())
+    );
+    println!("Wiener index: {}", solution.wiener_index);
+    println!(
+        "connector size: {} ({} added vertices)",
+        solution.connector.len(),
+        solution.connector.len() - query.len()
+    );
+
+    // The added vertices are central: report their betweenness rank.
+    let bc = centrality::betweenness(&graph, true);
+    let factions = karate_factions();
+    let mut rank: Vec<usize> = (0..graph.num_nodes()).collect();
+    rank.sort_by(|&a, &b| bc[b].total_cmp(&bc[a]));
+    println!("\nadded vertices (paper id, faction, betweenness rank of 34):");
+    for &v in solution.connector.vertices() {
+        if !query.contains(&v) {
+            let pos = rank.iter().position(|&x| x == v as usize).unwrap();
+            println!(
+                "  vertex {:>2}  faction {}  bc-rank #{}",
+                v + 1,
+                factions[v as usize],
+                pos + 1
+            );
+        }
+    }
+}
+
+fn paper_ids(vs: &[u32]) -> Vec<u32> {
+    vs.iter().map(|&v| v + 1).collect()
+}

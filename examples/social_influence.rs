@@ -1,0 +1,64 @@
+//! Social influence analysis: the §7 Twitter #kdd2014 case study, plus a
+//! head-to-head with the baselines.
+//!
+//! Cross-community Twitter users are connected by a minimum Wiener
+//! connector that recruits the graph's influencers (`kdnuggets`,
+//! `drewconway` — the top-mentioned users of the real dataset). The same
+//! query given to the community-search baselines returns orders of
+//! magnitude more users.
+//!
+//! Run with: `cargo run --release --example social_influence`
+
+use wiener_connector::baselines::Method;
+use wiener_connector::core::WienerSteiner;
+use wiener_connector::datasets::twitter;
+
+fn main() {
+    let tw = twitter::kdd2014_network();
+    let g = &tw.network.graph;
+    println!(
+        "#kdd2014 mention graph: {} users, {} mention edges, 10 communities",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    for (i, q_labels) in twitter::figure7_queries().iter().enumerate() {
+        println!("\n=== query {} ===", i + 1);
+        let query = tw.network.ids_of(q_labels);
+        println!("query users: {q_labels:?}");
+        let comms: Vec<u32> = query
+            .iter()
+            .map(|&v| tw.membership[v as usize] + 1)
+            .collect();
+        println!("their communities: {comms:?}");
+
+        let solution = WienerSteiner::new(g)
+            .solve(&query)
+            .expect("connected graph");
+        println!(
+            "\nminimum Wiener connector ({} users):",
+            solution.connector.len()
+        );
+        for &v in solution.connector.vertices() {
+            let tag = if query.contains(&v) { "query" } else { "added" };
+            println!(
+                "  @{:<18} G{:<2} degree {:>3}  [{tag}]",
+                tw.network.label(v),
+                tw.membership[v as usize] + 1,
+                g.degree(v)
+            );
+        }
+
+        // Compare against the baselines on solution size (Table 3's story).
+        println!("\nmethod comparison (solution size | Wiener index):");
+        for m in Method::ALL {
+            match m.run(g, &query) {
+                Ok(c) => {
+                    let w = c.wiener_index(g).unwrap_or(u64::MAX);
+                    println!("  {:<5} {:>6} vertices | W = {w}", m.name(), c.len());
+                }
+                Err(e) => println!("  {:<5} failed: {e}", m.name()),
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Facade crate for the Minimum Wiener Connector reproduction.
+//!
+//! Re-exports the substrate ([`graph`]), the solvers ([`core`]), the
+//! competing methods ([`baselines`]), and the dataset/workload machinery
+//! ([`datasets`]) behind one dependency. See the repository README for a
+//! guided tour and `examples/` for runnable entry points.
+
+pub use mwc_baselines as baselines;
+pub use mwc_core as core;
+pub use mwc_datasets as datasets;
+pub use mwc_graph as graph;
+pub use mwc_lp as lp;
+
+/// Commonly used items, for `use wiener_connector::prelude::*`.
+pub mod prelude {
+    pub use mwc_core::{
+        ApproxWienerSteiner, ApproxWsqConfig, Connector, WienerSteiner, WsqConfig,
+    };
+    pub use mwc_graph::{Graph, GraphBuilder, InducedSubgraph, NodeId};
+}

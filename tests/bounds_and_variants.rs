@@ -1,0 +1,186 @@
+//! Cross-crate integration tests for the session's extensions: LP/MIP
+//! bounds vs the ws-q solver, Steiner-subroutine variants, the
+//! approximate-distance solver, STP round-trips feeding the Figure 4
+//! comparison, and CNM-classified community workloads.
+
+use rand::{Rng, SeedableRng};
+use wiener_connector::core::ilp_solve::{program7_bounds, Program7Config};
+use wiener_connector::core::steiner::SteinerAlgorithm;
+use wiener_connector::core::{
+    minimum_wiener_connector, ApproxWienerSteiner, ApproxWsqConfig, WienerSteiner, WsqConfig,
+};
+use wiener_connector::datasets::{self, stp, workloads};
+use wiener_connector::graph::community::{cnm, communities_spanned, CnmStop};
+use wiener_connector::graph::connectivity::largest_component_graph;
+use wiener_connector::graph::generators::{barabasi_albert, gnm, karate::karate_club, sbm};
+
+/// Program 7 bounds are certified: they can never exceed what any actual
+/// connector — in particular ws-q's — achieves.
+#[test]
+fn program7_lower_bound_never_exceeds_wsq() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    let mut checked = 0;
+    while checked < 4 {
+        let g = gnm(14, 24, &mut rng);
+        let Ok((g, _)) = largest_component_graph(&g) else { continue };
+        let n = g.num_nodes() as u32;
+        if n < 6 {
+            continue;
+        }
+        let q = vec![0, n / 3, n - 1];
+        let wsq = minimum_wiener_connector(&g, &q).expect("solve");
+        let bounds = program7_bounds(&g, &q, &Program7Config::default()).expect("bounds");
+        assert!(
+            bounds.lower_bound <= wsq.wiener_index,
+            "GL {} > ws-q W {} (n = {}, m = {})",
+            bounds.lower_bound,
+            wsq.wiener_index,
+            g.num_nodes(),
+            g.num_edges()
+        );
+        checked += 1;
+    }
+}
+
+/// On the karate club, the LP-backed lower bound certifies ws-q within a
+/// small factor — the Table 2 "error interval" pipeline, end to end.
+#[test]
+fn karate_error_interval_is_tight() {
+    let g = karate_club();
+    let q = vec![11u32, 24, 25, 29]; // Figure 1 (left), 0-indexed
+    let wsq = minimum_wiener_connector(&g, &q).expect("solve");
+    let bounds = program7_bounds(&g, &q, &Program7Config::default()).expect("bounds");
+    assert!(bounds.lower_bound <= wsq.wiener_index);
+    // Program 7's MIP bound is strong on this instance: within 2x.
+    assert!(
+        2 * bounds.lower_bound >= wsq.wiener_index,
+        "GL {} too loose for ws-q W {}",
+        bounds.lower_bound,
+        wsq.wiener_index
+    );
+}
+
+/// All three Steiner subroutines keep ws-q's output a valid connector,
+/// and their Wiener indices stay within the mutual factor their shared
+/// approximation guarantee implies.
+#[test]
+fn wsq_is_sound_under_every_steiner_subroutine() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+    let g = barabasi_albert(300, 3, &mut rng);
+    for _ in 0..3 {
+        let q: Vec<u32> = (0..6).map(|_| rng.gen_range(0..300)).collect();
+        let mut ws = Vec::new();
+        for alg in [
+            SteinerAlgorithm::Mehlhorn,
+            SteinerAlgorithm::KouMarkowskyBerman,
+            SteinerAlgorithm::TakahashiMatsuyama,
+        ] {
+            let cfg = WsqConfig { steiner: alg, parallel: false, ..WsqConfig::default() };
+            let sol = WienerSteiner::with_config(&g, cfg).solve(&q).expect("solve");
+            assert!(sol.connector.contains_all(&q), "{alg:?} dropped query vertices");
+            let sub = sol.connector.induced(&g).expect("induced");
+            assert!(
+                wiener_connector::graph::connectivity::is_connected(sub.graph()),
+                "{alg:?} produced a disconnected connector"
+            );
+            ws.push(sol.wiener_index);
+        }
+        let (lo, hi) = (*ws.iter().min().unwrap(), *ws.iter().max().unwrap());
+        assert!(hi <= 4 * lo, "variants too far apart: {ws:?}");
+    }
+}
+
+/// Bypassing Lemma 4 (Klein–Ravi node-weighted Steiner inside ws-q)
+/// still yields valid connectors, with quality in the same ballpark —
+/// the ablation quantifying the paper's cost-shift trick.
+#[test]
+fn wsq_without_lemma4_is_sound() {
+    let g = karate_club();
+    let cfg = WsqConfig { node_weighted_steiner: true, parallel: false, ..WsqConfig::default() };
+    let kr_solver = WienerSteiner::with_config(&g, cfg);
+    for q in [vec![11u32, 24, 25, 29], vec![3, 11, 16]] {
+        let kr = kr_solver.solve(&q).expect("solve");
+        assert!(kr.connector.contains_all(&q));
+        let baseline = minimum_wiener_connector(&g, &q).expect("default");
+        assert!(
+            kr.wiener_index <= 3 * baseline.wiener_index,
+            "Klein–Ravi route too weak: {} vs {}",
+            kr.wiener_index,
+            baseline.wiener_index
+        );
+    }
+}
+
+/// The approximate solver returns valid connectors whose quality tracks
+/// the exact solver across a query batch.
+#[test]
+fn approximate_solver_tracks_exact_quality() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let g = barabasi_albert(500, 3, &mut rng);
+    let approx = ApproxWienerSteiner::build(&g, ApproxWsqConfig::default(), &mut rng);
+    let exact = WienerSteiner::new(&g);
+    let mut ratio_sum = 0.0;
+    let trials = 4;
+    for _ in 0..trials {
+        let q: Vec<u32> = (0..6).map(|_| rng.gen_range(0..500)).collect();
+        let wa = approx.solve(&q).expect("approx");
+        let we = exact.solve(&q).expect("exact");
+        assert!(wa.connector.contains_all(&q));
+        ratio_sum += wa.wiener_index as f64 / we.wiener_index.max(1) as f64;
+    }
+    let mean_ratio = ratio_sum / trials as f64;
+    assert!(
+        mean_ratio < 1.6,
+        "mean quality ratio {mean_ratio} too far from exact"
+    );
+}
+
+/// STP round-trip feeding the §6.5 comparison: parse a generated `puc`
+/// instance back from its STP serialization and run the Figure 4 ws-q
+/// vs st comparison on the parsed copy.
+#[test]
+fn stp_roundtrip_supports_figure4_comparison() {
+    let inst = datasets::puc_like(3).into_iter().next().expect("instances");
+    let text = stp::write_stp(&inst);
+    let parsed = stp::parse_stp(&text).expect("parse").instance;
+
+    let wsq = minimum_wiener_connector(&parsed.graph, &parsed.terminals).expect("wsq");
+    let st = wiener_connector::baselines::st::steiner_tree_baseline(&parsed.graph, &parsed.terminals)
+        .expect("st");
+    // The defining Figure 4 relation: ws-q optimizes W, st optimizes size;
+    // ws-q can never lose on W.
+    let st_w = st.wiener_index(&parsed.graph).expect("st W");
+    assert!(wsq.wiener_index <= st_w);
+}
+
+/// CNM labels classify §6.4-style workloads: cross-community queries get
+/// larger connectors than same-community ones on a planted-partition
+/// graph (the Table 4 signal), and the CNM labels agree with planted
+/// labels about which workload is which.
+#[test]
+fn community_workloads_show_the_dc_vs_sc_gap() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let pp = sbm::planted_partition(&[60, 60, 60], 0.35, 0.01, &mut rng);
+    let (g, mapping) = largest_component_graph(&pp.graph).expect("connected");
+    let membership: Vec<u32> = mapping.iter().map(|&old| pp.membership[old as usize]).collect();
+    let clustering = cnm(&g, CnmStop::PeakModularity);
+
+    let solver = WienerSteiner::new(&g);
+    let mut sc_sizes = 0usize;
+    let mut dc_sizes = 0usize;
+    let reps = 5;
+    for _ in 0..reps {
+        let sc = workloads::same_community_query(&g, &membership, 4, 20, &mut rng).expect("sc");
+        let dc = workloads::different_communities_query(&g, &membership, 4, &mut rng).expect("dc");
+        assert_eq!(communities_spanned(&membership, &sc.vertices), 1);
+        assert!(communities_spanned(&membership, &dc.vertices) > 1);
+        // CNM recovered labels must agree on the dc classification.
+        assert!(communities_spanned(&clustering.membership, &dc.vertices) > 1);
+        sc_sizes += solver.solve(&sc.vertices).expect("sc solve").connector.len();
+        dc_sizes += solver.solve(&dc.vertices).expect("dc solve").connector.len();
+    }
+    assert!(
+        dc_sizes > sc_sizes,
+        "cross-community connectors ({dc_sizes}) should exceed same-community ({sc_sizes})"
+    );
+}

@@ -1,0 +1,137 @@
+//! Integration tests pinning the paper's worked examples end-to-end.
+
+use wiener_connector::core::exact::{exact_minimum, ExactConfig};
+use wiener_connector::core::minimum_wiener_connector;
+use wiener_connector::graph::generators::karate::{from_paper_ids, karate_club};
+use wiener_connector::graph::generators::structured;
+use wiener_connector::graph::wiener::wiener_index_of_subset;
+
+/// §2 / Figure 2: the three Wiener-index values and the suboptimality of
+/// the Steiner tree.
+#[test]
+fn figure2_line_and_roots() {
+    let g = structured::figure2_graph(10);
+    let line: Vec<u32> = (0..10).collect();
+
+    assert_eq!(wiener_index_of_subset(&g, &line).unwrap(), Some(165));
+    let one_root: Vec<u32> = (0..11).collect();
+    assert_eq!(wiener_index_of_subset(&g, &one_root).unwrap(), Some(151));
+    let both: Vec<u32> = (0..12).collect();
+    assert_eq!(wiener_index_of_subset(&g, &both).unwrap(), Some(142));
+
+    // The optimum for Q = the line is the whole graph (W = 142) and it is
+    // not a tree.
+    let exact = exact_minimum(&g, &line, None, &ExactConfig::default()).unwrap();
+    assert!(exact.optimal);
+    assert_eq!(exact.wiener_index, 142);
+    assert_eq!(exact.connector.len(), 12);
+    let sub = exact.connector.induced(&g).unwrap();
+    assert!(
+        sub.graph().num_edges() > sub.num_nodes() - 1,
+        "optimal solution is not a tree"
+    );
+
+    // The Steiner baseline returns the bare line.
+    let st = wiener_connector::baselines::steiner_tree_baseline(&g, &line).unwrap();
+    assert_eq!(st.wiener_index(&g).unwrap(), 165);
+
+    // ws-q beats the Steiner tree.
+    let wsq = minimum_wiener_connector(&g, &line).unwrap();
+    assert!(wsq.wiener_index < 165);
+}
+
+/// §2's generalization: on a line of length h with a full hub, the Steiner
+/// tree has Wiener index Ω(h³) while including the hub gives O(h²).
+#[test]
+fn steiner_tree_can_be_arbitrarily_bad() {
+    for h in [20usize, 40, 80] {
+        let g = structured::line_with_hub(h);
+        let line: Vec<u32> = (0..h as u32).collect();
+        let line_w = wiener_index_of_subset(&g, &line).unwrap().unwrap();
+        let with_hub: Vec<u32> = (0..=h as u32).collect();
+        let hub_w = wiener_index_of_subset(&g, &with_hub).unwrap().unwrap();
+        // Ω(h³) vs O(h²): the ratio grows linearly with h.
+        let ratio = line_w as f64 / hub_w as f64;
+        assert!(
+            ratio > h as f64 / 14.0,
+            "h = {h}: ratio {ratio} too small (line {line_w}, hub {hub_w})"
+        );
+        // ws-q includes the hub and lands near the O(h²) solution.
+        let wsq = minimum_wiener_connector(&g, &line).unwrap();
+        assert!(
+            wsq.connector.contains(h as u32),
+            "hub not selected for h = {h}"
+        );
+        assert!(wsq.wiener_index <= hub_w);
+    }
+}
+
+/// Figure 1 (left): query vertices {12, 25, 26, 30} from both factions.
+/// The optimal connector has Wiener index 43 and adds three vertices
+/// including leader 1 and bridge 32 (the paper's depicted solution
+/// {1, 32, 34} is one of the ties).
+#[test]
+fn figure1_different_communities() {
+    let g = karate_club();
+    let q = from_paper_ids(&[12, 25, 26, 30]);
+    let wsq = minimum_wiener_connector(&g, &q).unwrap();
+    let exact = exact_minimum(&g, &q, Some(&wsq.connector), &ExactConfig::default()).unwrap();
+    assert!(exact.optimal);
+    assert_eq!(exact.wiener_index, 43);
+    assert_eq!(exact.connector.len(), 7);
+    // The paper's depicted solution set has the same optimal value.
+    let paper_solution = from_paper_ids(&[12, 25, 26, 30, 1, 34, 32]);
+    assert_eq!(
+        wiener_index_of_subset(&g, &paper_solution).unwrap(),
+        Some(43)
+    );
+    // The optimum recruits leader 1 and the bridge 32.
+    assert!(exact.connector.contains(0)); // paper vertex 1
+    assert!(exact.connector.contains(31)); // paper vertex 32
+                                           // ws-q is within 10% of optimal here.
+    assert!(wsq.wiener_index <= 48, "ws-q = {}", wsq.wiener_index);
+}
+
+/// Figure 1 (right): query vertices {4, 12, 17} in one faction — the
+/// optimum adds exactly two vertices, one being the community leader
+/// (vertex 1), and stays inside the community.
+#[test]
+fn figure1_same_community() {
+    let g = karate_club();
+    let q = from_paper_ids(&[4, 12, 17]);
+    let wsq = minimum_wiener_connector(&g, &q).unwrap();
+    let exact = exact_minimum(&g, &q, Some(&wsq.connector), &ExactConfig::default()).unwrap();
+    assert!(exact.optimal);
+    assert_eq!(exact.wiener_index, 18);
+    assert_eq!(exact.connector.len(), 5, "adds exactly two vertices");
+    assert!(
+        exact.connector.contains(0),
+        "community leader (paper vertex 1) selected"
+    );
+    // Everything stays in the instructor's faction.
+    let factions = wiener_connector::graph::generators::karate::karate_factions();
+    for &v in exact.connector.vertices() {
+        assert_eq!(
+            factions[v as usize],
+            0,
+            "vertex {} left the community",
+            v + 1
+        );
+    }
+    // ws-q matches the optimum on this query.
+    assert_eq!(wsq.wiener_index, 18);
+}
+
+/// §3: for |Q| = 2 a shortest path is optimal — checked against the
+/// enumerator on the karate club with several pairs.
+#[test]
+fn q2_shortest_path_optimality_on_karate() {
+    let g = karate_club();
+    for (s, t) in [(0u32, 33u32), (11, 28), (4, 14)] {
+        let sp = wiener_connector::core::exact::shortest_path_connector(&g, s, t).unwrap();
+        let sp_w = sp.wiener_index(&g).unwrap();
+        let exact = exact_minimum(&g, &[s, t], None, &ExactConfig::default()).unwrap();
+        assert!(exact.optimal);
+        assert_eq!(exact.wiener_index, sp_w, "pair ({s},{t})");
+    }
+}

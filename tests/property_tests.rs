@@ -1,0 +1,121 @@
+//! Cross-crate property-based tests (proptest) on the solver invariants.
+//!
+//! Complements the per-module unit tests: random graphs + random queries,
+//! checking the containment/connectivity/optimality-sandwich properties
+//! that define a correct Wiener-connector implementation.
+
+use proptest::prelude::*;
+
+use wiener_connector::baselines::Method;
+use wiener_connector::core::lower_bound::certified_lower_bound;
+use wiener_connector::core::objective::objective_a_best_root;
+use wiener_connector::core::{minimum_wiener_connector, Connector};
+use wiener_connector::graph::connectivity::largest_component_graph;
+use wiener_connector::graph::wiener::wiener_index_of_subset;
+use wiener_connector::graph::{Graph, NodeId};
+
+/// Strategy: a connected graph of 8–60 vertices (random tree + extra
+/// edges) plus a query set of 2–6 distinct vertices.
+fn graph_and_query() -> impl Strategy<Value = (Graph, Vec<NodeId>)> {
+    (8usize..60, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for v in 1..n as NodeId {
+            edges.push((rng.gen_range(0..v), v)); // random spanning tree
+        }
+        let extra = rng.gen_range(0..n);
+        for _ in 0..extra {
+            edges.push((rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId)));
+        }
+        let g = largest_component_graph(&Graph::from_edges(n, &edges).unwrap())
+            .unwrap()
+            .0;
+        let q_size = rng.gen_range(2..=6.min(g.num_nodes()));
+        let mut q: Vec<NodeId> = Vec::new();
+        while q.len() < q_size {
+            let v = rng.gen_range(0..g.num_nodes() as NodeId);
+            if !q.contains(&v) {
+                q.push(v);
+            }
+        }
+        (g, q)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ws-q always returns a connected superset of Q whose reported Wiener
+    /// index matches an independent recomputation.
+    #[test]
+    fn wsq_solutions_are_valid_connectors((g, q) in graph_and_query()) {
+        let sol = minimum_wiener_connector(&g, &q).unwrap();
+        prop_assert!(sol.connector.contains_all(&q));
+        prop_assert!(Connector::new(&g, sol.connector.vertices()).is_ok());
+        let recomputed = wiener_index_of_subset(&g, sol.connector.vertices())
+            .unwrap()
+            .expect("connected");
+        prop_assert_eq!(recomputed, sol.wiener_index);
+    }
+
+    /// The certified lower bound never exceeds the value of *any* feasible
+    /// solution ws-q finds.
+    #[test]
+    fn lower_bound_below_any_feasible_solution((g, q) in graph_and_query()) {
+        let sol = minimum_wiener_connector(&g, &q).unwrap();
+        let lb = certified_lower_bound(&g, &q).unwrap();
+        prop_assert!(
+            lb.value <= sol.wiener_index,
+            "LB {} > feasible {}", lb.value, sol.wiener_index
+        );
+    }
+
+    /// Lemma 1 sandwich on ws-q's own solution: A(H)/2 ≤ W(H) ≤ A(H).
+    #[test]
+    fn lemma1_holds_on_solutions((g, q) in graph_and_query()) {
+        let sol = minimum_wiener_connector(&g, &q).unwrap();
+        let (_, a) = objective_a_best_root(&g, sol.connector.vertices())
+            .unwrap()
+            .expect("connected");
+        prop_assert!(a / 2 <= sol.wiener_index);
+        prop_assert!(sol.wiener_index <= a);
+    }
+
+    /// Every baseline returns a valid connector (or a clean error) on
+    /// arbitrary connected instances.
+    #[test]
+    fn baselines_return_valid_connectors((g, q) in graph_and_query()) {
+        for m in Method::ALL {
+            let c = m.run(&g, &q).unwrap();
+            prop_assert!(c.contains_all(&q), "{} missing query", m.name());
+            prop_assert!(
+                Connector::new(&g, c.vertices()).is_ok(),
+                "{} disconnected", m.name()
+            );
+        }
+    }
+
+    /// ws-q never loses to the Steiner-tree baseline on the Wiener
+    /// objective by more than Lemma-constant slack; empirically it wins or
+    /// ties almost always — we assert a generous 1.5x.
+    #[test]
+    fn wsq_not_worse_than_steiner_by_much((g, q) in graph_and_query()) {
+        let wsq = minimum_wiener_connector(&g, &q).unwrap();
+        let st = Method::St.run(&g, &q).unwrap();
+        let st_w = st.wiener_index(&g).unwrap();
+        prop_assert!(
+            wsq.wiener_index as f64 <= 1.5 * st_w as f64,
+            "ws-q {} vs st {}", wsq.wiener_index, st_w
+        );
+    }
+
+    /// Solving the same query twice is deterministic.
+    #[test]
+    fn wsq_is_deterministic((g, q) in graph_and_query()) {
+        let a = minimum_wiener_connector(&g, &q).unwrap();
+        let b = minimum_wiener_connector(&g, &q).unwrap();
+        prop_assert_eq!(a.connector.vertices(), b.connector.vertices());
+        prop_assert_eq!(a.wiener_index, b.wiener_index);
+    }
+}
