@@ -12,6 +12,10 @@
 //! All baselines consume a graph + query set and return a
 //! [`mwc_core::Connector`], so the evaluation harness can measure size,
 //! density, centrality, and Wiener index uniformly (Table 3).
+//!
+//! Every method also implements [`mwc_core::ConnectorSolver`] (see
+//! [`solvers`]); [`full_engine`] assembles the complete method table into
+//! one [`mwc_core::QueryEngine`] keyed by the paper's method names.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,6 +26,7 @@ pub mod greedy;
 pub mod greedy_wiener;
 pub mod ppr;
 pub mod rwr;
+pub mod solvers;
 pub mod st;
 
 pub use cps::cps;
@@ -29,12 +34,17 @@ pub use ctp::ctp;
 pub use greedy_wiener::greedy_wiener;
 pub use ppr::ppr;
 pub use rwr::RwrParams;
+pub use solvers::{full_engine, register_baselines, PAPER_METHODS};
 pub use st::steiner_tree_baseline;
 
 use mwc_core::{Connector, Result};
 use mwc_graph::{Graph, NodeId};
 
 /// The five methods of the paper's evaluation, including `ws-q` itself.
+///
+/// Legacy shim: kept for existing callers and tests. New code should
+/// select methods by registry name through [`full_engine`] /
+/// [`mwc_core::QueryEngine`] instead of matching on this enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Cocktail party (community search).

@@ -1,0 +1,166 @@
+//! [`ConnectorSolver`] adapters for the §6.1 baselines, plus the
+//! [`full_engine`] constructor assembling the paper's complete method
+//! table into one [`QueryEngine`].
+//!
+//! Each adapter wraps one baseline function behind the engine trait so
+//! harness code selects methods by registry name (`engine.solve("cps",
+//! &q)`) instead of matching on an enum. Baselines have no `(root, λ)`
+//! candidate notion and no optimality certificates, so reports carry
+//! `candidates = 0` and `optimal = None`; the Wiener index is evaluated
+//! exactly once per solve (it is the paper's comparison metric — Table 3).
+
+use mwc_core::engine::{ConnectorSolver, QueryContext, QueryEngine, SolveReport};
+use mwc_core::{Connector, Result};
+use mwc_graph::{Graph, NodeId};
+
+use crate::{cps, ctp, greedy_wiener, ppr, st};
+
+/// Builds a uniform report around a baseline's connector.
+fn report(solver: &str, g: &Graph, connector: Connector) -> Result<SolveReport> {
+    let wiener_index = connector.wiener_index(g)?;
+    Ok(SolveReport {
+        solver: solver.to_string(),
+        connector,
+        wiener_index,
+        seconds: 0.0,
+        candidates: 0,
+        optimal: None,
+    })
+}
+
+macro_rules! baseline_solver {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $f:path) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $ty;
+
+        impl ConnectorSolver for $ty {
+            fn name(&self) -> &str {
+                $name
+            }
+
+            fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport> {
+                report($name, ctx.graph(), $f(ctx.graph(), q)?)
+            }
+        }
+    };
+}
+
+baseline_solver!(
+    /// `"ctp"` — Cocktail Party community search (Sozio & Gionis), §6.1.
+    CtpSolver,
+    "ctp",
+    ctp::ctp
+);
+baseline_solver!(
+    /// `"cps"` — Center-piece Subgraph (Tong & Faloutsos), §6.1.
+    CpsSolver,
+    "cps",
+    cps::cps
+);
+baseline_solver!(
+    /// `"ppr"` — personalized PageRank expansion (Kloumann & Kleinberg),
+    /// §6.1.
+    PprSolver,
+    "ppr",
+    ppr::ppr
+);
+baseline_solver!(
+    /// `"st"` — Mehlhorn's Steiner tree, §6.1.
+    StSolver,
+    "st",
+    st::steiner_tree_baseline
+);
+baseline_solver!(
+    /// `"greedy-wiener"` — greedy Wiener expansion (an extension beyond
+    /// the paper; the ablation study's sanity baseline).
+    GreedyWienerSolver,
+    "greedy-wiener",
+    greedy_wiener::greedy_wiener
+);
+
+/// The five methods of the paper's evaluation, in Table 3 row order.
+/// All are registered by [`full_engine`]; kept next to it so harness
+/// code and examples share one definition.
+pub const PAPER_METHODS: [&str; 5] = ["ctp", "cps", "ppr", "st", "ws-q"];
+
+/// Registers the five baseline methods on `engine`, in the paper's
+/// Table 3 row order (`ctp`, `cps`, `ppr`, `st`) followed by the
+/// `greedy-wiener` extension.
+pub fn register_baselines(engine: &mut QueryEngine<'_>) {
+    engine
+        .register(Box::new(CtpSolver))
+        .register(Box::new(CpsSolver))
+        .register(Box::new(PprSolver))
+        .register(Box::new(StSolver))
+        .register(Box::new(GreedyWienerSolver));
+}
+
+/// A [`QueryEngine`] with the complete method table: the core solvers
+/// (`ws-q`, `ws-q-approx`, `ws-q+ls`, `exact`) plus every baseline.
+/// The standard entry point for the bench harness and the facade crate.
+pub fn full_engine(graph: &Graph) -> QueryEngine<'_> {
+    let mut engine = QueryEngine::new(graph);
+    register_baselines(&mut engine);
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::karate::karate_club;
+
+    #[test]
+    fn full_engine_registry_order() {
+        let g = karate_club();
+        let engine = full_engine(&g);
+        assert_eq!(
+            engine.solver_names(),
+            vec![
+                "ws-q",
+                "ws-q-approx",
+                "ws-q+ls",
+                "exact",
+                "ctp",
+                "cps",
+                "ppr",
+                "st",
+                "greedy-wiener"
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_solvers_match_direct_calls() {
+        let g = karate_club();
+        let engine = full_engine(&g);
+        let q: Vec<NodeId> = vec![11, 24, 25, 29];
+        for (name, direct) in [
+            ("ctp", ctp::ctp(&g, &q).unwrap()),
+            ("cps", cps::cps(&g, &q).unwrap()),
+            ("ppr", ppr::ppr(&g, &q).unwrap()),
+            ("st", st::steiner_tree_baseline(&g, &q).unwrap()),
+            (
+                "greedy-wiener",
+                greedy_wiener::greedy_wiener(&g, &q).unwrap(),
+            ),
+        ] {
+            let r = engine.solve(name, &q).unwrap();
+            assert_eq!(r.connector.vertices(), direct.vertices(), "{name}");
+            assert_eq!(r.wiener_index, direct.wiener_index(&g).unwrap(), "{name}");
+            assert_eq!(r.solver, name);
+        }
+    }
+
+    #[test]
+    fn wsq_beats_every_baseline_on_karate() {
+        let g = karate_club();
+        let engine = full_engine(&g);
+        let q: Vec<NodeId> = vec![11, 24, 25, 29];
+        let wsq = engine.solve("ws-q", &q).unwrap().wiener_index;
+        for name in ["ctp", "cps", "ppr", "st"] {
+            let w = engine.solve(name, &q).unwrap().wiener_index;
+            assert!(wsq <= w, "{name} achieved W = {w} < ws-q's {wsq}");
+        }
+    }
+}

@@ -5,12 +5,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 
-use mwc_baselines::Method;
+use mwc_baselines::full_engine;
+use mwc_bench::PAPER_METHODS;
 use mwc_datasets::{realworld, workloads};
 
 fn bench_methods(c: &mut Criterion) {
     let si = realworld::standin("email").unwrap();
     let g = si.graph;
+    let engine = full_engine(&g);
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let q = workloads::distance_controlled_query(
         &g,
@@ -22,9 +24,9 @@ fn bench_methods(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("methods_email_q10");
     group.sample_size(10);
-    for m in Method::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &q, |b, q| {
-            b.iter(|| m.run(&g, q).unwrap());
+    for name in PAPER_METHODS {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| engine.solve(name, q).unwrap());
         });
     }
     group.finish();

@@ -1,0 +1,105 @@
+//! The amortization win: per-query solver construction vs. `QueryEngine`
+//! reuse over a 100-query batch (the serving pattern of §6 — many query
+//! sets against one fixed graph).
+//!
+//! Three configurations on a Barabási–Albert graph:
+//!
+//! * `fresh_per_query` — the legacy pattern: every query pays for new BFS
+//!   workspaces (and, for the approximate solver, a full oracle build);
+//! * `engine_reuse` — one `QueryEngine` serves the whole batch from its
+//!   workspace pool and shared caches;
+//! * `engine_batch` — same, through the parallel `solve_batch` entry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+use mwc_baselines::full_engine;
+use mwc_core::wsq_approx::{ApproxWienerSteiner, ApproxWsqConfig};
+use mwc_core::{minimum_wiener_connector, QueryOptions};
+use mwc_graph::generators::barabasi_albert;
+use mwc_graph::NodeId;
+
+const QUERIES: usize = 100;
+
+fn queries(n_nodes: usize) -> Vec<Vec<NodeId>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    (0..QUERIES)
+        .map(|_| {
+            let size = rng.gen_range(3..=6usize);
+            let mut q: Vec<NodeId> = Vec::new();
+            while q.len() < size {
+                let v = rng.gen_range(0..n_nodes as NodeId);
+                if !q.contains(&v) {
+                    q.push(v);
+                }
+            }
+            q
+        })
+        .collect()
+}
+
+fn bench_amortization(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let n = 2000;
+    let g = barabasi_albert(n, 3, &mut rng);
+    let qs = queries(n);
+
+    let mut group = c.benchmark_group("engine_amortization_ba2000_100q");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(QUERIES as u64));
+
+    group.bench_with_input(BenchmarkId::new("ws-q", "fresh_per_query"), &qs, |b, qs| {
+        b.iter(|| {
+            for q in qs {
+                minimum_wiener_connector(&g, q).unwrap();
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("ws-q", "engine_reuse"), &qs, |b, qs| {
+        let engine = full_engine(&g);
+        b.iter(|| {
+            for q in qs {
+                engine.solve("ws-q", q).unwrap();
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("ws-q", "engine_batch"), &qs, |b, qs| {
+        let engine = full_engine(&g);
+        let opts = QueryOptions::default();
+        b.iter(|| engine.solve_batch("ws-q", qs, &opts));
+    });
+
+    // The approximate solver is where amortization bites hardest: the
+    // legacy pattern rebuilds the 16-landmark oracle (16 BFS) per query.
+    group.bench_with_input(
+        BenchmarkId::new("ws-q-approx", "fresh_per_query"),
+        &qs,
+        |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let mut oracle_rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+                    let solver =
+                        ApproxWienerSteiner::build(&g, ApproxWsqConfig::default(), &mut oracle_rng);
+                    solver.solve(q).unwrap();
+                }
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("ws-q-approx", "engine_reuse"),
+        &qs,
+        |b, qs| {
+            let engine = full_engine(&g);
+            engine.landmark_oracle(); // warm outside the timer, like a server
+            b.iter(|| {
+                for q in qs {
+                    engine.solve("ws-q-approx", q).unwrap();
+                }
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_amortization);
+criterion_main!(benches);

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::SeedableRng;
 
-use mwc_core::ilp_solve::{lp_relaxation, to_lp};
 use mwc_core::ilp::{fundamental_cycles, tree_formulation};
+use mwc_core::ilp_solve::{lp_relaxation, to_lp};
 use mwc_core::steiner::{steiner_tree, SteinerAlgorithm};
 use mwc_datasets::realworld;
 use mwc_graph::community::{cnm, label_propagation, CnmStop};
@@ -79,7 +79,10 @@ fn bench_lp(c: &mut Criterion) {
     group.bench_function("simplex_40x60", |b| {
         let mut lp = LpProblem::minimize();
         let vars: Vec<Var> = (0..40)
-            .map(|i| lp.add_var(format!("x{i}"), 0.0, 10.0, ((i % 7) as f64) - 3.0).unwrap())
+            .map(|i| {
+                lp.add_var(format!("x{i}"), 0.0, 10.0, ((i % 7) as f64) - 3.0)
+                    .unwrap()
+            })
             .collect();
         for r in 0..60usize {
             let terms: Vec<(Var, f64)> = vars
@@ -103,7 +106,10 @@ fn bench_lp(c: &mut Criterion) {
     group.bench_function("program7_karate_mip_50_nodes", |b| {
         let ip = tree_formulation(&g, &q, &cycles).unwrap();
         let (lp, bins) = to_lp(&ip).unwrap();
-        let cfg = MipConfig { max_nodes: 50, ..MipConfig::default() };
+        let cfg = MipConfig {
+            max_nodes: 50,
+            ..MipConfig::default()
+        };
         b.iter(|| branch_and_bound(&lp, &bins, &cfg).unwrap());
     });
     group.finish();

@@ -4,8 +4,8 @@
 //! |Q| ∈ {10..50}. Right column: fixed |Q| = 5, AD ∈ {1..7}. Series per
 //! method: solution size |V(H)|, density δ(H), betweenness bc(H).
 
-use mwc_baselines::Method;
-use mwc_bench::eval::{average_metrics, evaluate_method};
+use mwc_baselines::full_engine;
+use mwc_bench::eval::{average_metrics, evaluate_solver, PAPER_METHODS};
 use mwc_bench::table::{fmt_f64, Table};
 use mwc_bench::{parse_args, Scale};
 use mwc_datasets::{realworld, workloads};
@@ -30,6 +30,7 @@ fn main() {
     );
     let bc_samples = args.scale.pick(200, 800, 1600);
     let bc = centrality::betweenness_sampled(g, bc_samples, true, &mut rng);
+    let engine = full_engine(g);
     let reps = args.scale.pick(1, 3, 5);
 
     // Left column: AD = 4, varying |Q|.
@@ -41,7 +42,7 @@ fn main() {
     println!("left column: AD = 4, varying |Q|");
     let mut t = Table::new(&["|Q|", "method", "|V(H)|", "δ(H)", "bc(H)"]);
     for &qs in &q_sizes {
-        for method in Method::ALL {
+        for method in PAPER_METHODS {
             let mut runs = Vec::new();
             for _ in 0..reps {
                 if let Some(q) = workloads::distance_controlled_query(
@@ -49,8 +50,7 @@ fn main() {
                     &workloads::WorkloadConfig::new(qs, 4.0),
                     &mut rng,
                 ) {
-                    if let Ok(m) = evaluate_method(method, g, &q.vertices, &bc, 1024, 32, &mut rng)
-                    {
+                    if let Ok(m) = evaluate_solver(&engine, method, &q.vertices, &bc) {
                         runs.push(m);
                     }
                 }
@@ -61,7 +61,7 @@ fn main() {
             let avg = average_metrics(&runs);
             t.add_row(vec![
                 qs.to_string(),
-                method.name().to_string(),
+                method.to_string(),
                 avg.size.to_string(),
                 fmt_f64(avg.density, 4),
                 fmt_f64(avg.avg_betweenness, 4),
@@ -79,7 +79,7 @@ fn main() {
     println!("\nright column: |Q| = 5, varying AD");
     let mut t = Table::new(&["AD", "method", "|V(H)|", "δ(H)", "bc(H)"]);
     for &ad in &ads {
-        for method in Method::ALL {
+        for method in PAPER_METHODS {
             let mut runs = Vec::new();
             for _ in 0..reps {
                 if let Some(q) = workloads::distance_controlled_query(
@@ -87,8 +87,7 @@ fn main() {
                     &workloads::WorkloadConfig::new(5, ad),
                     &mut rng,
                 ) {
-                    if let Ok(m) = evaluate_method(method, g, &q.vertices, &bc, 1024, 32, &mut rng)
-                    {
+                    if let Ok(m) = evaluate_solver(&engine, method, &q.vertices, &bc) {
                         runs.push(m);
                     }
                 }
@@ -99,7 +98,7 @@ fn main() {
             let avg = average_metrics(&runs);
             t.add_row(vec![
                 fmt_f64(ad, 0),
-                method.name().to_string(),
+                method.to_string(),
                 avg.size.to_string(),
                 fmt_f64(avg.density, 4),
                 fmt_f64(avg.avg_betweenness, 4),

@@ -4,44 +4,33 @@
 //! CDFs of (a) the solution-size ratio |V(H_ST)| / |V(H_WSQ)| and (b) the
 //! Wiener-index ratio W(H_ST) / W(H_WSQ) — the paper's two panels.
 
-use mwc_baselines::Method;
+use mwc_baselines::full_engine;
 use mwc_bench::stats::cdf_at;
 use mwc_bench::table::{fmt_f64, Table};
 use mwc_bench::{parse_args, Scale};
 use mwc_datasets::{puc_like, vienna_like, BenchmarkInstance};
-use rand::SeedableRng;
 
-fn run_suite(
-    label: &str,
-    suite: &[BenchmarkInstance],
-    rng: &mut rand::rngs::StdRng,
-) -> (Vec<f64>, Vec<f64>) {
+fn run_suite(label: &str, suite: &[BenchmarkInstance]) -> (Vec<f64>, Vec<f64>) {
     let mut size_ratios = Vec::new();
     let mut wiener_ratios = Vec::new();
     for inst in suite {
-        let st = match Method::St.run(&inst.graph, &inst.terminals) {
-            Ok(c) => c,
+        let engine = full_engine(&inst.graph);
+        let st = match engine.solve("st", &inst.terminals) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("[fig4] {}: st failed: {e}", inst.name);
                 continue;
             }
         };
-        let wsq = match Method::WsQ.run(&inst.graph, &inst.terminals) {
-            Ok(c) => c,
+        let wsq = match engine.solve("ws-q", &inst.terminals) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("[fig4] {}: ws-q failed: {e}", inst.name);
                 continue;
             }
         };
-        let mut w = |c: &mwc_core::Connector| -> f64 {
-            if c.len() <= 2048 {
-                c.wiener_index(&inst.graph).unwrap() as f64
-            } else {
-                c.wiener_index_sampled(&inst.graph, 64, rng).unwrap()
-            }
-        };
-        size_ratios.push(st.len() as f64 / wsq.len() as f64);
-        wiener_ratios.push(w(&st) / w(&wsq));
+        size_ratios.push(st.connector.len() as f64 / wsq.connector.len() as f64);
+        wiener_ratios.push(st.wiener_index as f64 / wsq.wiener_index as f64);
     }
     eprintln!("[fig4] {label}: {} instances evaluated", size_ratios.len());
     (size_ratios, wiener_ratios)
@@ -65,7 +54,6 @@ fn print_cdf(name: &str, xs: &[(String, Vec<f64>)], grid: &[f64]) {
 
 fn main() {
     let args = parse_args();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
 
     let (vienna_count, use_full_puc) = match args.scale {
         Scale::Quick => (6, false),
@@ -85,8 +73,8 @@ fn main() {
         vienna.len()
     );
 
-    let (puc_size, puc_wiener) = run_suite("puc", &puc, &mut rng);
-    let (vienna_size, vienna_wiener) = run_suite("vienna", &vienna, &mut rng);
+    let (puc_size, puc_wiener) = run_suite("puc", &puc);
+    let (vienna_size, vienna_wiener) = run_suite("vienna", &vienna);
 
     let size_grid = [0.8, 0.9, 1.0, 1.1, 1.2, 1.4];
     print_cdf(

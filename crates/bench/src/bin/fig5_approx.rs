@@ -48,11 +48,20 @@ fn main() {
             .filter_map(|_| workloads::uniform_query(&g, qsize, &mut rng).map(|q| q.vertices))
             .collect();
 
-        let exact = WienerSteiner::with_config(&g, WsqConfig { parallel: false, ..WsqConfig::default() });
+        let exact = WienerSteiner::with_config(
+            &g,
+            WsqConfig {
+                parallel: false,
+                ..WsqConfig::default()
+            },
+        );
         let (approx, build_secs) = timed(|| {
             ApproxWienerSteiner::build(
                 &g,
-                ApproxWsqConfig { landmarks, ..ApproxWsqConfig::default() },
+                ApproxWsqConfig {
+                    landmarks,
+                    ..ApproxWsqConfig::default()
+                },
                 &mut rng,
             )
         });

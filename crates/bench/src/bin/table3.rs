@@ -5,8 +5,8 @@
 //! `bc(H)`, `W(H)` for ctp / cps / ppr / st / ws-q next to the paper's
 //! values.
 
-use mwc_baselines::Method;
-use mwc_bench::eval::{average_metrics, evaluate_method};
+use mwc_baselines::full_engine;
+use mwc_bench::eval::{average_metrics, evaluate_solver, PAPER_METHODS};
 use mwc_bench::table::{fmt_big, fmt_f64, Table};
 use mwc_bench::{parse_args, Scale};
 use mwc_datasets::{realworld, workloads};
@@ -122,6 +122,8 @@ fn main() {
             g.num_edges()
         );
         let bc = centrality::betweenness_sampled(g, bc_samples, true, &mut rng);
+        // One engine per dataset: every method shares its BFS pool.
+        let engine = full_engine(g);
 
         // Build the workload once so all methods see the same queries.
         let mut queries = Vec::new();
@@ -135,12 +137,12 @@ fn main() {
             queries.push(q.vertices);
         }
 
-        for (mi, method) in Method::ALL.iter().enumerate() {
+        for (mi, method) in PAPER_METHODS.iter().enumerate() {
             let mut runs = Vec::new();
             for q in &queries {
-                match evaluate_method(*method, g, q, &bc, 2048, 48, &mut rng) {
+                match evaluate_solver(&engine, method, q, &bc) {
                     Ok(m) => runs.push(m),
-                    Err(e) => eprintln!("[table3] {name}/{}: {e}", method.name()),
+                    Err(e) => eprintln!("[table3] {name}/{method}: {e}"),
                 }
             }
             if runs.is_empty() {
@@ -155,7 +157,7 @@ fn main() {
                 |f: fn(PaperCell) -> String| paper.map(f).unwrap_or_else(|| "-".into());
             t.add_row(vec![
                 name.to_string(),
-                method.name().to_string(),
+                method.to_string(),
                 avg.size.to_string(),
                 paper_cell(|p| fmt_big(p.0)),
                 fmt_f64(avg.density, 3),

@@ -6,9 +6,11 @@
 //! {3, 5, 10, 20} — and reports each method's average solution size and
 //! the dc/sc blow-up ratio.
 
-use mwc_baselines::Method;
+use mwc_baselines::full_engine;
 use mwc_bench::table::{fmt_big, fmt_f64, Table};
+use mwc_bench::PAPER_METHODS;
 use mwc_bench::{parse_args, Scale};
+use mwc_core::QueryOptions;
 use mwc_datasets::{realworld, workloads};
 use mwc_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -109,28 +111,28 @@ fn main() {
         let dc = workload(g, membership, &sizes, per_size, false, min_comm, &mut rng);
         let sc = workload(g, membership, &sizes, per_size, true, min_comm, &mut rng);
 
-        for method in Method::ALL {
+        let engine = full_engine(g);
+        for method in PAPER_METHODS {
+            // Each workload is served as one parallel batch per method.
             let avg_size = |qs: &[Vec<NodeId>]| -> f64 {
-                let mut total = 0.0;
-                let mut n = 0.0;
-                for q in qs {
-                    if let Ok(c) = method.run(g, q) {
-                        total += c.len() as f64;
-                        n += 1.0;
-                    }
-                }
-                if n > 0.0 {
-                    total / n
-                } else {
+                let reports = engine.solve_batch(method, qs, &QueryOptions::default());
+                let sizes: Vec<f64> = reports
+                    .into_iter()
+                    .filter_map(|r| r.ok())
+                    .map(|r| r.connector.len() as f64)
+                    .collect();
+                if sizes.is_empty() {
                     f64::NAN
+                } else {
+                    sizes.iter().sum::<f64>() / sizes.len() as f64
                 }
             };
             let dc_size = avg_size(&dc);
             let sc_size = avg_size(&sc);
-            let paper = PAPER.iter().find(|r| r.0 == name && r.1 == method.name());
+            let paper = PAPER.iter().find(|r| r.0 == name && r.1 == method);
             t.add_row(vec![
                 name.to_string(),
-                method.name().to_string(),
+                method.to_string(),
                 fmt_big(dc_size),
                 paper.map(|r| fmt_big(r.2)).unwrap_or_else(|| "-".into()),
                 fmt_big(sc_size),

@@ -1,16 +1,19 @@
-//! Uniform evaluation of a method's solution: the Table 3 metrics.
+//! Uniform evaluation of a solver's solution: the Table 3 metrics.
+//!
+//! Methods are selected by [`QueryEngine`] registry name (`"ws-q"`,
+//! `"st"`, …) instead of an enum, so the harness serves the paper's
+//! method table and any future registered solver through one code path.
 
-use mwc_baselines::Method;
-use mwc_graph::{metrics, Graph, NodeId};
-use rand::Rng;
+use mwc_core::{QueryEngine, Result};
+use mwc_graph::{metrics, NodeId};
 
-use crate::stats::timed;
+pub use mwc_baselines::PAPER_METHODS;
 
 /// The per-solution measurements of Table 3 / Figure 3.
 #[derive(Debug, Clone)]
 pub struct SolutionMetrics {
-    /// Method that produced the solution.
-    pub method: Method,
+    /// Registry name of the solver that produced the solution.
+    pub solver: String,
     /// `|V[H]|`.
     pub size: usize,
     /// `δ(H) = |E[H]| / C(|V[H]|, 2)`.
@@ -18,53 +21,50 @@ pub struct SolutionMetrics {
     /// Average betweenness centrality (in the input graph) of the
     /// solution's vertices — `bc(H)`.
     pub avg_betweenness: f64,
-    /// Wiener index `W(H)` (exact below `exact_threshold` vertices, sampled
-    /// above).
+    /// Exact Wiener index `W(H)` (every
+    /// [`SolveReport`](mwc_core::SolveReport) carries it).
     pub wiener: f64,
-    /// Wall-clock seconds for the solve itself (metrics excluded).
+    /// Wall-clock seconds of the engine solve (which includes the exact
+    /// Wiener evaluation every [`SolveReport`](mwc_core::SolveReport)
+    /// carries; the extra metrics below are excluded).
     pub seconds: f64,
 }
 
-/// Runs `method` on `(g, q)` and measures the solution.
+/// Runs the named solver on `q` through `engine` and measures the
+/// solution.
 ///
-/// `bc` is the betweenness vector of `g` (computed once per graph by the
-/// caller — it is the expensive part). Solutions larger than
-/// `exact_threshold` get a sampled Wiener index with `wiener_samples`
-/// sources.
-pub fn evaluate_method<R: Rng>(
-    method: Method,
-    g: &Graph,
+/// `bc` is the betweenness vector of the engine's graph (computed once
+/// per graph by the caller — sampled betweenness is usually preferable to
+/// the engine's exact cache on large graphs). The Wiener index comes
+/// straight from the report — every solve already evaluates it exactly,
+/// so no re-sampling happens here.
+pub fn evaluate_solver(
+    engine: &QueryEngine<'_>,
+    solver: &str,
     q: &[NodeId],
     bc: &[f64],
-    exact_threshold: usize,
-    wiener_samples: usize,
-    rng: &mut R,
-) -> mwc_core::Result<SolutionMetrics> {
-    let (result, seconds) = timed(|| method.run(g, q));
-    let connector = result?;
-    let sub = connector.induced(g)?;
+) -> Result<SolutionMetrics> {
+    let report = engine.solve(solver, q)?;
+    let g = engine.graph();
+    let sub = report.connector.induced(g)?;
     let density = metrics::density(sub.graph());
-    let wiener = if connector.len() <= exact_threshold {
-        connector.wiener_index(g)? as f64
-    } else {
-        connector.wiener_index_sampled(g, wiener_samples, rng)?
-    };
+    let wiener = report.wiener_index as f64;
     Ok(SolutionMetrics {
-        method,
-        size: connector.len(),
+        solver: report.solver,
+        size: report.connector.len(),
         density,
-        avg_betweenness: connector.average_score(bc),
+        avg_betweenness: report.connector.average_score(bc),
         wiener,
-        seconds,
+        seconds: report.seconds,
     })
 }
 
-/// Averages a slice of metrics (all from the same method).
+/// Averages a slice of metrics (all from the same solver).
 pub fn average_metrics(runs: &[SolutionMetrics]) -> SolutionMetrics {
     assert!(!runs.is_empty());
     let n = runs.len() as f64;
     SolutionMetrics {
-        method: runs[0].method,
+        solver: runs[0].solver.clone(),
         size: (runs.iter().map(|r| r.size).sum::<usize>() as f64 / n).round() as usize,
         density: runs.iter().map(|r| r.density).sum::<f64>() / n,
         avg_betweenness: runs.iter().map(|r| r.avg_betweenness).sum::<f64>() / n,
@@ -76,34 +76,44 @@ pub fn average_metrics(runs: &[SolutionMetrics]) -> SolutionMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mwc_baselines::full_engine;
     use mwc_graph::centrality::betweenness;
     use mwc_graph::generators::karate::karate_club;
-    use rand::SeedableRng;
 
     #[test]
-    fn evaluates_all_methods_on_karate() {
+    fn evaluates_all_paper_methods_on_karate() {
         let g = karate_club();
+        let engine = full_engine(&g);
         let bc = betweenness(&g, true);
         let q: Vec<NodeId> = vec![11, 24, 25, 29];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        for m in Method::ALL {
-            let sm = evaluate_method(m, &g, &q, &bc, 4096, 32, &mut rng).unwrap();
-            assert!(sm.size >= q.len(), "{}", m.name());
+        for name in PAPER_METHODS {
+            let sm = evaluate_solver(&engine, name, &q, &bc).unwrap();
+            assert_eq!(sm.solver, name);
+            assert!(sm.size >= q.len(), "{name}");
             assert!(sm.density > 0.0 && sm.density <= 1.0);
             assert!(sm.wiener > 0.0);
             assert!(sm.avg_betweenness >= 0.0);
+            assert!(sm.seconds >= 0.0);
         }
+    }
+
+    #[test]
+    fn unknown_solver_name_errors_cleanly() {
+        let g = karate_club();
+        let engine = full_engine(&g);
+        let bc = betweenness(&g, true);
+        assert!(evaluate_solver(&engine, "missing", &[0, 33], &bc).is_err());
     }
 
     #[test]
     fn averaging() {
         let g = karate_club();
+        let engine = full_engine(&g);
         let bc = betweenness(&g, true);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let a = evaluate_method(Method::St, &g, &[0, 33], &bc, 4096, 32, &mut rng).unwrap();
-        let b = evaluate_method(Method::St, &g, &[11, 24], &bc, 4096, 32, &mut rng).unwrap();
+        let a = evaluate_solver(&engine, "st", &[0, 33], &bc).unwrap();
+        let b = evaluate_solver(&engine, "st", &[11, 24], &bc).unwrap();
         let avg = average_metrics(&[a.clone(), b.clone()]);
-        assert_eq!(avg.method, Method::St);
+        assert_eq!(avg.solver, "st");
         assert!((avg.wiener - (a.wiener + b.wiener) / 2.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,846 @@
+//! The unified serving API: [`ConnectorSolver`] + [`QueryEngine`].
+//!
+//! The paper's workload is *many* query sets against one fixed graph
+//! (§6 runs hundreds of queries per dataset), yet the historical entry
+//! points — [`WienerSteiner::solve`],
+//! [`ApproxWienerSteiner::solve`](crate::ApproxWienerSteiner::solve),
+//! [`exact_minimum`], the baselines — each
+//! rebuilt BFS workspaces and per-graph state on every call. This module
+//! fixes the shape of the system:
+//!
+//! * [`ConnectorSolver`] — one object-safe trait every solving method
+//!   implements, so callers select algorithms by registry name instead of
+//!   matching on enums;
+//! * [`QueryEngine`] — built once per graph, owning the state worth
+//!   amortizing across queries: a [`WorkspacePool`] of BFS buffers, the
+//!   degree-centrality vector, a lazily built betweenness vector, and a
+//!   lazily built [`LandmarkOracle`] shared by every approximate solve;
+//! * [`QueryContext`] — the per-query view handed to solvers: the graph,
+//!   the shared caches, and the caller's [`QueryOptions`] (deadline /
+//!   size budget);
+//! * [`SolveReport`] — the uniform result: connector, exact Wiener index,
+//!   wall-clock seconds, and solver diagnostics.
+//!
+//! # Solver registry
+//!
+//! [`QueryEngine::new`] registers the four solvers of this crate; the
+//! `mwc-baselines` crate adds the §6.1 competitors via its
+//! `register_baselines` helper (or use its `full_engine` constructor):
+//!
+//! | name          | algorithm                                         | paper |
+//! |---------------|---------------------------------------------------|-------|
+//! | `ws-q`        | [`WienerSteiner`] (constant-factor approximation) | Algorithm 1, Theorem 4 |
+//! | `ws-q-approx` | [`ApproxWienerSteiner`](crate::ApproxWienerSteiner) on shared landmarks | §6.6 scale-out |
+//! | `ws-q+ls`     | `ws-q` + local-search refinement                  | Table 2's `GU` upper bound |
+//! | `exact`       | shortest path (`\|Q\| = 2`) / subset enumeration  | §3, §6.2 |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mwc_core::engine::{QueryEngine, QueryOptions};
+//! use mwc_graph::generators::karate::karate_club;
+//!
+//! let g = karate_club();
+//! let engine = QueryEngine::new(&g); // reusable: build once, query many times
+//! let report = engine.solve("ws-q", &[11, 24, 25, 29]).unwrap();
+//! assert!(report.connector.contains_all(&[11, 24, 25, 29]));
+//!
+//! // Batches run in parallel; results keep the input order.
+//! let queries = vec![vec![0, 33], vec![11, 24, 25, 29]];
+//! let reports = engine.solve_batch("ws-q", &queries, &QueryOptions::default());
+//! assert_eq!(reports.len(), 2);
+//! ```
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
+use mwc_graph::traversal::bfs::WorkspacePool;
+use mwc_graph::{centrality, Graph, NodeId};
+use rand::SeedableRng;
+
+use crate::connector::Connector;
+use crate::error::{CoreError, Result};
+use crate::exact::{exact_minimum, shortest_path_connector, ExactConfig};
+use crate::local_search::{refine, LocalSearchConfig};
+use crate::wsq::{WienerSteiner, WsqConfig, WsqSolution};
+use crate::wsq_approx::{solve_with_oracle, ApproxWsqConfig};
+
+/// Per-query knobs, built fluently:
+/// `QueryOptions::new().deadline(d).max_connector_size(n)`.
+///
+/// The default is unconstrained (no deadline, no size budget).
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    deadline: Option<Duration>,
+    max_size: Option<usize>,
+}
+
+impl QueryOptions {
+    /// Unconstrained options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the wall-clock time of each query. The deadline is
+    /// *cooperative*: solvers that support it (`ws-q`, `ws-q+ls`) stop
+    /// sweeping `(root, λ)` candidates once it passes and select among
+    /// those already evaluated, so a feasible connector is still returned
+    /// — only the approximation guarantee weakens. Solvers without
+    /// internal checkpoints ignore it.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Rejects solutions larger than `max` vertices: the engine returns
+    /// [`CoreError::BudgetExceeded`] instead of an oversized connector
+    /// (useful when downstream rendering or storage has a hard cap).
+    pub fn max_connector_size(mut self, max: usize) -> Self {
+        self.max_size = Some(max);
+        self
+    }
+
+    /// The configured per-query time budget, if any.
+    pub fn time_budget(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The configured connector-size budget, if any.
+    pub fn size_budget(&self) -> Option<usize> {
+        self.max_size
+    }
+}
+
+/// Uniform solver output (the engine's replacement for the per-method
+/// result types `WsqSolution` / `ExactOutcome` / bare `Connector`).
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Registry name of the solver that produced the report.
+    pub solver: String,
+    /// The connector: a vertex set `S ⊇ Q` inducing a connected subgraph.
+    pub connector: Connector,
+    /// Exact Wiener index `W(G[S])` — every report carries the true
+    /// objective value, evaluated inside the solve. For solvers that can
+    /// return very large connectors (`ctp`/`cps` at full dataset scale)
+    /// this evaluation is `O(|S|·(|S|+|E[S]|))` and can dominate the
+    /// solve; it is a deliberate contract (uniform, exact, comparable
+    /// across methods). Callers that only need the vertex set and find
+    /// this too costly should call the legacy per-method functions, which
+    /// return a bare [`Connector`].
+    pub wiener_index: u64,
+    /// Wall-clock seconds of the solve. Filled by [`QueryEngine::solve`];
+    /// zero when the solver is invoked directly through the trait.
+    pub seconds: f64,
+    /// Candidates inspected: `(root, λ)` pairs for the `ws-q` family
+    /// (Algorithm 1's sweep), subsets for the exact enumerator, zero where
+    /// the notion does not apply.
+    pub candidates: u64,
+    /// `Some(true)` when the result is provably optimal (the exact solver
+    /// finished within budget, or `|Q| = 2` — §3), `Some(false)` when an
+    /// exact solver gave up early, `None` for approximations.
+    pub optimal: Option<bool>,
+}
+
+impl SolveReport {
+    fn from_wsq(solver: &str, sol: WsqSolution) -> Self {
+        SolveReport {
+            solver: solver.to_string(),
+            connector: sol.connector,
+            wiener_index: sol.wiener_index,
+            seconds: 0.0,
+            candidates: sol.num_candidates as u64,
+            optimal: None,
+        }
+    }
+}
+
+/// Per-graph state shared by all solvers of an engine.
+#[derive(Debug)]
+struct SharedState {
+    pool: WorkspacePool,
+    degree: Vec<f64>,
+    betweenness: OnceLock<Vec<f64>>,
+    oracle: OnceLock<LandmarkOracle>,
+    landmarks: usize,
+    landmark_strategy: LandmarkStrategy,
+    oracle_seed: u64,
+}
+
+/// The per-query view a [`ConnectorSolver`] receives: the graph plus the
+/// engine's shared caches and the caller's options.
+#[derive(Debug)]
+pub struct QueryContext<'e> {
+    graph: &'e Graph,
+    shared: &'e SharedState,
+    options: QueryOptions,
+    deadline: Option<Instant>,
+    prefer_sequential: bool,
+}
+
+impl<'e> QueryContext<'e> {
+    fn new(
+        graph: &'e Graph,
+        shared: &'e SharedState,
+        options: QueryOptions,
+        prefer_sequential: bool,
+    ) -> Self {
+        let deadline = options.time_budget().map(|d| Instant::now() + d);
+        QueryContext {
+            graph,
+            shared,
+            options,
+            deadline,
+            prefer_sequential,
+        }
+    }
+
+    /// `true` when the engine is already parallelizing *across* queries
+    /// (inside [`QueryEngine::solve_batch`] workers) and solvers should
+    /// not spawn their own worker threads on top — ws-q's root loop
+    /// honors this to avoid `P²` oversubscription.
+    pub fn prefer_sequential(&self) -> bool {
+        self.prefer_sequential
+    }
+
+    /// The graph being served.
+    pub fn graph(&self) -> &'e Graph {
+        self.graph
+    }
+
+    /// The caller's options for this query.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// Absolute deadline for this query, if one was requested. Fixed when
+    /// the context is created, so batch queries each get a full budget.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline has already passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The engine's BFS buffer pool; lease instead of allocating.
+    pub fn workspace_pool(&self) -> &'e WorkspacePool {
+        &self.shared.pool
+    }
+
+    /// Degree centrality of every vertex (computed once per engine).
+    pub fn degree_centrality(&self) -> &'e [f64] {
+        &self.shared.degree
+    }
+
+    /// Exact betweenness centrality of every vertex, computed on first use
+    /// and cached for the engine's lifetime. `O(|V||E|)` — on large graphs
+    /// prefer sampling outside the engine.
+    pub fn betweenness(&self) -> &'e [f64] {
+        self.shared
+            .betweenness
+            .get_or_init(|| centrality::betweenness(self.graph, true))
+    }
+
+    /// The shared landmark distance oracle (§6.6), built on first use with
+    /// the engine's deterministic seed and cached for its lifetime.
+    pub fn landmark_oracle(&self) -> &'e LandmarkOracle {
+        self.shared.oracle.get_or_init(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.shared.oracle_seed);
+            LandmarkOracle::build(
+                self.graph,
+                self.shared.landmarks,
+                self.shared.landmark_strategy,
+                &mut rng,
+            )
+        })
+    }
+}
+
+/// A Wiener-connector solving method, as served by a [`QueryEngine`].
+///
+/// Object safe: engines store `Box<dyn ConnectorSolver + Send + Sync>`.
+/// Implementations must be stateless per query (shared state belongs in
+/// the engine's [`QueryContext`] caches) so one registration can serve
+/// concurrent batch queries.
+pub trait ConnectorSolver: Send + Sync {
+    /// Registry key and display name (e.g. `"ws-q"`, matching the paper's
+    /// method names where one exists).
+    fn name(&self) -> &str;
+
+    /// Solves one query against the context's graph.
+    ///
+    /// Contract (same as the legacy entry points): errors on an empty
+    /// query, out-of-range vertices, or query vertices spanning multiple
+    /// components; otherwise returns a connector containing the query.
+    fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport>;
+}
+
+/// `"ws-q"` — the paper's Algorithm 1 ([`WienerSteiner`]) behind the
+/// [`ConnectorSolver`] trait. Honors [`QueryOptions::deadline`].
+#[derive(Debug, Clone, Default)]
+pub struct WsqSolver {
+    /// Configuration applied to every query (deadline is overridden per
+    /// query from the context).
+    pub config: WsqConfig,
+}
+
+impl ConnectorSolver for WsqSolver {
+    fn name(&self) -> &str {
+        "ws-q"
+    }
+
+    fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport> {
+        let mut cfg = self.config.clone();
+        cfg.deadline = ctx.deadline();
+        cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
+        let sol =
+            WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled(q, ctx.workspace_pool())?;
+        Ok(SolveReport::from_wsq(self.name(), sol))
+    }
+}
+
+/// `"ws-q-approx"` — Algorithm 1 on landmark-estimated distances (§6.6),
+/// using the engine's shared [`LandmarkOracle`] so the `k` oracle BFS
+/// traversals are paid once per graph, not once per solver.
+#[derive(Debug, Clone, Default)]
+pub struct ApproxWsqSolver {
+    /// Configuration applied to every query. `landmarks` and `strategy`
+    /// are ignored in engine use — the engine's shared oracle wins; build
+    /// an [`ApproxWienerSteiner`](crate::ApproxWienerSteiner) directly to
+    /// control them per instance.
+    pub config: ApproxWsqConfig,
+}
+
+impl ConnectorSolver for ApproxWsqSolver {
+    fn name(&self) -> &str {
+        "ws-q-approx"
+    }
+
+    fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport> {
+        let sol = solve_with_oracle(
+            ctx.graph(),
+            ctx.landmark_oracle(),
+            &self.config,
+            q,
+            ctx.workspace_pool(),
+        )?;
+        Ok(SolveReport::from_wsq(self.name(), sol))
+    }
+}
+
+/// `"ws-q+ls"` — `ws-q` polished by add/remove/swap local search (the
+/// role Gurobi warm-starting plays for the paper's Table 2 upper bound).
+#[derive(Debug, Clone, Default)]
+pub struct LocalSearchSolver {
+    /// Configuration of the underlying `ws-q` run.
+    pub wsq: WsqConfig,
+    /// Limits of the refinement pass.
+    pub local_search: LocalSearchConfig,
+}
+
+impl ConnectorSolver for LocalSearchSolver {
+    fn name(&self) -> &str {
+        "ws-q+ls"
+    }
+
+    fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport> {
+        let mut cfg = self.wsq.clone();
+        cfg.deadline = ctx.deadline();
+        cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
+        let sol =
+            WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled(q, ctx.workspace_pool())?;
+        let candidates = sol.num_candidates as u64;
+        let (connector, wiener_index) = if ctx.deadline_exceeded() {
+            // The budget went to ws-q; skip the polish.
+            (sol.connector, sol.wiener_index)
+        } else {
+            // The refinement honors what remains of the budget itself.
+            let mut ls = self.local_search.clone();
+            ls.deadline = ctx.deadline();
+            refine(ctx.graph(), q, &sol.connector, &ls)?
+        };
+        Ok(SolveReport {
+            solver: self.name().to_string(),
+            connector,
+            wiener_index,
+            seconds: 0.0,
+            candidates,
+            optimal: None,
+        })
+    }
+}
+
+/// `"exact"` — provably minimum connectors where feasible: any-size graphs
+/// for `|Q| = 2` (a shortest path is optimal on unweighted graphs, §3),
+/// pruned subset enumeration on ≤ 64-vertex graphs otherwise (the §6.2
+/// certificate stand-in). Errors with `UnsupportedInstance` beyond that.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSolver {
+    /// Enumeration budget.
+    pub config: ExactConfig,
+}
+
+impl ConnectorSolver for ExactSolver {
+    fn name(&self) -> &str {
+        "exact"
+    }
+
+    fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport> {
+        let g = ctx.graph();
+        let q_norm = crate::wsq::normalize_query(g, q)?;
+        if q_norm.len() == 2 && g.num_nodes() > 64 {
+            let connector = shortest_path_connector(g, q_norm[0], q_norm[1])?;
+            let wiener_index = connector.wiener_index(g)?;
+            return Ok(SolveReport {
+                solver: self.name().to_string(),
+                connector,
+                wiener_index,
+                seconds: 0.0,
+                candidates: 1,
+                optimal: Some(true),
+            });
+        }
+        let out = exact_minimum(g, &q_norm, None, &self.config)?;
+        Ok(SolveReport {
+            solver: self.name().to_string(),
+            connector: out.connector,
+            wiener_index: out.wiener_index,
+            seconds: 0.0,
+            candidates: out.subsets_explored,
+            optimal: Some(out.optimal),
+        })
+    }
+}
+
+/// A per-graph query-serving engine: build once, answer many queries.
+///
+/// Owns the string-keyed solver registry and the state worth amortizing
+/// across queries (see the [module docs](self)). Shareable across threads
+/// (`&QueryEngine` is `Send + Sync`); [`Self::solve_batch`] exploits that
+/// with scoped worker threads.
+pub struct QueryEngine<'g> {
+    graph: &'g Graph,
+    solvers: Vec<Box<dyn ConnectorSolver + Send + Sync>>,
+    shared: SharedState,
+}
+
+impl std::fmt::Debug for QueryEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("nodes", &self.graph.num_nodes())
+            .field("edges", &self.graph.num_edges())
+            .field("solvers", &self.solver_names())
+            .finish()
+    }
+}
+
+impl<'g> QueryEngine<'g> {
+    /// An engine over `graph` with this crate's solvers registered
+    /// (`ws-q`, `ws-q-approx`, `ws-q+ls`, `exact`). Use
+    /// `mwc_baselines::full_engine` for the paper's complete method table.
+    pub fn new(graph: &'g Graph) -> Self {
+        let mut engine = Self::empty(graph);
+        engine
+            .register(Box::new(WsqSolver::default()))
+            .register(Box::new(ApproxWsqSolver::default()))
+            .register(Box::new(LocalSearchSolver::default()))
+            .register(Box::new(ExactSolver::default()));
+        engine
+    }
+
+    /// An engine with an empty registry (register solvers yourself).
+    pub fn empty(graph: &'g Graph) -> Self {
+        let approx_defaults = ApproxWsqConfig::default();
+        QueryEngine {
+            graph,
+            solvers: Vec::new(),
+            shared: SharedState {
+                pool: WorkspacePool::new(),
+                degree: centrality::degree_centrality(graph),
+                betweenness: OnceLock::new(),
+                oracle: OnceLock::new(),
+                landmarks: approx_defaults.landmarks,
+                landmark_strategy: approx_defaults.strategy,
+                oracle_seed: 0x5EED,
+            },
+        }
+    }
+
+    /// Configures the shared landmark oracle that `ws-q-approx` (and any
+    /// solver calling [`QueryContext::landmark_oracle`]) uses. Must be
+    /// called before the first approximate solve — the oracle is built
+    /// once on first use and cached for the engine's lifetime, so later
+    /// calls have no effect (debug builds assert).
+    pub fn set_oracle_config(
+        &mut self,
+        landmarks: usize,
+        strategy: LandmarkStrategy,
+        seed: u64,
+    ) -> &mut Self {
+        debug_assert!(
+            self.shared.oracle.get().is_none(),
+            "set_oracle_config called after the oracle was already built"
+        );
+        self.shared.landmarks = landmarks;
+        self.shared.landmark_strategy = strategy;
+        self.shared.oracle_seed = seed;
+        self
+    }
+
+    /// Registers `solver` under [`ConnectorSolver::name`], replacing any
+    /// earlier registration of the same name in place (so registration
+    /// order — which [`Self::solver_names`] preserves — is stable).
+    pub fn register(&mut self, solver: Box<dyn ConnectorSolver + Send + Sync>) -> &mut Self {
+        match self.solvers.iter().position(|s| s.name() == solver.name()) {
+            Some(i) => self.solvers[i] = solver,
+            None => self.solvers.push(solver),
+        }
+        self
+    }
+
+    /// The graph this engine serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Registered solver names, in registration order.
+    pub fn solver_names(&self) -> Vec<&str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Looks up a solver by registry name.
+    pub fn solver(&self, name: &str) -> Result<&(dyn ConnectorSolver + Send + Sync)> {
+        self.solvers
+            .iter()
+            .find(|s| s.name() == name)
+            .map(|s| s.as_ref())
+            .ok_or_else(|| CoreError::UnknownSolver {
+                requested: name.to_string(),
+                available: self.solvers.iter().map(|s| s.name().to_string()).collect(),
+            })
+    }
+
+    /// A query context carrying the engine's shared caches and `options`
+    /// (for driving a [`ConnectorSolver`] by hand; [`Self::solve`] does
+    /// this internally).
+    pub fn context(&self, options: QueryOptions) -> QueryContext<'_> {
+        QueryContext::new(self.graph, &self.shared, options, false)
+    }
+
+    /// Solves one query with the named solver and default options.
+    pub fn solve(&self, solver: &str, q: &[NodeId]) -> Result<SolveReport> {
+        self.solve_with(solver, q, &QueryOptions::default())
+    }
+
+    /// Solves one query with the named solver and explicit options.
+    pub fn solve_with(
+        &self,
+        solver: &str,
+        q: &[NodeId],
+        options: &QueryOptions,
+    ) -> Result<SolveReport> {
+        self.solve_inner(solver, q, options, false)
+    }
+
+    /// Shared solve path; `prefer_sequential` is set by batch workers so
+    /// solvers do not nest their own parallelism inside the batch's.
+    fn solve_inner(
+        &self,
+        solver: &str,
+        q: &[NodeId],
+        options: &QueryOptions,
+        prefer_sequential: bool,
+    ) -> Result<SolveReport> {
+        let s = self.solver(solver)?;
+        let ctx = QueryContext::new(self.graph, &self.shared, options.clone(), prefer_sequential);
+        let start = Instant::now();
+        let mut report = s.solve(&ctx, q)?;
+        report.seconds = start.elapsed().as_secs_f64();
+        if let Some(budget) = options.size_budget() {
+            if report.connector.len() > budget {
+                return Err(CoreError::BudgetExceeded {
+                    size: report.connector.len(),
+                    budget,
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Solves a batch of queries with the named solver, in parallel across
+    /// scoped worker threads (one per available core, capped at the batch
+    /// size). Results keep the input order; each query gets its own
+    /// context, so deadlines are per query. Per-query errors are reported
+    /// in place — one infeasible query does not fail the batch.
+    pub fn solve_batch(
+        &self,
+        solver: &str,
+        queries: &[Vec<NodeId>],
+        options: &QueryOptions,
+    ) -> Vec<Result<SolveReport>> {
+        // Surface an unknown solver on every slot rather than panicking
+        // (the lookup is repeated per slot; it cannot succeed mid-batch).
+        if self.solver(solver).is_err() {
+            return queries
+                .iter()
+                .map(|_| match self.solver(solver) {
+                    Err(e) => Err(e),
+                    Ok(_) => unreachable!("registry is immutable during solve_batch"),
+                })
+                .collect();
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(queries.len());
+        if threads <= 1 {
+            return queries
+                .iter()
+                .map(|q| self.solve_with(solver, q, options))
+                .collect();
+        }
+        let mut slots: Vec<Option<Result<SolveReport>>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (q_chunk, s_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (q, slot) in q_chunk.iter().zip(s_chunk.iter_mut()) {
+                        *slot = Some(self.solve_inner(solver, q, options, true));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every batch slot is filled by its worker"))
+            .collect()
+    }
+
+    /// Degree centrality of every vertex (cached at construction).
+    pub fn degree_centrality(&self) -> &[f64] {
+        &self.shared.degree
+    }
+
+    /// Exact betweenness centrality, computed on first use and cached.
+    /// `O(|V||E|)` — on large graphs prefer external sampling.
+    pub fn betweenness(&self) -> &[f64] {
+        self.context(QueryOptions::default()).betweenness()
+    }
+
+    /// The shared landmark oracle (built deterministically on first use).
+    pub fn landmark_oracle(&self) -> &LandmarkOracle {
+        self.context(QueryOptions::default()).landmark_oracle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::karate::karate_club;
+    use mwc_graph::generators::structured;
+
+    #[test]
+    fn registry_lists_core_solvers_in_order() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        assert_eq!(
+            engine.solver_names(),
+            vec!["ws-q", "ws-q-approx", "ws-q+ls", "exact"]
+        );
+    }
+
+    #[test]
+    fn unknown_solver_is_a_clean_error() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let err = engine.solve("nope", &[0, 33]).unwrap_err();
+        match err {
+            CoreError::UnknownSolver {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, "nope");
+                assert!(available.contains(&"ws-q".to_string()));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn registering_same_name_replaces_in_place() {
+        let g = karate_club();
+        let mut engine = QueryEngine::new(&g);
+        let before: Vec<String> = engine
+            .solver_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        engine.register(Box::new(WsqSolver {
+            config: WsqConfig {
+                parallel: false,
+                ..WsqConfig::default()
+            },
+        }));
+        assert_eq!(engine.solver_names(), before);
+    }
+
+    #[test]
+    fn engine_solve_matches_legacy_wsq() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let q = [11u32, 24, 25, 29];
+        let report = engine.solve("ws-q", &q).unwrap();
+        let legacy = crate::wsq::minimum_wiener_connector(&g, &q).unwrap();
+        assert_eq!(report.connector.vertices(), legacy.connector.vertices());
+        assert_eq!(report.wiener_index, legacy.wiener_index);
+        assert!(report.seconds >= 0.0);
+        assert_eq!(report.candidates, legacy.num_candidates as u64);
+        assert_eq!(report.solver, "ws-q");
+    }
+
+    #[test]
+    fn exact_solver_reports_optimality() {
+        let g = structured::figure2_graph(10);
+        let engine = QueryEngine::new(&g);
+        let q: Vec<NodeId> = (0..10).collect();
+        let report = engine.solve("exact", &q).unwrap();
+        assert_eq!(report.wiener_index, 142);
+        assert_eq!(report.optimal, Some(true));
+        assert!(report.candidates > 0);
+    }
+
+    #[test]
+    fn exact_solver_uses_shortest_path_for_pairs_on_large_graphs() {
+        let g = structured::path(100);
+        let engine = QueryEngine::new(&g);
+        let report = engine.solve("exact", &[10, 20]).unwrap();
+        assert_eq!(report.connector.len(), 11);
+        assert_eq!(report.optimal, Some(true));
+    }
+
+    #[test]
+    fn local_search_never_worse_than_wsq() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let q = [11u32, 24, 25, 29];
+        let base = engine.solve("ws-q", &q).unwrap();
+        let polished = engine.solve("ws-q+ls", &q).unwrap();
+        assert!(polished.wiener_index <= base.wiener_index);
+        assert!(polished.connector.contains_all(&q));
+    }
+
+    #[test]
+    fn size_budget_is_enforced() {
+        let g = structured::path(9);
+        let engine = QueryEngine::new(&g);
+        // The only connector for the endpoints is the whole 9-vertex path.
+        let err = engine
+            .solve_with("ws-q", &[0, 8], &QueryOptions::new().max_connector_size(4))
+            .unwrap_err();
+        match err {
+            CoreError::BudgetExceeded { size, budget } => {
+                assert_eq!(size, 9);
+                assert_eq!(budget, 4);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // A generous budget passes.
+        assert!(engine
+            .solve_with("ws-q", &[0, 8], &QueryOptions::new().max_connector_size(9))
+            .is_ok());
+    }
+
+    #[test]
+    fn deadline_still_returns_a_feasible_connector() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let q = [11u32, 24, 25, 29];
+        let opts = QueryOptions::new().deadline(Duration::ZERO);
+        let report = engine.solve_with("ws-q", &q, &opts).unwrap();
+        assert!(report.connector.contains_all(&q));
+        assert_eq!(
+            report.wiener_index,
+            report.connector.wiener_index(&g).unwrap()
+        );
+        // The expired deadline cut the sweep short.
+        let full = engine.solve("ws-q", &q).unwrap();
+        assert!(report.candidates <= full.candidates);
+    }
+
+    #[test]
+    fn batch_results_keep_input_order_and_match_sequential() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let queries: Vec<Vec<NodeId>> = vec![
+            vec![0, 33],
+            vec![11, 24, 25, 29],
+            vec![3, 11, 16],
+            vec![5, 28],
+        ];
+        let batch = engine.solve_batch("ws-q", &queries, &QueryOptions::default());
+        assert_eq!(batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&batch) {
+            let r = r.as_ref().expect("feasible query");
+            let seq = engine.solve("ws-q", q).unwrap();
+            assert_eq!(r.connector.vertices(), seq.connector.vertices());
+            assert_eq!(r.wiener_index, seq.wiener_index);
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors_in_place() {
+        let split = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let engine = QueryEngine::new(&split);
+        let queries: Vec<Vec<NodeId>> = vec![vec![0, 1], vec![0, 3], vec![2, 3]];
+        let batch = engine.solve_batch("ws-q", &queries, &QueryOptions::default());
+        assert!(batch[0].is_ok());
+        assert!(matches!(batch[1], Err(CoreError::QueryNotConnectable)));
+        assert!(batch[2].is_ok());
+        // Unknown solvers error on every slot instead of panicking.
+        let bad = engine.solve_batch("nope", &queries, &QueryOptions::default());
+        assert!(bad
+            .iter()
+            .all(|r| matches!(r, Err(CoreError::UnknownSolver { .. }))));
+    }
+
+    #[test]
+    fn oracle_config_is_respected_before_first_use() {
+        let g = karate_club();
+        let mut engine = QueryEngine::new(&g);
+        engine.set_oracle_config(4, mwc_graph::oracle::LandmarkStrategy::HighestDegree, 7);
+        assert_eq!(engine.landmark_oracle().num_landmarks(), 4);
+        // Oracle is cached: same landmarks on re-access.
+        assert_eq!(engine.landmark_oracle().num_landmarks(), 4);
+    }
+
+    #[test]
+    fn shared_caches_are_deterministic_and_reused() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let o1 = engine.landmark_oracle().landmarks().to_vec();
+        let o2 = engine.landmark_oracle().landmarks().to_vec();
+        assert_eq!(o1, o2);
+        assert_eq!(engine.degree_centrality().len(), g.num_nodes());
+        // The approx solver goes through the same shared oracle.
+        let q = [11u32, 24, 25, 29];
+        let a = engine.solve("ws-q-approx", &q).unwrap();
+        let b = engine.solve("ws-q-approx", &q).unwrap();
+        assert_eq!(a.connector.vertices(), b.connector.vertices());
+        // Workspaces returned to the pool after the solves.
+        assert!(
+            engine
+                .context(QueryOptions::default())
+                .workspace_pool()
+                .idle()
+                > 0
+        );
+    }
+
+    use mwc_graph::Graph;
+}

@@ -26,6 +26,22 @@ pub enum CoreError {
     },
     /// An error from the LP/MIP machinery backing the §5 bounds.
     Lp(mwc_lp::LpError),
+    /// A [`QueryEngine`](crate::engine::QueryEngine) lookup named a solver
+    /// that is not registered.
+    UnknownSolver {
+        /// The requested registry key.
+        requested: String,
+        /// The registered keys, in registration order.
+        available: Vec<String>,
+    },
+    /// The solution exceeded the size budget set via
+    /// [`QueryOptions::max_connector_size`](crate::engine::QueryOptions::max_connector_size).
+    BudgetExceeded {
+        /// Size of the connector the solver produced.
+        size: usize,
+        /// The configured budget it violated.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +57,18 @@ impl fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "{e}"),
             CoreError::UnsupportedInstance { what } => write!(f, "unsupported instance: {what}"),
             CoreError::Lp(e) => write!(f, "lp solver: {e}"),
+            CoreError::UnknownSolver {
+                requested,
+                available,
+            } => write!(
+                f,
+                "no solver registered under {requested:?} (available: {})",
+                available.join(", ")
+            ),
+            CoreError::BudgetExceeded { size, budget } => write!(
+                f,
+                "connector has {size} vertices, exceeding the size budget of {budget}"
+            ),
         }
     }
 }

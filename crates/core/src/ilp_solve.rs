@@ -41,7 +41,9 @@ pub fn to_lp(ip: &IntegerProgram) -> Result<(LpProblem, Vec<Var>)> {
     let mut binaries = Vec::new();
     for (i, name) in ip.var_names.iter().enumerate() {
         let hi = if ip.binary[i] { 1.0 } else { f64::INFINITY };
-        let v = lp.add_var(name.clone(), 0.0, hi, 0.0).map_err(CoreError::from)?;
+        let v = lp
+            .add_var(name.clone(), 0.0, hi, 0.0)
+            .map_err(CoreError::from)?;
         if ip.binary[i] {
             binaries.push(v);
         }
@@ -99,7 +101,10 @@ impl Default for Program7Config {
             max_cut_rounds: 6,
             cuts_per_round: 16,
             run_mip: true,
-            mip: MipConfig { max_nodes: 400, ..MipConfig::default() },
+            mip: MipConfig {
+                max_nodes: 400,
+                ..MipConfig::default()
+            },
             simplex: SimplexConfig::default(),
         }
     }
@@ -208,7 +213,9 @@ pub fn program7_bounds(g: &Graph, q: &[NodeId], config: &Program7Config) -> Resu
         };
         if mip_bound.is_finite() {
             bounds.lower_bound = bounds.lower_bound.max(ceil_int(mip_bound));
-            bounds.lp_bound = bounds.lp_bound.max(mip_bound.min(bounds.incumbent.unwrap_or(mip_bound)));
+            bounds.lp_bound = bounds
+                .lp_bound
+                .max(mip_bound.min(bounds.incumbent.unwrap_or(mip_bound)));
         }
     }
     Ok(bounds)
@@ -339,7 +346,10 @@ mod tests {
             max_cut_rounds: 4,
             cuts_per_round: 8,
             run_mip: true,
-            mip: MipConfig { max_nodes: 200, ..MipConfig::default() },
+            mip: MipConfig {
+                max_nodes: 200,
+                ..MipConfig::default()
+            },
             simplex: SimplexConfig::default(),
         }
     }
@@ -413,7 +423,10 @@ mod tests {
             run_mip: false,
             ..quick_config()
         };
-        let with_cuts = Program7Config { run_mip: false, ..quick_config() };
+        let with_cuts = Program7Config {
+            run_mip: false,
+            ..quick_config()
+        };
         let weak = program7_bounds(&g, &q, &no_cuts).unwrap();
         let strong = program7_bounds(&g, &q, &with_cuts).unwrap();
         assert!(strong.lp_bound >= weak.lp_bound - 1e-6);

@@ -10,6 +10,10 @@
 //!
 //! # Contents
 //!
+//! * [`engine`] — the unified serving API: the [`ConnectorSolver`] trait
+//!   every method implements and the per-graph [`QueryEngine`] that
+//!   amortizes BFS workspaces, centrality vectors, and the landmark
+//!   oracle across many queries (`solve` / parallel `solve_batch`);
 //! * [`wsq`] — the paper's main contribution: a constant-factor
 //!   approximation running in `Õ(|Q||E|)` (Algorithm 1), exposed as
 //!   [`WienerSteiner`];
@@ -26,23 +30,30 @@
 //!
 //! # Quickstart
 //!
+//! Build a [`QueryEngine`] once per graph and serve queries through it:
+//!
 //! ```
-//! use mwc_core::WienerSteiner;
+//! use mwc_core::QueryEngine;
 //! use mwc_graph::generators::karate::{from_paper_ids, karate_club};
 //!
 //! let g = karate_club();
+//! let engine = QueryEngine::new(&g);
 //! // Figure 1 (left): query vertices from both factions.
 //! let q = from_paper_ids(&[12, 25, 26, 30]);
-//! let solution = WienerSteiner::new(&g).solve(&q).unwrap();
-//! assert!(solution.connector.contains_all(&q));
-//! assert!(solution.connector.len() < 12); // small connector
+//! let report = engine.solve("ws-q", &q).unwrap();
+//! assert!(report.connector.contains_all(&q));
+//! assert!(report.connector.len() < 12); // small connector
 //! ```
+//!
+//! The per-method types ([`WienerSteiner`], [`ApproxWienerSteiner`], …)
+//! remain available for fine-grained control.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod adjust;
 pub mod connector;
+pub mod engine;
 pub mod error;
 pub mod exact;
 pub mod ilp;
@@ -55,6 +66,7 @@ pub mod wsq;
 pub mod wsq_approx;
 
 pub use connector::Connector;
+pub use engine::{ConnectorSolver, QueryContext, QueryEngine, QueryOptions, SolveReport};
 pub use error::{CoreError, Result};
 pub use ilp_solve::{program6_exact, program7_bounds, Program7Bounds, Program7Config};
 pub use steiner::{mehlhorn_steiner, SteinerTree};

@@ -6,6 +6,8 @@
 //! search plays that role. Also exposed as an optional polish step on any
 //! connector.
 
+use std::time::Instant;
+
 use mwc_graph::{wiener, Graph, NodeId};
 
 use crate::connector::Connector;
@@ -25,6 +27,12 @@ pub struct LocalSearchConfig {
     /// escape local optima that pure add/remove cannot, at `O(|S| ·
     /// frontier)` Wiener evaluations per round.
     pub swap_threshold: usize,
+    /// Cooperative wall-clock deadline, checked between passes: once
+    /// passed, [`refine`] stops and returns the best connector found so
+    /// far (never worse than `initial`). Set by the engine's `ws-q+ls`
+    /// solver from
+    /// [`QueryOptions::deadline`](crate::engine::QueryOptions::deadline).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for LocalSearchConfig {
@@ -33,6 +41,7 @@ impl Default for LocalSearchConfig {
             max_rounds: 64,
             max_size: 512,
             swap_threshold: 48,
+            deadline: None,
         }
     }
 }
@@ -56,8 +65,12 @@ pub fn refine(
     }
     let mut current: Vec<NodeId> = initial.vertices().to_vec();
     let mut best_w = initial.wiener_index(g)?;
+    let expired = || cfg.deadline.is_some_and(|d| Instant::now() >= d);
 
     for _round in 0..cfg.max_rounds {
+        if expired() {
+            break;
+        }
         let mut improved = false;
 
         // Removal pass: try dropping each non-query vertex.
@@ -77,7 +90,7 @@ pub fn refine(
         }
 
         // Addition pass: try each frontier vertex (neighbor of the set).
-        if current.len() < cfg.max_size {
+        if current.len() < cfg.max_size && !expired() {
             for v in frontier(g, &current) {
                 let mut candidate = current.clone();
                 candidate.push(v);
@@ -97,7 +110,7 @@ pub fn refine(
 
         // Swap pass: exchange one removable member for one frontier vertex.
         // Only on small connectors — the move set is quadratic.
-        if !improved && current.len() <= cfg.swap_threshold {
+        if !improved && current.len() <= cfg.swap_threshold && !expired() {
             let frontier_now = frontier(g, &current);
             'swaps: for &out in &current.clone() {
                 if q.binary_search(&out).is_ok() {

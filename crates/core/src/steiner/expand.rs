@@ -80,7 +80,8 @@ where
             out_nodes.push(v);
         }
     }
-    let mut out_edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(out_nodes.len().saturating_sub(1));
+    let mut out_edges: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity(out_nodes.len().saturating_sub(1));
     let mut total = 0.0f64;
     for &(w, ul, vl) in &sub_mst {
         if !removed[ul as usize] && !removed[vl as usize] {

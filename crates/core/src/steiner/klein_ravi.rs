@@ -122,11 +122,7 @@ where
                 let total = path_sum - (merged as f64 - 1.0) * cv;
                 let ratio = total / merged as f64;
                 if best.as_ref().is_none_or(|(r, _, _)| ratio < *r) {
-                    best = Some((
-                        ratio,
-                        v,
-                        reach[..merged].iter().map(|&(_, i)| i).collect(),
-                    ));
+                    best = Some((ratio, v, reach[..merged].iter().map(|&(_, i)| i).collect()));
                 }
             }
         }
@@ -185,7 +181,11 @@ where
         edges.push((a.min(b), a.max(b)));
     }
     let total_weight: f64 = nodes.iter().map(|&v| cost(v).max(0.0)).sum();
-    let tree = SteinerTree { nodes, edges, total_weight };
+    let tree = SteinerTree {
+        nodes,
+        edges,
+        total_weight,
+    };
     debug_assert!(tree.validate(), "Klein–Ravi output must be a tree");
     Ok(tree)
 }
@@ -277,9 +277,18 @@ mod tests {
     #[test]
     fn singleton_duplicates_and_errors() {
         let g = structured::path(5);
-        assert_eq!(klein_ravi(&g, &[2], UNIT).unwrap(), SteinerTree::singleton(2));
-        assert_eq!(klein_ravi(&g, &[2, 2], UNIT).unwrap(), SteinerTree::singleton(2));
-        assert!(matches!(klein_ravi(&g, &[], UNIT), Err(CoreError::EmptyQuery)));
+        assert_eq!(
+            klein_ravi(&g, &[2], UNIT).unwrap(),
+            SteinerTree::singleton(2)
+        );
+        assert_eq!(
+            klein_ravi(&g, &[2, 2], UNIT).unwrap(),
+            SteinerTree::singleton(2)
+        );
+        assert!(matches!(
+            klein_ravi(&g, &[], UNIT),
+            Err(CoreError::EmptyQuery)
+        ));
         let disc = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         assert!(matches!(
             klein_ravi(&disc, &[0, 3], UNIT),

@@ -51,9 +51,7 @@ where
         let (pos, &next) = remaining
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                voronoi.dist[*a.1 as usize].total_cmp(&voronoi.dist[*b.1 as usize])
-            })
+            .min_by(|a, b| voronoi.dist[*a.1 as usize].total_cmp(&voronoi.dist[*b.1 as usize]))
             .expect("remaining is non-empty");
         if !voronoi.dist[next as usize].is_finite() {
             return Err(CoreError::QueryNotConnectable);
@@ -75,7 +73,11 @@ where
 
     let mut nodes: Vec<NodeId> = in_tree.into_iter().collect();
     nodes.sort_unstable();
-    let tree = SteinerTree { nodes, edges, total_weight: total };
+    let tree = SteinerTree {
+        nodes,
+        edges,
+        total_weight: total,
+    };
     debug_assert!(tree.validate(), "Takahashi–Matsuyama output must be a tree");
     Ok(tree)
 }

@@ -18,7 +18,9 @@
 //! root loop parallelizes embarrassingly; [`WsqConfig::parallel`] does
 //! exactly that with scoped threads.
 
-use mwc_graph::traversal::bfs::BfsWorkspace;
+use std::time::Instant;
+
+use mwc_graph::traversal::bfs::WorkspacePool;
 use mwc_graph::{wiener, Graph, NodeId, INF_DIST};
 
 use crate::adjust::adjust_distances;
@@ -70,6 +72,15 @@ pub struct WsqConfig {
     /// paper's constant-factor trick is worth (DESIGN.md §7). When set,
     /// `steiner` is ignored.
     pub node_weighted_steiner: bool,
+    /// Cooperative wall-clock deadline. Once passed, the solver stops
+    /// producing further `(root, λ)` candidates and selects among those
+    /// already evaluated — it always returns a feasible connector (each
+    /// worker finishes its first candidate before honoring the deadline),
+    /// but the approximation guarantee only covers completed sweeps.
+    /// Typically set through
+    /// [`QueryOptions::deadline`](crate::engine::QueryOptions::deadline)
+    /// rather than directly.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for WsqConfig {
@@ -83,6 +94,7 @@ impl Default for WsqConfig {
             keep_trace: false,
             steiner: SteinerAlgorithm::default(),
             node_weighted_steiner: false,
+            deadline: None,
         }
     }
 }
@@ -152,6 +164,14 @@ impl<'g> WienerSteiner<'g> {
     /// Errors on an empty query, out-of-range vertices, or query vertices
     /// spanning multiple components.
     pub fn solve(&self, q: &[NodeId]) -> Result<WsqSolution> {
+        self.solve_pooled(q, &WorkspacePool::new())
+    }
+
+    /// Like [`WienerSteiner::solve`], but leasing all BFS buffers from
+    /// `pool` instead of allocating per call — the entry point
+    /// [`QueryEngine`](crate::engine::QueryEngine) uses to amortize
+    /// workspace allocations across queries.
+    pub fn solve_pooled(&self, q: &[NodeId], pool: &WorkspacePool) -> Result<WsqSolution> {
         let g = self.graph;
         let q = normalize_query(g, q)?;
         if q.len() == 1 {
@@ -169,7 +189,7 @@ impl<'g> WienerSteiner<'g> {
         // q[0]; BFS results are recomputed per root inside the workers,
         // keeping per-thread memory at one distance array).
         {
-            let mut ws = BfsWorkspace::new();
+            let mut ws = pool.lease();
             let dist = ws.run(g, q[0]);
             if q.iter().any(|&v| dist[v as usize] == INF_DIST) {
                 return Err(CoreError::QueryNotConnectable);
@@ -195,7 +215,7 @@ impl<'g> WienerSteiner<'g> {
         let mut best: Option<(CandidateRecord, Vec<NodeId>)> = None;
 
         let results: Vec<Result<Vec<EvaluatedCandidate>>> = if threads <= 1 {
-            vec![run_roots(g, &self.config, &q, &roots, &lambdas)]
+            vec![run_roots(g, &self.config, &q, &roots, &lambdas, pool)]
         } else {
             let chunk = roots.len().div_ceil(threads);
             std::thread::scope(|scope| {
@@ -203,7 +223,7 @@ impl<'g> WienerSteiner<'g> {
                     .chunks(chunk)
                     .map(|chunk_roots| {
                         let (q, lambdas, cfg) = (&q, &lambdas, &self.config);
-                        scope.spawn(move || run_roots(g, cfg, q, chunk_roots, lambdas))
+                        scope.spawn(move || run_roots(g, cfg, q, chunk_roots, lambdas, pool))
                     })
                     .collect();
                 handles
@@ -226,6 +246,11 @@ impl<'g> WienerSteiner<'g> {
         // fall back to the A-proxy, as in the paper's worst-case analysis.
         let min_a = all.iter().map(|(rec, _)| rec.a_value).min().unwrap_or(0);
         for (rec, nodes) in &mut all {
+            // Past the deadline, fall back to the A-proxy for the remaining
+            // candidates (the mixed Some/None comparison below stays valid).
+            if past_deadline(&self.config) {
+                break;
+            }
             if rec.a_value <= 2 * min_a && nodes.len() <= self.config.wiener_exact_threshold {
                 let sub = g.induced(nodes)?;
                 rec.wiener = wiener::wiener_index(sub.graph());
@@ -307,6 +332,11 @@ pub(crate) fn lambda_grid(n: usize, beta: f64) -> Vec<f64> {
 /// A candidate's record plus its vertex set.
 type EvaluatedCandidate = (CandidateRecord, Vec<NodeId>);
 
+/// Whether the configured deadline (if any) has passed.
+fn past_deadline(cfg: &WsqConfig) -> bool {
+    cfg.deadline.is_some_and(|d| Instant::now() >= d)
+}
+
 /// Worker: full λ sweep for a chunk of roots, returning evaluated
 /// candidates.
 fn run_roots(
@@ -315,11 +345,17 @@ fn run_roots(
     q: &[NodeId],
     roots: &[NodeId],
     lambdas: &[f64],
+    pool: &WorkspacePool,
 ) -> Result<Vec<EvaluatedCandidate>> {
     let mut out = Vec::with_capacity(roots.len() * lambdas.len());
-    let mut ws = BfsWorkspace::new();
+    let mut ws = pool.lease();
     let mut terminals: Vec<NodeId> = Vec::with_capacity(q.len() + 1);
     for &r in roots {
+        // Cooperative deadline: stop sweeping further roots, but never
+        // before this worker contributed at least one candidate.
+        if !out.is_empty() && past_deadline(cfg) {
+            break;
+        }
         let (dist_r, parent_r) = ws.run_with_parents(g, r);
         // Terminals: Q ∪ {r} (identical to Q under RootPolicy::QueryOnly).
         terminals.clear();
@@ -331,6 +367,9 @@ fn run_roots(
             terminals.push(r);
         }
         for &lambda in lambdas {
+            if !out.is_empty() && past_deadline(cfg) {
+                break;
+            }
             let weight = |u: NodeId, v: NodeId| {
                 lambda + dist_r[u as usize].max(dist_r[v as usize]) as f64 / lambda
             };
@@ -338,7 +377,11 @@ fn run_roots(
                 // Problem 4 solved directly: vertex cost λ + d_G(r, u)/λ.
                 let node_cost = |u: NodeId| {
                     let d = dist_r[u as usize];
-                    let d = if d == INF_DIST { g.num_nodes() as u32 } else { d };
+                    let d = if d == INF_DIST {
+                        g.num_nodes() as u32
+                    } else {
+                        d
+                    };
                     lambda + d as f64 / lambda
                 };
                 klein_ravi(g, &terminals, node_cost)?
@@ -351,7 +394,7 @@ fn run_roots(
                 tree
             };
             let nodes = final_tree.nodes;
-            let a_value = evaluate_a(g, &nodes, r)?;
+            let a_value = evaluate_a(g, &nodes, r, pool)?;
             out.push((
                 CandidateRecord {
                     root: r,
@@ -368,10 +411,10 @@ fn run_roots(
 }
 
 /// Computes `A(G[S], r)` — one BFS inside the induced subgraph.
-fn evaluate_a(g: &Graph, nodes: &[NodeId], r: NodeId) -> Result<u64> {
+fn evaluate_a(g: &Graph, nodes: &[NodeId], r: NodeId, pool: &WorkspacePool) -> Result<u64> {
     let sub = g.induced(nodes)?;
     let r_local = sub.to_local(r).expect("root belongs to its candidate");
-    let mut ws = BfsWorkspace::new();
+    let mut ws = pool.lease();
     ws.run(sub.graph(), r_local);
     let (sum, reached) = ws.last_run_distance_sum();
     debug_assert_eq!(

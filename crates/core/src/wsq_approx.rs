@@ -24,7 +24,7 @@
 //! well exactly on the small-world graphs the paper evaluates.
 
 use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
-use mwc_graph::traversal::bfs::BfsWorkspace;
+use mwc_graph::traversal::bfs::WorkspacePool;
 use mwc_graph::wiener;
 use mwc_graph::{Graph, NodeId, INF_DIST};
 use rand::Rng;
@@ -90,13 +90,21 @@ impl<'g> ApproxWienerSteiner<'g> {
     pub fn build<R: Rng>(graph: &'g Graph, config: ApproxWsqConfig, rng: &mut R) -> Self {
         assert!(config.beta > 0.0, "beta must be positive");
         let oracle = LandmarkOracle::build(graph, config.landmarks, config.strategy, rng);
-        ApproxWienerSteiner { graph, oracle, config }
+        ApproxWienerSteiner {
+            graph,
+            oracle,
+            config,
+        }
     }
 
     /// Wraps an existing oracle (e.g. shared across solvers).
     pub fn with_oracle(graph: &'g Graph, oracle: LandmarkOracle, config: ApproxWsqConfig) -> Self {
         assert!(config.beta > 0.0, "beta must be positive");
-        ApproxWienerSteiner { graph, oracle, config }
+        ApproxWienerSteiner {
+            graph,
+            oracle,
+            config,
+        }
     }
 
     /// The underlying oracle.
@@ -108,98 +116,130 @@ impl<'g> ApproxWienerSteiner<'g> {
     /// estimated distances. Same contract as
     /// [`WienerSteiner::solve`](crate::WienerSteiner::solve).
     pub fn solve(&self, q: &[NodeId]) -> Result<WsqSolution> {
-        let g = self.graph;
-        let q = normalize_query(g, q)?;
-        if q.len() == 1 {
-            return Ok(WsqSolution {
-                connector: Connector::new_unchecked(g, q.clone()),
-                wiener_index: 0,
-                best_root: q[0],
-                best_lambda: 1.0,
-                num_candidates: 1,
-                trace: Vec::new(),
-            });
-        }
-        // Feasibility stays exact: one BFS, not one per root.
-        {
-            let mut ws = BfsWorkspace::new();
-            let dist = ws.run(g, q[0]);
-            if q.iter().any(|&v| dist[v as usize] == INF_DIST) {
-                return Err(CoreError::QueryNotConnectable);
-            }
-        }
-
-        let lambdas = lambda_grid(g.num_nodes(), self.config.beta);
-        let mut all: Vec<(CandidateRecord, Vec<NodeId>)> = Vec::new();
-        for &r in &q {
-            let dist_r = self.oracle.estimate_all(r);
-            for &lambda in &lambdas {
-                let weight = |u: NodeId, v: NodeId| {
-                    // Unreachable vertices never appear on used paths (the
-                    // feasibility check passed); saturate defensively.
-                    let d = dist_r[u as usize].max(dist_r[v as usize]);
-                    let d = if d == INF_DIST { g.num_nodes() as u32 } else { d };
-                    lambda + d as f64 / lambda
-                };
-                let tree = steiner_tree(self.config.steiner, g, &q, weight)?;
-                let nodes = tree.nodes;
-                let a_value = evaluate_a_local(g, &nodes, r)?;
-                all.push((
-                    CandidateRecord { root: r, lambda, size: nodes.len(), a_value, wiener: None },
-                    nodes,
-                ));
-            }
-        }
-
-        // Remark 1 selection, identical to the exact solver: Lemma 1 rules
-        // out candidates with A > 2 · min A; the survivors get exact W.
-        let min_a = all.iter().map(|(rec, _)| rec.a_value).min().unwrap_or(0);
-        for (rec, nodes) in &mut all {
-            if rec.a_value <= 2 * min_a && nodes.len() <= self.config.wiener_exact_threshold {
-                let sub = g.induced(nodes)?;
-                rec.wiener = wiener::wiener_index(sub.graph());
-            }
-        }
-        let num_candidates = all.len();
-        let mut best: Option<(CandidateRecord, Vec<NodeId>)> = None;
-        for (rec, nodes) in all {
-            let better = match &best {
-                None => true,
-                Some((cur, _)) => match (rec.wiener, cur.wiener) {
-                    (Some(a), Some(b)) => a < b,
-                    (Some(a), None) => a < cur.a_value,
-                    (None, Some(b)) => rec.a_value / 2 < b && rec.a_value < cur.a_value,
-                    (None, None) => rec.a_value < cur.a_value,
-                },
-            };
-            if better {
-                best = Some((rec, nodes));
-            }
-        }
-        let (best_rec, best_nodes) = best.expect("candidates are always produced");
-        let connector = Connector::new_unchecked(g, best_nodes);
-        let wiener_index = match best_rec.wiener {
-            Some(w) => w,
-            None => connector.wiener_index(g)?,
-        };
-        Ok(WsqSolution {
-            connector,
-            wiener_index,
-            best_root: best_rec.root,
-            best_lambda: best_rec.lambda,
-            num_candidates,
-            trace: Vec::new(),
-        })
+        solve_with_oracle(
+            self.graph,
+            &self.oracle,
+            &self.config,
+            q,
+            &WorkspacePool::new(),
+        )
     }
+}
+
+/// Algorithm 1 with landmark-estimated distances, against a *borrowed*
+/// oracle and workspace pool.
+///
+/// This is the reusable core of [`ApproxWienerSteiner::solve`]; the
+/// [`QueryEngine`](crate::engine::QueryEngine) calls it directly so one
+/// oracle (built once per graph) and one buffer pool serve every query,
+/// instead of each solver instance owning copies.
+pub fn solve_with_oracle(
+    g: &Graph,
+    oracle: &LandmarkOracle,
+    config: &ApproxWsqConfig,
+    q: &[NodeId],
+    pool: &WorkspacePool,
+) -> Result<WsqSolution> {
+    let q = normalize_query(g, q)?;
+    if q.len() == 1 {
+        return Ok(WsqSolution {
+            connector: Connector::new_unchecked(g, q.clone()),
+            wiener_index: 0,
+            best_root: q[0],
+            best_lambda: 1.0,
+            num_candidates: 1,
+            trace: Vec::new(),
+        });
+    }
+    // Feasibility stays exact: one BFS, not one per root.
+    {
+        let mut ws = pool.lease();
+        let dist = ws.run(g, q[0]);
+        if q.iter().any(|&v| dist[v as usize] == INF_DIST) {
+            return Err(CoreError::QueryNotConnectable);
+        }
+    }
+
+    let lambdas = lambda_grid(g.num_nodes(), config.beta);
+    let mut all: Vec<(CandidateRecord, Vec<NodeId>)> = Vec::new();
+    for &r in &q {
+        let dist_r = oracle.estimate_all(r);
+        for &lambda in &lambdas {
+            let weight = |u: NodeId, v: NodeId| {
+                // Unreachable vertices never appear on used paths (the
+                // feasibility check passed); saturate defensively.
+                let d = dist_r[u as usize].max(dist_r[v as usize]);
+                let d = if d == INF_DIST {
+                    g.num_nodes() as u32
+                } else {
+                    d
+                };
+                lambda + d as f64 / lambda
+            };
+            let tree = steiner_tree(config.steiner, g, &q, weight)?;
+            let nodes = tree.nodes;
+            let a_value = evaluate_a_local(g, &nodes, r, pool)?;
+            all.push((
+                CandidateRecord {
+                    root: r,
+                    lambda,
+                    size: nodes.len(),
+                    a_value,
+                    wiener: None,
+                },
+                nodes,
+            ));
+        }
+    }
+
+    // Remark 1 selection, identical to the exact solver: Lemma 1 rules
+    // out candidates with A > 2 · min A; the survivors get exact W.
+    let min_a = all.iter().map(|(rec, _)| rec.a_value).min().unwrap_or(0);
+    for (rec, nodes) in &mut all {
+        if rec.a_value <= 2 * min_a && nodes.len() <= config.wiener_exact_threshold {
+            let sub = g.induced(nodes)?;
+            rec.wiener = wiener::wiener_index(sub.graph());
+        }
+    }
+    let num_candidates = all.len();
+    let mut best: Option<(CandidateRecord, Vec<NodeId>)> = None;
+    for (rec, nodes) in all {
+        let better = match &best {
+            None => true,
+            Some((cur, _)) => match (rec.wiener, cur.wiener) {
+                (Some(a), Some(b)) => a < b,
+                (Some(a), None) => a < cur.a_value,
+                (None, Some(b)) => rec.a_value / 2 < b && rec.a_value < cur.a_value,
+                (None, None) => rec.a_value < cur.a_value,
+            },
+        };
+        if better {
+            best = Some((rec, nodes));
+        }
+    }
+    let (best_rec, best_nodes) = best.expect("candidates are always produced");
+    let connector = Connector::new_unchecked(g, best_nodes);
+    let wiener_index = match best_rec.wiener {
+        Some(w) => w,
+        None => connector.wiener_index(g)?,
+    };
+    Ok(WsqSolution {
+        connector,
+        wiener_index,
+        best_root: best_rec.root,
+        best_lambda: best_rec.lambda,
+        num_candidates,
+        trace: Vec::new(),
+    })
 }
 
 /// `A(H, r) = |H| · Σ_u d_H(u, r)` evaluated exactly on the (small)
 /// candidate subgraph — same definition as the exact solver's internal
 /// evaluator.
-fn evaluate_a_local(g: &Graph, nodes: &[NodeId], r: NodeId) -> Result<u64> {
+fn evaluate_a_local(g: &Graph, nodes: &[NodeId], r: NodeId, pool: &WorkspacePool) -> Result<u64> {
     let sub = g.induced(nodes)?;
     let r_local = sub.to_local(r).expect("root belongs to its candidate");
-    let mut ws = BfsWorkspace::new();
+    let mut ws = pool.lease();
     ws.run(sub.graph(), r_local);
     let (sum, reached) = ws.last_run_distance_sum();
     debug_assert_eq!(reached, sub.num_nodes(), "candidate must be connected");
@@ -239,12 +279,19 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let approx = ApproxWienerSteiner::build(
             &g,
-            ApproxWsqConfig { landmarks: g.num_nodes(), ..ApproxWsqConfig::default() },
+            ApproxWsqConfig {
+                landmarks: g.num_nodes(),
+                ..ApproxWsqConfig::default()
+            },
             &mut rng,
         );
         let exact = WienerSteiner::with_config(
             &g,
-            WsqConfig { adjust: false, parallel: false, ..WsqConfig::default() },
+            WsqConfig {
+                adjust: false,
+                parallel: false,
+                ..WsqConfig::default()
+            },
         );
         for q in [vec![11u32, 24, 25, 29], vec![3, 11, 16]] {
             let wa = approx.solve(&q).unwrap().wiener_index;
@@ -260,7 +307,10 @@ mod tests {
         let approx = ApproxWienerSteiner::build(&g, ApproxWsqConfig::default(), &mut rng);
         let exact = WienerSteiner::with_config(
             &g,
-            WsqConfig { parallel: false, ..WsqConfig::default() },
+            WsqConfig {
+                parallel: false,
+                ..WsqConfig::default()
+            },
         );
         use rand::Rng;
         for _ in 0..5 {

@@ -238,7 +238,10 @@ pub fn parse_stp(text: &str) -> Result<StpParse, StpError> {
         if k != terminals.len() {
             return Err(StpError::Malformed {
                 line: 0,
-                reason: format!("Terminals declares {k} but {} T lines found", terminals.len()),
+                reason: format!(
+                    "Terminals declares {k} but {} T lines found",
+                    terminals.len()
+                ),
             });
         }
     }
@@ -262,14 +265,21 @@ pub fn parse_stp(text: &str) -> Result<StpParse, StpError> {
     terminals.dedup();
 
     Ok(StpParse {
-        instance: BenchmarkInstance { name, graph, terminals },
+        instance: BenchmarkInstance {
+            name,
+            graph,
+            terminals,
+        },
         non_unit_weights: non_unit,
         dropped_edges: dropped,
     })
 }
 
 fn parse_num(line: usize, token: Option<&str>) -> Result<i64, StpError> {
-    let t = token.ok_or(StpError::Malformed { line, reason: "missing number".into() })?;
+    let t = token.ok_or(StpError::Malformed {
+        line,
+        reason: "missing number".into(),
+    })?;
     t.parse::<i64>().map_err(|_| StpError::Malformed {
         line,
         reason: format!("bad number {t:?}"),
@@ -380,7 +390,10 @@ EOF
 
     #[test]
     fn rejects_bad_magic() {
-        assert!(matches!(parse_stp("not an stp file\n"), Err(StpError::BadMagic)));
+        assert!(matches!(
+            parse_stp("not an stp file\n"),
+            Err(StpError::BadMagic)
+        ));
         assert!(matches!(parse_stp(""), Err(StpError::BadMagic)));
     }
 

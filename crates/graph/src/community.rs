@@ -65,7 +65,11 @@ pub fn modularity(g: &Graph, membership: &[u32]) -> f64 {
     if m == 0.0 {
         return 0.0;
     }
-    let num_comms = membership.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let num_comms = membership
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
     let mut intra = vec![0u64; num_comms];
     let mut deg = vec![0u64; num_comms];
     for v in 0..g.num_nodes() as NodeId {
@@ -144,7 +148,9 @@ pub fn cnm(g: &Graph, stop: CnmStop) -> Clustering {
     }
     impl Ord for Cand {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.total_cmp(&other.0).then_with(|| (self.1, self.2).cmp(&(other.1, other.2)))
+            self.0
+                .total_cmp(&other.0)
+                .then_with(|| (self.1, self.2).cmp(&(other.1, other.2)))
         }
     }
 
@@ -231,9 +237,17 @@ pub fn cnm(g: &Graph, stop: CnmStop) -> Clustering {
         *slot = c;
     }
     renumber(&mut membership);
-    let num_communities = membership.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let num_communities = membership
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
     let q = modularity(g, &membership);
-    Clustering { membership, num_communities, modularity: q }
+    Clustering {
+        membership,
+        num_communities,
+        modularity: q,
+    }
 }
 
 /// Asynchronous label propagation: every vertex repeatedly adopts the
@@ -280,7 +294,11 @@ pub fn label_propagation<R: Rng>(g: &Graph, max_sweeps: usize, rng: &mut R) -> C
     renumber(&mut labels);
     let num_communities = labels.iter().copied().max().map_or(0, |c| c as usize + 1);
     let q = modularity(g, &labels);
-    Clustering { membership: labels, num_communities, modularity: q }
+    Clustering {
+        membership: labels,
+        num_communities,
+        modularity: q,
+    }
 }
 
 /// Renumbers labels to a dense `0..k` range, ordered by first appearance.
@@ -410,7 +428,11 @@ mod tests {
         let pp = planted_partition(&[30, 30, 30], 0.5, 0.02, &mut rng);
         let c = cnm(&pp.graph, CnmStop::PeakModularity);
         let ri = rand_index(&c.membership, &pp.membership);
-        assert!(ri > 0.9, "rand index {ri} too low (k = {})", c.num_communities);
+        assert!(
+            ri > 0.9,
+            "rand index {ri} too low (k = {})",
+            c.num_communities
+        );
     }
 
     #[test]

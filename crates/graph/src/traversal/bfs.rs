@@ -149,6 +149,76 @@ impl BfsWorkspace {
     }
 }
 
+/// A thread-safe pool of [`BfsWorkspace`]s, so per-graph engines can
+/// amortize the distance/parent/queue allocations across many queries and
+/// worker threads instead of reallocating per solve.
+///
+/// [`WorkspacePool::lease`] pops a free workspace (or creates one on
+/// demand); dropping the returned [`PooledWorkspace`] pushes it back. The
+/// pool never shrinks — its high-water mark is the peak number of
+/// concurrent leases, each holding `O(|V|)` words.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: std::sync::Mutex<Vec<BfsWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool; workspaces are created lazily by [`Self::lease`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows a workspace; creates one if none is free.
+    pub fn lease(&self) -> PooledWorkspace<'_> {
+        let ws = self
+            .free
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Number of currently idle (pooled) workspaces.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+}
+
+/// RAII lease from a [`WorkspacePool`]; derefs to [`BfsWorkspace`] and
+/// returns the buffers to the pool on drop.
+#[derive(Debug)]
+pub struct PooledWorkspace<'p> {
+    pool: &'p WorkspacePool,
+    ws: Option<BfsWorkspace>,
+}
+
+impl std::ops::Deref for PooledWorkspace<'_> {
+    type Target = BfsWorkspace;
+    fn deref(&self) -> &BfsWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut BfsWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(ws);
+            }
+        }
+    }
+}
+
 /// One-shot BFS distances from `source`. Allocates; prefer
 /// [`BfsWorkspace`] in loops.
 pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use mwc_graph::community::{cnm, communities_spanned, label_propagation, modularity, rand_index, CnmStop};
+use mwc_graph::community::{
+    cnm, communities_spanned, label_propagation, modularity, rand_index, CnmStop,
+};
 use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
 use mwc_graph::traversal::bfs::bfs_distances;
 use mwc_graph::{Graph, GraphBuilder, NodeId, INF_DIST};

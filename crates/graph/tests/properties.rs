@@ -87,11 +87,11 @@ proptest! {
     fn bfs_matches_unit_dijkstra(g in arb_graph()) {
         let d_bfs = bfs_distances(&g, 0);
         let d_dij = dijkstra(&g, 0, |_, _| 1.0);
-        for v in 0..g.num_nodes() {
-            if d_bfs[v] == INF_DIST {
+        for (v, &d) in d_bfs.iter().enumerate() {
+            if d == INF_DIST {
                 prop_assert!(d_dij.dist[v].is_infinite());
             } else {
-                prop_assert_eq!(d_bfs[v] as f64, d_dij.dist[v]);
+                prop_assert_eq!(d as f64, d_dij.dist[v]);
             }
         }
     }
@@ -147,8 +147,8 @@ proptest! {
     fn components_match_reachability(g in arb_graph()) {
         let comps = connected_components(&g);
         let d0 = bfs_distances(&g, 0);
-        for v in 0..g.num_nodes() {
-            prop_assert_eq!(comps.same(0, v as NodeId), d0[v] != INF_DIST);
+        for (v, &d) in d0.iter().enumerate() {
+            prop_assert_eq!(comps.same(0, v as NodeId), d != INF_DIST);
         }
         prop_assert_eq!(comps.count == 1, is_connected(&g));
     }

@@ -51,14 +51,20 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::UnknownVariable { index, num_vars } => {
-                write!(f, "variable index {index} out of range (model has {num_vars})")
+                write!(
+                    f,
+                    "variable index {index} out of range (model has {num_vars})"
+                )
             }
             LpError::NotANumber { context } => write!(f, "NaN encountered in {context}"),
             LpError::EmptyBounds { index, lo, hi } => {
                 write!(f, "variable {index} has empty bounds [{lo}, {hi}]")
             }
             LpError::FreeVariable { index } => {
-                write!(f, "variable {index} has an infinite lower bound (unsupported)")
+                write!(
+                    f,
+                    "variable {index} has an infinite lower bound (unsupported)"
+                )
             }
             LpError::IterationLimit { pivots } => {
                 write!(f, "simplex exceeded the pivot limit ({pivots} pivots)")

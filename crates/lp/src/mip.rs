@@ -114,7 +114,10 @@ pub fn branch_and_bound(
 ) -> Result<MipResult> {
     let started = Instant::now();
     let mut heap: BinaryHeap<ByBound> = BinaryHeap::new();
-    heap.push(ByBound(Node { bound: f64::NEG_INFINITY, overrides: Vec::new() }));
+    heap.push(ByBound(Node {
+        bound: f64::NEG_INFINITY,
+        overrides: Vec::new(),
+    }));
 
     let mut incumbent: Option<(Vec<f64>, f64)> = None;
     let mut nodes = 0usize;
@@ -131,7 +134,9 @@ pub fn branch_and_bound(
             }
         }
         if nodes >= config.max_nodes
-            || config.time_limit.is_some_and(|lim| started.elapsed() >= lim)
+            || config
+                .time_limit
+                .is_some_and(|lim| started.elapsed() >= lim)
         {
             heap.push(ByBound(node));
             truncated = true;
@@ -184,9 +189,16 @@ pub fn branch_and_bound(
                     // Branch bounds intersect the model bounds inside the
                     // solver; −∞ lower overrides are "no-ops" there, so
                     // substitute the declared bound.
-                    let lo = if lo.is_finite() { lo } else { problem.lo[v.index()] };
+                    let lo = if lo.is_finite() {
+                        lo
+                    } else {
+                        problem.lo[v.index()]
+                    };
                     overrides.push((v, lo, hi));
-                    heap.push(ByBound(Node { bound: sol.objective, overrides }));
+                    heap.push(ByBound(Node {
+                        bound: sol.objective,
+                        overrides,
+                    }));
                 }
             }
         }
@@ -197,7 +209,9 @@ pub fn branch_and_bound(
     let open_min = heap.peek().map(|n| n.0.bound);
     let (status, lower_bound) = match (&incumbent, open_min, truncated) {
         (Some((_, obj)), None, _) => (MipStatus::Optimal, *obj),
-        (Some((_, obj)), Some(b), false) => (MipStatus::Optimal, b.max(*obj - config.gap_tol).min(*obj)),
+        (Some((_, obj)), Some(b), false) => {
+            (MipStatus::Optimal, b.max(*obj - config.gap_tol).min(*obj))
+        }
         (Some(_), Some(b), true) => (MipStatus::Feasible, b),
         (None, None, false) => (MipStatus::Infeasible, f64::INFINITY),
         (None, Some(b), _) => (MipStatus::Unknown, b),
@@ -207,7 +221,13 @@ pub fn branch_and_bound(
         Some((x, obj)) => (Some(x), Some(obj)),
         None => (None, None),
     };
-    Ok(MipResult { status, x, objective, lower_bound, nodes })
+    Ok(MipResult {
+        status,
+        x,
+        objective,
+        lower_bound,
+        nodes,
+    })
 }
 
 #[cfg(test)]
@@ -227,10 +247,15 @@ mod tests {
         let vars: Vec<Var> = (0..4)
             .map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, -vals[i]).unwrap())
             .collect();
-        lp.add_constraint(vars.iter().copied().zip(wts).collect(), Cmp::Le, 14.0).unwrap();
+        lp.add_constraint(vars.iter().copied().zip(wts).collect(), Cmp::Le, 14.0)
+            .unwrap();
         let res = branch_and_bound(&lp, &vars, &MipConfig::default()).unwrap();
         assert_eq!(res.status, MipStatus::Optimal);
-        assert!((res.objective.unwrap() + 21.0).abs() < TOL, "{:?}", res.objective);
+        assert!(
+            (res.objective.unwrap() + 21.0).abs() < TOL,
+            "{:?}",
+            res.objective
+        );
         // LP bound ≤ MIP optimum for minimization.
         assert!(res.lower_bound <= res.objective.unwrap() + TOL);
         // All chosen values integral.
@@ -247,7 +272,8 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, 1.0, 1.0).unwrap();
         let y = lp.add_var("y", 0.0, 1.0, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Ge, 3.0).unwrap();
+        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Ge, 3.0)
+            .unwrap();
         let relax = lp.solve(&SimplexConfig::default()).unwrap();
         assert!((relax.objective - 1.5).abs() < TOL);
         let res = branch_and_bound(&lp, &[x, y], &MipConfig::default()).unwrap();
@@ -270,17 +296,22 @@ mod tests {
         // Large enough tree that max_nodes = 1 truncates after the root.
         let mut lp = LpProblem::minimize();
         let vars: Vec<Var> = (0..6)
-            .map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, -((i + 1) as f64)).unwrap())
+            .map(|i| {
+                lp.add_var(format!("v{i}"), 0.0, 1.0, -((i + 1) as f64))
+                    .unwrap()
+            })
             .collect();
-        lp.add_constraint(
-            vars.iter().map(|&v| (v, 2.0)).collect(),
-            Cmp::Le,
-            7.0,
-        )
-        .unwrap();
-        let config = MipConfig { max_nodes: 1, ..MipConfig::default() };
+        lp.add_constraint(vars.iter().map(|&v| (v, 2.0)).collect(), Cmp::Le, 7.0)
+            .unwrap();
+        let config = MipConfig {
+            max_nodes: 1,
+            ..MipConfig::default()
+        };
         let res = branch_and_bound(&lp, &vars, &config).unwrap();
-        assert!(matches!(res.status, MipStatus::Unknown | MipStatus::Feasible));
+        assert!(matches!(
+            res.status,
+            MipStatus::Unknown | MipStatus::Feasible
+        ));
         assert_eq!(res.nodes, 1);
         // The reported bound must lower-bound the true optimum (-15: take
         // the three most valuable items at weight 6 ≤ 7).
@@ -304,7 +335,8 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
         let b = lp.add_var("b", 0.0, 1.0, 0.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (b, -1.0)], Cmp::Ge, 0.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (b, -1.0)], Cmp::Ge, 0.0)
+            .unwrap();
         let res = branch_and_bound(&lp, &[b], &MipConfig::default()).unwrap();
         assert_eq!(res.status, MipStatus::Unbounded);
     }
@@ -316,7 +348,8 @@ mod tests {
         let a = lp.add_var("a", 0.0, 1.0, 1.0).unwrap();
         let b = lp.add_var("b", 0.0, 1.0, 2.0).unwrap();
         let c = lp.add_var("c", 0.0, 1.0, 3.0).unwrap();
-        lp.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Cmp::Eq, 2.0).unwrap();
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Cmp::Eq, 2.0)
+            .unwrap();
         let res = branch_and_bound(&lp, &[a, b, c], &MipConfig::default()).unwrap();
         assert_eq!(res.status, MipStatus::Optimal);
         assert!((res.objective.unwrap() - 3.0).abs() < TOL);

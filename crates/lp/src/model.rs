@@ -65,19 +65,17 @@ impl LpProblem {
 
     /// Adds a variable with bounds `[lo, hi]` and objective coefficient
     /// `obj`; returns its handle.
-    pub fn add_var(
-        &mut self,
-        name: impl Into<String>,
-        lo: f64,
-        hi: f64,
-        obj: f64,
-    ) -> Result<Var> {
+    pub fn add_var(&mut self, name: impl Into<String>, lo: f64, hi: f64, obj: f64) -> Result<Var> {
         let index = self.names.len();
         if lo.is_nan() || hi.is_nan() {
-            return Err(LpError::NotANumber { context: "variable bounds" });
+            return Err(LpError::NotANumber {
+                context: "variable bounds",
+            });
         }
         if obj.is_nan() {
-            return Err(LpError::NotANumber { context: "objective coefficient" });
+            return Err(LpError::NotANumber {
+                context: "objective coefficient",
+            });
         }
         if !lo.is_finite() {
             return Err(LpError::FreeVariable { index });
@@ -104,7 +102,9 @@ impl LpProblem {
     pub fn set_objective(&mut self, var: Var, coeff: f64) -> Result<()> {
         self.check_var(var.0)?;
         if coeff.is_nan() {
-            return Err(LpError::NotANumber { context: "objective coefficient" });
+            return Err(LpError::NotANumber {
+                context: "objective coefficient",
+            });
         }
         self.objective[var.0] = coeff;
         Ok(())
@@ -112,20 +112,19 @@ impl LpProblem {
 
     /// Adds a sparse constraint `Σ coeff · var (op) rhs`. Duplicate
     /// variables in `terms` are summed.
-    pub fn add_constraint(
-        &mut self,
-        terms: Vec<(Var, f64)>,
-        op: Cmp,
-        rhs: f64,
-    ) -> Result<()> {
+    pub fn add_constraint(&mut self, terms: Vec<(Var, f64)>, op: Cmp, rhs: f64) -> Result<()> {
         if rhs.is_nan() {
-            return Err(LpError::NotANumber { context: "constraint rhs" });
+            return Err(LpError::NotANumber {
+                context: "constraint rhs",
+            });
         }
         let mut collected: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
         for (v, c) in terms {
             self.check_var(v.0)?;
             if c.is_nan() {
-                return Err(LpError::NotANumber { context: "constraint coefficient" });
+                return Err(LpError::NotANumber {
+                    context: "constraint coefficient",
+                });
             }
             collected.push((v.0, c));
         }
@@ -139,7 +138,11 @@ impl LpProblem {
                 false
             }
         });
-        self.rows.push(Row { terms: collected, op, rhs });
+        self.rows.push(Row {
+            terms: collected,
+            op,
+            rhs,
+        });
         Ok(())
     }
 
@@ -203,7 +206,10 @@ impl LpProblem {
 
     fn check_var(&self, index: usize) -> Result<()> {
         if index >= self.num_vars() {
-            return Err(LpError::UnknownVariable { index, num_vars: self.num_vars() });
+            return Err(LpError::UnknownVariable {
+                index,
+                num_vars: self.num_vars(),
+            });
         }
         Ok(())
     }
@@ -247,7 +253,8 @@ mod tests {
     fn duplicate_terms_are_summed() {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, 10.0, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (x, 2.0)], Cmp::Eq, 6.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (x, 2.0)], Cmp::Eq, 6.0)
+            .unwrap();
         assert_eq!(lp.rows[0].terms, vec![(0, 3.0)]);
         // 3x = 6 → x = 2 is the only feasible point.
         assert!(lp.is_feasible(&[2.0], 1e-9));
@@ -259,7 +266,8 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 1.0, 5.0, 0.0).unwrap();
         let y = lp.add_var("y", 0.0, f64::INFINITY, 0.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0)
+            .unwrap();
         lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 4.0).unwrap();
         assert!(lp.is_feasible(&[2.0, 2.0], 1e-9));
         assert!(!lp.is_feasible(&[0.5, 4.0], 1e-9)); // below lo of x

@@ -39,7 +39,12 @@ pub struct LpSolution {
 
 impl LpSolution {
     fn infeasible(pivots: usize) -> Self {
-        LpSolution { status: LpStatus::Infeasible, x: Vec::new(), objective: f64::INFINITY, pivots }
+        LpSolution {
+            status: LpStatus::Infeasible,
+            x: Vec::new(),
+            objective: f64::INFINITY,
+            pivots,
+        }
     }
 
     fn unbounded(pivots: usize) -> Self {
@@ -68,7 +73,11 @@ pub struct SimplexConfig {
 
 impl Default for SimplexConfig {
     fn default() -> Self {
-        SimplexConfig { max_pivots: 500_000, tol: 1e-9, bland_after: 64 }
+        SimplexConfig {
+            max_pivots: 500_000,
+            tol: 1e-9,
+            bland_after: 64,
+        }
     }
 }
 
@@ -167,8 +176,7 @@ impl Tableau {
                 match best {
                     None => best = Some((i, ratio)),
                     Some((bi, br)) => {
-                        if ratio < br - tol
-                            || (ratio < br + tol && self.basis[i] < self.basis[bi])
+                        if ratio < br - tol || (ratio < br + tol && self.basis[i] < self.basis[bi])
                         {
                             best = Some((i, ratio));
                         }
@@ -185,7 +193,9 @@ impl Tableau {
         let mut degenerate_streak = 0usize;
         loop {
             if self.pivots > config.max_pivots {
-                return Err(LpError::IterationLimit { pivots: self.pivots });
+                return Err(LpError::IterationLimit {
+                    pivots: self.pivots,
+                });
             }
             let bland = degenerate_streak >= config.bland_after;
             let Some(pcol) = self.entering(config.tol, bland) else {
@@ -230,10 +240,15 @@ pub(crate) fn solve_simplex(
     let mut hi = problem.hi.clone();
     for &(v, l, h) in overrides {
         if v.index() >= n {
-            return Err(LpError::UnknownVariable { index: v.index(), num_vars: n });
+            return Err(LpError::UnknownVariable {
+                index: v.index(),
+                num_vars: n,
+            });
         }
         if l.is_nan() || h.is_nan() {
-            return Err(LpError::NotANumber { context: "bound override" });
+            return Err(LpError::NotANumber {
+                context: "bound override",
+            });
         }
         if !l.is_finite() {
             return Err(LpError::FreeVariable { index: v.index() });
@@ -250,11 +265,19 @@ pub(crate) fn solve_simplex(
     let mut rows: Vec<StdRow> = Vec::with_capacity(problem.rows.len() + n);
     for row in &problem.rows {
         let shift: f64 = row.terms.iter().map(|&(j, c)| c * lo[j]).sum();
-        rows.push(StdRow { terms: row.terms.clone(), op: row.op, rhs: row.rhs - shift });
+        rows.push(StdRow {
+            terms: row.terms.clone(),
+            op: row.op,
+            rhs: row.rhs - shift,
+        });
     }
     for j in 0..n {
         if hi[j].is_finite() {
-            rows.push(StdRow { terms: vec![(j, 1.0)], op: Cmp::Le, rhs: hi[j] - lo[j] });
+            rows.push(StdRow {
+                terms: vec![(j, 1.0)],
+                op: Cmp::Le,
+                rhs: hi[j] - lo[j],
+            });
         }
     }
     // Normalize to rhs ≥ 0 (flip inequality direction when negating).
@@ -347,8 +370,7 @@ pub(crate) fn solve_simplex(
         let mut i = 0;
         while i < tab.m {
             if tab.basis[i] >= n + m {
-                let pcol = (0..n + m)
-                    .find(|&j| !tab.blocked[j] && tab.at(i, j).abs() > config.tol);
+                let pcol = (0..n + m).find(|&j| !tab.blocked[j] && tab.at(i, j).abs() > config.tol);
                 match pcol {
                     Some(j) => tab.pivot(i, j),
                     None => {
@@ -392,7 +414,12 @@ pub(crate) fn solve_simplex(
         }
     }
     let objective = problem.objective_value(&x);
-    Ok(LpSolution { status: LpStatus::Optimal, x, objective, pivots: tab.pivots })
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        x,
+        objective,
+        pivots: tab.pivots,
+    })
 }
 
 #[cfg(test)]
@@ -443,7 +470,8 @@ mod tests {
         let y = lp.add_var("y", 0.0, f64::INFINITY, -5.0).unwrap();
         lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0).unwrap();
         lp.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0).unwrap();
-        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0).unwrap();
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0)
+            .unwrap();
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.x[0] - 2.0).abs() < TOL);
@@ -457,8 +485,10 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
         let y = lp.add_var("y", 0.0, f64::INFINITY, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 4.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 4.0)
+            .unwrap();
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.x[0] - 7.0).abs() < TOL);
@@ -473,8 +503,10 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, f64::INFINITY, 0.6).unwrap();
         let y = lp.add_var("y", 0.0, f64::INFINITY, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 10.0), (y, 4.0)], Cmp::Ge, 20.0).unwrap();
-        lp.add_constraint(vec![(x, 5.0), (y, 5.0)], Cmp::Ge, 20.0).unwrap();
+        lp.add_constraint(vec![(x, 10.0), (y, 4.0)], Cmp::Ge, 20.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 5.0), (y, 5.0)], Cmp::Ge, 20.0)
+            .unwrap();
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective - 2.4).abs() < 1e-6, "got {}", sol.objective);
@@ -498,8 +530,10 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, 10.0, 0.0).unwrap();
         let y = lp.add_var("y", 0.0, 10.0, 0.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0).unwrap();
-        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Eq, 7.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Eq, 7.0)
+            .unwrap();
         assert_eq!(solve(&lp).status, LpStatus::Infeasible);
     }
 
@@ -510,8 +544,10 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
         let y = lp.add_var("y", 0.0, f64::INFINITY, 2.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0)
+            .unwrap();
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.x[0] - 3.0).abs() < TOL); // all mass on the cheap var
@@ -528,13 +564,24 @@ mod tests {
         let b = lp.add_var("b", 0.0, f64::INFINITY, 150.0).unwrap();
         let c = lp.add_var("c", 0.0, f64::INFINITY, -0.02).unwrap();
         let d = lp.add_var("d", 0.0, f64::INFINITY, 6.0).unwrap();
-        lp.add_constraint(vec![(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)], Cmp::Le, 0.0)
-            .unwrap();
-        lp.add_constraint(vec![(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)], Cmp::Le, 0.0)
-            .unwrap();
+        lp.add_constraint(
+            vec![(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)],
+            Cmp::Le,
+            0.0,
+        )
+        .unwrap();
+        lp.add_constraint(
+            vec![(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)],
+            Cmp::Le,
+            0.0,
+        )
+        .unwrap();
         lp.add_constraint(vec![(c, 1.0)], Cmp::Le, 1.0).unwrap();
         // Force Bland from the start to exercise the anti-cycling path.
-        let config = SimplexConfig { bland_after: 0, ..SimplexConfig::default() };
+        let config = SimplexConfig {
+            bland_after: 0,
+            ..SimplexConfig::default()
+        };
         let sol = lp.solve(&config).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective + 0.05).abs() < 1e-6, "got {}", sol.objective);
@@ -546,7 +593,8 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 2.0, f64::INFINITY, 1.0).unwrap();
         let y = lp.add_var("y", 3.0, f64::INFINITY, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 7.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 7.0)
+            .unwrap();
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective - 7.0).abs() < TOL);
@@ -583,10 +631,12 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
         let y = lp.add_var("y", 0.0, f64::INFINITY, -1.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.0)
+            .unwrap();
         lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0).unwrap();
         lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 2.0), (y, 1.0)], Cmp::Le, 2.0).unwrap();
+        lp.add_constraint(vec![(x, 2.0), (y, 1.0)], Cmp::Le, 2.0)
+            .unwrap();
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective + 1.0).abs() < TOL);
@@ -598,9 +648,12 @@ mod tests {
         let x = lp.add_var("x", 0.0, 4.0, 2.0).unwrap();
         let y = lp.add_var("y", 1.0, 9.0, -3.0).unwrap();
         let z = lp.add_var("z", 0.0, f64::INFINITY, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 2.0), (z, -1.0)], Cmp::Le, 11.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 2.0).unwrap();
-        lp.add_constraint(vec![(y, 1.0), (z, 3.0)], Cmp::Eq, 9.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0), (z, -1.0)], Cmp::Le, 11.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 2.0)
+            .unwrap();
+        lp.add_constraint(vec![(y, 1.0), (z, 3.0)], Cmp::Eq, 9.0)
+            .unwrap();
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(lp.is_feasible(&sol.x, 1e-6), "x = {:?}", sol.x);
@@ -611,8 +664,15 @@ mod tests {
         let mut lp = LpProblem::minimize();
         let x = lp.add_var("x", 0.0, f64::INFINITY, -3.0).unwrap();
         let y = lp.add_var("y", 0.0, f64::INFINITY, -5.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0).unwrap();
-        let config = SimplexConfig { max_pivots: 0, ..SimplexConfig::default() };
-        assert!(matches!(lp.solve(&config), Err(LpError::IterationLimit { .. })));
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0)
+            .unwrap();
+        let config = SimplexConfig {
+            max_pivots: 0,
+            ..SimplexConfig::default()
+        };
+        assert!(matches!(
+            lp.solve(&config),
+            Err(LpError::IterationLimit { .. })
+        ));
     }
 }

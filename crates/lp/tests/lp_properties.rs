@@ -6,7 +6,9 @@
 //! exceed the witness objective, returned points must be feasible, and
 //! bound tightening must be monotone in the optimal value.
 
-use mwc_lp::{branch_and_bound, Cmp, LpProblem, LpStatus, MipConfig, MipStatus, SimplexConfig, Var};
+use mwc_lp::{
+    branch_and_bound, Cmp, LpProblem, LpStatus, MipConfig, MipStatus, SimplexConfig, Var,
+};
 use proptest::prelude::*;
 
 const TOL: f64 = 1e-6;
@@ -29,8 +31,7 @@ impl FeasibleLp {
             .map(|(i, &c)| lp.add_var(format!("x{i}"), 0.0, 10.0, c).unwrap())
             .collect();
         for (coeffs, rhs) in &self.rows {
-            let terms: Vec<(Var, f64)> =
-                vars.iter().copied().zip(coeffs.iter().copied()).collect();
+            let terms: Vec<(Var, f64)> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
             lp.add_constraint(terms, Cmp::Le, *rhs).unwrap();
         }
         (lp, vars)
@@ -43,10 +44,8 @@ fn feasible_lp() -> impl Strategy<Value = FeasibleLp> {
     (1usize..=6, 0usize..=8).prop_flat_map(|(n, m)| {
         let costs = proptest::collection::vec(-5.0f64..5.0, n);
         let witness = proptest::collection::vec(0.0f64..5.0, n);
-        let coeffs = proptest::collection::vec(
-            (proptest::collection::vec(-4.0f64..4.0, n), 0.0f64..3.0),
-            m,
-        );
+        let coeffs =
+            proptest::collection::vec((proptest::collection::vec(-4.0f64..4.0, n), 0.0f64..3.0), m);
         (costs, witness, coeffs).prop_map(|(costs, witness, coeffs)| {
             let rows = coeffs
                 .into_iter()
@@ -55,7 +54,11 @@ fn feasible_lp() -> impl Strategy<Value = FeasibleLp> {
                     (row, dot + slack)
                 })
                 .collect();
-            FeasibleLp { costs, rows, witness }
+            FeasibleLp {
+                costs,
+                rows,
+                witness,
+            }
         })
     })
 }
@@ -65,12 +68,13 @@ fn feasible_lp() -> impl Strategy<Value = FeasibleLp> {
 fn feasible_binary_mip() -> impl Strategy<Value = FeasibleLp> {
     (1usize..=6, 0usize..=6).prop_flat_map(|(n, m)| {
         let costs = proptest::collection::vec(-5.0f64..5.0, n);
-        let witness = proptest::collection::vec(proptest::bool::ANY, n)
-            .prop_map(|bits| bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect());
-        let coeffs = proptest::collection::vec(
-            (proptest::collection::vec(-4.0f64..4.0, n), 0.0f64..3.0),
-            m,
-        );
+        let witness = proptest::collection::vec(proptest::bool::ANY, n).prop_map(|bits| {
+            bits.into_iter()
+                .map(|b| if b { 1.0 } else { 0.0 })
+                .collect()
+        });
+        let coeffs =
+            proptest::collection::vec((proptest::collection::vec(-4.0f64..4.0, n), 0.0f64..3.0), m);
         (costs, witness, coeffs).prop_map(|(costs, witness, coeffs): (Vec<f64>, Vec<f64>, _)| {
             let rows = coeffs
                 .into_iter()
@@ -79,7 +83,11 @@ fn feasible_binary_mip() -> impl Strategy<Value = FeasibleLp> {
                     (row, dot + slack)
                 })
                 .collect();
-            FeasibleLp { costs, rows, witness }
+            FeasibleLp {
+                costs,
+                rows,
+                witness,
+            }
         })
     })
 }

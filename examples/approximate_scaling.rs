@@ -12,45 +12,52 @@
 use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
-use wiener_connector::core::{ApproxWienerSteiner, ApproxWsqConfig, WienerSteiner};
 use wiener_connector::graph::generators::barabasi_albert;
+use wiener_connector::prelude::QueryOptions;
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let n = 100_000usize;
     let g = barabasi_albert(n, 3, &mut rng);
-    println!("power-law graph: {} vertices, {} edges", g.num_nodes(), g.num_edges());
-
-    // One-off oracle build: 16 hub landmarks, 16 BFS traversals.
-    let t0 = Instant::now();
-    let approx = ApproxWienerSteiner::build(&g, ApproxWsqConfig::default(), &mut rng);
     println!(
-        "oracle built in {:.2}s ({} landmarks)",
-        t0.elapsed().as_secs_f64(),
-        approx.oracle().num_landmarks()
+        "power-law graph: {} vertices, {} edges",
+        g.num_nodes(),
+        g.num_edges()
     );
 
-    // A stream of queries.
+    // Build the engine once per graph. The landmark oracle behind
+    // "ws-q-approx" (16 hub landmarks, 16 BFS traversals) is built lazily
+    // and shared by every approximate solve; warm it explicitly to show
+    // the one-off cost.
+    let engine = wiener_connector::engine(&g);
+    let t0 = Instant::now();
+    let landmarks = engine.landmark_oracle().num_landmarks();
+    println!(
+        "oracle built in {:.2}s ({landmarks} landmarks)",
+        t0.elapsed().as_secs_f64()
+    );
+
+    // A stream of queries, served as one parallel batch per method.
     let queries: Vec<Vec<u32>> = (0..5)
         .map(|_| (0..8).map(|_| rng.gen_range(0..n as u32)).collect())
         .collect();
+    let opts = QueryOptions::default();
+    let exact_reports = engine.solve_batch("ws-q", &queries, &opts);
+    let approx_reports = engine.solve_batch("ws-q-approx", &queries, &opts);
 
-    let exact = WienerSteiner::new(&g);
     println!("\n  query   exact W (s)        approx W (s)      ratio");
-    for (i, q) in queries.iter().enumerate() {
-        let t = Instant::now();
-        let we = exact.solve(q).expect("exact solve");
-        let te = t.elapsed().as_secs_f64();
-        let t = Instant::now();
-        let wa = approx.solve(q).expect("approx solve");
-        let ta = t.elapsed().as_secs_f64();
+    for (i, (we, wa)) in exact_reports.iter().zip(&approx_reports).enumerate() {
+        let we = we.as_ref().expect("exact solve");
+        let wa = wa.as_ref().expect("approx solve");
         println!(
-            "  #{i}      {:>6} ({te:.2})    {:>6} ({ta:.2})    {:.3}",
+            "  #{i}      {:>6} ({:.2})    {:>6} ({:.2})    {:.3}",
             we.wiener_index,
+            we.seconds,
             wa.wiener_index,
+            wa.seconds,
             wa.wiener_index as f64 / we.wiener_index.max(1) as f64
         );
-        assert!(wa.connector.contains_all(q));
+        assert!(wa.connector.contains_all(&queries[i]));
     }
     println!("\nratios near 1.0: approximate distances preserve connector quality,");
     println!("while the oracle's scans replace per-root BFS — the piece that matters");

@@ -16,9 +16,8 @@
 //! Run with: `cargo run --release --example community_bridges`
 
 use rand::SeedableRng;
-use wiener_connector::core::WienerSteiner;
 use wiener_connector::graph::community::{cnm, communities_spanned, CnmStop};
-use wiener_connector::graph::{centrality, connectivity};
+use wiener_connector::graph::connectivity;
 use wiener_connector::graph::generators::sbm;
 
 fn main() {
@@ -27,8 +26,15 @@ fn main() {
     // A 4-community social network: dense inside, sparse across.
     let pp = sbm::planted_partition(&[50, 50, 50, 50], 0.3, 0.01, &mut rng);
     let (g, mapping) = connectivity::largest_component_graph(&pp.graph).expect("connected core");
-    let membership: Vec<u32> = mapping.iter().map(|&old| pp.membership[old as usize]).collect();
-    println!("planted-partition graph: {} vertices, {} edges", g.num_nodes(), g.num_edges());
+    let membership: Vec<u32> = mapping
+        .iter()
+        .map(|&old| pp.membership[old as usize])
+        .collect();
+    println!(
+        "planted-partition graph: {} vertices, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     // Rediscover the communities (the paper's §7 pipeline uses CNM).
     let clustering = cnm(&g, CnmStop::PeakModularity);
@@ -50,7 +56,8 @@ fn main() {
         communities_spanned(&clustering.membership, &q)
     );
 
-    let solution = WienerSteiner::new(&g).solve(&q).expect("solve");
+    let engine = wiener_connector::engine(&g);
+    let solution = engine.solve("ws-q", &q).expect("solve");
     println!(
         "\nminimum Wiener connector: {} vertices, W = {}",
         solution.connector.len(),
@@ -58,8 +65,8 @@ fn main() {
     );
 
     // The added vertices should be bridges: compare their betweenness
-    // against the graph average.
-    let bc = centrality::betweenness(&g, true);
+    // against the graph average (the engine caches the vector).
+    let bc = engine.betweenness();
     let avg: f64 = bc.iter().sum::<f64>() / bc.len() as f64;
     println!("\n  vertex  community  betweenness (graph avg {:.4})", avg);
     let mut added_bc = Vec::new();

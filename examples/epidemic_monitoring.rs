@@ -12,9 +12,7 @@
 
 use rand::SeedableRng;
 
-use wiener_connector::core::WienerSteiner;
 use wiener_connector::datasets::workloads;
-use wiener_connector::graph::centrality;
 use wiener_connector::graph::connectivity::largest_component_graph;
 use wiener_connector::graph::generators::sbm::planted_partition_by_degree;
 
@@ -44,11 +42,12 @@ fn main() {
         outbreak.avg_distance
     );
 
-    let solution = WienerSteiner::new(&graph)
-        .solve(&outbreak.vertices)
+    let engine = wiener_connector::engine(&graph);
+    let solution = engine
+        .solve("ws-q", &outbreak.vertices)
         .expect("cases live in one component");
 
-    let bc = centrality::betweenness(&graph, true);
+    let bc = engine.betweenness();
     let monitored: Vec<u32> = solution
         .connector
         .vertices()

@@ -8,7 +8,6 @@
 //!
 //! Run with: `cargo run --release --example protein_pathways`
 
-use wiener_connector::core::WienerSteiner;
 use wiener_connector::datasets::ppi;
 
 fn main() {
@@ -22,8 +21,8 @@ fn main() {
     let query = ppi::disease_query(&net);
     println!("\nquery proteins: {:?}", net.render(&query));
 
-    let solution = WienerSteiner::new(&net.graph)
-        .solve(&query)
+    let solution = wiener_connector::engine(&net.graph)
+        .solve("ws-q", &query)
         .expect("PPI network is connected");
 
     println!(

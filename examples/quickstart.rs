@@ -7,8 +7,6 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use wiener_connector::core::WienerSteiner;
-use wiener_connector::graph::centrality;
 use wiener_connector::graph::generators::karate::{from_paper_ids, karate_club, karate_factions};
 
 fn main() {
@@ -19,10 +17,14 @@ fn main() {
         graph.num_edges()
     );
 
+    // Build the engine once; it serves any number of queries and methods.
+    let engine = wiener_connector::engine(&graph);
+
     // Figure 1 (left): query vertices spanning both factions (paper ids).
     let query = from_paper_ids(&[12, 25, 26, 30]);
-    let solver = WienerSteiner::new(&graph);
-    let solution = solver.solve(&query).expect("karate club is connected");
+    let solution = engine
+        .solve("ws-q", &query)
+        .expect("karate club is connected");
 
     println!("\nquery (paper ids): {:?}", paper_ids(&query));
     println!(
@@ -31,13 +33,15 @@ fn main() {
     );
     println!("Wiener index: {}", solution.wiener_index);
     println!(
-        "connector size: {} ({} added vertices)",
+        "connector size: {} ({} added vertices, solved in {:.1} ms)",
         solution.connector.len(),
-        solution.connector.len() - query.len()
+        solution.connector.len() - query.len(),
+        solution.seconds * 1e3
     );
 
-    // The added vertices are central: report their betweenness rank.
-    let bc = centrality::betweenness(&graph, true);
+    // The added vertices are central: report their betweenness rank,
+    // using the engine's cached betweenness vector.
+    let bc = engine.betweenness();
     let factions = karate_factions();
     let mut rank: Vec<usize> = (0..graph.num_nodes()).collect();
     rank.sort_by(|&a, &b| bc[b].total_cmp(&bc[a]));

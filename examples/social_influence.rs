@@ -9,9 +9,8 @@
 //!
 //! Run with: `cargo run --release --example social_influence`
 
-use wiener_connector::baselines::Method;
-use wiener_connector::core::WienerSteiner;
 use wiener_connector::datasets::twitter;
+use wiener_connector::engine;
 
 fn main() {
     let tw = twitter::kdd2014_network();
@@ -21,6 +20,9 @@ fn main() {
         g.num_nodes(),
         g.num_edges()
     );
+
+    // One engine serves every query and method below.
+    let engine = engine(g);
 
     for (i, q_labels) in twitter::figure7_queries().iter().enumerate() {
         println!("\n=== query {} ===", i + 1);
@@ -32,9 +34,7 @@ fn main() {
             .collect();
         println!("their communities: {comms:?}");
 
-        let solution = WienerSteiner::new(g)
-            .solve(&query)
-            .expect("connected graph");
+        let solution = engine.solve("ws-q", &query).expect("connected graph");
         println!(
             "\nminimum Wiener connector ({} users):",
             solution.connector.len()
@@ -51,13 +51,15 @@ fn main() {
 
         // Compare against the baselines on solution size (Table 3's story).
         println!("\nmethod comparison (solution size | Wiener index):");
-        for m in Method::ALL {
-            match m.run(g, &query) {
-                Ok(c) => {
-                    let w = c.wiener_index(g).unwrap_or(u64::MAX);
-                    println!("  {:<5} {:>6} vertices | W = {w}", m.name(), c.len());
-                }
-                Err(e) => println!("  {:<5} failed: {e}", m.name()),
+        for name in wiener_connector::baselines::PAPER_METHODS {
+            match engine.solve(name, &query) {
+                Ok(r) => println!(
+                    "  {:<5} {:>6} vertices | W = {}",
+                    name,
+                    r.connector.len(),
+                    r.wiener_index
+                ),
+                Err(e) => println!("  {:<5} failed: {e}", name),
             }
         }
     }

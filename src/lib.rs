@@ -4,6 +4,22 @@
 //! competing methods ([`baselines`]), and the dataset/workload machinery
 //! ([`datasets`]) behind one dependency. See the repository README for a
 //! guided tour and `examples/` for runnable entry points.
+//!
+//! The recommended entry point is [`engine`]: a per-graph
+//! [`QueryEngine`](mwc_core::QueryEngine) with the paper's complete
+//! method table registered, serving single queries and parallel batches
+//! while amortizing BFS workspaces, centrality vectors, and the landmark
+//! oracle across calls.
+//!
+//! ```
+//! use wiener_connector::prelude::*;
+//! use wiener_connector::graph::generators::karate::karate_club;
+//!
+//! let g = karate_club();
+//! let engine = wiener_connector::engine(&g);
+//! let report = engine.solve("ws-q", &[11, 24, 25, 29]).unwrap();
+//! assert!(report.connector.contains_all(&[11, 24, 25, 29]));
+//! ```
 
 pub use mwc_baselines as baselines;
 pub use mwc_core as core;
@@ -11,10 +27,23 @@ pub use mwc_datasets as datasets;
 pub use mwc_graph as graph;
 pub use mwc_lp as lp;
 
+use mwc_graph::Graph;
+
+/// A [`QueryEngine`](mwc_core::QueryEngine) over `graph` with every
+/// solver of the workspace registered: the core methods (`ws-q`,
+/// `ws-q-approx`, `ws-q+ls`, `exact`) and the §6.1 baselines (`ctp`,
+/// `cps`, `ppr`, `st`, `greedy-wiener`). Build it once per graph; it is
+/// `Sync`, so one instance can serve concurrent callers.
+pub fn engine(graph: &Graph) -> mwc_core::QueryEngine<'_> {
+    mwc_baselines::full_engine(graph)
+}
+
 /// Commonly used items, for `use wiener_connector::prelude::*`.
 pub mod prelude {
+    pub use mwc_baselines::full_engine;
     pub use mwc_core::{
-        ApproxWienerSteiner, ApproxWsqConfig, Connector, WienerSteiner, WsqConfig,
+        ApproxWienerSteiner, ApproxWsqConfig, Connector, ConnectorSolver, QueryEngine,
+        QueryOptions, SolveReport, WienerSteiner, WsqConfig,
     };
     pub use mwc_graph::{Graph, GraphBuilder, InducedSubgraph, NodeId};
 }

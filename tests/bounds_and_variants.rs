@@ -22,7 +22,9 @@ fn program7_lower_bound_never_exceeds_wsq() {
     let mut checked = 0;
     while checked < 4 {
         let g = gnm(14, 24, &mut rng);
-        let Ok((g, _)) = largest_component_graph(&g) else { continue };
+        let Ok((g, _)) = largest_component_graph(&g) else {
+            continue;
+        };
         let n = g.num_nodes() as u32;
         if n < 6 {
             continue;
@@ -75,9 +77,18 @@ fn wsq_is_sound_under_every_steiner_subroutine() {
             SteinerAlgorithm::KouMarkowskyBerman,
             SteinerAlgorithm::TakahashiMatsuyama,
         ] {
-            let cfg = WsqConfig { steiner: alg, parallel: false, ..WsqConfig::default() };
-            let sol = WienerSteiner::with_config(&g, cfg).solve(&q).expect("solve");
-            assert!(sol.connector.contains_all(&q), "{alg:?} dropped query vertices");
+            let cfg = WsqConfig {
+                steiner: alg,
+                parallel: false,
+                ..WsqConfig::default()
+            };
+            let sol = WienerSteiner::with_config(&g, cfg)
+                .solve(&q)
+                .expect("solve");
+            assert!(
+                sol.connector.contains_all(&q),
+                "{alg:?} dropped query vertices"
+            );
             let sub = sol.connector.induced(&g).expect("induced");
             assert!(
                 wiener_connector::graph::connectivity::is_connected(sub.graph()),
@@ -96,7 +107,11 @@ fn wsq_is_sound_under_every_steiner_subroutine() {
 #[test]
 fn wsq_without_lemma4_is_sound() {
     let g = karate_club();
-    let cfg = WsqConfig { node_weighted_steiner: true, parallel: false, ..WsqConfig::default() };
+    let cfg = WsqConfig {
+        node_weighted_steiner: true,
+        parallel: false,
+        ..WsqConfig::default()
+    };
     let kr_solver = WienerSteiner::with_config(&g, cfg);
     for q in [vec![11u32, 24, 25, 29], vec![3, 11, 16]] {
         let kr = kr_solver.solve(&q).expect("solve");
@@ -145,8 +160,9 @@ fn stp_roundtrip_supports_figure4_comparison() {
     let parsed = stp::parse_stp(&text).expect("parse").instance;
 
     let wsq = minimum_wiener_connector(&parsed.graph, &parsed.terminals).expect("wsq");
-    let st = wiener_connector::baselines::st::steiner_tree_baseline(&parsed.graph, &parsed.terminals)
-        .expect("st");
+    let st =
+        wiener_connector::baselines::st::steiner_tree_baseline(&parsed.graph, &parsed.terminals)
+            .expect("st");
     // The defining Figure 4 relation: ws-q optimizes W, st optimizes size;
     // ws-q can never lose on W.
     let st_w = st.wiener_index(&parsed.graph).expect("st W");
@@ -162,7 +178,10 @@ fn community_workloads_show_the_dc_vs_sc_gap() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
     let pp = sbm::planted_partition(&[60, 60, 60], 0.35, 0.01, &mut rng);
     let (g, mapping) = largest_component_graph(&pp.graph).expect("connected");
-    let membership: Vec<u32> = mapping.iter().map(|&old| pp.membership[old as usize]).collect();
+    let membership: Vec<u32> = mapping
+        .iter()
+        .map(|&old| pp.membership[old as usize])
+        .collect();
     let clustering = cnm(&g, CnmStop::PeakModularity);
 
     let solver = WienerSteiner::new(&g);
@@ -176,8 +195,16 @@ fn community_workloads_show_the_dc_vs_sc_gap() {
         assert!(communities_spanned(&membership, &dc.vertices) > 1);
         // CNM recovered labels must agree on the dc classification.
         assert!(communities_spanned(&clustering.membership, &dc.vertices) > 1);
-        sc_sizes += solver.solve(&sc.vertices).expect("sc solve").connector.len();
-        dc_sizes += solver.solve(&dc.vertices).expect("dc solve").connector.len();
+        sc_sizes += solver
+            .solve(&sc.vertices)
+            .expect("sc solve")
+            .connector
+            .len();
+        dc_sizes += solver
+            .solve(&dc.vertices)
+            .expect("dc solve")
+            .connector
+            .len();
     }
     assert!(
         dc_sizes > sc_sizes,

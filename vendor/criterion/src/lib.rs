@@ -1,0 +1,250 @@
+//! Vendored stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness (API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the surface its benches use: [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Throughput`],
+//! `sample_size`, [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark is warmed
+//! up once and then timed over `sample_size` iterations; the mean, min,
+//! and max per-iteration wall time are printed in a fixed-width table.
+//! Good enough to compare orders of magnitude (the amortization benches),
+//! not for detecting single-digit-percent regressions.
+//!
+//! Set `CRITERION_SHIM_SAMPLES` to override every group's sample size
+//! (e.g. `CRITERION_SHIM_SAMPLES=1` for a smoke run).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n── bench group: {name} ──");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: default_samples(10),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), default_samples(10), None, routine);
+    }
+}
+
+fn default_samples(fallback: usize) -> usize {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(fallback)
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = default_samples(n);
+        self
+    }
+
+    /// Sets an (ignored beyond reporting) measurement-time hint.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the work per iteration, enabling a throughput column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs `routine` as a benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, &mut routine);
+        self
+    }
+
+    /// Runs `routine` with a borrowed input as a benchmark of this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the shim is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Per-iteration work declaration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; handed to every benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warm-up, then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+    };
+    routine(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{label:<56} (no samples — routine never called iter)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().unwrap();
+    let max = *b.samples.iter().max().unwrap();
+    let tput = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    eprintln!(
+        "{label:<56} mean {:>12?}  min {:>12?}  max {:>12?}{tput}",
+        mean, min, max
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_function("f", |b| b.iter(|| black_box(2 * 2)))
+            .bench_with_input(BenchmarkId::new("g", 5), &5u32, |b, &x| {
+                b.iter(|| black_box(x * x))
+            });
+        g.finish();
+        assert_eq!(BenchmarkId::new("a", 1).to_string(), "a/1");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,309 @@
+//! Vendored stand-in for the [`rand`](https://crates.io/crates/rand) crate
+//! (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small surface this project actually uses:
+//!
+//! * [`rngs::StdRng`] — seedable, portable, deterministic (xoshiro256++
+//!   seeded through SplitMix64, not the upstream ChaCha12 — sequences
+//!   differ from the real crate, which only matters to tests asserting
+//!   exact draws, of which there are none);
+//! * [`Rng::gen_range`] over integer and float ranges (inclusive and
+//!   exclusive), [`Rng::gen`], [`Rng::gen_bool`];
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`].
+//!
+//! Sampling a range uses the widening-multiply method, which keeps the
+//! modulo bias below 2⁻⁶⁴ — indistinguishable for test workloads.
+
+#![warn(missing_docs)]
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range` (e.g. `rng.gen_range(0..10)`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value of `T` from its standard distribution (uniform unit
+    /// interval for floats, uniform bits for integers, fair coin for bool).
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait SampleStandard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics on empty ranges.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Widening-multiply bounded sample: uniform in `[0, span)`.
+#[inline]
+fn bounded(rng_word: u64, span: u128) -> u128 {
+    (rng_word as u128 * span) >> 64
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = <$t as SampleStandard>::sample(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = <$t as SampleStandard>::sample(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ (Blackman & Vigna).
+    ///
+    /// Not the upstream `StdRng` (ChaCha12) — sequences differ from the
+    /// real crate, but all project uses are seeded property tests and
+    /// generators that only rely on determinism and uniformity.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Random operations on slices.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Subset of the upstream `SliceRandom` extension trait.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = Rng::gen_range(rng, 0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(Rng::gen_range(rng, 0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0..1_000_000u64)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-2.5..4.0f64);
+            assert!((-2.5..4.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_rough_frequency() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+}
