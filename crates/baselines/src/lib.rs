@@ -34,7 +34,7 @@ pub use ctp::ctp;
 pub use greedy_wiener::greedy_wiener;
 pub use ppr::ppr;
 pub use rwr::RwrParams;
-pub use solvers::{full_engine, register_baselines, PAPER_METHODS};
+pub use solvers::{full_engine, full_engine_shared, register_baselines, PAPER_METHODS};
 pub use st::steiner_tree_baseline;
 
 use mwc_core::{Connector, Result};

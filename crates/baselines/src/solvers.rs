@@ -105,29 +105,41 @@ pub fn full_engine(graph: &Graph) -> QueryEngine<'_> {
     engine
 }
 
+/// An [`OwnedEngine`](mwc_core::OwnedEngine) with the complete method
+/// table, sharing ownership of `graph`. The serving-side counterpart of
+/// [`full_engine`]: `mwc_service`'s catalog stores one per loaded graph.
+pub fn full_engine_shared(graph: std::sync::Arc<Graph>) -> mwc_core::OwnedEngine {
+    let mut engine = QueryEngine::new_shared(graph);
+    register_baselines(&mut engine);
+    engine
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mwc_graph::generators::karate::karate_club;
 
     #[test]
-    fn full_engine_registry_order() {
+    fn full_engine_registry_is_sorted() {
         let g = karate_club();
         let engine = full_engine(&g);
+        // `solver_names` reports the registry deterministically sorted.
         assert_eq!(
             engine.solver_names(),
             vec![
-                "ws-q",
-                "ws-q-approx",
-                "ws-q+ls",
-                "exact",
-                "ctp",
                 "cps",
+                "ctp",
+                "exact",
+                "greedy-wiener",
                 "ppr",
                 "st",
-                "greedy-wiener"
+                "ws-q",
+                "ws-q+ls",
+                "ws-q-approx"
             ]
         );
+        let shared = full_engine_shared(std::sync::Arc::new(karate_club()));
+        assert_eq!(shared.solver_names(), engine.solver_names());
     }
 
     #[test]

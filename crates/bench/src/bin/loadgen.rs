@@ -1,0 +1,362 @@
+//! `loadgen` — closed-loop load generator for `mwc-server`, emitting
+//! `BENCH_service.json` with throughput and latency per solver.
+//!
+//! ```text
+//! cargo run --release -p mwc-bench --bin loadgen -- [options]
+//!
+//!   --addr HOST:PORT    drive an already-running server (default: spawn
+//!                       an in-process server on an ephemeral port)
+//!   --graph NAME=SPEC   graph(s) for the in-process server; repeatable
+//!                       (default: karate=karate and ba2k=ba:2000x3)
+//!   --clients N         concurrent closed-loop clients (default 8)
+//!   --duration-secs N   measured wall-clock per run (default 5)
+//!   --solvers A,B,...   solvers to exercise (default ws-q,ws-q-approx,st)
+//!   --deadline-ms N     per-request deadline (default: none)
+//!   --out PATH          output path (default BENCH_service.json)
+//!   --seed N            workload RNG seed (default 42)
+//! ```
+//!
+//! Closed loop: each client keeps exactly one request in flight —
+//! throughput measures what the server sustains at `--clients`
+//! concurrency, and client-side latency includes queueing and the wire.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use mwc_graph::NodeId;
+use mwc_service::{server, Catalog, Client, ClientError, Json, ServerConfig};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone)]
+struct Args {
+    addr: Option<String>,
+    graphs: Vec<(String, String)>,
+    clients: usize,
+    duration: Duration,
+    solvers: Vec<String>,
+    deadline_ms: Option<u64>,
+    out: String,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--graph NAME=SPEC]... [--clients N]\n\
+         \x20      [--duration-secs N] [--solvers A,B,..] [--deadline-ms N]\n\
+         \x20      [--out PATH] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Args {
+    let mut args = Args {
+        addr: None,
+        graphs: Vec::new(),
+        clients: 8,
+        duration: Duration::from_secs(5),
+        solvers: vec!["ws-q".into(), "ws-q-approx".into(), "st".into()],
+        deadline_ms: None,
+        out: "BENCH_service.json".into(),
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value()),
+            "--graph" => match value().split_once('=') {
+                Some((n, s)) => args.graphs.push((n.to_string(), s.to_string())),
+                None => usage(),
+            },
+            "--clients" => args.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--duration-secs" => {
+                args.duration = Duration::from_secs_f64(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--solvers" => args.solvers = value().split(',').map(str::to_string).collect(),
+            "--deadline-ms" => args.deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--out" => args.out = value(),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if args.graphs.is_empty() {
+        args.graphs = vec![
+            ("karate".into(), "karate".into()),
+            ("ba2k".into(), "ba:2000x3".into()),
+        ];
+    }
+    args
+}
+
+/// One completed request, as observed by a client.
+struct Sample {
+    solver: usize, // index into args.solvers
+    latency: Duration,
+    outcome: Outcome,
+}
+
+#[derive(PartialEq)]
+enum Outcome {
+    Ok,
+    Overloaded,
+    OtherError,
+}
+
+fn client_loop(
+    mut client: Client, // connected by main before the barrier exists
+    args: &Args,
+    graphs: &[(String, usize)], // (name, node count)
+    thread_id: u64,
+    stop: &AtomicBool,
+    barrier: &Barrier,
+) -> Vec<Sample> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed ^ (thread_id << 32));
+    let mut samples = Vec::new();
+    barrier.wait();
+    while !stop.load(Ordering::Relaxed) {
+        let (graph, nodes) = graphs.choose(&mut rng).expect("at least one graph");
+        let solver = rng.gen_range(0..args.solvers.len());
+        let size = rng.gen_range(2..=4usize);
+        let mut q: Vec<NodeId> = (0..size)
+            .map(|_| rng.gen_range(0..*nodes as NodeId))
+            .collect();
+        q.sort_unstable();
+        q.dedup();
+        if q.len() < 2 {
+            continue;
+        }
+        let start = Instant::now();
+        let outcome = match client.solve(graph, &args.solvers[solver], &q, args.deadline_ms, None) {
+            Ok(_) => Outcome::Ok,
+            Err(ClientError::Server(e)) if e.code == "overloaded" => Outcome::Overloaded,
+            Err(ClientError::Server(_)) => Outcome::OtherError,
+            Err(e) => panic!("transport failure mid-run: {e}"),
+        };
+        samples.push(Sample {
+            solver,
+            latency: start.elapsed(),
+            outcome,
+        });
+    }
+    samples
+}
+
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let args = parse_cli();
+
+    // Spawn an in-process server unless we were pointed at one.
+    let handle = if args.addr.is_none() {
+        let catalog = Arc::new(Catalog::new());
+        for (name, spec) in &args.graphs {
+            eprint!("loadgen: loading {name} from {spec} ... ");
+            let entry = catalog.load(name, spec).expect("load graph");
+            eprintln!(
+                "{} nodes, {} edges",
+                entry.graph.num_nodes(),
+                entry.graph.num_edges()
+            );
+        }
+        Some(
+            server::start(catalog, ServerConfig::default(), "127.0.0.1:0")
+                .expect("bind in-process server"),
+        )
+    } else {
+        None
+    };
+    let addr = match &args.addr {
+        Some(a) => a.clone(),
+        None => handle.as_ref().unwrap().local_addr().to_string(),
+    };
+
+    // Discover node counts for query sampling (and validate the solvers).
+    let mut probe = Client::connect(addr.as_str()).expect("connect");
+    let graphs: Vec<(String, usize)> = probe
+        .graphs()
+        .expect("graphs")
+        .into_iter()
+        .map(|g| {
+            for s in &args.solvers {
+                assert!(
+                    g.solvers.contains(s),
+                    "solver {s:?} not registered on graph {:?}",
+                    g.name
+                );
+            }
+            (g.name, g.nodes)
+        })
+        .collect();
+    assert!(!graphs.is_empty(), "server has no graphs loaded");
+
+    eprintln!(
+        "loadgen: {} clients, {:?} per run, solvers {:?}, graphs {:?}",
+        args.clients,
+        args.duration,
+        args.solvers,
+        graphs.iter().map(|g| g.0.as_str()).collect::<Vec<_>>()
+    );
+
+    // Connect every client up front: a refused connection fails fast here
+    // instead of deadlocking the start barrier from inside a thread.
+    let clients: Vec<Client> = (0..args.clients)
+        .map(|i| {
+            Client::connect(addr.as_str())
+                .unwrap_or_else(|e| panic!("loadgen client {i} connect: {e}"))
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(args.clients + 1);
+    let started = std::thread::scope(|scope| {
+        let threads: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, client)| {
+                let (args, graphs, stop, barrier) = (&args, graphs.as_slice(), &stop, &barrier);
+                scope.spawn(move || client_loop(client, args, graphs, i as u64, stop, barrier))
+            })
+            .collect();
+        barrier.wait(); // all clients connected: measurement starts now
+        let started = Instant::now();
+        std::thread::sleep(args.duration);
+        stop.store(true, Ordering::Relaxed);
+        let samples: Vec<Sample> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread"))
+            .collect();
+        (started.elapsed(), samples)
+    });
+    let (elapsed, samples) = started;
+
+    // Aggregate.
+    let secs = elapsed.as_secs_f64();
+    let total = samples.len();
+    let ok = samples.iter().filter(|s| s.outcome == Outcome::Ok).count();
+    let overloaded = samples
+        .iter()
+        .filter(|s| s.outcome == Outcome::Overloaded)
+        .count();
+    let mut per_solver: Vec<(&'static str, Json)> = Vec::new();
+    println!(
+        "{:<14} {:>8} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "solver", "count", "thruput r/s", "mean ms", "p50 ms", "p99 ms", "max ms"
+    );
+    let mut solver_entries: Vec<(String, Json)> = Vec::new();
+    for (i, solver) in args.solvers.iter().enumerate() {
+        let mut lat: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.solver == i && s.outcome == Outcome::Ok)
+            .map(|s| s.latency.as_secs_f64() * 1e3)
+            .collect();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let count = lat.len();
+        let errors = samples
+            .iter()
+            .filter(|s| s.solver == i && s.outcome != Outcome::Ok)
+            .count();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            lat.iter().sum::<f64>() / count as f64
+        };
+        let (p50, p99) = (quantile_ms(&lat, 0.50), quantile_ms(&lat, 0.99));
+        let max = lat.last().copied().unwrap_or(0.0);
+        let throughput = count as f64 / secs;
+        println!(
+            "{solver:<14} {count:>8} {throughput:>12.1} {mean:>9.3} {p50:>9.3} {p99:>9.3} {max:>9.3}"
+        );
+        solver_entries.push((
+            solver.clone(),
+            Json::obj([
+                ("count", Json::from(count)),
+                ("errors", Json::from(errors)),
+                ("throughput_rps", Json::from(throughput)),
+                ("mean_ms", Json::from(mean)),
+                ("p50_ms", Json::from(p50)),
+                ("p99_ms", Json::from(p99)),
+                ("max_ms", Json::from(max)),
+            ]),
+        ));
+    }
+    per_solver.push((
+        "per_solver",
+        Json::Obj(solver_entries.into_iter().collect()),
+    ));
+
+    // Grab the server's own view before shutting it down.
+    let server_stats = probe.stats().ok();
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+
+    let mut doc = vec![
+        (
+            "config",
+            Json::obj([
+                ("clients", Json::from(args.clients)),
+                ("duration_secs", Json::from(secs)),
+                (
+                    "solvers",
+                    Json::Arr(
+                        args.solvers
+                            .iter()
+                            .map(|s| Json::from(s.as_str()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "graphs",
+                    Json::Arr(
+                        graphs
+                            .iter()
+                            .map(|(n, size)| {
+                                Json::obj([
+                                    ("name", Json::from(n.as_str())),
+                                    ("nodes", Json::from(*size)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "deadline_ms",
+                    args.deadline_ms.map(Json::from).unwrap_or(Json::Null),
+                ),
+                ("seed", Json::from(args.seed)),
+            ]),
+        ),
+        (
+            "totals",
+            Json::obj([
+                ("requests", Json::from(total)),
+                ("ok", Json::from(ok)),
+                ("overloaded", Json::from(overloaded)),
+                ("errors", Json::from(total - ok - overloaded)),
+                ("throughput_rps", Json::from(total as f64 / secs)),
+            ]),
+        ),
+    ];
+    doc.extend(per_solver);
+    if let Some(stats) = server_stats {
+        doc.push(("server_stats", stats));
+    }
+    let rendered = Json::obj(doc).to_string();
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(rendered.as_bytes()).expect("write output");
+    file.write_all(b"\n").expect("write output");
+    eprintln!(
+        "loadgen: {total} requests in {secs:.2}s ({:.1} r/s overall) → {}",
+        total as f64 / secs,
+        args.out
+    );
+}

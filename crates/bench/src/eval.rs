@@ -4,7 +4,7 @@
 //! `"st"`, …) instead of an enum, so the harness serves the paper's
 //! method table and any future registered solver through one code path.
 
-use mwc_core::{QueryEngine, Result};
+use mwc_core::{QueryEngine, Result, SolveReport};
 use mwc_graph::{metrics, NodeId};
 
 pub use mwc_baselines::PAPER_METHODS;
@@ -44,19 +44,48 @@ pub fn evaluate_solver(
     q: &[NodeId],
     bc: &[f64],
 ) -> Result<SolutionMetrics> {
+    evaluate_with_report(engine, solver, q, bc).map(|(m, _)| m)
+}
+
+/// Like [`evaluate_solver`], but also hands back the engine's
+/// [`SolveReport`] so callers can render it uniformly
+/// ([`SolveReport::render_text`] / [`SolveReport::to_json`]) instead of
+/// re-formatting fields ad hoc.
+pub fn evaluate_with_report(
+    engine: &QueryEngine<'_>,
+    solver: &str,
+    q: &[NodeId],
+    bc: &[f64],
+) -> Result<(SolutionMetrics, SolveReport)> {
     let report = engine.solve(solver, q)?;
     let g = engine.graph();
     let sub = report.connector.induced(g)?;
     let density = metrics::density(sub.graph());
     let wiener = report.wiener_index as f64;
-    Ok(SolutionMetrics {
-        solver: report.solver,
+    let m = SolutionMetrics {
+        solver: report.solver.clone(),
         size: report.connector.len(),
         density,
         avg_betweenness: report.connector.average_score(bc),
         wiener,
         seconds: report.seconds,
-    })
+    };
+    Ok((m, report))
+}
+
+/// One machine-readable JSON line for an evaluated solution: the
+/// engine's report (via [`SolveReport::to_json`] — the same object shape
+/// `mwc_service` serves in its `"report"` wire field) extended with the
+/// Table 3 measurements.
+pub fn solution_json(m: &SolutionMetrics, report: &SolveReport) -> String {
+    format!(
+        "{{\"report\":{},\"size\":{},\"density\":{},\"avg_betweenness\":{},\"wiener\":{}}}",
+        report.to_json(),
+        m.size,
+        m.density,
+        m.avg_betweenness,
+        m.wiener
+    )
 }
 
 /// Averages a slice of metrics (all from the same solver).
@@ -103,6 +132,22 @@ mod tests {
         let engine = full_engine(&g);
         let bc = betweenness(&g, true);
         assert!(evaluate_solver(&engine, "missing", &[0, 33], &bc).is_err());
+    }
+
+    #[test]
+    fn solution_json_embeds_the_uniform_report_shape() {
+        let g = karate_club();
+        let engine = full_engine(&g);
+        let bc = betweenness(&g, true);
+        let (m, report) = evaluate_with_report(&engine, "ws-q", &[11, 24, 25, 29], &bc).unwrap();
+        let line = solution_json(&m, &report);
+        assert!(
+            line.starts_with("{\"report\":{\"solver\":\"ws-q\""),
+            "{line}"
+        );
+        assert!(line.contains(&format!("\"wiener_index\":{}", report.wiener_index)));
+        assert!(line.ends_with('}'), "{line}");
+        assert!(report.render_text().starts_with("ws-q: W = "));
     }
 
     #[test]

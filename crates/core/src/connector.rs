@@ -49,6 +49,19 @@ impl Connector {
         Connector { vertices }
     }
 
+    /// Wraps an already-solved vertex set *without* a graph to validate
+    /// against — for re-inflating a connector received over a wire
+    /// protocol (`mwc_service`'s client), where the graph lives on the
+    /// other end. Sorts and dedups; connectivity is the sender's
+    /// contract. Graph-dependent accessors ([`Connector::induced`],
+    /// [`Connector::wiener_index`], …) still work once a graph is
+    /// supplied, and error if the set does not fit it.
+    pub fn from_vertices(mut vertices: Vec<NodeId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        Connector { vertices }
+    }
+
     /// The sorted vertex set.
     pub fn vertices(&self) -> &[NodeId] {
         &self.vertices

@@ -51,7 +51,7 @@
 //! assert_eq!(reports.len(), 2);
 //! ```
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
@@ -152,6 +152,73 @@ impl SolveReport {
             candidates: sol.num_candidates as u64,
             optimal: None,
         }
+    }
+
+    /// One human-readable line: solver, objective, connector, timing —
+    /// the uniform rendering used by `mwc-client` and the bench harness
+    /// instead of per-call-site `format!` strings.
+    ///
+    /// ```
+    /// # use mwc_core::engine::QueryEngine;
+    /// # use mwc_graph::generators::karate::karate_club;
+    /// # let g = karate_club();
+    /// # let report = QueryEngine::new(&g).solve("ws-q", &[0, 33]).unwrap();
+    /// assert!(report.render_text().starts_with("ws-q: W = "));
+    /// ```
+    pub fn render_text(&self) -> String {
+        let optimal = match self.optimal {
+            Some(true) => ", optimal",
+            Some(false) => ", not proven optimal",
+            None => "",
+        };
+        format!(
+            "{}: W = {}, {} vertices {:?}, {:.3} ms, {} candidates{}",
+            self.solver,
+            self.wiener_index,
+            self.connector.len(),
+            self.connector.vertices(),
+            self.seconds * 1e3,
+            self.candidates,
+            optimal
+        )
+    }
+
+    /// The report as one JSON object (no trailing newline) — the exact
+    /// shape `mwc_service` puts on the wire in its `"report"` field:
+    /// `{"solver":…,"connector":[…],"wiener_index":…,"seconds":…,`
+    /// `"candidates":…,"optimal":…}` with `optimal` null for
+    /// approximations. Hand-rolled (the workspace has no serde) but pinned
+    /// shape-for-shape against the service's serializer by round-trip
+    /// tests in `mwc_service`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + 8 * self.connector.len());
+        out.push_str("{\"solver\":\"");
+        for c in self.solver.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\",\"connector\":[");
+        for (i, v) in self.connector.vertices().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push_str(&format!(
+            "],\"wiener_index\":{},\"seconds\":{},\"candidates\":{},\"optimal\":{}}}",
+            self.wiener_index,
+            self.seconds,
+            self.candidates,
+            match self.optimal {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            }
+        ));
+        out
     }
 }
 
@@ -414,14 +481,43 @@ impl ConnectorSolver for ExactSolver {
     }
 }
 
+/// How a [`QueryEngine`] holds its graph: borrowed (the library-embedding
+/// case, zero-cost) or shared ownership through an [`Arc`] (the serving
+/// case, where the engine must outlive the stack frame that built it).
+#[derive(Debug, Clone)]
+enum GraphStore<'g> {
+    Borrowed(&'g Graph),
+    Shared(Arc<Graph>),
+}
+
+impl GraphStore<'_> {
+    fn get(&self) -> &Graph {
+        match self {
+            GraphStore::Borrowed(g) => g,
+            GraphStore::Shared(g) => g,
+        }
+    }
+}
+
+/// A [`QueryEngine`] that owns its graph (`'static` — no borrowed data),
+/// built via [`QueryEngine::new_shared`] / [`QueryEngine::empty_shared`]
+/// from an `Arc<Graph>`. This is the handle long-lived serving code
+/// (`mwc_service`'s catalog) stores: it can be moved across threads,
+/// parked in a registry, and dropped independently of whoever loaded the
+/// graph.
+pub type OwnedEngine = QueryEngine<'static>;
+
 /// A per-graph query-serving engine: build once, answer many queries.
 ///
 /// Owns the string-keyed solver registry and the state worth amortizing
 /// across queries (see the [module docs](self)). Shareable across threads
 /// (`&QueryEngine` is `Send + Sync`); [`Self::solve_batch`] exploits that
-/// with scoped worker threads.
+/// with scoped worker threads. Engines either borrow their graph
+/// ([`Self::new`], the zero-cost embedding) or share ownership of it
+/// ([`Self::new_shared`], yielding an [`OwnedEngine`] free of borrowed
+/// data).
 pub struct QueryEngine<'g> {
-    graph: &'g Graph,
+    graph: GraphStore<'g>,
     solvers: Vec<Box<dyn ConnectorSolver + Send + Sync>>,
     shared: SharedState,
 }
@@ -429,8 +525,8 @@ pub struct QueryEngine<'g> {
 impl std::fmt::Debug for QueryEngine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryEngine")
-            .field("nodes", &self.graph.num_nodes())
-            .field("edges", &self.graph.num_edges())
+            .field("nodes", &self.graph().num_nodes())
+            .field("edges", &self.graph().num_edges())
             .field("solvers", &self.solver_names())
             .finish()
     }
@@ -441,31 +537,53 @@ impl<'g> QueryEngine<'g> {
     /// (`ws-q`, `ws-q-approx`, `ws-q+ls`, `exact`). Use
     /// `mwc_baselines::full_engine` for the paper's complete method table.
     pub fn new(graph: &'g Graph) -> Self {
-        let mut engine = Self::empty(graph);
-        engine
-            .register(Box::new(WsqSolver::default()))
-            .register(Box::new(ApproxWsqSolver::default()))
-            .register(Box::new(LocalSearchSolver::default()))
-            .register(Box::new(ExactSolver::default()));
-        engine
+        Self::with_store(GraphStore::Borrowed(graph), true)
     }
 
     /// An engine with an empty registry (register solvers yourself).
     pub fn empty(graph: &'g Graph) -> Self {
+        Self::with_store(GraphStore::Borrowed(graph), false)
+    }
+
+    /// An [`OwnedEngine`] sharing ownership of `graph`, with this crate's
+    /// solvers registered. Unlike [`Self::new`], the result carries no
+    /// borrowed data, so it can outlive the caller's frame — the shape a
+    /// serving catalog needs. The `Arc` is cloned freely: callers keep
+    /// their handle to the same graph.
+    pub fn new_shared(graph: Arc<Graph>) -> OwnedEngine {
+        QueryEngine::with_store(GraphStore::Shared(graph), true)
+    }
+
+    /// An [`OwnedEngine`] sharing ownership of `graph`, with an empty
+    /// registry.
+    pub fn empty_shared(graph: Arc<Graph>) -> OwnedEngine {
+        QueryEngine::with_store(GraphStore::Shared(graph), false)
+    }
+
+    fn with_store(graph: GraphStore<'g>, with_solvers: bool) -> Self {
         let approx_defaults = ApproxWsqConfig::default();
-        QueryEngine {
+        let degree = centrality::degree_centrality(graph.get());
+        let mut engine = QueryEngine {
             graph,
             solvers: Vec::new(),
             shared: SharedState {
                 pool: WorkspacePool::new(),
-                degree: centrality::degree_centrality(graph),
+                degree,
                 betweenness: OnceLock::new(),
                 oracle: OnceLock::new(),
                 landmarks: approx_defaults.landmarks,
                 landmark_strategy: approx_defaults.strategy,
                 oracle_seed: 0x5EED,
             },
+        };
+        if with_solvers {
+            engine
+                .register(Box::new(WsqSolver::default()))
+                .register(Box::new(ApproxWsqSolver::default()))
+                .register(Box::new(LocalSearchSolver::default()))
+                .register(Box::new(ExactSolver::default()));
         }
+        engine
     }
 
     /// Configures the shared landmark oracle that `ws-q-approx` (and any
@@ -490,8 +608,8 @@ impl<'g> QueryEngine<'g> {
     }
 
     /// Registers `solver` under [`ConnectorSolver::name`], replacing any
-    /// earlier registration of the same name in place (so registration
-    /// order — which [`Self::solver_names`] preserves — is stable).
+    /// earlier registration of the same name ([`Self::solver_names`]
+    /// reports the registry sorted, so registration order never shows).
     pub fn register(&mut self, solver: Box<dyn ConnectorSolver + Send + Sync>) -> &mut Self {
         match self.solvers.iter().position(|s| s.name() == solver.name()) {
             Some(i) => self.solvers[i] = solver,
@@ -501,13 +619,27 @@ impl<'g> QueryEngine<'g> {
     }
 
     /// The graph this engine serves.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
     }
 
-    /// Registered solver names, in registration order.
+    /// The shared graph handle, when the engine was built with
+    /// [`Self::new_shared`] / [`Self::empty_shared`]; `None` for borrowing
+    /// engines.
+    pub fn graph_shared(&self) -> Option<Arc<Graph>> {
+        match &self.graph {
+            GraphStore::Borrowed(_) => None,
+            GraphStore::Shared(g) => Some(Arc::clone(g)),
+        }
+    }
+
+    /// Registered solver names, deterministically sorted (lexicographic),
+    /// independent of registration order — stable for wire protocols and
+    /// test expectations.
     pub fn solver_names(&self) -> Vec<&str> {
-        self.solvers.iter().map(|s| s.name()).collect()
+        let mut names: Vec<&str> = self.solvers.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names
     }
 
     /// Looks up a solver by registry name.
@@ -518,7 +650,7 @@ impl<'g> QueryEngine<'g> {
             .map(|s| s.as_ref())
             .ok_or_else(|| CoreError::UnknownSolver {
                 requested: name.to_string(),
-                available: self.solvers.iter().map(|s| s.name().to_string()).collect(),
+                available: self.solver_names().iter().map(|s| s.to_string()).collect(),
             })
     }
 
@@ -526,7 +658,7 @@ impl<'g> QueryEngine<'g> {
     /// (for driving a [`ConnectorSolver`] by hand; [`Self::solve`] does
     /// this internally).
     pub fn context(&self, options: QueryOptions) -> QueryContext<'_> {
-        QueryContext::new(self.graph, &self.shared, options, false)
+        QueryContext::new(self.graph.get(), &self.shared, options, false)
     }
 
     /// Solves one query with the named solver and default options.
@@ -554,7 +686,12 @@ impl<'g> QueryEngine<'g> {
         prefer_sequential: bool,
     ) -> Result<SolveReport> {
         let s = self.solver(solver)?;
-        let ctx = QueryContext::new(self.graph, &self.shared, options.clone(), prefer_sequential);
+        let ctx = QueryContext::new(
+            self.graph.get(),
+            &self.shared,
+            options.clone(),
+            prefer_sequential,
+        );
         let start = Instant::now();
         let mut report = s.solve(&ctx, q)?;
         report.seconds = start.elapsed().as_secs_f64();
@@ -646,13 +783,55 @@ mod tests {
     use mwc_graph::generators::structured;
 
     #[test]
-    fn registry_lists_core_solvers_in_order() {
+    fn registry_lists_core_solvers_sorted() {
         let g = karate_club();
         let engine = QueryEngine::new(&g);
+        // Deterministically sorted, independent of registration order.
         assert_eq!(
             engine.solver_names(),
-            vec!["ws-q", "ws-q-approx", "ws-q+ls", "exact"]
+            vec!["exact", "ws-q", "ws-q+ls", "ws-q-approx"]
         );
+    }
+
+    #[test]
+    fn shared_engine_outlives_its_builder_frame() {
+        let engine: OwnedEngine = {
+            let g = Arc::new(karate_club());
+            let e = QueryEngine::new_shared(Arc::clone(&g));
+            assert_eq!(e.graph_shared().unwrap().num_nodes(), g.num_nodes());
+            e
+        }; // `g` dropped here: the engine keeps the graph alive.
+        let q = [11u32, 24, 25, 29];
+        let owned = engine.solve("ws-q", &q).unwrap();
+        let g = karate_club();
+        let borrowed = QueryEngine::new(&g).solve("ws-q", &q).unwrap();
+        assert_eq!(
+            owned.connector.vertices(),
+            borrowed.connector.vertices(),
+            "shared and borrowed engines answer identically"
+        );
+        assert_eq!(owned.wiener_index, borrowed.wiener_index);
+        assert!(QueryEngine::new(&g).graph_shared().is_none());
+        // The owned engine crosses threads.
+        std::thread::spawn(move || engine.solve("ws-q", &[0, 33]).unwrap())
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn report_rendering_is_uniform() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let report = engine.solve("exact", &[0, 1]).unwrap();
+        let text = report.render_text();
+        assert!(text.starts_with("exact: W = "), "{text}");
+        assert!(text.contains("optimal"), "{text}");
+        let json = report.to_json();
+        assert!(json.starts_with("{\"solver\":\"exact\""), "{json}");
+        assert!(json.contains("\"optimal\":true"), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+        let approx = engine.solve("ws-q", &[0, 33]).unwrap();
+        assert!(approx.to_json().contains("\"optimal\":null"));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub enum CoreError {
     UnknownSolver {
         /// The requested registry key.
         requested: String,
-        /// The registered keys, in registration order.
+        /// The registered keys, deterministically sorted.
         available: Vec<String>,
     },
     /// The solution exceeded the size budget set via

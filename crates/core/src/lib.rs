@@ -66,7 +66,9 @@ pub mod wsq;
 pub mod wsq_approx;
 
 pub use connector::Connector;
-pub use engine::{ConnectorSolver, QueryContext, QueryEngine, QueryOptions, SolveReport};
+pub use engine::{
+    ConnectorSolver, OwnedEngine, QueryContext, QueryEngine, QueryOptions, SolveReport,
+};
 pub use error::{CoreError, Result};
 pub use ilp_solve::{program6_exact, program7_bounds, Program7Bounds, Program7Config};
 pub use steiner::{mehlhorn_steiner, SteinerTree};

@@ -1,0 +1,163 @@
+//! `mwc-client` — command-line client for `mwc-server`.
+//!
+//! ```text
+//! mwc-client ADDR solve GRAPH SOLVER V,V,...  [--deadline-ms N]
+//!                                             [--max-size N] [--json]
+//! mwc-client ADDR batch GRAPH SOLVER V,V/V,V/... [--deadline-ms N] [--json]
+//! mwc-client ADDR graphs
+//! mwc-client ADDR stats
+//! mwc-client ADDR load NAME SPEC
+//! mwc-client ADDR evict NAME
+//! mwc-client ADDR ping
+//! mwc-client ADDR shutdown
+//! ```
+//!
+//! Reports print through `SolveReport`'s uniform renderers: the
+//! one-line human form by default, the JSON object form with `--json`.
+
+use std::process::ExitCode;
+
+use mwc_core::SolveReport;
+use mwc_graph::NodeId;
+use mwc_service::{Client, WireReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mwc-client ADDR <solve GRAPH SOLVER V,V,.. | batch GRAPH SOLVER V,V/V,V/.. |\n\
+         \x20                 graphs | stats | load NAME SPEC | evict NAME | ping | shutdown>\n\
+         \x20      [--deadline-ms N] [--max-size N] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_query(text: &str) -> Vec<NodeId> {
+    text.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.trim().parse().unwrap_or_else(|_| {
+                eprintln!("bad vertex id {t:?}");
+                usage()
+            })
+        })
+        .collect()
+}
+
+/// Re-inflate the wire report into a [`SolveReport`] so both output
+/// modes go through the core renderers instead of ad-hoc formatting.
+fn print_report(graph: &str, r: &WireReport, json: bool) {
+    let report = SolveReport {
+        solver: r.solver.clone(),
+        connector: mwc_core::Connector::from_vertices(r.connector.clone()),
+        wiener_index: r.wiener_index,
+        seconds: r.seconds,
+        candidates: r.candidates,
+        optimal: r.optimal,
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("[{graph}] {}", report.render_text());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_size: Option<usize> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = args.get(i).and_then(|v| v.parse().ok());
+                if deadline_ms.is_none() {
+                    usage();
+                }
+            }
+            "--max-size" => {
+                i += 1;
+                max_size = args.get(i).and_then(|v| v.parse().ok());
+                if max_size.is_none() {
+                    usage();
+                }
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    if positional.len() < 2 {
+        usage();
+    }
+    let addr = positional[0];
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = (|| -> mwc_service::client::Result<()> {
+        match positional[1] {
+            "solve" if positional.len() == 5 => {
+                let (graph, solver) = (positional[2], positional[3]);
+                let q = parse_query(positional[4]);
+                let r = client.solve(graph, solver, &q, deadline_ms, max_size)?;
+                print_report(graph, &r, json);
+            }
+            "batch" if positional.len() == 5 => {
+                let (graph, solver) = (positional[2], positional[3]);
+                let queries: Vec<Vec<NodeId>> = positional[4].split('/').map(parse_query).collect();
+                let results = client.batch(graph, solver, &queries, deadline_ms, max_size)?;
+                for (q, r) in queries.iter().zip(results) {
+                    match r {
+                        Ok(report) => print_report(graph, &report, json),
+                        Err(e) => eprintln!("[{graph}] query {q:?} failed: {e}"),
+                    }
+                }
+            }
+            "graphs" => {
+                for g in client.graphs()? {
+                    println!(
+                        "{:<16} {:>9} nodes {:>10} edges  source {}  solvers [{}]",
+                        g.name,
+                        g.nodes,
+                        g.edges,
+                        g.source,
+                        g.solvers.join(", ")
+                    );
+                }
+            }
+            "stats" => println!("{}", client.stats()?),
+            "load" if positional.len() == 4 => {
+                let (nodes, edges) = client.load(positional[2], positional[3])?;
+                println!("loaded {} ({nodes} nodes, {edges} edges)", positional[2]);
+            }
+            "evict" if positional.len() == 3 => {
+                println!("evicted: {}", client.evict(positional[2])?);
+            }
+            "ping" => {
+                client.ping()?;
+                println!("pong");
+            }
+            "shutdown" => {
+                client.shutdown()?;
+                println!("server draining");
+            }
+            _ => usage(),
+        }
+        Ok(())
+    })();
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

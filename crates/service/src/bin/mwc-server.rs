@@ -1,0 +1,100 @@
+//! `mwc-server` — serve Minimum Wiener Connector queries over TCP.
+//!
+//! ```text
+//! mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N]
+//!            [--queue N]
+//!
+//!   --listen ADDR     bind address (default 127.0.0.1:7171)
+//!   --graph NAME=SPEC load a graph at startup; repeatable. SPEC is
+//!                     karate | standin:<name>[@scale] | file:<path> |
+//!                     ba:<n>x<k>   (default: karate=karate)
+//!   --workers N       solver worker threads (default: cores, max 8)
+//!   --queue N         admission queue capacity (default 64)
+//! ```
+//!
+//! The process serves until a protocol `shutdown` command arrives
+//! (`mwc-client <addr> shutdown`), then drains in-flight work and exits.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mwc_service::{server, Catalog, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N] [--queue N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut listen = "127.0.0.1:7171".to_string();
+    let mut graphs: Vec<(String, String)> = Vec::new();
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => listen = value("--listen"),
+            "--graph" => {
+                let spec = value("--graph");
+                match spec.split_once('=') {
+                    Some((name, source)) => graphs.push((name.to_string(), source.to_string())),
+                    None => {
+                        eprintln!("--graph expects NAME=SPEC, got {spec:?}");
+                        usage();
+                    }
+                }
+            }
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => {
+                config.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if graphs.is_empty() {
+        graphs.push(("karate".to_string(), "karate".to_string()));
+    }
+
+    let catalog = Arc::new(Catalog::new());
+    for (name, spec) in &graphs {
+        eprint!("loading {name} from {spec} ... ");
+        match catalog.load(name, spec) {
+            Ok(entry) => eprintln!(
+                "{} nodes, {} edges, engine ready",
+                entry.graph.num_nodes(),
+                entry.graph.num_edges()
+            ),
+            Err(e) => {
+                eprintln!("failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let handle = match server::start(catalog, config, listen.as_str()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "mwc-server listening on {} ({} graphs); stop with: mwc-client {} shutdown",
+        handle.local_addr(),
+        handle.catalog().len(),
+        handle.local_addr()
+    );
+    handle.wait();
+    eprintln!("mwc-server: drained and stopped");
+    ExitCode::SUCCESS
+}

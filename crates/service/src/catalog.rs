@@ -1,0 +1,330 @@
+//! The graph catalog: named graphs, each with an engine built once.
+//!
+//! A serving process holds many graphs (the paper's deployments are
+//! per-dataset: a social graph, a PPI network, …) and answers queries
+//! against any of them by name. The catalog owns one
+//! [`OwnedEngine`](mwc_core::OwnedEngine) per graph — built when the
+//! graph is loaded, so the per-graph state (BFS workspace pool, degree
+//! vector, landmark oracle) is amortized across every request the server
+//! will ever answer for it.
+//!
+//! Access is read-mostly: lookups clone an `Arc` under a briefly held
+//! read lock; loads build the graph and engine *outside* the lock and
+//! only take the write lock to publish, so serving traffic never stalls
+//! behind a multi-second load.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::sync::{Arc, RwLock};
+
+use mwc_baselines::full_engine_shared;
+use mwc_core::OwnedEngine;
+use mwc_graph::generators::barabasi_albert::barabasi_albert;
+use mwc_graph::generators::karate::karate_club;
+use mwc_graph::io::read_edge_list;
+use mwc_graph::Graph;
+use rand::SeedableRng;
+
+use crate::error::{Result, ServiceError};
+
+/// Where a cataloged graph comes from. Parsed from the spec strings the
+/// server takes on its command line and in `load` requests:
+///
+/// | spec                    | meaning                                           |
+/// |-------------------------|---------------------------------------------------|
+/// | `karate`                | Zachary's karate club (Figure 1)                  |
+/// | `standin:jazz`          | a Table 1 stand-in at full size                   |
+/// | `standin:dblp@0.01`     | the same, node count scaled by the factor         |
+/// | `file:/path/edges.txt`  | SNAP-style edge list (`u v` per line, `#` comments) |
+/// | `ba:5000x4`             | Barabási–Albert, 5000 nodes, 4 edges per arrival  |
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    /// Zachary's karate club.
+    Karate,
+    /// A `mwc_datasets::realworld` stand-in, with a node-count scale.
+    StandIn {
+        /// Paper dataset name (`jazz`, `dblp`, …).
+        name: String,
+        /// Node-count scale in `(0, 1]`.
+        scale: f64,
+    },
+    /// An edge-list file on disk.
+    File(String),
+    /// A deterministic Barabási–Albert graph (seeded by the spec itself).
+    BarabasiAlbert {
+        /// Node count.
+        n: usize,
+        /// Edges per arriving node.
+        k: usize,
+    },
+}
+
+impl GraphSource {
+    /// Parses a spec string (see the table in the type docs).
+    pub fn parse(spec: &str) -> Result<GraphSource> {
+        let bad = |m: String| ServiceError::BadSource(m);
+        if spec == "karate" {
+            return Ok(GraphSource::Karate);
+        }
+        if let Some(rest) = spec.strip_prefix("standin:") {
+            let (name, scale) = match rest.split_once('@') {
+                Some((name, s)) => {
+                    let scale: f64 = s
+                        .parse()
+                        .map_err(|_| bad(format!("bad scale {s:?} in {spec:?}")))?;
+                    if !(scale > 0.0 && scale <= 1.0) {
+                        return Err(bad(format!("scale must be in (0, 1], got {scale}")));
+                    }
+                    (name, scale)
+                }
+                None => (rest, 1.0),
+            };
+            if mwc_datasets::realworld::spec(name).is_none() {
+                return Err(bad(format!(
+                    "unknown stand-in {name:?} (see mwc_datasets::STAND_INS)"
+                )));
+            }
+            return Ok(GraphSource::StandIn {
+                name: name.to_string(),
+                scale,
+            });
+        }
+        if let Some(path) = spec.strip_prefix("file:") {
+            return Ok(GraphSource::File(path.to_string()));
+        }
+        if let Some(rest) = spec.strip_prefix("ba:") {
+            let (n, k) = rest
+                .split_once('x')
+                .ok_or_else(|| bad(format!("expected ba:<nodes>x<k>, got {spec:?}")))?;
+            let n: usize = n
+                .parse()
+                .map_err(|_| bad(format!("bad node count {n:?}")))?;
+            let k: usize = k.parse().map_err(|_| bad(format!("bad degree {k:?}")))?;
+            if n < 2 || k == 0 {
+                return Err(bad("ba graph needs n >= 2 and k >= 1".to_string()));
+            }
+            return Ok(GraphSource::BarabasiAlbert { n, k });
+        }
+        Err(bad(format!(
+            "unrecognized source {spec:?} (expected karate | standin:<name>[@scale] | \
+             file:<path> | ba:<n>x<k>)"
+        )))
+    }
+
+    /// Materializes the graph. Deterministic for every non-`file` source.
+    pub fn build(&self) -> Result<Graph> {
+        match self {
+            GraphSource::Karate => Ok(karate_club()),
+            GraphSource::StandIn { name, scale } => {
+                let sg = mwc_datasets::standin_scaled(name, *scale)
+                    .ok_or_else(|| ServiceError::BadSource(format!("unknown stand-in {name:?}")))?;
+                Ok(sg.graph)
+            }
+            GraphSource::File(path) => {
+                let reader = BufReader::new(File::open(path)?);
+                let loaded = read_edge_list(reader)
+                    .map_err(|e| ServiceError::BadSource(format!("{path}: {e}")))?;
+                Ok(loaded.graph)
+            }
+            GraphSource::BarabasiAlbert { n, k } => {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(0xBA ^ (*n as u64) ^ ((*k as u64) << 32));
+                Ok(barabasi_albert(*n, *k, &mut rng))
+            }
+        }
+    }
+}
+
+/// One loaded graph: its name, provenance, shared graph handle, and the
+/// engine serving it. Handed out as an `Arc` so requests keep a
+/// consistent view even if the entry is concurrently evicted or
+/// replaced.
+#[derive(Debug)]
+pub struct CatalogEntry {
+    /// Catalog name (the key requests use).
+    pub name: String,
+    /// The spec string this entry was loaded from.
+    pub source: String,
+    /// Shared ownership of the graph.
+    pub graph: Arc<Graph>,
+    /// The engine, with the full method table registered.
+    pub engine: OwnedEngine,
+}
+
+/// A named collection of loaded graphs with their engines.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: RwLock<HashMap<String, Arc<CatalogEntry>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads `spec` under `name`, replacing any previous entry of that
+    /// name. Graph generation and engine construction run outside the
+    /// lock; only the publish takes the write lock. Returns the new
+    /// entry.
+    pub fn load(&self, name: &str, spec: &str) -> Result<Arc<CatalogEntry>> {
+        if name.is_empty() {
+            return Err(ServiceError::BadSource("empty graph name".to_string()));
+        }
+        let source = GraphSource::parse(spec)?;
+        let graph = Arc::new(source.build()?);
+        let engine = full_engine_shared(Arc::clone(&graph));
+        let entry = Arc::new(CatalogEntry {
+            name: name.to_string(),
+            source: spec.to_string(),
+            graph,
+            engine,
+        });
+        self.entries
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks up a graph by name, or reports which names are loaded.
+    pub fn get(&self, name: &str) -> Result<Arc<CatalogEntry>> {
+        let entries = self.entries.read().expect("catalog lock poisoned");
+        entries
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownGraph {
+                requested: name.to_string(),
+                loaded: {
+                    let mut names: Vec<String> = entries.keys().cloned().collect();
+                    names.sort_unstable();
+                    names
+                },
+            })
+    }
+
+    /// Removes an entry; `true` if it existed. In-flight requests holding
+    /// the entry's `Arc` finish normally — eviction only stops new
+    /// lookups.
+    pub fn evict(&self, name: &str) -> bool {
+        self.entries
+            .write()
+            .expect("catalog lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// All entries, sorted by name.
+    pub fn list(&self) -> Vec<Arc<CatalogEntry>> {
+        let mut entries: Vec<Arc<CatalogEntry>> = self
+            .entries
+            .read()
+            .expect("catalog lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Number of loaded graphs.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("catalog lock poisoned").len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_specs() {
+        assert_eq!(GraphSource::parse("karate").unwrap(), GraphSource::Karate);
+        assert_eq!(
+            GraphSource::parse("standin:jazz").unwrap(),
+            GraphSource::StandIn {
+                name: "jazz".into(),
+                scale: 1.0
+            }
+        );
+        assert_eq!(
+            GraphSource::parse("standin:dblp@0.01").unwrap(),
+            GraphSource::StandIn {
+                name: "dblp".into(),
+                scale: 0.01
+            }
+        );
+        assert_eq!(
+            GraphSource::parse("file:/tmp/x.txt").unwrap(),
+            GraphSource::File("/tmp/x.txt".into())
+        );
+        assert_eq!(
+            GraphSource::parse("ba:500x3").unwrap(),
+            GraphSource::BarabasiAlbert { n: 500, k: 3 }
+        );
+        for bad in [
+            "",
+            "nope",
+            "standin:atlantis",
+            "standin:jazz@0",
+            "standin:jazz@2",
+            "ba:10",
+            "ba:ax2",
+        ] {
+            assert!(GraphSource::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn load_get_evict_roundtrip() {
+        let catalog = Catalog::new();
+        assert!(catalog.is_empty());
+        let entry = catalog.load("karate", "karate").unwrap();
+        assert_eq!(entry.graph.num_nodes(), 34);
+        assert!(entry.engine.solver_names().contains(&"ws-q"));
+        catalog.load("toy", "ba:200x2").unwrap();
+        assert_eq!(catalog.len(), 2);
+        let names: Vec<String> = catalog.list().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["karate", "toy"]);
+
+        let got = catalog.get("karate").unwrap();
+        assert!(Arc::ptr_eq(&got, &entry));
+        match catalog.get("missing").unwrap_err() {
+            ServiceError::UnknownGraph { requested, loaded } => {
+                assert_eq!(requested, "missing");
+                assert_eq!(loaded, vec!["karate", "toy"]);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+
+        assert!(catalog.evict("toy"));
+        assert!(!catalog.evict("toy"));
+        assert_eq!(catalog.len(), 1);
+        // The held Arc keeps serving after eviction.
+        assert!(got.engine.solve("ws-q", &[0, 33]).is_ok());
+    }
+
+    #[test]
+    fn standin_scales_and_serves() {
+        let catalog = Catalog::new();
+        let entry = catalog.load("mini-email", "standin:email@0.1").unwrap();
+        assert!(entry.graph.num_nodes() >= 64);
+        assert!(entry.graph.num_nodes() < 400);
+        let report = entry.engine.solve("st", &[0, 1, 2]).unwrap();
+        assert!(report.connector.contains_all(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let a = GraphSource::parse("ba:300x2").unwrap().build().unwrap();
+        let b = GraphSource::parse("ba:300x2").unwrap().build().unwrap();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,374 @@
+//! A blocking protocol client: one TCP connection, request/response in
+//! lockstep. Used by the `mwc-client` binary, the load generator, and
+//! the integration tests.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use mwc_graph::NodeId;
+
+use crate::json::{parse, Json};
+
+/// A server-reported error: the wire `code` plus its human message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Stable machine-readable code (`overloaded`, `unknown_graph`, …).
+    pub code: String,
+    /// Human-oriented description.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server's response line was not a valid protocol response.
+    Protocol(String),
+    /// The server answered with `"ok": false`.
+    Server(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Convenience alias for client results.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// The client-side view of a [`SolveReport`](mwc_core::SolveReport), as
+/// decoded from the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReport {
+    /// Solver registry name.
+    pub solver: String,
+    /// Connector vertex set (sorted, as the server's `Connector` keeps it).
+    pub connector: Vec<NodeId>,
+    /// Exact Wiener index of the connector.
+    pub wiener_index: u64,
+    /// Server-side solve seconds.
+    pub seconds: f64,
+    /// Candidates inspected.
+    pub candidates: u64,
+    /// Optimality certificate, when the solver provides one.
+    pub optimal: Option<bool>,
+}
+
+impl WireReport {
+    /// Decodes the `"report"` wire object.
+    pub fn from_json(v: &Json) -> Result<WireReport> {
+        let get = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| ClientError::Protocol(format!("report missing {k:?}")))
+        };
+        let connector = get("connector")?
+            .as_array()
+            .ok_or_else(|| ClientError::Protocol("connector must be an array".into()))?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .and_then(|id| NodeId::try_from(id).ok())
+                    .ok_or_else(|| ClientError::Protocol("bad vertex id in connector".into()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(WireReport {
+            solver: get("solver")?
+                .as_str()
+                .ok_or_else(|| ClientError::Protocol("solver must be a string".into()))?
+                .to_string(),
+            connector,
+            wiener_index: get("wiener_index")?
+                .as_u64()
+                .ok_or_else(|| ClientError::Protocol("bad wiener_index".into()))?,
+            seconds: get("seconds")?
+                .as_f64()
+                .ok_or_else(|| ClientError::Protocol("bad seconds".into()))?,
+            candidates: get("candidates")?.as_u64().unwrap_or(0),
+            optimal: match get("optimal")? {
+                Json::Null => None,
+                Json::Bool(b) => Some(*b),
+                _ => return Err(ClientError::Protocol("bad optimal".into())),
+            },
+        })
+    }
+}
+
+/// One cataloged graph, as listed by the `graphs` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphInfo {
+    /// Catalog name.
+    pub name: String,
+    /// Source spec it was loaded from.
+    pub source: String,
+    /// Vertex count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Registered solver names (sorted).
+    pub solvers: Vec<String>,
+}
+
+/// A blocking connection to an `mwc-server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    pub fn roundtrip_line(&mut self, line: &str) -> Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a response arrived".into(),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Sends a request object (an `id` is attached automatically) and
+    /// returns the decoded success payload, or the server's error.
+    pub fn request(&mut self, mut fields: Vec<(&'static str, Json)>) -> Result<Json> {
+        self.next_id += 1;
+        let id = self.next_id;
+        fields.push(("id", Json::from(id)));
+        let response = self.roundtrip_line(&Json::obj(fields).to_string())?;
+        let v = parse(response.trim())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        if v.get("id").and_then(Json::as_u64) != Some(id) {
+            return Err(ClientError::Protocol(format!(
+                "response id mismatch (want {id}): {}",
+                response.trim()
+            )));
+        }
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => {
+                let err = v.get("error").cloned().unwrap_or(Json::Null);
+                Err(ClientError::Server(WireError {
+                    code: err
+                        .get("code")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    message: err
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                }))
+            }
+            None => Err(ClientError::Protocol(format!(
+                "response missing \"ok\": {}",
+                response.trim()
+            ))),
+        }
+    }
+
+    fn solve_fields(
+        cmd: &'static str,
+        graph: &str,
+        solver: &str,
+        deadline_ms: Option<u64>,
+        max_size: Option<usize>,
+    ) -> Vec<(&'static str, Json)> {
+        let mut fields = vec![
+            ("cmd", Json::from(cmd)),
+            ("graph", Json::from(graph)),
+            ("solver", Json::from(solver)),
+        ];
+        if let Some(d) = deadline_ms {
+            fields.push(("deadline_ms", Json::from(d)));
+        }
+        if let Some(m) = max_size {
+            fields.push(("max_size", Json::from(m)));
+        }
+        fields
+    }
+
+    /// Solves one query.
+    pub fn solve(
+        &mut self,
+        graph: &str,
+        solver: &str,
+        q: &[NodeId],
+        deadline_ms: Option<u64>,
+        max_size: Option<usize>,
+    ) -> Result<WireReport> {
+        let mut fields = Self::solve_fields("solve", graph, solver, deadline_ms, max_size);
+        fields.push((
+            "q",
+            Json::Arr(q.iter().map(|&v| Json::from(u64::from(v))).collect()),
+        ));
+        let v = self.request(fields)?;
+        WireReport::from_json(
+            v.get("report")
+                .ok_or_else(|| ClientError::Protocol("response missing report".into()))?,
+        )
+    }
+
+    /// Solves a batch; per-query failures come back in place.
+    pub fn batch(
+        &mut self,
+        graph: &str,
+        solver: &str,
+        queries: &[Vec<NodeId>],
+        deadline_ms: Option<u64>,
+        max_size: Option<usize>,
+    ) -> Result<Vec<std::result::Result<WireReport, WireError>>> {
+        let mut fields = Self::solve_fields("batch", graph, solver, deadline_ms, max_size);
+        fields.push((
+            "queries",
+            Json::Arr(
+                queries
+                    .iter()
+                    .map(|q| Json::Arr(q.iter().map(|&v| Json::from(u64::from(v))).collect()))
+                    .collect(),
+            ),
+        ));
+        let v = self.request(fields)?;
+        let reports = v
+            .get("reports")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("response missing reports".into()))?;
+        reports
+            .iter()
+            .map(|r| match r.get("error") {
+                Some(e) => Ok(Err(WireError {
+                    code: e
+                        .get("code")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    message: e
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                })),
+                None => WireReport::from_json(r).map(Ok),
+            })
+            .collect()
+    }
+
+    /// Fetches the metrics snapshot.
+    pub fn stats(&mut self) -> Result<Json> {
+        let v = self.request(vec![("cmd", Json::from("stats"))])?;
+        v.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("response missing stats".into()))
+    }
+
+    /// Lists cataloged graphs.
+    pub fn graphs(&mut self) -> Result<Vec<GraphInfo>> {
+        let v = self.request(vec![("cmd", Json::from("graphs"))])?;
+        let arr = v
+            .get("graphs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("response missing graphs".into()))?;
+        arr.iter()
+            .map(|g| {
+                Ok(GraphInfo {
+                    name: g
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    source: g
+                        .get("source")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    nodes: g.get("nodes").and_then(Json::as_u64).unwrap_or(0) as usize,
+                    edges: g.get("edges").and_then(Json::as_u64).unwrap_or(0) as usize,
+                    solvers: g
+                        .get("solvers")
+                        .and_then(Json::as_array)
+                        .map(|s| {
+                            s.iter()
+                                .filter_map(Json::as_str)
+                                .map(str::to_string)
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                })
+            })
+            .collect()
+    }
+
+    /// Loads a graph into the server's catalog.
+    pub fn load(&mut self, name: &str, source: &str) -> Result<(usize, usize)> {
+        let v = self.request(vec![
+            ("cmd", Json::from("load")),
+            ("name", Json::from(name)),
+            ("source", Json::from(source)),
+        ])?;
+        Ok((
+            v.get("nodes").and_then(Json::as_u64).unwrap_or(0) as usize,
+            v.get("edges").and_then(Json::as_u64).unwrap_or(0) as usize,
+        ))
+    }
+
+    /// Evicts a graph; `true` if it was loaded.
+    pub fn evict(&mut self, name: &str) -> Result<bool> {
+        let v = self.request(vec![
+            ("cmd", Json::from("evict")),
+            ("name", Json::from(name)),
+        ])?;
+        Ok(v.get("evicted").and_then(Json::as_bool).unwrap_or(false))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.request(vec![("cmd", Json::from("ping"))]).map(|_| ())
+    }
+
+    /// Burns worker CPU (testing/calibration).
+    pub fn burn(&mut self, ms: u64) -> Result<()> {
+        self.request(vec![("cmd", Json::from("burn")), ("ms", Json::from(ms))])
+            .map(|_| ())
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.request(vec![("cmd", Json::from("shutdown"))])
+            .map(|_| ())
+    }
+}

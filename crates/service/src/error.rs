@@ -1,0 +1,161 @@
+//! Service-level errors and their wire-protocol error codes.
+
+use std::fmt;
+
+use mwc_core::CoreError;
+
+/// Convenience alias for `Result<T, ServiceError>`.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+/// Everything that can go wrong between reading a request line and
+/// writing its response. Each variant maps to a stable wire `code` (see
+/// [`ServiceError::code`]) so clients can branch without parsing
+/// human-oriented messages.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The request line was not valid JSON, or was missing/mistyping a
+    /// required field.
+    BadRequest(String),
+    /// The request named a graph the catalog has not loaded.
+    UnknownGraph {
+        /// The requested catalog name.
+        requested: String,
+        /// Names currently loaded, sorted.
+        loaded: Vec<String>,
+    },
+    /// A graph source spec failed to parse or load.
+    BadSource(String),
+    /// The admission queue was full: the server sheds the request instead
+    /// of letting latency collapse for everyone.
+    Overloaded {
+        /// Configured queue capacity that was exhausted.
+        queue_capacity: usize,
+    },
+    /// The server is at its concurrent-connection limit; the connection
+    /// is refused after one error line. Same wire code as
+    /// [`ServiceError::Overloaded`] (`overloaded`) — clients back off
+    /// identically.
+    TooManyConnections {
+        /// Configured connection limit that was reached.
+        limit: usize,
+    },
+    /// The request's deadline expired while it was still queued, so the
+    /// solve was never started.
+    DeadlineExceeded {
+        /// Milliseconds the request spent queued before being dropped.
+        queued_ms: u64,
+    },
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// An error from the solving layer (unknown solver, infeasible query,
+    /// budget exceeded, …).
+    Core(CoreError),
+    /// An I/O failure while loading a graph from disk.
+    Io(std::io::Error),
+}
+
+impl ServiceError {
+    /// The stable machine-readable error code carried in error responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::UnknownGraph { .. } => "unknown_graph",
+            ServiceError::BadSource(_) => "bad_source",
+            ServiceError::Overloaded { .. } | ServiceError::TooManyConnections { .. } => {
+                "overloaded"
+            }
+            ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::Core(e) => match e {
+                CoreError::UnknownSolver { .. } => "unknown_solver",
+                CoreError::BudgetExceeded { .. } => "budget_exceeded",
+                CoreError::EmptyQuery
+                | CoreError::QueryNotConnectable
+                | CoreError::Graph(_)
+                | CoreError::UnsupportedInstance { .. } => "infeasible",
+                _ => "internal",
+            },
+            ServiceError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::UnknownGraph { requested, loaded } => write!(
+                f,
+                "no graph loaded under {requested:?} (loaded: {})",
+                loaded.join(", ")
+            ),
+            ServiceError::BadSource(m) => write!(f, "bad graph source: {m}"),
+            ServiceError::Overloaded { queue_capacity } => write!(
+                f,
+                "server overloaded: admission queue of {queue_capacity} is full"
+            ),
+            ServiceError::TooManyConnections { limit } => {
+                write!(f, "server overloaded: connection limit {limit} reached")
+            }
+            ServiceError::DeadlineExceeded { queued_ms } => write!(
+                f,
+                "deadline expired after {queued_ms} ms in the queue; solve not started"
+            ),
+            ServiceError::ShuttingDown => write!(f, "server is shutting down"),
+            ServiceError::Core(e) => write!(f, "{e}"),
+            ServiceError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(ServiceError::BadRequest("x".into()).code(), "bad_request");
+        assert_eq!(
+            ServiceError::Overloaded { queue_capacity: 4 }.code(),
+            "overloaded"
+        );
+        assert_eq!(
+            ServiceError::Core(CoreError::EmptyQuery).code(),
+            "infeasible"
+        );
+        assert_eq!(
+            ServiceError::Core(CoreError::UnknownSolver {
+                requested: "x".into(),
+                available: vec![],
+            })
+            .code(),
+            "unknown_solver"
+        );
+        assert_eq!(
+            ServiceError::Core(CoreError::BudgetExceeded { size: 9, budget: 4 }).code(),
+            "budget_exceeded"
+        );
+    }
+}

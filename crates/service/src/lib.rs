@@ -1,0 +1,66 @@
+//! The serving subsystem: many graphs, one process, heavy query traffic.
+//!
+//! The paper's deployment story (§1, §7) is interactive — a fixed graph
+//! answers a stream of small "connect this group" requests — which is the
+//! shape of a query-serving system, not a batch experiment. This crate
+//! turns the library-only [`QueryEngine`](mwc_core::QueryEngine) into
+//! that system:
+//!
+//! * [`catalog`] — named graphs loaded once, each with an
+//!   [`OwnedEngine`](mwc_core::OwnedEngine) (`Arc<Graph>`-backed, no
+//!   borrowed data) so engines live as long as the process, not a stack
+//!   frame;
+//! * [`protocol`] — a newline-delimited JSON wire protocol
+//!   (hand-rolled [`json`] — the workspace has no serde) with
+//!   per-request ids, deadlines, and stable error codes;
+//! * [`server`] — a std-only TCP server: acceptor, per-connection
+//!   readers, a fixed worker pool behind a *bounded* admission queue
+//!   (full queue ⇒ explicit `overloaded` response), end-to-end deadline
+//!   accounting, graceful drain on shutdown;
+//! * [`metrics`] — request counters, queue gauges, and per-solver log₂
+//!   latency histograms, served by the `stats` command;
+//! * [`client`] — a blocking client used by `mwc-client`, the load
+//!   generator (`mwc_bench`'s `loadgen`), and the integration tests.
+//!
+//! # Quickstart (in-process)
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mwc_service::{catalog::Catalog, client::Client, server};
+//!
+//! let catalog = Arc::new(Catalog::new());
+//! catalog.load("karate", "karate").unwrap();
+//! let handle = server::start(
+//!     catalog,
+//!     server::ServerConfig::default(),
+//!     "127.0.0.1:0", // ephemeral port
+//! )
+//! .unwrap();
+//!
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! let report = client.solve("karate", "ws-q", &[11, 24, 25, 29], None, None).unwrap();
+//! assert!(report.connector.len() >= 4);
+//! handle.shutdown(); // graceful: drains the queue, joins every thread
+//! ```
+//!
+//! The `mwc-server` / `mwc-client` binaries wrap exactly this, over real
+//! sockets; see the README's "Running the server" section for the
+//! protocol grammar.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod client;
+pub mod error;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{Catalog, CatalogEntry, GraphSource};
+pub use client::{Client, ClientError, GraphInfo, WireError, WireReport};
+pub use error::{Result, ServiceError};
+pub use json::Json;
+pub use metrics::{Histogram, Metrics};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,272 @@
+//! In-process serving metrics: request counters, queue gauges, and
+//! per-solver latency histograms, all lock-free on the hot path.
+//!
+//! Latencies go into log₂-bucketed histograms (bucket *i* counts solves
+//! that took `< 2^i` µs), so a quantile is read by walking at most 40
+//! buckets — no per-request allocation, no sorting, bounded error of at
+//! most one octave. The `stats` protocol command serializes a
+//! [`MetricsSnapshot`] of all of this.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+const BUCKETS: usize = 40; // 2^39 µs ≈ 6.4 days: nothing overflows this
+
+/// A log₂ latency histogram (microsecond resolution).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64 / 1e3
+        }
+    }
+
+    /// Approximate `q`-quantile in milliseconds (`q` in `[0, 1]`): the
+    /// upper bound of the bucket holding the rank, so the true value is
+    /// within one power of two below the reported one. 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return (1u64 << i) as f64 / 1e3;
+            }
+        }
+        self.max_ms()
+    }
+
+    /// Largest observation in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_micros.load(Ordering::Relaxed) as f64 / 1e3
+    }
+}
+
+/// The server's metrics registry. Cheap to share (`Arc<Metrics>`); every
+/// mutation is a relaxed atomic.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Request lines received (valid or not).
+    pub requests_total: AtomicU64,
+    /// Successful (`"ok":true`) responses written.
+    pub ok_total: AtomicU64,
+    /// Error responses written (all codes, including overload).
+    pub error_total: AtomicU64,
+    /// Requests shed by admission control.
+    pub overload_total: AtomicU64,
+    /// Lines that failed to parse into a request.
+    pub bad_request_total: AtomicU64,
+    /// Requests whose deadline expired while queued.
+    pub queue_deadline_total: AtomicU64,
+    /// Current admission-queue depth (maintained by the queue).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of the admission queue.
+    pub queue_peak: AtomicU64,
+    /// Connections accepted.
+    pub connections_total: AtomicU64,
+    solver_latency: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            ok_total: AtomicU64::new(0),
+            error_total: AtomicU64::new(0),
+            overload_total: AtomicU64::new(0),
+            bad_request_total: AtomicU64::new(0),
+            queue_deadline_total: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            solver_latency: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl Metrics {
+    /// A fresh registry (uptime starts now).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latency histogram for `solver`, created on first use.
+    pub fn solver_histogram(&self, solver: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .solver_latency
+            .read()
+            .expect("metrics lock poisoned")
+            .get(solver)
+        {
+            return Arc::clone(h);
+        }
+        let mut map = self.solver_latency.write().expect("metrics lock poisoned");
+        Arc::clone(
+            map.entry(solver.to_string())
+                .or_insert_with(|| Arc::new(Histogram::default())),
+        )
+    }
+
+    /// Records one solve latency under `solver`.
+    pub fn record_solve(&self, solver: &str, latency: Duration) {
+        self.solver_histogram(solver).record(latency);
+    }
+
+    /// Serializes everything as the `stats` response payload.
+    pub fn snapshot(&self, queue_capacity: usize) -> Json {
+        let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        let solvers = {
+            let map = self.solver_latency.read().expect("metrics lock poisoned");
+            let mut entries: Vec<(String, Json)> = map
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        Json::obj([
+                            ("count", Json::from(h.count())),
+                            ("mean_ms", Json::from(h.mean_ms())),
+                            ("p50_ms", Json::from(h.quantile_ms(0.50))),
+                            ("p99_ms", Json::from(h.quantile_ms(0.99))),
+                            ("max_ms", Json::from(h.max_ms())),
+                        ]),
+                    )
+                })
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Obj(entries.into_iter().collect())
+        };
+        Json::obj([
+            (
+                "uptime_seconds",
+                Json::from(self.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "requests",
+                Json::obj([
+                    ("total", load(&self.requests_total)),
+                    ("ok", load(&self.ok_total)),
+                    ("error", load(&self.error_total)),
+                    ("overloaded", load(&self.overload_total)),
+                    ("bad_request", load(&self.bad_request_total)),
+                    ("queue_deadline", load(&self.queue_deadline_total)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj([
+                    ("depth", load(&self.queue_depth)),
+                    ("peak", load(&self.queue_peak)),
+                    ("capacity", Json::from(queue_capacity)),
+                ]),
+            ),
+            ("connections", load(&self.connections_total)),
+            ("solvers", solvers),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::default();
+        for ms in [1u64, 2, 4, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 4);
+        assert!(h.mean_ms() > 20.0 && h.mean_ms() < 30.0);
+        // p50 lands in the bucket of the 2nd observation (2 ms → < 2^11 µs).
+        let p50 = h.quantile_ms(0.5);
+        assert!((2.0..=4.1).contains(&p50), "{p50}");
+        // p99 lands in the top observation's bucket.
+        let p99 = h.quantile_ms(0.99);
+        assert!((100.0..=262.2).contains(&p99), "{p99}");
+        assert!((h.max_ms() - 100.0).abs() < 1.0);
+        assert_eq!(Histogram::default().quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.record_solve("ws-q", Duration::from_millis(5));
+        m.record_solve("ws-q", Duration::from_millis(7));
+        m.record_solve("st", Duration::from_micros(300));
+        let snap = m.snapshot(64);
+        assert_eq!(
+            snap.get("requests").unwrap().get("total").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            snap.get("queue").unwrap().get("capacity").unwrap().as_u64(),
+            Some(64)
+        );
+        let solvers = snap.get("solvers").unwrap();
+        assert_eq!(
+            solvers.get("ws-q").unwrap().get("count").unwrap().as_u64(),
+            Some(2)
+        );
+        assert!(
+            solvers
+                .get("st")
+                .unwrap()
+                .get("p99_ms")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        // Serializes cleanly.
+        let text = snap.to_string();
+        assert!(crate::json::parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,396 @@
+//! The wire protocol: newline-delimited JSON request/response framing.
+//!
+//! One request per line, one response line per request, over a plain TCP
+//! stream. Requests may be pipelined; every request may carry a
+//! client-chosen `"id"` that the server echoes in the response, so
+//! pipelined responses can be matched even if admission control reorders
+//! completion.
+//!
+//! # Grammar
+//!
+//! ```text
+//! request   = { "cmd": <command>, "id"?: <any>, ...command fields } "\n"
+//! response  = { "ok": true,  "id"?: <echo>, ...payload }            "\n"
+//!           | { "ok": false, "id"?: <echo>,
+//!               "error": { "code": <string>, "message": <string> } } "\n"
+//!
+//! solve     = { "cmd":"solve", "graph":G, "solver":S, "q":[v…],
+//!               "deadline_ms"?: N, "max_size"?: N }
+//! batch     = { "cmd":"batch", "graph":G, "solver":S, "queries":[[v…]…],
+//!               "deadline_ms"?: N, "max_size"?: N }
+//! stats     = { "cmd":"stats" }
+//! graphs    = { "cmd":"graphs" }
+//! load      = { "cmd":"load", "name":N, "source":SPEC }
+//! evict     = { "cmd":"evict", "name":N }
+//! ping      = { "cmd":"ping" }
+//! burn      = { "cmd":"burn", "ms":N }        // synthetic CPU work
+//! shutdown  = { "cmd":"shutdown" }
+//! ```
+//!
+//! `deadline_ms` is the budget measured from the moment the server reads
+//! the request: time spent queued counts against it, the remainder maps
+//! onto [`QueryOptions::deadline`](mwc_core::QueryOptions::deadline)
+//! (cooperative — see its docs), and a request whose budget is exhausted
+//! before a worker picks it up fails with code `deadline_exceeded`
+//! without starting the solve. For `batch`, the post-queue residue
+//! becomes each query's *own* deadline (queries run in parallel inside
+//! the engine), so it bounds per-query solve time, not the whole batch's
+//! wall clock.
+
+use std::time::Duration;
+
+use mwc_core::{QueryOptions, SolveReport};
+use mwc_graph::NodeId;
+
+use crate::error::ServiceError;
+use crate::json::{parse, Json};
+
+/// Fields shared by `solve` and `batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveParams {
+    /// Catalog name of the graph to query.
+    pub graph: String,
+    /// Registry name of the solver.
+    pub solver: String,
+    /// End-to-end deadline in milliseconds (queue wait included).
+    pub deadline_ms: Option<u64>,
+    /// Maximum connector size (maps to `QueryOptions::max_connector_size`).
+    pub max_size: Option<usize>,
+}
+
+impl SolveParams {
+    /// The per-query [`QueryOptions`], given how much of the deadline
+    /// remains after queueing.
+    pub fn options(&self, remaining: Option<Duration>) -> QueryOptions {
+        let mut opts = QueryOptions::new();
+        if let Some(d) = remaining {
+            opts = opts.deadline(d);
+        }
+        if let Some(m) = self.max_size {
+            opts = opts.max_connector_size(m);
+        }
+        opts
+    }
+}
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// One query against one graph.
+    Solve {
+        /// Graph/solver/limits.
+        params: SolveParams,
+        /// The query vertex set.
+        q: Vec<NodeId>,
+    },
+    /// Many queries against one graph (solved with the engine's parallel
+    /// batch path).
+    Batch {
+        /// Graph/solver/limits (the deadline applies per query).
+        params: SolveParams,
+        /// The query vertex sets.
+        queries: Vec<Vec<NodeId>>,
+    },
+    /// Metrics snapshot.
+    Stats,
+    /// List cataloged graphs.
+    Graphs,
+    /// Load a graph into the catalog.
+    Load {
+        /// Catalog name to publish under.
+        name: String,
+        /// Source spec (see [`crate::catalog::GraphSource`]).
+        source: String,
+    },
+    /// Remove a graph from the catalog.
+    Evict {
+        /// Catalog name to remove.
+        name: String,
+    },
+    /// Liveness check.
+    Ping,
+    /// Busy-spin a worker for the given milliseconds — synthetic load for
+    /// admission-control tests and load-generator calibration.
+    Burn {
+        /// Milliseconds of CPU to burn.
+        ms: u64,
+    },
+    /// Begin graceful shutdown (drain, then stop).
+    Shutdown,
+}
+
+/// A parsed request line: the command plus the echoed `id`, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The command to execute.
+    pub command: Command,
+}
+
+fn bad(message: impl Into<String>) -> ServiceError {
+    ServiceError::BadRequest(message.into())
+}
+
+fn req_str(obj: &Json, key: &str) -> Result<String, ServiceError> {
+    obj.get(key)
+        .ok_or_else(|| bad(format!("missing field {key:?}")))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("field {key:?} must be a string")))
+}
+
+fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn node_list(v: &Json, what: &str) -> Result<Vec<NodeId>, ServiceError> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| bad(format!("{what} must be an array of vertex ids")))?;
+    arr.iter()
+        .map(|x| {
+            let id = x
+                .as_u64()
+                .ok_or_else(|| bad(format!("{what} entries must be non-negative integers")))?;
+            NodeId::try_from(id).map_err(|_| bad(format!("vertex id {id} exceeds u32 range")))
+        })
+        .collect()
+}
+
+fn solve_params(obj: &Json) -> Result<SolveParams, ServiceError> {
+    Ok(SolveParams {
+        graph: req_str(obj, "graph")?,
+        solver: req_str(obj, "solver")?,
+        deadline_ms: opt_u64(obj, "deadline_ms")?,
+        max_size: opt_u64(obj, "max_size")?.map(|m| m as usize),
+    })
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let obj = parse(line).map_err(|e| bad(e.to_string()))?;
+    if !matches!(obj, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object"));
+    }
+    let id = obj.get("id").cloned();
+    let cmd = req_str(&obj, "cmd")?;
+    let command = match cmd.as_str() {
+        "solve" => Command::Solve {
+            params: solve_params(&obj)?,
+            q: node_list(
+                obj.get("q").ok_or_else(|| bad("missing field \"q\""))?,
+                "\"q\"",
+            )?,
+        },
+        "batch" => {
+            let queries = obj
+                .get("queries")
+                .ok_or_else(|| bad("missing field \"queries\""))?
+                .as_array()
+                .ok_or_else(|| bad("\"queries\" must be an array of queries"))?
+                .iter()
+                .map(|q| node_list(q, "each query"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Command::Batch {
+                params: solve_params(&obj)?,
+                queries,
+            }
+        }
+        "stats" => Command::Stats,
+        "graphs" => Command::Graphs,
+        "load" => Command::Load {
+            name: req_str(&obj, "name")?,
+            source: req_str(&obj, "source")?,
+        },
+        "evict" => Command::Evict {
+            name: req_str(&obj, "name")?,
+        },
+        "ping" => Command::Ping,
+        "burn" => Command::Burn {
+            ms: opt_u64(&obj, "ms")?.ok_or_else(|| bad("missing field \"ms\""))?,
+        },
+        "shutdown" => Command::Shutdown,
+        other => return Err(bad(format!("unknown cmd {other:?}"))),
+    };
+    Ok(Request { id, command })
+}
+
+fn with_id(mut payload: Vec<(&'static str, Json)>, id: &Option<Json>) -> Json {
+    if let Some(id) = id {
+        payload.push(("id", id.clone()));
+    }
+    Json::obj(payload)
+}
+
+/// Encodes a success response line (no trailing newline).
+pub fn ok_response(id: &Option<Json>, mut payload: Vec<(&'static str, Json)>) -> String {
+    payload.push(("ok", Json::Bool(true)));
+    with_id(payload, id).to_string()
+}
+
+/// Encodes an error response line (no trailing newline).
+pub fn error_response(id: &Option<Json>, err: &ServiceError) -> String {
+    with_id(
+        vec![
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                Json::obj([
+                    ("code", Json::from(err.code())),
+                    ("message", Json::from(err.to_string())),
+                ]),
+            ),
+        ],
+        id,
+    )
+    .to_string()
+}
+
+/// Converts a [`SolveReport`] to its wire object — by construction the
+/// same shape as [`SolveReport::to_json`] (a unit test pins the two
+/// together).
+pub fn report_to_json(report: &SolveReport) -> Json {
+    Json::obj([
+        ("solver", Json::from(report.solver.as_str())),
+        (
+            "connector",
+            Json::Arr(
+                report
+                    .connector
+                    .vertices()
+                    .iter()
+                    .map(|&v| Json::from(u64::from(v)))
+                    .collect(),
+            ),
+        ),
+        ("wiener_index", Json::from(report.wiener_index)),
+        ("seconds", Json::from(report.seconds)),
+        ("candidates", Json::from(report.candidates)),
+        (
+            "optimal",
+            match report.optimal {
+                Some(b) => Json::Bool(b),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_solve_with_options() {
+        let r = parse_request(
+            r#"{"cmd":"solve","graph":"karate","solver":"ws-q","q":[0,33],"deadline_ms":50,"max_size":10,"id":7}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Some(Json::Num(7.0)));
+        match r.command {
+            Command::Solve { params, q } => {
+                assert_eq!(params.graph, "karate");
+                assert_eq!(params.solver, "ws-q");
+                assert_eq!(params.deadline_ms, Some(50));
+                assert_eq!(params.max_size, Some(10));
+                assert_eq!(q, vec![0, 33]);
+                let opts = params.options(Some(Duration::from_millis(20)));
+                assert_eq!(opts.time_budget(), Some(Duration::from_millis(20)));
+                assert_eq!(opts.size_budget(), Some(10));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_rest_of_the_grammar() {
+        let cases = [
+            (r#"{"cmd":"stats"}"#, Command::Stats),
+            (r#"{"cmd":"graphs"}"#, Command::Graphs),
+            (r#"{"cmd":"ping"}"#, Command::Ping),
+            (r#"{"cmd":"shutdown"}"#, Command::Shutdown),
+            (r#"{"cmd":"burn","ms":25}"#, Command::Burn { ms: 25 }),
+            (
+                r#"{"cmd":"load","name":"toy","source":"ba:100x2"}"#,
+                Command::Load {
+                    name: "toy".into(),
+                    source: "ba:100x2".into(),
+                },
+            ),
+            (
+                r#"{"cmd":"evict","name":"toy"}"#,
+                Command::Evict { name: "toy".into() },
+            ),
+        ];
+        for (line, want) in cases {
+            assert_eq!(parse_request(line).unwrap().command, want, "{line}");
+        }
+        let batch =
+            parse_request(r#"{"cmd":"batch","graph":"g","solver":"st","queries":[[0,1],[2,3,4]]}"#)
+                .unwrap();
+        match batch.command {
+            Command::Batch { queries, .. } => {
+                assert_eq!(queries, vec![vec![0, 1], vec![2, 3, 4]])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_bad_request() {
+        for line in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"cmd":"warp"}"#,
+            r#"{"cmd":"solve","graph":"g","solver":"s"}"#, // missing q
+            r#"{"cmd":"solve","graph":"g","solver":"s","q":[-1]}"#,
+            r#"{"cmd":"solve","graph":"g","solver":"s","q":["a"]}"#,
+            r#"{"cmd":"solve","graph":"g","solver":"s","q":[0],"deadline_ms":"soon"}"#,
+            r#"{"cmd":"solve","graph":"g","solver":"s","q":[4294967296]}"#, // > u32
+            r#"{"cmd":"batch","graph":"g","solver":"s","queries":[0]}"#,
+            r#"{"cmd":"burn"}"#,
+            r#"{"cmd":"load","name":"x"}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code(), "bad_request", "{line:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn responses_echo_ids_and_carry_codes() {
+        let id = Some(Json::from("req-1"));
+        let ok = ok_response(&id, vec![("pong", Json::Bool(true))]);
+        let v = crate::json::parse(&ok).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("req-1"));
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+
+        let err = error_response(&None, &ServiceError::Overloaded { queue_capacity: 8 });
+        let v = crate::json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("overloaded")
+        );
+        assert!(v.get("id").is_none());
+    }
+
+    #[test]
+    fn report_wire_object_matches_core_to_json() {
+        use mwc_core::QueryEngine;
+        let g = mwc_graph::generators::karate::karate_club();
+        let report = QueryEngine::new(&g)
+            .solve("ws-q", &[11, 24, 25, 29])
+            .unwrap();
+        let via_core = crate::json::parse(&report.to_json()).unwrap();
+        assert_eq!(report_to_json(&report), via_core);
+    }
+}

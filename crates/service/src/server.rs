@@ -1,0 +1,705 @@
+//! The TCP server: acceptor + per-connection readers + a fixed worker
+//! pool behind a bounded admission queue.
+//!
+//! # Architecture
+//!
+//! ```text
+//! acceptor thread ──spawns──▶ reader thread (1 per connection)
+//!                                 │  parse line → Request
+//!                                 │  control cmds (ping/stats/graphs/
+//!                                 │  evict/shutdown): answered inline
+//!                                 ▼
+//!                          bounded JobQueue ──✗ full → "overloaded"
+//!                                 │
+//!                    worker pool (N threads): solve/batch/load/burn
+//!                                 │
+//!                                 ▼ per-connection write mutex
+//!                             response line
+//! ```
+//!
+//! Two properties this shape buys:
+//!
+//! * **Admission control** — solving work is bounded by `workers +
+//!   queue_capacity`; beyond that the server answers `overloaded`
+//!   immediately instead of queueing without bound and timing everyone
+//!   out. Control-plane commands bypass the queue, so `stats` stays
+//!   answerable *while* the server sheds load — exactly when you need it.
+//! * **End-to-end deadlines** — `deadline_ms` starts counting when the
+//!   request is read; queue wait is charged against it, and the residue
+//!   becomes the solver's cooperative [`QueryOptions`] deadline. A
+//!   request that expires in the queue is failed without starting.
+//!
+//! Shutdown is graceful: the queue drains, workers finish in-flight
+//! solves, readers notice within one poll interval, and `join` collects
+//! every thread.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::catalog::Catalog;
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    error_response, ok_response, parse_request, report_to_json, Command, Request,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing solving work. Default: available
+    /// parallelism, capped at 8 (solvers parallelize internally when a
+    /// worker is otherwise idle).
+    pub workers: usize,
+    /// Bounded admission-queue depth (jobs waiting beyond the ones being
+    /// executed). Requests arriving when it is full get `overloaded`.
+    pub queue_capacity: usize,
+    /// Hard cap on a request line's length, in bytes.
+    pub max_line_bytes: usize,
+    /// Maximum queries accepted in one `batch` request.
+    pub max_batch: usize,
+    /// Maximum concurrent connections (each costs one reader thread).
+    /// Beyond it, new connections get one `overloaded` error line and
+    /// are closed — so idle-connection floods are bounded, not just
+    /// solve traffic.
+    pub max_connections: usize,
+    /// Socket poll interval: how quickly idle readers notice shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_capacity: 64,
+            max_line_bytes: 4 << 20,
+            max_batch: 4096,
+            max_connections: 1024,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    out: Arc<Mutex<TcpStream>>,
+    received: Instant,
+}
+
+/// FIFO queue with a hard capacity; `try_push` fails fast when full.
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn try_push(&self, job: Job, metrics: &Metrics) -> Result<(), ServiceError> {
+        let mut jobs = self.jobs.lock().expect("queue lock poisoned");
+        if jobs.len() >= self.capacity {
+            return Err(ServiceError::Overloaded {
+                queue_capacity: self.capacity,
+            });
+        }
+        jobs.push_back(job);
+        let depth = jobs.len() as u64;
+        metrics.queue_depth.store(depth, Ordering::Relaxed);
+        metrics.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        drop(jobs);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once shutdown is set *and* the
+    /// queue has drained (accepted work is finished, not dropped).
+    fn pop(&self, shutdown: &AtomicBool, metrics: &Metrics) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                metrics
+                    .queue_depth
+                    .store(jobs.len() as u64, Ordering::Relaxed);
+                return Some(job);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(jobs, Duration::from_millis(50))
+                .expect("queue lock poisoned");
+            jobs = guard;
+        }
+    }
+}
+
+struct Inner {
+    catalog: Arc<Catalog>,
+    metrics: Arc<Metrics>,
+    config: ServerConfig,
+    queue: JobQueue,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.ready.notify_all();
+    }
+}
+
+/// A running server: its address, shared state, and every thread it
+/// spawned. Stop it with [`Self::shutdown`] (or let a protocol
+/// `shutdown` command initiate the drain and [`Self::wait`] for it).
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+/// accepting connections against `catalog`.
+pub fn start(
+    catalog: Arc<Catalog>,
+    config: ServerConfig,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new());
+    let inner = Arc::new(Inner {
+        catalog,
+        metrics,
+        queue: JobQueue::new(config.queue_capacity.max(1)),
+        config,
+        shutdown: AtomicBool::new(false),
+    });
+
+    let workers = (0..inner.config.workers.max(1))
+        .map(|i| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("mwc-worker-{i}"))
+                .spawn(move || worker_loop(&inner))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        let readers = Arc::clone(&readers);
+        std::thread::Builder::new()
+            .name("mwc-acceptor".to_string())
+            .spawn(move || acceptor_loop(&inner, &listener, &readers))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        inner,
+        addr,
+        acceptor: Some(acceptor),
+        workers,
+        readers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (port resolved if `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The catalog this server answers from.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.inner.catalog
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// Whether shutdown has been initiated (by [`Self::shutdown`] or a
+    /// protocol `shutdown` command).
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Initiates a graceful shutdown and joins every thread: queued work
+    /// is finished, new requests are refused, readers disconnect.
+    pub fn shutdown(mut self) {
+        self.inner.begin_shutdown();
+        self.join_all();
+    }
+
+    /// Serves until a protocol `shutdown` command arrives, then drains
+    /// and joins (the `mwc-server` binary's main loop).
+    pub fn wait(mut self) {
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        // Unblock the acceptor's blocking `accept` with a no-op connect.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let readers: Vec<JoinHandle<()>> = self
+            .readers
+            .lock()
+            .expect("reader registry poisoned")
+            .drain(..)
+            .collect();
+        for r in readers {
+            let _ = r.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.inner.begin_shutdown();
+            self.join_all();
+        }
+    }
+}
+
+fn acceptor_loop(
+    inner: &Arc<Inner>,
+    listener: &TcpListener,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent accept error (e.g. EMFILE when fds are
+                // exhausted) must not busy-spin a core; back off briefly.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up connect, or a straggler during drain
+        }
+        let mut registry = readers.lock().expect("reader registry poisoned");
+        registry.retain(|h| !h.is_finished()); // prune dead connections
+        if registry.len() >= inner.config.max_connections {
+            // Each connection costs a reader thread; refuse beyond the
+            // limit so idle floods are bounded, not just solve traffic.
+            drop(registry);
+            inner.metrics.overload_total.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.error_total.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let line = error_response(
+                &None,
+                &ServiceError::TooManyConnections {
+                    limit: inner.config.max_connections,
+                },
+            );
+            let _ = stream.write_all(line.as_bytes());
+            let _ = stream.write_all(b"\n");
+            continue;
+        }
+        inner
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        let inner2 = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("mwc-conn".to_string())
+            .spawn(move || serve_connection(&inner2, stream))
+            .expect("spawn connection reader");
+        registry.push(handle);
+    }
+}
+
+fn write_line(out: &Mutex<TcpStream>, line: &str, ok: bool, metrics: &Metrics) {
+    if ok {
+        metrics.ok_total.fetch_add(1, Ordering::Relaxed);
+    } else {
+        metrics.error_total.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut stream = out.lock().expect("connection write lock poisoned");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// Best-effort `id` recovery from a line that failed request parsing, so
+/// even error responses correlate when the JSON itself was well-formed.
+fn salvage_id(line: &str) -> Option<Json> {
+    crate::json::parse(line).ok()?.get("id").cloned()
+}
+
+enum LineRead {
+    /// One complete line (newline stripped) is in the buffer.
+    Line,
+    /// Clean EOF with nothing buffered.
+    Eof,
+    /// The line exceeded the cap before its newline arrived.
+    TooLong,
+    /// I/O failure or shutdown while reading.
+    Closed,
+}
+
+/// Reads one `\n`-terminated line into `buf`, enforcing `max` on every
+/// chunk as it arrives — a client streaming a newline-free line cannot
+/// grow the buffer past the cap no matter how fast it sends. Read
+/// timeouts are the shutdown poll, not errors.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> LineRead {
+    buf.clear();
+    loop {
+        let (consumed, outcome) = match reader.fill_buf() {
+            Ok([]) => (
+                0,
+                Some(if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line // final line without trailing newline
+                }),
+            ),
+            Ok(chunk) => match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) if buf.len() + pos > max => (pos + 1, Some(LineRead::TooLong)),
+                Some(pos) => {
+                    buf.extend_from_slice(&chunk[..pos]);
+                    (pos + 1, Some(LineRead::Line))
+                }
+                None if buf.len() + chunk.len() > max => (chunk.len(), Some(LineRead::TooLong)),
+                None => {
+                    let n = chunk.len();
+                    buf.extend_from_slice(chunk);
+                    (n, None)
+                }
+            },
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return LineRead::Closed;
+                }
+                (0, None)
+            }
+            Err(_) => return LineRead::Closed,
+        };
+        reader.consume(consumed);
+        if let Some(outcome) = outcome {
+            return outcome;
+        }
+    }
+}
+
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let out = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    }));
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    'conn: loop {
+        match read_line_bounded(
+            &mut reader,
+            &mut buf,
+            inner.config.max_line_bytes,
+            &inner.shutdown,
+        ) {
+            LineRead::Eof | LineRead::Closed => return,
+            LineRead::TooLong => {
+                inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::BadRequest(format!(
+                    "request line exceeds {} bytes",
+                    inner.config.max_line_bytes
+                ));
+                write_line(&out, &error_response(&None, &err), false, &inner.metrics);
+                return; // framing is lost; drop the connection
+            }
+            LineRead::Line => {}
+        }
+        let line = match std::str::from_utf8(&buf) {
+            Ok(line) => line,
+            Err(_) => {
+                inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::BadRequest("request line is not UTF-8".to_string());
+                write_line(&out, &error_response(&None, &err), false, &inner.metrics);
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                inner
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    &out,
+                    &error_response(&salvage_id(line), &e),
+                    false,
+                    &inner.metrics,
+                );
+                continue;
+            }
+        };
+        match request.command {
+            // Control plane: answered inline, never queued, so they work
+            // even under overload.
+            Command::Ping => {
+                let resp = ok_response(&request.id, vec![("pong", Json::Bool(true))]);
+                write_line(&out, &resp, true, &inner.metrics);
+            }
+            Command::Stats => {
+                let snap = inner.metrics.snapshot(inner.queue.capacity);
+                let resp = ok_response(&request.id, vec![("stats", snap)]);
+                write_line(&out, &resp, true, &inner.metrics);
+            }
+            Command::Graphs => {
+                let graphs: Vec<Json> = inner
+                    .catalog
+                    .list()
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("name", Json::from(e.name.as_str())),
+                            ("source", Json::from(e.source.as_str())),
+                            ("nodes", Json::from(e.graph.num_nodes())),
+                            ("edges", Json::from(e.graph.num_edges())),
+                            (
+                                "solvers",
+                                Json::Arr(
+                                    e.engine
+                                        .solver_names()
+                                        .iter()
+                                        .map(|s| Json::from(*s))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                let resp = ok_response(&request.id, vec![("graphs", Json::Arr(graphs))]);
+                write_line(&out, &resp, true, &inner.metrics);
+            }
+            Command::Evict { ref name } => {
+                let evicted = inner.catalog.evict(name);
+                let resp = ok_response(&request.id, vec![("evicted", Json::Bool(evicted))]);
+                write_line(&out, &resp, true, &inner.metrics);
+            }
+            Command::Shutdown => {
+                let resp = ok_response(&request.id, vec![("stopping", Json::Bool(true))]);
+                write_line(&out, &resp, true, &inner.metrics);
+                inner.begin_shutdown();
+                return;
+            }
+            // Data plane: bounded queue, executed by the worker pool.
+            Command::Solve { .. }
+            | Command::Batch { .. }
+            | Command::Load { .. }
+            | Command::Burn { .. } => {
+                if let Command::Batch { ref queries, .. } = request.command {
+                    if queries.len() > inner.config.max_batch {
+                        let err = ServiceError::BadRequest(format!(
+                            "batch of {} exceeds max_batch = {}",
+                            queries.len(),
+                            inner.config.max_batch
+                        ));
+                        inner
+                            .metrics
+                            .bad_request_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        write_line(
+                            &out,
+                            &error_response(&request.id, &err),
+                            false,
+                            &inner.metrics,
+                        );
+                        continue 'conn;
+                    }
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    write_line(
+                        &out,
+                        &error_response(&request.id, &ServiceError::ShuttingDown),
+                        false,
+                        &inner.metrics,
+                    );
+                    continue;
+                }
+                let id = request.id.clone();
+                let job = Job {
+                    request,
+                    out: Arc::clone(&out),
+                    received: Instant::now(),
+                };
+                if let Err(e) = inner.queue.try_push(job, &inner.metrics) {
+                    inner.metrics.overload_total.fetch_add(1, Ordering::Relaxed);
+                    write_line(&out, &error_response(&id, &e), false, &inner.metrics);
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    while let Some(job) = inner.queue.pop(&inner.shutdown, &inner.metrics) {
+        let id = job.request.id.clone();
+        match execute(inner, &job) {
+            Ok(payload) => write_line(&job.out, &ok_response(&id, payload), true, &inner.metrics),
+            Err(e) => {
+                if matches!(e, ServiceError::DeadlineExceeded { .. }) {
+                    inner
+                        .metrics
+                        .queue_deadline_total
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                write_line(&job.out, &error_response(&id, &e), false, &inner.metrics)
+            }
+        }
+    }
+}
+
+/// Deadline accounting: how much of `deadline_ms` is left after `spent`,
+/// or a `DeadlineExceeded` if the budget is gone.
+fn remaining_budget(
+    deadline_ms: Option<u64>,
+    spent: Duration,
+) -> Result<Option<Duration>, ServiceError> {
+    match deadline_ms {
+        None => Ok(None),
+        Some(ms) => {
+            let budget = Duration::from_millis(ms);
+            budget
+                .checked_sub(spent)
+                .filter(|d| !d.is_zero())
+                .map(Some)
+                .ok_or(ServiceError::DeadlineExceeded {
+                    queued_ms: spent.as_millis() as u64,
+                })
+        }
+    }
+}
+
+fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, ServiceError> {
+    match &job.request.command {
+        Command::Solve { params, q } => {
+            let remaining = remaining_budget(params.deadline_ms, job.received.elapsed())?;
+            let entry = inner.catalog.get(&params.graph)?;
+            let report = entry
+                .engine
+                .solve_with(&params.solver, q, &params.options(remaining))?;
+            inner
+                .metrics
+                .record_solve(&params.solver, Duration::from_secs_f64(report.seconds));
+            Ok(vec![
+                ("graph", Json::from(params.graph.as_str())),
+                ("report", report_to_json(&report)),
+            ])
+        }
+        Command::Batch { params, queries } => {
+            let remaining = remaining_budget(params.deadline_ms, job.received.elapsed())?;
+            let entry = inner.catalog.get(&params.graph)?;
+            let results =
+                entry
+                    .engine
+                    .solve_batch(&params.solver, queries, &params.options(remaining));
+            let mut ok = 0u64;
+            let rendered: Vec<Json> = results
+                .into_iter()
+                .map(|r| match r {
+                    Ok(report) => {
+                        ok += 1;
+                        inner
+                            .metrics
+                            .record_solve(&params.solver, Duration::from_secs_f64(report.seconds));
+                        report_to_json(&report)
+                    }
+                    Err(e) => {
+                        let e = ServiceError::Core(e);
+                        Json::obj([(
+                            "error",
+                            Json::obj([
+                                ("code", Json::from(e.code())),
+                                ("message", Json::from(e.to_string())),
+                            ]),
+                        )])
+                    }
+                })
+                .collect();
+            Ok(vec![
+                ("graph", Json::from(params.graph.as_str())),
+                ("solved", Json::from(ok)),
+                ("reports", Json::Arr(rendered)),
+            ])
+        }
+        Command::Load { name, source } => {
+            let entry = inner.catalog.load(name, source)?;
+            Ok(vec![
+                ("loaded", Json::from(name.as_str())),
+                ("nodes", Json::from(entry.graph.num_nodes())),
+                ("edges", Json::from(entry.graph.num_edges())),
+            ])
+        }
+        Command::Burn { ms } => {
+            let start = Instant::now();
+            let budget = Duration::from_millis(*ms);
+            while start.elapsed() < budget {
+                std::hint::spin_loop();
+            }
+            Ok(vec![("burned_ms", Json::from(*ms))])
+        }
+        // Control-plane commands never reach the queue.
+        Command::Stats
+        | Command::Graphs
+        | Command::Evict { .. }
+        | Command::Ping
+        | Command::Shutdown => Err(ServiceError::BadRequest(
+            "control command routed to worker pool (server bug)".to_string(),
+        )),
+    }
+}

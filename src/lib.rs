@@ -26,6 +26,9 @@ pub use mwc_core as core;
 pub use mwc_datasets as datasets;
 pub use mwc_graph as graph;
 pub use mwc_lp as lp;
+pub use mwc_service as service;
+
+use std::sync::Arc;
 
 use mwc_graph::Graph;
 
@@ -38,11 +41,19 @@ pub fn engine(graph: &Graph) -> mwc_core::QueryEngine<'_> {
     mwc_baselines::full_engine(graph)
 }
 
+/// Like [`engine`], but sharing ownership of the graph: the returned
+/// [`OwnedEngine`](mwc_core::OwnedEngine) carries no borrowed data, so
+/// it can be stored in long-lived serving state (see
+/// [`service::Catalog`], which holds one per loaded graph).
+pub fn engine_shared(graph: Arc<Graph>) -> mwc_core::OwnedEngine {
+    mwc_baselines::full_engine_shared(graph)
+}
+
 /// Commonly used items, for `use wiener_connector::prelude::*`.
 pub mod prelude {
-    pub use mwc_baselines::full_engine;
+    pub use mwc_baselines::{full_engine, full_engine_shared};
     pub use mwc_core::{
-        ApproxWienerSteiner, ApproxWsqConfig, Connector, ConnectorSolver, QueryEngine,
+        ApproxWienerSteiner, ApproxWsqConfig, Connector, ConnectorSolver, OwnedEngine, QueryEngine,
         QueryOptions, SolveReport, WienerSteiner, WsqConfig,
     };
     pub use mwc_graph::{Graph, GraphBuilder, InducedSubgraph, NodeId};
