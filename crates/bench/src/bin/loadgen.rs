@@ -161,11 +161,7 @@ fn main() {
         for (name, spec) in &args.graphs {
             eprint!("loadgen: loading {name} from {spec} ... ");
             let entry = catalog.load(name, spec).expect("load graph");
-            eprintln!(
-                "{} nodes, {} edges",
-                entry.graph.num_nodes(),
-                entry.graph.num_edges()
-            );
+            eprintln!("{} nodes, {} edges", entry.num_nodes(), entry.num_edges());
         }
         Some(
             server::start(catalog, ServerConfig::default(), "127.0.0.1:0")

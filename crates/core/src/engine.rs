@@ -13,8 +13,11 @@
 //!   matching on enums;
 //! * [`QueryEngine`] — built once per graph, owning the state worth
 //!   amortizing across queries: a [`WorkspacePool`] of BFS buffers, the
-//!   degree-centrality vector, a lazily built betweenness vector, and a
-//!   lazily built [`LandmarkOracle`] shared by every approximate solve;
+//!   degree-centrality vector, a lazily built betweenness vector, a
+//!   lazily built [`LandmarkOracle`] shared by every approximate solve,
+//!   and a bounded LRU *solve cache* ([`CacheStats`]) replaying recent
+//!   `(solver, query, options)` answers — repeated and overlapping query
+//!   sets are the serving norm;
 //! * [`QueryContext`] — the per-query view handed to solvers: the graph,
 //!   the shared caches, and the caller's [`QueryOptions`] (deadline /
 //!   size budget);
@@ -51,7 +54,9 @@
 //! assert_eq!(reports.len(), 2);
 //! ```
 
-use std::sync::{Arc, OnceLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
@@ -69,11 +74,13 @@ use crate::wsq_approx::{solve_with_oracle, ApproxWsqConfig};
 /// Per-query knobs, built fluently:
 /// `QueryOptions::new().deadline(d).max_connector_size(n)`.
 ///
-/// The default is unconstrained (no deadline, no size budget).
+/// The default is unconstrained (no deadline, no size budget) and
+/// cache-eligible.
 #[derive(Debug, Clone, Default)]
 pub struct QueryOptions {
     deadline: Option<Duration>,
     max_size: Option<usize>,
+    no_cache: bool,
 }
 
 impl QueryOptions {
@@ -101,6 +108,15 @@ impl QueryOptions {
         self
     }
 
+    /// Bypasses the engine's solve cache for this query: the solver runs
+    /// even if an identical `(solver, query, options)` result is cached,
+    /// and the fresh result is not stored. The serving layer maps its
+    /// wire-level `no_cache` flag here.
+    pub fn no_cache(mut self) -> Self {
+        self.no_cache = true;
+        self
+    }
+
     /// The configured per-query time budget, if any.
     pub fn time_budget(&self) -> Option<Duration> {
         self.deadline
@@ -109,6 +125,11 @@ impl QueryOptions {
     /// The configured connector-size budget, if any.
     pub fn size_budget(&self) -> Option<usize> {
         self.max_size
+    }
+
+    /// Whether the solve cache is bypassed for this query.
+    pub fn cache_disabled(&self) -> bool {
+        self.no_cache
     }
 }
 
@@ -222,6 +243,134 @@ impl SolveReport {
     }
 }
 
+/// Default capacity of the engine's solve cache (entries, i.e. cached
+/// reports). Connectors are small (tens of vertices), so even the full
+/// cache is a few hundred kilobytes.
+pub const DEFAULT_SOLVE_CACHE_CAPACITY: usize = 1024;
+
+/// A snapshot of the solve cache's counters — the serving layer exposes
+/// this through its `stats` command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Cache-eligible lookups that fell through to a real solve.
+    /// (Deadline-bearing and `no_cache` queries bypass the cache without
+    /// counting.)
+    pub misses: u64,
+    /// Entries displaced to make room for newer ones.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// Cache key: the canonicalized query set plus everything that can change
+/// the answer — the solver and the options fingerprint ([`QueryOptions`]'s
+/// size budget; deadline-bearing queries are never cached because their
+/// results depend on wall-clock luck).
+type CacheKey = (String, Vec<NodeId>, Option<usize>);
+
+#[derive(Debug)]
+struct CacheEntry {
+    report: SolveReport,
+    last_used: u64,
+}
+
+/// A bounded LRU map of solved reports.
+///
+/// Repeated and *overlapping* query sets are the serving norm (the same
+/// group of users re-queries, dashboards refresh), so the engine
+/// remembers recent answers. Lookups and inserts take one short mutex —
+/// the solves they replace take milliseconds, so contention is noise.
+/// Eviction scans for the least-recently-used entry; at the default
+/// capacity that scan is far cheaper than any solve it makes room for.
+#[derive(Debug)]
+struct SolveCache {
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inner: Mutex<CacheMap>,
+}
+
+#[derive(Debug, Default)]
+struct CacheMap {
+    map: HashMap<CacheKey, CacheEntry>,
+    tick: u64,
+}
+
+impl SolveCache {
+    fn new(capacity: usize) -> Self {
+        SolveCache {
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inner: Mutex::new(CacheMap::default()),
+        }
+    }
+
+    /// Cached report for `key`, refreshing its recency. Counts a hit or
+    /// miss.
+    fn get(&self, key: &CacheKey) -> Option<SolveReport> {
+        let mut inner = self.inner.lock().expect("solve cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.report.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `report` under `key`, evicting the
+    /// least-recently-used entry if the cache is full.
+    fn insert(&self, key: CacheKey, report: SolveReport) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("solve cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            CacheEntry {
+                report,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("solve cache poisoned").map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
 /// Per-graph state shared by all solvers of an engine.
 #[derive(Debug)]
 struct SharedState {
@@ -232,6 +381,9 @@ struct SharedState {
     landmarks: usize,
     landmark_strategy: LandmarkStrategy,
     oracle_seed: u64,
+    /// Route solvers' distance-only BFS through the direction-optimizing
+    /// kernel (results are identical; see [`crate::WsqConfig::kernel`]).
+    kernel: bool,
 }
 
 /// The per-query view a [`ConnectorSolver`] receives: the graph plus the
@@ -294,6 +446,14 @@ impl<'e> QueryContext<'e> {
     /// The engine's BFS buffer pool; lease instead of allocating.
     pub fn workspace_pool(&self) -> &'e WorkspacePool {
         &self.shared.pool
+    }
+
+    /// Whether solvers should route distance-only BFS runs through the
+    /// direction-optimizing kernel (see
+    /// [`QueryEngine::set_kernel_enabled`]). Purely a performance choice:
+    /// distances, and therefore connectors, are identical either way.
+    pub fn kernel_enabled(&self) -> bool {
+        self.shared.kernel
     }
 
     /// Degree centrality of every vertex (computed once per engine).
@@ -362,6 +522,7 @@ impl ConnectorSolver for WsqSolver {
         let mut cfg = self.config.clone();
         cfg.deadline = ctx.deadline();
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
+        cfg.kernel = cfg.kernel && ctx.kernel_enabled();
         let sol =
             WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled(q, ctx.workspace_pool())?;
         Ok(SolveReport::from_wsq(self.name(), sol))
@@ -386,10 +547,13 @@ impl ConnectorSolver for ApproxWsqSolver {
     }
 
     fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport> {
+        let mut cfg = self.config.clone();
+        cfg.kernel = cfg.kernel && ctx.kernel_enabled();
+        cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
         let sol = solve_with_oracle(
             ctx.graph(),
             ctx.landmark_oracle(),
-            &self.config,
+            &cfg,
             q,
             ctx.workspace_pool(),
         )?;
@@ -416,6 +580,7 @@ impl ConnectorSolver for LocalSearchSolver {
         let mut cfg = self.wsq.clone();
         cfg.deadline = ctx.deadline();
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
+        cfg.kernel = cfg.kernel && ctx.kernel_enabled();
         let sol =
             WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled(q, ctx.workspace_pool())?;
         let candidates = sol.num_candidates as u64;
@@ -520,6 +685,7 @@ pub struct QueryEngine<'g> {
     graph: GraphStore<'g>,
     solvers: Vec<Box<dyn ConnectorSolver + Send + Sync>>,
     shared: SharedState,
+    cache: SolveCache,
 }
 
 impl std::fmt::Debug for QueryEngine<'_> {
@@ -574,7 +740,9 @@ impl<'g> QueryEngine<'g> {
                 landmarks: approx_defaults.landmarks,
                 landmark_strategy: approx_defaults.strategy,
                 oracle_seed: 0x5EED,
+                kernel: true,
             },
+            cache: SolveCache::new(DEFAULT_SOLVE_CACHE_CAPACITY),
         };
         if with_solvers {
             engine
@@ -607,14 +775,39 @@ impl<'g> QueryEngine<'g> {
         self
     }
 
+    /// Resizes the engine's solve cache (`0` disables caching). Existing
+    /// entries and counters are discarded — sizing is a deployment-time
+    /// decision, not a hot-path one.
+    pub fn set_solve_cache_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.cache = SolveCache::new(capacity);
+        self
+    }
+
+    /// Toggles the direction-optimizing distance kernel for all solvers
+    /// of this engine (default: on). Distances — and therefore connectors
+    /// — are identical either way; the switch exists for benchmarking and
+    /// parity testing.
+    pub fn set_kernel_enabled(&mut self, enabled: bool) -> &mut Self {
+        self.shared.kernel = enabled;
+        self
+    }
+
+    /// A snapshot of the solve cache's hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Registers `solver` under [`ConnectorSolver::name`], replacing any
     /// earlier registration of the same name ([`Self::solver_names`]
     /// reports the registry sorted, so registration order never shows).
+    /// The solve cache is cleared: cached reports may have been produced
+    /// by the replaced registration.
     pub fn register(&mut self, solver: Box<dyn ConnectorSolver + Send + Sync>) -> &mut Self {
         match self.solvers.iter().position(|s| s.name() == solver.name()) {
             Some(i) => self.solvers[i] = solver,
             None => self.solvers.push(solver),
         }
+        self.cache = SolveCache::new(self.cache.capacity);
         self
     }
 
@@ -678,6 +871,14 @@ impl<'g> QueryEngine<'g> {
 
     /// Shared solve path; `prefer_sequential` is set by batch workers so
     /// solvers do not nest their own parallelism inside the batch's.
+    ///
+    /// Consults the engine's solve cache first: repeated `(solver,
+    /// canonical query, size budget)` triples are the serving norm, and a
+    /// hit returns the stored report (with `seconds` re-stamped to the
+    /// lookup time) without touching the solver. Deadline-bearing queries
+    /// bypass the cache entirely — their results depend on wall-clock
+    /// luck and must not be replayed as canonical answers — and
+    /// [`QueryOptions::no_cache`] forces a fresh, unstored solve.
     fn solve_inner(
         &self,
         solver: &str,
@@ -685,14 +886,28 @@ impl<'g> QueryEngine<'g> {
         options: &QueryOptions,
         prefer_sequential: bool,
     ) -> Result<SolveReport> {
+        let start = Instant::now();
         let s = self.solver(solver)?;
+        let cacheable =
+            self.cache.capacity > 0 && !options.cache_disabled() && options.time_budget().is_none();
+        let key = cacheable.then(|| {
+            let mut canonical = q.to_vec();
+            canonical.sort_unstable();
+            canonical.dedup();
+            (solver.to_string(), canonical, options.size_budget())
+        });
+        if let Some(key) = &key {
+            if let Some(mut report) = self.cache.get(key) {
+                report.seconds = start.elapsed().as_secs_f64();
+                return Ok(report);
+            }
+        }
         let ctx = QueryContext::new(
             self.graph.get(),
             &self.shared,
             options.clone(),
             prefer_sequential,
         );
-        let start = Instant::now();
         let mut report = s.solve(&ctx, q)?;
         report.seconds = start.elapsed().as_secs_f64();
         if let Some(budget) = options.size_budget() {
@@ -702,6 +917,9 @@ impl<'g> QueryEngine<'g> {
                     budget,
                 });
             }
+        }
+        if let Some(key) = key {
+            self.cache.insert(key, report.clone());
         }
         Ok(report)
     }
@@ -986,6 +1204,108 @@ mod tests {
         assert!(bad
             .iter()
             .all(|r| matches!(r, Err(CoreError::UnknownSolver { .. }))));
+    }
+
+    #[test]
+    fn solve_cache_hits_and_bypasses() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let q = [11u32, 24, 25, 29];
+
+        let cold = engine.solve("ws-q", &q).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+
+        // Same query, permuted and with duplicates: canonicalization hits.
+        let hot = engine.solve("ws-q", &[29, 11, 25, 24, 11]).unwrap();
+        assert_eq!(hot.connector.vertices(), cold.connector.vertices());
+        assert_eq!(hot.wiener_index, cold.wiener_index);
+        assert_eq!(hot.candidates, cold.candidates);
+        assert_eq!(engine.cache_stats().hits, 1);
+
+        // no_cache bypasses without touching the counters or the store.
+        let fresh = engine
+            .solve_with("ws-q", &q, &QueryOptions::new().no_cache())
+            .unwrap();
+        assert_eq!(fresh.connector.vertices(), cold.connector.vertices());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // A deadline-bearing query is never cached or replayed.
+        let opts = QueryOptions::new().deadline(Duration::from_secs(60));
+        engine.solve_with("ws-q", &q, &opts).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // Different solver and different size budget are distinct keys.
+        engine.solve("ws-q+ls", &q).unwrap();
+        engine
+            .solve_with("ws-q", &q, &QueryOptions::new().max_connector_size(30))
+            .unwrap();
+        assert_eq!(engine.cache_stats().entries, 3);
+    }
+
+    #[test]
+    fn solve_cache_capacity_bounds_and_evicts_lru() {
+        let g = structured::path(40);
+        let mut engine = QueryEngine::new(&g);
+        engine.set_solve_cache_capacity(2);
+        engine.solve("ws-q", &[0, 1]).unwrap();
+        engine.solve("ws-q", &[1, 2]).unwrap();
+        engine.solve("ws-q", &[0, 1]).unwrap(); // refresh {0,1}
+        engine.solve("ws-q", &[2, 3]).unwrap(); // evicts LRU {1,2}
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.capacity, 2);
+        // {0,1} survived the eviction, {1,2} did not.
+        engine.solve("ws-q", &[0, 1]).unwrap();
+        assert_eq!(engine.cache_stats().hits, 2);
+        engine.solve("ws-q", &[1, 2]).unwrap();
+        assert_eq!(engine.cache_stats().hits, 2);
+
+        // Capacity 0 disables caching entirely.
+        engine.set_solve_cache_capacity(0);
+        engine.solve("ws-q", &[0, 1]).unwrap();
+        engine.solve("ws-q", &[0, 1]).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.entries, stats.capacity), (0, 0, 0));
+    }
+
+    #[test]
+    fn cached_and_fresh_reports_agree_for_every_core_solver() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let q = [11u32, 24, 25, 29];
+        for solver in engine.solver_names() {
+            let first = engine.solve(solver, &q).unwrap();
+            let cached = engine.solve(solver, &q).unwrap();
+            let uncached = engine
+                .solve_with(solver, &q, &QueryOptions::new().no_cache())
+                .unwrap();
+            for other in [&cached, &uncached] {
+                assert_eq!(first.connector.vertices(), other.connector.vertices());
+                assert_eq!(first.wiener_index, other.wiener_index);
+                assert_eq!(first.candidates, other.candidates);
+                assert_eq!(first.optimal, other.optimal);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_toggle_is_observable_and_parity_holds() {
+        let g = karate_club();
+        let mut engine = QueryEngine::new(&g);
+        assert!(engine.context(QueryOptions::default()).kernel_enabled());
+        let q = [11u32, 24, 25, 29];
+        let on = engine.solve("ws-q", &q).unwrap();
+        engine.set_kernel_enabled(false);
+        assert!(!engine.context(QueryOptions::default()).kernel_enabled());
+        let off = engine
+            .solve_with("ws-q", &q, &QueryOptions::new().no_cache())
+            .unwrap();
+        assert_eq!(on.connector.vertices(), off.connector.vertices());
+        assert_eq!(on.wiener_index, off.wiener_index);
     }
 
     #[test]

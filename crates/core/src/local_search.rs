@@ -160,7 +160,10 @@ fn frontier(g: &Graph, set: &[NodeId]) -> Vec<NodeId> {
 }
 
 /// Wiener index of `G[S]`, `None` if disconnected. Thin wrapper keeping
-/// the hot path free of `Result` plumbing.
+/// the hot path free of `Result` plumbing. This is the refinement loop's
+/// hot spot — one all-pairs evaluation per attempted move — and routes
+/// through the batched distance kernel inside [`wiener::wiener_index`]
+/// (multi-source BFS above the small-subgraph cutoff).
 fn subset_wiener(g: &Graph, set: &[NodeId]) -> Option<u64> {
     let sub = g.induced(set).ok()?;
     wiener::wiener_index(sub.graph())

@@ -8,13 +8,14 @@
 //! * `B(H, r, λ) = λ|H| + Σ_u d_G(r, u) / λ` — the linearization
 //!   (Problem 4, Lemma 3).
 
-use mwc_graph::traversal::bfs::BfsWorkspace;
+use mwc_graph::traversal::bfs::{BfsWorkspace, MsBfsWorkspace, MS_BFS_LANES};
 use mwc_graph::{Graph, NodeId};
 
 use crate::error::{CoreError, Result};
 
 /// `A(G[S], r)`: `|S| · Σ_{u ∈ S} d_{G[S]}(u, r)` with distances measured
-/// inside the induced subgraph.
+/// inside the induced subgraph, computed by the direction-optimizing
+/// distance kernel.
 ///
 /// Errors if `r ∉ S`; returns `None` if `G[S]` is disconnected (the
 /// objective is infinite).
@@ -26,7 +27,7 @@ pub fn objective_a(g: &Graph, vertices: &[NodeId], r: NodeId) -> Result<Option<u
         });
     };
     let mut ws = BfsWorkspace::new();
-    ws.run(sub.graph(), r_local);
+    ws.run_auto(sub.graph(), r_local);
     let (sum, reached) = ws.last_run_distance_sum();
     if reached != sub.num_nodes() {
         return Ok(None);
@@ -36,24 +37,32 @@ pub fn objective_a(g: &Graph, vertices: &[NodeId], r: NodeId) -> Result<Option<u
 
 /// `A(H) = min_r A(H, r)` over all vertices of the induced subgraph,
 /// returning `(argmin, value)`. `None` if disconnected.
+///
+/// The `|S|` single-source sweeps are batched through the multi-source
+/// BFS kernel (64 roots per CSR sweep), so evaluating every root costs a
+/// handful of passes over the subgraph instead of `|S|`.
 pub fn objective_a_best_root(g: &Graph, vertices: &[NodeId]) -> Result<Option<(NodeId, u64)>> {
     let sub = g.induced(vertices)?;
     let k = sub.num_nodes();
     if k == 0 {
         return Err(CoreError::EmptyQuery);
     }
-    let mut ws = BfsWorkspace::new();
+    let mut ws = MsBfsWorkspace::new();
     let mut best: Option<(NodeId, u64)> = None;
-    for local in 0..k as NodeId {
-        ws.run(sub.graph(), local);
-        let (sum, reached) = ws.last_run_distance_sum();
-        if reached != k {
-            return Ok(None);
-        }
-        let val = sum * k as u64;
-        let global = sub.to_global(local);
-        if best.is_none_or(|(_, b)| val < b) {
-            best = Some((global, val));
+    for batch_lo in (0..k).step_by(MS_BFS_LANES) {
+        let batch_hi = (batch_lo + MS_BFS_LANES).min(k);
+        let sources: Vec<NodeId> = (batch_lo as NodeId..batch_hi as NodeId).collect();
+        ws.run(sub.graph(), &sources);
+        for (lane, &local) in sources.iter().enumerate() {
+            let (sum, reached) = ws.distance_sum(lane);
+            if reached != k {
+                return Ok(None);
+            }
+            let val = sum * k as u64;
+            let global = sub.to_global(local);
+            if best.is_none_or(|(_, b)| val < b) {
+                best = Some((global, val));
+            }
         }
     }
     Ok(best)

@@ -81,6 +81,16 @@ pub struct WsqConfig {
     /// [`QueryOptions::deadline`](crate::engine::QueryOptions::deadline)
     /// rather than directly.
     pub deadline: Option<Instant>,
+    /// Route the solver's distance-only BFS runs (feasibility check,
+    /// `A(H, r)` candidate evaluation) through the direction-optimizing
+    /// kernel ([`BfsWorkspace::run_auto`]
+    /// (mwc_graph::traversal::bfs::BfsWorkspace::run_auto)). Distances —
+    /// and therefore connectors — are bit-identical either way (pinned by
+    /// `kernel_toggle_yields_identical_connectors`); the flag exists so
+    /// the kernel bench and parity tests can hold everything else fixed.
+    /// The per-root BFS that feeds `AdjustDistances` always stays
+    /// top-down: it needs the discovery-order parent tree.
+    pub kernel: bool,
 }
 
 impl Default for WsqConfig {
@@ -95,6 +105,7 @@ impl Default for WsqConfig {
             steiner: SteinerAlgorithm::default(),
             node_weighted_steiner: false,
             deadline: None,
+            kernel: true,
         }
     }
 }
@@ -190,7 +201,11 @@ impl<'g> WienerSteiner<'g> {
         // keeping per-thread memory at one distance array).
         {
             let mut ws = pool.lease();
-            let dist = ws.run(g, q[0]);
+            let dist = if self.config.kernel {
+                ws.run_auto(g, q[0])
+            } else {
+                ws.run(g, q[0])
+            };
             if q.iter().any(|&v| dist[v as usize] == INF_DIST) {
                 return Err(CoreError::QueryNotConnectable);
             }
@@ -253,7 +268,15 @@ impl<'g> WienerSteiner<'g> {
             }
             if rec.a_value <= 2 * min_a && nodes.len() <= self.config.wiener_exact_threshold {
                 let sub = g.induced(nodes)?;
-                rec.wiener = wiener::wiener_index(sub.graph());
+                // When the solver itself was asked to stay sequential
+                // (batch workers already use every core), keep the Wiener
+                // evaluation sequential too — the parallel kernel would
+                // nest one thread pool per worker.
+                rec.wiener = if self.config.parallel {
+                    wiener::wiener_index(sub.graph())
+                } else {
+                    wiener::wiener_index_sequential(sub.graph())
+                };
             }
         }
         let total_candidates = all.len();
@@ -394,7 +417,7 @@ fn run_roots(
                 tree
             };
             let nodes = final_tree.nodes;
-            let a_value = evaluate_a(g, &nodes, r, pool)?;
+            let a_value = evaluate_a(g, &nodes, r, pool, cfg.kernel)?;
             out.push((
                 CandidateRecord {
                     root: r,
@@ -411,11 +434,21 @@ fn run_roots(
 }
 
 /// Computes `A(G[S], r)` — one BFS inside the induced subgraph.
-fn evaluate_a(g: &Graph, nodes: &[NodeId], r: NodeId, pool: &WorkspacePool) -> Result<u64> {
+fn evaluate_a(
+    g: &Graph,
+    nodes: &[NodeId],
+    r: NodeId,
+    pool: &WorkspacePool,
+    kernel: bool,
+) -> Result<u64> {
     let sub = g.induced(nodes)?;
     let r_local = sub.to_local(r).expect("root belongs to its candidate");
     let mut ws = pool.lease();
-    ws.run(sub.graph(), r_local);
+    if kernel {
+        ws.run_auto(sub.graph(), r_local);
+    } else {
+        ws.run(sub.graph(), r_local);
+    }
     let (sum, reached) = ws.last_run_distance_sum();
     debug_assert_eq!(
         reached,
@@ -624,5 +657,39 @@ mod tests {
         let g = structured::path(6);
         let sol = minimum_wiener_connector(&g, &[2, 2, 4, 4]).unwrap();
         assert_eq!(sol.connector.vertices(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn kernel_toggle_yields_identical_connectors() {
+        // The direction-optimizing kernel only changes scan order, never
+        // distances — connectors must be bit-identical with it on or off.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let g = mwc_graph::generators::barabasi_albert(500, 3, &mut rng);
+        for _ in 0..5 {
+            let q: Vec<NodeId> = (0..4).map(|_| rng.gen_range(0..500)).collect();
+            let on = WienerSteiner::with_config(
+                &g,
+                WsqConfig {
+                    kernel: true,
+                    parallel: false,
+                    ..WsqConfig::default()
+                },
+            )
+            .solve(&q)
+            .unwrap();
+            let off = WienerSteiner::with_config(
+                &g,
+                WsqConfig {
+                    kernel: false,
+                    parallel: false,
+                    ..WsqConfig::default()
+                },
+            )
+            .solve(&q)
+            .unwrap();
+            assert_eq!(on.connector.vertices(), off.connector.vertices(), "{q:?}");
+            assert_eq!(on.wiener_index, off.wiener_index);
+            assert_eq!(on.num_candidates, off.num_candidates);
+        }
     }
 }

@@ -48,6 +48,16 @@ pub struct ApproxWsqConfig {
     /// Exact-Wiener evaluation threshold (Remark 1; see
     /// [`crate::WsqConfig::wiener_exact_threshold`]).
     pub wiener_exact_threshold: usize,
+    /// Route distance-only BFS runs (feasibility, `A(H, r)` evaluation)
+    /// through the direction-optimizing kernel; see
+    /// [`crate::WsqConfig::kernel`]. Results are bit-identical either
+    /// way.
+    pub kernel: bool,
+    /// Allow internal parallelism (currently: the multi-source parallel
+    /// Wiener evaluation of Remark-1 survivors). The engine clears this
+    /// inside `solve_batch` workers so solvers do not nest one thread
+    /// pool per worker — same contract as [`crate::WsqConfig::parallel`].
+    pub parallel: bool,
 }
 
 impl Default for ApproxWsqConfig {
@@ -58,6 +68,8 @@ impl Default for ApproxWsqConfig {
             strategy: LandmarkStrategy::HighestDegree,
             steiner: SteinerAlgorithm::default(),
             wiener_exact_threshold: 4096,
+            kernel: true,
+            parallel: true,
         }
     }
 }
@@ -154,7 +166,11 @@ pub fn solve_with_oracle(
     // Feasibility stays exact: one BFS, not one per root.
     {
         let mut ws = pool.lease();
-        let dist = ws.run(g, q[0]);
+        let dist = if config.kernel {
+            ws.run_auto(g, q[0])
+        } else {
+            ws.run(g, q[0])
+        };
         if q.iter().any(|&v| dist[v as usize] == INF_DIST) {
             return Err(CoreError::QueryNotConnectable);
         }
@@ -178,7 +194,7 @@ pub fn solve_with_oracle(
             };
             let tree = steiner_tree(config.steiner, g, &q, weight)?;
             let nodes = tree.nodes;
-            let a_value = evaluate_a_local(g, &nodes, r, pool)?;
+            let a_value = evaluate_a_local(g, &nodes, r, pool, config.kernel)?;
             all.push((
                 CandidateRecord {
                     root: r,
@@ -198,7 +214,13 @@ pub fn solve_with_oracle(
     for (rec, nodes) in &mut all {
         if rec.a_value <= 2 * min_a && nodes.len() <= config.wiener_exact_threshold {
             let sub = g.induced(nodes)?;
-            rec.wiener = wiener::wiener_index(sub.graph());
+            // Sequential when the engine is already parallel across
+            // queries (see ApproxWsqConfig::parallel) — never nest pools.
+            rec.wiener = if config.parallel {
+                wiener::wiener_index(sub.graph())
+            } else {
+                wiener::wiener_index_sequential(sub.graph())
+            };
         }
     }
     let num_candidates = all.len();
@@ -236,11 +258,21 @@ pub fn solve_with_oracle(
 /// `A(H, r) = |H| · Σ_u d_H(u, r)` evaluated exactly on the (small)
 /// candidate subgraph — same definition as the exact solver's internal
 /// evaluator.
-fn evaluate_a_local(g: &Graph, nodes: &[NodeId], r: NodeId, pool: &WorkspacePool) -> Result<u64> {
+fn evaluate_a_local(
+    g: &Graph,
+    nodes: &[NodeId],
+    r: NodeId,
+    pool: &WorkspacePool,
+    kernel: bool,
+) -> Result<u64> {
     let sub = g.induced(nodes)?;
     let r_local = sub.to_local(r).expect("root belongs to its candidate");
     let mut ws = pool.lease();
-    ws.run(sub.graph(), r_local);
+    if kernel {
+        ws.run_auto(sub.graph(), r_local);
+    } else {
+        ws.run(sub.graph(), r_local);
+    }
     let (sum, reached) = ws.last_run_distance_sum();
     debug_assert_eq!(reached, sub.num_nodes(), "candidate must be connected");
     Ok(sum * sub.num_nodes() as u64)

@@ -1,0 +1,214 @@
+//! Vertex relabelings: [`NodePermutation`] and the degree-ordered
+//! (hub-first) CSR layout.
+//!
+//! BFS over a CSR graph is memory-bound: every frontier expansion streams
+//! adjacency lists and scatters into the distance array. On scale-free
+//! graphs the high-degree hubs are touched by almost every traversal, so
+//! relabeling vertices in descending-degree order packs the hot rows (and
+//! the hot prefix of the distance array) into a few pages — the classic
+//! cache-aware layout trick for graph kernels. [`Graph::degree_ordered`]
+//! produces that layout plus the [`NodePermutation`] needed to translate
+//! query ids in and connector ids back out, so callers (the serving
+//! catalog) can keep their external id space untouched.
+
+use std::cmp::Reverse;
+
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// A bijective relabeling of `0..n`, stored in both directions so either
+/// translation is an `O(1)` array read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePermutation {
+    /// `to_new[old] = new`.
+    to_new: Vec<NodeId>,
+    /// `to_old[new] = old`.
+    to_old: Vec<NodeId>,
+}
+
+impl NodePermutation {
+    /// The identity permutation on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<NodeId> = (0..n as NodeId).collect();
+        NodePermutation {
+            to_new: ids.clone(),
+            to_old: ids,
+        }
+    }
+
+    /// Builds a permutation from its `new → old` image (each id of
+    /// `0..n` appearing exactly once).
+    pub(crate) fn from_new_to_old(to_old: Vec<NodeId>) -> Self {
+        let mut to_new = vec![0 as NodeId; to_old.len()];
+        for (new, &old) in to_old.iter().enumerate() {
+            to_new[old as usize] = new as NodeId;
+        }
+        NodePermutation { to_new, to_old }
+    }
+
+    /// Number of vertices the permutation covers.
+    pub fn len(&self) -> usize {
+        self.to_new.len()
+    }
+
+    /// Whether the permutation covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.to_new.is_empty()
+    }
+
+    /// The relabeled id of an original vertex.
+    ///
+    /// # Panics
+    /// Panics if `old` is out of range.
+    #[inline]
+    pub fn to_new(&self, old: NodeId) -> NodeId {
+        self.to_new[old as usize]
+    }
+
+    /// The original id of a relabeled vertex.
+    ///
+    /// # Panics
+    /// Panics if `new` is out of range.
+    #[inline]
+    pub fn to_old(&self, new: NodeId) -> NodeId {
+        self.to_old[new as usize]
+    }
+
+    /// Translates a slice of original ids into the relabeled space.
+    pub fn map_to_new(&self, olds: &[NodeId]) -> Vec<NodeId> {
+        olds.iter().map(|&v| self.to_new(v)).collect()
+    }
+
+    /// Translates a slice of relabeled ids back to original ids.
+    pub fn map_to_old(&self, news: &[NodeId]) -> Vec<NodeId> {
+        news.iter().map(|&v| self.to_old(v)).collect()
+    }
+}
+
+impl Graph {
+    /// The same graph relabeled hub-first: vertex `0` is the highest-degree
+    /// vertex, ties broken by ascending original id (deterministic).
+    ///
+    /// Returns the relabeled CSR graph and the [`NodePermutation`] mapping
+    /// ids between the two spaces. The layout is what the distance kernel
+    /// wants — traversals on scale-free graphs concentrate their memory
+    /// traffic on the low-id prefix — while the permutation lets callers
+    /// keep speaking original ids at their boundary:
+    ///
+    /// ```
+    /// use mwc_graph::generators::karate::karate_club;
+    ///
+    /// let g = karate_club();
+    /// let (ordered, perm) = g.degree_ordered();
+    /// assert_eq!(ordered.num_edges(), g.num_edges());
+    /// // Vertex 33 (degree 17) is the karate hub: it becomes vertex 0.
+    /// assert_eq!(perm.to_new(33), 0);
+    /// assert_eq!(ordered.degree(0), g.max_degree());
+    /// ```
+    pub fn degree_ordered(&self) -> (Graph, NodePermutation) {
+        let n = self.num_nodes();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_by_key(|&v| (Reverse(self.degree(v)), v));
+        let perm = NodePermutation::from_new_to_old(order);
+
+        // Rebuild the CSR directly in the new id space: offsets from the
+        // (permuted) degree sequence, each adjacency list translated and
+        // re-sorted to keep the Graph invariants.
+        let mut offsets = vec![0u32; n + 1];
+        for new_v in 0..n {
+            offsets[new_v + 1] = offsets[new_v] + self.degree(perm.to_old(new_v as NodeId)) as u32;
+        }
+        let mut neighbors = vec![0 as NodeId; offsets[n] as usize];
+        for new_v in 0..n {
+            let old_v = perm.to_old(new_v as NodeId);
+            let lo = offsets[new_v] as usize;
+            let hi = offsets[new_v + 1] as usize;
+            let list = &mut neighbors[lo..hi];
+            for (slot, &old_nb) in list.iter_mut().zip(self.neighbors(old_v)) {
+                *slot = perm.to_new(old_nb);
+            }
+            list.sort_unstable();
+        }
+        (Graph::from_csr_parts(offsets, neighbors), perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::karate::karate_club;
+    use crate::wiener::wiener_index;
+
+    #[test]
+    fn identity_round_trips() {
+        let p = NodePermutation::identity(5);
+        assert_eq!(p.len(), 5);
+        for v in 0..5u32 {
+            assert_eq!(p.to_new(v), v);
+            assert_eq!(p.to_old(v), v);
+        }
+        assert!(NodePermutation::identity(0).is_empty());
+    }
+
+    #[test]
+    fn degree_ordered_is_an_isomorphism() {
+        let g = karate_club();
+        let (h, perm) = g.degree_ordered();
+        assert_eq!(h.num_nodes(), g.num_nodes());
+        assert_eq!(h.num_edges(), g.num_edges());
+        // Every edge maps to an edge, both directions.
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(perm.to_new(u), perm.to_new(v)), "({u},{v})");
+        }
+        for (u, v) in h.edges() {
+            assert!(g.has_edge(perm.to_old(u), perm.to_old(v)), "({u},{v})");
+        }
+        // Round trips.
+        for v in g.nodes() {
+            assert_eq!(perm.to_old(perm.to_new(v)), v);
+        }
+    }
+
+    #[test]
+    fn degree_ordered_sorts_hubs_first() {
+        let g = karate_club();
+        let (h, _) = g.degree_ordered();
+        let degs: Vec<usize> = h.nodes().map(|v| h.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "{degs:?}");
+        assert_eq!(degs[0], g.max_degree());
+    }
+
+    #[test]
+    fn degree_ordered_ties_break_by_original_id() {
+        // A 4-cycle: all degrees equal, so the order must be the identity.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let (_, perm) = g.degree_ordered();
+        for v in 0..4u32 {
+            assert_eq!(perm.to_new(v), v);
+        }
+    }
+
+    #[test]
+    fn wiener_index_is_layout_invariant() {
+        let g = karate_club();
+        let (h, _) = g.degree_ordered();
+        assert_eq!(wiener_index(&g), wiener_index(&h));
+    }
+
+    #[test]
+    fn map_helpers_translate_slices() {
+        let g = karate_club();
+        let (_, perm) = g.degree_ordered();
+        let q = [0u32, 33, 11];
+        let round = perm.map_to_old(&perm.map_to_new(&q));
+        assert_eq!(round, q);
+    }
+
+    #[test]
+    fn empty_graph_degenerates_cleanly() {
+        let g = Graph::empty(0);
+        let (h, perm) = g.degree_ordered();
+        assert_eq!(h.num_nodes(), 0);
+        assert!(perm.is_empty());
+    }
+}

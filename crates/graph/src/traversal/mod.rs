@@ -3,5 +3,8 @@
 pub mod bfs;
 pub mod dijkstra;
 
-pub use bfs::{bfs_distances, bfs_parents, BfsResult, BfsWorkspace};
+pub use bfs::{
+    bfs_distances, bfs_parents, multi_source_bfs, BfsResult, BfsWorkspace, MsBfsWorkspace,
+    MS_BFS_LANES,
+};
 pub use dijkstra::{dijkstra, multi_source_dijkstra, DijkstraResult, VoronoiResult};

@@ -5,18 +5,100 @@
 //! (Lemma 1 sandwiches `W` between `A/2` and `A`), which lives in
 //! `mwc-core::objective`; this module provides the graph-level primitives.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::csr::Graph;
 use crate::error::Result;
-use crate::traversal::bfs::BfsWorkspace;
+use crate::traversal::bfs::{BfsWorkspace, MsBfsWorkspace, MS_BFS_LANES};
 use crate::NodeId;
+
+/// Below this many vertices, [`wiener_index`] stays on the sequential
+/// per-source loop: thread spawn + multi-source mask bookkeeping cost
+/// more than the whole computation on the candidate subgraphs the
+/// solvers evaluate (tens of vertices).
+const PARALLEL_WIENER_MIN_NODES: usize = 1024;
 
 /// Exact Wiener index via all-pairs BFS; `None` if the graph is
 /// disconnected (the Wiener index is conventionally infinite then).
 ///
-/// `O(|V| · (|V| + |E|))` — intended for the small candidate subgraphs the
-/// solvers produce, not for million-node inputs (use
-/// [`wiener_index_sampled`] there).
+/// `O(|V| · (|V| + |E|))` total work. Small graphs (the solvers' candidate
+/// subgraphs) run the sequential per-source loop; above
+/// `PARALLEL_WIENER_MIN_NODES` vertices the sources are batched into
+/// 64-lane multi-source BFS sweeps distributed over scoped worker
+/// threads (the same chunking shape as `QueryEngine::solve_batch`), so
+/// the CSR is streamed once per level per batch instead of once per
+/// source. For million-node inputs prefer [`wiener_index_sampled`];
+/// callers already running on a saturated thread pool (batch workers)
+/// should call [`wiener_index_sequential`] to avoid nesting pools — the
+/// solvers' `parallel` config flags do exactly that.
 pub fn wiener_index(g: &Graph) -> Option<u64> {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return Some(0);
+    }
+    if n < PARALLEL_WIENER_MIN_NODES {
+        return wiener_index_sequential(g);
+    }
+
+    let batches: Vec<(NodeId, NodeId)> = (0..n)
+        .step_by(MS_BFS_LANES)
+        .map(|lo| (lo as NodeId, (lo + MS_BFS_LANES).min(n) as NodeId))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(batches.len());
+    if threads <= 1 {
+        return wiener_index_sequential(g);
+    }
+
+    let disconnected = AtomicBool::new(false);
+    let chunk = batches.len().div_ceil(threads);
+    let partials: Vec<Option<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .chunks(chunk)
+            .map(|my_batches| {
+                let disconnected = &disconnected;
+                scope.spawn(move || {
+                    let mut ws = MsBfsWorkspace::new();
+                    let mut total = 0u64;
+                    for &(lo, hi) in my_batches {
+                        // A disconnected verdict is global: stop early.
+                        if disconnected.load(Ordering::Relaxed) {
+                            return None;
+                        }
+                        let sources: Vec<NodeId> = (lo..hi).collect();
+                        ws.run(g, &sources);
+                        for lane in 0..sources.len() {
+                            let (sum, reached) = ws.distance_sum(lane);
+                            if reached != n {
+                                disconnected.store(true, Ordering::Relaxed);
+                                return None;
+                            }
+                            total += sum;
+                        }
+                    }
+                    Some(total)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("wiener worker panicked"))
+            .collect()
+    });
+
+    let mut total = 0u64;
+    for p in partials {
+        total += p?;
+    }
+    Some(total / 2)
+}
+
+/// The sequential per-source all-pairs loop — the historical kernel, kept
+/// both as the small-`n` fast path and as the parity reference the
+/// property tests pin [`wiener_index`] against.
+pub fn wiener_index_sequential(g: &Graph) -> Option<u64> {
     let n = g.num_nodes();
     if n <= 1 {
         return Some(0);
@@ -215,5 +297,27 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let est = wiener_index_sampled(&g, 1000, &mut rng).unwrap();
         assert_eq!(est, wiener_index(&g).unwrap() as f64);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_above_threshold() {
+        // 40×40 grid: 1600 nodes, above PARALLEL_WIENER_MIN_NODES, so
+        // wiener_index takes the multi-source parallel path.
+        let g = structured::grid(40, 40, false);
+        assert_eq!(wiener_index(&g), wiener_index_sequential(&g));
+        // Closed form for a path keeps the parallel path honest too.
+        let p = structured::path(1500);
+        let n = 1500u64;
+        assert_eq!(wiener_index(&p), Some((n * n * n - n) / 6));
+    }
+
+    #[test]
+    fn parallel_path_detects_disconnection() {
+        // Two large components: every source fails to reach the far side.
+        let mut edges: Vec<(NodeId, NodeId)> = (0..800).map(|i| (i, i + 1)).collect();
+        edges.extend((900..1900u32).map(|i| (i, i + 1)));
+        let g = Graph::from_edges(1901, &edges).unwrap();
+        assert_eq!(wiener_index(&g), None);
+        assert_eq!(wiener_index_sequential(&g), None);
     }
 }

@@ -182,3 +182,85 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a random graph from one of the paper's evaluation families —
+/// Erdős–Rényi `G(n, p)`, Barabási–Albert, or a planted partition (SBM) —
+/// sized past the direction-optimizing cutoff so `run_auto` really takes
+/// the bitset path.
+fn arb_family_graph() -> impl Strategy<Value = Graph> {
+    (0usize..3, 280usize..400, any::<u64>()).prop_map(|(family, n, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match family {
+            0 => mwc_graph::generators::gnp(n, 0.02, &mut rng),
+            1 => mwc_graph::generators::barabasi_albert(n, 3, &mut rng),
+            _ => {
+                let third = n / 3;
+                mwc_graph::generators::planted_partition(
+                    &[third, third, n - 2 * third],
+                    0.08,
+                    0.005,
+                    &mut rng,
+                )
+                .graph
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Direction-optimizing BFS distances are bit-identical to plain BFS
+    /// on every graph family (ER / BA / SBM), connected or not.
+    #[test]
+    fn direction_optimizing_bfs_parity(g in arb_family_graph(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        use mwc_graph::traversal::bfs::BfsWorkspace;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut plain = BfsWorkspace::new();
+        let mut auto = BfsWorkspace::new();
+        for _ in 0..4 {
+            let s = rng.gen_range(0..g.num_nodes() as NodeId);
+            let want: Vec<u32> = plain.run(&g, s).to_vec();
+            let got: Vec<u32> = auto.run_auto(&g, s).to_vec();
+            prop_assert_eq!(want, got, "source {}", s);
+        }
+    }
+
+    /// Multi-source batched BFS matches per-source plain BFS lane by lane
+    /// on every graph family.
+    #[test]
+    fn multi_source_bfs_parity(g in arb_family_graph(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        use mwc_graph::traversal::bfs::{BfsWorkspace, MsBfsWorkspace};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.num_nodes() as NodeId;
+        let lanes = rng.gen_range(1..=64usize);
+        let sources: Vec<NodeId> = (0..lanes).map(|_| rng.gen_range(0..n)).collect();
+        let mut ms = MsBfsWorkspace::new();
+        ms.run(&g, &sources);
+        let mut single = BfsWorkspace::new();
+        for (lane, &s) in sources.iter().enumerate() {
+            let want: Vec<u32> = single.run(&g, s).to_vec();
+            prop_assert_eq!(ms.lane_distances(lane), want, "lane {} source {}", lane, s);
+            prop_assert_eq!(ms.distance_sum(lane), single.last_run_distance_sum());
+        }
+    }
+
+    /// The parallel multi-source Wiener index equals the sequential
+    /// per-source reference, and degree ordering preserves both distances
+    /// and the Wiener index (it is an isomorphism).
+    #[test]
+    fn kernel_wiener_and_layout_parity(g in arb_family_graph()) {
+        prop_assert_eq!(wiener_index(&g), mwc_graph::wiener::wiener_index_sequential(&g));
+        let (h, perm) = g.degree_ordered();
+        prop_assert_eq!(wiener_index(&g), wiener_index(&h));
+        // Spot-check distance preservation under the relabeling.
+        let d_g = bfs_distances(&g, 0);
+        let d_h = bfs_distances(&h, perm.to_new(0));
+        for v in 0..g.num_nodes() as NodeId {
+            prop_assert_eq!(d_g[v as usize], d_h[perm.to_new(v) as usize]);
+        }
+    }
+}

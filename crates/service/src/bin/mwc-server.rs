@@ -71,8 +71,8 @@ fn main() -> ExitCode {
         match catalog.load(name, spec) {
             Ok(entry) => eprintln!(
                 "{} nodes, {} edges, engine ready",
-                entry.graph.num_nodes(),
-                entry.graph.num_edges()
+                entry.num_nodes(),
+                entry.num_edges()
             ),
             Err(e) => {
                 eprintln!("failed: {e}");

@@ -5,8 +5,18 @@
 //! against any of them by name. The catalog owns one
 //! [`OwnedEngine`](mwc_core::OwnedEngine) per graph — built when the
 //! graph is loaded, so the per-graph state (BFS workspace pool, degree
-//! vector, landmark oracle) is amortized across every request the server
-//! will ever answer for it.
+//! vector, landmark oracle, solve cache) is amortized across every
+//! request the server will ever answer for it.
+//!
+//! # Degree-ordered serving layout
+//!
+//! Each engine is built over the **degree-ordered** relabeling of its
+//! graph ([`Graph::degree_ordered`]): hubs get the low ids, packing the
+//! traversal-hot CSR rows and distance-array prefix into a few cache
+//! pages. The relabeling is invisible on the wire — [`CatalogEntry`]'s
+//! solve methods translate query ids in and connector ids back out
+//! through the stored [`NodePermutation`], so clients keep speaking the
+//! graph's original ids.
 //!
 //! Access is read-mostly: lookups clone an `Arc` under a briefly held
 //! read lock; loads build the graph and engine *outside* the lock and
@@ -19,11 +29,12 @@ use std::io::BufReader;
 use std::sync::{Arc, RwLock};
 
 use mwc_baselines::full_engine_shared;
-use mwc_core::OwnedEngine;
+use mwc_core::{CacheStats, Connector, OwnedEngine, QueryOptions, SolveReport};
 use mwc_graph::generators::barabasi_albert::barabasi_albert;
 use mwc_graph::generators::karate::karate_club;
 use mwc_graph::io::read_edge_list;
-use mwc_graph::Graph;
+use mwc_graph::permute::NodePermutation;
+use mwc_graph::{Graph, NodeId};
 use rand::SeedableRng;
 
 use crate::error::{Result, ServiceError};
@@ -140,16 +151,133 @@ impl GraphSource {
 /// engine serving it. Handed out as an `Arc` so requests keep a
 /// consistent view even if the entry is concurrently evicted or
 /// replaced.
+///
+/// The engine runs over the degree-ordered relabeling of `graph`; use
+/// [`CatalogEntry::solve`] / [`CatalogEntry::solve_batch`], which speak
+/// original ids at both ends. Reaching into [`CatalogEntry::engine`]
+/// directly means speaking *relabeled* ids.
 #[derive(Debug)]
 pub struct CatalogEntry {
     /// Catalog name (the key requests use).
     pub name: String,
     /// The spec string this entry was loaded from.
     pub source: String,
-    /// Shared ownership of the graph.
-    pub graph: Arc<Graph>,
-    /// The engine, with the full method table registered.
-    pub engine: OwnedEngine,
+    /// Vertex count of the served graph. The original-layout graph
+    /// itself is *not* retained — only the degree-ordered copy inside
+    /// the engine is resident, so a cataloged graph costs one CSR, not
+    /// two. Rebuild from [`CatalogEntry::source`] when the original
+    /// layout is needed (tests do).
+    nodes: usize,
+    /// Edge count of the served graph.
+    edges: usize,
+    /// Maps original ids (`old`) to the engine's degree-ordered ids
+    /// (`new`) and back.
+    perm: NodePermutation,
+    /// The engine over the degree-ordered graph, with the full method
+    /// table registered.
+    engine: OwnedEngine,
+}
+
+impl CatalogEntry {
+    /// Builds an entry: degree-orders the graph, constructs the full
+    /// engine over the relabeled layout, and remembers the permutation
+    /// for boundary translation. The original-layout graph is dropped
+    /// here (the caller's `Graph` is consumed). Deterministic for a
+    /// given graph.
+    fn build(name: &str, source: &str, graph: Graph) -> CatalogEntry {
+        let (ordered, perm) = graph.degree_ordered();
+        let (nodes, edges) = (graph.num_nodes(), graph.num_edges());
+        drop(graph);
+        let engine = full_engine_shared(Arc::new(ordered));
+        CatalogEntry {
+            name: name.to_string(),
+            source: source.to_string(),
+            nodes,
+            edges,
+            perm,
+            engine,
+        }
+    }
+
+    /// Vertex count of the served graph.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Edge count of the served graph.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// The serving engine (degree-ordered id space — translate through
+    /// [`CatalogEntry::solve`] unless you know what you are doing).
+    pub fn engine(&self) -> &OwnedEngine {
+        &self.engine
+    }
+
+    /// Registered solver names, sorted.
+    pub fn solver_names(&self) -> Vec<&str> {
+        self.engine.solver_names()
+    }
+
+    /// The engine's solve-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Translates one original-id vertex into the engine's id space.
+    /// Out-of-range ids pass through unchanged: the id spaces have the
+    /// same range, so the engine rejects them with the same
+    /// `NodeOutOfRange` error the original graph would have produced.
+    fn to_engine_id(&self, v: NodeId) -> NodeId {
+        if (v as usize) < self.perm.len() {
+            self.perm.to_new(v)
+        } else {
+            v
+        }
+    }
+
+    /// Rewrites a report's connector from engine ids back to original
+    /// ids. The objective value, timings, and diagnostics are
+    /// layout-invariant and pass through untouched.
+    fn translate_report(&self, mut report: SolveReport) -> SolveReport {
+        report.connector =
+            Connector::from_vertices(self.perm.map_to_old(report.connector.vertices()));
+        report
+    }
+
+    /// Solves one query against this entry's engine, speaking original
+    /// graph ids on both sides of the call.
+    pub fn solve(
+        &self,
+        solver: &str,
+        q: &[NodeId],
+        options: &QueryOptions,
+    ) -> mwc_core::Result<SolveReport> {
+        let q_new: Vec<NodeId> = q.iter().map(|&v| self.to_engine_id(v)).collect();
+        self.engine
+            .solve_with(solver, &q_new, options)
+            .map(|r| self.translate_report(r))
+    }
+
+    /// Batch counterpart of [`CatalogEntry::solve`]: queries in, reports
+    /// out, all in original ids, with per-query errors kept in place.
+    pub fn solve_batch(
+        &self,
+        solver: &str,
+        queries: &[Vec<NodeId>],
+        options: &QueryOptions,
+    ) -> Vec<mwc_core::Result<SolveReport>> {
+        let translated: Vec<Vec<NodeId>> = queries
+            .iter()
+            .map(|q| q.iter().map(|&v| self.to_engine_id(v)).collect())
+            .collect();
+        self.engine
+            .solve_batch(solver, &translated, options)
+            .into_iter()
+            .map(|r| r.map(|report| self.translate_report(report)))
+            .collect()
+    }
 }
 
 /// A named collection of loaded graphs with their engines.
@@ -165,22 +293,16 @@ impl Catalog {
     }
 
     /// Loads `spec` under `name`, replacing any previous entry of that
-    /// name. Graph generation and engine construction run outside the
-    /// lock; only the publish takes the write lock. Returns the new
-    /// entry.
+    /// name. Graph generation, degree ordering, and engine construction
+    /// run outside the lock; only the publish takes the write lock.
+    /// Returns the new entry.
     pub fn load(&self, name: &str, spec: &str) -> Result<Arc<CatalogEntry>> {
         if name.is_empty() {
             return Err(ServiceError::BadSource("empty graph name".to_string()));
         }
         let source = GraphSource::parse(spec)?;
-        let graph = Arc::new(source.build()?);
-        let engine = full_engine_shared(Arc::clone(&graph));
-        let entry = Arc::new(CatalogEntry {
-            name: name.to_string(),
-            source: spec.to_string(),
-            graph,
-            engine,
-        });
+        let graph = source.build()?;
+        let entry = Arc::new(CatalogEntry::build(name, spec, graph));
         self.entries
             .write()
             .expect("catalog lock poisoned")
@@ -286,8 +408,8 @@ mod tests {
         let catalog = Catalog::new();
         assert!(catalog.is_empty());
         let entry = catalog.load("karate", "karate").unwrap();
-        assert_eq!(entry.graph.num_nodes(), 34);
-        assert!(entry.engine.solver_names().contains(&"ws-q"));
+        assert_eq!(entry.num_nodes(), 34);
+        assert!(entry.solver_names().contains(&"ws-q"));
         catalog.load("toy", "ba:200x2").unwrap();
         assert_eq!(catalog.len(), 2);
         let names: Vec<String> = catalog.list().iter().map(|e| e.name.clone()).collect();
@@ -307,17 +429,59 @@ mod tests {
         assert!(!catalog.evict("toy"));
         assert_eq!(catalog.len(), 1);
         // The held Arc keeps serving after eviction.
-        assert!(got.engine.solve("ws-q", &[0, 33]).is_ok());
+        assert!(got
+            .solve("ws-q", &[0, 33], &QueryOptions::default())
+            .is_ok());
     }
 
     #[test]
     fn standin_scales_and_serves() {
         let catalog = Catalog::new();
         let entry = catalog.load("mini-email", "standin:email@0.1").unwrap();
-        assert!(entry.graph.num_nodes() >= 64);
-        assert!(entry.graph.num_nodes() < 400);
-        let report = entry.engine.solve("st", &[0, 1, 2]).unwrap();
+        assert!(entry.num_nodes() >= 64);
+        assert!(entry.num_nodes() < 400);
+        let report = entry
+            .solve("st", &[0, 1, 2], &QueryOptions::default())
+            .unwrap();
         assert!(report.connector.contains_all(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn entries_serve_original_ids_over_degree_ordered_engines() {
+        let catalog = Catalog::new();
+        let entry = catalog.load("karate", "karate").unwrap();
+        // Independent original-layout reference (the entry itself does
+        // not retain the original graph).
+        let original = karate_club();
+        // The engine's layout is hub-first…
+        let engine_graph = entry.engine().graph();
+        assert_eq!(engine_graph.degree(0), original.max_degree());
+        // …but solve speaks original ids: the connector is a valid
+        // original-id connector containing the original-id query.
+        let q = [11u32, 24, 25, 29];
+        let report = entry.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        assert!(report.connector.contains_all(&q));
+        let sub = original.induced(report.connector.vertices()).unwrap();
+        assert!(mwc_graph::connectivity::is_connected(sub.graph()));
+        // The objective value is layout-invariant: re-evaluate in the
+        // original id space against the independently built graph.
+        assert_eq!(
+            report.wiener_index,
+            report.connector.wiener_index(&original).unwrap()
+        );
+        // Batch path agrees with the single-query path.
+        let batch = entry.solve_batch("ws-q", &[q.to_vec()], &QueryOptions::default());
+        assert_eq!(
+            batch[0].as_ref().unwrap().connector.vertices(),
+            report.connector.vertices()
+        );
+        // Out-of-range ids surface the standard error, untranslated.
+        assert!(entry
+            .solve("ws-q", &[999], &QueryOptions::default())
+            .is_err());
+        // Cache counters are reachable through the entry.
+        entry.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        assert!(entry.cache_stats().hits >= 1);
     }
 
     #[test]

@@ -208,6 +208,7 @@ impl Client {
         solver: &str,
         deadline_ms: Option<u64>,
         max_size: Option<usize>,
+        no_cache: bool,
     ) -> Vec<(&'static str, Json)> {
         let mut fields = vec![
             ("cmd", Json::from(cmd)),
@@ -219,6 +220,9 @@ impl Client {
         }
         if let Some(m) = max_size {
             fields.push(("max_size", Json::from(m)));
+        }
+        if no_cache {
+            fields.push(("no_cache", Json::Bool(true)));
         }
         fields
     }
@@ -232,7 +236,22 @@ impl Client {
         deadline_ms: Option<u64>,
         max_size: Option<usize>,
     ) -> Result<WireReport> {
-        let mut fields = Self::solve_fields("solve", graph, solver, deadline_ms, max_size);
+        self.solve_opts(graph, solver, q, deadline_ms, max_size, false)
+    }
+
+    /// Like [`Client::solve`], additionally controlling the server-side
+    /// solve cache: `no_cache = true` forces a fresh, unstored solve.
+    pub fn solve_opts(
+        &mut self,
+        graph: &str,
+        solver: &str,
+        q: &[NodeId],
+        deadline_ms: Option<u64>,
+        max_size: Option<usize>,
+        no_cache: bool,
+    ) -> Result<WireReport> {
+        let mut fields =
+            Self::solve_fields("solve", graph, solver, deadline_ms, max_size, no_cache);
         fields.push((
             "q",
             Json::Arr(q.iter().map(|&v| Json::from(u64::from(v))).collect()),
@@ -253,7 +272,22 @@ impl Client {
         deadline_ms: Option<u64>,
         max_size: Option<usize>,
     ) -> Result<Vec<std::result::Result<WireReport, WireError>>> {
-        let mut fields = Self::solve_fields("batch", graph, solver, deadline_ms, max_size);
+        self.batch_opts(graph, solver, queries, deadline_ms, max_size, false)
+    }
+
+    /// Like [`Client::batch`], additionally controlling the server-side
+    /// solve cache.
+    pub fn batch_opts(
+        &mut self,
+        graph: &str,
+        solver: &str,
+        queries: &[Vec<NodeId>],
+        deadline_ms: Option<u64>,
+        max_size: Option<usize>,
+        no_cache: bool,
+    ) -> Result<Vec<std::result::Result<WireReport, WireError>>> {
+        let mut fields =
+            Self::solve_fields("batch", graph, solver, deadline_ms, max_size, no_cache);
         fields.push((
             "queries",
             Json::Arr(

@@ -15,9 +15,9 @@
 //!               "error": { "code": <string>, "message": <string> } } "\n"
 //!
 //! solve     = { "cmd":"solve", "graph":G, "solver":S, "q":[v…],
-//!               "deadline_ms"?: N, "max_size"?: N }
+//!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool }
 //! batch     = { "cmd":"batch", "graph":G, "solver":S, "queries":[[v…]…],
-//!               "deadline_ms"?: N, "max_size"?: N }
+//!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool }
 //! stats     = { "cmd":"stats" }
 //! graphs    = { "cmd":"graphs" }
 //! load      = { "cmd":"load", "name":N, "source":SPEC }
@@ -26,6 +26,10 @@
 //! burn      = { "cmd":"burn", "ms":N }        // synthetic CPU work
 //! shutdown  = { "cmd":"shutdown" }
 //! ```
+//!
+//! `no_cache` forces a fresh solve even when the per-graph engine has the
+//! answer cached (see `QueryEngine`'s solve cache), and keeps the fresh
+//! result out of the cache.
 //!
 //! `deadline_ms` is the budget measured from the moment the server reads
 //! the request: time spent queued counts against it, the remainder maps
@@ -56,6 +60,10 @@ pub struct SolveParams {
     pub deadline_ms: Option<u64>,
     /// Maximum connector size (maps to `QueryOptions::max_connector_size`).
     pub max_size: Option<usize>,
+    /// Bypass the engine's solve cache for this request (maps to
+    /// `QueryOptions::no_cache`): the solver always runs and the result
+    /// is not stored. Defaults to `false` when absent.
+    pub no_cache: bool,
 }
 
 impl SolveParams {
@@ -68,6 +76,9 @@ impl SolveParams {
         }
         if let Some(m) = self.max_size {
             opts = opts.max_connector_size(m);
+        }
+        if self.no_cache {
+            opts = opts.no_cache();
         }
         opts
     }
@@ -150,6 +161,14 @@ fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
     }
 }
 
+fn opt_bool(obj: &Json, key: &str) -> Result<bool, ServiceError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(bad(format!("field {key:?} must be a boolean"))),
+    }
+}
+
 fn node_list(v: &Json, what: &str) -> Result<Vec<NodeId>, ServiceError> {
     let arr = v
         .as_array()
@@ -170,6 +189,7 @@ fn solve_params(obj: &Json) -> Result<SolveParams, ServiceError> {
         solver: req_str(obj, "solver")?,
         deadline_ms: opt_u64(obj, "deadline_ms")?,
         max_size: opt_u64(obj, "max_size")?.map(|m| m as usize),
+        no_cache: opt_bool(obj, "no_cache")?,
     })
 }
 
@@ -290,7 +310,7 @@ mod tests {
     #[test]
     fn parses_solve_with_options() {
         let r = parse_request(
-            r#"{"cmd":"solve","graph":"karate","solver":"ws-q","q":[0,33],"deadline_ms":50,"max_size":10,"id":7}"#,
+            r#"{"cmd":"solve","graph":"karate","solver":"ws-q","q":[0,33],"deadline_ms":50,"max_size":10,"no_cache":true,"id":7}"#,
         )
         .unwrap();
         assert_eq!(r.id, Some(Json::Num(7.0)));
@@ -300,10 +320,21 @@ mod tests {
                 assert_eq!(params.solver, "ws-q");
                 assert_eq!(params.deadline_ms, Some(50));
                 assert_eq!(params.max_size, Some(10));
+                assert!(params.no_cache);
                 assert_eq!(q, vec![0, 33]);
                 let opts = params.options(Some(Duration::from_millis(20)));
                 assert_eq!(opts.time_budget(), Some(Duration::from_millis(20)));
                 assert_eq!(opts.size_budget(), Some(10));
+                assert!(opts.cache_disabled());
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        // Absent → false.
+        let r = parse_request(r#"{"cmd":"solve","graph":"g","solver":"s","q":[0,1]}"#).unwrap();
+        match r.command {
+            Command::Solve { params, .. } => {
+                assert!(!params.no_cache);
+                assert!(!params.options(None).cache_disabled());
             }
             other => panic!("unexpected command {other:?}"),
         }
@@ -354,6 +385,7 @@ mod tests {
             r#"{"cmd":"solve","graph":"g","solver":"s","q":[-1]}"#,
             r#"{"cmd":"solve","graph":"g","solver":"s","q":["a"]}"#,
             r#"{"cmd":"solve","graph":"g","solver":"s","q":[0],"deadline_ms":"soon"}"#,
+            r#"{"cmd":"solve","graph":"g","solver":"s","q":[0],"no_cache":"yes"}"#,
             r#"{"cmd":"solve","graph":"g","solver":"s","q":[4294967296]}"#, // > u32
             r#"{"cmd":"batch","graph":"g","solver":"s","queries":[0]}"#,
             r#"{"cmd":"burn"}"#,

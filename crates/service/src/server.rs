@@ -495,7 +495,12 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 write_line(&out, &resp, true, &inner.metrics);
             }
             Command::Stats => {
-                let snap = inner.metrics.snapshot(inner.queue.capacity);
+                let mut snap = inner.metrics.snapshot(inner.queue.capacity);
+                // Solve-cache counters live in the per-graph engines, not
+                // the metrics registry; graft them into the snapshot.
+                if let Json::Obj(fields) = &mut snap {
+                    fields.insert("solve_cache".to_string(), cache_stats_json(&inner.catalog));
+                }
                 let resp = ok_response(&request.id, vec![("stats", snap)]);
                 write_line(&out, &resp, true, &inner.metrics);
             }
@@ -508,16 +513,12 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                         Json::obj([
                             ("name", Json::from(e.name.as_str())),
                             ("source", Json::from(e.source.as_str())),
-                            ("nodes", Json::from(e.graph.num_nodes())),
-                            ("edges", Json::from(e.graph.num_edges())),
+                            ("nodes", Json::from(e.num_nodes())),
+                            ("edges", Json::from(e.num_edges())),
                             (
                                 "solvers",
                                 Json::Arr(
-                                    e.engine
-                                        .solver_names()
-                                        .iter()
-                                        .map(|s| Json::from(*s))
-                                        .collect(),
+                                    e.solver_names().iter().map(|s| Json::from(*s)).collect(),
                                 ),
                             ),
                         ])
@@ -625,14 +626,46 @@ fn remaining_budget(
     }
 }
 
+/// Aggregated solve-cache counters across every cataloged engine, plus a
+/// per-graph breakdown — the `stats` command's `"solve_cache"` section.
+fn cache_stats_json(catalog: &Catalog) -> Json {
+    let entries = catalog.list();
+    let (mut hits, mut misses, mut evictions, mut resident) = (0u64, 0u64, 0u64, 0usize);
+    let per_graph: Vec<(String, Json)> = entries
+        .iter()
+        .map(|e| {
+            let s = e.cache_stats();
+            hits += s.hits;
+            misses += s.misses;
+            evictions += s.evictions;
+            resident += s.entries;
+            (
+                e.name.clone(),
+                Json::obj([
+                    ("hits", Json::from(s.hits)),
+                    ("misses", Json::from(s.misses)),
+                    ("evictions", Json::from(s.evictions)),
+                    ("entries", Json::from(s.entries)),
+                    ("capacity", Json::from(s.capacity)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("hits", Json::from(hits)),
+        ("misses", Json::from(misses)),
+        ("evictions", Json::from(evictions)),
+        ("entries", Json::from(resident)),
+        ("graphs", Json::Obj(per_graph.into_iter().collect())),
+    ])
+}
+
 fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, ServiceError> {
     match &job.request.command {
         Command::Solve { params, q } => {
             let remaining = remaining_budget(params.deadline_ms, job.received.elapsed())?;
             let entry = inner.catalog.get(&params.graph)?;
-            let report = entry
-                .engine
-                .solve_with(&params.solver, q, &params.options(remaining))?;
+            let report = entry.solve(&params.solver, q, &params.options(remaining))?;
             inner
                 .metrics
                 .record_solve(&params.solver, Duration::from_secs_f64(report.seconds));
@@ -644,10 +677,7 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
         Command::Batch { params, queries } => {
             let remaining = remaining_budget(params.deadline_ms, job.received.elapsed())?;
             let entry = inner.catalog.get(&params.graph)?;
-            let results =
-                entry
-                    .engine
-                    .solve_batch(&params.solver, queries, &params.options(remaining));
+            let results = entry.solve_batch(&params.solver, queries, &params.options(remaining));
             let mut ok = 0u64;
             let rendered: Vec<Json> = results
                 .into_iter()
@@ -681,8 +711,8 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
             let entry = inner.catalog.load(name, source)?;
             Ok(vec![
                 ("loaded", Json::from(name.as_str())),
-                ("nodes", Json::from(entry.graph.num_nodes())),
-                ("edges", Json::from(entry.graph.num_edges())),
+                ("nodes", Json::from(entry.num_nodes())),
+                ("edges", Json::from(entry.num_edges())),
             ])
         }
         Command::Burn { ms } => {

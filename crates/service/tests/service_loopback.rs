@@ -1,13 +1,14 @@
 //! End-to-end serving tests over a loopback TCP socket: an ephemeral-port
 //! server driven by real concurrent clients, with results pinned against
-//! direct `QueryEngine` calls on identically constructed graphs.
+//! direct catalog-entry calls on identically constructed graphs (the
+//! entry path is the serving unit: a degree-ordered engine plus id
+//! translation at the boundary).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use mwc_baselines::full_engine;
 use mwc_core::QueryOptions;
 use mwc_graph::NodeId;
 use mwc_service::{server, Catalog, Client, ClientError, GraphSource, ServerConfig};
@@ -58,20 +59,32 @@ fn concurrent_solves_match_direct_engine_calls() {
         .into_iter()
         .collect();
 
-    // Independent ground truth: rebuild both graphs from their specs.
-    let karate = GraphSource::parse("karate").unwrap().build().unwrap();
-    let toy = GraphSource::parse("ba:300x2").unwrap().build().unwrap();
-    let karate_engine = full_engine(&karate);
-    let toy_engine = full_engine(&toy);
+    // Ground truth at two levels of independence:
+    // * reference *entries* rebuilt from the specs pin the wire byte-for-
+    //   byte against the serving path (degree ordering + translation);
+    // * reference *original-layout graphs* rebuilt via GraphSource pin
+    //   the answers against code that never saw the relabeling — a
+    //   systematic translation bug cannot cancel out here.
+    let reference = Catalog::new();
+    reference.load("karate", "karate").unwrap();
+    reference.load("toy", "ba:300x2").unwrap();
+    let originals = [
+        (
+            "karate",
+            GraphSource::parse("karate").unwrap().build().unwrap(),
+        ),
+        (
+            "toy",
+            GraphSource::parse("ba:300x2").unwrap().build().unwrap(),
+        ),
+    ];
 
     for t in threads {
         for (graph, q, wire) in t.join().expect("client thread") {
-            let engine = if graph == "karate" {
-                &karate_engine
-            } else {
-                &toy_engine
-            };
-            let direct = engine.solve(&wire.solver, &q).unwrap();
+            let entry = reference.get(graph).unwrap();
+            let direct = entry
+                .solve(&wire.solver, &q, &QueryOptions::default())
+                .unwrap();
             assert_eq!(
                 wire.connector,
                 direct.connector.vertices(),
@@ -80,6 +93,21 @@ fn concurrent_solves_match_direct_engine_calls() {
             );
             assert_eq!(wire.wiener_index, direct.wiener_index);
             assert_eq!(wire.optimal, direct.optimal);
+            // Independent original-layout checks: the wire connector must
+            // be a valid connector of the untranslated graph, and its
+            // Wiener index (recomputed without any permutation involved)
+            // must equal the reported objective.
+            let original = &originals.iter().find(|(n, _)| *n == graph).unwrap().1;
+            assert!(q.iter().all(|v| wire.connector.contains(v)));
+            let sub = original.induced(&wire.connector).unwrap();
+            assert!(mwc_graph::connectivity::is_connected(sub.graph()));
+            assert_eq!(
+                mwc_graph::wiener::wiener_index(sub.graph()),
+                Some(wire.wiener_index),
+                "{} on {graph} {q:?}: reported W diverges from the \
+                 original-layout recomputation",
+                wire.solver
+            );
         }
     }
     handle.shutdown();
@@ -103,9 +131,9 @@ fn batch_matches_engine_batch_and_reports_errors_in_place() {
         .unwrap();
     assert_eq!(wire.len(), queries.len());
 
-    let karate = GraphSource::parse("karate").unwrap().build().unwrap();
-    let engine = full_engine(&karate);
-    let direct = engine.solve_batch("ws-q", &queries, &QueryOptions::default());
+    let reference = Catalog::new();
+    let entry = reference.load("karate", "karate").unwrap();
+    let direct = entry.solve_batch("ws-q", &queries, &QueryOptions::default());
     for (i, (w, d)) in wire.iter().zip(&direct).enumerate() {
         match (w, d) {
             (Ok(w), Ok(d)) => {
@@ -161,6 +189,42 @@ fn control_plane_lists_loads_and_counts() {
     let ws_q = stats.get("solvers").unwrap().get("ws-q").unwrap();
     assert!(ws_q.get("count").unwrap().as_u64().unwrap() >= 1);
     assert!(ws_q.get("p99_ms").unwrap().as_f64().unwrap() > 0.0);
+    handle.shutdown();
+}
+
+/// The solve cache is observable over the wire: repeated solves hit,
+/// `no_cache` bypasses, and `stats` carries the counters per graph.
+#[test]
+fn solve_cache_counters_and_no_cache_flag() {
+    let handle = start_two_graph_server(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let q: &[NodeId] = &[11, 24, 25, 29];
+
+    let cold = client.solve("karate", "ws-q", q, None, None).unwrap();
+    let hot = client.solve("karate", "ws-q", q, None, None).unwrap();
+    let fresh = client
+        .solve_opts("karate", "ws-q", q, None, None, true)
+        .unwrap();
+    assert_eq!(cold.connector, hot.connector);
+    assert_eq!(cold.connector, fresh.connector);
+    assert_eq!(cold.wiener_index, fresh.wiener_index);
+
+    let stats = client.stats().unwrap();
+    let cache = stats.get("solve_cache").expect("stats carry solve_cache");
+    assert!(cache.get("hits").unwrap().as_u64().unwrap() >= 1);
+    // no_cache neither hit nor stored: exactly one resident entry, one
+    // miss for the cold solve.
+    let karate = cache.get("graphs").unwrap().get("karate").unwrap();
+    assert_eq!(karate.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(karate.get("misses").unwrap().as_u64(), Some(1));
+    assert_eq!(karate.get("entries").unwrap().as_u64(), Some(1));
+    assert!(karate.get("capacity").unwrap().as_u64().unwrap() > 0);
+
+    // Batch requests honor the flag too (and both paths agree).
+    let batch = client
+        .batch_opts("karate", "ws-q", &[q.to_vec()], None, None, true)
+        .unwrap();
+    assert_eq!(batch[0].as_ref().unwrap().connector, cold.connector);
     handle.shutdown();
 }
 

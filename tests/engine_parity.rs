@@ -123,6 +123,46 @@ fn batch_of_100_matches_legacy_for_every_registered_solver() {
     }
 }
 
+/// Cache-on vs cache-off parity for every registered solver: a cached
+/// replay and a `no_cache` fresh solve must produce the same
+/// `SolveReport` (connector, objective, diagnostics) as the cold solve —
+/// the solve cache is a latency optimization, never a semantic one.
+#[test]
+fn cache_on_and_off_reports_agree_for_every_registered_solver() {
+    let g = karate_club();
+    let mut engine = wiener_connector::engine(&g);
+    engine.register(Box::new(ExactSolver {
+        config: budgeted_exact(),
+    }));
+    let queries = karate_queries(10, 0xCAC4E);
+    let names: Vec<String> = engine
+        .solver_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(names.len(), 9, "expected the full method table: {names:?}");
+    let no_cache = QueryOptions::new().no_cache();
+    for name in &names {
+        for q in &queries {
+            let cold = engine.solve(name, q).unwrap();
+            let hot = engine.solve(name, q).unwrap();
+            let fresh = engine.solve_with(name, q, &no_cache).unwrap();
+            for (label, other) in [("cached", &hot), ("no_cache", &fresh)] {
+                assert_eq!(
+                    cold.connector.vertices(),
+                    other.connector.vertices(),
+                    "{name} {label} connector diverged on {q:?}"
+                );
+                assert_eq!(cold.wiener_index, other.wiener_index, "{name} on {q:?}");
+                assert_eq!(cold.candidates, other.candidates, "{name} on {q:?}");
+                assert_eq!(cold.optimal, other.optimal, "{name} on {q:?}");
+            }
+        }
+    }
+    let stats = engine.cache_stats();
+    assert!(stats.hits >= (names.len() * queries.len()) as u64);
+}
+
 /// Batch-vs-sequential determinism under a fixed seed: the same batch
 /// solved twice, and query-by-query, yields identical results.
 #[test]
