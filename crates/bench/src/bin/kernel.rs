@@ -1,7 +1,7 @@
 //! `kernel` — micro-benchmark of the distance kernel, emitting
 //! `BENCH_kernel.json`.
 //!
-//! Four comparisons, each isolating one layer of the cache-aware kernel
+//! Six comparisons, each isolating one layer of the cache-aware kernel
 //! refactor:
 //!
 //! 1. **per-source vs multi-source BFS** — 64 single-source sweeps
@@ -13,7 +13,18 @@
 //!    [`Graph::degree_ordered`]'s hub-first relabeling;
 //! 4. **cache-cold vs cache-hot solve** — `ws-q` engine solves over a
 //!    query workload, first pass cold, second pass replayed from the
-//!    engine's solve cache (p50 of each).
+//!    engine's solve cache (p50 of each);
+//! 5. **per-root vs batched `ws-q` root sweep** (`wsq_batched`) — the
+//!    BFS work Algorithm 1 pays before its λ sweeps for a |Q| = 16
+//!    query: a standalone feasibility BFS plus one distance+parent BFS
+//!    per root (the pre-batching solver) against the solver's
+//!    [`batched_root_distances`] (⌈|Q|/64⌉ shared CSR sweeps;
+//!    feasibility rides lane 0, and parents are derived on demand from
+//!    the distances, so the batched side pays neither up front);
+//! 6. **sequential vs batched oracle construction** (`oracle_build`) —
+//!    64 hub landmarks built by `k` sequential BFS runs
+//!    ([`LandmarkOracle::build_sequential`]) against the one-sweep
+//!    multi-source build ([`LandmarkOracle::build`]).
 //!
 //! ```text
 //! cargo run --release -p mwc-bench --bin kernel -- \
@@ -21,17 +32,29 @@
 //! ```
 //!
 //! `--scale quick` is the CI smoke mode (a few seconds); `medium`/`full`
-//! grow the Barabási–Albert bench graph.
+//! grow the Barabási–Albert bench graph. Regression gating lives in the
+//! `regress` bin, which compares this output against the committed
+//! `BENCH_kernel.json` with a tolerance band instead of fixed factors.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use mwc_bench::{Scale, Timer};
+use mwc_core::wsq::batched_root_distances;
 use mwc_core::{QueryEngine, QueryOptions};
+use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
 use mwc_graph::traversal::bfs::{BfsWorkspace, MsBfsWorkspace, MS_BFS_LANES};
 use mwc_graph::NodeId;
 use mwc_service::Json;
 use rand::{Rng, SeedableRng};
+
+/// Query size of the `wsq_batched` comparison (the paper's Algorithm 1
+/// runs one BFS per root r ∈ Q; 16 roots is the acceptance workload).
+const WSQ_BATCH_ROOTS: usize = 16;
+
+/// Landmark count of the `oracle_build` comparison — one full 64-lane
+/// sweep on the batched side.
+const ORACLE_LANDMARKS: usize = 64;
 
 struct Args {
     scale: Scale,
@@ -190,6 +213,66 @@ fn main() {
         ordered_layout_ms,
     );
 
+    // 5. Per-root vs batched ws-q root sweep: everything Algorithm 1
+    //    pays in BFS before the λ sweeps, for a |Q| = 16 query. The
+    //    baseline is the pre-batching solver's work — one standalone
+    //    feasibility BFS from q[0] plus one distance+parent BFS per root;
+    //    the kernel side is the batched path's own helper (shared
+    //    multi-source sweeps plus the per-root gather — feasibility rides
+    //    lane 0 for free, and parent trees are derived on demand later).
+    let wsq_roots: Vec<NodeId> = {
+        let mut roots: Vec<NodeId> = Vec::new();
+        while roots.len() < WSQ_BATCH_ROOTS {
+            let v = rng.gen_range(0..n as NodeId);
+            if !roots.contains(&v) {
+                roots.push(v);
+            }
+        }
+        roots.sort_unstable();
+        roots
+    };
+    // These two sections feed the CI regression gate, so they get extra
+    // repetitions: the runs are milliseconds each, and best-of over a
+    // larger sample keeps the committed speedups stable against
+    // scheduler noise.
+    let gate_reps = reps.max(7);
+    let per_root_ms = best_of(gate_reps, || {
+        ws.run(&g, wsq_roots[0]); // the standalone feasibility pass
+        for &r in &wsq_roots {
+            ws.run_with_parents(&g, r);
+        }
+    });
+    let batched_ms = best_of(gate_reps, || {
+        batched_root_distances(&g, &wsq_roots, &mut msws);
+    });
+    let wsq_cmp = comparison("wsq:batched_root_sweep", per_root_ms, batched_ms);
+
+    // 6. Sequential vs batched landmark-oracle construction: 64 hub
+    //    landmarks, k BFS runs against one 64-lane multi-source sweep.
+    let sequential_build_ms = best_of(gate_reps, || {
+        let mut r = rand::rngs::StdRng::seed_from_u64(args.seed);
+        LandmarkOracle::build_sequential(
+            &g,
+            ORACLE_LANDMARKS,
+            LandmarkStrategy::HighestDegree,
+            &mut r,
+        );
+    });
+    let batched_build_ms = best_of(gate_reps, || {
+        let mut r = rand::rngs::StdRng::seed_from_u64(args.seed);
+        LandmarkOracle::build(
+            &g,
+            ORACLE_LANDMARKS,
+            LandmarkStrategy::HighestDegree,
+            &mut r,
+        );
+    });
+    let oracle_cmp = comparison(
+        "oracle:batched_build",
+        sequential_build_ms,
+        batched_build_ms,
+    );
+
     // 4. Cache-cold vs cache-hot solve latency on a fixed query workload.
     let engine = QueryEngine::new(&g);
     let queries: Vec<Vec<NodeId>> = (0..args.scale.pick(24, 32, 32))
@@ -236,12 +319,16 @@ fn main() {
                 ("edges", Json::from(g.num_edges())),
                 ("sources", Json::from(MS_BFS_LANES)),
                 ("queries", Json::from(queries.len())),
+                ("wsq_batch_roots", Json::from(WSQ_BATCH_ROOTS)),
+                ("oracle_landmarks", Json::from(ORACLE_LANDMARKS)),
                 ("seed", Json::from(args.seed)),
             ]),
         ),
         ("bfs_multi_source", bfs_cmp.1),
         ("bfs_direction_optimizing", direction_cmp.1),
         ("layout_degree_ordered", layout_cmp.1),
+        ("wsq_batched", wsq_cmp.1),
+        ("oracle_build", oracle_cmp.1),
         (
             "solve_cache",
             Json::obj([
@@ -269,14 +356,12 @@ fn main() {
         .expect("write output");
     file.write_all(b"\n").expect("write output");
     eprintln!("kernel: wrote {}", args.out);
-
-    // The acceptance gates this bench exists to demonstrate; fail loudly
-    // in CI instead of silently shipping a regressed kernel.
-    assert!(
-        multi_source_ms * 2.0 <= per_source_ms,
-        "multi-source BFS should be >= 2x faster than per-source \
-         ({multi_source_ms:.3} ms vs {per_source_ms:.3} ms)"
-    );
+    // Factor gating moved to the `regress` bin: CI compares this run's
+    // sections against the committed BENCH_kernel.json with a tolerance
+    // band, which catches *regressions from the recorded state* instead
+    // of asserting fixed universal factors here. One semantic invariant
+    // stays, because regress cannot see it (hot p50 sits below its noise
+    // floor): a cache hit must beat a full solve on any hardware.
     assert!(
         hot_p50 < cold_p50,
         "cache-hot p50 ({hot_p50:.3} ms) should beat cache-cold p50 ({cold_p50:.3} ms)"

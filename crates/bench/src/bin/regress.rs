@@ -1,0 +1,216 @@
+//! `regress` — the CI bench-regression gate.
+//!
+//! Compares a fresh `kernel` run against the committed
+//! `BENCH_kernel.json` baseline and fails (exit 1) when a tracked metric
+//! regresses beyond its tolerance band — replacing the fixed "≥ 2×"
+//! asserts the kernel bin used to carry, which said nothing about
+//! regressions *from the recorded state* and flaked on hardware where
+//! the universal factor was unrealistic.
+//!
+//! ```text
+//! cargo run --release -p mwc-bench --bin regress -- \
+//!     --baseline BENCH_kernel.json --current BENCH_kernel_current.json \
+//!     [--tolerance 0.30] [--tolerance-ms 0.75] [--floor-ms 0.05]
+//! ```
+//!
+//! Two metric classes are tracked, recursively, wherever they appear in
+//! the baseline document:
+//!
+//! * `speedup` keys (higher is better) — ratios of two timings taken on
+//!   the same machine in the same process, so they transfer across
+//!   hardware better than absolute times; the default band is ±30%
+//!   (`--tolerance`), sized for same-machine reruns. CI passes a wider
+//!   band because its baseline was recorded on different hardware.
+//! * keys ending in `_p50_ms` (lower is better) — absolute wall-clock,
+//!   which varies with the runner's hardware generation far more than
+//!   the ratios do; the default band is ±75% (`--tolerance-ms`), a
+//!   catch-catastrophes bound rather than a perf SLO (CI widens this
+//!   too). Values below `--floor-ms` in the baseline are skipped
+//!   entirely (cache-hit latencies in the microsecond range are pure
+//!   scheduler noise); the semantic hot-beats-cold cache invariant is
+//!   asserted inside the `kernel` bin itself, where both sides of the
+//!   comparison come from the same run. `--skip-ms` drops the
+//!   absolute-ms class entirely — the right call when baseline and
+//!   current come from different hardware, where a core-count gap alone
+//!   can move a parallel solve's wall-clock several-fold.
+//!
+//! A tracked key present in the baseline but missing from the current
+//! run is itself a failure: silently dropping a bench section must not
+//! read as "no regression".
+
+use std::process::ExitCode;
+
+use mwc_service::json::{parse, Json};
+
+struct Args {
+    baseline: String,
+    current: String,
+    /// Relative band on `speedup` keys (0.30 = current may be up to 30%
+    /// below baseline).
+    tolerance: f64,
+    /// Relative band on `*_p50_ms` keys (0.75 = current may be up to 75%
+    /// above baseline).
+    tolerance_ms: f64,
+    /// Baseline `*_p50_ms` values below this are skipped as noise.
+    floor_ms: f64,
+    /// Skip the absolute-ms class entirely (cross-hardware runs).
+    skip_ms: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: regress --baseline PATH --current PATH \
+         [--tolerance F] [--tolerance-ms F] [--floor-ms F] [--skip-ms]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Args {
+    let mut out = Args {
+        baseline: String::new(),
+        current: String::new(),
+        tolerance: 0.30,
+        tolerance_ms: 0.75,
+        floor_ms: 0.05,
+        skip_ms: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--baseline" => out.baseline = value(),
+            "--current" => out.current = value(),
+            "--tolerance" => out.tolerance = value().parse().unwrap_or_else(|_| usage()),
+            "--tolerance-ms" => out.tolerance_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--floor-ms" => out.floor_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--skip-ms" => out.skip_ms = true,
+            _ => usage(),
+        }
+    }
+    if out.baseline.is_empty() || out.current.is_empty() {
+        usage();
+    }
+    out
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("regress: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("regress: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// One tracked metric: its dotted path, direction, and both values.
+struct Check {
+    path: String,
+    baseline: f64,
+    current: Option<f64>,
+    /// `true` when higher is better (`speedup`), `false` for timings.
+    higher_is_better: bool,
+}
+
+/// Walks the baseline document and collects every tracked metric, paired
+/// with the value at the same path in the current document.
+fn collect(path: &str, baseline: &Json, current: Option<&Json>, out: &mut Vec<Check>) {
+    let Json::Obj(members) = baseline else {
+        return;
+    };
+    for (key, value) in members {
+        let child_path = if path.is_empty() {
+            key.clone()
+        } else {
+            format!("{path}.{key}")
+        };
+        let cur_child = current.and_then(|c| c.get(key));
+        let tracked_speedup = key == "speedup";
+        let tracked_ms = key.ends_with("_p50_ms");
+        if tracked_speedup || tracked_ms {
+            if let Some(b) = value.as_f64() {
+                out.push(Check {
+                    path: child_path,
+                    baseline: b,
+                    current: cur_child.and_then(Json::as_f64),
+                    higher_is_better: tracked_speedup,
+                });
+            }
+            continue;
+        }
+        collect(&child_path, value, cur_child, out);
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_cli();
+    let baseline = load(&args.baseline);
+    let current = load(&args.current);
+
+    let mut checks = Vec::new();
+    collect("", &baseline, Some(&current), &mut checks);
+    if checks.is_empty() {
+        eprintln!("regress: no tracked metrics found in {}", args.baseline);
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for check in &checks {
+        // The skip rules apply to the ms class whether the metric is
+        // present or missing: a class the caller told us to ignore (or a
+        // baseline below the noise floor) must not fail the gate just
+        // because a later kernel revision dropped the key.
+        if !check.higher_is_better && (args.skip_ms || check.baseline < args.floor_ms) {
+            let why = if args.skip_ms {
+                "absolute-ms class skipped".to_string()
+            } else {
+                format!("baseline {:.4} ms below floor", check.baseline)
+            };
+            println!("SKIP  {:<44} {why}", check.path);
+            continue;
+        }
+        let (verdict, detail) = match check.current {
+            None => (false, "missing from current run".to_string()),
+            Some(cur) if check.higher_is_better => {
+                let bound = check.baseline * (1.0 - args.tolerance);
+                compared += 1;
+                (
+                    cur >= bound,
+                    format!(
+                        "baseline {:.3} current {:.3} (min allowed {:.3})",
+                        check.baseline, cur, bound
+                    ),
+                )
+            }
+            Some(cur) => {
+                let bound = check.baseline * (1.0 + args.tolerance_ms);
+                compared += 1;
+                (
+                    cur <= bound,
+                    format!(
+                        "baseline {:.3} ms current {:.3} ms (max allowed {:.3})",
+                        check.baseline, cur, bound
+                    ),
+                )
+            }
+        };
+        if verdict {
+            println!("OK    {:<44} {detail}", check.path);
+        } else {
+            println!("FAIL  {:<44} {detail}", check.path);
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "regress: {failures} of {} tracked metrics regressed beyond tolerance",
+            checks.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("regress: {compared} metrics within tolerance, none regressed");
+    ExitCode::SUCCESS
+}

@@ -37,14 +37,21 @@ pub const ALPHA: f64 = 1.0 + std::f64::consts::SQRT_2;
 
 /// State of the relaxation: per-vertex distance estimate and tree parent,
 /// over global ids (hash maps — the tree is small relative to `G`).
-struct Relaxation<'a> {
+///
+/// The BFS parent tree is consulted through a closure, not an array: the
+/// batched solvers derive parents **on demand** from distance arrays
+/// (`canonical_parent`'s lowest-id rule), and `AddPath` only ever touches
+/// `O(|V(T')| · diameter)` chain vertices — materializing all `|V|`
+/// parents per root would cost an extra `O(|V| + |E|)` pass and eat the
+/// multi-source batching win.
+struct Relaxation<'a, P> {
     d: FxHashMap<NodeId, u32>,
     p: FxHashMap<NodeId, NodeId>,
     dist_g: &'a [u32],
-    parent_g: &'a [NodeId],
+    parent_g: P,
 }
 
-impl Relaxation<'_> {
+impl<P: Fn(NodeId) -> NodeId> Relaxation<'_, P> {
     #[inline]
     fn dist(&self, v: NodeId) -> u32 {
         self.d.get(&v).copied().unwrap_or(u32::MAX)
@@ -65,17 +72,20 @@ impl Relaxation<'_> {
     ///
     /// Walks the BFS-parent chain upward until an ancestor with a tight
     /// estimate (`d[v] = d_S[v]`), then relaxes downward, leaving every
-    /// chain vertex with `d[v] = d_S[v]`.
+    /// chain vertex with `d[v] = d_S[v]`. Each chain vertex's parent is
+    /// resolved exactly once and remembered for the downward replay —
+    /// the lookup may be an `O(deg)` on-demand derivation.
     fn add_path(&mut self, u: NodeId) {
-        let mut chain: Vec<NodeId> = Vec::new();
+        let mut chain: Vec<(NodeId, NodeId)> = Vec::new();
         let mut v = u;
         while self.dist(v) > self.dist_g[v as usize] {
-            chain.push(v);
-            v = self.parent_g[v as usize];
-            debug_assert_ne!(v, NO_NODE, "BFS parent chain must reach the root");
+            let p = (self.parent_g)(v);
+            debug_assert_ne!(p, NO_NODE, "BFS parent chain must reach the root");
+            chain.push((v, p));
+            v = p;
         }
-        for &w in chain.iter().rev() {
-            self.relax(self.parent_g[w as usize], w);
+        for &(w, pw) in chain.iter().rev() {
+            self.relax(pw, w);
             debug_assert_eq!(self.dist(w), self.dist_g[w as usize]);
         }
     }
@@ -100,9 +110,30 @@ pub fn adjust_distances(
     dist_g: &[u32],
     parent_g: &[NodeId],
 ) -> SteinerTree {
+    debug_assert_eq!(parent_g.len(), g.num_nodes());
+    adjust_distances_with(g, tree, root, dist_g, |v| parent_g[v as usize])
+}
+
+/// [`adjust_distances`] with the BFS parent tree supplied as a lookup
+/// function instead of a materialized array.
+///
+/// This is the entry point the batched `ws-q` path uses: the multi-source
+/// kernel produces per-root *distance* arrays only, and parents are
+/// derived on demand by
+/// [`canonical_parent`](mwc_graph::traversal::bfs::canonical_parent)
+/// (lowest-id neighbor one level closer) — a pure function of the
+/// distances, so batched and per-root solves graft identical paths. Any
+/// shortest-path-tree parent function preserves Lemma 2; the canonical
+/// rule additionally makes the output deterministic across kernels.
+pub fn adjust_distances_with<P: Fn(NodeId) -> NodeId>(
+    g: &Graph,
+    tree: &SteinerTree,
+    root: NodeId,
+    dist_g: &[u32],
+    parent_g: P,
+) -> SteinerTree {
     debug_assert!(tree.contains(root), "root must belong to the tree");
     debug_assert_eq!(dist_g.len(), g.num_nodes());
-    debug_assert_eq!(parent_g.len(), g.num_nodes());
     let adj = tree.adjacency();
     let mut rx = Relaxation {
         d: FxHashMap::default(),

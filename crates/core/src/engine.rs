@@ -248,6 +248,14 @@ impl SolveReport {
 /// cache is a few hundred kilobytes.
 pub const DEFAULT_SOLVE_CACHE_CAPACITY: usize = 1024;
 
+/// Default byte budget of the engine's solve cache. Long-lived servers
+/// bound the cache by **approximate resident bytes** (connector length,
+/// canonical query length, strings, per-entry overhead), not just entry
+/// count — a few pathological giant connectors cannot pin unbounded
+/// memory. At the default entry capacity the byte bound only binds when
+/// entries average ≳ 16 KiB.
+pub const DEFAULT_SOLVE_CACHE_BYTES: usize = 16 << 20;
+
 /// A snapshot of the solve cache's counters — the serving layer exposes
 /// this through its `stats` command.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -264,6 +272,11 @@ pub struct CacheStats {
     pub entries: usize,
     /// Configured capacity (0 = caching disabled).
     pub capacity: usize,
+    /// Approximate bytes held by resident entries (see
+    /// [`QueryEngine::set_solve_cache_bytes`] for the estimate).
+    pub bytes_used: usize,
+    /// Configured byte budget (0 = caching disabled).
+    pub capacity_bytes: usize,
 }
 
 /// Cache key: the canonicalized query set plus everything that can change
@@ -276,6 +289,23 @@ type CacheKey = (String, Vec<NodeId>, Option<usize>);
 struct CacheEntry {
     report: SolveReport,
     last_used: u64,
+    /// Approximate resident size, charged against the cache's byte
+    /// budget (computed once at insert).
+    bytes: usize,
+}
+
+/// Approximate resident bytes of one cache entry: the two `NodeId`
+/// vectors (canonical query + connector) dominate, plus the solver
+/// strings and a flat constant for struct headers, hash-map slot, and
+/// allocator slack. An estimate, not an accounting — the point is that
+/// eviction pressure scales with connector size.
+fn approx_entry_bytes(key: &CacheKey, report: &SolveReport) -> usize {
+    const PER_ENTRY_OVERHEAD: usize = 160;
+    PER_ENTRY_OVERHEAD
+        + key.0.len()
+        + std::mem::size_of_val(key.1.as_slice())
+        + report.solver.len()
+        + std::mem::size_of_val(report.connector.vertices())
 }
 
 /// A bounded LRU map of solved reports.
@@ -289,6 +319,10 @@ struct CacheEntry {
 #[derive(Debug)]
 struct SolveCache {
     capacity: usize,
+    /// Byte budget over [`approx_entry_bytes`] estimates — the bound that
+    /// matters to long-lived servers, where entry *count* says nothing
+    /// about resident memory.
+    max_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -299,17 +333,24 @@ struct SolveCache {
 struct CacheMap {
     map: HashMap<CacheKey, CacheEntry>,
     tick: u64,
+    /// Sum of the resident entries' `bytes` estimates.
+    bytes: usize,
 }
 
 impl SolveCache {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, max_bytes: usize) -> Self {
         SolveCache {
             capacity,
+            max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             inner: Mutex::new(CacheMap::default()),
         }
+    }
+
+    fn disabled(&self) -> bool {
+        self.capacity == 0 || self.max_bytes == 0
     }
 
     /// Cached report for `key`, refreshing its recency. Counts a hit or
@@ -331,42 +372,61 @@ impl SolveCache {
         }
     }
 
-    /// Inserts (or refreshes) `report` under `key`, evicting the
-    /// least-recently-used entry if the cache is full.
+    /// Inserts (or refreshes) `report` under `key`, evicting
+    /// least-recently-used entries until both the entry-count and byte
+    /// budgets hold. An entry larger than the whole byte budget is not
+    /// cached at all — one pathological connector must not flush the
+    /// cache and then miss anyway.
     fn insert(&self, key: CacheKey, report: SolveReport) {
-        if self.capacity == 0 {
+        if self.disabled() {
+            return;
+        }
+        let size = approx_entry_bytes(&key, &report);
+        if size > self.max_bytes {
             return;
         }
         let mut inner = self.inner.lock().expect("solve cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
-        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            if let Some(oldest) = inner
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while !inner.map.is_empty()
+            && (inner.map.len() >= self.capacity || inner.bytes + size > self.max_bytes)
+        {
+            let Some(oldest) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
+            else {
+                break;
+            };
+            let evicted = inner.map.remove(&oldest).expect("LRU key resident");
+            inner.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        inner.bytes += size;
         inner.map.insert(
             key,
             CacheEntry {
                 report,
                 last_used: tick,
+                bytes: size,
             },
         );
     }
 
     fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("solve cache poisoned");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("solve cache poisoned").map.len(),
+            entries: inner.map.len(),
             capacity: self.capacity,
+            bytes_used: inner.bytes,
+            capacity_bytes: self.max_bytes,
         }
     }
 }
@@ -384,6 +444,9 @@ struct SharedState {
     /// Route solvers' distance-only BFS through the direction-optimizing
     /// kernel (results are identical; see [`crate::WsqConfig::kernel`]).
     kernel: bool,
+    /// Batch per-root sweeps through the multi-source kernel (results
+    /// are identical; see [`crate::WsqConfig::batch`]).
+    batch: bool,
 }
 
 /// The per-query view a [`ConnectorSolver`] receives: the graph plus the
@@ -456,6 +519,13 @@ impl<'e> QueryContext<'e> {
         self.shared.kernel
     }
 
+    /// Whether solvers should batch per-root sweeps through the
+    /// multi-source BFS kernel (see [`QueryEngine::set_batch_enabled`]).
+    /// Purely a performance choice: connectors are identical either way.
+    pub fn batch_enabled(&self) -> bool {
+        self.shared.batch
+    }
+
     /// Degree centrality of every vertex (computed once per engine).
     pub fn degree_centrality(&self) -> &'e [f64] {
         &self.shared.degree
@@ -523,6 +593,7 @@ impl ConnectorSolver for WsqSolver {
         cfg.deadline = ctx.deadline();
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
         cfg.kernel = cfg.kernel && ctx.kernel_enabled();
+        cfg.batch = cfg.batch && ctx.batch_enabled();
         let sol =
             WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled(q, ctx.workspace_pool())?;
         Ok(SolveReport::from_wsq(self.name(), sol))
@@ -550,6 +621,7 @@ impl ConnectorSolver for ApproxWsqSolver {
         let mut cfg = self.config.clone();
         cfg.kernel = cfg.kernel && ctx.kernel_enabled();
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
+        cfg.batch = cfg.batch && ctx.batch_enabled();
         let sol = solve_with_oracle(
             ctx.graph(),
             ctx.landmark_oracle(),
@@ -581,6 +653,7 @@ impl ConnectorSolver for LocalSearchSolver {
         cfg.deadline = ctx.deadline();
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
         cfg.kernel = cfg.kernel && ctx.kernel_enabled();
+        cfg.batch = cfg.batch && ctx.batch_enabled();
         let sol =
             WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled(q, ctx.workspace_pool())?;
         let candidates = sol.num_candidates as u64;
@@ -741,8 +814,9 @@ impl<'g> QueryEngine<'g> {
                 landmark_strategy: approx_defaults.strategy,
                 oracle_seed: 0x5EED,
                 kernel: true,
+                batch: true,
             },
-            cache: SolveCache::new(DEFAULT_SOLVE_CACHE_CAPACITY),
+            cache: SolveCache::new(DEFAULT_SOLVE_CACHE_CAPACITY, DEFAULT_SOLVE_CACHE_BYTES),
         };
         if with_solvers {
             engine
@@ -777,9 +851,23 @@ impl<'g> QueryEngine<'g> {
 
     /// Resizes the engine's solve cache (`0` disables caching). Existing
     /// entries and counters are discarded — sizing is a deployment-time
-    /// decision, not a hot-path one.
+    /// decision, not a hot-path one. The byte budget
+    /// ([`Self::set_solve_cache_bytes`]) is kept.
     pub fn set_solve_cache_capacity(&mut self, capacity: usize) -> &mut Self {
-        self.cache = SolveCache::new(capacity);
+        self.cache = SolveCache::new(capacity, self.cache.max_bytes);
+        self
+    }
+
+    /// Sets the solve cache's **byte** budget (`0` disables caching).
+    /// Entries are charged an approximate resident size (per-entry
+    /// overhead + connector and canonical-query vectors + strings), and
+    /// LRU eviction keeps the total under the budget — the bound that
+    /// matters to long-lived servers, where a handful of giant connectors
+    /// could otherwise pin unbounded memory behind a sane entry count.
+    /// Existing entries and counters are discarded; the entry capacity
+    /// ([`Self::set_solve_cache_capacity`]) is kept.
+    pub fn set_solve_cache_bytes(&mut self, max_bytes: usize) -> &mut Self {
+        self.cache = SolveCache::new(self.cache.capacity, max_bytes);
         self
     }
 
@@ -789,6 +877,17 @@ impl<'g> QueryEngine<'g> {
     /// parity testing.
     pub fn set_kernel_enabled(&mut self, enabled: bool) -> &mut Self {
         self.shared.kernel = enabled;
+        self
+    }
+
+    /// Toggles the multi-source batched root sweep for all solvers of
+    /// this engine (default: on). Connectors are identical either way —
+    /// per-root parent trees are reconstructed from distances by a
+    /// deterministic rule, and multi-source distances are bit-identical
+    /// to per-source BFS; the switch exists for benchmarking and parity
+    /// testing (`wsq_batching_toggle_is_invisible_in_results`).
+    pub fn set_batch_enabled(&mut self, enabled: bool) -> &mut Self {
+        self.shared.batch = enabled;
         self
     }
 
@@ -807,7 +906,7 @@ impl<'g> QueryEngine<'g> {
             Some(i) => self.solvers[i] = solver,
             None => self.solvers.push(solver),
         }
-        self.cache = SolveCache::new(self.cache.capacity);
+        self.cache = SolveCache::new(self.cache.capacity, self.cache.max_bytes);
         self
     }
 
@@ -889,7 +988,7 @@ impl<'g> QueryEngine<'g> {
         let start = Instant::now();
         let s = self.solver(solver)?;
         let cacheable =
-            self.cache.capacity > 0 && !options.cache_disabled() && options.time_budget().is_none();
+            !self.cache.disabled() && !options.cache_disabled() && options.time_budget().is_none();
         let key = cacheable.then(|| {
             let mut canonical = q.to_vec();
             canonical.sort_unstable();
@@ -1306,6 +1405,92 @@ mod tests {
             .unwrap();
         assert_eq!(on.connector.vertices(), off.connector.vertices());
         assert_eq!(on.wiener_index, off.wiener_index);
+    }
+
+    #[test]
+    fn wsq_batching_toggle_is_invisible_in_results() {
+        let g = karate_club();
+        let mut engine = QueryEngine::new(&g);
+        assert!(engine.context(QueryOptions::default()).batch_enabled());
+        let q = [11u32, 24, 25, 29];
+        let on = engine.solve("ws-q", &q).unwrap();
+        engine.set_batch_enabled(false);
+        assert!(!engine.context(QueryOptions::default()).batch_enabled());
+        let off = engine
+            .solve_with("ws-q", &q, &QueryOptions::new().no_cache())
+            .unwrap();
+        assert_eq!(on.connector.vertices(), off.connector.vertices());
+        assert_eq!(on.wiener_index, off.wiener_index);
+        assert_eq!(on.candidates, off.candidates);
+        // The approximate solver honors the toggle too.
+        engine.set_batch_enabled(true);
+        let a_on = engine.solve("ws-q-approx", &q).unwrap();
+        engine.set_batch_enabled(false);
+        let a_off = engine
+            .solve_with("ws-q-approx", &q, &QueryOptions::new().no_cache())
+            .unwrap();
+        assert_eq!(a_on.connector.vertices(), a_off.connector.vertices());
+        assert_eq!(a_on.wiener_index, a_off.wiener_index);
+    }
+
+    #[test]
+    fn solve_cache_is_bounded_in_bytes() {
+        let g = structured::path(60);
+        let mut engine = QueryEngine::new(&g);
+        // Room for plenty of entries by count, almost none by bytes: the
+        // byte budget must do the bounding.
+        engine.set_solve_cache_capacity(1024);
+        engine.set_solve_cache_bytes(600);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.capacity, 1024);
+        assert_eq!(stats.capacity_bytes, 600);
+        for i in 0..10u32 {
+            engine.solve("ws-q", &[i, i + 1]).unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert!(
+            stats.bytes_used <= 600,
+            "{} bytes resident",
+            stats.bytes_used
+        );
+        assert!(stats.entries < 10, "byte budget never evicted");
+        assert!(stats.evictions > 0);
+        // Cached entries still replay correctly after byte-driven
+        // evictions.
+        let fresh = engine
+            .solve_with("ws-q", &[8, 9], &QueryOptions::new().no_cache())
+            .unwrap();
+        let replay = engine.solve("ws-q", &[8, 9]).unwrap();
+        assert_eq!(fresh.connector.vertices(), replay.connector.vertices());
+
+        // An entry bigger than the whole budget is skipped, not cached.
+        engine.set_solve_cache_bytes(8);
+        engine.solve("ws-q", &[0, 1]).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.entries, stats.bytes_used), (0, 0));
+
+        // Byte budget 0 disables caching like capacity 0 does.
+        engine.set_solve_cache_bytes(0);
+        engine.solve("ws-q", &[0, 1]).unwrap();
+        engine.solve("ws-q", &[0, 1]).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn cache_bytes_track_inserts_and_replacements() {
+        let g = structured::path(30);
+        let engine = QueryEngine::new(&g);
+        engine.solve("ws-q", &[0, 3]).unwrap();
+        let one = engine.cache_stats();
+        assert!(one.bytes_used > 0);
+        assert_eq!(one.capacity_bytes, DEFAULT_SOLVE_CACHE_BYTES);
+        engine.solve("ws-q", &[5, 9]).unwrap();
+        let two = engine.cache_stats();
+        assert!(two.bytes_used > one.bytes_used);
+        // A cache hit does not change residency.
+        engine.solve("ws-q", &[0, 3]).unwrap();
+        assert_eq!(engine.cache_stats().bytes_used, two.bytes_used);
     }
 
     #[test]

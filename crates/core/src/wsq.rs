@@ -20,10 +20,12 @@
 
 use std::time::Instant;
 
-use mwc_graph::traversal::bfs::WorkspacePool;
+use mwc_graph::traversal::bfs::{
+    canonical_parent, multi_source_distances, MsBfsWorkspace, WorkspacePool, MS_BFS_LANES,
+};
 use mwc_graph::{wiener, Graph, NodeId, INF_DIST};
 
-use crate::adjust::adjust_distances;
+use crate::adjust::adjust_distances_with;
 use crate::connector::Connector;
 use crate::error::{CoreError, Result};
 use crate::steiner::{klein_ravi, steiner_tree, SteinerAlgorithm};
@@ -82,15 +84,29 @@ pub struct WsqConfig {
     /// rather than directly.
     pub deadline: Option<Instant>,
     /// Route the solver's distance-only BFS runs (feasibility check,
-    /// `A(H, r)` candidate evaluation) through the direction-optimizing
-    /// kernel ([`BfsWorkspace::run_auto`]
+    /// per-root distances when [`WsqConfig::batch`] is off, `A(H, r)`
+    /// candidate evaluation) through the direction-optimizing kernel
+    /// ([`BfsWorkspace::run_auto`]
     /// (mwc_graph::traversal::bfs::BfsWorkspace::run_auto)). Distances —
     /// and therefore connectors — are bit-identical either way (pinned by
     /// `kernel_toggle_yields_identical_connectors`); the flag exists so
     /// the kernel bench and parity tests can hold everything else fixed.
-    /// The per-root BFS that feeds `AdjustDistances` always stays
-    /// top-down: it needs the discovery-order parent tree.
+    /// BFS-tree parents are no longer scan-order artifacts: they are
+    /// derived from the distances by the deterministic
+    /// [`canonical_parent`] rule, so every kernel feeds `AdjustDistances`
+    /// the same trees.
     pub kernel: bool,
+    /// Batch Algorithm 1's per-root sweep through the multi-source BFS
+    /// kernel: the `|Q|` root distance computations (line 1) and the
+    /// feasibility pass run as `⌈|Q|/64⌉` shared CSR sweeps
+    /// ([`MsBfsWorkspace`]) instead of one BFS per root, and the per-root
+    /// parent trees feeding `AdjustDistances` are reconstructed on demand
+    /// from the distance matrix ([`canonical_parent`]). Connectors are
+    /// **bit-identical** with batching on or off (pinned by
+    /// `batch_toggle_yields_identical_connectors` and the engine-level
+    /// parity tests); the flag exists for the `wsq_batched` bench section
+    /// and A/B parity testing.
+    pub batch: bool,
 }
 
 impl Default for WsqConfig {
@@ -106,6 +122,7 @@ impl Default for WsqConfig {
             node_weighted_steiner: false,
             deadline: None,
             kernel: true,
+            batch: true,
         }
     }
 }
@@ -196,10 +213,19 @@ impl<'g> WienerSteiner<'g> {
             });
         }
 
-        // Feasibility: all query vertices in one component (checked from
-        // q[0]; BFS results are recomputed per root inside the workers,
-        // keeping per-thread memory at one distance array).
-        {
+        let lambdas = lambda_grid(g.num_nodes(), self.config.beta);
+        let roots: Vec<NodeId> = match self.config.roots {
+            RootPolicy::QueryOnly => q.clone(),
+            RootPolicy::AllVertices => g.nodes().collect(),
+        };
+
+        let use_batch = self.config.batch && roots.len() > 1;
+        // Feasibility: all query vertices in one component, checked from
+        // q[0]. Under the batched QueryOnly sweep the check is folded
+        // into the first multi-source batch below (lane 0 *is* q[0], so
+        // it costs nothing); every other configuration pays one BFS here.
+        let feasibility_folded = use_batch && matches!(self.config.roots, RootPolicy::QueryOnly);
+        if !feasibility_folded {
             let mut ws = pool.lease();
             let dist = if self.config.kernel {
                 ws.run_auto(g, q[0])
@@ -211,47 +237,32 @@ impl<'g> WienerSteiner<'g> {
             }
         }
 
-        let lambdas = lambda_grid(g.num_nodes(), self.config.beta);
-        let roots: Vec<NodeId> = match self.config.roots {
-            RootPolicy::QueryOnly => q.clone(),
-            RootPolicy::AllVertices => g.nodes().collect(),
-        };
-
-        let threads = if self.config.parallel {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(roots.len())
-        } else {
-            1
-        };
-
         let mut candidates: Vec<CandidateRecord> = Vec::new();
         let mut best: Option<(CandidateRecord, Vec<NodeId>)> = None;
 
-        let results: Vec<Result<Vec<EvaluatedCandidate>>> = if threads <= 1 {
-            vec![run_roots(g, &self.config, &q, &roots, &lambdas, pool)]
-        } else {
-            let chunk = roots.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = roots
-                    .chunks(chunk)
-                    .map(|chunk_roots| {
-                        let (q, lambdas, cfg) = (&q, &lambdas, &self.config);
-                        scope.spawn(move || run_roots(g, cfg, q, chunk_roots, lambdas, pool))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
-        };
-
-        // Merge in deterministic (root-chunk) order.
+        // The candidate stream: identical root order (and therefore
+        // identical records) whether the per-root distances come from
+        // ⌈|roots|/64⌉ shared multi-source sweeps or one BFS per root.
         let mut all: Vec<EvaluatedCandidate> = Vec::new();
-        for r in results {
-            all.extend(r?);
+        if use_batch {
+            let mut ms = pool.lease_multi();
+            for (bi, batch) in roots.chunks(MS_BFS_LANES).enumerate() {
+                // Cooperative deadline between batches; the first batch
+                // always runs so a feasible connector is still produced.
+                if !all.is_empty() && past_deadline(&self.config) {
+                    break;
+                }
+                let dists = batched_root_distances(g, batch, &mut ms);
+                if bi == 0
+                    && feasibility_folded
+                    && q.iter().any(|&v| dists[0][v as usize] == INF_DIST)
+                {
+                    return Err(CoreError::QueryNotConnectable);
+                }
+                all.extend(self.sweep_roots(g, &q, batch, Some(&dists), &lambdas, pool)?);
+            }
+        } else {
+            all = self.sweep_roots(g, &q, &roots, None, &lambdas, pool)?;
         }
 
         // Remark 1, engineered: Lemma 1 gives A(H,r)/2 ≤ W(H) ≤ A(H,r), so
@@ -318,6 +329,72 @@ impl<'g> WienerSteiner<'g> {
             trace: candidates,
         })
     }
+
+    /// Fans the λ sweep for `roots` out across scoped worker threads
+    /// (§6.6's embarrassing root parallelism). `dists`, when present,
+    /// carries precomputed per-root distance arrays aligned with `roots`
+    /// (the batched path); chunk boundaries split both in lockstep, and
+    /// the merge keeps root order, so threading never changes the
+    /// candidate stream.
+    fn sweep_roots(
+        &self,
+        g: &Graph,
+        q: &[NodeId],
+        roots: &[NodeId],
+        dists: Option<&[Vec<u32>]>,
+        lambdas: &[f64],
+        pool: &WorkspacePool,
+    ) -> Result<Vec<EvaluatedCandidate>> {
+        let threads = if self.config.parallel {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(roots.len())
+        } else {
+            1
+        };
+        if threads <= 1 {
+            return run_roots(g, &self.config, q, roots, dists, lambdas, pool);
+        }
+        let chunk = roots.len().div_ceil(threads);
+        let results: Vec<Result<Vec<EvaluatedCandidate>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = roots
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, chunk_roots)| {
+                    let dists_chunk = dists.map(|d| &d[i * chunk..i * chunk + chunk_roots.len()]);
+                    let (q, lambdas, cfg) = (q, lambdas, &self.config);
+                    scope.spawn(move || {
+                        run_roots(g, cfg, q, chunk_roots, dists_chunk, lambdas, pool)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+}
+
+/// Distances from every root, batched through the multi-source BFS
+/// kernel: `⌈|roots|/64⌉` shared CSR sweeps, each serving up to
+/// [`MS_BFS_LANES`] roots at once, gathered into one per-root array each.
+/// Bit-identical to per-root [`BfsWorkspace::run`]
+/// (mwc_graph::traversal::bfs::BfsWorkspace::run) distances — this is
+/// Algorithm 1 line 1 as the batched `ws-q` path executes it, exposed so
+/// the `wsq_batched` bench section measures exactly the solver's code.
+pub fn batched_root_distances(
+    g: &Graph,
+    roots: &[NodeId],
+    ws: &mut MsBfsWorkspace,
+) -> Vec<Vec<u32>> {
+    multi_source_distances(g, roots, ws)
 }
 
 /// Convenience entry point with default configuration.
@@ -362,24 +439,36 @@ fn past_deadline(cfg: &WsqConfig) -> bool {
 
 /// Worker: full λ sweep for a chunk of roots, returning evaluated
 /// candidates.
+///
+/// `dists`, when present, is the batched path's precomputed per-root
+/// distance slice (aligned with `roots`); otherwise each root pays one
+/// BFS here. Either way the BFS-tree parents feeding `AdjustDistances`
+/// are derived on demand from the distances by the deterministic
+/// [`canonical_parent`] rule — a pure function of the (kernel-invariant)
+/// distance array, so every configuration grafts identical paths.
 fn run_roots(
     g: &Graph,
     cfg: &WsqConfig,
     q: &[NodeId],
     roots: &[NodeId],
+    dists: Option<&[Vec<u32>]>,
     lambdas: &[f64],
     pool: &WorkspacePool,
 ) -> Result<Vec<EvaluatedCandidate>> {
     let mut out = Vec::with_capacity(roots.len() * lambdas.len());
     let mut ws = pool.lease();
     let mut terminals: Vec<NodeId> = Vec::with_capacity(q.len() + 1);
-    for &r in roots {
+    for (i, &r) in roots.iter().enumerate() {
         // Cooperative deadline: stop sweeping further roots, but never
         // before this worker contributed at least one candidate.
         if !out.is_empty() && past_deadline(cfg) {
             break;
         }
-        let (dist_r, parent_r) = ws.run_with_parents(g, r);
+        let dist_r: &[u32] = match dists {
+            Some(d) => &d[i],
+            None if cfg.kernel => ws.run_auto(g, r),
+            None => ws.run(g, r),
+        };
         // Terminals: Q ∪ {r} (identical to Q under RootPolicy::QueryOnly).
         terminals.clear();
         terminals.extend_from_slice(q);
@@ -412,7 +501,7 @@ fn run_roots(
                 steiner_tree(cfg.steiner, g, &terminals, weight)?
             };
             let final_tree = if cfg.adjust {
-                adjust_distances(g, &tree, r, dist_r, parent_r)
+                adjust_distances_with(g, &tree, r, dist_r, |v| canonical_parent(g, dist_r, v))
             } else {
                 tree
             };
@@ -433,8 +522,10 @@ fn run_roots(
     Ok(out)
 }
 
-/// Computes `A(G[S], r)` — one BFS inside the induced subgraph.
-fn evaluate_a(
+/// Computes `A(G[S], r)` — one BFS inside the induced subgraph. Shared
+/// with the approximate solver (`wsq_approx`), which evaluates the same
+/// objective on its candidates.
+pub(crate) fn evaluate_a(
     g: &Graph,
     nodes: &[NodeId],
     r: NodeId,
@@ -657,6 +748,111 @@ mod tests {
         let g = structured::path(6);
         let sol = minimum_wiener_connector(&g, &[2, 2, 4, 4]).unwrap();
         assert_eq!(sol.connector.vertices(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_toggle_yields_identical_connectors() {
+        // The multi-source batched root sweep changes how distances are
+        // produced, never what they are — and parents are a pure function
+        // of distances — so connectors must be bit-identical with
+        // batching on or off.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let g = mwc_graph::generators::barabasi_albert(600, 3, &mut rng);
+        for _ in 0..5 {
+            let size = rng.gen_range(2..=6usize);
+            let q: Vec<NodeId> = (0..size).map(|_| rng.gen_range(0..600)).collect();
+            let on = WienerSteiner::with_config(
+                &g,
+                WsqConfig {
+                    batch: true,
+                    parallel: false,
+                    ..WsqConfig::default()
+                },
+            )
+            .solve(&q)
+            .unwrap();
+            let off = WienerSteiner::with_config(
+                &g,
+                WsqConfig {
+                    batch: false,
+                    parallel: false,
+                    ..WsqConfig::default()
+                },
+            )
+            .solve(&q)
+            .unwrap();
+            assert_eq!(on.connector.vertices(), off.connector.vertices(), "{q:?}");
+            assert_eq!(on.wiener_index, off.wiener_index);
+            assert_eq!(on.num_candidates, off.num_candidates);
+            assert_eq!(
+                (on.best_root, on.best_lambda),
+                (off.best_root, off.best_lambda)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_parity_holds_with_all_vertices_roots() {
+        // AllVertices spans multiple 64-lane batches on the karate club +
+        // margin graph; the standalone feasibility path and the per-batch
+        // sweeps must agree with the per-root path.
+        let g = mwc_graph::generators::barabasi_albert(
+            150,
+            2,
+            &mut rand::rngs::StdRng::seed_from_u64(79),
+        );
+        let q = vec![3u32, 77, 149];
+        let mk = |batch: bool| {
+            WienerSteiner::with_config(
+                &g,
+                WsqConfig {
+                    roots: RootPolicy::AllVertices,
+                    batch,
+                    parallel: false,
+                    ..WsqConfig::default()
+                },
+            )
+            .solve(&q)
+            .unwrap()
+        };
+        let on = mk(true);
+        let off = mk(false);
+        assert_eq!(on.connector.vertices(), off.connector.vertices());
+        assert_eq!(on.wiener_index, off.wiener_index);
+        assert_eq!(on.num_candidates, off.num_candidates);
+    }
+
+    #[test]
+    fn batched_root_distances_match_per_root_bfs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(83);
+        let g = mwc_graph::generators::barabasi_albert(500, 3, &mut rng);
+        // 100 roots spans two 64-lane sweeps, with duplicates.
+        let roots: Vec<NodeId> = (0..100).map(|i| (i * 7) % 500).collect();
+        let mut ms = mwc_graph::traversal::bfs::MsBfsWorkspace::new();
+        let dists = batched_root_distances(&g, &roots, &mut ms);
+        assert_eq!(dists.len(), roots.len());
+        let mut ws = mwc_graph::traversal::bfs::BfsWorkspace::new();
+        for (i, &r) in roots.iter().enumerate() {
+            assert_eq!(dists[i], ws.run(&g, r), "root {r}");
+        }
+    }
+
+    #[test]
+    fn infeasible_query_is_rejected_with_batching_on_and_off() {
+        let split = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        for batch in [true, false] {
+            let solver = WienerSteiner::with_config(
+                &split,
+                WsqConfig {
+                    batch,
+                    ..WsqConfig::default()
+                },
+            );
+            assert!(matches!(
+                solver.solve(&[0, 3]),
+                Err(CoreError::QueryNotConnectable)
+            ));
+        }
     }
 
     #[test]

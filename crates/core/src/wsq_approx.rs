@@ -32,7 +32,7 @@ use rand::Rng;
 use crate::connector::Connector;
 use crate::error::{CoreError, Result};
 use crate::steiner::{steiner_tree, SteinerAlgorithm};
-use crate::wsq::{lambda_grid, normalize_query, CandidateRecord, WsqSolution};
+use crate::wsq::{evaluate_a, lambda_grid, normalize_query, CandidateRecord, WsqSolution};
 
 /// Configuration of the approximate solver.
 #[derive(Debug, Clone)]
@@ -58,6 +58,14 @@ pub struct ApproxWsqConfig {
     /// inside `solve_batch` workers so solvers do not nest one thread
     /// pool per worker — same contract as [`crate::WsqConfig::parallel`].
     pub parallel: bool,
+    /// Batch the per-root landmark estimates: all `|Q|` root distance
+    /// vectors come from **one pass** over the oracle's `k × |V|` matrix
+    /// ([`LandmarkOracle::estimate_all_multi`]) instead of `|Q|` separate
+    /// sweeps — each landmark row is folded into every root while
+    /// cache-hot. Estimates (and therefore connectors) are identical
+    /// either way; the flag mirrors [`crate::WsqConfig::batch`] for A/B
+    /// parity testing.
+    pub batch: bool,
 }
 
 impl Default for ApproxWsqConfig {
@@ -70,6 +78,7 @@ impl Default for ApproxWsqConfig {
             wiener_exact_threshold: 4096,
             kernel: true,
             parallel: true,
+            batch: true,
         }
     }
 }
@@ -177,9 +186,23 @@ pub fn solve_with_oracle(
     }
 
     let lambdas = lambda_grid(g.num_nodes(), config.beta);
+    // Batched root estimates: one pass over the landmark matrix serves
+    // every root (identical values to per-root `estimate_all` calls).
+    let root_dists = if config.batch {
+        Some(oracle.estimate_all_multi(&q))
+    } else {
+        None
+    };
     let mut all: Vec<(CandidateRecord, Vec<NodeId>)> = Vec::new();
-    for &r in &q {
-        let dist_r = oracle.estimate_all(r);
+    for (ri, &r) in q.iter().enumerate() {
+        let per_root;
+        let dist_r: &[u32] = match &root_dists {
+            Some(d) => &d[ri],
+            None => {
+                per_root = oracle.estimate_all(r);
+                &per_root
+            }
+        };
         for &lambda in &lambdas {
             let weight = |u: NodeId, v: NodeId| {
                 // Unreachable vertices never appear on used paths (the
@@ -194,7 +217,7 @@ pub fn solve_with_oracle(
             };
             let tree = steiner_tree(config.steiner, g, &q, weight)?;
             let nodes = tree.nodes;
-            let a_value = evaluate_a_local(g, &nodes, r, pool, config.kernel)?;
+            let a_value = evaluate_a(g, &nodes, r, pool, config.kernel)?;
             all.push((
                 CandidateRecord {
                     root: r,
@@ -253,29 +276,6 @@ pub fn solve_with_oracle(
         num_candidates,
         trace: Vec::new(),
     })
-}
-
-/// `A(H, r) = |H| · Σ_u d_H(u, r)` evaluated exactly on the (small)
-/// candidate subgraph — same definition as the exact solver's internal
-/// evaluator.
-fn evaluate_a_local(
-    g: &Graph,
-    nodes: &[NodeId],
-    r: NodeId,
-    pool: &WorkspacePool,
-    kernel: bool,
-) -> Result<u64> {
-    let sub = g.induced(nodes)?;
-    let r_local = sub.to_local(r).expect("root belongs to its candidate");
-    let mut ws = pool.lease();
-    if kernel {
-        ws.run_auto(sub.graph(), r_local);
-    } else {
-        ws.run(sub.graph(), r_local);
-    }
-    let (sum, reached) = ws.last_run_distance_sum();
-    debug_assert_eq!(reached, sub.num_nodes(), "candidate must be connected");
-    Ok(sum * sub.num_nodes() as u64)
 }
 
 #[cfg(test)]
@@ -371,6 +371,36 @@ mod tests {
             solver.solve(&[0, 3]),
             Err(CoreError::QueryNotConnectable)
         ));
+    }
+
+    #[test]
+    fn batch_toggle_yields_identical_connectors() {
+        // Batched landmark estimates are the same min over the same
+        // terms, so candidate trees — and connectors — must not move.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = mwc_graph::generators::barabasi_albert(300, 3, &mut rng);
+        let mk = |batch: bool| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+            ApproxWienerSteiner::build(
+                &g,
+                ApproxWsqConfig {
+                    batch,
+                    parallel: false,
+                    ..ApproxWsqConfig::default()
+                },
+                &mut rng,
+            )
+        };
+        let on = mk(true);
+        let off = mk(false);
+        use rand::Rng;
+        for _ in 0..5 {
+            let q: Vec<NodeId> = (0..4).map(|_| rng.gen_range(0..300)).collect();
+            let a = on.solve(&q).unwrap();
+            let b = off.solve(&q).unwrap();
+            assert_eq!(a.connector.vertices(), b.connector.vertices(), "{q:?}");
+            assert_eq!(a.wiener_index, b.wiener_index);
+        }
     }
 
     #[test]

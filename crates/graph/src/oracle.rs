@@ -18,7 +18,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::traversal::bfs::bfs_distances;
+use crate::traversal::bfs::{bfs_distances, multi_source_distances, MsBfsWorkspace};
 use crate::{Graph, NodeId, INF_DIST};
 
 /// How landmarks are selected.
@@ -55,26 +55,31 @@ pub struct LandmarkOracle {
 }
 
 impl LandmarkOracle {
-    /// Builds an oracle with `k` landmarks (clamped to `|V|`). Runs `k`
-    /// BFS traversals — `O(k (|V| + |E|))`.
+    /// Builds an oracle with `k` landmarks (clamped to `|V|`).
+    ///
+    /// The `k` distance vectors come from `⌈k/64⌉` multi-source BFS
+    /// sweeps ([`MsBfsWorkspace`]) instead of `k` sequential traversals:
+    /// the CSR adjacency — the memory-bound part — is streamed once per
+    /// level per *batch* rather than once per landmark. Distances are
+    /// bit-identical to [`Self::build_sequential`] (pinned by tests); the
+    /// `oracle_build` section of `BENCH_kernel.json` records the speedup.
     pub fn build<R: Rng>(g: &Graph, k: usize, strategy: LandmarkStrategy, rng: &mut R) -> Self {
-        let n = g.num_nodes();
-        let k = k.min(n).max(usize::from(n > 0));
-        let landmarks = match strategy {
-            LandmarkStrategy::Random => {
-                let mut all: Vec<NodeId> = (0..n as NodeId).collect();
-                all.shuffle(rng);
-                all.truncate(k);
-                all
-            }
-            LandmarkStrategy::HighestDegree => {
-                let mut all: Vec<NodeId> = (0..n as NodeId).collect();
-                all.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
-                all.truncate(k);
-                all
-            }
-            LandmarkStrategy::FarthestFirst => farthest_first(g, k, rng),
-        };
+        let landmarks = select_landmarks(g, k, strategy, rng);
+        let dist = multi_source_distances(g, &landmarks, &mut MsBfsWorkspace::new());
+        LandmarkOracle { landmarks, dist }
+    }
+
+    /// Builds the oracle with one sequential BFS per landmark —
+    /// `O(k (|V| + |E|))`, the pre-batching construction path. Kept as
+    /// the parity reference and the baseline of the `oracle_build` bench
+    /// section; [`Self::build`] is the production path.
+    pub fn build_sequential<R: Rng>(
+        g: &Graph,
+        k: usize,
+        strategy: LandmarkStrategy,
+        rng: &mut R,
+    ) -> Self {
+        let landmarks = select_landmarks(g, k, strategy, rng);
         let dist = landmarks.iter().map(|&l| bfs_distances(g, l)).collect();
         LandmarkOracle { landmarks, dist }
     }
@@ -149,6 +154,79 @@ impl LandmarkOracle {
         }
         out[source as usize] = 0;
         out
+    }
+
+    /// [`Self::estimate_all`] for a batch of sources in **one pass** over
+    /// the landmark matrix: each `O(|V|)` landmark row is loaded once and
+    /// folded into every source's output while it is cache-hot, instead
+    /// of `|sources|` separate sweeps through the whole `k × |V|` matrix.
+    /// Results are identical to per-source [`Self::estimate_all`] calls
+    /// (same min over the same terms); the batched `ws-q-approx` root
+    /// loop is the intended caller.
+    pub fn estimate_all_multi(&self, sources: &[NodeId]) -> Vec<Vec<u32>> {
+        let n = self.dist.first().map_or(0, |row| row.len());
+        let mut outs: Vec<Vec<u32>> = sources.iter().map(|_| vec![INF_DIST; n]).collect();
+        // Landmark sources are exact: their own row, verbatim.
+        let exact: Vec<Option<usize>> = sources
+            .iter()
+            .map(|&s| self.landmarks.iter().position(|&l| l == s))
+            .collect();
+        for (row, out) in exact.iter().zip(outs.iter_mut()) {
+            if let Some(i) = row {
+                out.clone_from(&self.dist[*i]);
+            }
+        }
+        for row in &self.dist {
+            for ((&s, out), ex) in sources.iter().zip(outs.iter_mut()).zip(&exact) {
+                if ex.is_some() {
+                    continue;
+                }
+                let ds = row[s as usize];
+                if ds == INF_DIST {
+                    continue;
+                }
+                for (o, &dv) in out.iter_mut().zip(row.iter()) {
+                    if dv != INF_DIST {
+                        *o = (*o).min(ds + dv);
+                    }
+                }
+            }
+        }
+        for ((&s, out), ex) in sources.iter().zip(outs.iter_mut()).zip(&exact) {
+            if ex.is_none() {
+                out[s as usize] = 0;
+            }
+        }
+        outs
+    }
+}
+
+/// Picks the `k` landmark vertices for `strategy` (clamped to `|V|`,
+/// at least one on non-empty graphs). Consumes `rng` identically for
+/// [`LandmarkOracle::build`] and [`LandmarkOracle::build_sequential`], so
+/// the two constructions select the same landmarks.
+fn select_landmarks<R: Rng>(
+    g: &Graph,
+    k: usize,
+    strategy: LandmarkStrategy,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let k = k.min(n).max(usize::from(n > 0));
+    match strategy {
+        LandmarkStrategy::Random => {
+            let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+            all.shuffle(rng);
+            all.truncate(k);
+            all
+        }
+        LandmarkStrategy::HighestDegree => {
+            let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+            all.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+            all.truncate(k);
+            all
+        }
+        LandmarkStrategy::FarthestFirst => farthest_first(g, k, rng),
     }
 }
 
@@ -309,6 +387,51 @@ mod tests {
                 assert_eq!(oracle.estimate(u, v), expect);
             }
         }
+    }
+
+    #[test]
+    fn batched_build_matches_sequential_build() {
+        // The batched (multi-source) construction must be bit-identical
+        // to the sequential one: same landmarks, same distance rows —
+        // including k > 64, which spans multiple 64-lane sweeps.
+        use rand::SeedableRng;
+        let g =
+            crate::generators::barabasi_albert(300, 3, &mut rand::rngs::StdRng::seed_from_u64(77));
+        for strategy in all_strategies() {
+            for k in [1usize, 5, 64, 100] {
+                let mut rng_a = rand::rngs::StdRng::seed_from_u64(9);
+                let mut rng_b = rand::rngs::StdRng::seed_from_u64(9);
+                let batched = LandmarkOracle::build(&g, k, strategy, &mut rng_a);
+                let sequential = LandmarkOracle::build_sequential(&g, k, strategy, &mut rng_b);
+                assert_eq!(
+                    batched.landmarks(),
+                    sequential.landmarks(),
+                    "{strategy:?} k={k}"
+                );
+                assert_eq!(batched.dist, sequential.dist, "{strategy:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_all_multi_matches_per_source() {
+        let g = karate_club();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let oracle = LandmarkOracle::build(&g, 5, LandmarkStrategy::HighestDegree, &mut rng);
+        // Mix of landmark sources, plain sources, and duplicates.
+        let landmark = oracle.landmarks()[0];
+        let sources = vec![0u32, landmark, 7, 7, 33];
+        let multi = oracle.estimate_all_multi(&sources);
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(multi[i], oracle.estimate_all(s), "source {s}");
+        }
+        // Disconnected graphs propagate INF_DIST identically.
+        let split = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let o = LandmarkOracle::build(&split, 2, LandmarkStrategy::FarthestFirst, &mut rng);
+        let multi = o.estimate_all_multi(&[0, 2]);
+        assert_eq!(multi[0], o.estimate_all(0));
+        assert_eq!(multi[1], o.estimate_all(2));
     }
 
     #[test]

@@ -463,6 +463,54 @@ impl MsBfsWorkspace {
             .collect()
     }
 
+    /// Distances of **every** lane, gathered in one sequential pass over
+    /// the vertex-major matrix (each vertex's `lanes` values are adjacent,
+    /// so the transpose streams the matrix once instead of striding
+    /// through it per lane as repeated [`Self::lane_distances`] calls
+    /// would). Returns `lanes` vectors in source order.
+    pub fn all_lane_distances(&self) -> Vec<Vec<u32>> {
+        let mut outs: Vec<Vec<u32>> = (0..self.lanes)
+            .map(|_| Vec::with_capacity(self.n))
+            .collect();
+        for row in self.dist.chunks_exact(self.lanes.max(1)) {
+            for (out, &d) in outs.iter_mut().zip(row) {
+                out.push(d);
+            }
+        }
+        outs
+    }
+
+    /// Canonical BFS-tree parent of `v` in the `lane`-th source's tree,
+    /// reconstructed on demand from the vertex-major distance matrix via
+    /// the [`canonical_parent`] rule (lowest-id neighbor one level
+    /// closer). `O(deg v)`; [`NO_NODE`] for the source and unreachable
+    /// vertices.
+    pub fn lane_parent(&self, g: &Graph, lane: usize, v: NodeId) -> NodeId {
+        debug_assert!(lane < self.lanes, "lane {lane} out of range");
+        let dv = self.dist[v as usize * self.lanes + lane];
+        if dv == 0 || dv == INF_DIST {
+            return NO_NODE;
+        }
+        for &u in g.neighbors(v) {
+            if self.dist[u as usize * self.lanes + lane] == dv - 1 {
+                return u;
+            }
+        }
+        NO_NODE
+    }
+
+    /// The full canonical parent array of the `lane`-th source's tree —
+    /// one [`Self::lane_parent`] per vertex, `O(|V| + |E|)` total.
+    /// Identical to [`canonical_parents`] over [`Self::lane_distances`]
+    /// (the distances are bit-identical to per-source BFS, so the
+    /// deterministic rule lands on the same parents).
+    pub fn lane_parents(&self, g: &Graph, lane: usize) -> Vec<NodeId> {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        (0..self.n as NodeId)
+            .map(|v| self.lane_parent(g, lane, v))
+            .collect()
+    }
+
     /// Sum of distances from the `lane`-th source over reached vertices,
     /// and the reached count (including the source) — the all-pairs
     /// building block [`crate::wiener::wiener_index`] consumes.
@@ -472,14 +520,64 @@ impl MsBfsWorkspace {
     }
 }
 
-/// One-shot multi-source BFS: distances per source, in source order.
-/// Allocates; prefer [`MsBfsWorkspace`] in loops.
-pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Vec<u32>> {
-    let mut ws = MsBfsWorkspace::new();
-    ws.run(g, sources);
-    (0..sources.len())
-        .map(|lane| ws.lane_distances(lane))
+/// The canonical shortest-path-tree parent of `v` given the BFS distance
+/// array from some source: the **lowest-id** neighbor at distance
+/// `dist[v] − 1` ([`NO_NODE`] for the source and unreachable vertices).
+///
+/// Any neighbor one level closer is a valid BFS-tree parent; picking the
+/// minimum relabeled id makes the choice a pure function of the distance
+/// array. That is what lets the batched solvers reconstruct parent trees
+/// from [`MsBfsWorkspace`]'s vertex-major matrix and still produce
+/// **bit-identical** connectors to the per-root path: per-source and
+/// multi-source distances agree, so this rule lands on the same parents
+/// no matter which kernel produced the distances.
+#[inline]
+pub fn canonical_parent(g: &Graph, dist: &[u32], v: NodeId) -> NodeId {
+    let dv = dist[v as usize];
+    if dv == 0 || dv == INF_DIST {
+        return NO_NODE;
+    }
+    // CSR adjacency is sorted, so the first hit is the lowest id.
+    for &u in g.neighbors(v) {
+        if dist[u as usize] == dv - 1 {
+            return u;
+        }
+    }
+    NO_NODE
+}
+
+/// The full canonical parent array for a BFS distance array — one
+/// [`canonical_parent`] per vertex, `O(|V| + |E|)`.
+pub fn canonical_parents(g: &Graph, dist: &[u32]) -> Vec<NodeId> {
+    (0..g.num_nodes() as NodeId)
+        .map(|v| canonical_parent(g, dist, v))
         .collect()
+}
+
+/// Distances from **any** number of sources, batched through
+/// `⌈|sources|/64⌉` multi-source sweeps and gathered into one per-source
+/// array each (via the one-pass [`MsBfsWorkspace::all_lane_distances`]
+/// transpose). Bit-identical to per-source [`BfsWorkspace::run`] — the
+/// shared building block of the batched `ws-q` root sweep and the
+/// batched [`LandmarkOracle`](crate::oracle::LandmarkOracle) build.
+pub fn multi_source_distances(
+    g: &Graph,
+    sources: &[NodeId],
+    ws: &mut MsBfsWorkspace,
+) -> Vec<Vec<u32>> {
+    let mut out = Vec::with_capacity(sources.len());
+    for chunk in sources.chunks(MS_BFS_LANES) {
+        ws.run(g, chunk);
+        out.extend(ws.all_lane_distances());
+    }
+    out
+}
+
+/// One-shot multi-source BFS: distances per source, in source order.
+/// Allocates; prefer [`MsBfsWorkspace`] + [`multi_source_distances`] in
+/// loops.
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Vec<u32>> {
+    multi_source_distances(g, sources, &mut MsBfsWorkspace::new())
 }
 
 /// A thread-safe pool of [`BfsWorkspace`]s, so per-graph engines can
@@ -493,6 +591,9 @@ pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Vec<u32>> {
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
     free: std::sync::Mutex<Vec<BfsWorkspace>>,
+    /// Idle multi-source workspaces — pooled separately because their
+    /// `O(lanes · |V|)` distance matrix dwarfs a single-source workspace.
+    free_multi: std::sync::Mutex<Vec<MsBfsWorkspace>>,
 }
 
 impl WorkspacePool {
@@ -515,9 +616,33 @@ impl WorkspacePool {
         }
     }
 
-    /// Number of currently idle (pooled) workspaces.
+    /// Borrows a multi-source workspace; creates one if none is free.
+    /// The batched `ws-q` root sweep leases one per solve instead of
+    /// reallocating the lane-mask and distance-matrix buffers per query.
+    pub fn lease_multi(&self) -> PooledMsWorkspace<'_> {
+        let ws = self
+            .free_multi
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledMsWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Number of currently idle (pooled) single-source workspaces.
     pub fn idle(&self) -> usize {
         self.free.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// Number of currently idle (pooled) multi-source workspaces.
+    pub fn idle_multi(&self) -> usize {
+        self.free_multi
+            .lock()
+            .expect("workspace pool poisoned")
+            .len()
     }
 }
 
@@ -546,6 +671,37 @@ impl Drop for PooledWorkspace<'_> {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
             if let Ok(mut free) = self.pool.free.lock() {
+                free.push(ws);
+            }
+        }
+    }
+}
+
+/// RAII lease from a [`WorkspacePool`]; derefs to [`MsBfsWorkspace`] and
+/// returns the buffers to the pool on drop.
+#[derive(Debug)]
+pub struct PooledMsWorkspace<'p> {
+    pool: &'p WorkspacePool,
+    ws: Option<MsBfsWorkspace>,
+}
+
+impl std::ops::Deref for PooledMsWorkspace<'_> {
+    type Target = MsBfsWorkspace;
+    fn deref(&self) -> &MsBfsWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledMsWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut MsBfsWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledMsWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            if let Ok(mut free) = self.pool.free_multi.lock() {
                 free.push(ws);
             }
         }
@@ -792,5 +948,85 @@ mod tests {
     fn multi_source_rejects_empty_source_list() {
         let g = path_graph(3);
         MsBfsWorkspace::new().run(&g, &[]);
+    }
+
+    #[test]
+    fn all_lane_distances_match_per_lane_gathers() {
+        let g = dense_test_graph(300);
+        let sources: Vec<NodeId> = vec![0, 9, 120, 299];
+        let mut ws = MsBfsWorkspace::new();
+        ws.run(&g, &sources);
+        let all = ws.all_lane_distances();
+        assert_eq!(all.len(), sources.len());
+        for (lane, gathered) in all.iter().enumerate() {
+            assert_eq!(gathered, &ws.lane_distances(lane), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn canonical_parents_form_a_shortest_path_tree() {
+        let g = dense_test_graph(400);
+        let mut ws = BfsWorkspace::new();
+        for source in [0u32, 5, 399] {
+            let dist: Vec<u32> = ws.run(&g, source).to_vec();
+            let parents = canonical_parents(&g, &dist);
+            assert_eq!(parents[source as usize], NO_NODE);
+            for v in 0..400u32 {
+                let p = parents[v as usize];
+                if v == source {
+                    continue;
+                }
+                if dist[v as usize] == INF_DIST {
+                    assert_eq!(p, NO_NODE);
+                    continue;
+                }
+                // The parent is one level closer and the lowest-id such
+                // neighbor (the determinism the batched solvers rely on).
+                assert!(g.has_edge(p, v));
+                assert_eq!(dist[p as usize] + 1, dist[v as usize]);
+                for &u in g.neighbors(v) {
+                    if dist[u as usize] + 1 == dist[v as usize] {
+                        assert!(p <= u, "parent {p} is not the lowest-id choice {u}");
+                        break;
+                    }
+                }
+                // Walking the chain reaches the source in dist[v] steps.
+                let path = path_from_parents(&parents, source, v).unwrap();
+                assert_eq!(path.len() as u32 - 1, dist[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_parents_match_per_source_canonical_parents() {
+        let g = dense_test_graph(350);
+        let sources: Vec<NodeId> = vec![0, 17, 100, 349];
+        let mut ms = MsBfsWorkspace::new();
+        ms.run(&g, &sources);
+        let mut single = BfsWorkspace::new();
+        for (lane, &s) in sources.iter().enumerate() {
+            let dist: Vec<u32> = single.run(&g, s).to_vec();
+            let expect = canonical_parents(&g, &dist);
+            assert_eq!(ms.lane_parents(&g, lane), expect, "lane {lane}");
+            assert_eq!(ms.lane_parent(&g, lane, s), NO_NODE);
+        }
+    }
+
+    #[test]
+    fn multi_workspace_pool_recycles() {
+        let pool = WorkspacePool::new();
+        let g = path_graph(6);
+        {
+            let mut ms = pool.lease_multi();
+            ms.run(&g, &[0, 5]);
+            assert_eq!(ms.lane_distances(0), bfs_distances(&g, 0));
+            assert_eq!(pool.idle_multi(), 0);
+        }
+        assert_eq!(pool.idle_multi(), 1);
+        {
+            let _a = pool.lease_multi();
+            assert_eq!(pool.idle_multi(), 0);
+        }
+        assert_eq!(pool.idle_multi(), 1);
     }
 }

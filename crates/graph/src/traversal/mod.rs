@@ -4,7 +4,7 @@ pub mod bfs;
 pub mod dijkstra;
 
 pub use bfs::{
-    bfs_distances, bfs_parents, multi_source_bfs, BfsResult, BfsWorkspace, MsBfsWorkspace,
-    MS_BFS_LANES,
+    bfs_distances, bfs_parents, canonical_parent, canonical_parents, multi_source_bfs, BfsResult,
+    BfsWorkspace, MsBfsWorkspace, MS_BFS_LANES,
 };
 pub use dijkstra::{dijkstra, multi_source_dijkstra, DijkstraResult, VoronoiResult};

@@ -248,6 +248,52 @@ proptest! {
         }
     }
 
+    /// Parent trees reconstructed from the batched (multi-source)
+    /// distance matrix have the same per-root distance profile as plain
+    /// per-root BFS on every graph family: walking each vertex's
+    /// canonical parent chain reaches the root in exactly `d(root, v)`
+    /// steps, and the reconstruction is identical whether the distances
+    /// came from the batched sweep or a single-source run.
+    #[test]
+    fn batched_parent_trees_preserve_distance_profiles(
+        g in arb_family_graph(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        use mwc_graph::traversal::bfs::{canonical_parents, BfsWorkspace, MsBfsWorkspace};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.num_nodes() as NodeId;
+        let lanes = rng.gen_range(1..=16usize);
+        let sources: Vec<NodeId> = (0..lanes).map(|_| rng.gen_range(0..n)).collect();
+        let mut ms = MsBfsWorkspace::new();
+        ms.run(&g, &sources);
+        let mut single = BfsWorkspace::new();
+        for (lane, &s) in sources.iter().enumerate() {
+            let dist: Vec<u32> = single.run(&g, s).to_vec();
+            let batched = ms.lane_parents(&g, lane);
+            // Reconstruction is a pure function of the (identical)
+            // distances: per-root and batched parents coincide.
+            prop_assert_eq!(&batched, &canonical_parents(&g, &dist));
+            // Tree distance profile == BFS distance profile: every
+            // reachable vertex sits at depth d(s, v) in the parent tree.
+            for v in 0..n {
+                if dist[v as usize] == INF_DIST {
+                    prop_assert!(path_from_parents(&batched, s, v).is_none());
+                    continue;
+                }
+                let path = path_from_parents(&batched, s, v)
+                    .expect("reachable vertex has a parent chain");
+                prop_assert_eq!(
+                    path.len() as u32 - 1, dist[v as usize],
+                    "vertex {} depth mismatch", v
+                );
+                for w in path.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
     /// The parallel multi-source Wiener index equals the sequential
     /// per-source reference, and degree ordering preserves both distances
     /// and the Wiener index (it is an isomorphism).

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N]
-//!            [--queue N]
+//!            [--queue N] [--cache-bytes N]
 //!
 //!   --listen ADDR     bind address (default 127.0.0.1:7171)
 //!   --graph NAME=SPEC load a graph at startup; repeatable. SPEC is
@@ -10,6 +10,8 @@
 //!                     ba:<n>x<k>   (default: karate=karate)
 //!   --workers N       solver worker threads (default: cores, max 8)
 //!   --queue N         admission queue capacity (default 64)
+//!   --cache-bytes N   per-graph solve-cache byte budget (0 disables
+//!                     caching; default: engine default, 16 MiB)
 //! ```
 //!
 //! The process serves until a protocol `shutdown` command arrives
@@ -21,7 +23,10 @@ use std::sync::Arc;
 use mwc_service::{server, Catalog, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N] [--queue N]");
+    eprintln!(
+        "usage: mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N] [--queue N] \
+         [--cache-bytes N]"
+    );
     std::process::exit(2);
 }
 
@@ -29,6 +34,7 @@ fn main() -> ExitCode {
     let mut listen = "127.0.0.1:7171".to_string();
     let mut graphs: Vec<(String, String)> = Vec::new();
     let mut config = ServerConfig::default();
+    let mut cache_bytes: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +60,9 @@ fn main() -> ExitCode {
             "--queue" => {
                 config.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage())
             }
+            "--cache-bytes" => {
+                cache_bytes = Some(value("--cache-bytes").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -65,7 +74,10 @@ fn main() -> ExitCode {
         graphs.push(("karate".to_string(), "karate".to_string()));
     }
 
-    let catalog = Arc::new(Catalog::new());
+    let catalog = match cache_bytes {
+        Some(bytes) => Arc::new(Catalog::new().with_solve_cache_bytes(bytes)),
+        None => Arc::new(Catalog::new()),
+    };
     for (name, spec) in &graphs {
         eprint!("loading {name} from {spec} ... ");
         match catalog.load(name, spec) {

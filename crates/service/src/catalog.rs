@@ -184,11 +184,19 @@ impl CatalogEntry {
     /// for boundary translation. The original-layout graph is dropped
     /// here (the caller's `Graph` is consumed). Deterministic for a
     /// given graph.
-    fn build(name: &str, source: &str, graph: Graph) -> CatalogEntry {
+    fn build(
+        name: &str,
+        source: &str,
+        graph: Graph,
+        solve_cache_bytes: Option<usize>,
+    ) -> CatalogEntry {
         let (ordered, perm) = graph.degree_ordered();
         let (nodes, edges) = (graph.num_nodes(), graph.num_edges());
         drop(graph);
-        let engine = full_engine_shared(Arc::new(ordered));
+        let mut engine = full_engine_shared(Arc::new(ordered));
+        if let Some(bytes) = solve_cache_bytes {
+            engine.set_solve_cache_bytes(bytes);
+        }
         CatalogEntry {
             name: name.to_string(),
             source: source.to_string(),
@@ -284,12 +292,26 @@ impl CatalogEntry {
 #[derive(Debug, Default)]
 pub struct Catalog {
     entries: RwLock<HashMap<String, Arc<CatalogEntry>>>,
+    /// Solve-cache **byte** budget applied to every engine this catalog
+    /// builds (`None` keeps the engine default). The memory bound that
+    /// matters to a long-lived server: entry counts say nothing about
+    /// resident bytes when connectors vary in size.
+    solve_cache_bytes: Option<usize>,
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the solve-cache byte budget for every engine built by later
+    /// [`Catalog::load`] calls (`0` disables caching). Maps to
+    /// [`mwc_core::QueryEngine::set_solve_cache_bytes`]; the server's
+    /// `--cache-bytes` flag lands here.
+    pub fn with_solve_cache_bytes(mut self, bytes: usize) -> Self {
+        self.solve_cache_bytes = Some(bytes);
+        self
     }
 
     /// Loads `spec` under `name`, replacing any previous entry of that
@@ -302,7 +324,12 @@ impl Catalog {
         }
         let source = GraphSource::parse(spec)?;
         let graph = source.build()?;
-        let entry = Arc::new(CatalogEntry::build(name, spec, graph));
+        let entry = Arc::new(CatalogEntry::build(
+            name,
+            spec,
+            graph,
+            self.solve_cache_bytes,
+        ));
         self.entries
             .write()
             .expect("catalog lock poisoned")
@@ -482,6 +509,26 @@ mod tests {
         // Cache counters are reachable through the entry.
         entry.solve("ws-q", &q, &QueryOptions::default()).unwrap();
         assert!(entry.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn catalog_applies_solve_cache_byte_budget() {
+        let catalog = Catalog::new().with_solve_cache_bytes(700);
+        let entry = catalog.load("karate", "karate").unwrap();
+        let stats = entry.cache_stats();
+        assert_eq!(stats.capacity_bytes, 700);
+        // Default-built catalogs keep the engine default.
+        let plain = Catalog::new();
+        let e = plain.load("karate", "karate").unwrap();
+        assert_eq!(
+            e.cache_stats().capacity_bytes,
+            mwc_core::engine::DEFAULT_SOLVE_CACHE_BYTES
+        );
+        // The budget actually bounds residency.
+        for q in [[0u32, 33], [5, 16], [11, 24], [2, 8], [19, 30]] {
+            entry.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        }
+        assert!(entry.cache_stats().bytes_used <= 700);
     }
 
     #[test]

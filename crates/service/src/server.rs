@@ -631,6 +631,7 @@ fn remaining_budget(
 fn cache_stats_json(catalog: &Catalog) -> Json {
     let entries = catalog.list();
     let (mut hits, mut misses, mut evictions, mut resident) = (0u64, 0u64, 0u64, 0usize);
+    let mut bytes_used = 0usize;
     let per_graph: Vec<(String, Json)> = entries
         .iter()
         .map(|e| {
@@ -639,6 +640,7 @@ fn cache_stats_json(catalog: &Catalog) -> Json {
             misses += s.misses;
             evictions += s.evictions;
             resident += s.entries;
+            bytes_used += s.bytes_used;
             (
                 e.name.clone(),
                 Json::obj([
@@ -647,6 +649,8 @@ fn cache_stats_json(catalog: &Catalog) -> Json {
                     ("evictions", Json::from(s.evictions)),
                     ("entries", Json::from(s.entries)),
                     ("capacity", Json::from(s.capacity)),
+                    ("bytes_used", Json::from(s.bytes_used)),
+                    ("capacity_bytes", Json::from(s.capacity_bytes)),
                 ]),
             )
         })
@@ -656,6 +660,7 @@ fn cache_stats_json(catalog: &Catalog) -> Json {
         ("misses", Json::from(misses)),
         ("evictions", Json::from(evictions)),
         ("entries", Json::from(resident)),
+        ("bytes_used", Json::from(bytes_used)),
         ("graphs", Json::Obj(per_graph.into_iter().collect())),
     ])
 }

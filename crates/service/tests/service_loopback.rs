@@ -219,6 +219,18 @@ fn solve_cache_counters_and_no_cache_flag() {
     assert_eq!(karate.get("misses").unwrap().as_u64(), Some(1));
     assert_eq!(karate.get("entries").unwrap().as_u64(), Some(1));
     assert!(karate.get("capacity").unwrap().as_u64().unwrap() > 0);
+    // The byte-bounded cache is observable on the wire: one resident
+    // entry charges a non-zero approximate size against a non-zero
+    // budget, and the aggregate section carries the sum.
+    assert!(karate.get("bytes_used").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        karate.get("capacity_bytes").unwrap().as_u64().unwrap()
+            >= karate.get("bytes_used").unwrap().as_u64().unwrap()
+    );
+    assert!(
+        cache.get("bytes_used").unwrap().as_u64().unwrap()
+            >= karate.get("bytes_used").unwrap().as_u64().unwrap()
+    );
 
     // Batch requests honor the flag too (and both paths agree).
     let batch = client

@@ -163,6 +163,48 @@ fn cache_on_and_off_reports_agree_for_every_registered_solver() {
     assert!(stats.hits >= (names.len() * queries.len()) as u64);
 }
 
+/// Engine-level batching parity: `ws-q` with the multi-source batched
+/// root sweep on vs off returns identical `Connector`s for 100 random
+/// queries — on a graph large enough that both the batched and the
+/// direction-optimizing code paths genuinely engage. The batched sweep
+/// is a kernel choice, never a semantic one.
+#[test]
+fn wsq_batching_on_and_off_return_identical_connectors_for_100_queries() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBA7C4);
+    let g = wiener_connector::graph::generators::barabasi_albert(500, 3, &mut rng);
+    let queries: Vec<Vec<NodeId>> = (0..100)
+        .map(|_| {
+            let size = rng.gen_range(2..=5usize);
+            let mut q: Vec<NodeId> = Vec::new();
+            while q.len() < size {
+                let v = rng.gen_range(0..500u32);
+                if !q.contains(&v) {
+                    q.push(v);
+                }
+            }
+            q
+        })
+        .collect();
+    let mut on_engine = QueryEngine::new(&g);
+    let mut off_engine = QueryEngine::new(&g);
+    on_engine.set_batch_enabled(true);
+    off_engine.set_batch_enabled(false);
+    let opts = QueryOptions::default();
+    let on = on_engine.solve_batch("ws-q", &queries, &opts);
+    let off = off_engine.solve_batch("ws-q", &queries, &opts);
+    for ((q, a), b) in queries.iter().zip(&on).zip(&off) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(
+            a.connector.vertices(),
+            b.connector.vertices(),
+            "batching changed the connector on {q:?}"
+        );
+        assert_eq!(a.wiener_index, b.wiener_index, "on {q:?}");
+        assert_eq!(a.candidates, b.candidates, "on {q:?}");
+    }
+}
+
 /// Batch-vs-sequential determinism under a fixed seed: the same batch
 /// solved twice, and query-by-query, yields identical results.
 #[test]
