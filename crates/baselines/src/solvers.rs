@@ -15,9 +15,12 @@ use mwc_graph::{Graph, NodeId};
 
 use crate::{cps, ctp, greedy_wiener, ppr, st};
 
-/// Builds a uniform report around a baseline's connector.
-fn report(solver: &str, g: &Graph, connector: Connector) -> Result<SolveReport> {
-    let wiener_index = connector.wiener_index(g)?;
+/// Builds a uniform report around a baseline's connector. The Wiener
+/// evaluation is the expensive part for the large connectors `ctp`/`cps`
+/// return; it honors the context's `prefer_sequential` contract so batch
+/// workers (already one per core) never nest the parallel kernel.
+fn report(solver: &str, ctx: &QueryContext<'_>, connector: Connector) -> Result<SolveReport> {
+    let wiener_index = connector.wiener_index_with(ctx.graph(), ctx.prefer_sequential())?;
     Ok(SolveReport {
         solver: solver.to_string(),
         connector,
@@ -40,7 +43,7 @@ macro_rules! baseline_solver {
             }
 
             fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport> {
-                report($name, ctx.graph(), $f(ctx.graph(), q)?)
+                report($name, ctx, $f(ctx.graph(), q)?)
             }
         }
     };

@@ -1,5 +1,6 @@
-//! `loadgen` — closed-loop load generator for `mwc-server`, emitting
-//! `BENCH_service.json` with throughput and latency per solver.
+//! `loadgen` — closed-loop load generator for `mwc-server` (and the
+//! sharded `mwc-router` tier), emitting `BENCH_service.json` /
+//! `BENCH_router.json` with throughput and latency.
 //!
 //! ```text
 //! cargo run --release -p mwc-bench --bin loadgen -- [options]
@@ -10,15 +11,36 @@
 //!                       (default: karate=karate and ba2k=ba:2000x3)
 //!   --clients N         concurrent closed-loop clients (default 8)
 //!   --duration-secs N   measured wall-clock per run (default 5)
-//!   --solvers A,B,...   solvers to exercise (default ws-q,ws-q-approx,st)
+//!   --solvers A,B,...   solvers to exercise (default ws-q,ws-q-approx,st;
+//!                       router mode: cps)
 //!   --deadline-ms N     per-request deadline (default: none)
-//!   --out PATH          output path (default BENCH_service.json)
+//!   --out PATH          output path (default BENCH_service.json, or
+//!                       BENCH_router.json in router mode)
 //!   --seed N            workload RNG seed (default 42)
+//!
+//!   --router            sharded-tier comparison: run the same closed-loop
+//!                       workload through an in-process mwc-router over
+//!                       1 shard and over --shards shards, and record the
+//!                       throughput ratio in BENCH_router.json
+//!   --shards N          shard count for the multi-shard run (default 2)
+//!   --shard-workers N   worker threads per shard process (default 1 —
+//!                       fixed per-process capacity is the point of
+//!                       sharding; scale by adding shards)
 //! ```
 //!
 //! Closed loop: each client keeps exactly one request in flight —
 //! throughput measures what the server sustains at `--clients`
 //! concurrency, and client-side latency includes queueing and the wire.
+//!
+//! Router mode details: the solve caches are disabled on every shard so
+//! the comparison measures solver capacity scaling, not cache-hit replay;
+//! the default solver is `cps` (no solver-internal thread pool, and
+//! expensive enough per solve that the shard worker is the capacity
+//! bound), so a 1-worker shard is genuinely capacity-one and the N-shard
+//! run shows the tier's scaling rather than intra-process parallelism.
+//! The output records `cores`: sharding scales *compute*, so on a
+//! 1-core machine the honest speedup is ~1.0× — read the number against
+//! the hardware that produced it (CI runs on multi-core runners).
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,7 +48,8 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use mwc_graph::NodeId;
-use mwc_service::{server, Catalog, Client, ClientError, Json, ServerConfig};
+use mwc_service::router::{self, RouterConfig, ShardSpec};
+use mwc_service::{server, Catalog, Client, ClientError, HashRing, Json, ServerConfig};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
@@ -40,13 +63,17 @@ struct Args {
     deadline_ms: Option<u64>,
     out: String,
     seed: u64,
+    router: bool,
+    shards: usize,
+    shard_workers: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--graph NAME=SPEC]... [--clients N]\n\
          \x20      [--duration-secs N] [--solvers A,B,..] [--deadline-ms N]\n\
-         \x20      [--out PATH] [--seed N]"
+         \x20      [--out PATH] [--seed N]\n\
+         \x20      [--router [--shards N] [--shard-workers N]]"
     );
     std::process::exit(2);
 }
@@ -57,10 +84,13 @@ fn parse_cli() -> Args {
         graphs: Vec::new(),
         clients: 8,
         duration: Duration::from_secs(5),
-        solvers: vec!["ws-q".into(), "ws-q-approx".into(), "st".into()],
+        solvers: Vec::new(),
         deadline_ms: None,
-        out: "BENCH_service.json".into(),
+        out: String::new(),
         seed: 42,
+        router: false,
+        shards: 2,
+        shard_workers: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -79,14 +109,45 @@ fn parse_cli() -> Args {
             "--deadline-ms" => args.deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--out" => args.out = value(),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--router" => args.router = true,
+            "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--shard-workers" => args.shard_workers = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
-    if args.graphs.is_empty() {
+    if args.solvers.is_empty() {
+        args.solvers = if args.router {
+            // cps: expensive enough (~ms) that the shard worker, not the
+            // wire, is the capacity bound, and free of solver-internal
+            // thread pools — so the comparison isolates tier scaling.
+            vec!["cps".into()]
+        } else {
+            vec!["ws-q".into(), "ws-q-approx".into(), "st".into()]
+        };
+    }
+    if args.out.is_empty() {
+        args.out = if args.router {
+            "BENCH_router.json".into()
+        } else {
+            "BENCH_service.json".into()
+        };
+    }
+    if args.graphs.is_empty() && !args.router {
         args.graphs = vec![
             ("karate".into(), "karate".into()),
             ("ba2k".into(), "ba:2000x3".into()),
         ];
+    }
+    if args.router && args.shards < 2 {
+        eprintln!("--router needs --shards >= 2");
+        usage();
+    }
+    if args.router && args.addr.is_some() {
+        // The comparison spawns its own 1-shard and N-shard tiers; a
+        // silently ignored --addr would produce a benchmark of the wrong
+        // system.
+        eprintln!("--router spawns its own shards and router; it cannot drive --addr");
+        usage();
     }
     args
 }
@@ -152,8 +213,45 @@ fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
     sorted[rank - 1]
 }
 
+/// Runs the closed-loop workload against `addr` for `args.duration` and
+/// returns (elapsed seconds, every sample). Connects all clients before
+/// the start barrier so a refused connection fails fast.
+fn measure(addr: &str, args: &Args, graphs: &[(String, usize)]) -> (f64, Vec<Sample>) {
+    let clients: Vec<Client> = (0..args.clients)
+        .map(|i| {
+            Client::connect(addr).unwrap_or_else(|e| panic!("loadgen client {i} connect: {e}"))
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(args.clients + 1);
+    let (elapsed, samples) = std::thread::scope(|scope| {
+        let threads: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, client)| {
+                let (args, graphs, stop, barrier) = (args, graphs, &stop, &barrier);
+                scope.spawn(move || client_loop(client, args, graphs, i as u64, stop, barrier))
+            })
+            .collect();
+        barrier.wait(); // all clients connected: measurement starts now
+        let started = Instant::now();
+        std::thread::sleep(args.duration);
+        stop.store(true, Ordering::Relaxed);
+        let samples: Vec<Sample> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread"))
+            .collect();
+        (started.elapsed(), samples)
+    });
+    (elapsed.as_secs_f64(), samples)
+}
+
 fn main() {
     let args = parse_cli();
+    if args.router {
+        router_main(&args);
+        return;
+    }
 
     // Spawn an in-process server unless we were pointed at one.
     let handle = if args.addr.is_none() {
@@ -202,40 +300,9 @@ fn main() {
         graphs.iter().map(|g| g.0.as_str()).collect::<Vec<_>>()
     );
 
-    // Connect every client up front: a refused connection fails fast here
-    // instead of deadlocking the start barrier from inside a thread.
-    let clients: Vec<Client> = (0..args.clients)
-        .map(|i| {
-            Client::connect(addr.as_str())
-                .unwrap_or_else(|e| panic!("loadgen client {i} connect: {e}"))
-        })
-        .collect();
-
-    let stop = AtomicBool::new(false);
-    let barrier = Barrier::new(args.clients + 1);
-    let started = std::thread::scope(|scope| {
-        let threads: Vec<_> = clients
-            .into_iter()
-            .enumerate()
-            .map(|(i, client)| {
-                let (args, graphs, stop, barrier) = (&args, graphs.as_slice(), &stop, &barrier);
-                scope.spawn(move || client_loop(client, args, graphs, i as u64, stop, barrier))
-            })
-            .collect();
-        barrier.wait(); // all clients connected: measurement starts now
-        let started = Instant::now();
-        std::thread::sleep(args.duration);
-        stop.store(true, Ordering::Relaxed);
-        let samples: Vec<Sample> = threads
-            .into_iter()
-            .flat_map(|t| t.join().expect("client thread"))
-            .collect();
-        (started.elapsed(), samples)
-    });
-    let (elapsed, samples) = started;
+    let (secs, samples) = measure(addr.as_str(), &args, &graphs);
 
     // Aggregate.
-    let secs = elapsed.as_secs_f64();
     let total = samples.len();
     let ok = samples.iter().filter(|s| s.outcome == Outcome::Ok).count();
     let overloaded = samples
@@ -354,5 +421,204 @@ fn main() {
         "loadgen: {total} requests in {secs:.2}s ({:.1} r/s overall) → {}",
         total as f64 / secs,
         args.out
+    );
+}
+
+/// One sharded-tier run: `shard_count` in-process `mwc-server`s (cache
+/// disabled, `--shard-workers` workers each) behind an in-process
+/// router; graphs loaded *through* the router so placement matches the
+/// ring; then the closed-loop workload against the router address.
+fn router_run(args: &Args, corpus: &[(String, String)], shard_count: usize) -> (f64, Vec<Sample>) {
+    let shards: Vec<server::ServerHandle> = (0..shard_count)
+        .map(|_| {
+            // Cache off: the comparison must measure solver capacity
+            // scaling across shards, not cache-hit replay speed.
+            let catalog = Arc::new(Catalog::new().with_solve_cache_bytes(0));
+            let config = ServerConfig {
+                workers: args.shard_workers.max(1),
+                ..ServerConfig::default()
+            };
+            server::start(catalog, config, "127.0.0.1:0").expect("bind shard")
+        })
+        .collect();
+    let specs: Vec<ShardSpec> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, h)| ShardSpec::new(format!("shard-{i}"), h.local_addr().to_string()))
+        .collect();
+    let handle = router::start(specs, RouterConfig::default(), "127.0.0.1:0").expect("bind router");
+    let addr = handle.local_addr().to_string();
+
+    let mut loader = Client::connect(addr.as_str()).expect("connect loader");
+    let mut graphs: Vec<(String, usize)> = Vec::new();
+    for (name, spec) in corpus {
+        let (nodes, _) = loader
+            .load(name, spec)
+            .unwrap_or_else(|e| panic!("load {name}={spec} via router: {e}"));
+        graphs.push((name.clone(), nodes));
+    }
+
+    let result = measure(addr.as_str(), args, &graphs);
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+    result
+}
+
+fn totals_json(secs: f64, samples: &[Sample]) -> (f64, Json) {
+    let total = samples.len();
+    let ok = samples.iter().filter(|s| s.outcome == Outcome::Ok).count();
+    let overloaded = samples
+        .iter()
+        .filter(|s| s.outcome == Outcome::Overloaded)
+        .count();
+    let throughput = ok as f64 / secs;
+    (
+        throughput,
+        Json::obj([
+            ("requests", Json::from(total)),
+            ("ok", Json::from(ok)),
+            ("overloaded", Json::from(overloaded)),
+            ("errors", Json::from(total - ok - overloaded)),
+            ("duration_secs", Json::from(secs)),
+            ("throughput_rps", Json::from(throughput)),
+        ]),
+    )
+}
+
+/// `--router`: the 1-shard vs N-shard comparison, written to
+/// `BENCH_router.json`.
+fn router_main(args: &Args) {
+    // Corpus: the user's graphs, or two deterministic BA graphs whose
+    // names provably land on distinct shards of the N-shard ring (so the
+    // multi-shard run actually spreads — with unlucky names the ring may
+    // put everything on one shard and measure nothing).
+    let corpus: Vec<(String, String)> = if args.graphs.is_empty() {
+        let ring = HashRing::new(
+            (0..args.shards).map(|i| format!("shard-{i}")),
+            mwc_service::shard::DEFAULT_VNODES,
+        );
+        let mut picked: Vec<(String, String)> = Vec::new(); // (name, shard)
+        for i in 0.. {
+            let name = format!("ba-{i}");
+            let shard = ring.route(&name).to_string();
+            if picked.iter().all(|(_, s)| *s != shard) {
+                picked.push((name, shard));
+                if picked.len() == 2 {
+                    break;
+                }
+            }
+            assert!(i < 10_000, "ring never spread two names");
+        }
+        picked
+            .into_iter()
+            .map(|(name, _)| (name, "ba:2000x3".to_string()))
+            .collect()
+    } else {
+        args.graphs.clone()
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    eprintln!(
+        "loadgen --router: {} clients, {:?} per run, solvers {:?}, {} workers/shard, corpus {:?}",
+        args.clients,
+        args.duration,
+        args.solvers,
+        args.shard_workers.max(1),
+        corpus
+            .iter()
+            .map(|(n, s)| format!("{n}={s}"))
+            .collect::<Vec<_>>()
+    );
+    if cores < args.shards + 1 {
+        eprintln!(
+            "loadgen --router: note: only {cores} core(s) — sharding scales compute, so \
+             expect ~1.0x here; run on >= {} cores for a meaningful ratio",
+            args.shards + 1
+        );
+    }
+
+    eprintln!("loadgen --router: run 1/2 — single shard");
+    let (secs_1, samples_1) = router_run(args, &corpus, 1);
+    eprintln!("loadgen --router: run 2/2 — {} shards", args.shards);
+    let (secs_n, samples_n) = router_run(args, &corpus, args.shards);
+
+    let (rps_1, single) = totals_json(secs_1, &samples_1);
+    let (rps_n, multi) = totals_json(secs_n, &samples_n);
+    let speedup = if rps_1 > 0.0 { rps_n / rps_1 } else { 0.0 };
+    println!(
+        "{:<24} {:>10} {:>14}",
+        "configuration", "ok reqs", "thruput r/s"
+    );
+    println!(
+        "{:<24} {:>10} {:>14.1}",
+        "router + 1 shard",
+        samples_1
+            .iter()
+            .filter(|s| s.outcome == Outcome::Ok)
+            .count(),
+        rps_1
+    );
+    println!(
+        "{:<24} {:>10} {:>14.1}",
+        format!("router + {} shards", args.shards),
+        samples_n
+            .iter()
+            .filter(|s| s.outcome == Outcome::Ok)
+            .count(),
+        rps_n
+    );
+    println!("speedup: {speedup:.2}x");
+
+    let doc = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("clients", Json::from(args.clients)),
+                ("duration_secs", Json::from(args.duration.as_secs_f64())),
+                (
+                    "solvers",
+                    Json::Arr(
+                        args.solvers
+                            .iter()
+                            .map(|s| Json::from(s.as_str()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "graphs",
+                    Json::Arr(
+                        corpus
+                            .iter()
+                            .map(|(n, s)| {
+                                Json::obj([
+                                    ("name", Json::from(n.as_str())),
+                                    ("source", Json::from(s.as_str())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("shards", Json::from(args.shards)),
+                ("shard_workers", Json::from(args.shard_workers.max(1))),
+                ("solve_cache", Json::from("disabled")),
+                ("cores", Json::from(cores)),
+                ("seed", Json::from(args.seed)),
+            ]),
+        ),
+        ("single_shard", single),
+        ("multi_shard", multi),
+        ("speedup", Json::from(speedup)),
+    ]);
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(doc.to_string().as_bytes())
+        .expect("write output");
+    file.write_all(b"\n").expect("write output");
+    eprintln!(
+        "loadgen --router: 1 shard {rps_1:.1} r/s, {} shards {rps_n:.1} r/s, speedup {speedup:.2}x → {}",
+        args.shards, args.out
     );
 }

@@ -98,9 +98,25 @@ impl Connector {
     /// `O(|S| · (|S| + |E[S]|))`; prefer [`Connector::wiener_index_sampled`]
     /// for very large baseline solutions.
     pub fn wiener_index(&self, g: &Graph) -> Result<u64> {
+        self.wiener_index_with(g, false)
+    }
+
+    /// Exact Wiener index `W(G[S])`, with explicit control over the
+    /// evaluation kernel. `prefer_sequential = true` pins the per-source
+    /// loop even on connectors large enough (≥ 1024 vertices) for
+    /// [`wiener::wiener_index`] to spawn its own worker threads — the
+    /// contract batch workers need: N queries already saturate the cores,
+    /// and a nested pool per large connector oversubscribes them. The
+    /// value is identical either way (the property tests pin the two
+    /// kernels against each other).
+    pub fn wiener_index_with(&self, g: &Graph, prefer_sequential: bool) -> Result<u64> {
         let sub = self.induced(g)?;
-        wiener::wiener_index(sub.graph())
-            .ok_or(CoreError::Graph(mwc_graph::GraphError::Disconnected))
+        let w = if prefer_sequential {
+            wiener::wiener_index_sequential(sub.graph())
+        } else {
+            wiener::wiener_index(sub.graph())
+        };
+        w.ok_or(CoreError::Graph(mwc_graph::GraphError::Disconnected))
     }
 
     /// Sampled Wiener index estimate (see
@@ -168,6 +184,26 @@ mod tests {
         assert_eq!(c.density(&g).unwrap(), 1.0);
         let score = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         assert_eq!(c.average_score(&score), 2.5);
+    }
+
+    #[test]
+    fn sequential_and_parallel_wiener_agree_above_threshold() {
+        // 40×40 grid: 1600 vertices, past the parallel kernel's 1024-node
+        // cutoff, so `prefer_sequential = false` takes the multi-source
+        // parallel path and `true` pins the per-source loop. Same value.
+        let g = structured::grid(40, 40, false);
+        let all: Vec<NodeId> = (0..1600).collect();
+        let c = Connector::new_unchecked(&g, all);
+        let parallel = c.wiener_index_with(&g, false).unwrap();
+        let sequential = c.wiener_index_with(&g, true).unwrap();
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel, c.wiener_index(&g).unwrap());
+        // Below the cutoff the two flags trivially agree too.
+        let small = Connector::new(&g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(
+            small.wiener_index_with(&g, true).unwrap(),
+            small.wiener_index_with(&g, false).unwrap()
+        );
     }
 
     #[test]

@@ -268,6 +268,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced to make room for newer ones.
     pub evictions: u64,
+    /// Entries dropped because they outlived the TTL
+    /// ([`QueryEngine::set_solve_cache_ttl`]); each also counts as a miss
+    /// for the lookup that noticed it.
+    pub expired: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Configured capacity (0 = caching disabled).
@@ -292,6 +296,9 @@ struct CacheEntry {
     /// Approximate resident size, charged against the cache's byte
     /// budget (computed once at insert).
     bytes: usize,
+    /// When the entry was (re-)inserted; the TTL is measured from here,
+    /// not from the last hit — a popular stale answer must still expire.
+    inserted: Instant,
 }
 
 /// Approximate resident bytes of one cache entry: the two `NodeId`
@@ -323,9 +330,16 @@ struct SolveCache {
     /// matters to long-lived servers, where entry *count* says nothing
     /// about resident memory.
     max_bytes: usize,
+    /// Time-to-live measured from insertion; `None` keeps entries until
+    /// displaced. The staleness bound long-lived servers need when the
+    /// graph a name refers to can be reloaded out from under the cache's
+    /// assumptions (same-process reloads already clear it; TTL covers
+    /// everything else, e.g. operator expectations of freshness).
+    ttl: Option<Duration>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    expired: AtomicU64,
     inner: Mutex<CacheMap>,
 }
 
@@ -338,13 +352,15 @@ struct CacheMap {
 }
 
 impl SolveCache {
-    fn new(capacity: usize, max_bytes: usize) -> Self {
+    fn new(capacity: usize, max_bytes: usize, ttl: Option<Duration>) -> Self {
         SolveCache {
             capacity,
             max_bytes,
+            ttl,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             inner: Mutex::new(CacheMap::default()),
         }
     }
@@ -354,11 +370,25 @@ impl SolveCache {
     }
 
     /// Cached report for `key`, refreshing its recency. Counts a hit or
-    /// miss.
+    /// miss; an entry past the TTL is dropped on discovery and counts as
+    /// an expiry plus a miss (the caller re-solves and re-inserts).
     fn get(&self, key: &CacheKey) -> Option<SolveReport> {
         let mut inner = self.inner.lock().expect("solve cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
+        if let Some(ttl) = self.ttl {
+            if inner
+                .map
+                .get(key)
+                .is_some_and(|e| e.inserted.elapsed() >= ttl)
+            {
+                let dead = inner.map.remove(key).expect("entry checked above");
+                inner.bytes -= dead.bytes;
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         match inner.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = tick;
@@ -413,6 +443,7 @@ impl SolveCache {
                 report,
                 last_used: tick,
                 bytes: size,
+                inserted: Instant::now(),
             },
         );
     }
@@ -423,6 +454,7 @@ impl SolveCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             entries: inner.map.len(),
             capacity: self.capacity,
             bytes_used: inner.bytes,
@@ -661,9 +693,12 @@ impl ConnectorSolver for LocalSearchSolver {
             // The budget went to ws-q; skip the polish.
             (sol.connector, sol.wiener_index)
         } else {
-            // The refinement honors what remains of the budget itself.
+            // The refinement honors what remains of the budget itself,
+            // and stays off the parallel Wiener kernel when the engine is
+            // already parallel across queries.
             let mut ls = self.local_search.clone();
             ls.deadline = ctx.deadline();
+            ls.prefer_sequential = ls.prefer_sequential || ctx.prefer_sequential();
             refine(ctx.graph(), q, &sol.connector, &ls)?
         };
         Ok(SolveReport {
@@ -816,7 +851,11 @@ impl<'g> QueryEngine<'g> {
                 kernel: true,
                 batch: true,
             },
-            cache: SolveCache::new(DEFAULT_SOLVE_CACHE_CAPACITY, DEFAULT_SOLVE_CACHE_BYTES),
+            cache: SolveCache::new(
+                DEFAULT_SOLVE_CACHE_CAPACITY,
+                DEFAULT_SOLVE_CACHE_BYTES,
+                None,
+            ),
         };
         if with_solvers {
             engine
@@ -852,9 +891,10 @@ impl<'g> QueryEngine<'g> {
     /// Resizes the engine's solve cache (`0` disables caching). Existing
     /// entries and counters are discarded — sizing is a deployment-time
     /// decision, not a hot-path one. The byte budget
-    /// ([`Self::set_solve_cache_bytes`]) is kept.
+    /// ([`Self::set_solve_cache_bytes`]) and TTL
+    /// ([`Self::set_solve_cache_ttl`]) are kept.
     pub fn set_solve_cache_capacity(&mut self, capacity: usize) -> &mut Self {
-        self.cache = SolveCache::new(capacity, self.cache.max_bytes);
+        self.cache = SolveCache::new(capacity, self.cache.max_bytes, self.cache.ttl);
         self
     }
 
@@ -865,9 +905,22 @@ impl<'g> QueryEngine<'g> {
     /// matters to long-lived servers, where a handful of giant connectors
     /// could otherwise pin unbounded memory behind a sane entry count.
     /// Existing entries and counters are discarded; the entry capacity
-    /// ([`Self::set_solve_cache_capacity`]) is kept.
+    /// ([`Self::set_solve_cache_capacity`]) and TTL are kept.
     pub fn set_solve_cache_bytes(&mut self, max_bytes: usize) -> &mut Self {
-        self.cache = SolveCache::new(self.cache.capacity, max_bytes);
+        self.cache = SolveCache::new(self.cache.capacity, max_bytes, self.cache.ttl);
+        self
+    }
+
+    /// Sets the solve cache's time-to-live (`None` — the default — keeps
+    /// entries until displaced). Entries older than the TTL are dropped
+    /// when a lookup discovers them, counting in [`CacheStats::expired`]
+    /// and as a miss; the freshness bound long-lived servers want for
+    /// answers that should not be replayed for hours. Measured from
+    /// insertion, not last use — popularity must not pin staleness.
+    /// Existing entries and counters are discarded; capacity and byte
+    /// budget are kept.
+    pub fn set_solve_cache_ttl(&mut self, ttl: Option<Duration>) -> &mut Self {
+        self.cache = SolveCache::new(self.cache.capacity, self.cache.max_bytes, ttl);
         self
     }
 
@@ -906,7 +959,7 @@ impl<'g> QueryEngine<'g> {
             Some(i) => self.solvers[i] = solver,
             None => self.solvers.push(solver),
         }
-        self.cache = SolveCache::new(self.cache.capacity, self.cache.max_bytes);
+        self.cache = SolveCache::new(self.cache.capacity, self.cache.max_bytes, self.cache.ttl);
         self
     }
 
@@ -1475,6 +1528,47 @@ mod tests {
         engine.solve("ws-q", &[0, 1]).unwrap();
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn solve_cache_ttl_expires_entries() {
+        let g = karate_club();
+        let mut engine = QueryEngine::new(&g);
+        engine.set_solve_cache_ttl(Some(Duration::from_millis(40)));
+        let q = [11u32, 24, 25, 29];
+
+        let cold = engine.solve("ws-q", &q).unwrap();
+        // Within the TTL: a normal hit.
+        let hot = engine.solve("ws-q", &q).unwrap();
+        assert_eq!(hot.connector.vertices(), cold.connector.vertices());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.expired), (1, 1, 0));
+
+        // Past the TTL: the entry is dropped on discovery and re-solved.
+        std::thread::sleep(Duration::from_millis(60));
+        let fresh = engine.solve("ws-q", &q).unwrap();
+        assert_eq!(fresh.connector.vertices(), cold.connector.vertices());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.expired), (1, 2, 1));
+        // The re-solve repopulated the cache; it hits again until the next
+        // expiry.
+        engine.solve("ws-q", &q).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.entries), (2, 1));
+
+        // Expiry is measured from insertion, not last use: repeated hits
+        // cannot keep an entry alive past the TTL.
+        std::thread::sleep(Duration::from_millis(60));
+        engine.solve("ws-q", &q).unwrap();
+        assert_eq!(engine.cache_stats().expired, 2);
+
+        // No TTL (the default) never expires.
+        engine.set_solve_cache_ttl(None);
+        engine.solve("ws-q", &q).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        engine.solve("ws-q", &q).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.expired), (1, 0));
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct LocalSearchConfig {
     /// solver from
     /// [`QueryOptions::deadline`](crate::engine::QueryOptions::deadline).
     pub deadline: Option<Instant>,
+    /// Keep every Wiener evaluation on the sequential per-source kernel,
+    /// even on connectors large enough for the parallel one. Set by the
+    /// engine's batch workers (which already parallelize *across*
+    /// queries) so a batch of large-connector refinements cannot nest a
+    /// thread pool per move evaluation. Results are identical either way.
+    pub prefer_sequential: bool,
 }
 
 impl Default for LocalSearchConfig {
@@ -42,6 +48,7 @@ impl Default for LocalSearchConfig {
             max_size: 512,
             swap_threshold: 48,
             deadline: None,
+            prefer_sequential: false,
         }
     }
 }
@@ -64,7 +71,7 @@ pub fn refine(
         });
     }
     let mut current: Vec<NodeId> = initial.vertices().to_vec();
-    let mut best_w = initial.wiener_index(g)?;
+    let mut best_w = initial.wiener_index_with(g, cfg.prefer_sequential)?;
     let expired = || cfg.deadline.is_some_and(|d| Instant::now() >= d);
 
     for _round in 0..cfg.max_rounds {
@@ -80,7 +87,7 @@ pub fn refine(
                 continue;
             }
             let candidate: Vec<NodeId> = current.iter().copied().filter(|&x| x != v).collect();
-            if let Some(w) = subset_wiener(g, &candidate) {
+            if let Some(w) = subset_wiener(g, &candidate, cfg.prefer_sequential) {
                 if w < best_w {
                     current = candidate;
                     best_w = w;
@@ -95,7 +102,7 @@ pub fn refine(
                 let mut candidate = current.clone();
                 candidate.push(v);
                 candidate.sort_unstable();
-                if let Some(w) = subset_wiener(g, &candidate) {
+                if let Some(w) = subset_wiener(g, &candidate, cfg.prefer_sequential) {
                     if w < best_w {
                         current = candidate;
                         best_w = w;
@@ -124,7 +131,7 @@ pub fn refine(
                         current.iter().copied().filter(|&x| x != out).collect();
                     candidate.push(inn);
                     candidate.sort_unstable();
-                    if let Some(w) = subset_wiener(g, &candidate) {
+                    if let Some(w) = subset_wiener(g, &candidate, cfg.prefer_sequential) {
                         if w < best_w {
                             current = candidate;
                             best_w = w;
@@ -163,10 +170,16 @@ fn frontier(g: &Graph, set: &[NodeId]) -> Vec<NodeId> {
 /// the hot path free of `Result` plumbing. This is the refinement loop's
 /// hot spot — one all-pairs evaluation per attempted move — and routes
 /// through the batched distance kernel inside [`wiener::wiener_index`]
-/// (multi-source BFS above the small-subgraph cutoff).
-fn subset_wiener(g: &Graph, set: &[NodeId]) -> Option<u64> {
+/// (multi-source BFS above the small-subgraph cutoff) unless
+/// `prefer_sequential` pins the per-source loop (batch workers must not
+/// nest a thread pool per move evaluation).
+fn subset_wiener(g: &Graph, set: &[NodeId], prefer_sequential: bool) -> Option<u64> {
     let sub = g.induced(set).ok()?;
-    wiener::wiener_index(sub.graph())
+    if prefer_sequential {
+        wiener::wiener_index_sequential(sub.graph())
+    } else {
+        wiener::wiener_index(sub.graph())
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +259,35 @@ mod tests {
         let (refined, w) = refine(&g, &q, &start, &LocalSearchConfig::default()).unwrap();
         assert_eq!(w, 8, "refined to {:?}", refined.vertices());
         assert!(refined.contains(2) && !refined.contains(1));
+    }
+
+    #[test]
+    fn prefer_sequential_refinement_is_bit_identical() {
+        // `refine` is deterministic given identical Wiener values, and the
+        // sequential and parallel kernels are value-identical — so the
+        // escape hatch must be invisible in the result. A 1100-vertex path
+        // crosses the parallel kernel's 1024-node cutoff on the initial
+        // evaluation (and on every attempted removal, all of which
+        // disconnect), while keeping each move cheap enough for a test.
+        // Query everything except the dangling endpoint 0, so exactly one
+        // removal move exists (dropping 0 shrinks the path and improves W)
+        // and each round costs only a handful of large evaluations.
+        let g = structured::path(1100);
+        let q: Vec<NodeId> = (1..1100).collect();
+        let all = Connector::new(&g, &(0..1100).collect::<Vec<_>>()).unwrap();
+        let cfg = |prefer_sequential| LocalSearchConfig {
+            prefer_sequential,
+            ..Default::default()
+        };
+        let (par, w_par) = refine(&g, &q, &all, &cfg(false)).unwrap();
+        let (seq, w_seq) = refine(&g, &q, &all, &cfg(true)).unwrap();
+        assert_eq!(par.vertices(), seq.vertices());
+        assert_eq!(w_par, w_seq);
+        // Both kernels must have taken the same improving move (peel
+        // vertex 0) and agree with the path closed form W(P_n)=(n³−n)/6.
+        assert_eq!(par.vertices(), (1..1100).collect::<Vec<_>>());
+        let n = 1099u64;
+        assert_eq!(w_par, (n * n * n - n) / 6);
     }
 
     #[test]

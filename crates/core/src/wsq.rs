@@ -318,7 +318,9 @@ impl<'g> WienerSteiner<'g> {
         let connector = Connector::new_unchecked(g, best_nodes);
         let wiener_index = match best_rec.wiener {
             Some(w) => w,
-            None => connector.wiener_index(g)?,
+            // Same sequential contract as the candidate evaluations
+            // above: a non-parallel solve must not spawn a pool here.
+            None => connector.wiener_index_with(g, !self.config.parallel)?,
         };
         Ok(WsqSolution {
             connector,

@@ -266,7 +266,8 @@ pub fn solve_with_oracle(
     let connector = Connector::new_unchecked(g, best_nodes);
     let wiener_index = match best_rec.wiener {
         Some(w) => w,
-        None => connector.wiener_index(g)?,
+        // Same sequential contract as the candidate evaluations above.
+        None => connector.wiener_index_with(g, !config.parallel)?,
     };
     Ok(WsqSolution {
         connector,

@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N]
-//!            [--queue N] [--cache-bytes N]
+//!            [--queue N] [--cache-bytes N] [--cache-ttl SECS]
 //!
 //!   --listen ADDR     bind address (default 127.0.0.1:7171)
 //!   --graph NAME=SPEC load a graph at startup; repeatable. SPEC is
 //!                     karate | standin:<name>[@scale] | file:<path> |
 //!                     ba:<n>x<k>   (default: karate=karate)
+//!   --empty           start with no graphs at all (shard backends get
+//!                     their graphs from mwc-router `load`s; the default
+//!                     karate would shadow ring placement in `graphs`)
 //!   --workers N       solver worker threads (default: cores, max 8)
 //!   --queue N         admission queue capacity (default 64)
 //!   --cache-bytes N   per-graph solve-cache byte budget (0 disables
 //!                     caching; default: engine default, 16 MiB)
+//!   --cache-ttl SECS  per-graph solve-cache time-to-live in (fractional)
+//!                     seconds (default: entries live until displaced)
 //! ```
 //!
 //! The process serves until a protocol `shutdown` command arrives
@@ -24,8 +29,8 @@ use mwc_service::{server, Catalog, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N] [--queue N] \
-         [--cache-bytes N]"
+        "usage: mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--empty] [--workers N] \
+         [--queue N] [--cache-bytes N] [--cache-ttl SECS]"
     );
     std::process::exit(2);
 }
@@ -35,6 +40,8 @@ fn main() -> ExitCode {
     let mut graphs: Vec<(String, String)> = Vec::new();
     let mut config = ServerConfig::default();
     let mut cache_bytes: Option<usize> = None;
+    let mut cache_ttl: Option<std::time::Duration> = None;
+    let mut empty = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +70,15 @@ fn main() -> ExitCode {
             "--cache-bytes" => {
                 cache_bytes = Some(value("--cache-bytes").parse().unwrap_or_else(|_| usage()))
             }
+            "--cache-ttl" => {
+                let secs: f64 = value("--cache-ttl").parse().unwrap_or_else(|_| usage());
+                if !(secs > 0.0 && secs.is_finite()) {
+                    eprintln!("--cache-ttl must be a positive number of seconds");
+                    usage();
+                }
+                cache_ttl = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--empty" => empty = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -70,14 +86,22 @@ fn main() -> ExitCode {
             }
         }
     }
-    if graphs.is_empty() {
+    if empty && !graphs.is_empty() {
+        eprintln!("--empty contradicts --graph");
+        usage();
+    }
+    if graphs.is_empty() && !empty {
         graphs.push(("karate".to_string(), "karate".to_string()));
     }
 
-    let catalog = match cache_bytes {
-        Some(bytes) => Arc::new(Catalog::new().with_solve_cache_bytes(bytes)),
-        None => Arc::new(Catalog::new()),
-    };
+    let mut catalog = Catalog::new();
+    if let Some(bytes) = cache_bytes {
+        catalog = catalog.with_solve_cache_bytes(bytes);
+    }
+    if let Some(ttl) = cache_ttl {
+        catalog = catalog.with_solve_cache_ttl(ttl);
+    }
+    let catalog = Arc::new(catalog);
     for (name, spec) in &graphs {
         eprint!("loading {name} from {spec} ... ");
         match catalog.load(name, spec) {

@@ -189,6 +189,7 @@ impl CatalogEntry {
         source: &str,
         graph: Graph,
         solve_cache_bytes: Option<usize>,
+        solve_cache_ttl: Option<std::time::Duration>,
     ) -> CatalogEntry {
         let (ordered, perm) = graph.degree_ordered();
         let (nodes, edges) = (graph.num_nodes(), graph.num_edges());
@@ -196,6 +197,9 @@ impl CatalogEntry {
         let mut engine = full_engine_shared(Arc::new(ordered));
         if let Some(bytes) = solve_cache_bytes {
             engine.set_solve_cache_bytes(bytes);
+        }
+        if solve_cache_ttl.is_some() {
+            engine.set_solve_cache_ttl(solve_cache_ttl);
         }
         CatalogEntry {
             name: name.to_string(),
@@ -297,6 +301,10 @@ pub struct Catalog {
     /// matters to a long-lived server: entry counts say nothing about
     /// resident bytes when connectors vary in size.
     solve_cache_bytes: Option<usize>,
+    /// Solve-cache time-to-live applied to every engine this catalog
+    /// builds (`None` keeps the engine default of no expiry). The
+    /// freshness bound long-lived servers want.
+    solve_cache_ttl: Option<std::time::Duration>,
 }
 
 impl Catalog {
@@ -311,6 +319,15 @@ impl Catalog {
     /// `--cache-bytes` flag lands here.
     pub fn with_solve_cache_bytes(mut self, bytes: usize) -> Self {
         self.solve_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the solve-cache time-to-live for every engine built by later
+    /// [`Catalog::load`] calls. Maps to
+    /// [`mwc_core::QueryEngine::set_solve_cache_ttl`]; the server's
+    /// `--cache-ttl` flag lands here.
+    pub fn with_solve_cache_ttl(mut self, ttl: std::time::Duration) -> Self {
+        self.solve_cache_ttl = Some(ttl);
         self
     }
 
@@ -329,6 +346,7 @@ impl Catalog {
             spec,
             graph,
             self.solve_cache_bytes,
+            self.solve_cache_ttl,
         ));
         self.entries
             .write()
@@ -529,6 +547,27 @@ mod tests {
             entry.solve("ws-q", &q, &QueryOptions::default()).unwrap();
         }
         assert!(entry.cache_stats().bytes_used <= 700);
+    }
+
+    #[test]
+    fn catalog_applies_solve_cache_ttl() {
+        let catalog = Catalog::new().with_solve_cache_ttl(std::time::Duration::from_millis(30));
+        let entry = catalog.load("karate", "karate").unwrap();
+        let q = [11u32, 24, 25, 29];
+        entry.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        entry.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        let stats = entry.cache_stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.hits, 0);
+        // Default-built catalogs never expire.
+        let plain = Catalog::new();
+        let e = plain.load("karate", "karate").unwrap();
+        e.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        e.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        assert_eq!(e.cache_stats().expired, 0);
+        assert_eq!(e.cache_stats().hits, 1);
     }
 
     #[test]

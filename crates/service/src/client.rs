@@ -129,17 +129,33 @@ pub struct GraphInfo {
     pub solvers: Vec<String>,
 }
 
-/// A blocking connection to an `mwc-server`.
+/// A blocking connection to an `mwc-server` (or an `mwc-router`, which
+/// speaks the same protocol — see [`RouterClient`] for the retrying
+/// wrapper suited to a sharded deployment).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
 }
 
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.writer.peer_addr().ok())
+            .finish()
+    }
+}
+
 impl Client {
     /// Connects to the server.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream).map_err(ClientError::Io)
+    }
+
+    /// Wraps an already-connected stream (the router's backend pool dials
+    /// with its own connect timeout and then builds a client here).
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         stream.set_nodelay(true).ok();
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
@@ -148,10 +164,21 @@ impl Client {
         })
     }
 
+    /// Sets the socket read timeout (shared by all reads on this
+    /// connection). The router uses it to bound how long a dead backend
+    /// can stall a forwarded request.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
     /// Sends one raw request line and returns the raw response line.
     pub fn roundtrip_line(&mut self, line: &str) -> Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        // One write per request: a single packet on the wire instead of a
+        // line/newline pair of tiny segments.
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.writer.write_all(&buf)?;
         self.writer.flush()?;
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
@@ -404,5 +431,165 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<()> {
         self.request(vec![("cmd", Json::from("shutdown"))])
             .map(|_| ())
+    }
+}
+
+/// A resharding-safe client for the sharded tier: a [`Client`] pointed
+/// at an `mwc-router`, with `shard_unavailable` failures retried after a
+/// doubling backoff.
+///
+/// `shard_unavailable` is the router's *transient* verdict — the shard
+/// behind a graph is restarting, being replaced, or mid-reshard. A plain
+/// client surfaces it immediately; this wrapper absorbs the window:
+///
+/// * every request method retries the call up to `max_retries` times,
+///   sleeping `backoff`, `2·backoff`, `4·backoff`, … between attempts
+///   (the reprobe loop on the router needs real time to re-admit a
+///   recovered shard);
+/// * [`RouterClient::batch`] additionally heals *partial* failures:
+///   entries that came back `shard_unavailable` inside an otherwise
+///   successful batch are re-issued as individual solves through the
+///   same retry path, so one dying shard costs latency, not answers —
+///   as long as it comes back.
+///
+/// Any other error (infeasible query, unknown solver, …) is returned
+/// immediately: retrying cannot change a deterministic answer.
+pub struct RouterClient {
+    client: Client,
+    max_retries: usize,
+    backoff: std::time::Duration,
+}
+
+impl RouterClient {
+    /// Connects to a router with the default retry policy (3 retries,
+    /// 50 ms initial backoff — ≈ 350 ms of patience).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RouterClient> {
+        Ok(RouterClient {
+            client: Client::connect(addr)?,
+            max_retries: 3,
+            backoff: std::time::Duration::from_millis(50),
+        })
+    }
+
+    /// Overrides the retry policy (`max_retries` may be 0 to disable).
+    pub fn with_retry(mut self, max_retries: usize, backoff: std::time::Duration) -> RouterClient {
+        self.max_retries = max_retries;
+        self.backoff = backoff;
+        self
+    }
+
+    /// The wrapped plain client, for requests that need no retry
+    /// semantics (e.g. raw lines in tests).
+    pub fn inner(&mut self) -> &mut Client {
+        &mut self.client
+    }
+
+    fn with_retries<T>(&mut self, mut call: impl FnMut(&mut Client) -> Result<T>) -> Result<T> {
+        let mut delay = self.backoff;
+        let mut attempt = 0;
+        loop {
+            match call(&mut self.client) {
+                Err(ClientError::Server(e)) if e.code == "shard_unavailable" => {
+                    if attempt >= self.max_retries {
+                        return Err(ClientError::Server(e));
+                    }
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                    // Doubling, capped: generous retry budgets must not
+                    // decay into multi-minute sleeps.
+                    delay = (delay * 2).min(std::time::Duration::from_secs(1));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// [`Client::solve`] with retry-on-`shard_unavailable`.
+    pub fn solve(
+        &mut self,
+        graph: &str,
+        solver: &str,
+        q: &[NodeId],
+        deadline_ms: Option<u64>,
+        max_size: Option<usize>,
+    ) -> Result<WireReport> {
+        self.with_retries(|c| c.solve(graph, solver, q, deadline_ms, max_size))
+    }
+
+    /// [`Client::batch`] with retry-on-`shard_unavailable`, at both
+    /// levels: a failed request is retried whole, and per-entry
+    /// `shard_unavailable` errors in a successful reply are re-issued as
+    /// individual solves (each with its own retries).
+    pub fn batch(
+        &mut self,
+        graph: &str,
+        solver: &str,
+        queries: &[Vec<NodeId>],
+        deadline_ms: Option<u64>,
+        max_size: Option<usize>,
+    ) -> Result<Vec<std::result::Result<WireReport, WireError>>> {
+        let mut results =
+            self.with_retries(|c| c.batch(graph, solver, queries, deadline_ms, max_size))?;
+        for (q, slot) in queries.iter().zip(results.iter_mut()) {
+            if matches!(slot, Err(e) if e.code == "shard_unavailable") {
+                match self.solve(graph, solver, q, deadline_ms, max_size) {
+                    Ok(report) => *slot = Ok(report),
+                    // The re-issue's verdict supersedes the stale one:
+                    // e.g. the recovered owner may now answer
+                    // unknown_graph — deterministic, and must not be
+                    // reported under a retryable code.
+                    Err(ClientError::Server(e)) => *slot = Err(e),
+                    // Transport trouble on the re-issue: keep the
+                    // original shard_unavailable (still retryable).
+                    Err(_) => {}
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// The router's merged `stats` document (router + aggregate +
+    /// per-shard sections).
+    pub fn stats(&mut self) -> Result<Json> {
+        self.with_retries(|c| c.stats())
+    }
+
+    /// The merged `graphs` listing (each entry annotated with its shard).
+    pub fn graphs(&mut self) -> Result<Vec<GraphInfo>> {
+        self.with_retries(|c| c.graphs())
+    }
+
+    /// The `shard` introspection document: ring shape, per-shard health,
+    /// and — when `graph` is given — the assignment for that name.
+    pub fn shard_info(&mut self, graph: Option<&str>) -> Result<Json> {
+        self.with_retries(|c| {
+            let mut fields = vec![("cmd", Json::from("shard"))];
+            if let Some(g) = graph {
+                fields.push(("graph", Json::from(g)));
+            }
+            c.request(fields)
+        })
+    }
+
+    /// [`Client::load`] with retry-on-`shard_unavailable` (the ring
+    /// decides which shard materializes the graph).
+    pub fn load(&mut self, name: &str, source: &str) -> Result<(usize, usize)> {
+        self.with_retries(|c| c.load(name, source))
+    }
+
+    /// [`Client::evict`] with retry-on-`shard_unavailable`.
+    pub fn evict(&mut self, name: &str) -> Result<bool> {
+        self.with_retries(|c| c.evict(name))
+    }
+
+    /// Liveness probe of the router itself (answered locally, no shard
+    /// involved).
+    pub fn ping(&mut self) -> Result<()> {
+        self.client.ping()
+    }
+
+    /// Asks the *router* to shut down gracefully; backends keep running.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.client.shutdown()
     }
 }

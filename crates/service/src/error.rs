@@ -47,6 +47,16 @@ pub enum ServiceError {
     },
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// A router could not reach the backend shard that owns the requested
+    /// resource (dead process, refused connection, broken pipe, ejected by
+    /// health tracking). Stable and retryable: clients back off and retry
+    /// — the shard may be restarting or the ring resharding.
+    ShardUnavailable {
+        /// Ring name of the unreachable shard.
+        shard: String,
+        /// What failed (connect refused, read error, ejected, …).
+        reason: String,
+    },
     /// An error from the solving layer (unknown solver, infeasible query,
     /// budget exceeded, …).
     Core(CoreError),
@@ -66,6 +76,7 @@ impl ServiceError {
             }
             ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::ShardUnavailable { .. } => "shard_unavailable",
             ServiceError::Core(e) => match e {
                 CoreError::UnknownSolver { .. } => "unknown_solver",
                 CoreError::BudgetExceeded { .. } => "budget_exceeded",
@@ -102,6 +113,9 @@ impl fmt::Display for ServiceError {
                 "deadline expired after {queued_ms} ms in the queue; solve not started"
             ),
             ServiceError::ShuttingDown => write!(f, "server is shutting down"),
+            ServiceError::ShardUnavailable { shard, reason } => {
+                write!(f, "shard {shard:?} unavailable: {reason}")
+            }
             ServiceError::Core(e) => write!(f, "{e}"),
             ServiceError::Io(e) => write!(f, "io: {e}"),
         }
@@ -156,6 +170,14 @@ mod tests {
         assert_eq!(
             ServiceError::Core(CoreError::BudgetExceeded { size: 9, budget: 4 }).code(),
             "budget_exceeded"
+        );
+        assert_eq!(
+            ServiceError::ShardUnavailable {
+                shard: "s0".into(),
+                reason: "connection refused".into(),
+            }
+            .code(),
+            "shard_unavailable"
         );
     }
 }

@@ -20,7 +20,17 @@
 //! * [`metrics`] — request counters, queue gauges, and per-solver log₂
 //!   latency histograms, served by the `stats` command;
 //! * [`client`] — a blocking client used by `mwc-client`, the load
-//!   generator (`mwc_bench`'s `loadgen`), and the integration tests.
+//!   generator (`mwc_bench`'s `loadgen`), and the integration tests;
+//! * [`shard`] — the deterministic consistent-hash ring (virtual nodes)
+//!   that partitions the catalog **by graph name** across processes;
+//! * [`router`] — `mwc-router`, the sharded front-end: same wire
+//!   protocol, routes graph-addressed commands by ring lookup over
+//!   pooled backend connections, fans batches out per shard (replies
+//!   reassembled in request order), merges `stats`/`graphs`, tracks
+//!   backend health (ejection + reprobe), and maps backend failure to
+//!   the stable `shard_unavailable` code;
+//! * [`client::RouterClient`] — the resharding-safe client wrapper that
+//!   retries `shard_unavailable` with backoff.
 //!
 //! # Quickstart (in-process)
 //!
@@ -56,11 +66,15 @@ pub mod error;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+pub mod router;
 pub mod server;
+pub mod shard;
 
 pub use catalog::{Catalog, CatalogEntry, GraphSource};
-pub use client::{Client, ClientError, GraphInfo, WireError, WireReport};
+pub use client::{Client, ClientError, GraphInfo, RouterClient, WireError, WireReport};
 pub use error::{Result, ServiceError};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics};
+pub use router::{RouterConfig, RouterHandle, ShardSpec};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use shard::HashRing;

@@ -16,16 +16,29 @@
 //!
 //! solve     = { "cmd":"solve", "graph":G, "solver":S, "q":[v…],
 //!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool }
-//! batch     = { "cmd":"batch", "graph":G, "solver":S, "queries":[[v…]…],
+//! batch     = { "cmd":"batch", "graph"?:G, "solver":S,
+//!               "queries":[ [v…] | {"graph":G2, "q":[v…]} … ],
 //!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool }
 //! stats     = { "cmd":"stats" }
 //! graphs    = { "cmd":"graphs" }
+//! shard     = { "cmd":"shard", "graph"?: G }  // ring/health introspection
 //! load      = { "cmd":"load", "name":N, "source":SPEC }
 //! evict     = { "cmd":"evict", "name":N }
 //! ping      = { "cmd":"ping" }
 //! burn      = { "cmd":"burn", "ms":N }        // synthetic CPU work
 //! shutdown  = { "cmd":"shutdown" }
 //! ```
+//!
+//! `batch` entries default to the top-level `"graph"`; an entry written
+//! as an object may override it, so one batch can span graphs (the
+//! sharded front-end `mwc-router` splits such a batch by owning shard
+//! and reassembles the replies in request order — a plain `mwc-server`
+//! groups the entries per graph itself). The top-level `"graph"` may be
+//! omitted only when every entry carries its own.
+//!
+//! `shard` is answered by `mwc-router` with ring assignments and backend
+//! health; a single `mwc-server` has no ring and rejects it with
+//! `bad_request`.
 //!
 //! `no_cache` forces a fresh solve even when the per-graph engine has the
 //! answer cached (see `QueryEngine`'s solve cache), and keeps the fresh
@@ -84,6 +97,26 @@ impl SolveParams {
     }
 }
 
+/// One entry of a `batch` request: a query vertex set, optionally bound
+/// to a different graph than the batch's top-level one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEntry {
+    /// Per-entry graph override; `None` means the batch's top-level
+    /// graph. After parsing, at least one of the two is guaranteed
+    /// non-empty — see [`BatchEntry::graph_name`].
+    pub graph: Option<String>,
+    /// The query vertex set.
+    pub q: Vec<NodeId>,
+}
+
+impl BatchEntry {
+    /// The catalog name this entry targets, given the batch's top-level
+    /// graph. `parse_request` guarantees the result is non-empty.
+    pub fn graph_name<'a>(&'a self, default: &'a str) -> &'a str {
+        self.graph.as_deref().unwrap_or(default)
+    }
+}
+
 /// A parsed protocol command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -94,18 +127,25 @@ pub enum Command {
         /// The query vertex set.
         q: Vec<NodeId>,
     },
-    /// Many queries against one graph (solved with the engine's parallel
-    /// batch path).
+    /// Many queries, each against the batch's graph or its entry's own
+    /// (solved with the engine's parallel batch path, grouped per graph).
     Batch {
-        /// Graph/solver/limits (the deadline applies per query).
+        /// Graph/solver/limits (the deadline applies per query; `graph`
+        /// may be empty when every entry carries its own).
         params: SolveParams,
-        /// The query vertex sets.
-        queries: Vec<Vec<NodeId>>,
+        /// The query entries, in request order.
+        queries: Vec<BatchEntry>,
     },
     /// Metrics snapshot.
     Stats,
     /// List cataloged graphs.
     Graphs,
+    /// Shard-ring introspection: assignments and backend health. Answered
+    /// by `mwc-router`; a plain `mwc-server` rejects it.
+    Shard {
+        /// When present, also report which shard owns this graph name.
+        graph: Option<String>,
+    },
     /// Load a graph into the catalog.
     Load {
         /// Catalog name to publish under.
@@ -151,6 +191,16 @@ fn req_str(obj: &Json, key: &str) -> Result<String, ServiceError> {
         .ok_or_else(|| bad(format!("field {key:?} must be a string")))
 }
 
+fn opt_str(obj: &Json, key: &str) -> Result<Option<String>, ServiceError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| bad(format!("field {key:?} must be a string"))),
+    }
+}
+
 fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
     match obj.get(key) {
         None | Some(Json::Null) => Ok(None),
@@ -193,6 +243,55 @@ fn solve_params(obj: &Json) -> Result<SolveParams, ServiceError> {
     })
 }
 
+/// Like [`solve_params`] but for `batch`, where the top-level graph is
+/// optional (entries may each carry their own); absent → empty string.
+fn batch_params(obj: &Json) -> Result<SolveParams, ServiceError> {
+    Ok(SolveParams {
+        graph: opt_str(obj, "graph")?.unwrap_or_default(),
+        solver: req_str(obj, "solver")?,
+        deadline_ms: opt_u64(obj, "deadline_ms")?,
+        max_size: opt_u64(obj, "max_size")?.map(|m| m as usize),
+        no_cache: opt_bool(obj, "no_cache")?,
+    })
+}
+
+fn batch_entry(
+    v: &Json,
+    index: usize,
+    have_default_graph: bool,
+) -> Result<BatchEntry, ServiceError> {
+    match v {
+        Json::Arr(_) => {
+            if !have_default_graph {
+                return Err(bad(format!(
+                    "batch entry {index} is a bare query but the batch has no top-level \"graph\""
+                )));
+            }
+            Ok(BatchEntry {
+                graph: None,
+                q: node_list(v, "each query")?,
+            })
+        }
+        Json::Obj(_) => {
+            let graph = opt_str(v, "graph")?.filter(|g| !g.is_empty());
+            if graph.is_none() && !have_default_graph {
+                return Err(bad(format!(
+                    "batch entry {index} names no graph and the batch has no top-level \"graph\""
+                )));
+            }
+            let q = node_list(
+                v.get("q")
+                    .ok_or_else(|| bad(format!("batch entry {index} missing field \"q\"")))?,
+                "each query",
+            )?;
+            Ok(BatchEntry { graph, q })
+        }
+        _ => Err(bad(format!(
+            "batch entry {index} must be an array of vertex ids or an object with \"q\""
+        ))),
+    }
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
     let obj = parse(line).map_err(|e| bad(e.to_string()))?;
@@ -210,21 +309,24 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             )?,
         },
         "batch" => {
+            let params = batch_params(&obj)?;
+            let have_default_graph = !params.graph.is_empty();
             let queries = obj
                 .get("queries")
                 .ok_or_else(|| bad("missing field \"queries\""))?
                 .as_array()
                 .ok_or_else(|| bad("\"queries\" must be an array of queries"))?
                 .iter()
-                .map(|q| node_list(q, "each query"))
+                .enumerate()
+                .map(|(i, q)| batch_entry(q, i, have_default_graph))
                 .collect::<Result<Vec<_>, _>>()?;
-            Command::Batch {
-                params: solve_params(&obj)?,
-                queries,
-            }
+            Command::Batch { params, queries }
         }
         "stats" => Command::Stats,
         "graphs" => Command::Graphs,
+        "shard" => Command::Shard {
+            graph: opt_str(&obj, "graph")?,
+        },
         "load" => Command::Load {
             name: req_str(&obj, "name")?,
             source: req_str(&obj, "source")?,
@@ -255,19 +357,19 @@ pub fn ok_response(id: &Option<Json>, mut payload: Vec<(&'static str, Json)>) ->
     with_id(payload, id).to_string()
 }
 
+/// The `{"code":…,"message":…}` object for `err` — the shape embedded in
+/// error responses and in per-entry `batch` errors.
+pub fn error_json(err: &ServiceError) -> Json {
+    Json::obj([
+        ("code", Json::from(err.code())),
+        ("message", Json::from(err.to_string())),
+    ])
+}
+
 /// Encodes an error response line (no trailing newline).
 pub fn error_response(id: &Option<Json>, err: &ServiceError) -> String {
     with_id(
-        vec![
-            ("ok", Json::Bool(false)),
-            (
-                "error",
-                Json::obj([
-                    ("code", Json::from(err.code())),
-                    ("message", Json::from(err.to_string())),
-                ]),
-            ),
-        ],
+        vec![("ok", Json::Bool(false)), ("error", error_json(err))],
         id,
     )
     .to_string()
@@ -367,10 +469,78 @@ mod tests {
             parse_request(r#"{"cmd":"batch","graph":"g","solver":"st","queries":[[0,1],[2,3,4]]}"#)
                 .unwrap();
         match batch.command {
-            Command::Batch { queries, .. } => {
-                assert_eq!(queries, vec![vec![0, 1], vec![2, 3, 4]])
+            Command::Batch { params, queries } => {
+                assert_eq!(params.graph, "g");
+                assert_eq!(
+                    queries,
+                    vec![
+                        BatchEntry {
+                            graph: None,
+                            q: vec![0, 1]
+                        },
+                        BatchEntry {
+                            graph: None,
+                            q: vec![2, 3, 4]
+                        },
+                    ]
+                );
+                assert_eq!(queries[0].graph_name(&params.graph), "g");
             }
             other => panic!("unexpected {other:?}"),
+        }
+        let shard = parse_request(r#"{"cmd":"shard"}"#).unwrap();
+        assert_eq!(shard.command, Command::Shard { graph: None });
+        let shard = parse_request(r#"{"cmd":"shard","graph":"karate"}"#).unwrap();
+        assert_eq!(
+            shard.command,
+            Command::Shard {
+                graph: Some("karate".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parses_batches_with_per_entry_graphs() {
+        // Mixed entries: bare queries use the top-level graph, objects
+        // may override it.
+        let r = parse_request(
+            r#"{"cmd":"batch","graph":"a","solver":"st",
+                "queries":[[0,1],{"graph":"b","q":[2,3]},{"q":[4,5]}]}"#,
+        )
+        .unwrap();
+        match r.command {
+            Command::Batch { params, queries } => {
+                assert_eq!(queries.len(), 3);
+                assert_eq!(queries[0].graph_name(&params.graph), "a");
+                assert_eq!(queries[1].graph_name(&params.graph), "b");
+                assert_eq!(queries[2].graph_name(&params.graph), "a");
+                assert_eq!(queries[1].q, vec![2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // No top-level graph is fine when every entry carries one…
+        let r = parse_request(
+            r#"{"cmd":"batch","solver":"st",
+                "queries":[{"graph":"a","q":[0,1]},{"graph":"b","q":[2]}]}"#,
+        )
+        .unwrap();
+        match r.command {
+            Command::Batch { params, queries } => {
+                assert!(params.graph.is_empty());
+                assert_eq!(queries[1].graph_name(&params.graph), "b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // …and a bad_request when some entry does not.
+        for line in [
+            r#"{"cmd":"batch","solver":"st","queries":[[0,1]]}"#,
+            r#"{"cmd":"batch","solver":"st","queries":[{"q":[0,1]}]}"#,
+            r#"{"cmd":"batch","solver":"st","queries":[{"graph":"","q":[0,1]}]}"#,
+            r#"{"cmd":"batch","graph":"a","solver":"st","queries":[{"graph":"b"}]}"#,
+            r#"{"cmd":"batch","graph":"a","solver":"st","queries":[7]}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code(), "bad_request", "{line:?} → {err}");
         }
     }
 

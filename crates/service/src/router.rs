@@ -1,0 +1,1193 @@
+//! `mwc-router`: the sharded front-end that makes N `mwc-server`
+//! processes look like one catalog.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                       ┌────────────── mwc-router ──────────────┐
+//! client ──TCP──▶ reader thread (1 per connection)               │
+//!                       │  parse line → Request                  │
+//!                       │  ping/shard/shutdown: answered locally │
+//!                       │  solve/load/evict: ring lookup ────────┼──▶ shard A
+//!                       │  batch: split by owning shard,         ├──▶ shard B
+//!                       │         reassemble in request order    ├──▶ shard C
+//!                       │  stats/graphs: fan out + merge         │
+//!                       └──────────── pooled backend conns ──────┘
+//! ```
+//!
+//! The router speaks the *same* newline-delimited JSON protocol on both
+//! sides: clients do not change a byte for single-graph traffic, and the
+//! backends are stock `mwc-server` processes — the id-translation
+//! boundary inside each shard's `CatalogEntry` means a shard never needs
+//! to know the ring exists. What the router owns:
+//!
+//! * **Routing** — a deterministic [`HashRing`] over the shard names
+//!   (virtual nodes, see [`crate::shard`]) maps every graph name to one
+//!   shard. `solve`, `load`, and `evict` are forwarded verbatim over a
+//!   pooled connection and the backend's response line (ids included) is
+//!   relayed untouched.
+//! * **Batch fan-out** — a `batch` whose entries span shards is split
+//!   into per-shard sub-batches executed concurrently; the replies are
+//!   reassembled into the original request order, with per-entry errors
+//!   (including a dead shard's `shard_unavailable`) in place, so partial
+//!   infrastructure failure degrades per query, not per batch.
+//! * **Health** — each backend tracks consecutive failures; at
+//!   [`RouterConfig::fail_threshold`] the shard is ejected and requests
+//!   for its graphs fail fast with `shard_unavailable` instead of eating
+//!   a connect timeout each. A reprobe thread pings ejected shards every
+//!   [`RouterConfig::reprobe_interval`] and restores them on success —
+//!   a restarted shard rejoins with no operator action.
+//! * **Merged observability** — `stats` and `graphs` fan out to every
+//!   live shard and come back as one document: an `aggregate` section
+//!   (summed counters), a per-shard section, and the router's own
+//!   counters; the `shard` command reports ring assignments and health.
+//!
+//! Failure mapping is the contract the acceptance tests pin: any
+//! transport failure talking to a shard — refused connection, EOF from a
+//! killed process, read timeout — surfaces as the stable
+//! `shard_unavailable` error code, never as a hang or a dropped
+//! connection, and the surviving shards keep serving.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::client::Client;
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::protocol::{
+    error_json, error_response, ok_response, parse_request, Command, Request, SolveParams,
+};
+use crate::server::{read_line_bounded, salvage_id, LineRead};
+use crate::shard::{HashRing, DEFAULT_VNODES};
+
+/// One backend shard: its ring name and dial address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Ring name (what graph names are hashed against). Renaming a shard
+    /// reshards it — keep names stable across restarts.
+    pub name: String,
+    /// `host:port` of the backend `mwc-server`.
+    pub addr: String,
+}
+
+impl ShardSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, addr: impl Into<String>) -> ShardSpec {
+        ShardSpec {
+            name: name.into(),
+            addr: addr.into(),
+        }
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Virtual nodes per shard on the ring (see [`crate::shard`]).
+    pub vnodes: usize,
+    /// Hard cap on a request line's length, in bytes.
+    pub max_line_bytes: usize,
+    /// Maximum concurrent client connections (one reader thread each).
+    pub max_connections: usize,
+    /// Socket poll interval: how quickly idle readers notice shutdown.
+    pub poll_interval: Duration,
+    /// Consecutive backend failures before a shard is ejected (requests
+    /// then fail fast until a reprobe succeeds).
+    pub fail_threshold: u32,
+    /// How often ejected shards are reprobed with a `ping`.
+    pub reprobe_interval: Duration,
+    /// Dial timeout for new backend connections.
+    pub connect_timeout: Duration,
+    /// Read timeout on backend responses — bounds how long a wedged (not
+    /// dead) shard can stall a forwarded request before it maps to
+    /// `shard_unavailable`. Generous by default: legitimate solves can be
+    /// slow.
+    pub backend_timeout: Duration,
+    /// Idle pooled connections kept per shard; beyond the cap, returned
+    /// connections are closed instead of pooled (a client burst must not
+    /// pin the backend's whole connection budget).
+    pub max_idle_per_shard: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            vnodes: DEFAULT_VNODES,
+            max_line_bytes: 4 << 20,
+            max_connections: 1024,
+            poll_interval: Duration::from_millis(50),
+            fail_threshold: 3,
+            reprobe_interval: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(1),
+            backend_timeout: Duration::from_secs(30),
+            max_idle_per_shard: 16,
+        }
+    }
+}
+
+/// Router-side counters (the backends keep their own full metrics; the
+/// router only counts what it alone can see).
+#[derive(Debug, Default)]
+struct RouterMetrics {
+    requests_total: AtomicU64,
+    /// Requests forwarded to a backend (including fan-out sub-requests).
+    forwarded_total: AtomicU64,
+    /// Requests answered locally (ping/shard/stats/graphs/shutdown).
+    local_total: AtomicU64,
+    bad_request_total: AtomicU64,
+    /// Requests (or batch entries) failed with `shard_unavailable`.
+    shard_unavailable_total: AtomicU64,
+    connections_total: AtomicU64,
+}
+
+/// One backend shard: pooled connections plus health state.
+#[derive(Debug)]
+struct Backend {
+    name: String,
+    addr: String,
+    /// Idle pooled connections (lockstep request/response each, so a
+    /// checked-out connection is exclusively owned for one roundtrip).
+    idle: Mutex<Vec<Client>>,
+    consecutive_failures: AtomicU32,
+    /// Set at `fail_threshold`; cleared by a successful reprobe (or any
+    /// successful roundtrip).
+    ejected: AtomicBool,
+    forwarded_total: AtomicU64,
+    failed_total: AtomicU64,
+}
+
+impl Backend {
+    fn new(name: String, addr: String) -> Backend {
+        Backend {
+            name,
+            addr,
+            idle: Mutex::new(Vec::new()),
+            consecutive_failures: AtomicU32::new(0),
+            ejected: AtomicBool::new(false),
+            forwarded_total: AtomicU64::new(0),
+            failed_total: AtomicU64::new(0),
+        }
+    }
+
+    fn healthy(&self) -> bool {
+        !self.ejected.load(Ordering::SeqCst)
+    }
+
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        self.ejected.store(false, Ordering::SeqCst);
+    }
+
+    fn record_failure(&self, threshold: u32) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if failures >= threshold {
+            self.ejected.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn dial(&self, config: &RouterConfig) -> std::io::Result<Client> {
+        let mut last = std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            format!("{} resolves to no address", self.addr),
+        );
+        for addr in self.addr.as_str().to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(config.backend_timeout)).ok();
+                    stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
+                    return Client::from_stream(stream);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn unavailable(&self, reason: impl Into<String>) -> ServiceError {
+        ServiceError::ShardUnavailable {
+            shard: self.name.clone(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Forwards one raw request line and returns the backend's raw
+    /// response line (trailing newline trimmed). A failure on a *pooled*
+    /// connection gets one retry on a fresh dial — the backend may have
+    /// closed the connection while it sat idle, which says nothing about
+    /// the shard's health. A failure on a connection dialed for this very
+    /// request is definitive: retrying would re-execute the request on a
+    /// shard already known to be refusing or wedged, and double the stall
+    /// a wedged shard can inflict. Definitive failures map to
+    /// [`ServiceError::ShardUnavailable`] and count against health.
+    fn forward(&self, config: &RouterConfig, line: &str) -> Result<String, ServiceError> {
+        if !self.healthy() {
+            return Err(self.unavailable(format!(
+                "ejected after {} consecutive failures; awaiting reprobe",
+                self.consecutive_failures.load(Ordering::SeqCst)
+            )));
+        }
+        self.forwarded_total.fetch_add(1, Ordering::Relaxed);
+        // Bind the pop so the pool guard drops *here* — scrutinee
+        // temporaries live for the whole `if let` body, and `give_back`
+        // re-locks the pool (a self-deadlock the loopback suite catches).
+        let pooled = self.idle.lock().expect("backend pool poisoned").pop();
+        if let Some(mut conn) = pooled {
+            // A pooled-connection failure is retried below on a fresh
+            // dial — the backend may have closed it while it sat idle.
+            if let Ok(response) = self.roundtrip(&mut conn, line) {
+                self.give_back(config, conn);
+                return Ok(response);
+            }
+        }
+        let outcome = match self.dial(config) {
+            Ok(mut conn) => match self.roundtrip(&mut conn, line) {
+                Ok(response) => {
+                    self.give_back(config, conn);
+                    return Ok(response);
+                }
+                Err(e) => e,
+            },
+            Err(e) => format!("connect: {e}"),
+        };
+        self.failed_total.fetch_add(1, Ordering::Relaxed);
+        self.record_failure(config.fail_threshold);
+        Err(self.unavailable(outcome))
+    }
+
+    fn roundtrip(&self, conn: &mut Client, line: &str) -> Result<String, String> {
+        match conn.roundtrip_line(line) {
+            Ok(response) => {
+                self.record_success();
+                Ok(response.trim_end().to_string())
+            }
+            // The connection is in an unknown state: the caller drops it.
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Returns a healthy connection to the idle pool, bounded by
+    /// [`RouterConfig::max_idle_per_shard`] — beyond the cap the
+    /// connection is simply closed, so a burst of router clients cannot
+    /// permanently pin sockets against the backend (whose own connection
+    /// limit would otherwise start refusing dials, including reprobes).
+    fn give_back(&self, config: &RouterConfig, conn: Client) {
+        let mut idle = self.idle.lock().expect("backend pool poisoned");
+        if idle.len() < config.max_idle_per_shard {
+            idle.push(conn);
+        }
+    }
+
+    /// A cheap liveness probe on a fresh connection (used by the reprobe
+    /// thread with a short read timeout so probing never lags the loop).
+    fn probe(&self, config: &RouterConfig) -> bool {
+        let probe_config = RouterConfig {
+            backend_timeout: config.connect_timeout.max(Duration::from_millis(250)),
+            ..config.clone()
+        };
+        let Ok(mut conn) = self.dial(&probe_config) else {
+            return false;
+        };
+        match conn.roundtrip_line(r#"{"cmd":"ping"}"#) {
+            Ok(response) if response.contains("\"ok\":true") => {
+                self.record_success();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn health_json(&self) -> Json {
+        Json::obj([
+            ("addr", Json::from(self.addr.as_str())),
+            ("healthy", Json::Bool(self.healthy())),
+            (
+                "consecutive_failures",
+                Json::from(self.consecutive_failures.load(Ordering::SeqCst) as u64),
+            ),
+            (
+                "forwarded",
+                Json::from(self.forwarded_total.load(Ordering::Relaxed)),
+            ),
+            (
+                "failed",
+                Json::from(self.failed_total.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
+struct Inner {
+    ring: HashRing,
+    /// Indexed identically to `ring.shards()`.
+    backends: Vec<Backend>,
+    config: RouterConfig,
+    metrics: RouterMetrics,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for commands with no routing key (`burn`).
+    round_robin: AtomicUsize,
+}
+
+impl Inner {
+    fn backend_for(&self, graph: &str) -> &Backend {
+        &self.backends[self.ring.route_index(graph)]
+    }
+
+    /// The next healthy backend in round-robin order (for `burn`), or any
+    /// backend if all are ejected (the forward will fail with the right
+    /// error).
+    fn round_robin_backend(&self) -> &Backend {
+        let n = self.backends.len();
+        let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
+        for off in 0..n {
+            let b = &self.backends[(start + off) % n];
+            if b.healthy() {
+                return b;
+            }
+        }
+        &self.backends[start % n]
+    }
+}
+
+/// A running router: its address and every thread it spawned. Stop it
+/// with [`RouterHandle::shutdown`] (or let a protocol `shutdown` command
+/// initiate the drain and [`RouterHandle::wait`] for it). Shutting the
+/// router down does **not** stop the backend shards.
+pub struct RouterHandle {
+    inner: Arc<Inner>,
+    addr: std::net::SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    reprober: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Binds `addr` and starts routing for `shards` (name + backend address
+/// each). Shard names must be unique; the ring is deterministic in the
+/// set of names, so every router over the same shards routes identically.
+pub fn start(
+    shards: Vec<ShardSpec>,
+    config: RouterConfig,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<RouterHandle> {
+    if shards.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "a router needs at least one shard",
+        ));
+    }
+    let mut names: Vec<&str> = shards.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    if names.windows(2).any(|w| w[0] == w[1]) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "duplicate shard names",
+        ));
+    }
+    let ring = HashRing::new(shards.iter().map(|s| s.name.clone()), config.vnodes.max(1));
+    // `ring.shards()` is sorted; line the backends up with it.
+    let backends: Vec<Backend> = ring
+        .shards()
+        .iter()
+        .map(|name| {
+            let spec = shards
+                .iter()
+                .find(|s| &s.name == name)
+                .expect("ring names come from the specs");
+            Backend::new(spec.name.clone(), spec.addr.clone())
+        })
+        .collect();
+
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let inner = Arc::new(Inner {
+        ring,
+        backends,
+        config,
+        metrics: RouterMetrics::default(),
+        shutdown: AtomicBool::new(false),
+        round_robin: AtomicUsize::new(0),
+    });
+
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        let readers = Arc::clone(&readers);
+        std::thread::Builder::new()
+            .name("mwc-router-acceptor".to_string())
+            .spawn(move || acceptor_loop(&inner, &listener, &readers))
+            .expect("spawn router acceptor")
+    };
+    let reprober = {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("mwc-router-reprobe".to_string())
+            .spawn(move || reprobe_loop(&inner))
+            .expect("spawn router reprober")
+    };
+
+    Ok(RouterHandle {
+        inner,
+        addr,
+        acceptor: Some(acceptor),
+        reprober: Some(reprober),
+        readers,
+    })
+}
+
+impl RouterHandle {
+    /// The bound address (port resolved if `:0` was requested).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The routing ring (shard assignment is `ring().route(graph)`).
+    pub fn ring(&self) -> &HashRing {
+        &self.inner.ring
+    }
+
+    /// Whether shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Initiates a graceful shutdown and joins every thread. Backends are
+    /// left running.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        self.join_all();
+    }
+
+    /// Serves until a protocol `shutdown` command arrives, then joins.
+    pub fn wait(mut self) {
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join_all();
+    }
+
+    fn begin_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn join_all(&mut self) {
+        // Unblock the acceptor's blocking `accept` with a no-op connect.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(reprober) = self.reprober.take() {
+            let _ = reprober.join();
+        }
+        let readers: Vec<JoinHandle<()>> = self
+            .readers
+            .lock()
+            .expect("router reader registry poisoned")
+            .drain(..)
+            .collect();
+        for r in readers {
+            let _ = r.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.begin_shutdown();
+            self.join_all();
+        }
+    }
+}
+
+fn acceptor_loop(
+    inner: &Arc<Inner>,
+    listener: &TcpListener,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut registry = readers.lock().expect("router reader registry poisoned");
+        registry.retain(|h| !h.is_finished());
+        if registry.len() >= inner.config.max_connections {
+            drop(registry);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let line = error_response(
+                &None,
+                &ServiceError::TooManyConnections {
+                    limit: inner.config.max_connections,
+                },
+            );
+            let _ = stream.write_all(line.as_bytes());
+            let _ = stream.write_all(b"\n");
+            continue;
+        }
+        inner
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        let inner2 = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("mwc-router-conn".to_string())
+            .spawn(move || serve_connection(&inner2, stream))
+            .expect("spawn router connection reader");
+        registry.push(handle);
+    }
+}
+
+fn reprobe_loop(inner: &Arc<Inner>) {
+    // Sleep in poll-sized slices so shutdown joins promptly even with a
+    // long reprobe interval.
+    let mut since_probe = Duration::ZERO;
+    let step = inner.config.poll_interval.max(Duration::from_millis(10));
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(step);
+        since_probe += step;
+        if since_probe < inner.config.reprobe_interval {
+            continue;
+        }
+        since_probe = Duration::ZERO;
+        for backend in inner.backends.iter().filter(|b| !b.healthy()) {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            backend.probe(&inner.config);
+        }
+    }
+}
+
+fn write_raw(out: &Mutex<TcpStream>, line: &str) {
+    // One write per response (see the server's `write_line`: two small
+    // writes would re-trigger the Nagle/delayed-ACK stall the sockets'
+    // nodelay setting avoids).
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    let mut stream = out.lock().expect("router connection write lock poisoned");
+    let _ = stream.write_all(&buf);
+    let _ = stream.flush();
+}
+
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let out = Mutex::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut reader = std::io::BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match read_line_bounded(
+            &mut reader,
+            &mut buf,
+            inner.config.max_line_bytes,
+            &inner.shutdown,
+        ) {
+            LineRead::Eof | LineRead::Closed => return,
+            LineRead::TooLong => {
+                inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::BadRequest(format!(
+                    "request line exceeds {} bytes",
+                    inner.config.max_line_bytes
+                ));
+                write_raw(&out, &error_response(&None, &err));
+                return; // framing is lost; drop the connection
+            }
+            LineRead::Line => {}
+        }
+        let line = match std::str::from_utf8(&buf) {
+            Ok(line) => line,
+            Err(_) => {
+                inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::BadRequest("request line is not UTF-8".to_string());
+                write_raw(&out, &error_response(&None, &err));
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                inner
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                write_raw(&out, &error_response(&salvage_id(line), &e));
+                continue;
+            }
+        };
+        if handle_request(inner, &out, line, request) {
+            return; // shutdown requested on this connection
+        }
+    }
+}
+
+/// Handles one parsed request; returns `true` when the connection should
+/// close (router shutdown).
+fn handle_request(
+    inner: &Arc<Inner>,
+    out: &Mutex<TcpStream>,
+    line: &str,
+    request: Request,
+) -> bool {
+    let id = request.id.clone();
+    let metrics = &inner.metrics;
+    match request.command {
+        Command::Ping => {
+            metrics.local_total.fetch_add(1, Ordering::Relaxed);
+            write_raw(out, &ok_response(&id, vec![("pong", Json::Bool(true))]));
+        }
+        Command::Shutdown => {
+            metrics.local_total.fetch_add(1, Ordering::Relaxed);
+            // Flag before acknowledging (see the server's shutdown arm).
+            inner.shutdown.store(true, Ordering::SeqCst);
+            write_raw(out, &ok_response(&id, vec![("stopping", Json::Bool(true))]));
+            return true;
+        }
+        Command::Shard { graph } => {
+            metrics.local_total.fetch_add(1, Ordering::Relaxed);
+            write_raw(
+                out,
+                &ok_response(&id, shard_payload(inner, graph.as_deref())),
+            );
+        }
+        Command::Stats => {
+            metrics.local_total.fetch_add(1, Ordering::Relaxed);
+            write_raw(out, &ok_response(&id, vec![("stats", merged_stats(inner))]));
+        }
+        Command::Graphs => {
+            metrics.local_total.fetch_add(1, Ordering::Relaxed);
+            write_raw(out, &ok_response(&id, merged_graphs(inner)));
+        }
+        Command::Solve { ref params, .. } => {
+            relay(inner, out, inner.backend_for(&params.graph), line, &id);
+        }
+        Command::Load { ref name, .. } => {
+            relay(inner, out, inner.backend_for(name), line, &id);
+        }
+        Command::Evict { ref name } => {
+            relay(inner, out, inner.backend_for(name), line, &id);
+        }
+        Command::Burn { .. } => {
+            relay(inner, out, inner.round_robin_backend(), line, &id);
+        }
+        Command::Batch { params, queries } => {
+            handle_batch(inner, out, line, &id, &params, &queries);
+        }
+    }
+    false
+}
+
+/// Forwards `line` to `backend` and relays the backend's response line
+/// verbatim (ids pass through untouched); failures become one synthesized
+/// `shard_unavailable` error response.
+fn relay(
+    inner: &Arc<Inner>,
+    out: &Mutex<TcpStream>,
+    backend: &Backend,
+    line: &str,
+    id: &Option<Json>,
+) {
+    inner
+        .metrics
+        .forwarded_total
+        .fetch_add(1, Ordering::Relaxed);
+    match backend.forward(&inner.config, line) {
+        Ok(response) => write_raw(out, &response),
+        Err(e) => {
+            inner
+                .metrics
+                .shard_unavailable_total
+                .fetch_add(1, Ordering::Relaxed);
+            write_raw(out, &error_response(id, &e));
+        }
+    }
+}
+
+/// The `shard` introspection payload: ring shape, per-shard health, and
+/// (when asked) the assignment of one graph name.
+fn shard_payload(inner: &Arc<Inner>, graph: Option<&str>) -> Vec<(&'static str, Json)> {
+    let shards: Vec<Json> = inner
+        .backends
+        .iter()
+        .map(|b| {
+            let mut health = b.health_json();
+            if let Json::Obj(fields) = &mut health {
+                fields.insert("name".to_string(), Json::from(b.name.as_str()));
+            }
+            health
+        })
+        .collect();
+    let mut payload = vec![
+        (
+            "ring",
+            Json::obj([
+                ("shards", Json::from(inner.ring.len())),
+                ("vnodes", Json::from(inner.ring.vnodes())),
+            ]),
+        ),
+        ("shards", Json::Arr(shards)),
+    ];
+    if let Some(graph) = graph {
+        payload.push((
+            "assignment",
+            Json::obj([
+                ("graph", Json::from(graph)),
+                ("shard", Json::from(inner.ring.route(graph))),
+            ]),
+        ));
+    }
+    payload
+}
+
+/// Sums the counter fields the aggregate section tracks across shards.
+fn sum_into(totals: &mut Vec<(String, f64)>, section: &Json, fields: &[&str], prefix: &str) {
+    for field in fields {
+        if let Some(x) = section.get(field).and_then(Json::as_f64) {
+            let key = if prefix.is_empty() {
+                (*field).to_string()
+            } else {
+                format!("{prefix}.{field}")
+            };
+            match totals.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, total)) => *total += x,
+                None => totals.push((key, x)),
+            }
+        }
+    }
+}
+
+/// Forwards `line` to every backend concurrently (one scoped thread per
+/// shard, the same shape as the batch fan-out) so one wedged shard costs
+/// its own timeout, not a serial sum across the fleet. Results keep the
+/// backend order.
+fn fan_out_all<'a>(
+    inner: &'a Arc<Inner>,
+    line: &str,
+) -> Vec<(&'a Backend, Result<String, ServiceError>)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inner
+            .backends
+            .iter()
+            .map(|backend| scope.spawn(move || (backend, backend.forward(&inner.config, line))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out worker panicked"))
+            .collect()
+    })
+}
+
+/// Fans `stats` out to every shard and merges: `aggregate` (summed
+/// counters), `shards` (each backend's own document, or an
+/// `unavailable` marker), and `router` (the router's own counters and
+/// per-shard health).
+fn merged_stats(inner: &Arc<Inner>) -> Json {
+    let mut per_shard: Vec<(String, Json)> = Vec::new();
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    for (backend, outcome) in fan_out_all(inner, r#"{"cmd":"stats"}"#) {
+        match outcome {
+            Ok(response) => {
+                let stats = crate::json::parse(&response)
+                    .ok()
+                    .and_then(|v| v.get("stats").cloned())
+                    .unwrap_or(Json::Null);
+                if let Some(requests) = stats.get("requests") {
+                    sum_into(
+                        &mut totals,
+                        requests,
+                        &[
+                            "total",
+                            "ok",
+                            "error",
+                            "overloaded",
+                            "bad_request",
+                            "queue_deadline",
+                        ],
+                        "requests",
+                    );
+                }
+                if let Some(cache) = stats.get("solve_cache") {
+                    sum_into(
+                        &mut totals,
+                        cache,
+                        &[
+                            "hits",
+                            "misses",
+                            "evictions",
+                            "expired",
+                            "entries",
+                            "bytes_used",
+                        ],
+                        "solve_cache",
+                    );
+                }
+                sum_into(&mut totals, &stats, &["connections"], "");
+                per_shard.push((backend.name.clone(), stats));
+            }
+            Err(e) => {
+                inner
+                    .metrics
+                    .shard_unavailable_total
+                    .fetch_add(1, Ordering::Relaxed);
+                per_shard.push((
+                    backend.name.clone(),
+                    Json::obj([("unavailable", Json::Bool(true)), ("error", error_json(&e))]),
+                ));
+            }
+        }
+    }
+    // Rebuild the dotted keys into nested objects.
+    let mut aggregate: std::collections::BTreeMap<String, Json> = Default::default();
+    for (key, value) in totals {
+        match key.split_once('.') {
+            None => {
+                aggregate.insert(key, Json::Num(value));
+            }
+            Some((outer, inner_key)) => {
+                let section = aggregate
+                    .entry(outer.to_string())
+                    .or_insert_with(|| Json::Obj(Default::default()));
+                if let Json::Obj(fields) = section {
+                    fields.insert(inner_key.to_string(), Json::Num(value));
+                }
+            }
+        }
+    }
+    let m = &inner.metrics;
+    let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+    let router = Json::obj([
+        (
+            "requests",
+            Json::obj([
+                ("total", load(&m.requests_total)),
+                ("forwarded", load(&m.forwarded_total)),
+                ("local", load(&m.local_total)),
+                ("bad_request", load(&m.bad_request_total)),
+                ("shard_unavailable", load(&m.shard_unavailable_total)),
+            ]),
+        ),
+        ("connections", load(&m.connections_total)),
+        (
+            "shards",
+            Json::Obj(
+                inner
+                    .backends
+                    .iter()
+                    .map(|b| (b.name.clone(), b.health_json()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    Json::obj([
+        ("router", router),
+        ("aggregate", Json::Obj(aggregate)),
+        ("shards", Json::Obj(per_shard.into_iter().collect())),
+    ])
+}
+
+/// Fans `graphs` out and merges the listings, annotating every entry
+/// with the shard that serves it; unreachable shards are listed in
+/// `shards_unavailable` so a partial answer is visibly partial.
+fn merged_graphs(inner: &Arc<Inner>) -> Vec<(&'static str, Json)> {
+    let mut graphs: Vec<Json> = Vec::new();
+    let mut unavailable: Vec<Json> = Vec::new();
+    for (backend, outcome) in fan_out_all(inner, r#"{"cmd":"graphs"}"#) {
+        match outcome {
+            Ok(response) => {
+                let listed = crate::json::parse(&response)
+                    .ok()
+                    .and_then(|v| v.get("graphs").cloned());
+                if let Some(Json::Arr(entries)) = listed {
+                    for mut entry in entries {
+                        if let Json::Obj(fields) = &mut entry {
+                            fields.insert("shard".to_string(), Json::from(backend.name.as_str()));
+                        }
+                        graphs.push(entry);
+                    }
+                }
+            }
+            Err(_) => {
+                inner
+                    .metrics
+                    .shard_unavailable_total
+                    .fetch_add(1, Ordering::Relaxed);
+                unavailable.push(Json::from(backend.name.as_str()));
+            }
+        }
+    }
+    graphs.sort_by(|a, b| {
+        let name = |g: &Json| {
+            g.get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        name(a).cmp(&name(b))
+    });
+    vec![
+        ("graphs", Json::Arr(graphs)),
+        ("shards_unavailable", Json::Arr(unavailable)),
+    ]
+}
+
+/// Splits a batch by owning shard, executes the per-shard sub-batches
+/// concurrently, and reassembles the replies in the original request
+/// order. A single-shard batch (the common case) is forwarded verbatim —
+/// the backend groups per-graph entries itself.
+fn handle_batch(
+    inner: &Arc<Inner>,
+    out: &Mutex<TcpStream>,
+    line: &str,
+    id: &Option<Json>,
+    params: &SolveParams,
+    queries: &[crate::protocol::BatchEntry],
+) {
+    // Group entry indices by owning shard (order within a group follows
+    // the request, so backend replies map back positionally).
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, entry) in queries.iter().enumerate() {
+        let shard = inner.ring.route_index(entry.graph_name(&params.graph));
+        match groups.iter_mut().find(|(s, _)| *s == shard) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((shard, vec![i])),
+        }
+    }
+    if groups.len() <= 1 {
+        let backend = match groups.first() {
+            Some(&(shard, _)) => &inner.backends[shard],
+            None => inner.round_robin_backend(), // empty batch: any shard answers
+        };
+        relay(inner, out, backend, line, id);
+        return;
+    }
+
+    inner
+        .metrics
+        .forwarded_total
+        .fetch_add(groups.len() as u64, Ordering::Relaxed);
+    let mut slots: Vec<Option<Json>> = vec![None; queries.len()];
+    let group_results: Vec<(Vec<usize>, Result<Json, ServiceError>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|(shard, idxs)| {
+                    let backend = &inner.backends[shard];
+                    let config = &inner.config;
+                    scope.spawn(move || {
+                        let sub = sub_batch_line(params, queries, &idxs);
+                        let outcome = backend.forward(config, &sub).and_then(|response| {
+                            crate::json::parse(&response).map_err(|e| {
+                                backend.unavailable(format!("unparseable backend response: {e}"))
+                            })
+                        });
+                        (idxs, outcome)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch fan-out worker panicked"))
+                .collect()
+        });
+    for (idxs, outcome) in group_results {
+        match outcome {
+            Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
+                let reports = response.get("reports").and_then(Json::as_array);
+                for (slot, i) in idxs.iter().enumerate() {
+                    slots[*i] = Some(match reports.and_then(|r| r.get(slot)) {
+                        Some(report) => report.clone(),
+                        None => Json::obj([(
+                            "error",
+                            error_json(&ServiceError::BadRequest(
+                                "backend reply missing report slots".to_string(),
+                            )),
+                        )]),
+                    });
+                }
+            }
+            Ok(response) => {
+                // The whole sub-batch failed (e.g. overloaded): surface
+                // the backend's error per entry, in place.
+                let err = response.get("error").cloned().unwrap_or_else(|| {
+                    error_json(&ServiceError::BadRequest(
+                        "backend reply carried no error".to_string(),
+                    ))
+                });
+                for &i in &idxs {
+                    slots[i] = Some(Json::obj([("error", err.clone())]));
+                }
+            }
+            Err(e) => {
+                inner
+                    .metrics
+                    .shard_unavailable_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = error_json(&e);
+                for &i in &idxs {
+                    slots[i] = Some(Json::obj([("error", err.clone())]));
+                }
+            }
+        }
+    }
+    let reports: Vec<Json> = slots.into_iter().flatten().collect();
+    let solved = reports.iter().filter(|r| r.get("error").is_none()).count() as u64;
+    let graph = if params.graph.is_empty() {
+        Json::Null
+    } else {
+        Json::from(params.graph.as_str())
+    };
+    write_raw(
+        out,
+        &ok_response(
+            id,
+            vec![
+                ("graph", graph),
+                ("solved", Json::from(solved)),
+                ("reports", Json::Arr(reports)),
+            ],
+        ),
+    );
+}
+
+/// Builds the backend request line for one shard's slice of a batch.
+/// Every entry names its graph explicitly (no top-level default), and the
+/// router's own sequence number rides as the id.
+fn sub_batch_line(
+    params: &SolveParams,
+    queries: &[crate::protocol::BatchEntry],
+    idxs: &[usize],
+) -> String {
+    let mut fields: Vec<(&'static str, Json)> = vec![
+        ("cmd", Json::from("batch")),
+        ("solver", Json::from(params.solver.as_str())),
+    ];
+    if let Some(d) = params.deadline_ms {
+        fields.push(("deadline_ms", Json::from(d)));
+    }
+    if let Some(m) = params.max_size {
+        fields.push(("max_size", Json::from(m)));
+    }
+    if params.no_cache {
+        fields.push(("no_cache", Json::Bool(true)));
+    }
+    let entries: Vec<Json> = idxs
+        .iter()
+        .map(|&i| {
+            let entry = &queries[i];
+            Json::obj([
+                ("graph", Json::from(entry.graph_name(&params.graph))),
+                (
+                    "q",
+                    Json::Arr(entry.q.iter().map(|&v| Json::from(u64::from(v))).collect()),
+                ),
+            ])
+        })
+        .collect();
+    fields.push(("queries", Json::Arr(entries)));
+    Json::obj(fields).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = RouterConfig::default();
+        assert_eq!(c.vnodes, DEFAULT_VNODES);
+        assert!(c.fail_threshold >= 1);
+        assert!(c.reprobe_interval > Duration::ZERO);
+    }
+
+    #[test]
+    fn start_rejects_empty_and_duplicate_shards() {
+        assert!(start(Vec::new(), RouterConfig::default(), "127.0.0.1:0").is_err());
+        let dup = vec![
+            ShardSpec::new("a", "127.0.0.1:1"),
+            ShardSpec::new("a", "127.0.0.1:2"),
+        ];
+        assert!(start(dup, RouterConfig::default(), "127.0.0.1:0").is_err());
+    }
+
+    #[test]
+    fn sub_batch_lines_parse_back() {
+        let params = SolveParams {
+            graph: "default".into(),
+            solver: "ws-q".into(),
+            deadline_ms: Some(250),
+            max_size: None,
+            no_cache: true,
+        };
+        let queries = vec![
+            crate::protocol::BatchEntry {
+                graph: None,
+                q: vec![0, 1],
+            },
+            crate::protocol::BatchEntry {
+                graph: Some("other".into()),
+                q: vec![2, 3],
+            },
+        ];
+        let line = sub_batch_line(&params, &queries, &[1, 0]);
+        let parsed = parse_request(&line).unwrap();
+        match parsed.command {
+            Command::Batch {
+                params: p,
+                queries: qs,
+            } => {
+                assert_eq!(p.solver, "ws-q");
+                assert_eq!(p.deadline_ms, Some(250));
+                assert!(p.no_cache);
+                // Index order is preserved and graphs are explicit.
+                assert_eq!(qs[0].graph.as_deref(), Some("other"));
+                assert_eq!(qs[0].q, vec![2, 3]);
+                assert_eq!(qs[1].graph.as_deref(), Some("default"));
+                assert_eq!(qs[1].q, vec![0, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backend_health_transitions() {
+        let b = Backend::new("s0".into(), "127.0.0.1:1".into());
+        assert!(b.healthy());
+        b.record_failure(3);
+        b.record_failure(3);
+        assert!(b.healthy(), "below the threshold");
+        b.record_failure(3);
+        assert!(!b.healthy(), "ejected at the threshold");
+        b.record_success();
+        assert!(b.healthy(), "success restores immediately");
+        assert_eq!(b.consecutive_failures.load(Ordering::SeqCst), 0);
+    }
+}

@@ -46,7 +46,7 @@ use crate::error::ServiceError;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    error_response, ok_response, parse_request, report_to_json, Command, Request,
+    error_json, error_response, ok_response, parse_request, report_to_json, Command, Request,
 };
 
 /// Server tuning knobs.
@@ -350,19 +350,25 @@ fn write_line(out: &Mutex<TcpStream>, line: &str, ok: bool, metrics: &Metrics) {
     } else {
         metrics.error_total.fetch_add(1, Ordering::Relaxed);
     }
+    // One write per response: two small writes on a Nagle-enabled socket
+    // trigger the delayed-ACK interaction (~40 ms per response — the
+    // difference between ~100 and thousands of requests per second).
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
     let mut stream = out.lock().expect("connection write lock poisoned");
-    let _ = stream.write_all(line.as_bytes());
-    let _ = stream.write_all(b"\n");
+    let _ = stream.write_all(&buf);
     let _ = stream.flush();
 }
 
 /// Best-effort `id` recovery from a line that failed request parsing, so
 /// even error responses correlate when the JSON itself was well-formed.
-fn salvage_id(line: &str) -> Option<Json> {
+/// Shared with the router's connection loop.
+pub(crate) fn salvage_id(line: &str) -> Option<Json> {
     crate::json::parse(line).ok()?.get("id").cloned()
 }
 
-enum LineRead {
+pub(crate) enum LineRead {
     /// One complete line (newline stripped) is in the buffer.
     Line,
     /// Clean EOF with nothing buffered.
@@ -376,8 +382,9 @@ enum LineRead {
 /// Reads one `\n`-terminated line into `buf`, enforcing `max` on every
 /// chunk as it arrives — a client streaming a newline-free line cannot
 /// grow the buffer past the cap no matter how fast it sends. Read
-/// timeouts are the shutdown poll, not errors.
-fn read_line_bounded(
+/// timeouts are the shutdown poll, not errors. Shared with the router's
+/// connection loop.
+pub(crate) fn read_line_bounded(
     reader: &mut BufReader<TcpStream>,
     buf: &mut Vec<u8>,
     max: usize,
@@ -423,6 +430,7 @@ fn read_line_bounded(
 }
 
 fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let out = Arc::new(Mutex::new(match stream.try_clone() {
@@ -532,10 +540,31 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 let resp = ok_response(&request.id, vec![("evicted", Json::Bool(evicted))]);
                 write_line(&out, &resp, true, &inner.metrics);
             }
+            Command::Shard { .. } => {
+                // A single server is not a shard ring; the router answers
+                // this one. Stable error so probes can tell the two apart.
+                let err = ServiceError::BadRequest(
+                    "no shard ring here: \"shard\" is answered by mwc-router".to_string(),
+                );
+                inner
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    &out,
+                    &error_response(&request.id, &err),
+                    false,
+                    &inner.metrics,
+                );
+            }
             Command::Shutdown => {
+                // Flag first, then acknowledge: the client must never see
+                // the response while `is_shutting_down()` still reads
+                // false (the pre-nodelay sockets hid this race behind
+                // ~40 ms of Nagle delay).
+                inner.begin_shutdown();
                 let resp = ok_response(&request.id, vec![("stopping", Json::Bool(true))]);
                 write_line(&out, &resp, true, &inner.metrics);
-                inner.begin_shutdown();
                 return;
             }
             // Data plane: bounded queue, executed by the worker pool.
@@ -630,7 +659,8 @@ fn remaining_budget(
 /// per-graph breakdown — the `stats` command's `"solve_cache"` section.
 fn cache_stats_json(catalog: &Catalog) -> Json {
     let entries = catalog.list();
-    let (mut hits, mut misses, mut evictions, mut resident) = (0u64, 0u64, 0u64, 0usize);
+    let (mut hits, mut misses, mut evictions, mut expired) = (0u64, 0u64, 0u64, 0u64);
+    let mut resident = 0usize;
     let mut bytes_used = 0usize;
     let per_graph: Vec<(String, Json)> = entries
         .iter()
@@ -639,6 +669,7 @@ fn cache_stats_json(catalog: &Catalog) -> Json {
             hits += s.hits;
             misses += s.misses;
             evictions += s.evictions;
+            expired += s.expired;
             resident += s.entries;
             bytes_used += s.bytes_used;
             (
@@ -647,6 +678,7 @@ fn cache_stats_json(catalog: &Catalog) -> Json {
                     ("hits", Json::from(s.hits)),
                     ("misses", Json::from(s.misses)),
                     ("evictions", Json::from(s.evictions)),
+                    ("expired", Json::from(s.expired)),
                     ("entries", Json::from(s.entries)),
                     ("capacity", Json::from(s.capacity)),
                     ("bytes_used", Json::from(s.bytes_used)),
@@ -659,6 +691,7 @@ fn cache_stats_json(catalog: &Catalog) -> Json {
         ("hits", Json::from(hits)),
         ("misses", Json::from(misses)),
         ("evictions", Json::from(evictions)),
+        ("expired", Json::from(expired)),
         ("entries", Json::from(resident)),
         ("bytes_used", Json::from(bytes_used)),
         ("graphs", Json::Obj(per_graph.into_iter().collect())),
@@ -681,35 +714,61 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
         }
         Command::Batch { params, queries } => {
             let remaining = remaining_budget(params.deadline_ms, job.received.elapsed())?;
-            let entry = inner.catalog.get(&params.graph)?;
-            let results = entry.solve_batch(&params.solver, queries, &params.options(remaining));
+            let options = params.options(remaining);
+            // Entries may target different graphs (the router's fan-out
+            // shape); group them per graph so each group runs the
+            // engine's parallel batch path, then reassemble the replies
+            // into the original request order. Group errors (unknown
+            // graph) land per entry, like per-query solve errors.
+            let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+            for (i, entry) in queries.iter().enumerate() {
+                let name = entry.graph_name(&params.graph);
+                match groups.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((name, vec![i])),
+                }
+            }
             let mut ok = 0u64;
-            let rendered: Vec<Json> = results
-                .into_iter()
-                .map(|r| match r {
-                    Ok(report) => {
-                        ok += 1;
-                        inner
-                            .metrics
-                            .record_solve(&params.solver, Duration::from_secs_f64(report.seconds));
-                        report_to_json(&report)
-                    }
+            let mut slots: Vec<Option<Json>> = vec![None; queries.len()];
+            for (name, idxs) in groups {
+                match inner.catalog.get(name) {
                     Err(e) => {
-                        let e = ServiceError::Core(e);
-                        Json::obj([(
-                            "error",
-                            Json::obj([
-                                ("code", Json::from(e.code())),
-                                ("message", Json::from(e.to_string())),
-                            ]),
-                        )])
+                        for &i in &idxs {
+                            slots[i] = Some(Json::obj([("error", error_json(&e))]));
+                        }
                     }
-                })
-                .collect();
+                    Ok(entry) => {
+                        let qs: Vec<_> = idxs.iter().map(|&i| queries[i].q.clone()).collect();
+                        let results = entry.solve_batch(&params.solver, &qs, &options);
+                        for (&i, r) in idxs.iter().zip(results) {
+                            slots[i] = Some(match r {
+                                Ok(report) => {
+                                    ok += 1;
+                                    inner.metrics.record_solve(
+                                        &params.solver,
+                                        Duration::from_secs_f64(report.seconds),
+                                    );
+                                    report_to_json(&report)
+                                }
+                                Err(e) => {
+                                    Json::obj([("error", error_json(&ServiceError::Core(e)))])
+                                }
+                            });
+                        }
+                    }
+                }
+            }
             Ok(vec![
-                ("graph", Json::from(params.graph.as_str())),
+                (
+                    "graph",
+                    if params.graph.is_empty() {
+                        Json::Null
+                    } else {
+                        Json::from(params.graph.as_str())
+                    },
+                ),
                 ("solved", Json::from(ok)),
-                ("reports", Json::Arr(rendered)),
+                ("reports", Json::Arr(slots.into_iter().flatten().collect())),
             ])
         }
         Command::Load { name, source } => {
@@ -731,6 +790,7 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
         // Control-plane commands never reach the queue.
         Command::Stats
         | Command::Graphs
+        | Command::Shard { .. }
         | Command::Evict { .. }
         | Command::Ping
         | Command::Shutdown => Err(ServiceError::BadRequest(
