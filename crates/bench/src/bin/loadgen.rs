@@ -26,6 +26,23 @@
 //!   --shard-workers N   worker threads per shard process (default 1 —
 //!                       fixed per-process capacity is the point of
 //!                       sharding; scale by adding shards)
+//!
+//!   --contend           contention comparison: N clients hammer ONE graph
+//!                       (default 32 clients, ba:2000x3, solver ws-q) over
+//!                       a small fixed query pool, once with cross-request
+//!                       coalescing off and once with it on; solve caches
+//!                       are disabled on both runs so the speedup measures
+//!                       shared MS-BFS sweeps and in-window dedup, not
+//!                       cache replay. Merges a `contend` section (with
+//!                       `speedup`, per-run p50/p99, and the server's mean
+//!                       lane occupancy) into BENCH_service.json.
+//!   --contend-window-us N
+//!                       coalescing flush window for the "on" run (default
+//!                       10000 — deliberately larger than the server's
+//!                       300µs default, sized so windows fill against the
+//!                       multi-ms contended ws-q solves being batched;
+//!                       the 64-lane trigger still closes windows early
+//!                       under real pile-ups)
 //! ```
 //!
 //! Closed loop: each client keeps exactly one request in flight —
@@ -48,6 +65,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use mwc_graph::NodeId;
+use mwc_service::coalesce::CoalesceConfig;
 use mwc_service::router::{self, RouterConfig, ShardSpec};
 use mwc_service::{server, Catalog, Client, ClientError, HashRing, Json, ServerConfig};
 use rand::seq::SliceRandom;
@@ -66,6 +84,8 @@ struct Args {
     router: bool,
     shards: usize,
     shard_workers: usize,
+    contend: bool,
+    contend_window_us: u64,
 }
 
 fn usage() -> ! {
@@ -73,7 +93,8 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--graph NAME=SPEC]... [--clients N]\n\
          \x20      [--duration-secs N] [--solvers A,B,..] [--deadline-ms N]\n\
          \x20      [--out PATH] [--seed N]\n\
-         \x20      [--router [--shards N] [--shard-workers N]]"
+         \x20      [--router [--shards N] [--shard-workers N]]\n\
+         \x20      [--contend [--contend-window-us N]]"
     );
     std::process::exit(2);
 }
@@ -91,7 +112,10 @@ fn parse_cli() -> Args {
         router: false,
         shards: 2,
         shard_workers: 1,
+        contend: false,
+        contend_window_us: 10_000,
     };
+    let mut clients_set = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
@@ -101,7 +125,10 @@ fn parse_cli() -> Args {
                 Some((n, s)) => args.graphs.push((n.to_string(), s.to_string())),
                 None => usage(),
             },
-            "--clients" => args.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--clients" => {
+                args.clients = value().parse().unwrap_or_else(|_| usage());
+                clients_set = true;
+            }
             "--duration-secs" => {
                 args.duration = Duration::from_secs_f64(value().parse().unwrap_or_else(|_| usage()))
             }
@@ -112,6 +139,10 @@ fn parse_cli() -> Args {
             "--router" => args.router = true,
             "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
             "--shard-workers" => args.shard_workers = value().parse().unwrap_or_else(|_| usage()),
+            "--contend" => args.contend = true,
+            "--contend-window-us" => {
+                args.contend_window_us = value().parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -121,9 +152,18 @@ fn parse_cli() -> Args {
             // wire, is the capacity bound, and free of solver-internal
             // thread pools — so the comparison isolates tier scaling.
             vec!["cps".into()]
+        } else if args.contend {
+            // ws-q exposes its BFS roots for coalescing, so the contended
+            // comparison exercises cross-request lane sharing, not just
+            // in-window dedup.
+            vec!["ws-q".into()]
         } else {
             vec!["ws-q".into(), "ws-q-approx".into(), "st".into()]
         };
+    }
+    if args.contend && !clients_set {
+        // Contention is the point: enough clients that windows fill.
+        args.clients = 32;
     }
     if args.out.is_empty() {
         args.out = if args.router {
@@ -133,10 +173,16 @@ fn parse_cli() -> Args {
         };
     }
     if args.graphs.is_empty() && !args.router {
-        args.graphs = vec![
-            ("karate".into(), "karate".into()),
-            ("ba2k".into(), "ba:2000x3".into()),
-        ];
+        args.graphs = if args.contend {
+            // One graph: contention for the same coalescing queue is the
+            // scenario under measurement.
+            vec![("contend".into(), "ba:2000x3".into())]
+        } else {
+            vec![
+                ("karate".into(), "karate".into()),
+                ("ba2k".into(), "ba:2000x3".into()),
+            ]
+        };
     }
     if args.router && args.shards < 2 {
         eprintln!("--router needs --shards >= 2");
@@ -147,6 +193,16 @@ fn parse_cli() -> Args {
         // silently ignored --addr would produce a benchmark of the wrong
         // system.
         eprintln!("--router spawns its own shards and router; it cannot drive --addr");
+        usage();
+    }
+    if args.contend && (args.router || args.addr.is_some()) {
+        eprintln!(
+            "--contend spawns its own paired servers; it composes with neither --router nor --addr"
+        );
+        usage();
+    }
+    if args.contend && args.graphs.len() != 1 {
+        eprintln!("--contend hammers exactly one graph");
         usage();
     }
     args
@@ -250,6 +306,10 @@ fn main() {
     let args = parse_cli();
     if args.router {
         router_main(&args);
+        return;
+    }
+    if args.contend {
+        contend_main(&args);
         return;
     }
 
@@ -620,5 +680,251 @@ fn router_main(args: &Args) {
     eprintln!(
         "loadgen --router: 1 shard {rps_1:.1} r/s, {} shards {rps_n:.1} r/s, speedup {speedup:.2}x → {}",
         args.shards, args.out
+    );
+}
+
+/// Deterministic pool of distinct query sets for `--contend`: small on
+/// purpose, so concurrent clients repeatedly collide on the same queries
+/// and a coalescing window sees both duplicates (deduped) and distinct
+/// sets (roots unioned into shared MS-BFS sweeps).
+fn contend_pool(seed: u64, nodes: usize, count: usize) -> Vec<Vec<NodeId>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pool: Vec<Vec<NodeId>> = Vec::new();
+    while pool.len() < count {
+        let size = rng.gen_range(2..=4usize);
+        let mut q: Vec<NodeId> = (0..size)
+            .map(|_| rng.gen_range(0..nodes as NodeId))
+            .collect();
+        q.sort_unstable();
+        q.dedup();
+        if q.len() >= 2 && !pool.contains(&q) {
+            pool.push(q);
+        }
+    }
+    pool
+}
+
+/// Closed-loop client for `--contend`: same accounting as [`client_loop`],
+/// but queries are drawn from the fixed shared pool instead of sampled
+/// fresh, so contention on identical/overlapping work is guaranteed.
+fn contend_client_loop(
+    mut client: Client,
+    args: &Args,
+    graph: &str,
+    pool: &[Vec<NodeId>],
+    thread_id: u64,
+    stop: &AtomicBool,
+    barrier: &Barrier,
+) -> Vec<Sample> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed ^ (thread_id << 32));
+    let mut samples = Vec::new();
+    barrier.wait();
+    while !stop.load(Ordering::Relaxed) {
+        let q = pool.choose(&mut rng).expect("non-empty pool");
+        let solver = rng.gen_range(0..args.solvers.len());
+        let start = Instant::now();
+        let outcome = match client.solve(graph, &args.solvers[solver], q, args.deadline_ms, None) {
+            Ok(_) => Outcome::Ok,
+            Err(ClientError::Server(e)) if e.code == "overloaded" => Outcome::Overloaded,
+            Err(ClientError::Server(_)) => Outcome::OtherError,
+            Err(e) => panic!("transport failure mid-run: {e}"),
+        };
+        samples.push(Sample {
+            solver,
+            latency: start.elapsed(),
+            outcome,
+        });
+    }
+    samples
+}
+
+/// One `--contend` run: an in-process server on the single contended
+/// graph (solve cache off, fixed 8-worker pool, coalescing per `enabled`),
+/// hammered by the pooled closed-loop clients. Returns elapsed seconds,
+/// the samples, and the server's own `coalesce` stats section.
+fn contend_run(args: &Args, enabled: bool, pool_size: usize) -> (f64, Vec<Sample>, Option<Json>) {
+    let (name, spec) = &args.graphs[0];
+    // Cache off on BOTH runs: the comparison must measure shared sweeps
+    // and in-window dedup, not cache-hit replay of a repeated pool.
+    let catalog = Arc::new(Catalog::new().with_solve_cache_bytes(0));
+    let entry = catalog.load(name, spec).expect("load contend graph");
+    let nodes = entry.num_nodes();
+    let config = ServerConfig {
+        // Fixed so both runs (and baseline vs CI reruns) agree, and so
+        // windows can actually gather concurrent requests even on a
+        // single-core box, where the worker pool would default to 1 and
+        // serialize every window down to one request.
+        workers: 8,
+        coalesce: CoalesceConfig {
+            enabled,
+            window: Duration::from_micros(args.contend_window_us),
+            ..CoalesceConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let handle = server::start(catalog, config, "127.0.0.1:0").expect("bind contend server");
+    let addr = handle.local_addr().to_string();
+    let pool = contend_pool(args.seed, nodes, pool_size);
+
+    let clients: Vec<Client> = (0..args.clients)
+        .map(|i| {
+            Client::connect(addr.as_str())
+                .unwrap_or_else(|e| panic!("contend client {i} connect: {e}"))
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(args.clients + 1);
+    let (elapsed, samples) = std::thread::scope(|scope| {
+        let threads: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, client)| {
+                let (args, pool, stop, barrier) = (args, pool.as_slice(), &stop, &barrier);
+                scope.spawn(move || {
+                    contend_client_loop(client, args, name, pool, i as u64, stop, barrier)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        std::thread::sleep(args.duration);
+        stop.store(true, Ordering::Relaxed);
+        let samples: Vec<Sample> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("contend client thread"))
+            .collect();
+        (started.elapsed(), samples)
+    });
+
+    let mut probe = Client::connect(addr.as_str()).expect("connect probe");
+    let coalesce = probe.stats().ok().and_then(|s| s.get("coalesce").cloned());
+    handle.shutdown();
+    (elapsed.as_secs_f64(), samples, coalesce)
+}
+
+/// Latency/throughput summary for one contend run.
+fn contend_totals(secs: f64, samples: &[Sample]) -> (f64, Json) {
+    let (rps, mut totals) = match totals_json(secs, samples) {
+        (rps, Json::Obj(m)) => (rps, m),
+        _ => unreachable!("totals_json returns an object"),
+    };
+    let mut lat: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.outcome == Outcome::Ok)
+        .map(|s| s.latency.as_secs_f64() * 1e3)
+        .collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    totals.insert("p50_ms".into(), Json::from(quantile_ms(&lat, 0.50)));
+    totals.insert("p99_ms".into(), Json::from(quantile_ms(&lat, 0.99)));
+    (rps, Json::Obj(totals))
+}
+
+/// `--contend`: coalescing-off vs coalescing-on under contention, merged
+/// into `BENCH_service.json` as a `contend` section.
+fn contend_main(args: &Args) {
+    const POOL: usize = 8;
+    let (name, spec) = &args.graphs[0];
+    eprintln!(
+        "loadgen --contend: {} clients, {:?} per run, solvers {:?}, graph {name}={spec}, \
+         pool of {POOL} queries, solve cache off",
+        args.clients, args.duration, args.solvers,
+    );
+
+    eprintln!("loadgen --contend: run 1/2 — coalescing off");
+    let (secs_off, samples_off, _) = contend_run(args, false, POOL);
+    eprintln!("loadgen --contend: run 2/2 — coalescing on");
+    let (secs_on, samples_on, coalesce) = contend_run(args, true, POOL);
+
+    let (rps_off, off) = contend_totals(secs_off, &samples_off);
+    let (rps_on, mut on) = contend_totals(secs_on, &samples_on);
+    let speedup = if rps_off > 0.0 { rps_on / rps_off } else { 0.0 };
+    let lane_occupancy = coalesce
+        .as_ref()
+        .and_then(|c| c.get("lane_occupancy_mean"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if let (Json::Obj(m), Some(c)) = (&mut on, coalesce) {
+        m.insert("coalesce".into(), c);
+    }
+
+    println!(
+        "{:<18} {:>10} {:>14} {:>9} {:>9}",
+        "configuration", "ok reqs", "thruput r/s", "p50 ms", "p99 ms"
+    );
+    for (label, totals, rps) in [
+        ("coalesce off", &off, rps_off),
+        ("coalesce on", &on, rps_on),
+    ] {
+        println!(
+            "{label:<18} {:>10} {rps:>14.1} {:>9.3} {:>9.3}",
+            totals.get("ok").and_then(Json::as_u64).unwrap_or(0),
+            totals.get("p50_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            totals.get("p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+    }
+    println!("speedup: {speedup:.2}x, mean lane occupancy: {lane_occupancy:.3}");
+
+    let contend = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("clients", Json::from(args.clients)),
+                ("duration_secs", Json::from(args.duration.as_secs_f64())),
+                (
+                    "solvers",
+                    Json::Arr(
+                        args.solvers
+                            .iter()
+                            .map(|s| Json::from(s.as_str()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "graph",
+                    Json::obj([
+                        ("name", Json::from(name.as_str())),
+                        ("source", Json::from(spec.as_str())),
+                    ]),
+                ),
+                ("pool", Json::from(POOL)),
+                ("window_us", Json::from(args.contend_window_us)),
+                ("workers", Json::from(8usize)),
+                ("solve_cache", Json::from("disabled")),
+                (
+                    "cores",
+                    Json::from(
+                        std::thread::available_parallelism()
+                            .map(|p| p.get())
+                            .unwrap_or(1),
+                    ),
+                ),
+                ("seed", Json::from(args.seed)),
+            ]),
+        ),
+        ("coalesce_off", off),
+        ("coalesce_on", on),
+        ("lane_occupancy_mean", Json::from(lane_occupancy)),
+        ("speedup", Json::from(speedup)),
+    ]);
+
+    // Merge into an existing document (the plain smoke run also writes
+    // BENCH_service.json) rather than clobbering it.
+    let mut doc = std::fs::read_to_string(&args.out)
+        .ok()
+        .and_then(|text| mwc_service::json::parse(&text).ok())
+        .and_then(|json| match json {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default();
+    doc.insert("contend".into(), contend);
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(Json::Obj(doc).to_string().as_bytes())
+        .expect("write output");
+    file.write_all(b"\n").expect("write output");
+    eprintln!(
+        "loadgen --contend: off {rps_off:.1} r/s, on {rps_on:.1} r/s, speedup {speedup:.2}x, \
+         lane occupancy {lane_occupancy:.3} → {}",
+        args.out
     );
 }

@@ -54,21 +54,23 @@
 //! assert_eq!(reports.len(), 2);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
-use mwc_graph::traversal::bfs::WorkspacePool;
-use mwc_graph::{centrality, Graph, NodeId};
+use mwc_graph::traversal::bfs::{WorkspacePool, MS_BFS_LANES};
+use mwc_graph::{centrality, Graph, GraphError, NodeId};
 use rand::SeedableRng;
 
 use crate::connector::Connector;
 use crate::error::{CoreError, Result};
 use crate::exact::{exact_minimum, shortest_path_connector, ExactConfig};
 use crate::local_search::{refine, LocalSearchConfig};
-use crate::wsq::{WienerSteiner, WsqConfig, WsqSolution};
+use crate::wsq::{
+    batched_root_distances, RootPolicy, SharedRootDists, WienerSteiner, WsqConfig, WsqSolution,
+};
 use crate::wsq_approx::{solve_with_oracle, ApproxWsqConfig};
 
 /// Per-query knobs, built fluently:
@@ -490,6 +492,7 @@ pub struct QueryContext<'e> {
     options: QueryOptions,
     deadline: Option<Instant>,
     prefer_sequential: bool,
+    shared_roots: Option<Arc<SharedRootDists>>,
 }
 
 impl<'e> QueryContext<'e> {
@@ -506,7 +509,24 @@ impl<'e> QueryContext<'e> {
             options,
             deadline,
             prefer_sequential,
+            shared_roots: None,
         }
+    }
+
+    /// Attaches prefetched per-root distance arrays (the
+    /// [`QueryEngine::solve_group`] coalescing path).
+    fn with_shared_roots(mut self, shared_roots: Option<Arc<SharedRootDists>>) -> Self {
+        self.shared_roots = shared_roots;
+        self
+    }
+
+    /// Per-root distance arrays prefetched by a cross-query coalesced
+    /// sweep, when this solve is part of one ([`QueryEngine::solve_group`]).
+    /// Solvers that batch per-root BFS (`ws-q`, `ws-q+ls`) consume these
+    /// instead of running their own sweeps; results are bit-identical
+    /// either way because MS-BFS lanes are independent.
+    pub fn shared_root_distances(&self) -> Option<&SharedRootDists> {
+        self.shared_roots.as_deref()
     }
 
     /// `true` when the engine is already parallelizing *across* queries
@@ -604,6 +624,22 @@ pub trait ConnectorSolver: Send + Sync {
     /// query, out-of-range vertices, or query vertices spanning multiple
     /// components; otherwise returns a connector containing the query.
     fn solve(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Result<SolveReport>;
+
+    /// The root vertices whose full BFS distance arrays this solver would
+    /// compute for `q` — or `None` when it runs no per-root sweeps (the
+    /// default). [`QueryEngine::solve_group`] unions these across the
+    /// queries of one coalesced window and prefetches them through shared
+    /// [`MsBfsWorkspace`](mwc_graph::traversal::bfs::MsBfsWorkspace)
+    /// sweeps; a solver that answers here must then consume
+    /// [`QueryContext::shared_root_distances`] in its `solve`.
+    ///
+    /// Implementations must return roots whose prefetched distances leave
+    /// the result **bit-identical** to an uncoalesced solve — for the
+    /// `ws-q` family that holds because MS-BFS lane distances do not
+    /// depend on lane composition.
+    fn coalesce_roots(&self, _ctx: &QueryContext<'_>, _q: &[NodeId]) -> Option<Vec<NodeId>> {
+        None
+    }
 }
 
 /// `"ws-q"` — the paper's Algorithm 1 ([`WienerSteiner`]) behind the
@@ -626,10 +662,36 @@ impl ConnectorSolver for WsqSolver {
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
         cfg.kernel = cfg.kernel && ctx.kernel_enabled();
         cfg.batch = cfg.batch && ctx.batch_enabled();
-        let sol =
-            WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled(q, ctx.workspace_pool())?;
+        let sol = WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled_shared(
+            q,
+            ctx.workspace_pool(),
+            ctx.shared_root_distances(),
+        )?;
         Ok(SolveReport::from_wsq(self.name(), sol))
     }
+
+    fn coalesce_roots(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Option<Vec<NodeId>> {
+        wsq_coalesce_roots(&self.config, ctx, q)
+    }
+}
+
+/// Shared [`ConnectorSolver::coalesce_roots`] answer for the solvers built
+/// on [`WienerSteiner`]: under the batched `QueryOnly` sweep the per-root
+/// distance arrays are exactly the normalized query vertices' BFS
+/// distances, so those are what a coalesced window can prefetch. Any
+/// configuration that would not take the batched path (batching off,
+/// `AllVertices` roots, single-vertex query) declines.
+fn wsq_coalesce_roots(
+    cfg: &WsqConfig,
+    ctx: &QueryContext<'_>,
+    q: &[NodeId],
+) -> Option<Vec<NodeId>> {
+    if !(cfg.batch && ctx.batch_enabled()) || cfg.roots != RootPolicy::QueryOnly {
+        return None;
+    }
+    crate::wsq::normalize_query(ctx.graph(), q)
+        .ok()
+        .filter(|qn| qn.len() > 1)
 }
 
 /// `"ws-q-approx"` — Algorithm 1 on landmark-estimated distances (§6.6),
@@ -686,8 +748,11 @@ impl ConnectorSolver for LocalSearchSolver {
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
         cfg.kernel = cfg.kernel && ctx.kernel_enabled();
         cfg.batch = cfg.batch && ctx.batch_enabled();
-        let sol =
-            WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled(q, ctx.workspace_pool())?;
+        let sol = WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled_shared(
+            q,
+            ctx.workspace_pool(),
+            ctx.shared_root_distances(),
+        )?;
         let candidates = sol.num_candidates as u64;
         let (connector, wiener_index) = if ctx.deadline_exceeded() {
             // The budget went to ws-q; skip the polish.
@@ -709,6 +774,10 @@ impl ConnectorSolver for LocalSearchSolver {
             candidates,
             optimal: None,
         })
+    }
+
+    fn coalesce_roots(&self, ctx: &QueryContext<'_>, q: &[NodeId]) -> Option<Vec<NodeId>> {
+        wsq_coalesce_roots(&self.wsq, ctx, q)
     }
 }
 
@@ -751,6 +820,120 @@ impl ConnectorSolver for ExactSolver {
             candidates: out.subsets_explored,
             optimal: Some(out.optimal),
         })
+    }
+}
+
+/// One query of a coalesced window: solver registry name, query set, and
+/// per-query options — the heterogeneous unit [`QueryEngine::solve_group`]
+/// accepts (unlike [`QueryEngine::solve_batch`], which runs one solver
+/// over many queries with shared options).
+#[derive(Debug, Clone)]
+pub struct GroupQuery {
+    /// Registry name of the solver to run.
+    pub solver: String,
+    /// The query vertex set (canonicalized internally).
+    pub q: Vec<NodeId>,
+    /// This query's own options.
+    pub options: QueryOptions,
+}
+
+impl GroupQuery {
+    /// Convenience constructor.
+    pub fn new(solver: impl Into<String>, q: Vec<NodeId>, options: QueryOptions) -> Self {
+        GroupQuery {
+            solver: solver.into(),
+            q,
+            options,
+        }
+    }
+}
+
+/// What one [`QueryEngine::solve_group`] window did — the per-flush
+/// accounting the serving layer's coalescer aggregates into its `stats`
+/// wire section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Queries submitted to the window.
+    pub requests: u64,
+    /// Queries answered from the solve cache without executing.
+    pub cache_hits: u64,
+    /// Queries answered by another member's execution (identical
+    /// `(solver, canonical query, size budget)` within the window).
+    pub deduped: u64,
+    /// Distinct solver executions the window ran.
+    pub executed: u64,
+    /// Shared multi-source sweeps run for the window's prefetched roots.
+    pub shared_sweeps: u64,
+    /// Lanes occupied across those sweeps (≤ 64 × `shared_sweeps`; the
+    /// ratio is the window's lane occupancy).
+    pub shared_lanes: u64,
+    /// Distinct roots whose distances were prefetched and shared.
+    pub shared_roots: u64,
+}
+
+impl GroupStats {
+    /// Folds another window's counters into this one.
+    pub fn merge(&mut self, other: &GroupStats) {
+        self.requests += other.requests;
+        self.cache_hits += other.cache_hits;
+        self.deduped += other.deduped;
+        self.executed += other.executed;
+        self.shared_sweeps += other.shared_sweeps;
+        self.shared_lanes += other.shared_lanes;
+        self.shared_roots += other.shared_roots;
+    }
+}
+
+/// Result of [`QueryEngine::solve_group`]: per-query results in input
+/// order plus the window's execution accounting.
+#[derive(Debug)]
+pub struct GroupOutcome {
+    /// One result per input query, in input order.
+    pub results: Vec<Result<SolveReport>>,
+    /// What the window shared, deduplicated, and executed.
+    pub stats: GroupStats,
+}
+
+/// Best-effort duplication of a solve error, so one shared execution can
+/// answer every coalesced member of its job. `CoreError` is not `Clone`
+/// (it can wrap `std::io::Error`); I/O errors are re-created from kind and
+/// message, everything else is reconstructed field-for-field.
+fn duplicate_error(e: &CoreError) -> CoreError {
+    match e {
+        CoreError::EmptyQuery => CoreError::EmptyQuery,
+        CoreError::QueryNotConnectable => CoreError::QueryNotConnectable,
+        CoreError::Graph(g) => CoreError::Graph(match g {
+            GraphError::NodeOutOfRange { node, num_nodes } => GraphError::NodeOutOfRange {
+                node: *node,
+                num_nodes: *num_nodes,
+            },
+            GraphError::Empty => GraphError::Empty,
+            GraphError::Disconnected => GraphError::Disconnected,
+            GraphError::TooLarge { what } => GraphError::TooLarge { what },
+            GraphError::Io(io) => GraphError::Io(std::io::Error::new(io.kind(), io.to_string())),
+            GraphError::Parse { line, message } => GraphError::Parse {
+                line: *line,
+                message: message.clone(),
+            },
+            // `GraphError` is #[non_exhaustive]; preserve at least the
+            // message for variants added later.
+            other => GraphError::Io(std::io::Error::other(other.to_string())),
+        }),
+        CoreError::UnsupportedInstance { what } => {
+            CoreError::UnsupportedInstance { what: what.clone() }
+        }
+        CoreError::Lp(l) => CoreError::Lp(l.clone()),
+        CoreError::UnknownSolver {
+            requested,
+            available,
+        } => CoreError::UnknownSolver {
+            requested: requested.clone(),
+            available: available.clone(),
+        },
+        CoreError::BudgetExceeded { size, budget } => CoreError::BudgetExceeded {
+            size: *size,
+            budget: *budget,
+        },
     }
 }
 
@@ -1127,6 +1310,238 @@ impl<'g> QueryEngine<'g> {
             .into_iter()
             .map(|s| s.expect("every batch slot is filled by its worker"))
             .collect()
+    }
+
+    /// Solves a *heterogeneous* group of queries — mixed solvers, mixed
+    /// options — as one coalesced execution: the cross-request entry point
+    /// behind `mwc_service`'s per-graph coalescer.
+    ///
+    /// Three passes:
+    ///
+    /// 1. **Admission** — per query: resolve the solver (unknown names
+    ///    error in place), canonicalize, consult the solve cache under the
+    ///    exact policy of [`Self::solve_with`], and *deduplicate* the
+    ///    remainder: queries with identical `(solver, canonical query,
+    ///    size budget)` share one execution (deadline-bearing queries are
+    ///    never shared — their results depend on wall-clock luck).
+    /// 2. **Prefetch** — when more than one execution remains, union every
+    ///    job's [`ConnectorSolver::coalesce_roots`] answer and run the
+    ///    union through shared 64-lane multi-source sweeps, so root BFS
+    ///    work that today runs once per request with mostly-empty lanes
+    ///    runs once per *window* with packed lanes.
+    /// 3. **Execute** — jobs run across scoped worker threads (sequential
+    ///    solver internals, as in [`Self::solve_batch`]), each consuming
+    ///    the prefetched arrays; results fan back out to every member in
+    ///    input order.
+    ///
+    /// Results are **bit-identical** to per-query [`Self::solve_with`]
+    /// calls (multi-source lanes are independent; pinned by the group
+    /// parity tests and the service-level coalescer suite).
+    pub fn solve_group(&self, queries: &[GroupQuery]) -> GroupOutcome {
+        let start = Instant::now();
+        let mut stats = GroupStats {
+            requests: queries.len() as u64,
+            ..GroupStats::default()
+        };
+        let mut slots: Vec<Option<Result<SolveReport>>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+
+        // Pass 1: admission — errors, cache hits, dedup.
+        struct Job<'q> {
+            solver: &'q str,
+            canonical: Vec<NodeId>,
+            options: &'q QueryOptions,
+            members: Vec<usize>,
+            cache_insert: bool,
+        }
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut dedup: HashMap<CacheKey, usize> = HashMap::new();
+        for (i, gq) in queries.iter().enumerate() {
+            if let Err(e) = self.solver(&gq.solver) {
+                slots[i] = Some(Err(e));
+                continue;
+            }
+            let mut canonical = gq.q.clone();
+            canonical.sort_unstable();
+            canonical.dedup();
+            let cacheable = !self.cache.disabled()
+                && !gq.options.cache_disabled()
+                && gq.options.time_budget().is_none();
+            let key = (gq.solver.clone(), canonical, gq.options.size_budget());
+            if cacheable {
+                if let Some(mut report) = self.cache.get(&key) {
+                    report.seconds = start.elapsed().as_secs_f64();
+                    stats.cache_hits += 1;
+                    slots[i] = Some(Ok(report));
+                    continue;
+                }
+            }
+            if gq.options.time_budget().is_none() {
+                if let Some(&j) = dedup.get(&key) {
+                    jobs[j].members.push(i);
+                    jobs[j].cache_insert |= cacheable;
+                    stats.deduped += 1;
+                    continue;
+                }
+                dedup.insert(key.clone(), jobs.len());
+            }
+            jobs.push(Job {
+                solver: &gq.solver,
+                canonical: key.1,
+                options: &gq.options,
+                members: vec![i],
+                cache_insert: cacheable,
+            });
+        }
+        stats.executed = jobs.len() as u64;
+
+        // Pass 2: prefetch the union of every job's root sweeps through
+        // shared multi-source batches. Only worth it when executions can
+        // actually share lanes; a lone job packs its own lanes already.
+        let mut shared: Option<Arc<SharedRootDists>> = None;
+        if jobs.len() > 1 {
+            let mut roots: BTreeSet<NodeId> = BTreeSet::new();
+            for job in &jobs {
+                let s = self.solver(job.solver).expect("resolved in pass 1");
+                let ctx =
+                    QueryContext::new(self.graph.get(), &self.shared, job.options.clone(), false);
+                if let Some(r) = s.coalesce_roots(&ctx, &job.canonical) {
+                    roots.extend(r);
+                }
+            }
+            if roots.len() > 1 {
+                let roots: Vec<NodeId> = roots.into_iter().collect();
+                let mut ms = self.shared.pool.lease_multi();
+                let mut map = SharedRootDists::with_capacity(roots.len());
+                for batch in roots.chunks(MS_BFS_LANES) {
+                    let arrays = batched_root_distances(self.graph.get(), batch, &mut ms);
+                    stats.shared_sweeps += 1;
+                    stats.shared_lanes += batch.len() as u64;
+                    for (&r, d) in batch.iter().zip(arrays) {
+                        map.insert(r, Arc::new(d));
+                    }
+                }
+                stats.shared_roots = map.len() as u64;
+                shared = Some(Arc::new(map));
+            }
+        }
+
+        // Pass 3: execute and fan out. Mirrors solve_batch's threading:
+        // one chunk per core, sequential solver internals when several
+        // jobs run concurrently.
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(jobs.len().max(1));
+        let results: Vec<Result<SolveReport>> = if jobs.len() <= 1 || threads <= 1 {
+            jobs.iter()
+                .map(|job| {
+                    self.solve_prefetched(
+                        job.solver,
+                        &job.canonical,
+                        job.options,
+                        shared.as_ref(),
+                        job.cache_insert,
+                        false,
+                        start,
+                    )
+                })
+                .collect()
+        } else {
+            let mut out: Vec<Option<Result<SolveReport>>> = Vec::new();
+            out.resize_with(jobs.len(), || None);
+            let chunk = jobs.len().div_ceil(threads);
+            let shared = &shared;
+            std::thread::scope(|scope| {
+                for (j_chunk, o_chunk) in jobs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (job, slot) in j_chunk.iter().zip(o_chunk.iter_mut()) {
+                            *slot = Some(self.solve_prefetched(
+                                job.solver,
+                                &job.canonical,
+                                job.options,
+                                shared.as_ref(),
+                                job.cache_insert,
+                                true,
+                                start,
+                            ));
+                        }
+                    });
+                }
+            });
+            out.into_iter()
+                .map(|s| s.expect("every job slot is filled by its worker"))
+                .collect()
+        };
+        for (job, result) in jobs.iter().zip(results) {
+            match result {
+                Ok(report) => {
+                    for &i in &job.members {
+                        slots[i] = Some(Ok(report.clone()));
+                    }
+                }
+                Err(e) => {
+                    for &i in &job.members[1..] {
+                        slots[i] = Some(Err(duplicate_error(&e)));
+                    }
+                    slots[job.members[0]] = Some(Err(e));
+                }
+            }
+        }
+
+        GroupOutcome {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every group slot is filled"))
+                .collect(),
+            stats,
+        }
+    }
+
+    /// One job of a [`Self::solve_group`] window: like
+    /// [`Self::solve_inner`] but with the cache lookup already done by the
+    /// window's admission pass (`cache_insert` carries its verdict) and
+    /// the prefetched root distances attached to the context.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_prefetched(
+        &self,
+        solver: &str,
+        canonical: &[NodeId],
+        options: &QueryOptions,
+        shared: Option<&Arc<SharedRootDists>>,
+        cache_insert: bool,
+        prefer_sequential: bool,
+        start: Instant,
+    ) -> Result<SolveReport> {
+        let s = self.solver(solver)?;
+        let ctx = QueryContext::new(
+            self.graph.get(),
+            &self.shared,
+            options.clone(),
+            prefer_sequential,
+        )
+        .with_shared_roots(shared.cloned());
+        let mut report = s.solve(&ctx, canonical)?;
+        report.seconds = start.elapsed().as_secs_f64();
+        if let Some(budget) = options.size_budget() {
+            if report.connector.len() > budget {
+                return Err(CoreError::BudgetExceeded {
+                    size: report.connector.len(),
+                    budget,
+                });
+            }
+        }
+        if cache_insert {
+            self.cache.insert(
+                (
+                    solver.to_string(),
+                    canonical.to_vec(),
+                    options.size_budget(),
+                ),
+                report.clone(),
+            );
+        }
+        Ok(report)
     }
 
     /// Degree centrality of every vertex (cached at construction).
@@ -1617,6 +2032,154 @@ mod tests {
                 .workspace_pool()
                 .idle()
                 > 0
+        );
+    }
+
+    #[test]
+    fn solve_group_matches_individual_solves_across_mixed_solvers() {
+        let g = karate_club();
+        let grouped = QueryEngine::new(&g);
+        let reference = QueryEngine::new(&g);
+        let queries = vec![
+            GroupQuery::new("ws-q", vec![11, 24, 25, 29], QueryOptions::default()),
+            GroupQuery::new("ws-q+ls", vec![0, 33], QueryOptions::default()),
+            GroupQuery::new("ws-q-approx", vec![3, 11, 16], QueryOptions::default()),
+            GroupQuery::new("exact", vec![5, 28], QueryOptions::default()),
+            GroupQuery::new("ws-q", vec![2, 8, 30], QueryOptions::new().no_cache()),
+            GroupQuery::new(
+                "ws-q",
+                vec![0, 16, 26],
+                QueryOptions::new().max_connector_size(34),
+            ),
+        ];
+        let outcome = grouped.solve_group(&queries);
+        assert_eq!(outcome.results.len(), queries.len());
+        for (gq, result) in queries.iter().zip(&outcome.results) {
+            let coalesced = result.as_ref().expect("feasible query");
+            let direct = reference
+                .solve_with(&gq.solver, &gq.q, &gq.options)
+                .unwrap();
+            assert_eq!(
+                coalesced.connector.vertices(),
+                direct.connector.vertices(),
+                "{} {:?}",
+                gq.solver,
+                gq.q
+            );
+            assert_eq!(coalesced.wiener_index, direct.wiener_index);
+            assert_eq!(coalesced.candidates, direct.candidates);
+            assert_eq!(coalesced.optimal, direct.optimal);
+        }
+        // Multiple multi-root ws-q jobs in one window: the prefetch ran
+        // and packed every distinct root into shared sweeps.
+        assert!(outcome.stats.shared_sweeps >= 1);
+        assert!(outcome.stats.shared_roots > 2);
+        assert_eq!(outcome.stats.requests, queries.len() as u64);
+        assert_eq!(outcome.stats.executed, queries.len() as u64);
+    }
+
+    #[test]
+    fn solve_group_dedups_identical_work_and_counts_cache_hits() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let q = vec![11u32, 24, 25, 29];
+        // Permutations and duplicates canonicalize to one execution.
+        let queries = vec![
+            GroupQuery::new("ws-q", q.clone(), QueryOptions::default()),
+            GroupQuery::new("ws-q", vec![29, 11, 25, 24, 11], QueryOptions::default()),
+            GroupQuery::new("ws-q", q.clone(), QueryOptions::new().no_cache()),
+        ];
+        let outcome = engine.solve_group(&queries);
+        assert_eq!(outcome.stats.requests, 3);
+        assert_eq!(outcome.stats.deduped, 2);
+        assert_eq!(outcome.stats.executed, 1);
+        assert_eq!(outcome.stats.cache_hits, 0);
+        let first = outcome.results[0].as_ref().unwrap();
+        for r in &outcome.results[1..] {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.connector.vertices(), first.connector.vertices());
+            assert_eq!(r.wiener_index, first.wiener_index);
+        }
+        // The execution populated the cache: a second window replays it.
+        let again =
+            engine.solve_group(&[GroupQuery::new("ws-q", q.clone(), QueryOptions::default())]);
+        assert_eq!(again.stats.cache_hits, 1);
+        assert_eq!(again.stats.executed, 0);
+        assert_eq!(
+            again.results[0].as_ref().unwrap().connector.vertices(),
+            first.connector.vertices()
+        );
+        // Deadline-bearing queries are neither deduplicated nor cached.
+        let opts = QueryOptions::new().deadline(Duration::from_secs(60));
+        let timed = engine.solve_group(&[
+            GroupQuery::new("ws-q", vec![0, 33], opts.clone()),
+            GroupQuery::new("ws-q", vec![0, 33], opts),
+        ]);
+        assert_eq!(timed.stats.deduped, 0);
+        assert_eq!(timed.stats.executed, 2);
+    }
+
+    #[test]
+    fn solve_group_reports_errors_in_place() {
+        let split = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let engine = QueryEngine::new(&split);
+        let queries = vec![
+            GroupQuery::new("ws-q", vec![0, 1], QueryOptions::default()),
+            GroupQuery::new("nope", vec![0, 1], QueryOptions::default()),
+            GroupQuery::new("ws-q", vec![0, 3], QueryOptions::default()),
+            // Duplicate of the infeasible query: the shared error fans out.
+            GroupQuery::new("ws-q", vec![3, 0], QueryOptions::default()),
+        ];
+        let outcome = engine.solve_group(&queries);
+        assert!(outcome.results[0].is_ok());
+        assert!(matches!(
+            outcome.results[1],
+            Err(CoreError::UnknownSolver { .. })
+        ));
+        assert!(matches!(
+            outcome.results[2],
+            Err(CoreError::QueryNotConnectable)
+        ));
+        assert!(matches!(
+            outcome.results[3],
+            Err(CoreError::QueryNotConnectable)
+        ));
+        assert_eq!(outcome.stats.deduped, 1);
+        // Size budgets are enforced per query inside the group.
+        let path = structured::path(9);
+        let engine = QueryEngine::new(&path);
+        let outcome = engine.solve_group(&[GroupQuery::new(
+            "ws-q",
+            vec![0, 8],
+            QueryOptions::new().max_connector_size(4),
+        )]);
+        assert!(matches!(
+            outcome.results[0],
+            Err(CoreError::BudgetExceeded { size: 9, budget: 4 })
+        ));
+    }
+
+    #[test]
+    fn solve_group_empty_and_single_are_degenerate() {
+        let g = karate_club();
+        let engine = QueryEngine::new(&g);
+        let empty = engine.solve_group(&[]);
+        assert!(empty.results.is_empty());
+        assert_eq!(empty.stats, GroupStats::default());
+        // A lone query runs without a prefetch (its own sweep already
+        // packs lanes) and matches the direct call.
+        let lone = engine.solve_group(&[GroupQuery::new(
+            "ws-q",
+            vec![11, 24, 25, 29],
+            QueryOptions::new().no_cache(),
+        )]);
+        assert_eq!(lone.stats.shared_sweeps, 0);
+        let direct = engine
+            .solve_with("ws-q", &[11, 24, 25, 29], &QueryOptions::new().no_cache())
+            .unwrap();
+        assert_eq!(
+            lone.results[0].as_ref().unwrap().connector.vertices(),
+            direct.connector.vertices()
         );
     }
 

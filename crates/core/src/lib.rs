@@ -67,7 +67,8 @@ pub mod wsq_approx;
 
 pub use connector::Connector;
 pub use engine::{
-    CacheStats, ConnectorSolver, OwnedEngine, QueryContext, QueryEngine, QueryOptions, SolveReport,
+    CacheStats, ConnectorSolver, GroupOutcome, GroupQuery, GroupStats, OwnedEngine, QueryContext,
+    QueryEngine, QueryOptions, SolveReport,
 };
 pub use error::{CoreError, Result};
 pub use ilp_solve::{program6_exact, program7_bounds, Program7Bounds, Program7Config};

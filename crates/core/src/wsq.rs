@@ -18,10 +18,13 @@
 //! root loop parallelizes embarrassingly; [`WsqConfig::parallel`] does
 //! exactly that with scoped threads.
 
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mwc_graph::traversal::bfs::{
-    canonical_parent, multi_source_distances, MsBfsWorkspace, WorkspacePool, MS_BFS_LANES,
+    canonical_parent, multi_source_distances, MsBfsWorkspace, PooledMsWorkspace, WorkspacePool,
+    MS_BFS_LANES,
 };
 use mwc_graph::{wiener, Graph, NodeId, INF_DIST};
 
@@ -200,6 +203,29 @@ impl<'g> WienerSteiner<'g> {
     /// [`QueryEngine`](crate::engine::QueryEngine) uses to amortize
     /// workspace allocations across queries.
     pub fn solve_pooled(&self, q: &[NodeId], pool: &WorkspacePool) -> Result<WsqSolution> {
+        self.solve_pooled_shared(q, pool, None)
+    }
+
+    /// Like [`WienerSteiner::solve_pooled`], but consuming per-root
+    /// distance arrays from `shared` when they are available — the
+    /// cross-request coalescing path, where one multi-source sweep served
+    /// the roots of *several* concurrent queries
+    /// ([`QueryEngine::solve_group`](crate::engine::QueryEngine::solve_group)).
+    ///
+    /// `shared` maps root vertices to distance arrays produced by the same
+    /// [`multi_source_distances`] kernel the solver would run itself; MS-BFS
+    /// lanes are independent, so the arrays are bit-identical regardless of
+    /// which other roots shared the sweep, and connectors are bit-identical
+    /// with or without `shared` (pinned by
+    /// `shared_root_distances_yield_identical_connectors`). Roots missing
+    /// from the map — or any batch the map does not fully cover — fall back
+    /// to the solver's own sweep.
+    pub fn solve_pooled_shared(
+        &self,
+        q: &[NodeId],
+        pool: &WorkspacePool,
+        shared: Option<&SharedRootDists>,
+    ) -> Result<WsqSolution> {
         let g = self.graph;
         let q = normalize_query(g, q)?;
         if q.len() == 1 {
@@ -245,14 +271,33 @@ impl<'g> WienerSteiner<'g> {
         // ⌈|roots|/64⌉ shared multi-source sweeps or one BFS per root.
         let mut all: Vec<EvaluatedCandidate> = Vec::new();
         if use_batch {
-            let mut ms = pool.lease_multi();
+            // The multi-source workspace is leased lazily: when `shared`
+            // covers every batch (the fully coalesced case) no sweep runs
+            // here at all.
+            let mut ms: Option<PooledMsWorkspace<'_>> = None;
             for (bi, batch) in roots.chunks(MS_BFS_LANES).enumerate() {
                 // Cooperative deadline between batches; the first batch
                 // always runs so a feasible connector is still produced.
                 if !all.is_empty() && past_deadline(&self.config) {
                     break;
                 }
-                let dists = batched_root_distances(g, batch, &mut ms);
+                // Use the prefetched arrays only when they cover the whole
+                // batch — a partially covered batch recomputes everything,
+                // keeping the sweep accounting simple (in practice the
+                // coalescer prefetches all roots or none).
+                let dists: Vec<Arc<Vec<u32>>> = match shared {
+                    Some(map) if batch.iter().all(|r| map.contains_key(r)) => batch
+                        .iter()
+                        .map(|r| Arc::clone(map.get(r).expect("checked above")))
+                        .collect(),
+                    _ => {
+                        let ms = ms.get_or_insert_with(|| pool.lease_multi());
+                        batched_root_distances(g, batch, ms)
+                            .into_iter()
+                            .map(Arc::new)
+                            .collect()
+                    }
+                };
                 if bi == 0
                     && feasibility_folded
                     && q.iter().any(|&v| dists[0][v as usize] == INF_DIST)
@@ -343,7 +388,7 @@ impl<'g> WienerSteiner<'g> {
         g: &Graph,
         q: &[NodeId],
         roots: &[NodeId],
-        dists: Option<&[Vec<u32>]>,
+        dists: Option<&[Arc<Vec<u32>>]>,
         lambdas: &[f64],
         pool: &WorkspacePool,
     ) -> Result<Vec<EvaluatedCandidate>> {
@@ -399,6 +444,15 @@ pub fn batched_root_distances(
     multi_source_distances(g, roots, ws)
 }
 
+/// Per-root distance arrays shared *across* queries: root vertex →
+/// distances-from-root, produced by the same [`multi_source_distances`]
+/// kernel the batched solver runs itself. Built by
+/// [`QueryEngine::solve_group`](crate::engine::QueryEngine::solve_group)
+/// from the union of all coalesced queries' roots and consumed by
+/// [`WienerSteiner::solve_pooled_shared`]; the `Arc`s let many concurrent
+/// solves read one array without copying.
+pub type SharedRootDists = HashMap<NodeId, Arc<Vec<u32>>>;
+
 /// Convenience entry point with default configuration.
 pub fn minimum_wiener_connector(g: &Graph, q: &[NodeId]) -> Result<WsqSolution> {
     WienerSteiner::new(g).solve(q)
@@ -453,7 +507,7 @@ fn run_roots(
     cfg: &WsqConfig,
     q: &[NodeId],
     roots: &[NodeId],
-    dists: Option<&[Vec<u32>]>,
+    dists: Option<&[Arc<Vec<u32>>]>,
     lambdas: &[f64],
     pool: &WorkspacePool,
 ) -> Result<Vec<EvaluatedCandidate>> {
@@ -467,7 +521,7 @@ fn run_roots(
             break;
         }
         let dist_r: &[u32] = match dists {
-            Some(d) => &d[i],
+            Some(d) => d[i].as_slice(),
             None if cfg.kernel => ws.run_auto(g, r),
             None => ws.run(g, r),
         };
@@ -837,6 +891,74 @@ mod tests {
         for (i, &r) in roots.iter().enumerate() {
             assert_eq!(dists[i], ws.run(&g, r), "root {r}");
         }
+    }
+
+    #[test]
+    fn shared_root_distances_yield_identical_connectors() {
+        // The coalescing path hands the solver distance arrays computed by
+        // a multi-source sweep over the union of *several* queries' roots.
+        // Lanes are independent, so the connector must be bit-identical to
+        // the solver computing its own sweeps.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(89);
+        let g = mwc_graph::generators::barabasi_albert(400, 3, &mut rng);
+        let mut ms = MsBfsWorkspace::new();
+        for _ in 0..5 {
+            let size = rng.gen_range(2..=5usize);
+            let q: Vec<NodeId> = (0..size).map(|_| rng.gen_range(0..400)).collect();
+            let q_norm = normalize_query(&g, &q).unwrap();
+            // The union sweep: this query's roots plus unrelated ones, as
+            // the coalescer would pack them.
+            let mut union: Vec<NodeId> = q_norm.clone();
+            union.extend((0..6).map(|_| rng.gen_range(0..400u32)));
+            union.sort_unstable();
+            union.dedup();
+            let arrays = batched_root_distances(&g, &union, &mut ms);
+            let shared: SharedRootDists = union
+                .iter()
+                .copied()
+                .zip(arrays.into_iter().map(Arc::new))
+                .collect();
+            let solver = WienerSteiner::new(&g);
+            let pool = WorkspacePool::new();
+            let own = solver.solve_pooled(&q, &pool).unwrap();
+            let coalesced = solver
+                .solve_pooled_shared(&q, &pool, Some(&shared))
+                .unwrap();
+            assert_eq!(
+                own.connector.vertices(),
+                coalesced.connector.vertices(),
+                "{q:?}"
+            );
+            assert_eq!(own.wiener_index, coalesced.wiener_index);
+            assert_eq!(own.num_candidates, coalesced.num_candidates);
+            assert_eq!(
+                (own.best_root, own.best_lambda),
+                (coalesced.best_root, coalesced.best_lambda)
+            );
+        }
+    }
+
+    #[test]
+    fn partially_covered_shared_map_falls_back_to_own_sweep() {
+        let g = karate_club();
+        let q = vec![11u32, 24, 25, 29];
+        // A map missing one of the roots: the batch recomputes, results
+        // unchanged.
+        let mut ms = MsBfsWorkspace::new();
+        let partial: SharedRootDists = batched_root_distances(&g, &[11, 24], &mut ms)
+            .into_iter()
+            .map(Arc::new)
+            .zip([11u32, 24])
+            .map(|(d, r)| (r, d))
+            .collect();
+        let solver = WienerSteiner::new(&g);
+        let pool = WorkspacePool::new();
+        let own = solver.solve_pooled(&q, &pool).unwrap();
+        let shared = solver
+            .solve_pooled_shared(&q, &pool, Some(&partial))
+            .unwrap();
+        assert_eq!(own.connector.vertices(), shared.connector.vertices());
+        assert_eq!(own.wiener_index, shared.wiener_index);
     }
 
     #[test]

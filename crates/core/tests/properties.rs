@@ -205,6 +205,57 @@ proptest! {
         prop_assert_eq!(on.best_root, off.best_root);
     }
 
+    /// Coalesced-group parity: packing heterogeneous concurrent queries
+    /// into one `solve_group` window — shared cross-request MS-BFS sweeps,
+    /// within-window dedup, mixed solvers and options — must answer every
+    /// query bit-identically to a direct per-query `solve_with` call.
+    #[test]
+    fn solve_group_matches_direct_solves(
+        g in arb_connected_graph(80),
+        seeds in proptest::collection::vec(any::<u64>(), 2..7),
+    ) {
+        use mwc_core::engine::{GroupQuery, QueryEngine, QueryOptions};
+        use rand::{Rng, SeedableRng};
+        let (g, _) = mwc_graph::connectivity::largest_component_graph(&g).unwrap();
+        prop_assume!(g.num_nodes() >= 6);
+        let solvers = ["ws-q", "ws-q+ls", "ws-q-approx"];
+        let queries: Vec<GroupQuery> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+                let size = rng.gen_range(2..=4usize);
+                let q: Vec<NodeId> = (0..size)
+                    .map(|_| rng.gen_range(0..g.num_nodes() as NodeId))
+                    .collect();
+                let solver = solvers[(s % solvers.len() as u64) as usize];
+                let options = if s % 3 == 0 {
+                    QueryOptions::new().no_cache()
+                } else {
+                    QueryOptions::default()
+                };
+                GroupQuery::new(solver, q, options)
+            })
+            .collect();
+        let grouped = QueryEngine::new(&g);
+        let reference = QueryEngine::new(&g);
+        let outcome = grouped.solve_group(&queries);
+        prop_assert_eq!(outcome.results.len(), queries.len());
+        for (gq, result) in queries.iter().zip(&outcome.results) {
+            let direct = reference.solve_with(&gq.solver, &gq.q, &gq.options);
+            match (result, direct) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.connector.vertices(), b.connector.vertices());
+                    prop_assert_eq!(a.wiener_index, b.wiener_index);
+                    prop_assert_eq!(a.candidates, b.candidates);
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(a.to_string(), b.to_string());
+                }
+                (a, b) => prop_assert!(false, "outcome mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
     /// Lemma 4's sandwich: for any Steiner tree T of G_{r,λ},
     /// B(T,r,λ) − λ ≤ Σ_{(u,v) ∈ T} w(u,v) ≤ 2(B(T,r,λ) − λ).
     #[test]

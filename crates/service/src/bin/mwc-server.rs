@@ -3,6 +3,7 @@
 //! ```text
 //! mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N]
 //!            [--queue N] [--cache-bytes N] [--cache-ttl SECS]
+//!            [--no-coalesce] [--coalesce-window-us N]
 //!
 //!   --listen ADDR     bind address (default 127.0.0.1:7171)
 //!   --graph NAME=SPEC load a graph at startup; repeatable. SPEC is
@@ -17,6 +18,12 @@
 //!                     caching; default: engine default, 16 MiB)
 //!   --cache-ttl SECS  per-graph solve-cache time-to-live in (fractional)
 //!                     seconds (default: entries live until displaced)
+//!   --no-coalesce     disable cross-request solve coalescing (on by
+//!                     default; see the README's "Cross-request
+//!                     coalescing" section)
+//!   --coalesce-window-us N
+//!                     coalescing flush window in microseconds
+//!                     (default 300)
 //! ```
 //!
 //! The process serves until a protocol `shutdown` command arrives
@@ -30,7 +37,8 @@ use mwc_service::{server, Catalog, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--empty] [--workers N] \
-         [--queue N] [--cache-bytes N] [--cache-ttl SECS]"
+         [--queue N] [--cache-bytes N] [--cache-ttl SECS] [--no-coalesce] \
+         [--coalesce-window-us N]"
     );
     std::process::exit(2);
 }
@@ -77,6 +85,13 @@ fn main() -> ExitCode {
                     usage();
                 }
                 cache_ttl = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--no-coalesce" => config.coalesce.enabled = false,
+            "--coalesce-window-us" => {
+                let us: u64 = value("--coalesce-window-us")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                config.coalesce.window = std::time::Duration::from_micros(us);
             }
             "--empty" => empty = true,
             "--help" | "-h" => usage(),

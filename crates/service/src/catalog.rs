@@ -29,7 +29,9 @@ use std::io::BufReader;
 use std::sync::{Arc, RwLock};
 
 use mwc_baselines::full_engine_shared;
-use mwc_core::{CacheStats, Connector, OwnedEngine, QueryOptions, SolveReport};
+use mwc_core::{
+    CacheStats, Connector, GroupOutcome, GroupQuery, OwnedEngine, QueryOptions, SolveReport,
+};
 use mwc_graph::generators::barabasi_albert::barabasi_albert;
 use mwc_graph::generators::karate::karate_club;
 use mwc_graph::io::read_edge_list;
@@ -270,6 +272,33 @@ impl CatalogEntry {
         self.engine
             .solve_with(solver, &q_new, options)
             .map(|r| self.translate_report(r))
+    }
+
+    /// Heterogeneous-group counterpart of [`CatalogEntry::solve`]: a
+    /// window of queries (each with its own solver and options) runs
+    /// through [`QueryEngine::solve_group`](mwc_core::QueryEngine::solve_group),
+    /// which dedups identical work and prefetches per-root BFS sweeps
+    /// shared **across** the queries. Ids are translated at the boundary
+    /// in both directions; per-query errors stay in place. The coalescer
+    /// is the caller.
+    pub fn solve_group(&self, queries: &[GroupQuery]) -> GroupOutcome {
+        let translated: Vec<GroupQuery> = queries
+            .iter()
+            .map(|gq| {
+                GroupQuery::new(
+                    gq.solver.clone(),
+                    gq.q.iter().map(|&v| self.to_engine_id(v)).collect(),
+                    gq.options.clone(),
+                )
+            })
+            .collect();
+        let mut outcome = self.engine.solve_group(&translated);
+        outcome.results = outcome
+            .results
+            .into_iter()
+            .map(|r| r.map(|report| self.translate_report(report)))
+            .collect();
+        outcome
     }
 
     /// Batch counterpart of [`CatalogEntry::solve`]: queries in, reports

@@ -435,12 +435,15 @@ impl Client {
 }
 
 /// A resharding-safe client for the sharded tier: a [`Client`] pointed
-/// at an `mwc-router`, with `shard_unavailable` failures retried after a
-/// doubling backoff.
+/// at an `mwc-router`, with `shard_unavailable` (and `graph_evicted`)
+/// failures retried after a doubling backoff.
 ///
 /// `shard_unavailable` is the router's *transient* verdict — the shard
-/// behind a graph is restarting, being replaced, or mid-reshard. A plain
-/// client surfaces it immediately; this wrapper absorbs the window:
+/// behind a graph is restarting, being replaced, or mid-reshard.
+/// `graph_evicted` is the coalescer's equivalent: the request was parked
+/// in a flush window whose graph was evicted or replaced mid-wait; a
+/// retry resolves the catalog afresh. A plain client surfaces both
+/// immediately; this wrapper absorbs the window:
 ///
 /// * every request method retries the call up to `max_retries` times,
 ///   sleeping `backoff`, `2·backoff`, `4·backoff`, … between attempts
@@ -489,7 +492,9 @@ impl RouterClient {
         let mut attempt = 0;
         loop {
             match call(&mut self.client) {
-                Err(ClientError::Server(e)) if e.code == "shard_unavailable" => {
+                Err(ClientError::Server(e))
+                    if e.code == "shard_unavailable" || e.code == "graph_evicted" =>
+                {
                     if attempt >= self.max_retries {
                         return Err(ClientError::Server(e));
                     }

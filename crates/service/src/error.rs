@@ -47,6 +47,15 @@ pub enum ServiceError {
     },
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The graph was evicted (or replaced by a `load`) while the request
+    /// was waiting in its coalescing queue, so the solve never ran.
+    /// Stable and retryable: the entry the request was parked on is gone,
+    /// but a retry resolves the catalog afresh — it either finds the
+    /// replacement entry or gets a definitive `unknown_graph`.
+    GraphEvicted {
+        /// Catalog name of the evicted graph.
+        name: String,
+    },
     /// A router could not reach the backend shard that owns the requested
     /// resource (dead process, refused connection, broken pipe, ejected by
     /// health tracking). Stable and retryable: clients back off and retry
@@ -76,6 +85,7 @@ impl ServiceError {
             }
             ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::GraphEvicted { .. } => "graph_evicted",
             ServiceError::ShardUnavailable { .. } => "shard_unavailable",
             ServiceError::Core(e) => match e {
                 CoreError::UnknownSolver { .. } => "unknown_solver",
@@ -113,6 +123,10 @@ impl fmt::Display for ServiceError {
                 "deadline expired after {queued_ms} ms in the queue; solve not started"
             ),
             ServiceError::ShuttingDown => write!(f, "server is shutting down"),
+            ServiceError::GraphEvicted { name } => write!(
+                f,
+                "graph {name:?} was evicted while the request was queued; retry"
+            ),
             ServiceError::ShardUnavailable { shard, reason } => {
                 write!(f, "shard {shard:?} unavailable: {reason}")
             }
@@ -178,6 +192,10 @@ mod tests {
             }
             .code(),
             "shard_unavailable"
+        );
+        assert_eq!(
+            ServiceError::GraphEvicted { name: "g".into() }.code(),
+            "graph_evicted"
         );
     }
 }

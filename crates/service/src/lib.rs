@@ -17,6 +17,11 @@
 //!   readers, a fixed worker pool behind a *bounded* admission queue
 //!   (full queue ⇒ explicit `overloaded` response), end-to-end deadline
 //!   accounting, graceful drain on shutdown;
+//! * [`coalesce`] — cross-request solve coalescing: per-graph flush
+//!   windows pack concurrent solves into one shared
+//!   [`solve_group`](mwc_core::QueryEngine::solve_group) execution whose
+//!   MS-BFS sweeps span requests, with deadline bypass, eviction abort
+//!   (`graph_evicted`), and drain-before-ack on shutdown;
 //! * [`metrics`] — request counters, queue gauges, and per-solver log₂
 //!   latency histograms, served by the `stats` command;
 //! * [`client`] — a blocking client used by `mwc-client`, the load
@@ -62,6 +67,7 @@
 
 pub mod catalog;
 pub mod client;
+pub mod coalesce;
 pub mod error;
 pub mod json;
 pub mod metrics;
@@ -72,6 +78,7 @@ pub mod shard;
 
 pub use catalog::{Catalog, CatalogEntry, GraphSource};
 pub use client::{Client, ClientError, GraphInfo, RouterClient, WireError, WireReport};
+pub use coalesce::{CoalesceConfig, Coalescer};
 pub use error::{Result, ServiceError};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics};

@@ -53,6 +53,20 @@
 //! becomes each query's *own* deadline (queries run in parallel inside
 //! the engine), so it bounds per-query solve time, not the whole batch's
 //! wall clock.
+//!
+//! `solve` requests for the same graph that arrive within a flush window
+//! may be **coalesced** into one shared engine execution (see
+//! [`crate::coalesce`]); the wire contract is unchanged — one response
+//! line per request, results bit-identical to an uncoalesced solve — but
+//! two observable consequences exist. First, `evict` (and a `load` that
+//! replaces a live graph) fails any requests still parked in that
+//! graph's window with the stable, retryable code `graph_evicted`, and
+//! `evict`'s response reports how many in an `"aborted"` field next to
+//! `"evicted"`. Second, `stats` gains a flat `"coalesce"` section
+//! (window/flush/bypass counters, shared-sweep lane occupancy, and a
+//! queue-wait histogram). Requests whose remaining `deadline_ms` is too
+//! tight to sit out a window bypass coalescing entirely; a `shutdown`
+//! flushes every open window before the acknowledgement is written.
 
 use std::time::Duration;
 

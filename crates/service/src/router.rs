@@ -850,6 +850,32 @@ fn merged_stats(inner: &Arc<Inner>) -> Json {
                         "solve_cache",
                     );
                 }
+                if let Some(coalesce) = stats.get("coalesce") {
+                    sum_into(
+                        &mut totals,
+                        coalesce,
+                        &[
+                            "enqueued",
+                            "bypassed",
+                            "overflow",
+                            "expired",
+                            "aborted",
+                            "flush_total",
+                            "flush_window",
+                            "flush_lanes",
+                            "flush_drain",
+                            "coalesced_requests",
+                            "group_requests",
+                            "cache_hits",
+                            "deduped",
+                            "executed",
+                            "shared_sweeps",
+                            "shared_lanes",
+                            "shared_roots",
+                        ],
+                        "coalesce",
+                    );
+                }
                 sum_into(&mut totals, &stats, &["connections"], "");
                 per_shard.push((backend.name.clone(), stats));
             }

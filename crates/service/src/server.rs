@@ -12,7 +12,8 @@
 //!                          bounded JobQueue ──✗ full → "overloaded"
 //!                                 │
 //!                    worker pool (N threads): solve/batch/load/burn
-//!                                 │
+//!                                 │  solve → per-graph coalescing
+//!                                 │  window (see [`crate::coalesce`])
 //!                                 ▼ per-connection write mutex
 //!                             response line
 //! ```
@@ -42,6 +43,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::catalog::Catalog;
+use crate::coalesce::{CoalesceConfig, Coalescer, Responder, Submit};
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::metrics::Metrics;
@@ -70,6 +72,10 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Socket poll interval: how quickly idle readers notice shutdown.
     pub poll_interval: Duration,
+    /// Cross-request solve coalescing (see [`crate::coalesce`]). On by
+    /// default; `mwc-server --no-coalesce` / `--coalesce-window-us` land
+    /// here.
+    pub coalesce: CoalesceConfig,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +90,7 @@ impl Default for ServerConfig {
             max_batch: 4096,
             max_connections: 1024,
             poll_interval: Duration::from_millis(50),
+            coalesce: CoalesceConfig::default(),
         }
     }
 }
@@ -154,6 +161,7 @@ struct Inner {
     metrics: Arc<Metrics>,
     config: ServerConfig,
     queue: JobQueue,
+    coalescer: Coalescer,
     shutdown: AtomicBool,
 }
 
@@ -161,6 +169,9 @@ impl Inner {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.ready.notify_all();
+        // Flush every coalescing window before anyone sees the shutdown
+        // acknowledged: no request may be left parked on a condvar.
+        self.coalescer.drain();
     }
 }
 
@@ -189,6 +200,7 @@ pub fn start(
         catalog,
         metrics,
         queue: JobQueue::new(config.queue_capacity.max(1)),
+        coalescer: Coalescer::new(config.coalesce.clone()),
         config,
         shutdown: AtomicBool::new(false),
     });
@@ -508,6 +520,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 // the metrics registry; graft them into the snapshot.
                 if let Json::Obj(fields) = &mut snap {
                     fields.insert("solve_cache".to_string(), cache_stats_json(&inner.catalog));
+                    fields.insert("coalesce".to_string(), inner.coalescer.stats_json());
                 }
                 let resp = ok_response(&request.id, vec![("stats", snap)]);
                 write_line(&out, &resp, true, &inner.metrics);
@@ -536,8 +549,19 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 write_line(&out, &resp, true, &inner.metrics);
             }
             Command::Evict { ref name } => {
+                // Fail everything parked in the graph's coalescing window
+                // *before* removing the entry, so no request waits on a
+                // queue whose graph is gone (stable `graph_evicted` code,
+                // retryable).
+                let aborted = inner.coalescer.abort(name);
                 let evicted = inner.catalog.evict(name);
-                let resp = ok_response(&request.id, vec![("evicted", Json::Bool(evicted))]);
+                let resp = ok_response(
+                    &request.id,
+                    vec![
+                        ("evicted", Json::Bool(evicted)),
+                        ("aborted", Json::from(aborted)),
+                    ],
+                );
                 write_line(&out, &resp, true, &inner.metrics);
             }
             Command::Shard { .. } => {
@@ -618,6 +642,10 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
 
 fn worker_loop(inner: &Arc<Inner>) {
     while let Some(job) = inner.queue.pop(&inner.shutdown, &inner.metrics) {
+        let job = match maybe_coalesce(inner, job) {
+            None => continue, // parked in (or answered by) a coalescing window
+            Some(job) => job,
+        };
         let id = job.request.id.clone();
         match execute(inner, &job) {
             Ok(payload) => write_line(&job.out, &ok_response(&id, payload), true, &inner.metrics),
@@ -630,6 +658,91 @@ fn worker_loop(inner: &Arc<Inner>) {
                 }
                 write_line(&job.out, &error_response(&id, &e), false, &inner.metrics)
             }
+        }
+    }
+}
+
+/// Routes a `solve` job through the coalescer. Returns the job back when
+/// it should run the classic direct path (coalescing disabled, or not a
+/// `solve`); `None` when the request was parked in a window, executed
+/// here after a bypass verdict, or already answered with an error.
+fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
+    if !inner.coalescer.enabled() {
+        return Some(job);
+    }
+    let Command::Solve { ref params, ref q } = job.request.command else {
+        return Some(job);
+    };
+    // Same admission accounting as the direct path: queue wait is charged
+    // against the deadline before anything else happens.
+    let remaining = match remaining_budget(params.deadline_ms, job.received.elapsed()) {
+        Ok(r) => r,
+        Err(e) => {
+            inner
+                .metrics
+                .queue_deadline_total
+                .fetch_add(1, Ordering::Relaxed);
+            write_line(
+                &job.out,
+                &error_response(&job.request.id, &e),
+                false,
+                &inner.metrics,
+            );
+            return None;
+        }
+    };
+    let entry = match inner.catalog.get(&params.graph) {
+        Ok(entry) => entry,
+        Err(e) => {
+            write_line(
+                &job.out,
+                &error_response(&job.request.id, &e),
+                false,
+                &inner.metrics,
+            );
+            return None;
+        }
+    };
+    let respond: Responder = {
+        let id = job.request.id.clone();
+        let out = Arc::clone(&job.out);
+        let metrics = Arc::clone(&inner.metrics);
+        let graph = params.graph.clone();
+        let solver = params.solver.clone();
+        Box::new(move |result| match result {
+            Ok(report) => {
+                metrics.record_solve(&solver, Duration::from_secs_f64(report.seconds));
+                let payload = vec![
+                    ("graph", Json::from(graph.as_str())),
+                    ("report", report_to_json(&report)),
+                ];
+                write_line(&out, &ok_response(&id, payload), true, &metrics);
+            }
+            Err(e) => {
+                if matches!(e, ServiceError::DeadlineExceeded { .. }) {
+                    metrics.queue_deadline_total.fetch_add(1, Ordering::Relaxed);
+                }
+                write_line(&out, &error_response(&id, &e), false, &metrics);
+            }
+        })
+    };
+    match inner.coalescer.submit(
+        &entry,
+        params.clone(),
+        q.clone(),
+        job.received,
+        remaining,
+        respond,
+    ) {
+        Submit::Queued => None,
+        Submit::Direct(respond) => {
+            // Bypass verdict (tight deadline, full queue, drain): run it
+            // uncoalesced on this worker, through the same responder.
+            let result = entry
+                .solve(&params.solver, q, &params.options(remaining))
+                .map_err(ServiceError::Core);
+            respond(result);
+            None
         }
     }
 }
@@ -772,6 +885,11 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
             ])
         }
         Command::Load { name, source } => {
+            // A load that replaces an entry invalidates the open
+            // coalescing window parked on the old engine: fail those
+            // requests retryably rather than answering from a stale (or
+            // torn) entry.
+            inner.coalescer.abort(name);
             let entry = inner.catalog.load(name, source)?;
             Ok(vec![
                 ("loaded", Json::from(name.as_str())),
