@@ -43,6 +43,20 @@
 //!                       multi-ms contended ws-q solves being batched;
 //!                       the 64-lane trigger still closes windows early
 //!                       under real pile-ups)
+//!
+//!   --trace-overhead    tracing-cost comparison: the same closed-loop
+//!                       workload against one in-process server (solve
+//!                       cache off so both runs do real pipeline work),
+//!                       once with every request untraced and once with
+//!                       every request carrying `"trace": true`. Merges a
+//!                       `trace_overhead` section (with per-run totals
+//!                       and `speedup` = traced / untraced throughput)
+//!                       into BENCH_service.json, and prints one traced
+//!                       span tree as a stage breakdown.
+//!   --metrics-out PATH  after the run, dump the server's Prometheus
+//!                       `metrics` exposition to PATH (CI artifact)
+//!   --slowlog-out PATH  after the run, dump the server's `slowlog`
+//!                       entries as a JSON array to PATH (CI artifact)
 //! ```
 //!
 //! Closed loop: each client keeps exactly one request in flight —
@@ -86,6 +100,9 @@ struct Args {
     shard_workers: usize,
     contend: bool,
     contend_window_us: u64,
+    trace_overhead: bool,
+    metrics_out: Option<String>,
+    slowlog_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -94,7 +111,8 @@ fn usage() -> ! {
          \x20      [--duration-secs N] [--solvers A,B,..] [--deadline-ms N]\n\
          \x20      [--out PATH] [--seed N]\n\
          \x20      [--router [--shards N] [--shard-workers N]]\n\
-         \x20      [--contend [--contend-window-us N]]"
+         \x20      [--contend [--contend-window-us N]]\n\
+         \x20      [--trace-overhead] [--metrics-out PATH] [--slowlog-out PATH]"
     );
     std::process::exit(2);
 }
@@ -114,6 +132,9 @@ fn parse_cli() -> Args {
         shard_workers: 1,
         contend: false,
         contend_window_us: 10_000,
+        trace_overhead: false,
+        metrics_out: None,
+        slowlog_out: None,
     };
     let mut clients_set = false;
     let mut it = std::env::args().skip(1);
@@ -143,6 +164,9 @@ fn parse_cli() -> Args {
             "--contend-window-us" => {
                 args.contend_window_us = value().parse().unwrap_or_else(|_| usage())
             }
+            "--trace-overhead" => args.trace_overhead = true,
+            "--metrics-out" => args.metrics_out = Some(value()),
+            "--slowlog-out" => args.slowlog_out = Some(value()),
             _ => usage(),
         }
     }
@@ -205,6 +229,10 @@ fn parse_cli() -> Args {
         eprintln!("--contend hammers exactly one graph");
         usage();
     }
+    if args.trace_overhead && (args.router || args.contend || args.addr.is_some()) {
+        eprintln!("--trace-overhead spawns its own server; it composes with none of --router, --contend, --addr");
+        usage();
+    }
     args
 }
 
@@ -227,6 +255,7 @@ fn client_loop(
     args: &Args,
     graphs: &[(String, usize)], // (name, node count)
     thread_id: u64,
+    traced: bool, // every request carries `"trace": true`
     stop: &AtomicBool,
     barrier: &Barrier,
 ) -> Vec<Sample> {
@@ -246,7 +275,21 @@ fn client_loop(
             continue;
         }
         let start = Instant::now();
-        let outcome = match client.solve(graph, &args.solvers[solver], &q, args.deadline_ms, None) {
+        let result = if traced {
+            client
+                .solve_traced(
+                    graph,
+                    &args.solvers[solver],
+                    &q,
+                    args.deadline_ms,
+                    None,
+                    false,
+                )
+                .map(|(r, _)| r)
+        } else {
+            client.solve(graph, &args.solvers[solver], &q, args.deadline_ms, None)
+        };
+        let outcome = match result {
             Ok(_) => Outcome::Ok,
             Err(ClientError::Server(e)) if e.code == "overloaded" => Outcome::Overloaded,
             Err(ClientError::Server(_)) => Outcome::OtherError,
@@ -272,7 +315,12 @@ fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
 /// Runs the closed-loop workload against `addr` for `args.duration` and
 /// returns (elapsed seconds, every sample). Connects all clients before
 /// the start barrier so a refused connection fails fast.
-fn measure(addr: &str, args: &Args, graphs: &[(String, usize)]) -> (f64, Vec<Sample>) {
+fn measure(
+    addr: &str,
+    args: &Args,
+    graphs: &[(String, usize)],
+    traced: bool,
+) -> (f64, Vec<Sample>) {
     let clients: Vec<Client> = (0..args.clients)
         .map(|i| {
             Client::connect(addr).unwrap_or_else(|e| panic!("loadgen client {i} connect: {e}"))
@@ -286,7 +334,9 @@ fn measure(addr: &str, args: &Args, graphs: &[(String, usize)]) -> (f64, Vec<Sam
             .enumerate()
             .map(|(i, client)| {
                 let (args, graphs, stop, barrier) = (args, graphs, &stop, &barrier);
-                scope.spawn(move || client_loop(client, args, graphs, i as u64, stop, barrier))
+                scope.spawn(move || {
+                    client_loop(client, args, graphs, i as u64, traced, stop, barrier)
+                })
             })
             .collect();
         barrier.wait(); // all clients connected: measurement starts now
@@ -310,6 +360,10 @@ fn main() {
     }
     if args.contend {
         contend_main(&args);
+        return;
+    }
+    if args.trace_overhead {
+        trace_overhead_main(&args);
         return;
     }
 
@@ -360,7 +414,7 @@ fn main() {
         graphs.iter().map(|g| g.0.as_str()).collect::<Vec<_>>()
     );
 
-    let (secs, samples) = measure(addr.as_str(), &args, &graphs);
+    let (secs, samples) = measure(addr.as_str(), &args, &graphs, false);
 
     // Aggregate.
     let total = samples.len();
@@ -418,6 +472,7 @@ fn main() {
 
     // Grab the server's own view before shutting it down.
     let server_stats = probe.stats().ok();
+    dump_observability(&mut probe, &args);
     if let Some(h) = handle {
         h.shutdown();
     }
@@ -518,7 +573,7 @@ fn router_run(args: &Args, corpus: &[(String, String)], shard_count: usize) -> (
         graphs.push((name.clone(), nodes));
     }
 
-    let result = measure(addr.as_str(), args, &graphs);
+    let result = measure(addr.as_str(), args, &graphs, false);
     handle.shutdown();
     for s in shards {
         s.shutdown();
@@ -925,6 +980,152 @@ fn contend_main(args: &Args) {
     eprintln!(
         "loadgen --contend: off {rps_off:.1} r/s, on {rps_on:.1} r/s, speedup {speedup:.2}x, \
          lane occupancy {lane_occupancy:.3} → {}",
+        args.out
+    );
+}
+
+/// Writes the `--metrics-out` / `--slowlog-out` artifacts (when asked)
+/// from the server behind `probe`: the Prometheus text exposition
+/// verbatim, and the slow-query entries as a JSON array.
+fn dump_observability(probe: &mut Client, args: &Args) {
+    if let Some(path) = &args.metrics_out {
+        let text = probe.metrics_text().expect("metrics exposition");
+        std::fs::write(path, text).expect("write --metrics-out");
+        eprintln!("loadgen: metrics exposition → {path}");
+    }
+    if let Some(path) = &args.slowlog_out {
+        let entries = probe.slowlog(None).expect("slowlog entries");
+        let mut text = Json::Arr(entries).to_string();
+        text.push('\n');
+        std::fs::write(path, text).expect("write --slowlog-out");
+        eprintln!("loadgen: slowlog → {path}");
+    }
+}
+
+/// `--trace-overhead`: untraced vs per-request-traced throughput on one
+/// in-process server, merged into `BENCH_service.json` as a
+/// `trace_overhead` section. The solve cache is off so both runs do real
+/// pipeline work; the untraced run measures tracing *compiled in but
+/// disabled* (one branch per stage plus the always-on stage histograms),
+/// the traced run adds span recording and the inline tree on every
+/// response.
+fn trace_overhead_main(args: &Args) {
+    let catalog = Arc::new(Catalog::new().with_solve_cache_bytes(0));
+    let mut graphs: Vec<(String, usize)> = Vec::new();
+    for (name, spec) in &args.graphs {
+        eprint!("loadgen --trace-overhead: loading {name} from {spec} ... ");
+        let entry = catalog.load(name, spec).expect("load graph");
+        eprintln!("{} nodes, {} edges", entry.num_nodes(), entry.num_edges());
+        graphs.push((name.clone(), entry.num_nodes()));
+    }
+    let config = ServerConfig {
+        // Half the default threshold: the closed-loop tail lands in the
+        // ring so the --slowlog-out artifact has content to inspect.
+        slowlog_threshold: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let handle = server::start(catalog, config, "127.0.0.1:0").expect("bind in-process server");
+    let addr = handle.local_addr().to_string();
+
+    eprintln!(
+        "loadgen --trace-overhead: {} clients, {:?} per run, solvers {:?}, solve cache off",
+        args.clients, args.duration, args.solvers
+    );
+    eprintln!("loadgen --trace-overhead: run 1/2 — tracing disabled");
+    let (secs_off, samples_off) = measure(addr.as_str(), args, &graphs, false);
+    eprintln!("loadgen --trace-overhead: run 2/2 — every request traced");
+    let (secs_on, samples_on) = measure(addr.as_str(), args, &graphs, true);
+
+    let (rps_off, off) = contend_totals(secs_off, &samples_off);
+    let (rps_on, on) = contend_totals(secs_on, &samples_on);
+    let speedup = if rps_off > 0.0 { rps_on / rps_off } else { 0.0 };
+
+    println!(
+        "{:<18} {:>10} {:>14} {:>9} {:>9}",
+        "configuration", "ok reqs", "thruput r/s", "p50 ms", "p99 ms"
+    );
+    for (label, totals, rps) in [("untraced", &off, rps_off), ("traced", &on, rps_on)] {
+        println!(
+            "{label:<18} {:>10} {rps:>14.1} {:>9.3} {:>9.3}",
+            totals.get("ok").and_then(Json::as_u64).unwrap_or(0),
+            totals.get("p50_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            totals.get("p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+    }
+    println!("traced/untraced throughput: {speedup:.3}x");
+
+    // One traced solve, rendered: the stage breakdown a human reads when
+    // chasing a slow query.
+    let mut probe = Client::connect(addr.as_str()).expect("connect probe");
+    let (name, nodes) = &graphs[0];
+    let q: Vec<NodeId> = vec![0, (*nodes - 1) as NodeId];
+    match probe.solve_traced(name, &args.solvers[0], &q, None, None, false) {
+        Ok((_, Some(tree))) => {
+            println!("sample span tree ({name}, {}):", args.solvers[0]);
+            print!("{}", mwc_service::trace::render_span_tree(&tree));
+        }
+        Ok((_, None)) => eprintln!("loadgen --trace-overhead: server elided the sample trace"),
+        Err(e) => eprintln!("loadgen --trace-overhead: sample traced solve failed: {e}"),
+    }
+    dump_observability(&mut probe, args);
+    handle.shutdown();
+
+    let section = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("clients", Json::from(args.clients)),
+                ("duration_secs", Json::from(args.duration.as_secs_f64())),
+                (
+                    "solvers",
+                    Json::Arr(
+                        args.solvers
+                            .iter()
+                            .map(|s| Json::from(s.as_str()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "graphs",
+                    Json::Arr(
+                        graphs
+                            .iter()
+                            .map(|(n, size)| {
+                                Json::obj([
+                                    ("name", Json::from(n.as_str())),
+                                    ("nodes", Json::from(*size)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("solve_cache", Json::from("disabled")),
+                ("seed", Json::from(args.seed)),
+            ]),
+        ),
+        ("untraced", off),
+        ("traced", on),
+        ("speedup", Json::from(speedup)),
+    ]);
+
+    // Merge into an existing document (the plain smoke run also writes
+    // BENCH_service.json) rather than clobbering it.
+    let mut doc = std::fs::read_to_string(&args.out)
+        .ok()
+        .and_then(|text| mwc_service::json::parse(&text).ok())
+        .and_then(|json| match json {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default();
+    doc.insert("trace_overhead".into(), section);
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(Json::Obj(doc).to_string().as_bytes())
+        .expect("write output");
+    file.write_all(b"\n").expect("write output");
+    eprintln!(
+        "loadgen --trace-overhead: untraced {rps_off:.1} r/s, traced {rps_on:.1} r/s \
+         ({speedup:.3}x) → {}",
         args.out
     );
 }

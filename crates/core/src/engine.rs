@@ -68,6 +68,7 @@ use crate::connector::Connector;
 use crate::error::{CoreError, Result};
 use crate::exact::{exact_minimum, shortest_path_connector, ExactConfig};
 use crate::local_search::{refine, LocalSearchConfig};
+use crate::trace::TraceContext;
 use crate::wsq::{
     batched_root_distances, RootPolicy, SharedRootDists, WienerSteiner, WsqConfig, WsqSolution,
 };
@@ -83,6 +84,7 @@ pub struct QueryOptions {
     deadline: Option<Duration>,
     max_size: Option<usize>,
     no_cache: bool,
+    trace: TraceContext,
 }
 
 impl QueryOptions {
@@ -132,6 +134,20 @@ impl QueryOptions {
     /// Whether the solve cache is bypassed for this query.
     pub fn cache_disabled(&self) -> bool {
         self.no_cache
+    }
+
+    /// Attaches a per-request [`TraceContext`]: the engine and the ws-q
+    /// pipeline record stage spans (`cache_lookup`, `feasibility`,
+    /// `root_sweep`, …) into it. The default (disabled) context costs
+    /// one branch per stage.
+    pub fn trace(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The per-request trace context (disabled by default).
+    pub fn trace_context(&self) -> &TraceContext {
+        &self.trace
     }
 }
 
@@ -662,6 +678,7 @@ impl ConnectorSolver for WsqSolver {
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
         cfg.kernel = cfg.kernel && ctx.kernel_enabled();
         cfg.batch = cfg.batch && ctx.batch_enabled();
+        cfg.trace = ctx.options().trace_context().clone();
         let sol = WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled_shared(
             q,
             ctx.workspace_pool(),
@@ -748,6 +765,7 @@ impl ConnectorSolver for LocalSearchSolver {
         cfg.parallel = cfg.parallel && !ctx.prefer_sequential();
         cfg.kernel = cfg.kernel && ctx.kernel_enabled();
         cfg.batch = cfg.batch && ctx.batch_enabled();
+        cfg.trace = ctx.options().trace_context().clone();
         let sol = WienerSteiner::with_config(ctx.graph(), cfg).solve_pooled_shared(
             q,
             ctx.workspace_pool(),
@@ -764,7 +782,10 @@ impl ConnectorSolver for LocalSearchSolver {
             let mut ls = self.local_search.clone();
             ls.deadline = ctx.deadline();
             ls.prefer_sequential = ls.prefer_sequential || ctx.prefer_sequential();
-            refine(ctx.graph(), q, &sol.connector, &ls)?
+            let span = ctx.options().trace_context().span("local_search");
+            let refined = refine(ctx.graph(), q, &sol.connector, &ls)?;
+            drop(span);
+            refined
         };
         Ok(SolveReport {
             solver: self.name().to_string(),
@@ -1232,7 +1253,11 @@ impl<'g> QueryEngine<'g> {
             (solver.to_string(), canonical, options.size_budget())
         });
         if let Some(key) = &key {
-            if let Some(mut report) = self.cache.get(key) {
+            let mut span = options.trace_context().span("cache_lookup");
+            let hit = self.cache.get(key);
+            span.counter("hit", hit.is_some() as u64);
+            drop(span);
+            if let Some(mut report) = hit {
                 report.seconds = start.elapsed().as_secs_f64();
                 return Ok(report);
             }
@@ -1369,7 +1394,11 @@ impl<'g> QueryEngine<'g> {
                 && gq.options.time_budget().is_none();
             let key = (gq.solver.clone(), canonical, gq.options.size_budget());
             if cacheable {
-                if let Some(mut report) = self.cache.get(&key) {
+                let mut span = gq.options.trace_context().span("cache_lookup");
+                let hit = self.cache.get(&key);
+                span.counter("hit", hit.is_some() as u64);
+                drop(span);
+                if let Some(mut report) = hit {
                     report.seconds = start.elapsed().as_secs_f64();
                     stats.cache_hits += 1;
                     slots[i] = Some(Ok(report));

@@ -26,7 +26,9 @@
 //! * [`lower_bound`] — certified combinatorial lower bounds (the Table 2
 //!   `GL` substitute for the paper's ILP, see DESIGN.md);
 //! * [`connector`] — the [`Connector`] solution type shared with the
-//!   baselines.
+//!   baselines;
+//! * [`trace`] — lock-free per-request span recording threaded through
+//!   [`QueryOptions`] for end-to-end request tracing.
 //!
 //! # Quickstart
 //!
@@ -62,6 +64,7 @@ pub mod local_search;
 pub mod lower_bound;
 pub mod objective;
 pub mod steiner;
+pub mod trace;
 pub mod wsq;
 pub mod wsq_approx;
 
@@ -73,6 +76,7 @@ pub use engine::{
 pub use error::{CoreError, Result};
 pub use ilp_solve::{program6_exact, program7_bounds, Program7Bounds, Program7Config};
 pub use steiner::{mehlhorn_steiner, SteinerTree};
+pub use trace::{SpanRecord, TraceContext, TraceRecorder, NO_PARENT};
 pub use wsq::{
     minimum_wiener_connector, CandidateRecord, RootPolicy, WienerSteiner, WsqConfig, WsqSolution,
 };

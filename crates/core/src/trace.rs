@@ -1,0 +1,386 @@
+//! Lock-free span recording for end-to-end request tracing.
+//!
+//! A [`TraceRecorder`] is a fixed-capacity, append-only arena of span
+//! records shared across every stage a request passes through (server
+//! admission → coalesce window → engine → ws-q pipeline → kernel).
+//! Writers claim a slot with one atomic `fetch_add` and publish the
+//! finished record through a `OnceLock`, so recording never takes a
+//! lock and never blocks another stage. When the arena is full further
+//! spans are counted as dropped rather than reallocating — a trace is
+//! diagnostic output, not ground truth.
+//!
+//! A [`TraceContext`] is the per-request handle threaded through
+//! `QueryOptions`: either disabled (a `None` recorder — the common
+//! case, costing one branch per stage) or carrying the recorder plus
+//! the span id that new spans should attach to as children.
+//!
+//! All timestamps are monotonic-clock offsets (microseconds) from the
+//! recorder's origin, which the creating layer pins to the moment the
+//! request was read off the wire.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Sentinel parent id for root spans.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Maximum spans retained per request. Plenty for the serving
+/// pipeline (a traced solve emits ~10); batches that overflow simply
+/// report a non-zero dropped count.
+pub const MAX_SPANS: usize = 256;
+
+/// One finished span: a named interval with a parent pointer and
+/// optional stage counters (lanes, sweeps, candidates, ...).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Slot index in the recorder; doubles as the span id.
+    pub id: u32,
+    /// Parent span id, or [`NO_PARENT`] for the request root.
+    pub parent: u32,
+    /// Static stage tag (`"root_sweep"`, `"feasibility"`, ...).
+    pub name: &'static str,
+    /// Microseconds from the recorder origin to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Stage counters attached by the emitting layer.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Fixed-capacity lock-free span arena for one request.
+pub struct TraceRecorder {
+    origin: Instant,
+    next: AtomicU32,
+    dropped: AtomicU32,
+    slots: Box<[OnceLock<SpanRecord>]>,
+}
+
+impl TraceRecorder {
+    /// New recorder whose origin is `origin` (usually the instant the
+    /// request was read off the wire, so span offsets line up with
+    /// wall-clock request latency).
+    pub fn with_origin(origin: Instant) -> Arc<Self> {
+        let slots = (0..MAX_SPANS).map(|_| OnceLock::new()).collect();
+        Arc::new(TraceRecorder {
+            origin,
+            next: AtomicU32::new(0),
+            dropped: AtomicU32::new(0),
+            slots,
+        })
+    }
+
+    /// New recorder with origin = now.
+    pub fn new() -> Arc<Self> {
+        Self::with_origin(Instant::now())
+    }
+
+    /// The instant span offsets are measured from.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Microseconds from the origin to `t` (0 if `t` precedes it).
+    pub fn offset_us(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.origin).as_micros() as u64
+    }
+
+    /// Claim a span id without publishing its record yet. Used by
+    /// layers that need to hand the id to children before the parent
+    /// interval is known (the request root). Returns `None` — and
+    /// counts a drop — when the arena is full.
+    pub fn reserve(&self) -> Option<u32> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if (id as usize) < self.slots.len() {
+            Some(id)
+        } else {
+            // Undo is not possible (another thread may have claimed
+            // past us); just cap the counter drift and count the drop.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Publish the record for a previously [`reserve`](Self::reserve)d id.
+    pub fn complete(
+        &self,
+        id: u32,
+        name: &'static str,
+        parent: u32,
+        start: Instant,
+        end: Instant,
+        counters: Vec<(&'static str, u64)>,
+    ) {
+        let Some(slot) = self.slots.get(id as usize) else {
+            return;
+        };
+        let rec = SpanRecord {
+            id,
+            parent,
+            name,
+            start_us: self.offset_us(start),
+            dur_us: end.saturating_duration_since(start).as_micros() as u64,
+            counters,
+        };
+        // A second complete() on the same id loses the race; that is a
+        // caller bug but must not panic the serving path.
+        let _ = slot.set(rec);
+    }
+
+    /// Record a finished span in one shot. Returns the span id unless
+    /// the arena was full.
+    pub fn record(
+        &self,
+        name: &'static str,
+        parent: u32,
+        start: Instant,
+        end: Instant,
+        counters: Vec<(&'static str, u64)>,
+    ) -> Option<u32> {
+        let id = self.reserve()?;
+        self.complete(id, name, parent, start, end, counters);
+        Some(id)
+    }
+
+    /// Spans that could not be recorded because the arena was full.
+    pub fn dropped(&self) -> u32 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every published span, ordered by start offset (ties
+    /// broken by id, i.e. claim order).
+    pub fn finish(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self.slots.iter().filter_map(|s| s.get().cloned()).collect();
+        out.sort_by_key(|r| (r.start_us, r.id));
+        out
+    }
+}
+
+impl fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("spans", &self.next.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Per-request tracing handle: a recorder plus the parent span id for
+/// spans emitted through this context. The default context is
+/// disabled and every operation on it is a single branch.
+#[derive(Clone, Default)]
+pub struct TraceContext {
+    recorder: Option<Arc<TraceRecorder>>,
+    parent: u32,
+}
+
+impl TraceContext {
+    /// The disabled context (same as `Default`).
+    pub fn disabled() -> Self {
+        TraceContext::default()
+    }
+
+    /// Context whose spans attach under `parent` (use [`NO_PARENT`]
+    /// for request roots).
+    pub fn attached(recorder: Arc<TraceRecorder>, parent: u32) -> Self {
+        TraceContext {
+            recorder: Some(recorder),
+            parent,
+        }
+    }
+
+    /// Is tracing active for this request?
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The shared recorder, when tracing is active.
+    pub fn recorder(&self) -> Option<&Arc<TraceRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Parent span id spans emitted through this context attach to.
+    pub fn parent(&self) -> u32 {
+        self.parent
+    }
+
+    /// A context emitting under a different parent span.
+    pub fn child_of(&self, parent: u32) -> Self {
+        TraceContext {
+            recorder: self.recorder.clone(),
+            parent,
+        }
+    }
+
+    /// Record a finished interval under this context's parent.
+    pub fn record(&self, name: &'static str, start: Instant, end: Instant) -> Option<u32> {
+        self.record_with(name, start, end, Vec::new())
+    }
+
+    /// Record a finished interval with counters.
+    pub fn record_with(
+        &self,
+        name: &'static str,
+        start: Instant,
+        end: Instant,
+        counters: Vec<(&'static str, u64)>,
+    ) -> Option<u32> {
+        let rec = self.recorder.as_ref()?;
+        rec.record(name, self.parent, start, end, counters)
+    }
+
+    /// Start a scoped span. Disabled contexts return an inert guard
+    /// without reading the clock.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            ctx: self.clone(),
+            name,
+            start: self.recorder.as_ref().map(|_| Instant::now()),
+            counters: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Debug for TraceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceContext")
+            .field("enabled", &self.enabled())
+            .field("parent", &self.parent)
+            .finish()
+    }
+}
+
+/// RAII span guard: records the interval from construction to drop
+/// (or [`finish`](Span::finish)). Inert when tracing is disabled.
+#[derive(Debug)]
+pub struct Span {
+    ctx: TraceContext,
+    name: &'static str,
+    start: Option<Instant>,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// Attach a counter to the span (no-op when disabled).
+    pub fn counter(&mut self, name: &'static str, value: u64) {
+        if self.start.is_some() {
+            self.counters.push((name, value));
+        }
+    }
+
+    /// End the span now and return its id (None when disabled or the
+    /// recorder is full).
+    pub fn finish(mut self) -> Option<u32> {
+        self.close(Instant::now())
+    }
+
+    fn close(&mut self, end: Instant) -> Option<u32> {
+        let start = self.start.take()?;
+        self.ctx
+            .record_with(self.name, start, end, std::mem::take(&mut self.counters))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.start.is_some() {
+            self.close(Instant::now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn records_spans_with_parents_and_counters() {
+        let rec = TraceRecorder::new();
+        let root = rec.reserve().unwrap();
+        let ctx = TraceContext::attached(rec.clone(), root);
+
+        let t0 = rec.origin();
+        let t1 = t0 + Duration::from_micros(100);
+        let t2 = t0 + Duration::from_micros(400);
+        let child = ctx.record("feasibility", t1, t2).unwrap();
+        rec.complete(
+            root,
+            "solve",
+            NO_PARENT,
+            t0,
+            t0 + Duration::from_micros(500),
+            vec![("roots", 3)],
+        );
+
+        let spans = rec.finish();
+        assert_eq!(spans.len(), 2);
+        let root_span = spans.iter().find(|s| s.id == root).unwrap();
+        assert_eq!(root_span.parent, NO_PARENT);
+        assert_eq!(root_span.name, "solve");
+        assert_eq!(root_span.start_us, 0);
+        assert_eq!(root_span.dur_us, 500);
+        assert_eq!(root_span.counters, vec![("roots", 3)]);
+        let child_span = spans.iter().find(|s| s.id == child).unwrap();
+        assert_eq!(child_span.parent, root);
+        assert_eq!(child_span.start_us, 100);
+        assert_eq!(child_span.dur_us, 300);
+    }
+
+    #[test]
+    fn full_recorder_counts_drops() {
+        let rec = TraceRecorder::new();
+        let ctx = TraceContext::attached(rec.clone(), NO_PARENT);
+        let t0 = rec.origin();
+        for _ in 0..MAX_SPANS {
+            assert!(ctx.record("s", t0, t0).is_some());
+        }
+        assert!(ctx.record("overflow", t0, t0).is_none());
+        assert!(ctx.record("overflow", t0, t0).is_none());
+        assert_eq!(rec.dropped(), 2);
+        assert_eq!(rec.finish().len(), MAX_SPANS);
+    }
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let ctx = TraceContext::disabled();
+        assert!(!ctx.enabled());
+        let mut span = ctx.span("anything");
+        span.counter("n", 1);
+        assert!(span.finish().is_none());
+        assert!(ctx.record("x", Instant::now(), Instant::now()).is_none());
+    }
+
+    #[test]
+    fn scoped_span_records_on_drop() {
+        let rec = TraceRecorder::new();
+        let ctx = TraceContext::attached(rec.clone(), NO_PARENT);
+        {
+            let mut span = ctx.span("scoped");
+            span.counter("lanes", 64);
+        }
+        let spans = rec.finish();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "scoped");
+        assert_eq!(spans[0].counters, vec![("lanes", 64)]);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless_up_to_capacity() {
+        let rec = TraceRecorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let ctx = TraceContext::attached(rec.clone(), NO_PARENT);
+                let origin = rec.origin();
+                s.spawn(move || {
+                    for _ in 0..16 {
+                        ctx.record("worker", origin, origin);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.finish().len(), 128);
+        assert_eq!(rec.dropped(), 0);
+    }
+}

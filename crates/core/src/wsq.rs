@@ -19,6 +19,7 @@
 //! exactly that with scoped threads.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,6 +33,7 @@ use crate::adjust::adjust_distances_with;
 use crate::connector::Connector;
 use crate::error::{CoreError, Result};
 use crate::steiner::{klein_ravi, steiner_tree, SteinerAlgorithm};
+use crate::trace::TraceContext;
 
 /// Which vertices Algorithm 1 tries as the root `r`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +112,13 @@ pub struct WsqConfig {
     /// parity tests); the flag exists for the `wsq_batched` bench section
     /// and A/B parity testing.
     pub batch: bool,
+    /// Per-request trace context: when enabled the solver records
+    /// `feasibility`, `root_sweep` (with lane/sweep/candidate counters
+    /// and accumulated `AdjustDistances` time), and `evaluate` stage
+    /// spans. Disabled (the default) it costs one branch per stage.
+    /// Typically set through
+    /// [`QueryOptions::trace`](crate::engine::QueryOptions::trace).
+    pub trace: TraceContext,
 }
 
 impl Default for WsqConfig {
@@ -126,6 +135,7 @@ impl Default for WsqConfig {
             deadline: None,
             kernel: true,
             batch: true,
+            trace: TraceContext::default(),
         }
     }
 }
@@ -252,13 +262,16 @@ impl<'g> WienerSteiner<'g> {
         // it costs nothing); every other configuration pays one BFS here.
         let feasibility_folded = use_batch && matches!(self.config.roots, RootPolicy::QueryOnly);
         if !feasibility_folded {
+            let span = self.config.trace.span("feasibility");
             let mut ws = pool.lease();
             let dist = if self.config.kernel {
                 ws.run_auto(g, q[0])
             } else {
                 ws.run(g, q[0])
             };
-            if q.iter().any(|&v| dist[v as usize] == INF_DIST) {
+            let infeasible = q.iter().any(|&v| dist[v as usize] == INF_DIST);
+            drop(span);
+            if infeasible {
                 return Err(CoreError::QueryNotConnectable);
             }
         }
@@ -266,15 +279,29 @@ impl<'g> WienerSteiner<'g> {
         let mut candidates: Vec<CandidateRecord> = Vec::new();
         let mut best: Option<(CandidateRecord, Vec<NodeId>)> = None;
 
+        // Stage accounting for the `root_sweep` span: multi-source sweeps
+        // run locally (prefetch-covered batches run none), lanes packed
+        // into them, kernel BFS levels expanded, and `AdjustDistances`
+        // time accumulated across sweep workers (reported as a counter —
+        // the adjusts run interleaved on several threads, so a child span
+        // would overlap its siblings).
+        let traced = self.config.trace.enabled();
+        let sweep_start = traced.then(Instant::now);
+        let mut local_sweeps = 0u64;
+        let mut local_lanes = 0u64;
+        let mut kernel_levels_base = 0u64;
+        let adjust_acc = AtomicU64::new(0);
+        let adjust_us = traced.then_some(&adjust_acc);
+
         // The candidate stream: identical root order (and therefore
         // identical records) whether the per-root distances come from
         // ⌈|roots|/64⌉ shared multi-source sweeps or one BFS per root.
         let mut all: Vec<EvaluatedCandidate> = Vec::new();
+        let mut ms: Option<PooledMsWorkspace<'_>> = None;
         if use_batch {
             // The multi-source workspace is leased lazily: when `shared`
             // covers every batch (the fully coalesced case) no sweep runs
             // here at all.
-            let mut ms: Option<PooledMsWorkspace<'_>> = None;
             for (bi, batch) in roots.chunks(MS_BFS_LANES).enumerate() {
                 // Cooperative deadline between batches; the first batch
                 // always runs so a feasible connector is still produced.
@@ -291,30 +318,72 @@ impl<'g> WienerSteiner<'g> {
                         .map(|r| Arc::clone(map.get(r).expect("checked above")))
                         .collect(),
                     _ => {
-                        let ms = ms.get_or_insert_with(|| pool.lease_multi());
+                        if ms.is_none() {
+                            let leased = pool.lease_multi();
+                            // Pooled workspaces carry counters across
+                            // leases; report this solve's delta only.
+                            kernel_levels_base = leased.levels_expanded();
+                            ms = Some(leased);
+                        }
+                        let ms = ms.as_mut().expect("leased above");
+                        local_sweeps += 1;
+                        local_lanes += batch.len() as u64;
                         batched_root_distances(g, batch, ms)
                             .into_iter()
                             .map(Arc::new)
                             .collect()
                     }
                 };
-                if bi == 0
-                    && feasibility_folded
-                    && q.iter().any(|&v| dists[0][v as usize] == INF_DIST)
-                {
-                    return Err(CoreError::QueryNotConnectable);
+                if bi == 0 && feasibility_folded {
+                    // The check rides lane 0 of the sweep that just ran,
+                    // so the marginal cost — and the span — is ~zero.
+                    let span = self.config.trace.span("feasibility");
+                    let infeasible = q.iter().any(|&v| dists[0][v as usize] == INF_DIST);
+                    drop(span);
+                    if infeasible {
+                        return Err(CoreError::QueryNotConnectable);
+                    }
                 }
-                all.extend(self.sweep_roots(g, &q, batch, Some(&dists), &lambdas, pool)?);
+                all.extend(self.sweep_roots(
+                    g,
+                    &q,
+                    batch,
+                    Some(&dists),
+                    &lambdas,
+                    pool,
+                    adjust_us,
+                )?);
             }
         } else {
-            all = self.sweep_roots(g, &q, &roots, None, &lambdas, pool)?;
+            all = self.sweep_roots(g, &q, &roots, None, &lambdas, pool, adjust_us)?;
         }
+        if let Some(t0) = sweep_start {
+            let kernel_levels = ms
+                .as_ref()
+                .map_or(0, |w| w.levels_expanded() - kernel_levels_base);
+            self.config.trace.record_with(
+                "root_sweep",
+                t0,
+                Instant::now(),
+                vec![
+                    ("roots", roots.len() as u64),
+                    ("sweeps", local_sweeps),
+                    ("lanes", local_lanes),
+                    ("kernel_levels", kernel_levels),
+                    ("candidates", all.len() as u64),
+                    ("adjust_us", adjust_acc.load(Ordering::Relaxed)),
+                ],
+            );
+        }
+        drop(ms);
 
         // Remark 1, engineered: Lemma 1 gives A(H,r)/2 ≤ W(H) ≤ A(H,r), so
         // a candidate with A > 2 · min_A cannot have a smaller Wiener index
         // than the argmin-A candidate — only the others need the (much more
         // expensive) exact evaluation. Candidates above the size threshold
         // fall back to the A-proxy, as in the paper's worst-case analysis.
+        let mut eval_span = self.config.trace.span("evaluate");
+        let mut exact_evals = 0u64;
         let min_a = all.iter().map(|(rec, _)| rec.a_value).min().unwrap_or(0);
         for (rec, nodes) in &mut all {
             // Past the deadline, fall back to the A-proxy for the remaining
@@ -333,6 +402,7 @@ impl<'g> WienerSteiner<'g> {
                 } else {
                     wiener::wiener_index_sequential(sub.graph())
                 };
+                exact_evals += 1;
             }
         }
         let total_candidates = all.len();
@@ -367,6 +437,8 @@ impl<'g> WienerSteiner<'g> {
             // above: a non-parallel solve must not spawn a pool here.
             None => connector.wiener_index_with(g, !self.config.parallel)?,
         };
+        eval_span.counter("exact_evals", exact_evals);
+        drop(eval_span);
         Ok(WsqSolution {
             connector,
             wiener_index,
@@ -383,6 +455,7 @@ impl<'g> WienerSteiner<'g> {
     /// (the batched path); chunk boundaries split both in lockstep, and
     /// the merge keeps root order, so threading never changes the
     /// candidate stream.
+    #[allow(clippy::too_many_arguments)]
     fn sweep_roots(
         &self,
         g: &Graph,
@@ -391,6 +464,7 @@ impl<'g> WienerSteiner<'g> {
         dists: Option<&[Arc<Vec<u32>>]>,
         lambdas: &[f64],
         pool: &WorkspacePool,
+        adjust_us: Option<&AtomicU64>,
     ) -> Result<Vec<EvaluatedCandidate>> {
         let threads = if self.config.parallel {
             std::thread::available_parallelism()
@@ -401,7 +475,7 @@ impl<'g> WienerSteiner<'g> {
             1
         };
         if threads <= 1 {
-            return run_roots(g, &self.config, q, roots, dists, lambdas, pool);
+            return run_roots(g, &self.config, q, roots, dists, lambdas, pool, adjust_us);
         }
         let chunk = roots.len().div_ceil(threads);
         let results: Vec<Result<Vec<EvaluatedCandidate>>> = std::thread::scope(|scope| {
@@ -412,7 +486,16 @@ impl<'g> WienerSteiner<'g> {
                     let dists_chunk = dists.map(|d| &d[i * chunk..i * chunk + chunk_roots.len()]);
                     let (q, lambdas, cfg) = (q, lambdas, &self.config);
                     scope.spawn(move || {
-                        run_roots(g, cfg, q, chunk_roots, dists_chunk, lambdas, pool)
+                        run_roots(
+                            g,
+                            cfg,
+                            q,
+                            chunk_roots,
+                            dists_chunk,
+                            lambdas,
+                            pool,
+                            adjust_us,
+                        )
                     })
                 })
                 .collect();
@@ -502,6 +585,7 @@ fn past_deadline(cfg: &WsqConfig) -> bool {
 /// are derived on demand from the distances by the deterministic
 /// [`canonical_parent`] rule — a pure function of the (kernel-invariant)
 /// distance array, so every configuration grafts identical paths.
+#[allow(clippy::too_many_arguments)]
 fn run_roots(
     g: &Graph,
     cfg: &WsqConfig,
@@ -510,6 +594,7 @@ fn run_roots(
     dists: Option<&[Arc<Vec<u32>>]>,
     lambdas: &[f64],
     pool: &WorkspacePool,
+    adjust_us: Option<&AtomicU64>,
 ) -> Result<Vec<EvaluatedCandidate>> {
     let mut out = Vec::with_capacity(roots.len() * lambdas.len());
     let mut ws = pool.lease();
@@ -557,7 +642,13 @@ fn run_roots(
                 steiner_tree(cfg.steiner, g, &terminals, weight)?
             };
             let final_tree = if cfg.adjust {
-                adjust_distances_with(g, &tree, r, dist_r, |v| canonical_parent(g, dist_r, v))
+                let t0 = adjust_us.map(|_| Instant::now());
+                let adjusted =
+                    adjust_distances_with(g, &tree, r, dist_r, |v| canonical_parent(g, dist_r, v));
+                if let (Some(acc), Some(t0)) = (adjust_us, t0) {
+                    acc.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                }
+                adjusted
             } else {
                 tree
             };

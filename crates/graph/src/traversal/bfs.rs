@@ -330,6 +330,12 @@ pub struct MsBfsWorkspace {
     reached: [usize; MS_BFS_LANES],
     lanes: usize,
     n: usize,
+    /// Cumulative sweeps executed over this workspace's lifetime
+    /// (pooled workspaces carry these across leases; readers report
+    /// deltas — the request-tracing layer's kernel counters).
+    sweeps_run: u64,
+    /// Cumulative BFS levels expanded across all sweeps.
+    levels_total: u64,
 }
 
 impl Default for MsBfsWorkspace {
@@ -345,6 +351,8 @@ impl Default for MsBfsWorkspace {
             reached: [0; MS_BFS_LANES],
             lanes: 0,
             n: 0,
+            sweeps_run: 0,
+            levels_total: 0,
         }
     }
 }
@@ -437,11 +445,27 @@ impl MsBfsWorkspace {
             }
             std::mem::swap(&mut self.frontier, &mut self.next_frontier);
         }
+        self.sweeps_run += 1;
+        self.levels_total += level as u64;
     }
 
     /// Number of lanes of the last run.
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Cumulative sweeps executed over this workspace's lifetime.
+    /// Monotonic across pooled leases; consumers (the tracing layer's
+    /// `root_sweep` counters) report deltas around their own use.
+    pub fn sweeps_run(&self) -> u64 {
+        self.sweeps_run
+    }
+
+    /// Cumulative BFS levels expanded across all sweeps of this
+    /// workspace's lifetime (same delta discipline as
+    /// [`Self::sweeps_run`]).
+    pub fn levels_expanded(&self) -> u64 {
+        self.levels_total
     }
 
     /// Distance from the `lane`-th source to `v` ([`INF_DIST`] where

@@ -3,9 +3,12 @@
 //! ```text
 //! mwc-client ADDR solve GRAPH SOLVER V,V,...  [--deadline-ms N]
 //!                                             [--max-size N] [--json]
+//!                                             [--trace]
 //! mwc-client ADDR batch GRAPH SOLVER V,V/V,V/... [--deadline-ms N] [--json]
 //! mwc-client ADDR graphs
 //! mwc-client ADDR stats
+//! mwc-client ADDR metrics
+//! mwc-client ADDR slowlog [--limit N]
 //! mwc-client ADDR load NAME SPEC
 //! mwc-client ADDR evict NAME
 //! mwc-client ADDR ping
@@ -14,6 +17,11 @@
 //!
 //! Reports print through `SolveReport`'s uniform renderers: the
 //! one-line human form by default, the JSON object form with `--json`.
+//! `--trace` asks the server to record a span tree for the solve and
+//! pretty-prints it after the report (or, with `--json`, emits the raw
+//! tree object on a second line). `metrics` prints the Prometheus text
+//! exposition verbatim; `slowlog` prints one line per slow request,
+//! newest first.
 
 use std::process::ExitCode;
 
@@ -24,8 +32,9 @@ use mwc_service::{Client, WireReport};
 fn usage() -> ! {
     eprintln!(
         "usage: mwc-client ADDR <solve GRAPH SOLVER V,V,.. | batch GRAPH SOLVER V,V/V,V/.. |\n\
-         \x20                 graphs | stats | load NAME SPEC | evict NAME | ping | shutdown>\n\
-         \x20      [--deadline-ms N] [--max-size N] [--json]"
+         \x20                 graphs | stats | metrics | slowlog | load NAME SPEC |\n\
+         \x20                 evict NAME | ping | shutdown>\n\
+         \x20      [--deadline-ms N] [--max-size N] [--json] [--trace] [--limit N]"
     );
     std::process::exit(2);
 }
@@ -66,6 +75,8 @@ fn main() -> ExitCode {
     let mut deadline_ms: Option<u64> = None;
     let mut max_size: Option<usize> = None;
     let mut json = false;
+    let mut trace = false;
+    let mut limit: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -83,7 +94,15 @@ fn main() -> ExitCode {
                     usage();
                 }
             }
+            "--limit" => {
+                i += 1;
+                limit = args.get(i).and_then(|v| v.parse().ok());
+                if limit.is_none() {
+                    usage();
+                }
+            }
             "--json" => json = true,
+            "--trace" => trace = true,
             "--help" | "-h" => usage(),
             other => positional.push(other),
         }
@@ -106,8 +125,19 @@ fn main() -> ExitCode {
             "solve" if positional.len() == 5 => {
                 let (graph, solver) = (positional[2], positional[3]);
                 let q = parse_query(positional[4]);
-                let r = client.solve(graph, solver, &q, deadline_ms, max_size)?;
-                print_report(graph, &r, json);
+                if trace {
+                    let (r, tree) =
+                        client.solve_traced(graph, solver, &q, deadline_ms, max_size, false)?;
+                    print_report(graph, &r, json);
+                    match tree {
+                        Some(t) if json => println!("{t}"),
+                        Some(t) => print!("{}", mwc_service::trace::render_span_tree(&t)),
+                        None => eprintln!("server returned no trace"),
+                    }
+                } else {
+                    let r = client.solve(graph, solver, &q, deadline_ms, max_size)?;
+                    print_report(graph, &r, json);
+                }
             }
             "batch" if positional.len() == 5 => {
                 let (graph, solver) = (positional[2], positional[3]);
@@ -133,6 +163,38 @@ fn main() -> ExitCode {
                 }
             }
             "stats" => println!("{}", client.stats()?),
+            "metrics" => print!("{}", client.metrics_text()?),
+            "slowlog" => {
+                let entries = client.slowlog(limit)?;
+                if entries.is_empty() {
+                    println!("slowlog empty");
+                }
+                for e in entries {
+                    if json {
+                        println!("{e}");
+                        continue;
+                    }
+                    let field = |k: &str| {
+                        e.get(k)
+                            .map(|v| match v {
+                                mwc_service::json::Json::Str(s) => s.clone(),
+                                other => other.to_string(),
+                            })
+                            .unwrap_or_else(|| "-".to_string())
+                    };
+                    println!(
+                        "#{:<6} {:>9}ms  {:<6} graph={} solver={} ok={} trace_id={} ({}s ago)",
+                        field("seq"),
+                        field("total_ms"),
+                        field("cmd"),
+                        field("graph"),
+                        field("solver"),
+                        field("ok"),
+                        field("trace_id"),
+                        field("age_s"),
+                    );
+                }
+            }
             "load" if positional.len() == 4 => {
                 let (nodes, edges) = client.load(positional[2], positional[3])?;
                 println!("loaded {} ({nodes} nodes, {edges} edges)", positional[2]);

@@ -3,7 +3,7 @@
 //! ```text
 //! mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N]
 //!            [--queue N] [--cache-bytes N] [--cache-ttl SECS]
-//!            [--no-coalesce] [--coalesce-window-us N]
+//!            [--no-coalesce] [--coalesce-window-us N] [--slowlog-ms N]
 //!
 //!   --listen ADDR     bind address (default 127.0.0.1:7171)
 //!   --graph NAME=SPEC load a graph at startup; repeatable. SPEC is
@@ -24,6 +24,9 @@
 //!   --coalesce-window-us N
 //!                     coalescing flush window in microseconds
 //!                     (default 300)
+//!   --slowlog-ms N    slow-query log threshold in milliseconds; any
+//!                     request slower than this lands in the `slowlog`
+//!                     ring (default 100, 0 logs everything)
 //! ```
 //!
 //! The process serves until a protocol `shutdown` command arrives
@@ -38,7 +41,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--empty] [--workers N] \
          [--queue N] [--cache-bytes N] [--cache-ttl SECS] [--no-coalesce] \
-         [--coalesce-window-us N]"
+         [--coalesce-window-us N] [--slowlog-ms N]"
     );
     std::process::exit(2);
 }
@@ -92,6 +95,10 @@ fn main() -> ExitCode {
                     .parse()
                     .unwrap_or_else(|_| usage());
                 config.coalesce.window = std::time::Duration::from_micros(us);
+            }
+            "--slowlog-ms" => {
+                let ms: u64 = value("--slowlog-ms").parse().unwrap_or_else(|_| usage());
+                config.slowlog_threshold = std::time::Duration::from_millis(ms);
             }
             "--empty" => empty = true,
             "--help" | "-h" => usage(),

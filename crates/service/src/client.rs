@@ -290,6 +290,35 @@ impl Client {
         )
     }
 
+    /// Like [`Client::solve_opts`], additionally asking the server to
+    /// trace the request: returns the report together with the inline
+    /// span tree (`None` only if the server elided it). Pretty-print the
+    /// tree with [`crate::trace::render_span_tree`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_traced(
+        &mut self,
+        graph: &str,
+        solver: &str,
+        q: &[NodeId],
+        deadline_ms: Option<u64>,
+        max_size: Option<usize>,
+        no_cache: bool,
+    ) -> Result<(WireReport, Option<Json>)> {
+        let mut fields =
+            Self::solve_fields("solve", graph, solver, deadline_ms, max_size, no_cache);
+        fields.push(("trace", Json::Bool(true)));
+        fields.push((
+            "q",
+            Json::Arr(q.iter().map(|&v| Json::from(u64::from(v))).collect()),
+        ));
+        let v = self.request(fields)?;
+        let report = WireReport::from_json(
+            v.get("report")
+                .ok_or_else(|| ClientError::Protocol("response missing report".into()))?,
+        )?;
+        Ok((report, v.get("trace").cloned()))
+    }
+
     /// Solves a batch; per-query failures come back in place.
     pub fn batch(
         &mut self,
@@ -355,6 +384,29 @@ impl Client {
         v.get("stats")
             .cloned()
             .ok_or_else(|| ClientError::Protocol("response missing stats".into()))
+    }
+
+    /// Fetches the Prometheus text exposition (`metrics` command).
+    pub fn metrics_text(&mut self) -> Result<String> {
+        let v = self.request(vec![("cmd", Json::from("metrics"))])?;
+        v.get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("response missing text".into()))
+    }
+
+    /// Fetches the newest slow-query entries (`slowlog` command), newest
+    /// first; `limit` caps the count.
+    pub fn slowlog(&mut self, limit: Option<usize>) -> Result<Vec<Json>> {
+        let mut fields = vec![("cmd", Json::from("slowlog"))];
+        if let Some(l) = limit {
+            fields.push(("limit", Json::from(l)));
+        }
+        let v = self.request(fields)?;
+        v.get("entries")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .ok_or_else(|| ClientError::Protocol("response missing entries".into()))
     }
 
     /// Lists cataloged graphs.
@@ -562,6 +614,18 @@ impl RouterClient {
     /// The merged `graphs` listing (each entry annotated with its shard).
     pub fn graphs(&mut self) -> Result<Vec<GraphInfo>> {
         self.with_retries(|c| c.graphs())
+    }
+
+    /// The router's own Prometheus text exposition (routing counters and
+    /// per-shard health; answered locally, no shard involved).
+    pub fn metrics_text(&mut self) -> Result<String> {
+        self.client.metrics_text()
+    }
+
+    /// The merged slow-query log: every reachable shard's entries,
+    /// annotated with the shard address and sorted slowest-first.
+    pub fn slowlog(&mut self, limit: Option<usize>) -> Result<Vec<Json>> {
+        self.with_retries(|c| c.slowlog(limit))
     }
 
     /// The `shard` introspection document: ring shape, per-shard health,

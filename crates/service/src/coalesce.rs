@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use mwc_core::{GroupQuery, SolveReport};
+use mwc_core::{GroupQuery, SolveReport, TraceContext};
 use mwc_graph::traversal::bfs::MS_BFS_LANES;
 use mwc_graph::NodeId;
 
@@ -113,6 +113,10 @@ struct Pending {
     received: Instant,
     /// When it entered the coalescing queue (queue-wait epoch).
     enqueued: Instant,
+    /// Per-request tracing handle (disabled for untraced requests); the
+    /// flush records the park time as a `coalesce_wait` span and threads
+    /// the context into the shared execution's options.
+    trace: TraceContext,
     respond: Responder,
 }
 
@@ -240,8 +244,11 @@ impl Coalescer {
 
     /// Offers one solve to the scheduler. `remaining` is the deadline
     /// residue the server already computed (deadline-expired requests
-    /// never get here). Returns [`Submit::Direct`] with the responder
-    /// handed back when the request should execute uncoalesced.
+    /// never get here); `trace` is the request's tracing handle
+    /// ([`TraceContext::disabled`] when untraced). Returns
+    /// [`Submit::Direct`] with the responder handed back when the
+    /// request should execute uncoalesced.
+    #[allow(clippy::too_many_arguments)]
     pub fn submit(
         &self,
         entry: &Arc<CatalogEntry>,
@@ -249,6 +256,7 @@ impl Coalescer {
         q: Vec<NodeId>,
         received: Instant,
         remaining: Option<Duration>,
+        trace: TraceContext,
         respond: Responder,
     ) -> Submit {
         if !self.config.enabled || self.shutdown.load(Ordering::SeqCst) {
@@ -292,6 +300,7 @@ impl Coalescer {
                 q,
                 received,
                 enqueued: Instant::now(),
+                trace,
                 respond,
             });
             self.enqueued_total.fetch_add(1, Ordering::Relaxed);
@@ -380,10 +389,14 @@ impl Coalescer {
                     }
                 },
             };
+            // The window park shows up in the request's span tree as
+            // `coalesce_wait`, then the shared execution records its own
+            // stages through the same context.
+            p.trace.record("coalesce_wait", p.enqueued, now);
             queries.push(GroupQuery::new(
                 p.params.solver.clone(),
                 p.q.clone(),
-                p.params.options(residue),
+                p.params.options(residue).trace(p.trace.clone()),
             ));
             live.push(p);
         }
@@ -551,6 +564,8 @@ mod tests {
             deadline_ms: None,
             max_size: None,
             no_cache: true,
+            trace: false,
+            trace_id: None,
         }
     }
 
@@ -587,7 +602,10 @@ mod tests {
             let q = q.clone();
             leaders.push(std::thread::spawn(move || {
                 let now = Instant::now();
-                matches!(co.submit(&entry, p, q, now, None, respond), Submit::Queued)
+                matches!(
+                    co.submit(&entry, p, q, now, None, TraceContext::disabled(), respond),
+                    Submit::Queued
+                )
             }));
             // Give the first submit time to claim leadership so the rest
             // join its window.
@@ -629,6 +647,7 @@ mod tests {
             vec![0, 33],
             Instant::now(),
             Some(Duration::from_millis(60)),
+            TraceContext::disabled(),
             respond,
         ) {
             Submit::Direct(_) => {}
@@ -643,6 +662,7 @@ mod tests {
             vec![0, 33],
             Instant::now(),
             None,
+            TraceContext::disabled(),
             respond,
         ) {
             Submit::Direct(_) => {}
@@ -669,6 +689,7 @@ mod tests {
                     vec![0, 33],
                     Instant::now(),
                     None,
+                    TraceContext::disabled(),
                     respond,
                 );
             })
@@ -704,6 +725,7 @@ mod tests {
                     vec![11, 24],
                     Instant::now(),
                     None,
+                    TraceContext::disabled(),
                     respond,
                 );
             })
@@ -745,6 +767,7 @@ mod tests {
             vec![0, 33],
             received,
             Some(Duration::from_millis(200)),
+            TraceContext::disabled(),
             respond,
         );
         let err = rx

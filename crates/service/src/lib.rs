@@ -22,8 +22,12 @@
 //!   [`solve_group`](mwc_core::QueryEngine::solve_group) execution whose
 //!   MS-BFS sweeps span requests, with deadline bypass, eviction abort
 //!   (`graph_evicted`), and drain-before-ack on shutdown;
-//! * [`metrics`] — request counters, queue gauges, and per-solver log₂
-//!   latency histograms, served by the `stats` command;
+//! * [`metrics`] — request counters, queue gauges, per-solver and
+//!   per-stage log₂ latency histograms, served by the `stats` command
+//!   and as Prometheus text by the `metrics` command;
+//! * [`trace`] — per-request span trees (`"trace": true` on
+//!   `solve`/`batch`), the always-on slow-query ring (`slowlog`
+//!   command), and trace-id propagation router → shard;
 //! * [`client`] — a blocking client used by `mwc-client`, the load
 //!   generator (`mwc_bench`'s `loadgen`), and the integration tests;
 //! * [`shard`] — the deterministic consistent-hash ring (virtual nodes)
@@ -75,6 +79,7 @@ pub mod protocol;
 pub mod router;
 pub mod server;
 pub mod shard;
+pub mod trace;
 
 pub use catalog::{Catalog, CatalogEntry, GraphSource};
 pub use client::{Client, ClientError, GraphInfo, RouterClient, WireError, WireReport};
@@ -85,3 +90,4 @@ pub use metrics::{Histogram, Metrics};
 pub use router::{RouterConfig, RouterHandle, ShardSpec};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use shard::HashRing;
+pub use trace::{SlowLog, SpanRecord, TraceContext, TraceRecorder};

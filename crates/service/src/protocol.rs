@@ -15,11 +15,15 @@
 //!               "error": { "code": <string>, "message": <string> } } "\n"
 //!
 //! solve     = { "cmd":"solve", "graph":G, "solver":S, "q":[v…],
-//!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool }
+//!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool,
+//!               "trace"?: bool, "trace_id"?: hex }
 //! batch     = { "cmd":"batch", "graph"?:G, "solver":S,
 //!               "queries":[ [v…] | {"graph":G2, "q":[v…]} … ],
-//!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool }
+//!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool,
+//!               "trace"?: bool, "trace_id"?: hex }
 //! stats     = { "cmd":"stats" }
+//! metrics   = { "cmd":"metrics" }             // Prometheus text exposition
+//! slowlog   = { "cmd":"slowlog", "limit"?: N }
 //! graphs    = { "cmd":"graphs" }
 //! shard     = { "cmd":"shard", "graph"?: G }  // ring/health introspection
 //! load      = { "cmd":"load", "name":N, "source":SPEC }
@@ -43,6 +47,16 @@
 //! `no_cache` forces a fresh solve even when the per-graph engine has the
 //! answer cached (see `QueryEngine`'s solve cache), and keeps the fresh
 //! result out of the cache.
+//!
+//! `trace` asks the server to record per-stage spans for this request
+//! and return them inline as a `"trace"` span tree (see
+//! [`crate::trace`]). `trace_id` names the request across processes: a
+//! client normally omits it (the entry process generates one), while
+//! `mwc-router` generates the id, forwards it to the owning shard, and
+//! nests the shard's tree under its own `route`/`backend_rtt` spans —
+//! same id on both sides. `slowlog` returns the newest entries of the
+//! server's slow-query ring (threshold `--slowlog-ms`), and `metrics`
+//! returns Prometheus text exposition in a `"text"` field.
 //!
 //! `deadline_ms` is the budget measured from the moment the server reads
 //! the request: time spent queued counts against it, the remainder maps
@@ -91,6 +105,14 @@ pub struct SolveParams {
     /// `QueryOptions::no_cache`): the solver always runs and the result
     /// is not stored. Defaults to `false` when absent.
     pub no_cache: bool,
+    /// Record per-stage spans and return them inline as a `"trace"`
+    /// span tree. Defaults to `false` (tracing costs one branch per
+    /// stage when off).
+    pub trace: bool,
+    /// Request-scoped trace id propagated over the wire (router →
+    /// shard). Absent on client-originated requests; the serving entry
+    /// process generates one.
+    pub trace_id: Option<String>,
 }
 
 impl SolveParams {
@@ -150,8 +172,15 @@ pub enum Command {
         /// The query entries, in request order.
         queries: Vec<BatchEntry>,
     },
-    /// Metrics snapshot.
+    /// Metrics snapshot (JSON).
     Stats,
+    /// Prometheus text exposition of the same metrics.
+    Metrics,
+    /// Newest slow-query ring entries (optionally capped at `limit`).
+    Slowlog {
+        /// Maximum number of entries to return; absent → all retained.
+        limit: Option<usize>,
+    },
     /// List cataloged graphs.
     Graphs,
     /// Shard-ring introspection: assignments and backend health. Answered
@@ -254,6 +283,8 @@ fn solve_params(obj: &Json) -> Result<SolveParams, ServiceError> {
         deadline_ms: opt_u64(obj, "deadline_ms")?,
         max_size: opt_u64(obj, "max_size")?.map(|m| m as usize),
         no_cache: opt_bool(obj, "no_cache")?,
+        trace: opt_bool(obj, "trace")?,
+        trace_id: opt_str(obj, "trace_id")?,
     })
 }
 
@@ -266,6 +297,8 @@ fn batch_params(obj: &Json) -> Result<SolveParams, ServiceError> {
         deadline_ms: opt_u64(obj, "deadline_ms")?,
         max_size: opt_u64(obj, "max_size")?.map(|m| m as usize),
         no_cache: opt_bool(obj, "no_cache")?,
+        trace: opt_bool(obj, "trace")?,
+        trace_id: opt_str(obj, "trace_id")?,
     })
 }
 
@@ -337,6 +370,10 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             Command::Batch { params, queries }
         }
         "stats" => Command::Stats,
+        "metrics" => Command::Metrics,
+        "slowlog" => Command::Slowlog {
+            limit: opt_u64(&obj, "limit")?.map(|l| l as usize),
+        },
         "graphs" => Command::Graphs,
         "shard" => Command::Shard {
             graph: opt_str(&obj, "graph")?,
@@ -451,6 +488,34 @@ mod tests {
             Command::Solve { params, .. } => {
                 assert!(!params.no_cache);
                 assert!(!params.options(None).cache_disabled());
+                assert!(!params.trace);
+                assert_eq!(params.trace_id, None);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace_fields() {
+        let r = parse_request(
+            r#"{"cmd":"solve","graph":"g","solver":"s","q":[0,1],"trace":true,"trace_id":"00c0ffee00c0ffee"}"#,
+        )
+        .unwrap();
+        match r.command {
+            Command::Solve { params, .. } => {
+                assert!(params.trace);
+                assert_eq!(params.trace_id.as_deref(), Some("00c0ffee00c0ffee"));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let r = parse_request(
+            r#"{"cmd":"batch","graph":"g","solver":"s","queries":[[0,1]],"trace":true}"#,
+        )
+        .unwrap();
+        match r.command {
+            Command::Batch { params, .. } => {
+                assert!(params.trace);
+                assert_eq!(params.trace_id, None);
             }
             other => panic!("unexpected command {other:?}"),
         }
@@ -460,6 +525,12 @@ mod tests {
     fn parses_the_rest_of_the_grammar() {
         let cases = [
             (r#"{"cmd":"stats"}"#, Command::Stats),
+            (r#"{"cmd":"metrics"}"#, Command::Metrics),
+            (r#"{"cmd":"slowlog"}"#, Command::Slowlog { limit: None }),
+            (
+                r#"{"cmd":"slowlog","limit":5}"#,
+                Command::Slowlog { limit: Some(5) },
+            ),
             (r#"{"cmd":"graphs"}"#, Command::Graphs),
             (r#"{"cmd":"ping"}"#, Command::Ping),
             (r#"{"cmd":"shutdown"}"#, Command::Shutdown),

@@ -53,7 +53,7 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::client::Client;
 use crate::error::ServiceError;
@@ -63,6 +63,7 @@ use crate::protocol::{
 };
 use crate::server::{read_line_bounded, salvage_id, LineRead};
 use crate::shard::{HashRing, DEFAULT_VNODES};
+use crate::trace::next_trace_id;
 
 /// One backend shard: its ring name and dial address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -687,6 +688,27 @@ fn handle_request(
             metrics.local_total.fetch_add(1, Ordering::Relaxed);
             write_raw(out, &ok_response(&id, merged_graphs(inner)));
         }
+        Command::Metrics => {
+            metrics.local_total.fetch_add(1, Ordering::Relaxed);
+            write_raw(
+                out,
+                &ok_response(&id, vec![("text", Json::Str(router_prometheus(inner)))]),
+            );
+        }
+        Command::Slowlog { limit } => {
+            metrics.local_total.fetch_add(1, Ordering::Relaxed);
+            write_raw(out, &ok_response(&id, merged_slowlog(inner, limit)));
+        }
+        Command::Solve { ref params, .. } if params.trace => {
+            relay_traced(
+                inner,
+                out,
+                inner.backend_for(&params.graph),
+                line,
+                &id,
+                params,
+            );
+        }
         Command::Solve { ref params, .. } => {
             relay(inner, out, inner.backend_for(&params.graph), line, &id);
         }
@@ -730,6 +752,231 @@ fn relay(
             write_raw(out, &error_response(id, &e));
         }
     }
+}
+
+/// Forwards a traced `solve`: pins the trace id (generated here when the
+/// client did not send one) into the forwarded line so the shard's spans
+/// carry the same id, then nests the shard's returned span tree under
+/// router-built `route`/`backend_rtt` spans. Span offsets inside the
+/// shard's subtree are relative to the *shard's* read instant (clocks
+/// are not synchronized across processes); durations compose — the
+/// shard's root is ≤ `backend_rtt`, which is ≤ `route`.
+fn relay_traced(
+    inner: &Arc<Inner>,
+    out: &Mutex<TcpStream>,
+    backend: &Backend,
+    line: &str,
+    id: &Option<Json>,
+    params: &SolveParams,
+) {
+    inner
+        .metrics
+        .forwarded_total
+        .fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let trace_id = params.trace_id.clone().unwrap_or_else(next_trace_id);
+    let fwd = match crate::json::parse(line) {
+        Ok(Json::Obj(mut fields)) => {
+            fields.insert("trace_id".to_string(), Json::from(trace_id.as_str()));
+            Json::Obj(fields).to_string()
+        }
+        // parse_request already accepted the line; only reachable if the
+        // two parsers disagree — forward untouched rather than fail.
+        _ => line.to_string(),
+    };
+    let t_fwd = Instant::now();
+    match backend.forward(&inner.config, &fwd) {
+        Ok(response) => {
+            let rtt = t_fwd.elapsed();
+            write_raw(
+                out,
+                &wrap_routed_trace(&response, &trace_id, backend, t0, t_fwd, rtt),
+            );
+        }
+        Err(e) => {
+            inner
+                .metrics
+                .shard_unavailable_total
+                .fetch_add(1, Ordering::Relaxed);
+            write_raw(out, &error_response(id, &e));
+        }
+    }
+}
+
+/// Rewrites a traced backend response: the shard's span tree (if any) is
+/// re-rooted under the router's `route` → `backend_rtt` spans, keeping
+/// every other response field (id included) untouched. Responses that do
+/// not parse or carry no trace relay verbatim.
+fn wrap_routed_trace(
+    response: &str,
+    trace_id: &str,
+    backend: &Backend,
+    t0: Instant,
+    t_fwd: Instant,
+    rtt: Duration,
+) -> String {
+    let Ok(Json::Obj(mut fields)) = crate::json::parse(response) else {
+        return response.to_string();
+    };
+    let shard_trace = fields.remove("trace");
+    let (shard_root, dropped) = match &shard_trace {
+        Some(t) => (
+            t.get("root").cloned().unwrap_or(Json::Null),
+            t.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+        ),
+        None => (Json::Null, 0),
+    };
+    let mut rtt_children = Vec::new();
+    if !matches!(shard_root, Json::Null) {
+        rtt_children.push(shard_root);
+    }
+    let rtt_node = Json::obj([
+        ("name", Json::from("backend_rtt")),
+        (
+            "start_us",
+            Json::from(t_fwd.duration_since(t0).as_micros() as u64),
+        ),
+        ("dur_us", Json::from(rtt.as_micros() as u64)),
+        ("shard", Json::from(backend.name.as_str())),
+        ("children", Json::Arr(rtt_children)),
+    ]);
+    let root = Json::obj([
+        ("name", Json::from("route")),
+        ("start_us", Json::from(0u64)),
+        ("dur_us", Json::from(t0.elapsed().as_micros() as u64)),
+        ("children", Json::Arr(vec![rtt_node])),
+    ]);
+    fields.insert(
+        "trace".to_string(),
+        Json::obj([
+            ("trace_id", Json::from(trace_id)),
+            ("dropped", Json::from(dropped)),
+            ("root", root),
+        ]),
+    );
+    Json::Obj(fields).to_string()
+}
+
+/// Fans `slowlog` out to every shard and merges the rings: entries are
+/// annotated with their shard, ordered slowest-first, and capped at
+/// `limit` after the merge (each shard also applied it, bounding the
+/// transfer). Unreachable shards are listed, so a partial merge is
+/// visibly partial.
+fn merged_slowlog(inner: &Arc<Inner>, limit: Option<usize>) -> Vec<(&'static str, Json)> {
+    let line = match limit {
+        Some(l) => format!(r#"{{"cmd":"slowlog","limit":{l}}}"#),
+        None => r#"{"cmd":"slowlog"}"#.to_string(),
+    };
+    let mut entries: Vec<Json> = Vec::new();
+    let mut unavailable: Vec<Json> = Vec::new();
+    for (backend, outcome) in fan_out_all(inner, &line) {
+        match outcome {
+            Ok(response) => {
+                let listed = crate::json::parse(&response)
+                    .ok()
+                    .and_then(|v| v.get("entries").cloned());
+                if let Some(Json::Arr(es)) = listed {
+                    for mut e in es {
+                        if let Json::Obj(f) = &mut e {
+                            f.insert("shard".to_string(), Json::from(backend.name.as_str()));
+                        }
+                        entries.push(e);
+                    }
+                }
+            }
+            Err(_) => {
+                inner
+                    .metrics
+                    .shard_unavailable_total
+                    .fetch_add(1, Ordering::Relaxed);
+                unavailable.push(Json::from(backend.name.as_str()));
+            }
+        }
+    }
+    entries.sort_by(|a, b| {
+        let ms = |e: &Json| e.get("total_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        ms(b)
+            .partial_cmp(&ms(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if let Some(l) = limit {
+        entries.truncate(l);
+    }
+    vec![
+        ("entries", Json::Arr(entries)),
+        ("shards_unavailable", Json::Arr(unavailable)),
+    ]
+}
+
+/// Prometheus text exposition of the router's own counters and per-shard
+/// health (the shards serve their full exposition themselves on their
+/// `metrics` command).
+fn router_prometheus(inner: &Arc<Inner>) -> String {
+    let m = &inner.metrics;
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, v: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+        ));
+    };
+    counter(
+        "mwc_router_requests_total",
+        "Requests read by the router.",
+        m.requests_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "mwc_router_forwarded_total",
+        "Requests forwarded to a backend shard.",
+        m.forwarded_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "mwc_router_local_total",
+        "Requests answered by the router itself.",
+        m.local_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "mwc_router_bad_request_total",
+        "Requests rejected as malformed.",
+        m.bad_request_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "mwc_router_shard_unavailable_total",
+        "Requests or batch entries failed with shard_unavailable.",
+        m.shard_unavailable_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "mwc_router_connections_total",
+        "Client connections accepted.",
+        m.connections_total.load(Ordering::Relaxed),
+    );
+    out.push_str("# HELP mwc_router_shard_healthy Shard health (1 = accepting, 0 = ejected).\n");
+    out.push_str("# TYPE mwc_router_shard_healthy gauge\n");
+    for b in &inner.backends {
+        out.push_str(&format!(
+            "mwc_router_shard_healthy{{shard=\"{}\"}} {}\n",
+            b.name,
+            u64::from(b.healthy())
+        ));
+    }
+    out.push_str("# HELP mwc_router_shard_forwarded_total Requests forwarded per shard.\n");
+    out.push_str("# TYPE mwc_router_shard_forwarded_total counter\n");
+    for b in &inner.backends {
+        out.push_str(&format!(
+            "mwc_router_shard_forwarded_total{{shard=\"{}\"}} {}\n",
+            b.name,
+            b.forwarded_total.load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str("# HELP mwc_router_shard_failed_total Forward failures per shard.\n");
+    out.push_str("# TYPE mwc_router_shard_failed_total counter\n");
+    for b in &inner.backends {
+        out.push_str(&format!(
+            "mwc_router_shard_failed_total{{shard=\"{}\"}} {}\n",
+            b.name,
+            b.failed_total.load(Ordering::Relaxed)
+        ));
+    }
+    out
 }
 
 /// The `shard` introspection payload: ring shape, per-shard health, and
@@ -1172,6 +1419,8 @@ mod tests {
             deadline_ms: Some(250),
             max_size: None,
             no_cache: true,
+            trace: false,
+            trace_id: None,
         };
         let queries = vec![
             crate::protocol::BatchEntry {

@@ -49,6 +49,11 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
     error_json, error_response, ok_response, parse_request, report_to_json, Command, Request,
+    SolveParams,
+};
+use crate::trace::{
+    next_trace_id, span_tree, SlowLog, TraceContext, TraceRecorder, DEFAULT_SLOWLOG_CAPACITY,
+    DEFAULT_SLOWLOG_MS, NO_PARENT,
 };
 
 /// Server tuning knobs.
@@ -76,6 +81,12 @@ pub struct ServerConfig {
     /// default; `mwc-server --no-coalesce` / `--coalesce-window-us` land
     /// here.
     pub coalesce: CoalesceConfig,
+    /// Requests whose total latency (read → response written) crosses
+    /// this threshold land in the slow-query ring served by the
+    /// `slowlog` command (`mwc-server --slowlog-ms` lands here).
+    pub slowlog_threshold: Duration,
+    /// Slow-query ring capacity: newest entries evict oldest beyond it.
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +102,8 @@ impl Default for ServerConfig {
             max_connections: 1024,
             poll_interval: Duration::from_millis(50),
             coalesce: CoalesceConfig::default(),
+            slowlog_threshold: Duration::from_millis(DEFAULT_SLOWLOG_MS),
+            slowlog_capacity: DEFAULT_SLOWLOG_CAPACITY,
         }
     }
 }
@@ -162,6 +175,7 @@ struct Inner {
     config: ServerConfig,
     queue: JobQueue,
     coalescer: Coalescer,
+    slowlog: SlowLog,
     shutdown: AtomicBool,
 }
 
@@ -201,6 +215,7 @@ pub fn start(
         metrics,
         queue: JobQueue::new(config.queue_capacity.max(1)),
         coalescer: Coalescer::new(config.coalesce.clone()),
+        slowlog: SlowLog::new(config.slowlog_threshold, config.slowlog_capacity),
         config,
         shutdown: AtomicBool::new(false),
     });
@@ -248,6 +263,11 @@ impl ServerHandle {
     /// The server's metrics registry.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.inner.metrics
+    }
+
+    /// The server's slow-query ring (what the `slowlog` command serves).
+    pub fn slowlog(&self) -> &SlowLog {
+        &self.inner.slowlog
     }
 
     /// Whether shutdown has been initiated (by [`Self::shutdown`] or a
@@ -368,9 +388,22 @@ fn write_line(out: &Mutex<TcpStream>, line: &str, ok: bool, metrics: &Metrics) {
     let mut buf = Vec::with_capacity(line.len() + 1);
     buf.extend_from_slice(line.as_bytes());
     buf.push(b'\n');
+    let t = Instant::now();
     let mut stream = out.lock().expect("connection write lock poisoned");
     let _ = stream.write_all(&buf);
     let _ = stream.flush();
+    drop(stream);
+    metrics.record_stage("write", t.elapsed());
+}
+
+/// Decrements `connections_live` when the reader thread exits, whatever
+/// path it took out of `serve_connection`.
+struct LiveConnection<'a>(&'a Metrics);
+
+impl Drop for LiveConnection<'_> {
+    fn drop(&mut self) {
+        self.0.connections_live.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Best-effort `id` recovery from a line that failed request parsing, so
@@ -442,6 +475,11 @@ pub(crate) fn read_line_bounded(
 }
 
 fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    inner
+        .metrics
+        .connections_live
+        .fetch_add(1, Ordering::Relaxed);
+    let _live = LiveConnection(&inner.metrics);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
@@ -491,7 +529,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
             continue;
         }
         inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-        let request = match parse_request(line) {
+        let mut request = match parse_request(line) {
             Ok(r) => r,
             Err(e) => {
                 inner
@@ -507,6 +545,16 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 continue;
             }
         };
+        // Pin the trace id at the entry point: every layer below — the
+        // span tree, the slow log, the coalescing window — reads the
+        // same one. The router forwards its own, so a shard keeps it.
+        if let Command::Solve { ref mut params, .. } | Command::Batch { ref mut params, .. } =
+            request.command
+        {
+            if params.trace && params.trace_id.is_none() {
+                params.trace_id = Some(next_trace_id());
+            }
+        }
         match request.command {
             // Control plane: answered inline, never queued, so they work
             // even under overload.
@@ -523,6 +571,25 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                     fields.insert("coalesce".to_string(), inner.coalescer.stats_json());
                 }
                 let resp = ok_response(&request.id, vec![("stats", snap)]);
+                write_line(&out, &resp, true, &inner.metrics);
+            }
+            Command::Metrics => {
+                let text = inner.metrics.render_prometheus(inner.queue.capacity);
+                let resp = ok_response(&request.id, vec![("text", Json::Str(text))]);
+                write_line(&out, &resp, true, &inner.metrics);
+            }
+            Command::Slowlog { limit } => {
+                let entries = inner.slowlog.snapshot(limit.unwrap_or(usize::MAX));
+                let resp = ok_response(
+                    &request.id,
+                    vec![
+                        (
+                            "threshold_ms",
+                            Json::from(inner.slowlog.threshold().as_millis() as u64),
+                        ),
+                        ("entries", Json::Arr(entries)),
+                    ],
+                );
                 write_line(&out, &resp, true, &inner.metrics);
             }
             Command::Graphs => {
@@ -642,13 +709,23 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
 
 fn worker_loop(inner: &Arc<Inner>) {
     while let Some(job) = inner.queue.pop(&inner.shutdown, &inner.metrics) {
+        // Queue wait, worker pickup included, is the admission stage.
+        inner
+            .metrics
+            .record_stage("admission", job.received.elapsed());
         let job = match maybe_coalesce(inner, job) {
             None => continue, // parked in (or answered by) a coalescing window
             Some(job) => job,
         };
         let id = job.request.id.clone();
+        // Log before writing: once the response is on the wire the client
+        // may immediately ask `slowlog` (served by the reader thread) and
+        // must see this request.
         match execute(inner, &job) {
-            Ok(payload) => write_line(&job.out, &ok_response(&id, payload), true, &inner.metrics),
+            Ok(payload) => {
+                observe_slow(inner, &job, true);
+                write_line(&job.out, &ok_response(&id, payload), true, &inner.metrics);
+            }
             Err(e) => {
                 if matches!(e, ServiceError::DeadlineExceeded { .. }) {
                     inner
@@ -656,10 +733,59 @@ fn worker_loop(inner: &Arc<Inner>) {
                         .queue_deadline_total
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                write_line(&job.out, &error_response(&id, &e), false, &inner.metrics)
+                observe_slow(inner, &job, false);
+                write_line(&job.out, &error_response(&id, &e), false, &inner.metrics);
             }
         }
     }
+}
+
+/// Feeds the slow-query ring after a data-plane response is written:
+/// the entry is built only when the total latency crossed the threshold.
+fn observe_slow(inner: &Inner, job: &Job, ok: bool) {
+    let total = job.received.elapsed();
+    inner
+        .slowlog
+        .observe(total, || slowlog_entry(&job.request.command, ok));
+}
+
+/// The slow-query ring's JSON shape for one request (before `SlowLog`
+/// adds `seq`/`total_ms`/`age_s`).
+fn slowlog_entry(command: &Command, ok: bool) -> Json {
+    let mut fields: Vec<(&'static str, Json)> = Vec::new();
+    match command {
+        Command::Solve { params, q } => {
+            fields.push(("cmd", Json::from("solve")));
+            fields.push(("graph", Json::from(params.graph.as_str())));
+            fields.push(("solver", Json::from(params.solver.as_str())));
+            fields.push(("q_len", Json::from(q.len())));
+            if let Some(id) = &params.trace_id {
+                fields.push(("trace_id", Json::from(id.as_str())));
+            }
+        }
+        Command::Batch { params, queries } => {
+            fields.push(("cmd", Json::from("batch")));
+            if !params.graph.is_empty() {
+                fields.push(("graph", Json::from(params.graph.as_str())));
+            }
+            fields.push(("solver", Json::from(params.solver.as_str())));
+            fields.push(("queries", Json::from(queries.len())));
+            if let Some(id) = &params.trace_id {
+                fields.push(("trace_id", Json::from(id.as_str())));
+            }
+        }
+        Command::Load { name, .. } => {
+            fields.push(("cmd", Json::from("load")));
+            fields.push(("graph", Json::from(name.as_str())));
+        }
+        Command::Burn { ms } => {
+            fields.push(("cmd", Json::from("burn")));
+            fields.push(("burn_ms", Json::from(*ms)));
+        }
+        _ => fields.push(("cmd", Json::from("other"))),
+    }
+    fields.push(("ok", Json::Bool(ok)));
+    Json::obj(fields)
 }
 
 /// Routes a `solve` job through the coalescer. Returns the job back when
@@ -682,6 +808,7 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
                 .metrics
                 .queue_deadline_total
                 .fetch_add(1, Ordering::Relaxed);
+            observe_slow(inner, &job, false);
             write_line(
                 &job.out,
                 &error_response(&job.request.id, &e),
@@ -694,6 +821,7 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
     let entry = match inner.catalog.get(&params.graph) {
         Ok(entry) => entry,
         Err(e) => {
+            observe_slow(inner, &job, false);
             write_line(
                 &job.out,
                 &error_response(&job.request.id, &e),
@@ -703,27 +831,63 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
             return None;
         }
     };
+    let trace = begin_trace(params, job.received);
+    let ctx = trace.as_ref().map(RequestTrace::ctx).unwrap_or_default();
     let respond: Responder = {
         let id = job.request.id.clone();
         let out = Arc::clone(&job.out);
-        let metrics = Arc::clone(&inner.metrics);
+        let inner = Arc::clone(inner);
         let graph = params.graph.clone();
         let solver = params.solver.clone();
-        Box::new(move |result| match result {
-            Ok(report) => {
-                metrics.record_solve(&solver, Duration::from_secs_f64(report.seconds));
-                let payload = vec![
-                    ("graph", Json::from(graph.as_str())),
-                    ("report", report_to_json(&report)),
-                ];
-                write_line(&out, &ok_response(&id, payload), true, &metrics);
-            }
-            Err(e) => {
-                if matches!(e, ServiceError::DeadlineExceeded { .. }) {
-                    metrics.queue_deadline_total.fetch_add(1, Ordering::Relaxed);
+        let trace_id = params.trace_id.clone();
+        let q_len = q.len();
+        let received = job.received;
+        Box::new(move |result| {
+            let ok = result.is_ok();
+            let response = match result {
+                Ok(report) => {
+                    let solved = Duration::from_secs_f64(report.seconds);
+                    inner.metrics.record_solve(&solver, solved);
+                    inner.metrics.record_stage("solve", solved);
+                    let t_ser = Instant::now();
+                    let mut payload = vec![
+                        ("graph", Json::from(graph.as_str())),
+                        ("report", report_to_json(&report)),
+                    ];
+                    if let Some(tr) = &trace {
+                        tr.ctx().record("serialize", t_ser, Instant::now());
+                        payload.push(("trace", tr.finish("solve", received)));
+                    }
+                    inner.metrics.record_stage("serialize", t_ser.elapsed());
+                    ok_response(&id, payload)
                 }
-                write_line(&out, &error_response(&id, &e), false, &metrics);
-            }
+                Err(e) => {
+                    if matches!(e, ServiceError::DeadlineExceeded { .. }) {
+                        inner
+                            .metrics
+                            .queue_deadline_total
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    error_response(&id, &e)
+                }
+            };
+            // Log before writing: once the response is on the wire the
+            // client may immediately ask `slowlog` (served by the reader
+            // thread) and must see this request.
+            inner.slowlog.observe(received.elapsed(), || {
+                let mut fields = vec![
+                    ("cmd", Json::from("solve")),
+                    ("graph", Json::from(graph.as_str())),
+                    ("solver", Json::from(solver.as_str())),
+                    ("q_len", Json::from(q_len)),
+                    ("ok", Json::Bool(ok)),
+                ];
+                if let Some(id) = &trace_id {
+                    fields.push(("trace_id", Json::from(id.as_str())));
+                }
+                Json::obj(fields)
+            });
+            write_line(&out, &response, ok, &inner.metrics);
         })
     };
     match inner.coalescer.submit(
@@ -732,6 +896,7 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
         q.clone(),
         job.received,
         remaining,
+        ctx.clone(),
         respond,
     ) {
         Submit::Queued => None,
@@ -739,12 +904,60 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
             // Bypass verdict (tight deadline, full queue, drain): run it
             // uncoalesced on this worker, through the same responder.
             let result = entry
-                .solve(&params.solver, q, &params.options(remaining))
+                .solve(&params.solver, q, &params.options(remaining).trace(ctx))
                 .map_err(ServiceError::Core);
             respond(result);
             None
         }
     }
+}
+
+/// Tracing state for one traced request: the shared recorder (origin
+/// pinned to the read instant), the reserved root span id stages attach
+/// under, and the wire trace id.
+struct RequestTrace {
+    recorder: Arc<TraceRecorder>,
+    root: u32,
+    trace_id: String,
+}
+
+impl RequestTrace {
+    /// A context recording stages as children of the request root.
+    fn ctx(&self) -> TraceContext {
+        TraceContext::attached(Arc::clone(&self.recorder), self.root)
+    }
+
+    /// Completes the root span (named `solve`/`batch`) over `received →
+    /// now` and assembles the inline span tree.
+    fn finish(&self, name: &'static str, received: Instant) -> Json {
+        self.recorder.complete(
+            self.root,
+            name,
+            NO_PARENT,
+            received,
+            Instant::now(),
+            Vec::new(),
+        );
+        span_tree(&self.trace_id, &self.recorder)
+    }
+}
+
+/// Starts tracing when the request asked for it (`None` otherwise): the
+/// root span is reserved up front, and the time between the read and the
+/// worker pickup is recorded as the `admission` span.
+fn begin_trace(params: &SolveParams, received: Instant) -> Option<RequestTrace> {
+    if !params.trace {
+        return None;
+    }
+    let recorder = TraceRecorder::with_origin(received);
+    let root = recorder.reserve()?;
+    let tr = RequestTrace {
+        trace_id: params.trace_id.clone().unwrap_or_else(next_trace_id),
+        recorder,
+        root,
+    };
+    tr.ctx().record("admission", received, Instant::now());
+    Some(tr)
 }
 
 /// Deadline accounting: how much of `deadline_ms` is left after `spent`,
@@ -816,18 +1029,36 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
         Command::Solve { params, q } => {
             let remaining = remaining_budget(params.deadline_ms, job.received.elapsed())?;
             let entry = inner.catalog.get(&params.graph)?;
-            let report = entry.solve(&params.solver, q, &params.options(remaining))?;
+            let trace = begin_trace(params, job.received);
+            let mut options = params.options(remaining);
+            if let Some(tr) = &trace {
+                options = options.trace(tr.ctx());
+            }
+            let t_solve = Instant::now();
+            let report = entry.solve(&params.solver, q, &options)?;
+            inner.metrics.record_stage("solve", t_solve.elapsed());
             inner
                 .metrics
                 .record_solve(&params.solver, Duration::from_secs_f64(report.seconds));
-            Ok(vec![
+            let t_ser = Instant::now();
+            let mut payload = vec![
                 ("graph", Json::from(params.graph.as_str())),
                 ("report", report_to_json(&report)),
-            ])
+            ];
+            if let Some(tr) = &trace {
+                tr.ctx().record("serialize", t_ser, Instant::now());
+                payload.push(("trace", tr.finish("solve", job.received)));
+            }
+            inner.metrics.record_stage("serialize", t_ser.elapsed());
+            Ok(payload)
         }
         Command::Batch { params, queries } => {
             let remaining = remaining_budget(params.deadline_ms, job.received.elapsed())?;
-            let options = params.options(remaining);
+            let trace = begin_trace(params, job.received);
+            let mut options = params.options(remaining);
+            if let Some(tr) = &trace {
+                options = options.trace(tr.ctx());
+            }
             // Entries may target different graphs (the router's fan-out
             // shape); group them per graph so each group runs the
             // engine's parallel batch path, then reassemble the replies
@@ -843,6 +1074,7 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
             }
             let mut ok = 0u64;
             let mut slots: Vec<Option<Json>> = vec![None; queries.len()];
+            let t_solve = Instant::now();
             for (name, idxs) in groups {
                 match inner.catalog.get(name) {
                     Err(e) => {
@@ -871,7 +1103,9 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
                     }
                 }
             }
-            Ok(vec![
+            inner.metrics.record_stage("solve", t_solve.elapsed());
+            let t_ser = Instant::now();
+            let mut payload = vec![
                 (
                     "graph",
                     if params.graph.is_empty() {
@@ -882,7 +1116,16 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
                 ),
                 ("solved", Json::from(ok)),
                 ("reports", Json::Arr(slots.into_iter().flatten().collect())),
-            ])
+            ];
+            if let Some(tr) = &trace {
+                // Per-entry stage spans from parallel batch lanes may
+                // overlap in time; only the traced `solve` tree promises
+                // non-overlapping siblings.
+                tr.ctx().record("serialize", t_ser, Instant::now());
+                payload.push(("trace", tr.finish("batch", job.received)));
+            }
+            inner.metrics.record_stage("serialize", t_ser.elapsed());
+            Ok(payload)
         }
         Command::Load { name, source } => {
             // A load that replaces an entry invalidates the open
@@ -907,6 +1150,8 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
         }
         // Control-plane commands never reach the queue.
         Command::Stats
+        | Command::Metrics
+        | Command::Slowlog { .. }
         | Command::Graphs
         | Command::Shard { .. }
         | Command::Evict { .. }

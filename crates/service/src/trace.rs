@@ -1,0 +1,346 @@
+//! Service-side request tracing: trace ids, span-tree assembly, the
+//! slow-query ring buffer, and pretty-printing.
+//!
+//! The recording primitives ([`TraceRecorder`], [`TraceContext`],
+//! [`SpanRecord`]) live in [`mwc_core::trace`] so the engine and the
+//! ws-q pipeline can emit stages without depending on the serving
+//! crate; this module re-exports them and adds everything the wire
+//! needs: request-scoped trace ids (propagated router → shard), the
+//! JSON span-tree shape returned inline by `"trace": true` requests,
+//! the always-on [`SlowLog`] served by the `slowlog` command, and the
+//! indented renderer `mwc-client --trace` prints.
+
+use std::collections::hash_map::RandomState;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+pub use mwc_core::trace::{SpanRecord, TraceContext, TraceRecorder, NO_PARENT};
+
+use crate::json::Json;
+
+/// A fresh request-scoped trace id: 16 hex chars, unique per process
+/// (monotonic counter) and unique across processes with overwhelming
+/// probability (the counter is hashed with a per-process random seed).
+/// The router generates one per traced request and forwards it to the
+/// owning shard, so both sides' spans share the id.
+pub fn next_trace_id() -> String {
+    static SEED: OnceLock<RandomState> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut h = SEED.get_or_init(RandomState::new).build_hasher();
+    h.write_u64(SEQ.fetch_add(1, Ordering::Relaxed));
+    format!("{:016x}", h.finish())
+}
+
+fn span_node(spans: &[SpanRecord], children: &HashMap<u32, Vec<usize>>, i: usize) -> Json {
+    let s = &spans[i];
+    let mut fields = vec![
+        ("name", Json::from(s.name)),
+        ("start_us", Json::from(s.start_us)),
+        ("dur_us", Json::from(s.dur_us)),
+    ];
+    if !s.counters.is_empty() {
+        fields.push((
+            "counters",
+            Json::Obj(
+                s.counters
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::from(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    let kids: Vec<Json> = children
+        .get(&s.id)
+        .map(|ids| ids.iter().map(|&j| span_node(spans, children, j)).collect())
+        .unwrap_or_default();
+    fields.push(("children", Json::Arr(kids)));
+    Json::obj(fields)
+}
+
+/// Assembles the recorder's spans into the wire span tree:
+/// `{"trace_id":…,"dropped":…,"root":{"name":…,"start_us":…,"dur_us":…,`
+/// `"counters":{…},"children":[…]}}`. Children are ordered by start
+/// offset. Spans whose parent was dropped (recorder full) surface as
+/// extra roots under a synthetic `request` node rather than vanishing.
+pub fn span_tree(trace_id: &str, recorder: &TraceRecorder) -> Json {
+    let spans = recorder.finish();
+    let ids: HashMap<u32, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut children: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent != NO_PARENT && ids.contains_key(&s.parent) {
+            children.entry(s.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    let root = match roots.as_slice() {
+        [] => Json::Null,
+        [only] => span_node(&spans, &children, *only),
+        many => {
+            let start = spans[many[0]].start_us;
+            let end = many
+                .iter()
+                .map(|&i| spans[i].start_us + spans[i].dur_us)
+                .max()
+                .unwrap_or(start);
+            let kids: Vec<Json> = many
+                .iter()
+                .map(|&i| span_node(&spans, &children, i))
+                .collect();
+            Json::obj([
+                ("name", Json::from("request")),
+                ("start_us", Json::from(start)),
+                ("dur_us", Json::from(end - start)),
+                ("children", Json::Arr(kids)),
+            ])
+        }
+    };
+    Json::obj([
+        ("trace_id", Json::from(trace_id)),
+        ("dropped", Json::from(recorder.dropped() as u64)),
+        ("root", root),
+    ])
+}
+
+fn render_node(out: &mut String, node: &Json, depth: usize, parent_us: Option<u64>) {
+    let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+    let dur_us = node.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{name}");
+    out.push_str(&format!("{label:<28} {:>10.3} ms", dur_us as f64 / 1e3));
+    match parent_us {
+        Some(p) if p > 0 => out.push_str(&format!(" {:>5.1}%", dur_us as f64 * 100.0 / p as f64)),
+        Some(_) => out.push_str("      "),
+        None => out.push_str("   100%"),
+    }
+    if let Some(shard) = node.get("shard").and_then(Json::as_str) {
+        out.push_str(&format!("  shard={shard}"));
+    }
+    if let Some(Json::Obj(counters)) = node.get("counters") {
+        for (k, v) in counters {
+            out.push_str(&format!("  {k}={v}"));
+        }
+    }
+    out.push('\n');
+    if let Some(kids) = node.get("children").and_then(Json::as_array) {
+        for kid in kids {
+            render_node(out, kid, depth + 1, Some(dur_us));
+        }
+    }
+}
+
+/// Renders a wire span tree (the object [`span_tree`] produces, parsed
+/// back from the response) as indented text: one line per span with
+/// duration, percent-of-parent, and counters — what `mwc-client
+/// --trace` prints.
+pub fn render_span_tree(trace: &Json) -> String {
+    let mut out = String::new();
+    if let Some(id) = trace.get("trace_id").and_then(Json::as_str) {
+        out.push_str(&format!("trace {id}\n"));
+    }
+    if let Some(root) = trace.get("root") {
+        if !matches!(root, Json::Null) {
+            render_node(&mut out, root, 0, None);
+        }
+    }
+    if let Some(d) = trace.get("dropped").and_then(Json::as_u64) {
+        if d > 0 {
+            out.push_str(&format!("({d} spans dropped: recorder full)\n"));
+        }
+    }
+    out
+}
+
+/// Always-on bounded ring of the slowest-path evidence: every request
+/// whose total latency crosses the threshold leaves a JSON entry
+/// (command, graph, solver, stage timings, trace id when one existed),
+/// newest evicting oldest. Served by the `slowlog` protocol command;
+/// the router fans the command out and merges shard rings.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold: Duration,
+    capacity: usize,
+    seq: AtomicU64,
+    entries: Mutex<VecDeque<(Instant, Json)>>,
+}
+
+/// Default `--slowlog-ms` threshold (milliseconds).
+pub const DEFAULT_SLOWLOG_MS: u64 = 100;
+
+/// Default ring capacity (entries retained).
+pub const DEFAULT_SLOWLOG_CAPACITY: usize = 128;
+
+impl SlowLog {
+    /// A ring that records requests slower than `threshold`, keeping
+    /// the newest `capacity` entries.
+    pub fn new(threshold: Duration, capacity: usize) -> Self {
+        SlowLog {
+            threshold,
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Records `total` if it crosses the threshold; `build` runs only
+    /// then (the fast path costs one comparison). The entry gains
+    /// `seq` and `total_ms` fields.
+    pub fn observe(&self, total: Duration, build: impl FnOnce() -> Json) {
+        if total < self.threshold {
+            return;
+        }
+        let mut entry = build();
+        if let Json::Obj(m) = &mut entry {
+            m.insert(
+                "seq".to_string(),
+                Json::from(self.seq.fetch_add(1, Ordering::Relaxed)),
+            );
+            m.insert(
+                "total_ms".to_string(),
+                Json::from(total.as_secs_f64() * 1e3),
+            );
+        }
+        let mut ring = self.entries.lock().expect("slowlog poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back((Instant::now(), entry));
+    }
+
+    /// The newest `limit` entries, newest first, each annotated with
+    /// `age_s` (seconds since it was recorded).
+    pub fn snapshot(&self, limit: usize) -> Vec<Json> {
+        let ring = self.entries.lock().expect("slowlog poisoned");
+        ring.iter()
+            .rev()
+            .take(limit)
+            .map(|(at, e)| {
+                let mut e = e.clone();
+                if let Json::Obj(m) = &mut e {
+                    m.insert("age_s".to_string(), Json::from(at.elapsed().as_secs_f64()));
+                }
+                e
+            })
+            .collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slowlog poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_hex() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn span_tree_nests_children_under_root() {
+        let rec = TraceRecorder::new();
+        let root = rec.reserve().unwrap();
+        let ctx = TraceContext::attached(rec.clone(), root);
+        let t0 = rec.origin();
+        ctx.record_with(
+            "feasibility",
+            t0 + Duration::from_micros(10),
+            t0 + Duration::from_micros(30),
+            vec![("folded", 1)],
+        );
+        ctx.record(
+            "root_sweep",
+            t0 + Duration::from_micros(30),
+            t0 + Duration::from_micros(400),
+        );
+        rec.complete(
+            root,
+            "solve",
+            NO_PARENT,
+            t0,
+            t0 + Duration::from_micros(500),
+            Vec::new(),
+        );
+        let tree = span_tree("deadbeef00000000", &rec);
+        assert_eq!(
+            tree.get("trace_id").and_then(Json::as_str),
+            Some("deadbeef00000000")
+        );
+        assert_eq!(tree.get("dropped").and_then(Json::as_u64), Some(0));
+        let root = tree.get("root").unwrap();
+        assert_eq!(root.get("name").and_then(Json::as_str), Some("solve"));
+        assert_eq!(root.get("dur_us").and_then(Json::as_u64), Some(500));
+        let kids = root.get("children").and_then(Json::as_array).unwrap();
+        assert_eq!(kids.len(), 2);
+        // Ordered by start offset.
+        assert_eq!(
+            kids[0].get("name").and_then(Json::as_str),
+            Some("feasibility")
+        );
+        assert_eq!(
+            kids[0]
+                .get("counters")
+                .unwrap()
+                .get("folded")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            kids[1].get("name").and_then(Json::as_str),
+            Some("root_sweep")
+        );
+        // Children must not out-sum the root.
+        let sum: u64 = kids
+            .iter()
+            .map(|k| k.get("dur_us").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert!(sum <= 500);
+        // And the renderer produces one line per span.
+        let text = render_span_tree(&tree);
+        assert_eq!(text.lines().count(), 4); // trace id + 3 spans
+        assert!(text.contains("feasibility"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn slowlog_keeps_only_slow_requests_and_bounds_the_ring() {
+        let log = SlowLog::new(Duration::from_millis(10), 2);
+        log.observe(Duration::from_millis(1), || unreachable!("fast path"));
+        assert!(log.is_empty());
+        for i in 0..3u64 {
+            log.observe(Duration::from_millis(20 + i), || {
+                Json::obj([("cmd", Json::from("solve")), ("i", Json::from(i))])
+            });
+        }
+        assert_eq!(log.len(), 2);
+        let snap = log.snapshot(10);
+        // Newest first; the oldest entry was evicted.
+        assert_eq!(snap[0].get("i").and_then(Json::as_u64), Some(2));
+        assert_eq!(snap[1].get("i").and_then(Json::as_u64), Some(1));
+        assert!(snap[0].get("total_ms").and_then(Json::as_f64).unwrap() >= 20.0);
+        assert!(snap[0].get("age_s").is_some());
+        assert!(snap[0].get("seq").and_then(Json::as_u64).unwrap() > 0);
+    }
+}
