@@ -53,6 +53,27 @@
 //!                       and `speedup` = traced / untraced throughput)
 //!                       into BENCH_service.json, and prints one traced
 //!                       span tree as a stage breakdown.
+//!   --connections N     connection-scale comparison (linux only): spawn
+//!                       an in-process karate server twice — `threads`
+//!                       transport at min(N, 64) connections, then
+//!                       `epoll` at N — and drive an *open loop*: every
+//!                       connection sends one small solve each
+//!                       1/--conn-rate seconds regardless of responses
+//!                       (default 10000 × 0.5 r/s), all sockets
+//!                       multiplexed from one client thread on epoll.
+//!                       N is clamped against `ulimit -n` (a loopback
+//!                       connection costs two fds in-process) with a
+//!                       logged warning. Merges a `connections` section
+//!                       into --out: per-run accepted / throughput /
+//!                       p50 / p99, process RSS and thread counts, and
+//!                       `speedup` — the per-connection sustained-rate
+//!                       ratio (epoll at N vs threads at 64), ≈1.0 when
+//!                       the event loop holds the open-loop rate at
+//!                       scale and scale-invariant by construction, so
+//!                       the committed BENCH_conn.json baseline (10k
+//!                       connections) gates CI smokes at any N.
+//!   --conn-rate R       per-connection request rate for --connections
+//!                       (default 0.5 r/s)
 //!   --metrics-out PATH  after the run, dump the server's Prometheus
 //!                       `metrics` exposition to PATH (CI artifact)
 //!   --slowlog-out PATH  after the run, dump the server's `slowlog`
@@ -101,6 +122,10 @@ struct Args {
     contend: bool,
     contend_window_us: u64,
     trace_overhead: bool,
+    /// `--connections N`: open-loop connection-scale comparison (0 = off).
+    connections: usize,
+    /// Per-connection open-loop request rate (requests per second).
+    conn_rate: f64,
     metrics_out: Option<String>,
     slowlog_out: Option<String>,
 }
@@ -112,7 +137,8 @@ fn usage() -> ! {
          \x20      [--out PATH] [--seed N]\n\
          \x20      [--router [--shards N] [--shard-workers N]]\n\
          \x20      [--contend [--contend-window-us N]]\n\
-         \x20      [--trace-overhead] [--metrics-out PATH] [--slowlog-out PATH]"
+         \x20      [--trace-overhead] [--connections N [--conn-rate R]]\n\
+         \x20      [--metrics-out PATH] [--slowlog-out PATH]"
     );
     std::process::exit(2);
 }
@@ -133,6 +159,8 @@ fn parse_cli() -> Args {
         contend: false,
         contend_window_us: 10_000,
         trace_overhead: false,
+        connections: 0,
+        conn_rate: 0.5,
         metrics_out: None,
         slowlog_out: None,
     };
@@ -165,6 +193,14 @@ fn parse_cli() -> Args {
                 args.contend_window_us = value().parse().unwrap_or_else(|_| usage())
             }
             "--trace-overhead" => args.trace_overhead = true,
+            "--connections" => args.connections = value().parse().unwrap_or_else(|_| usage()),
+            "--conn-rate" => {
+                args.conn_rate = value().parse().unwrap_or_else(|_| usage());
+                if !(args.conn_rate > 0.0 && args.conn_rate.is_finite()) {
+                    eprintln!("--conn-rate must be a positive requests-per-second rate");
+                    usage();
+                }
+            }
             "--metrics-out" => args.metrics_out = Some(value()),
             "--slowlog-out" => args.slowlog_out = Some(value()),
             _ => usage(),
@@ -232,6 +268,19 @@ fn parse_cli() -> Args {
     if args.trace_overhead && (args.router || args.contend || args.addr.is_some()) {
         eprintln!("--trace-overhead spawns its own server; it composes with none of --router, --contend, --addr");
         usage();
+    }
+    if args.connections > 0 {
+        if args.router || args.contend || args.trace_overhead || args.addr.is_some() {
+            eprintln!(
+                "--connections spawns its own paired servers; it composes with none of \
+                 --router, --contend, --trace-overhead, --addr"
+            );
+            usage();
+        }
+        if clients_set {
+            eprintln!("--connections drives open-loop connections, not closed-loop --clients");
+            usage();
+        }
     }
     args
 }
@@ -364,6 +413,10 @@ fn main() {
     }
     if args.trace_overhead {
         trace_overhead_main(&args);
+        return;
+    }
+    if args.connections > 0 {
+        connections_main(&args);
         return;
     }
 
@@ -1128,4 +1181,527 @@ fn trace_overhead_main(args: &Args) {
          ({speedup:.3}x) → {}",
         args.out
     );
+}
+
+/// Soft `ulimit -n` (max open files) for this process, from
+/// `/proc/self/limits`.
+#[cfg(target_os = "linux")]
+fn open_files_soft_limit() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// (VmRSS in MiB, thread count) for this process, from
+/// `/proc/self/status`. The server under test is in-process, so these
+/// are the numbers a deployment would see for the whole serving process.
+#[cfg(target_os = "linux")]
+fn process_snapshot() -> (f64, u64) {
+    let mut rss_mb = 0.0;
+    let mut threads = 0u64;
+    if let Ok(text) = std::fs::read_to_string("/proc/self/status") {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("VmRSS:") {
+                let kb: f64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0.0);
+                rss_mb = kb / 1024.0;
+            } else if let Some(rest) = line.strip_prefix("Threads:") {
+                threads = rest.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    (rss_mb, threads)
+}
+
+/// Aggregated result of one open-loop `conn_run`.
+#[cfg(target_os = "linux")]
+struct ConnRunStats {
+    connections: usize,
+    accepted: usize,
+    sent: u64,
+    received: u64,
+    errors: u64,
+    latencies_ms: Vec<f64>, // sorted
+    secs: f64,
+    rss_mb: f64,
+    process_threads: u64,
+    threads_spawned: u64,
+    server_connections_live: u64,
+}
+
+#[cfg(target_os = "linux")]
+impl ConnRunStats {
+    fn rps(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.received as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self, transport: &str) -> Json {
+        Json::obj([
+            ("transport", Json::from(transport)),
+            ("connections", Json::from(self.connections)),
+            ("accepted", Json::from(self.accepted)),
+            ("sent", Json::from(self.sent)),
+            ("received", Json::from(self.received)),
+            ("errors", Json::from(self.errors)),
+            ("throughput_rps", Json::from(self.rps())),
+            ("p50_ms", Json::from(quantile_ms(&self.latencies_ms, 0.50))),
+            ("p99_ms", Json::from(quantile_ms(&self.latencies_ms, 0.99))),
+            ("rss_mb", Json::from(self.rss_mb)),
+            ("process_threads", Json::from(self.process_threads)),
+            ("threads_spawned", Json::from(self.threads_spawned)),
+            (
+                "server_connections_live",
+                Json::from(self.server_connections_live),
+            ),
+        ])
+    }
+}
+
+/// One open-loop run: an in-process karate server on the given
+/// transport, `n` client connections each sending one small solve every
+/// `1/--conn-rate` seconds *regardless of responses*, all client sockets
+/// multiplexed from this one thread on epoll (a thread per client would
+/// make the load generator the scaling bottleneck it is measuring).
+///
+/// Open loop means send times follow the schedule, not the server: a
+/// server that stalls keeps receiving requests and its latency tail —
+/// not its throughput — shows the damage. Connections ramp in over one
+/// period (staggered start offsets), so recorded throughput includes the
+/// ramp; the `speedup` ratio divides two runs with the same ramp shape.
+#[cfg(target_os = "linux")]
+fn conn_run(args: &Args, transport: mwc_service::Transport, n: usize) -> ConnRunStats {
+    use std::collections::VecDeque;
+    use std::io::Read as _;
+    use std::net::TcpStream;
+    use std::os::unix::io::AsRawFd;
+
+    use mwc_service::net::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+    /// Client-side state for one open-loop connection.
+    struct C {
+        stream: TcpStream,
+        rbuf: Vec<u8>,
+        wbuf: Vec<u8>,
+        inflight: Vec<(u64, Instant)>,
+        next_id: u64,
+        writable_armed: bool,
+        alive: bool,
+    }
+
+    fn flush_conn(ep: &Epoll, c: &mut C, token: u64) {
+        if !c.alive {
+            return;
+        }
+        while !c.wbuf.is_empty() {
+            match c.stream.write(&c.wbuf) {
+                Ok(0) => {
+                    c.alive = false;
+                    break;
+                }
+                Ok(k) => {
+                    c.wbuf.drain(..k);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.alive = false;
+                    break;
+                }
+            }
+        }
+        if !c.alive {
+            ep.delete(c.stream.as_raw_fd());
+            return;
+        }
+        let want_out = !c.wbuf.is_empty();
+        if want_out != c.writable_armed {
+            c.writable_armed = want_out;
+            let interest = EPOLLIN | if want_out { EPOLLOUT } else { 0 };
+            let _ = ep.modify(c.stream.as_raw_fd(), token, interest);
+        }
+    }
+
+    /// First `"id":<digits>` in a response line. The wire id is the only
+    /// numeric `id` member responses carry, so a substring scan beats
+    /// parsing 25k JSON documents per second on the measurement thread.
+    fn response_id(line: &[u8]) -> Option<u64> {
+        let text = std::str::from_utf8(line).ok()?;
+        let at = text.find("\"id\":")?;
+        let digits: &str = &text[at + 5..];
+        let end = digits
+            .find(|ch: char| !ch.is_ascii_digit())
+            .unwrap_or(digits.len());
+        digits[..end].parse().ok()
+    }
+
+    fn drain_conn(
+        ep: &Epoll,
+        c: &mut C,
+        scratch: &mut [u8],
+        received: &mut u64,
+        errors: &mut u64,
+        latencies_ms: &mut Vec<f64>,
+    ) {
+        if !c.alive {
+            return;
+        }
+        loop {
+            match c.stream.read(scratch) {
+                Ok(0) => {
+                    c.alive = false;
+                    break;
+                }
+                Ok(k) => c.rbuf.extend_from_slice(&scratch[..k]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.alive = false;
+                    break;
+                }
+            }
+        }
+        let now = Instant::now();
+        let mut start = 0usize;
+        while let Some(pos) = c.rbuf[start..].iter().position(|&b| b == b'\n') {
+            let line = &c.rbuf[start..start + pos];
+            *received += 1;
+            if !line
+                .windows(b"\"ok\":true".len())
+                .any(|w| w == b"\"ok\":true")
+            {
+                *errors += 1;
+            }
+            if let Some(id) = response_id(line) {
+                if let Some(j) = c.inflight.iter().position(|&(i, _)| i == id) {
+                    let (_, sent_at) = c.inflight.swap_remove(j);
+                    latencies_ms.push(now.duration_since(sent_at).as_secs_f64() * 1e3);
+                }
+            }
+            start += pos + 1;
+        }
+        c.rbuf.drain(..start);
+        if !c.alive {
+            ep.delete(c.stream.as_raw_fd());
+        }
+    }
+
+    // Two-node karate queries, rotated so the solve cache holds a small
+    // working set: the transport, not the solver, is under measurement.
+    const QUERIES: [(u32, u32); 4] = [(0, 33), (5, 16), (2, 25), (8, 30)];
+
+    let (_, threads_before) = process_snapshot();
+    let catalog = Arc::new(Catalog::new());
+    catalog.load("karate", "karate").expect("load karate");
+    let config = ServerConfig {
+        transport,
+        max_connections: n + 32, // the open-loop conns plus the stats probe
+        ..ServerConfig::default()
+    };
+    let handle = server::start(catalog, config, "127.0.0.1:0").expect("bind in-process server");
+    let addr = handle.local_addr();
+
+    let ep = Epoll::new().expect("client epoll");
+    let mut conns: Vec<C> = Vec::with_capacity(n);
+    for i in 0..n {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_nonblocking(true)
+                    .expect("nonblocking client socket");
+                ep.add(stream.as_raw_fd(), conns.len() as u64, EPOLLIN)
+                    .expect("register client socket");
+                conns.push(C {
+                    stream,
+                    rbuf: Vec::new(),
+                    wbuf: Vec::new(),
+                    inflight: Vec::new(),
+                    next_id: 1,
+                    writable_armed: false,
+                    alive: true,
+                });
+            }
+            Err(e) => {
+                if i == 0 {
+                    panic!("loadgen --connections: first connect failed: {e}");
+                }
+                eprintln!(
+                    "loadgen --connections: connect {i}/{n} failed ({e}); \
+                     continuing with {} connections",
+                    conns.len()
+                );
+                break;
+            }
+        }
+    }
+    let accepted = conns.len();
+
+    let period = Duration::from_secs_f64(1.0 / args.conn_rate);
+    let start = Instant::now();
+    let deadline = start + args.duration;
+    // Same-period schedule for every connection ⇒ a queue pushed in due
+    // order stays sorted: pop the front, send, push back due + period.
+    let mut due: VecDeque<(Instant, usize)> = (0..accepted)
+        .map(|i| (start + period.mul_f64(i as f64 / accepted.max(1) as f64), i))
+        .collect();
+
+    let mut events = vec![EpollEvent { events: 0, data: 0 }; 1024];
+    let mut scratch = vec![0u8; 64 * 1024];
+    let (mut sent, mut received, mut errors) = (0u64, 0u64, 0u64);
+    let mut latencies_ms: Vec<f64> = Vec::new();
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        while let Some(&(at, idx)) = due.front() {
+            if at > now {
+                break;
+            }
+            due.pop_front();
+            due.push_back((at + period, idx));
+            let c = &mut conns[idx];
+            if !c.alive {
+                continue;
+            }
+            let id = c.next_id;
+            c.next_id += 1;
+            let (a, b) = QUERIES[id as usize % QUERIES.len()];
+            c.wbuf.extend_from_slice(
+                format!(
+                    "{{\"id\":{id},\"cmd\":\"solve\",\"graph\":\"karate\",\
+                     \"solver\":\"ws-q\",\"q\":[{a},{b}]}}\n"
+                )
+                .as_bytes(),
+            );
+            c.inflight.push((id, now));
+            sent += 1;
+            flush_conn(&ep, c, idx as u64);
+        }
+        let next_due = due.front().map(|&(at, _)| at).unwrap_or(deadline);
+        let until = next_due
+            .min(deadline)
+            .saturating_duration_since(Instant::now());
+        let timeout_ms = (until.as_millis() as i32).clamp(1, 100);
+        let nev = ep.wait(&mut events, timeout_ms).expect("client epoll wait");
+        for ev in &events[..nev] {
+            let bits = { ev.events };
+            let idx = { ev.data } as usize;
+            if bits & EPOLLOUT != 0 {
+                flush_conn(&ep, &mut conns[idx], idx as u64);
+            }
+            if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+                drain_conn(
+                    &ep,
+                    &mut conns[idx],
+                    &mut scratch,
+                    &mut received,
+                    &mut errors,
+                    &mut latencies_ms,
+                );
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    // Snapshot while every connection is still open: this is the
+    // at-scale footprint, not the post-teardown one.
+    let (rss_mb, threads_now) = process_snapshot();
+
+    // Collect in-flight tails (bounded) so the received count is honest.
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < drain_deadline && conns.iter().any(|c| c.alive && !c.inflight.is_empty())
+    {
+        let nev = ep.wait(&mut events, 50).expect("client epoll wait");
+        for ev in &events[..nev] {
+            let bits = { ev.events };
+            let idx = { ev.data } as usize;
+            if bits & EPOLLOUT != 0 {
+                flush_conn(&ep, &mut conns[idx], idx as u64);
+            }
+            if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+                drain_conn(
+                    &ep,
+                    &mut conns[idx],
+                    &mut scratch,
+                    &mut received,
+                    &mut errors,
+                    &mut latencies_ms,
+                );
+            }
+        }
+    }
+
+    let server_connections_live = Client::connect(addr)
+        .ok()
+        .and_then(|mut probe| probe.stats().ok())
+        .and_then(|stats| {
+            stats
+                .get("process")
+                .and_then(|p| p.get("connections_live"))
+                .and_then(Json::as_u64)
+        })
+        .unwrap_or(0);
+
+    drop(conns); // close every client socket before asking for the drain
+    drop(ep);
+    handle.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    ConnRunStats {
+        connections: n,
+        accepted,
+        sent,
+        received,
+        errors,
+        latencies_ms,
+        secs,
+        rss_mb,
+        process_threads: threads_now,
+        threads_spawned: threads_now.saturating_sub(threads_before),
+        server_connections_live,
+    }
+}
+
+/// `--connections`: threads-at-64 vs epoll-at-N open-loop comparison,
+/// merged into `BENCH_service.json` as a `connections` section.
+///
+/// The gated `speedup` is the **per-connection sustained-rate ratio**
+/// `(epoll_rps / N) / (threads_rps / 64)`: ≈1.0 whenever the event loop
+/// holds the open-loop schedule as well as thread-per-connection does,
+/// and — unlike a raw throughput ratio — independent of N, so the
+/// committed 10k-connection baseline gates CI smokes at any scale.
+#[cfg(target_os = "linux")]
+fn connections_main(args: &Args) {
+    let requested = args.connections;
+    let mut n = requested;
+    if let Some(soft) = open_files_soft_limit() {
+        // Each loopback connection costs two fds in this process (the
+        // client socket and the server's accepted socket), plus a margin
+        // for epoll/eventfd instances, the probe, and output files.
+        let budget = (soft.saturating_sub(128) / 2) as usize;
+        if n > budget {
+            eprintln!(
+                "loadgen --connections: {requested} connections requested but \
+                 `ulimit -n` is {soft}; clamping to {budget} \
+                 (two fds per loopback connection)"
+            );
+            n = budget;
+        }
+    }
+    assert!(
+        n >= 2,
+        "--connections needs at least 2 after the ulimit clamp"
+    );
+    let threads_conns = n.min(64);
+
+    eprintln!(
+        "loadgen --connections: open loop, {:.2} r/s per connection, {:?} per run",
+        args.conn_rate, args.duration
+    );
+    eprintln!("loadgen --connections: run 1/2 — threads transport, {threads_conns} connections");
+    let threads_run = conn_run(args, mwc_service::Transport::Threads, threads_conns);
+    eprintln!("loadgen --connections: run 2/2 — epoll transport, {n} connections");
+    let epoll_run = conn_run(args, mwc_service::Transport::Epoll, n);
+
+    let per_conn = |run: &ConnRunStats| {
+        if run.connections > 0 {
+            run.rps() / run.connections as f64
+        } else {
+            0.0
+        }
+    };
+    let speedup = if per_conn(&threads_run) > 0.0 {
+        per_conn(&epoll_run) / per_conn(&threads_run)
+    } else {
+        0.0
+    };
+
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>9} {:>9} {:>9} {:>8}",
+        "transport", "conns", "received", "thruput r/s", "p50 ms", "p99 ms", "rss MiB", "threads"
+    );
+    for (label, run) in [("threads", &threads_run), ("epoll", &epoll_run)] {
+        println!(
+            "{label:<10} {:>8} {:>10} {:>12.1} {:>9.3} {:>9.3} {:>9.1} {:>8}",
+            run.accepted,
+            run.received,
+            run.rps(),
+            quantile_ms(&run.latencies_ms, 0.50),
+            quantile_ms(&run.latencies_ms, 0.99),
+            run.rss_mb,
+            run.process_threads,
+        );
+    }
+    println!("per-connection sustained-rate ratio (epoll / threads): {speedup:.3}x");
+
+    let section = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("connections_requested", Json::from(requested)),
+                ("connections", Json::from(n)),
+                ("threads_connections", Json::from(threads_conns)),
+                ("rate_per_conn_rps", Json::from(args.conn_rate)),
+                ("duration_secs", Json::from(args.duration.as_secs_f64())),
+                ("graph", Json::from("karate")),
+                ("solver", Json::from("ws-q")),
+                (
+                    "cores",
+                    Json::from(
+                        std::thread::available_parallelism()
+                            .map(|p| p.get())
+                            .unwrap_or(1),
+                    ),
+                ),
+                ("seed", Json::from(args.seed)),
+            ]),
+        ),
+        ("threads", threads_run.to_json("threads")),
+        ("epoll", epoll_run.to_json("epoll")),
+        ("speedup", Json::from(speedup)),
+    ]);
+
+    // Merge into an existing document (the plain smoke run also writes
+    // BENCH_service.json) rather than clobbering it.
+    let mut doc = std::fs::read_to_string(&args.out)
+        .ok()
+        .and_then(|text| mwc_service::json::parse(&text).ok())
+        .and_then(|json| match json {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default();
+    doc.insert("connections".into(), section);
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(Json::Obj(doc).to_string().as_bytes())
+        .expect("write output");
+    file.write_all(b"\n").expect("write output");
+    eprintln!(
+        "loadgen --connections: threads {:.1} r/s @ {}, epoll {:.1} r/s @ {}, \
+         per-conn ratio {speedup:.3}x → {}",
+        threads_run.rps(),
+        threads_run.accepted,
+        epoll_run.rps(),
+        epoll_run.accepted,
+        args.out
+    );
+}
+
+#[cfg(not(target_os = "linux"))]
+fn connections_main(_args: &Args) {
+    eprintln!(
+        "loadgen --connections needs the epoll client multiplexer and is linux-only \
+         (the epoll transport itself is too)"
+    );
+    std::process::exit(2);
 }

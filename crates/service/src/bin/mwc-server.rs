@@ -4,6 +4,7 @@
 //! mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--workers N]
 //!            [--queue N] [--cache-bytes N] [--cache-ttl SECS]
 //!            [--no-coalesce] [--coalesce-window-us N] [--slowlog-ms N]
+//!            [--transport epoll|threads]
 //!
 //!   --listen ADDR     bind address (default 127.0.0.1:7171)
 //!   --graph NAME=SPEC load a graph at startup; repeatable. SPEC is
@@ -27,6 +28,12 @@
 //!   --slowlog-ms N    slow-query log threshold in milliseconds; any
 //!                     request slower than this lands in the `slowlog`
 //!                     ring (default 100, 0 logs everything)
+//!   --transport T     accept/read/write machinery: `epoll` (one
+//!                     nonblocking event-loop thread, pipelining,
+//!                     bounded write buffers; linux default) or
+//!                     `threads` (one reader thread per connection,
+//!                     portable reference path). Also settable via
+//!                     MWC_TRANSPORT; the flag wins.
 //! ```
 //!
 //! The process serves until a protocol `shutdown` command arrives
@@ -35,13 +42,13 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use mwc_service::{server, Catalog, ServerConfig};
+use mwc_service::{server, Catalog, ServerConfig, Transport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mwc-server [--listen ADDR] [--graph NAME=SPEC]... [--empty] [--workers N] \
          [--queue N] [--cache-bytes N] [--cache-ttl SECS] [--no-coalesce] \
-         [--coalesce-window-us N] [--slowlog-ms N]"
+         [--coalesce-window-us N] [--slowlog-ms N] [--transport epoll|threads]"
     );
     std::process::exit(2);
 }
@@ -100,6 +107,16 @@ fn main() -> ExitCode {
                 let ms: u64 = value("--slowlog-ms").parse().unwrap_or_else(|_| usage());
                 config.slowlog_threshold = std::time::Duration::from_millis(ms);
             }
+            "--transport" => {
+                config.transport = match value("--transport").as_str() {
+                    "epoll" => Transport::Epoll,
+                    "threads" => Transport::Threads,
+                    other => {
+                        eprintln!("--transport expects epoll or threads, got {other:?}");
+                        usage();
+                    }
+                }
+            }
             "--empty" => empty = true,
             "--help" | "-h" => usage(),
             other => {
@@ -139,6 +156,7 @@ fn main() -> ExitCode {
         }
     }
 
+    let transport = config.transport;
     let handle = match server::start(catalog, config, listen.as_str()) {
         Ok(h) => h,
         Err(e) => {
@@ -147,9 +165,13 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "mwc-server listening on {} ({} graphs); stop with: mwc-client {} shutdown",
+        "mwc-server listening on {} ({} graphs, {} transport); stop with: mwc-client {} shutdown",
         handle.local_addr(),
         handle.catalog().len(),
+        match transport {
+            Transport::Epoll => "epoll",
+            Transport::Threads => "threads",
+        },
         handle.local_addr()
     );
     handle.wait();

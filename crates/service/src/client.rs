@@ -484,6 +484,155 @@ impl Client {
         self.request(vec![("cmd", Json::from("shutdown"))])
             .map(|_| ())
     }
+
+    /// Converts this lockstep client into a [`PipelinedClient`] on the
+    /// same connection (no responses may be outstanding — lockstep use
+    /// guarantees that).
+    pub fn into_pipelined(self) -> PipelinedClient {
+        PipelinedClient {
+            reader: self.reader,
+            writer: self.writer,
+            next_id: self.next_id,
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// A pipelining protocol client: many requests in flight on one
+/// connection, responses matched by `id`.
+///
+/// The epoll transport answers pipelined requests strictly in request
+/// order; the threaded transport serves one request at a time per
+/// connection, so pipelined requests queue server-side and *also* come
+/// back in order. Either way, send K requests with
+/// [`PipelinedClient::send_raw`] / [`PipelinedClient::send`] and collect
+/// each response with [`PipelinedClient::recv_until`] — responses that
+/// arrive before the one asked for are buffered, so collection order is
+/// free.
+///
+/// Used by the loadgen's open-loop `--connections` mode and the
+/// transport tests; [`RouterClient`] stays lockstep.
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    /// Responses read while waiting for a different id.
+    pending: Vec<Json>,
+}
+
+impl fmt::Debug for PipelinedClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelinedClient")
+            .field("peer", &self.writer.peer_addr().ok())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl PipelinedClient {
+    /// Connects to the server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<PipelinedClient> {
+        Ok(Client::connect(addr)?.into_pipelined())
+    }
+
+    /// Sends one raw request line without waiting for its response.
+    pub fn send_raw(&mut self, line: &str) -> Result<()> {
+        // Single write per request, like the lockstep client.
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.writer.write_all(&buf)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Sends a request object, attaching a fresh `id`, and returns that
+    /// id for a later [`PipelinedClient::recv_until`].
+    pub fn send(&mut self, mut fields: Vec<(&'static str, Json)>) -> Result<u64> {
+        self.next_id += 1;
+        let id = self.next_id;
+        fields.push(("id", Json::from(id)));
+        self.send_raw(&Json::obj(fields).to_string())?;
+        Ok(id)
+    }
+
+    /// Sends a `solve` without waiting; pair with
+    /// [`PipelinedClient::recv_until`].
+    pub fn send_solve(
+        &mut self,
+        graph: &str,
+        solver: &str,
+        q: &[NodeId],
+        deadline_ms: Option<u64>,
+    ) -> Result<u64> {
+        let mut fields = vec![
+            ("cmd", Json::from("solve")),
+            ("graph", Json::from(graph)),
+            ("solver", Json::from(solver)),
+            (
+                "q",
+                Json::Arr(q.iter().map(|&v| Json::from(u64::from(v))).collect()),
+            ),
+        ];
+        if let Some(d) = deadline_ms {
+            fields.push(("deadline_ms", Json::from(d)));
+        }
+        self.send(fields)
+    }
+
+    /// Reads responses until the one carrying `id` arrives and returns
+    /// it (`ok` or error, decoded like [`Client::request`]). Responses
+    /// for *other* ids read along the way are buffered for their own
+    /// `recv_until` calls — so pipelined responses may be collected in
+    /// any order, even though the wire delivers them in request order.
+    pub fn recv_until(&mut self, id: u64) -> Result<Json> {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|v| v.get("id").and_then(Json::as_u64) == Some(id))
+        {
+            return Self::decode(self.pending.remove(i));
+        }
+        loop {
+            let mut response = String::new();
+            let n = self.reader.read_line(&mut response)?;
+            if n == 0 {
+                return Err(ClientError::Protocol(
+                    "connection closed before a response arrived".into(),
+                ));
+            }
+            let v = parse(response.trim())
+                .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+            if v.get("id").and_then(Json::as_u64) == Some(id) {
+                return Self::decode(v);
+            }
+            self.pending.push(v);
+        }
+    }
+
+    fn decode(v: Json) -> Result<Json> {
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => {
+                let err = v.get("error").cloned().unwrap_or(Json::Null);
+                Err(ClientError::Server(WireError {
+                    code: err
+                        .get("code")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    message: err
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                }))
+            }
+            None => Err(ClientError::Protocol(format!(
+                "response missing \"ok\": {v}"
+            ))),
+        }
+    }
 }
 
 /// A resharding-safe client for the sharded tier: a [`Client`] pointed

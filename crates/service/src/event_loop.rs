@@ -1,0 +1,700 @@
+//! The epoll transport: one nonblocking event-loop thread serving every
+//! connection, in place of the threaded transport's reader-per-connection.
+//!
+//! # Shape
+//!
+//! ```text
+//!                 ┌───────────────── event loop (1 thread) ─────────────────┐
+//!  accept ───────▶│ connection table: token → {read buf, write buf, seqs}   │
+//!  readable ─────▶│ reassemble newline frames across partial reads          │
+//!                 │   control cmds → answered inline                        │
+//!                 │   data cmds    → admission queue (seq attached)         │
+//!  eventfd ──────▶│ drain completion mailbox → sequence → write buffers     │
+//!  writable ─────▶│ flush write buffers (single write, TCP_NODELAY)         │
+//!                 └──────────────────────────────────────────────────────────┘
+//!                        ▲ completions              │ jobs
+//!                        └────── worker pool ◀──────┘
+//! ```
+//!
+//! * **Pipelining** — every request line gets a per-connection sequence
+//!   number at parse time; responses are flushed strictly in that order,
+//!   whatever order workers (or coalescing windows) finish in. A client
+//!   may keep any number of requests in flight and match responses by
+//!   `id` — order makes the matching trivial.
+//! * **Readiness** — level-triggered epoll. Read interest is armed while
+//!   the connection is serveable; write interest only while its write
+//!   buffer is non-empty (the classic LT pattern, no spurious wakeups).
+//! * **Backpressure** — each connection's write buffer is bounded by
+//!   [`ServerConfig::max_write_buffer`](crate::server::ServerConfig):
+//!   reading from the connection pauses at half the cap, and a client
+//!   that still lets the backlog cross the cap (it is not reading its
+//!   responses) is disconnected rather than buffered without bound.
+//! * **Wakeup** — workers publish `(token, seq, line)` completions into
+//!   a mailbox and signal an eventfd, which re-arms write interest from
+//!   the loop thread; workers never touch sockets or epoll state.
+//! * **Drain** — on shutdown the loop stops accepting, parks no new
+//!   work, and exits once every admitted job's response has been flushed
+//!   (a bounded grace period caps how long unreachable clients can hold
+//!   the drain hostage).
+//!
+//! The response path keeps the single-write + `TCP_NODELAY` discipline:
+//! responses ready at the same time leave in one `write`, so the Nagle/
+//! delayed-ACK ~40 ms interaction cannot re-enter through this
+//! transport.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::ServiceError;
+use crate::net::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::protocol::{error_response, parse_request, Command};
+use crate::server::{
+    admit, bad_utf8_response, control_response, salvage_id, shutdown_ack, too_long_response, Inner,
+    ResponseSink, Transport,
+};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long a finished drain waits for unreachable clients to accept
+/// their last bytes before abandoning them.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// One worker-produced response, addressed by connection token and the
+/// per-connection sequence number the request was assigned at parse.
+struct Completion {
+    token: u64,
+    seq: u64,
+    line: String,
+}
+
+/// State shared between the loop thread and the worker pool: the
+/// completion mailbox, its eventfd doorbell, and the count of admitted
+/// jobs whose completions the loop has not yet collected (the drain
+/// barrier).
+pub(crate) struct LoopShared {
+    completions: Mutex<Vec<Completion>>,
+    wake: EventFd,
+    outstanding: AtomicU64,
+}
+
+impl LoopShared {
+    pub(crate) fn new() -> std::io::Result<Arc<LoopShared>> {
+        Ok(Arc::new(LoopShared {
+            completions: Mutex::new(Vec::new()),
+            wake: EventFd::new()?,
+            outstanding: AtomicU64::new(0),
+        }))
+    }
+
+    /// Publishes a worker's response line and rings the loop's doorbell.
+    /// Called from worker threads via `write_line` (which has already
+    /// counted ok/error totals); never blocks beyond the mailbox mutex.
+    pub(crate) fn complete(&self, token: u64, seq: u64, line: &str) {
+        self.completions
+            .lock()
+            .expect("completion mailbox poisoned")
+            .push(Completion {
+                token,
+                seq,
+                line: line.to_string(),
+            });
+        self.wake.signal();
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Partial-frame reassembly: bytes read but not yet newline-framed.
+    read_buf: Vec<u8>,
+    /// Bytes queued for the socket; `out_cursor` marks how far the
+    /// kernel has accepted them.
+    out_buf: Vec<u8>,
+    out_cursor: usize,
+    /// Completed responses waiting for earlier sequence numbers.
+    ready: BTreeMap<u64, String>,
+    /// Next sequence number to assign to an incoming request line.
+    next_seq: u64,
+    /// Next sequence number to append to `out_buf`.
+    next_flush: u64,
+    /// Interest set currently registered with epoll.
+    interest: u32,
+    read_closed: bool,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            out_buf: Vec::new(),
+            out_cursor: 0,
+            ready: BTreeMap::new(),
+            next_seq: 0,
+            next_flush: 0,
+            interest: EPOLLIN | EPOLLRDHUP,
+            read_closed: false,
+            close_after_flush: false,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.out_buf.len() - self.out_cursor
+    }
+
+    /// Every assigned request has been answered and every answer written.
+    fn fully_flushed(&self) -> bool {
+        self.backlog() == 0 && self.next_flush == self.next_seq
+    }
+}
+
+struct EventLoop<'a> {
+    inner: &'a Arc<Inner>,
+    shared: &'a Arc<LoopShared>,
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    scratch: Vec<u8>,
+}
+
+/// The epoll transport's thread body (spawned by `server::start`).
+pub(crate) fn run(inner: &Arc<Inner>, listener: TcpListener, shared: &Arc<LoopShared>) {
+    debug_assert_eq!(inner.config.transport, Transport::Epoll);
+    if let Err(e) = serve(inner, listener, shared) {
+        // Setup failure (epoll_create, registration) is unrecoverable
+        // for this transport; leave a trace rather than dying silently.
+        eprintln!("mwc-server: epoll event loop failed: {e}");
+        inner.begin_shutdown();
+    }
+}
+
+fn serve(
+    inner: &Arc<Inner>,
+    listener: TcpListener,
+    shared: &Arc<LoopShared>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
+    epoll.add(shared.wake.raw(), TOKEN_WAKE, EPOLLIN)?;
+    let mut el = EventLoop {
+        inner,
+        shared,
+        epoll,
+        listener: Some(listener),
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        scratch: vec![0u8; 64 << 10],
+    };
+    let mut events = vec![EpollEvent { events: 0, data: 0 }; 1024];
+    // The wait timeout doubles as the shutdown poll, exactly like the
+    // threaded transport's reader poll interval.
+    let poll_ms = inner.config.poll_interval.as_millis().clamp(1, 1000) as i32;
+    let mut accepting = true;
+    let mut flush_deadline: Option<Instant> = None;
+    loop {
+        let n = el.epoll.wait(&mut events, poll_ms)?;
+        el.inner
+            .metrics
+            .loop_wakeups
+            .fetch_add(1, Ordering::Relaxed);
+        if n > 0 {
+            el.inner
+                .metrics
+                .loop_events
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+        for ev in &events[..n] {
+            let token = { ev.data };
+            let bits = { ev.events };
+            match token {
+                TOKEN_LISTENER => el.accept_ready(),
+                TOKEN_WAKE => el.shared.wake.drain(),
+                _ => el.conn_event(token, bits),
+            }
+        }
+        el.drain_completions();
+        if el.inner.shutdown.load(Ordering::SeqCst) {
+            if accepting {
+                accepting = false;
+                // Stop accepting (the listener closes, so late dials are
+                // refused at the TCP level, as when the threaded acceptor
+                // exits) and schedule every connection to close once its
+                // in-flight responses have flushed.
+                if let Some(l) = el.listener.take() {
+                    el.epoll.delete(l.as_raw_fd());
+                }
+                let tokens: Vec<u64> = el.conns.keys().copied().collect();
+                for token in tokens {
+                    if let Some(conn) = el.conns.get_mut(&token) {
+                        conn.close_after_flush = true;
+                    }
+                    el.pump(token);
+                }
+            }
+            // Admitted work drains through the workers; once their
+            // completions are all collected, only unflushed bytes keep
+            // connections (and the loop) alive.
+            if el.shared.outstanding.load(Ordering::SeqCst) == 0 {
+                let done: Vec<u64> = el
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| c.fully_flushed())
+                    .map(|(t, _)| *t)
+                    .collect();
+                for token in done {
+                    el.drop_conn(token);
+                }
+                if el.conns.is_empty() {
+                    return Ok(());
+                }
+                let deadline = *flush_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                if Instant::now() >= deadline {
+                    let tokens: Vec<u64> = el.conns.keys().copied().collect();
+                    for token in tokens {
+                        el.drop_conn(token); // abandon unreachable clients
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+impl EventLoop<'_> {
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.inner.shutdown.load(Ordering::SeqCst) {
+                        continue; // dropped: the drain is in progress
+                    }
+                    if self.conns.len() >= self.inner.config.max_connections {
+                        self.refuse(stream);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .epoll
+                        .add(stream.as_raw_fd(), token, EPOLLIN | EPOLLRDHUP)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    // The connection table is the authoritative source of
+                    // the live-connections gauge in this transport.
+                    self.inner
+                        .metrics
+                        .connections_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .metrics
+                        .connections_live
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // A persistent accept error (e.g. EMFILE) must not
+                    // busy-spin: back off briefly, like the threaded
+                    // acceptor.
+                    std::thread::sleep(Duration::from_millis(10));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One `overloaded` error line on a connection beyond the limit,
+    /// then close — identical to the threaded acceptor's refusal.
+    fn refuse(&self, mut stream: TcpStream) {
+        self.inner
+            .metrics
+            .overload_total
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .error_total
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let line = error_response(
+            &None,
+            &ServiceError::TooManyConnections {
+                limit: self.inner.config.max_connections,
+            },
+        );
+        let mut buf = line.into_bytes();
+        buf.push(b'\n');
+        let _ = stream.write_all(&buf);
+    }
+
+    fn conn_event(&mut self, token: u64, bits: u32) {
+        if !self.conns.contains_key(&token) {
+            return; // stale readiness for a dropped connection
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+            self.handle_readable(token);
+        }
+        if bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0 {
+            self.pump(token);
+        }
+    }
+
+    fn handle_readable(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.read_closed || conn.close_after_flush {
+                return;
+            }
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    // A trailing line without its newline still counts
+                    // (the threaded reader serves it the same way).
+                    self.process_buffered(token, true);
+                    self.pump(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&self.scratch[..n]);
+                    self.process_buffered(token, false);
+                    // Backpressure: a connection with a large unwritten
+                    // backlog stops being read until it drains (level-
+                    // triggered epoll re-reports the pending bytes).
+                    let Some(conn) = self.conns.get(&token) else {
+                        return;
+                    };
+                    if conn.close_after_flush
+                        || conn.backlog() >= self.inner.config.max_write_buffer / 2
+                    {
+                        self.update_interest(token);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Splits the connection's read buffer into complete lines and
+    /// handles each; `eof` additionally serves a trailing newline-free
+    /// line. Lines after a `shutdown` (or any close-marking request) on
+    /// the same connection are discarded — framing intent is gone.
+    fn process_buffered(&mut self, token: u64, eof: bool) {
+        let max = self.inner.config.max_line_bytes;
+        let buf = match self.conns.get_mut(&token) {
+            Some(c) => std::mem::take(&mut c.read_buf),
+            None => return,
+        };
+        let mut start = 0;
+        loop {
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            if conn.close_after_flush {
+                return; // remainder discarded
+            }
+            let rest = &buf[start..];
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if pos > max {
+                        self.reject_too_long(token);
+                        return;
+                    }
+                    let line = rest[..pos].to_vec();
+                    start += pos + 1;
+                    self.handle_line(token, &line);
+                }
+                None => {
+                    if rest.len() > max {
+                        self.reject_too_long(token);
+                        return;
+                    }
+                    if eof && !rest.is_empty() {
+                        let line = rest.to_vec();
+                        start = buf.len();
+                        self.handle_line(token, &line);
+                    }
+                    break;
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if !conn.close_after_flush {
+                conn.read_buf = buf;
+                conn.read_buf.drain(..start);
+            }
+        }
+    }
+
+    /// A line crossed `max_line_bytes`: answer `bad_request` and close
+    /// once flushed — framing is lost, exactly like the threaded path.
+    fn reject_too_long(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.close_after_flush = true;
+        self.inner
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let line = too_long_response(self.inner);
+        self.complete_local(token, seq, line, false);
+    }
+
+    fn assign_seq(&mut self, token: u64) -> u64 {
+        let conn = self.conns.get_mut(&token).expect("seq for live conn");
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        seq
+    }
+
+    fn handle_line(&mut self, token: u64, bytes: &[u8]) {
+        let line = match std::str::from_utf8(bytes) {
+            Ok(l) => l,
+            Err(_) => {
+                self.inner
+                    .metrics
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = bad_utf8_response(self.inner);
+                let seq = self.assign_seq(token);
+                self.complete_local(token, seq, resp, false);
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            return;
+        }
+        self.inner
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.inner
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = error_response(&salvage_id(line), &e);
+                let seq = self.assign_seq(token);
+                self.complete_local(token, seq, resp, false);
+                return;
+            }
+        };
+        let seq = self.assign_seq(token);
+        if matches!(request.command, Command::Shutdown) {
+            // Flag first, then acknowledge — and the ack is sequenced
+            // after this connection's earlier pipelined responses, so a
+            // client that pipelines solves before `shutdown` sees every
+            // answer, then the ack, then EOF.
+            self.inner.begin_shutdown();
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.close_after_flush = true;
+            }
+            self.complete_local(token, seq, shutdown_ack(&request.id), true);
+            return;
+        }
+        if let Some((resp, ok)) = control_response(self.inner, &request) {
+            self.complete_local(token, seq, resp, ok);
+            return;
+        }
+        // Data plane: sequence number travels with the sink; the worker's
+        // `write_line` lands in the mailbox and the loop restores order.
+        if let Some(conn) = self.conns.get(&token) {
+            self.inner
+                .metrics
+                .pipeline_peak
+                .fetch_max(conn.next_seq - conn.next_flush, Ordering::Relaxed);
+        }
+        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        let sink = ResponseSink::Event {
+            shared: Arc::clone(self.shared),
+            token,
+            seq,
+        };
+        if let Some((resp, ok)) = admit(self.inner, request, sink, Instant::now()) {
+            self.shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+            self.complete_local(token, seq, resp, ok);
+        }
+    }
+
+    /// A response produced on the loop thread itself (control plane,
+    /// admission rejections, framing errors): counted like `write_line`
+    /// counts, then sequenced.
+    fn complete_local(&mut self, token: u64, seq: u64, line: String, ok: bool) {
+        if ok {
+            self.inner.metrics.ok_total.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner
+                .metrics
+                .error_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.ready.insert(seq, line);
+        }
+        self.pump(token);
+    }
+
+    /// Collects worker completions. Completions for connections that
+    /// died in the meantime are discarded (their job already ran — only
+    /// the response has nowhere to go), but still release the drain
+    /// barrier.
+    fn drain_completions(&mut self) {
+        let batch: Vec<Completion> = {
+            let mut mailbox = self
+                .shared
+                .completions
+                .lock()
+                .expect("completion mailbox poisoned");
+            std::mem::take(&mut mailbox)
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity(batch.len());
+        for c in batch {
+            self.shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+            if let Some(conn) = self.conns.get_mut(&c.token) {
+                conn.ready.insert(c.seq, c.line);
+                touched.push(c.token);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for token in touched {
+            self.pump(token);
+        }
+    }
+
+    /// Moves contiguous completed responses into the write buffer,
+    /// flushes as much as the socket accepts, and settles the
+    /// connection's fate: slow-client cap, close-after-flush, interest
+    /// re-arming.
+    fn pump(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while let Some(line) = conn.ready.remove(&conn.next_flush) {
+            conn.out_buf.extend_from_slice(line.as_bytes());
+            conn.out_buf.push(b'\n');
+            conn.next_flush += 1;
+        }
+        let mut dead = false;
+        if conn.backlog() > 0 {
+            let t = Instant::now();
+            loop {
+                match conn.stream.write(&conn.out_buf[conn.out_cursor..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_cursor += n;
+                        if conn.out_cursor == conn.out_buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            self.inner.metrics.record_stage("write", t.elapsed());
+            if conn.out_cursor == conn.out_buf.len() {
+                conn.out_buf.clear();
+                conn.out_cursor = 0;
+            } else if conn.out_cursor > 64 << 10 {
+                // Reclaim written bytes without quadratic shifting on
+                // every partial write.
+                conn.out_buf.drain(..conn.out_cursor);
+                conn.out_cursor = 0;
+            }
+        }
+        if dead {
+            self.drop_conn(token);
+            return;
+        }
+        let conn = self.conns.get(&token).expect("conn vanished mid-pump");
+        if conn.backlog() > self.inner.config.max_write_buffer {
+            // The client is not reading its responses; cut it loose
+            // instead of buffering without bound.
+            self.inner
+                .metrics
+                .slow_client_disconnects
+                .fetch_add(1, Ordering::Relaxed);
+            self.drop_conn(token);
+            return;
+        }
+        if conn.fully_flushed() && (conn.close_after_flush || conn.read_closed) {
+            self.drop_conn(token);
+            return;
+        }
+        self.update_interest(token);
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let backlog = conn.backlog();
+        let mut want = 0u32;
+        let pause_reads = conn.read_closed
+            || conn.close_after_flush
+            || backlog >= self.inner.config.max_write_buffer / 2;
+        if !pause_reads {
+            want |= EPOLLIN | EPOLLRDHUP;
+        }
+        if backlog > 0 {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest
+            && self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), token, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.epoll.delete(conn.stream.as_raw_fd());
+            self.inner
+                .metrics
+                .connections_live
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}

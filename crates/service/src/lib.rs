@@ -13,10 +13,14 @@
 //! * [`protocol`] — a newline-delimited JSON wire protocol
 //!   (hand-rolled [`json`] — the workspace has no serde) with
 //!   per-request ids, deadlines, and stable error codes;
-//! * [`server`] — a std-only TCP server: acceptor, per-connection
-//!   readers, a fixed worker pool behind a *bounded* admission queue
-//!   (full queue ⇒ explicit `overloaded` response), end-to-end deadline
-//!   accounting, graceful drain on shutdown;
+//! * [`server`] — a std-only TCP server with two transports (see
+//!   [`server::Transport`]): a nonblocking epoll event loop (linux
+//!   default — one loop thread serves every connection, with pipelining
+//!   and bounded write-buffer backpressure) and a thread-per-connection
+//!   reference path; both feed the same fixed worker pool behind a
+//!   *bounded* admission queue (full queue ⇒ explicit `overloaded`
+//!   response), with end-to-end deadline accounting and graceful drain
+//!   on shutdown;
 //! * [`coalesce`] — cross-request solve coalescing: per-graph flush
 //!   windows pack concurrent solves into one shared
 //!   [`solve_group`](mwc_core::QueryEngine::solve_group) execution whose
@@ -73,8 +77,12 @@ pub mod catalog;
 pub mod client;
 pub mod coalesce;
 pub mod error;
+#[cfg(target_os = "linux")]
+pub(crate) mod event_loop;
 pub mod json;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod net;
 pub mod protocol;
 pub mod router;
 pub mod server;
@@ -82,12 +90,14 @@ pub mod shard;
 pub mod trace;
 
 pub use catalog::{Catalog, CatalogEntry, GraphSource};
-pub use client::{Client, ClientError, GraphInfo, RouterClient, WireError, WireReport};
+pub use client::{
+    Client, ClientError, GraphInfo, PipelinedClient, RouterClient, WireError, WireReport,
+};
 pub use coalesce::{CoalesceConfig, Coalescer};
 pub use error::{Result, ServiceError};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics};
 pub use router::{RouterConfig, RouterHandle, ShardSpec};
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{start, ServerConfig, ServerHandle, Transport};
 pub use shard::HashRing;
 pub use trace::{SlowLog, SpanRecord, TraceContext, TraceRecorder};

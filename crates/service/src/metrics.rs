@@ -132,8 +132,22 @@ pub struct Metrics {
     pub queue_peak: AtomicU64,
     /// Connections accepted.
     pub connections_total: AtomicU64,
-    /// Connections currently open (serving threads inc/dec this).
+    /// Connections currently open. Authoritative from the owning
+    /// transport: the epoll loop's connection table, or the threaded
+    /// acceptor (incremented at accept, decremented at reader exit) —
+    /// both count at the same instant, so the gauge reads identically
+    /// whichever transport serves.
     pub connections_live: AtomicU64,
+    /// Clients disconnected because their outbound backlog crossed the
+    /// write-buffer cap (epoll transport backpressure).
+    pub slow_client_disconnects: AtomicU64,
+    /// Event-loop `epoll_wait` returns (epoll transport).
+    pub loop_wakeups: AtomicU64,
+    /// Readiness events the event loop has dispatched (epoll transport).
+    pub loop_events: AtomicU64,
+    /// High-water mark of in-flight pipelined requests on any single
+    /// connection (epoll transport).
+    pub pipeline_peak: AtomicU64,
     solver_latency: RwLock<HashMap<String, Arc<Histogram>>>,
     /// Always-on per-stage duration histograms (`admission`, `solve`,
     /// `serialize`, `write`, …) — the aggregate view of the same stages
@@ -155,6 +169,10 @@ impl Default for Metrics {
             queue_peak: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             connections_live: AtomicU64::new(0),
+            slow_client_disconnects: AtomicU64::new(0),
+            loop_wakeups: AtomicU64::new(0),
+            loop_events: AtomicU64::new(0),
+            pipeline_peak: AtomicU64::new(0),
             solver_latency: RwLock::new(HashMap::new()),
             stage_latency: RwLock::new(HashMap::new()),
         }
@@ -271,6 +289,18 @@ impl Metrics {
                     ("queue_depth", load(&self.queue_depth)),
                 ]),
             ),
+            (
+                "event_loop",
+                Json::obj([
+                    ("wakeups", load(&self.loop_wakeups)),
+                    ("events", load(&self.loop_events)),
+                    ("pipeline_peak", load(&self.pipeline_peak)),
+                    (
+                        "slow_client_disconnects",
+                        load(&self.slow_client_disconnects),
+                    ),
+                ]),
+            ),
             ("solvers", solvers),
             ("stages", stages),
         ])
@@ -324,6 +354,21 @@ impl Metrics {
             "Connections accepted.",
             l(&self.connections_total),
         );
+        counter(
+            "mwc_slow_client_disconnects_total",
+            "Clients disconnected at the write-buffer byte cap.",
+            l(&self.slow_client_disconnects),
+        );
+        counter(
+            "mwc_loop_wakeups_total",
+            "Event-loop epoll_wait returns.",
+            l(&self.loop_wakeups),
+        );
+        counter(
+            "mwc_loop_events_total",
+            "Readiness events dispatched by the event loop.",
+            l(&self.loop_events),
+        );
         let mut gauge = |name: &str, help: &str, v: f64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -353,6 +398,11 @@ impl Metrics {
             "mwc_queue_capacity",
             "Configured admission-queue capacity.",
             queue_capacity as f64,
+        );
+        gauge(
+            "mwc_pipeline_peak",
+            "High-water mark of in-flight pipelined requests on one connection.",
+            l(&self.pipeline_peak) as f64,
         );
         {
             let map = self.solver_latency.read().expect("metrics lock poisoned");

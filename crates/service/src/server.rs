@@ -1,24 +1,31 @@
-//! The TCP server: acceptor + per-connection readers + a fixed worker
-//! pool behind a bounded admission queue.
+//! The TCP server: two interchangeable transports in front of a fixed
+//! worker pool behind a bounded admission queue.
 //!
 //! # Architecture
 //!
 //! ```text
-//! acceptor thread ──spawns──▶ reader thread (1 per connection)
-//!                                 │  parse line → Request
-//!                                 │  control cmds (ping/stats/graphs/
-//!                                 │  evict/shutdown): answered inline
-//!                                 ▼
-//!                          bounded JobQueue ──✗ full → "overloaded"
-//!                                 │
-//!                    worker pool (N threads): solve/batch/load/burn
-//!                                 │  solve → per-graph coalescing
-//!                                 │  window (see [`crate::coalesce`])
-//!                                 ▼ per-connection write mutex
-//!                             response line
+//!            threads transport                 epoll transport (linux)
+//!  acceptor ──spawns──▶ reader thread      one event-loop thread:
+//!  (1 per connection)                      nonblocking accept + read +
+//!        │ parse line → Request            write over a registered
+//!        │ control cmds answered inline    connection table (pipelined,
+//!        ▼                                 responses in request order)
+//!                     bounded JobQueue ──✗ full → "overloaded"
+//!                            │
+//!               worker pool (N threads): solve/batch/load/burn
+//!                            │  solve → per-graph coalescing
+//!                            │  window (see [`crate::coalesce`])
+//!                            ▼
+//!          per-connection write mutex  /  completion mailbox
+//!          (threads)                      + eventfd wakeup (epoll)
 //! ```
 //!
-//! Two properties this shape buys:
+//! [`ServerConfig::transport`] selects the transport; both speak the
+//! identical wire protocol (the loopback suites run bit-identically
+//! under either — CI pins this). The epoll loop lives in
+//! [`crate::event_loop`], over the tiny syscall shim in `net`.
+//!
+//! Properties this shape buys:
 //!
 //! * **Admission control** — solving work is bounded by `workers +
 //!   queue_capacity`; beyond that the server answers `overloaded`
@@ -29,10 +36,13 @@
 //!   request is read; queue wait is charged against it, and the residue
 //!   becomes the solver's cooperative [`QueryOptions`] deadline. A
 //!   request that expires in the queue is failed without starting.
+//! * **Connection scale** (epoll) — 10k mostly-idle connections cost one
+//!   loop thread and a table entry each, not 10k reader threads; slow
+//!   clients are bounded by a per-connection write-buffer cap.
 //!
 //! Shutdown is graceful: the queue drains, workers finish in-flight
-//! solves, readers notice within one poll interval, and `join` collects
-//! every thread.
+//! solves, readers (or the event loop) notice within one poll interval,
+//! and `join` collects every thread.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -55,6 +65,36 @@ use crate::trace::{
     next_trace_id, span_tree, SlowLog, TraceContext, TraceRecorder, DEFAULT_SLOWLOG_CAPACITY,
     DEFAULT_SLOWLOG_MS, NO_PARENT,
 };
+
+/// Which accept/read/write machinery serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// One reader thread per connection (portable reference path).
+    Threads,
+    /// One nonblocking event-loop thread over epoll (linux). Supports
+    /// pipelining: many in-flight requests per connection, answered in
+    /// request order.
+    Epoll,
+}
+
+impl Transport {
+    /// Platform default — `Epoll` on linux, `Threads` elsewhere —
+    /// overridable with `MWC_TRANSPORT=threads|epoll` (how CI runs the
+    /// same loopback suites under both transports).
+    pub fn from_env_or_default() -> Transport {
+        match std::env::var("MWC_TRANSPORT").as_deref() {
+            Ok("threads") => Transport::Threads,
+            Ok("epoll") => Transport::Epoll,
+            _ => {
+                if cfg!(target_os = "linux") {
+                    Transport::Epoll
+                } else {
+                    Transport::Threads
+                }
+            }
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -87,6 +127,13 @@ pub struct ServerConfig {
     pub slowlog_threshold: Duration,
     /// Slow-query ring capacity: newest entries evict oldest beyond it.
     pub slowlog_capacity: usize,
+    /// Accept/read/write machinery (see [`Transport`]).
+    pub transport: Transport,
+    /// Per-connection outbound byte cap (epoll transport): a client not
+    /// reading its responses is disconnected once this many bytes are
+    /// queued for it, instead of buffering without bound. Reading from
+    /// the connection pauses at half this backlog.
+    pub max_write_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -104,21 +151,38 @@ impl Default for ServerConfig {
             coalesce: CoalesceConfig::default(),
             slowlog_threshold: Duration::from_millis(DEFAULT_SLOWLOG_MS),
             slowlog_capacity: DEFAULT_SLOWLOG_CAPACITY,
+            transport: Transport::from_env_or_default(),
+            max_write_buffer: 8 << 20,
         }
     }
 }
 
-struct Job {
-    request: Request,
-    out: Arc<Mutex<TcpStream>>,
-    received: Instant,
+/// Where a worker's response line goes: straight to the connection's
+/// stream (threads transport) or back to the event loop's completion
+/// mailbox, tagged with the connection token and per-connection sequence
+/// number so pipelined responses flush in request order (epoll).
+#[derive(Clone)]
+pub(crate) enum ResponseSink {
+    Stream(Arc<Mutex<TcpStream>>),
+    #[cfg(target_os = "linux")]
+    Event {
+        shared: Arc<crate::event_loop::LoopShared>,
+        token: u64,
+        seq: u64,
+    },
+}
+
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) sink: ResponseSink,
+    pub(crate) received: Instant,
 }
 
 /// FIFO queue with a hard capacity; `try_push` fails fast when full.
-struct JobQueue {
+pub(crate) struct JobQueue {
     jobs: Mutex<VecDeque<Job>>,
-    ready: Condvar,
-    capacity: usize,
+    pub(crate) ready: Condvar,
+    pub(crate) capacity: usize,
 }
 
 impl JobQueue {
@@ -169,18 +233,18 @@ impl JobQueue {
     }
 }
 
-struct Inner {
-    catalog: Arc<Catalog>,
-    metrics: Arc<Metrics>,
-    config: ServerConfig,
-    queue: JobQueue,
-    coalescer: Coalescer,
-    slowlog: SlowLog,
-    shutdown: AtomicBool,
+pub(crate) struct Inner {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) config: ServerConfig,
+    pub(crate) queue: JobQueue,
+    pub(crate) coalescer: Coalescer,
+    pub(crate) slowlog: SlowLog,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl Inner {
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.ready.notify_all();
         // Flush every coalescing window before anyone sees the shutdown
@@ -198,6 +262,8 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// The epoll transport's single loop thread (`None` under threads).
+    event_loop: Option<JoinHandle<()>>,
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
@@ -220,7 +286,7 @@ pub fn start(
         shutdown: AtomicBool::new(false),
     });
 
-    let workers = (0..inner.config.workers.max(1))
+    let workers: Vec<JoinHandle<()>> = (0..inner.config.workers.max(1))
         .map(|i| {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -231,21 +297,51 @@ pub fn start(
         .collect();
 
     let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let acceptor = {
-        let inner = Arc::clone(&inner);
-        let readers = Arc::clone(&readers);
-        std::thread::Builder::new()
-            .name("mwc-acceptor".to_string())
-            .spawn(move || acceptor_loop(&inner, &listener, &readers))
-            .expect("spawn acceptor")
-    };
+    let mut acceptor = None;
+    let mut event_loop = None;
+    match inner.config.transport {
+        Transport::Threads => {
+            let inner2 = Arc::clone(&inner);
+            let readers2 = Arc::clone(&readers);
+            acceptor = Some(
+                std::thread::Builder::new()
+                    .name("mwc-acceptor".to_string())
+                    .spawn(move || acceptor_loop(&inner2, &listener, &readers2))
+                    .expect("spawn acceptor"),
+            );
+        }
+        #[cfg(target_os = "linux")]
+        Transport::Epoll => {
+            let shared = crate::event_loop::LoopShared::new()?;
+            let inner2 = Arc::clone(&inner);
+            event_loop = Some(
+                std::thread::Builder::new()
+                    .name("mwc-epoll".to_string())
+                    .spawn(move || crate::event_loop::run(&inner2, listener, &shared))
+                    .expect("spawn event loop"),
+            );
+        }
+        #[cfg(not(target_os = "linux"))]
+        Transport::Epoll => {
+            // Stop the worker pool we just started before reporting.
+            inner.begin_shutdown();
+            for w in workers {
+                let _ = w.join();
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "the epoll transport requires linux; use Transport::Threads",
+            ));
+        }
+    }
 
     Ok(ServerHandle {
         inner,
         addr,
-        acceptor: Some(acceptor),
+        acceptor,
         workers,
         readers,
+        event_loop,
     })
 }
 
@@ -293,13 +389,21 @@ impl ServerHandle {
     }
 
     fn join_all(&mut self) {
-        // Unblock the acceptor's blocking `accept` with a no-op connect.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         if let Some(acceptor) = self.acceptor.take() {
+            // Unblock the acceptor's blocking `accept` with a no-op
+            // connect (the epoll loop needs no wake: its wait times out
+            // every poll interval).
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
             let _ = acceptor.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(event_loop) = self.event_loop.take() {
+            // After the workers: every admitted job has published its
+            // completion by now, so the loop's outstanding count can
+            // only drain to zero.
+            let _ = event_loop.join();
         }
         let readers: Vec<JoinHandle<()>> = self
             .readers
@@ -315,7 +419,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() {
+        if self.acceptor.is_some() || self.event_loop.is_some() {
             self.inner.begin_shutdown();
             self.join_all();
         }
@@ -363,37 +467,68 @@ fn acceptor_loop(
             let _ = stream.write_all(b"\n");
             continue;
         }
+        // Count the connection live at accept, not at reader startup, so
+        // the gauge is authoritative the moment the accept returns — the
+        // same instant the epoll transport counts it into its table.
         inner
             .metrics
             .connections_total
             .fetch_add(1, Ordering::Relaxed);
+        inner
+            .metrics
+            .connections_live
+            .fetch_add(1, Ordering::Relaxed);
         let inner2 = Arc::clone(inner);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("mwc-conn".to_string())
-            .spawn(move || serve_connection(&inner2, stream))
-            .expect("spawn connection reader");
-        registry.push(handle);
+            .spawn(move || serve_connection(&inner2, stream));
+        match spawned {
+            Ok(handle) => registry.push(handle),
+            Err(_) => {
+                // Thread exhaustion (e.g. at high --connections counts):
+                // shed the connection like an over-limit accept instead
+                // of killing the acceptor.
+                inner
+                    .metrics
+                    .connections_live
+                    .fetch_sub(1, Ordering::Relaxed);
+                inner.metrics.overload_total.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.error_total.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
-fn write_line(out: &Mutex<TcpStream>, line: &str, ok: bool, metrics: &Metrics) {
+pub(crate) fn write_line(sink: &ResponseSink, line: &str, ok: bool, metrics: &Metrics) {
     if ok {
         metrics.ok_total.fetch_add(1, Ordering::Relaxed);
     } else {
         metrics.error_total.fetch_add(1, Ordering::Relaxed);
     }
-    // One write per response: two small writes on a Nagle-enabled socket
-    // trigger the delayed-ACK interaction (~40 ms per response — the
-    // difference between ~100 and thousands of requests per second).
-    let mut buf = Vec::with_capacity(line.len() + 1);
-    buf.extend_from_slice(line.as_bytes());
-    buf.push(b'\n');
-    let t = Instant::now();
-    let mut stream = out.lock().expect("connection write lock poisoned");
-    let _ = stream.write_all(&buf);
-    let _ = stream.flush();
-    drop(stream);
-    metrics.record_stage("write", t.elapsed());
+    match sink {
+        ResponseSink::Stream(out) => {
+            // One write per response: two small writes on a Nagle-enabled
+            // socket trigger the delayed-ACK interaction (~40 ms per
+            // response — the difference between ~100 and thousands of
+            // requests per second).
+            let mut buf = Vec::with_capacity(line.len() + 1);
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+            let t = Instant::now();
+            let mut stream = out.lock().expect("connection write lock poisoned");
+            let _ = stream.write_all(&buf);
+            let _ = stream.flush();
+            drop(stream);
+            metrics.record_stage("write", t.elapsed());
+        }
+        #[cfg(target_os = "linux")]
+        ResponseSink::Event { shared, token, seq } => {
+            // The loop sequences the line into the connection's bounded
+            // write buffer and does the socket write itself (recording
+            // the `write` stage there).
+            shared.complete(*token, *seq, line);
+        }
+    }
 }
 
 /// Decrements `connections_live` when the reader thread exits, whatever
@@ -475,21 +610,19 @@ pub(crate) fn read_line_bounded(
 }
 
 fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
-    inner
-        .metrics
-        .connections_live
-        .fetch_add(1, Ordering::Relaxed);
+    // The acceptor already counted this connection live; the guard only
+    // decrements on the way out.
     let _live = LiveConnection(&inner.metrics);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let out = Arc::new(Mutex::new(match stream.try_clone() {
+    let sink = ResponseSink::Stream(Arc::new(Mutex::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
-    }));
+    })));
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
-    'conn: loop {
+    loop {
         match read_line_bounded(
             &mut reader,
             &mut buf,
@@ -499,15 +632,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
             LineRead::Eof | LineRead::Closed => return,
             LineRead::TooLong => {
                 inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-                inner
-                    .metrics
-                    .bad_request_total
-                    .fetch_add(1, Ordering::Relaxed);
-                let err = ServiceError::BadRequest(format!(
-                    "request line exceeds {} bytes",
-                    inner.config.max_line_bytes
-                ));
-                write_line(&out, &error_response(&None, &err), false, &inner.metrics);
+                write_line(&sink, &too_long_response(inner), false, &inner.metrics);
                 return; // framing is lost; drop the connection
             }
             LineRead::Line => {}
@@ -516,12 +641,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
             Ok(line) => line,
             Err(_) => {
                 inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-                inner
-                    .metrics
-                    .bad_request_total
-                    .fetch_add(1, Ordering::Relaxed);
-                let err = ServiceError::BadRequest("request line is not UTF-8".to_string());
-                write_line(&out, &error_response(&None, &err), false, &inner.metrics);
+                write_line(&sink, &bad_utf8_response(inner), false, &inner.metrics);
                 continue;
             }
         };
@@ -529,7 +649,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
             continue;
         }
         inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-        let mut request = match parse_request(line) {
+        let request = match parse_request(line) {
             Ok(r) => r,
             Err(e) => {
                 inner
@@ -537,7 +657,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                     .bad_request_total
                     .fetch_add(1, Ordering::Relaxed);
                 write_line(
-                    &out,
+                    &sink,
                     &error_response(&salvage_id(line), &e),
                     false,
                     &inner.metrics,
@@ -545,42 +665,93 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 continue;
             }
         };
-        // Pin the trace id at the entry point: every layer below — the
-        // span tree, the slow log, the coalescing window — reads the
-        // same one. The router forwards its own, so a shard keeps it.
-        if let Command::Solve { ref mut params, .. } | Command::Batch { ref mut params, .. } =
-            request.command
-        {
-            if params.trace && params.trace_id.is_none() {
-                params.trace_id = Some(next_trace_id());
-            }
+        if matches!(request.command, Command::Shutdown) {
+            // Flag first, then acknowledge: the client must never see
+            // the response while `is_shutting_down()` still reads
+            // false (the pre-nodelay sockets hid this race behind
+            // ~40 ms of Nagle delay).
+            inner.begin_shutdown();
+            write_line(&sink, &shutdown_ack(&request.id), true, &inner.metrics);
+            return;
         }
-        match request.command {
-            // Control plane: answered inline, never queued, so they work
-            // even under overload.
-            Command::Ping => {
-                let resp = ok_response(&request.id, vec![("pong", Json::Bool(true))]);
-                write_line(&out, &resp, true, &inner.metrics);
+        if let Some((line, ok)) = control_response(inner, &request) {
+            write_line(&sink, &line, ok, &inner.metrics);
+            continue;
+        }
+        if let Some((line, ok)) = admit(inner, request, sink.clone(), Instant::now()) {
+            write_line(&sink, &line, ok, &inner.metrics);
+        }
+    }
+}
+
+/// The response to a request line that exceeded `max_line_bytes`
+/// (framing is lost — the connection must be dropped after sending it).
+pub(crate) fn too_long_response(inner: &Inner) -> String {
+    inner
+        .metrics
+        .bad_request_total
+        .fetch_add(1, Ordering::Relaxed);
+    let err = ServiceError::BadRequest(format!(
+        "request line exceeds {} bytes",
+        inner.config.max_line_bytes
+    ));
+    error_response(&None, &err)
+}
+
+/// The response to a request line that was not UTF-8 (framing survives).
+pub(crate) fn bad_utf8_response(inner: &Inner) -> String {
+    inner
+        .metrics
+        .bad_request_total
+        .fetch_add(1, Ordering::Relaxed);
+    let err = ServiceError::BadRequest("request line is not UTF-8".to_string());
+    error_response(&None, &err)
+}
+
+/// The `shutdown` acknowledgement line. Callers must set the shutdown
+/// flag (`begin_shutdown`) *before* writing it.
+pub(crate) fn shutdown_ack(id: &Option<Json>) -> String {
+    ok_response(id, vec![("stopping", Json::Bool(true))])
+}
+
+/// Answers a control-plane command inline — never queued, so these work
+/// even under overload. `None` for data-plane commands (and `shutdown`,
+/// which each transport handles itself). Both transports build their
+/// control responses here, which is what keeps them wire-identical.
+pub(crate) fn control_response(inner: &Inner, request: &Request) -> Option<(String, bool)> {
+    match request.command {
+        Command::Ping => Some((
+            ok_response(&request.id, vec![("pong", Json::Bool(true))]),
+            true,
+        )),
+        Command::Stats => {
+            let mut snap = inner.metrics.snapshot(inner.queue.capacity);
+            // Solve-cache counters live in the per-graph engines, not
+            // the metrics registry; graft them into the snapshot.
+            if let Json::Obj(fields) = &mut snap {
+                fields.insert("solve_cache".to_string(), cache_stats_json(&inner.catalog));
+                fields.insert("coalesce".to_string(), inner.coalescer.stats_json());
+                fields.insert(
+                    "transport".to_string(),
+                    Json::from(match inner.config.transport {
+                        Transport::Threads => "threads",
+                        Transport::Epoll => "epoll",
+                    }),
+                );
             }
-            Command::Stats => {
-                let mut snap = inner.metrics.snapshot(inner.queue.capacity);
-                // Solve-cache counters live in the per-graph engines, not
-                // the metrics registry; graft them into the snapshot.
-                if let Json::Obj(fields) = &mut snap {
-                    fields.insert("solve_cache".to_string(), cache_stats_json(&inner.catalog));
-                    fields.insert("coalesce".to_string(), inner.coalescer.stats_json());
-                }
-                let resp = ok_response(&request.id, vec![("stats", snap)]);
-                write_line(&out, &resp, true, &inner.metrics);
-            }
-            Command::Metrics => {
-                let text = inner.metrics.render_prometheus(inner.queue.capacity);
-                let resp = ok_response(&request.id, vec![("text", Json::Str(text))]);
-                write_line(&out, &resp, true, &inner.metrics);
-            }
-            Command::Slowlog { limit } => {
-                let entries = inner.slowlog.snapshot(limit.unwrap_or(usize::MAX));
-                let resp = ok_response(
+            Some((ok_response(&request.id, vec![("stats", snap)]), true))
+        }
+        Command::Metrics => {
+            let text = inner.metrics.render_prometheus(inner.queue.capacity);
+            Some((
+                ok_response(&request.id, vec![("text", Json::Str(text))]),
+                true,
+            ))
+        }
+        Command::Slowlog { limit } => {
+            let entries = inner.slowlog.snapshot(limit.unwrap_or(usize::MAX));
+            Some((
+                ok_response(
                     &request.id,
                     vec![
                         (
@@ -589,120 +760,123 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
                         ),
                         ("entries", Json::Arr(entries)),
                     ],
-                );
-                write_line(&out, &resp, true, &inner.metrics);
-            }
-            Command::Graphs => {
-                let graphs: Vec<Json> = inner
-                    .catalog
-                    .list()
-                    .iter()
-                    .map(|e| {
-                        Json::obj([
-                            ("name", Json::from(e.name.as_str())),
-                            ("source", Json::from(e.source.as_str())),
-                            ("nodes", Json::from(e.num_nodes())),
-                            ("edges", Json::from(e.num_edges())),
-                            (
-                                "solvers",
-                                Json::Arr(
-                                    e.solver_names().iter().map(|s| Json::from(*s)).collect(),
-                                ),
-                            ),
-                        ])
-                    })
-                    .collect();
-                let resp = ok_response(&request.id, vec![("graphs", Json::Arr(graphs))]);
-                write_line(&out, &resp, true, &inner.metrics);
-            }
-            Command::Evict { ref name } => {
-                // Fail everything parked in the graph's coalescing window
-                // *before* removing the entry, so no request waits on a
-                // queue whose graph is gone (stable `graph_evicted` code,
-                // retryable).
-                let aborted = inner.coalescer.abort(name);
-                let evicted = inner.catalog.evict(name);
-                let resp = ok_response(
+                ),
+                true,
+            ))
+        }
+        Command::Graphs => {
+            let graphs: Vec<Json> = inner
+                .catalog
+                .list()
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("name", Json::from(e.name.as_str())),
+                        ("source", Json::from(e.source.as_str())),
+                        ("nodes", Json::from(e.num_nodes())),
+                        ("edges", Json::from(e.num_edges())),
+                        (
+                            "solvers",
+                            Json::Arr(e.solver_names().iter().map(|s| Json::from(*s)).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            Some((
+                ok_response(&request.id, vec![("graphs", Json::Arr(graphs))]),
+                true,
+            ))
+        }
+        Command::Evict { ref name } => {
+            // Fail everything parked in the graph's coalescing window
+            // *before* removing the entry, so no request waits on a
+            // queue whose graph is gone (stable `graph_evicted` code,
+            // retryable).
+            let aborted = inner.coalescer.abort(name);
+            let evicted = inner.catalog.evict(name);
+            Some((
+                ok_response(
                     &request.id,
                     vec![
                         ("evicted", Json::Bool(evicted)),
                         ("aborted", Json::from(aborted)),
                     ],
-                );
-                write_line(&out, &resp, true, &inner.metrics);
-            }
-            Command::Shard { .. } => {
-                // A single server is not a shard ring; the router answers
-                // this one. Stable error so probes can tell the two apart.
-                let err = ServiceError::BadRequest(
-                    "no shard ring here: \"shard\" is answered by mwc-router".to_string(),
-                );
-                inner
-                    .metrics
-                    .bad_request_total
-                    .fetch_add(1, Ordering::Relaxed);
-                write_line(
-                    &out,
-                    &error_response(&request.id, &err),
-                    false,
-                    &inner.metrics,
-                );
-            }
-            Command::Shutdown => {
-                // Flag first, then acknowledge: the client must never see
-                // the response while `is_shutting_down()` still reads
-                // false (the pre-nodelay sockets hid this race behind
-                // ~40 ms of Nagle delay).
-                inner.begin_shutdown();
-                let resp = ok_response(&request.id, vec![("stopping", Json::Bool(true))]);
-                write_line(&out, &resp, true, &inner.metrics);
-                return;
-            }
-            // Data plane: bounded queue, executed by the worker pool.
-            Command::Solve { .. }
-            | Command::Batch { .. }
-            | Command::Load { .. }
-            | Command::Burn { .. } => {
-                if let Command::Batch { ref queries, .. } = request.command {
-                    if queries.len() > inner.config.max_batch {
-                        let err = ServiceError::BadRequest(format!(
-                            "batch of {} exceeds max_batch = {}",
-                            queries.len(),
-                            inner.config.max_batch
-                        ));
-                        inner
-                            .metrics
-                            .bad_request_total
-                            .fetch_add(1, Ordering::Relaxed);
-                        write_line(
-                            &out,
-                            &error_response(&request.id, &err),
-                            false,
-                            &inner.metrics,
-                        );
-                        continue 'conn;
-                    }
-                }
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    write_line(
-                        &out,
-                        &error_response(&request.id, &ServiceError::ShuttingDown),
-                        false,
-                        &inner.metrics,
-                    );
-                    continue;
-                }
-                let id = request.id.clone();
-                let job = Job {
-                    request,
-                    out: Arc::clone(&out),
-                    received: Instant::now(),
-                };
-                if let Err(e) = inner.queue.try_push(job, &inner.metrics) {
-                    inner.metrics.overload_total.fetch_add(1, Ordering::Relaxed);
-                    write_line(&out, &error_response(&id, &e), false, &inner.metrics);
-                }
-            }
+                ),
+                true,
+            ))
+        }
+        Command::Shard { .. } => {
+            // A single server is not a shard ring; the router answers
+            // this one. Stable error so probes can tell the two apart.
+            let err = ServiceError::BadRequest(
+                "no shard ring here: \"shard\" is answered by mwc-router".to_string(),
+            );
+            inner
+                .metrics
+                .bad_request_total
+                .fetch_add(1, Ordering::Relaxed);
+            Some((error_response(&request.id, &err), false))
+        }
+        Command::Shutdown
+        | Command::Solve { .. }
+        | Command::Batch { .. }
+        | Command::Load { .. }
+        | Command::Burn { .. } => None,
+    }
+}
+
+/// Admits a data-plane request into the worker queue, pinning its trace
+/// id at the entry point. Returns `Some((line, false))` when the request
+/// was rejected instead (oversized batch, shutdown, full queue) — the
+/// caller sends that line through its own path. On `None` the response
+/// will arrive through `sink` from a worker.
+pub(crate) fn admit(
+    inner: &Arc<Inner>,
+    mut request: Request,
+    sink: ResponseSink,
+    received: Instant,
+) -> Option<(String, bool)> {
+    // Pin the trace id at the entry point: every layer below — the
+    // span tree, the slow log, the coalescing window — reads the
+    // same one. The router forwards its own, so a shard keeps it.
+    if let Command::Solve { ref mut params, .. } | Command::Batch { ref mut params, .. } =
+        request.command
+    {
+        if params.trace && params.trace_id.is_none() {
+            params.trace_id = Some(next_trace_id());
+        }
+    }
+    if let Command::Batch { ref queries, .. } = request.command {
+        if queries.len() > inner.config.max_batch {
+            let err = ServiceError::BadRequest(format!(
+                "batch of {} exceeds max_batch = {}",
+                queries.len(),
+                inner.config.max_batch
+            ));
+            inner
+                .metrics
+                .bad_request_total
+                .fetch_add(1, Ordering::Relaxed);
+            return Some((error_response(&request.id, &err), false));
+        }
+    }
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return Some((
+            error_response(&request.id, &ServiceError::ShuttingDown),
+            false,
+        ));
+    }
+    let id = request.id.clone();
+    let job = Job {
+        request,
+        sink,
+        received,
+    };
+    match inner.queue.try_push(job, &inner.metrics) {
+        Ok(()) => None,
+        Err(e) => {
+            inner.metrics.overload_total.fetch_add(1, Ordering::Relaxed);
+            Some((error_response(&id, &e), false))
         }
     }
 }
@@ -724,7 +898,7 @@ fn worker_loop(inner: &Arc<Inner>) {
         match execute(inner, &job) {
             Ok(payload) => {
                 observe_slow(inner, &job, true);
-                write_line(&job.out, &ok_response(&id, payload), true, &inner.metrics);
+                write_line(&job.sink, &ok_response(&id, payload), true, &inner.metrics);
             }
             Err(e) => {
                 if matches!(e, ServiceError::DeadlineExceeded { .. }) {
@@ -734,7 +908,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                         .fetch_add(1, Ordering::Relaxed);
                 }
                 observe_slow(inner, &job, false);
-                write_line(&job.out, &error_response(&id, &e), false, &inner.metrics);
+                write_line(&job.sink, &error_response(&id, &e), false, &inner.metrics);
             }
         }
     }
@@ -810,7 +984,7 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
                 .fetch_add(1, Ordering::Relaxed);
             observe_slow(inner, &job, false);
             write_line(
-                &job.out,
+                &job.sink,
                 &error_response(&job.request.id, &e),
                 false,
                 &inner.metrics,
@@ -823,7 +997,7 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
         Err(e) => {
             observe_slow(inner, &job, false);
             write_line(
-                &job.out,
+                &job.sink,
                 &error_response(&job.request.id, &e),
                 false,
                 &inner.metrics,
@@ -835,7 +1009,7 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
     let ctx = trace.as_ref().map(RequestTrace::ctx).unwrap_or_default();
     let respond: Responder = {
         let id = job.request.id.clone();
-        let out = Arc::clone(&job.out);
+        let sink = job.sink.clone();
         let inner = Arc::clone(inner);
         let graph = params.graph.clone();
         let solver = params.solver.clone();
@@ -887,7 +1061,7 @@ fn maybe_coalesce(inner: &Arc<Inner>, job: Job) -> Option<Job> {
                 }
                 Json::obj(fields)
             });
-            write_line(&out, &response, ok, &inner.metrics);
+            write_line(&sink, &response, ok, &inner.metrics);
         })
     };
     match inner.coalescer.submit(
