@@ -117,6 +117,9 @@ struct Args {
     out: String,
     seed: u64,
     router: bool,
+    /// `--reshard`: live-migration smoke — a standby shard joins the
+    /// ring mid-run while the closed-loop workload keeps going.
+    reshard: bool,
     shards: usize,
     shard_workers: usize,
     contend: bool,
@@ -135,7 +138,7 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--graph NAME=SPEC]... [--clients N]\n\
          \x20      [--duration-secs N] [--solvers A,B,..] [--deadline-ms N]\n\
          \x20      [--out PATH] [--seed N]\n\
-         \x20      [--router [--shards N] [--shard-workers N]]\n\
+         \x20      [--router [--reshard] [--shards N] [--shard-workers N]]\n\
          \x20      [--contend [--contend-window-us N]]\n\
          \x20      [--trace-overhead] [--connections N [--conn-rate R]]\n\
          \x20      [--metrics-out PATH] [--slowlog-out PATH]"
@@ -154,6 +157,7 @@ fn parse_cli() -> Args {
         out: String::new(),
         seed: 42,
         router: false,
+        reshard: false,
         shards: 2,
         shard_workers: 1,
         contend: false,
@@ -186,6 +190,7 @@ fn parse_cli() -> Args {
             "--out" => args.out = value(),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--router" => args.router = true,
+            "--reshard" => args.reshard = true,
             "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
             "--shard-workers" => args.shard_workers = value().parse().unwrap_or_else(|_| usage()),
             "--contend" => args.contend = true,
@@ -226,11 +231,17 @@ fn parse_cli() -> Args {
         args.clients = 32;
     }
     if args.out.is_empty() {
-        args.out = if args.router {
+        args.out = if args.router && args.reshard {
+            "BENCH_reshard.json".into()
+        } else if args.router {
             "BENCH_router.json".into()
         } else {
             "BENCH_service.json".into()
         };
+    }
+    if args.reshard && !args.router {
+        eprintln!("--reshard is a mode of the router tier; pass --router too");
+        usage();
     }
     if args.graphs.is_empty() && !args.router {
         args.graphs = if args.contend {
@@ -403,6 +414,10 @@ fn measure(
 
 fn main() {
     let args = parse_cli();
+    if args.router && args.reshard {
+        reshard_main(&args);
+        return;
+    }
     if args.router {
         router_main(&args);
         return;
@@ -789,6 +804,216 @@ fn router_main(args: &Args) {
         "loadgen --router: 1 shard {rps_1:.1} r/s, {} shards {rps_n:.1} r/s, speedup {speedup:.2}x → {}",
         args.shards, args.out
     );
+}
+
+/// `--router --reshard`: live catalog migration under load. A tier of
+/// `--shards` shards serves the closed-loop workload twice: a steady
+/// run, then a run during which a standby shard joins the ring via the
+/// `reshard` control command — streaming graph sources and warm solve
+/// caches to their new owners before routing flips. The gated `speedup`
+/// is the during-reshard / steady-state throughput ratio: ≈1.0 when
+/// migration costs the tier nothing, collapsing if the flip ever stalls
+/// or breaks in-flight traffic (a transport failure aborts the run).
+fn reshard_main(args: &Args) {
+    // Corpus: one graph the grown ring provably hands to the joining
+    // shard (so the reshard always migrates something) and one it
+    // leaves alone — or the user's own graphs.
+    let standby_name = format!("shard-{}", args.shards);
+    let corpus: Vec<(String, String)> = if args.graphs.is_empty() {
+        let grown = HashRing::new(
+            (0..=args.shards).map(|i| format!("shard-{i}")),
+            mwc_service::shard::DEFAULT_VNODES,
+        );
+        let moving = (0..)
+            .map(|i| format!("ba-{i}"))
+            .find(|n| grown.route(n) == standby_name)
+            .expect("ring never routed a name to the standby");
+        let staying = (0..)
+            .map(|i| format!("st-{i}"))
+            .find(|n| grown.route(n) != standby_name)
+            .expect("ring routed every name to the standby");
+        vec![
+            (moving, "ba:2000x3".to_string()),
+            (staying, "ba:2000x3".to_string()),
+        ]
+    } else {
+        args.graphs.clone()
+    };
+
+    eprintln!(
+        "loadgen --reshard: {} clients, {:?} per run, solvers {:?}, {} shards + 1 standby, corpus {:?}",
+        args.clients,
+        args.duration,
+        args.solvers,
+        args.shards,
+        corpus
+            .iter()
+            .map(|(n, s)| format!("{n}={s}"))
+            .collect::<Vec<_>>()
+    );
+
+    // Caches stay ON: the warm handoff is the point of reshard.
+    let start_shard = || {
+        let config = ServerConfig {
+            workers: args.shard_workers.max(1),
+            ..ServerConfig::default()
+        };
+        server::start(Arc::new(Catalog::new()), config, "127.0.0.1:0").expect("bind shard")
+    };
+    let shards: Vec<server::ServerHandle> = (0..args.shards).map(|_| start_shard()).collect();
+    let standby = start_shard();
+    let specs: Vec<ShardSpec> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, h)| ShardSpec::new(format!("shard-{i}"), h.local_addr().to_string()))
+        .collect();
+    let handle = router::start(specs, RouterConfig::default(), "127.0.0.1:0").expect("bind router");
+    let addr = handle.local_addr().to_string();
+
+    let mut loader = Client::connect(addr.as_str()).expect("connect loader");
+    let mut graphs: Vec<(String, usize)> = Vec::new();
+    for (name, spec) in &corpus {
+        let (nodes, _) = loader
+            .load(name, spec)
+            .unwrap_or_else(|e| panic!("load {name}={spec} via router: {e}"));
+        graphs.push((name.clone(), nodes));
+    }
+
+    let half = Args {
+        duration: args.duration / 2,
+        ..args.clone()
+    };
+    eprintln!("loadgen --reshard: run 1/2 — steady state");
+    let (secs_before, samples_before) = measure(addr.as_str(), &half, &graphs, false);
+
+    eprintln!("loadgen --reshard: run 2/2 — {standby_name} joins the ring mid-run");
+    let standby_addr = standby.local_addr().to_string();
+    let ((secs_during, samples_during), (reshard_ms, migrated, streamed, lost)) =
+        std::thread::scope(|scope| {
+            let (addr, standby_name, standby_addr, quarter) = (
+                addr.as_str(),
+                standby_name.as_str(),
+                standby_addr.as_str(),
+                half.duration / 4,
+            );
+            let controller = scope.spawn(move || {
+                std::thread::sleep(quarter);
+                let mut control = Client::connect(addr).expect("connect reshard controller");
+                let started = Instant::now();
+                let raw = control
+                    .roundtrip_line(&format!(
+                        r#"{{"cmd":"reshard","add":{{"name":"{standby_name}","addr":"{standby_addr}"}}}}"#
+                    ))
+                    .expect("reshard roundtrip");
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                let v = mwc_service::json::parse(raw.trim()).expect("reshard response json");
+                assert_eq!(
+                    v.get("ok").and_then(Json::as_bool),
+                    Some(true),
+                    "reshard failed under load: {raw}"
+                );
+                let count = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_array)
+                        .map(|a| a.len() as u64)
+                        .unwrap_or(0)
+                };
+                let streamed = v
+                    .get("streamed_cache_entries")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                (ms, count("migrated"), streamed, count("lost"))
+            });
+            let run = measure(addr, &half, &graphs, false);
+            (run, controller.join().expect("reshard controller"))
+        });
+
+    let (rps_before, before) = totals_json(secs_before, &samples_before);
+    let (rps_during, during) = totals_json(secs_during, &samples_during);
+    let speedup = if rps_before > 0.0 {
+        rps_during / rps_before
+    } else {
+        0.0
+    };
+    println!(
+        "{:<24} {:>10} {:>14}",
+        "configuration", "ok reqs", "thruput r/s"
+    );
+    println!(
+        "{:<24} {:>10} {:>14.1}",
+        "steady state",
+        samples_before
+            .iter()
+            .filter(|s| s.outcome == Outcome::Ok)
+            .count(),
+        rps_before
+    );
+    println!(
+        "{:<24} {:>10} {:>14.1}",
+        "during reshard",
+        samples_during
+            .iter()
+            .filter(|s| s.outcome == Outcome::Ok)
+            .count(),
+        rps_during
+    );
+    println!(
+        "speedup: {speedup:.2}x (reshard {reshard_ms:.1} ms, {migrated} graphs migrated, \
+         {streamed} cache entries streamed, {lost} lost)"
+    );
+    assert!(
+        migrated >= 1,
+        "the reshard moved nothing — the corpus no longer exercises migration"
+    );
+
+    let doc = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("clients", Json::from(args.clients)),
+                ("duration_secs", Json::from(args.duration.as_secs_f64())),
+                (
+                    "solvers",
+                    Json::Arr(
+                        args.solvers
+                            .iter()
+                            .map(|s| Json::from(s.as_str()))
+                            .collect(),
+                    ),
+                ),
+                ("shards", Json::from(args.shards)),
+                ("shard_workers", Json::from(args.shard_workers.max(1))),
+                ("seed", Json::from(args.seed)),
+            ]),
+        ),
+        ("steady", before),
+        ("during_reshard", during),
+        (
+            "reshard",
+            Json::obj([
+                ("millis", Json::from(reshard_ms)),
+                ("migrated_graphs", Json::from(migrated)),
+                ("streamed_cache_entries", Json::from(streamed)),
+                ("lost_graphs", Json::from(lost)),
+            ]),
+        ),
+        ("speedup", Json::from(speedup)),
+    ]);
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(doc.to_string().as_bytes())
+        .expect("write output");
+    file.write_all(b"\n").expect("write output");
+    eprintln!(
+        "loadgen --reshard: steady {rps_before:.1} r/s, during reshard {rps_during:.1} r/s, \
+         speedup {speedup:.2}x → {}",
+        args.out
+    );
+
+    handle.shutdown();
+    standby.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
 }
 
 /// Deterministic pool of distinct query sets for `--contend`: small on

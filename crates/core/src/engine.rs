@@ -153,7 +153,7 @@ impl QueryOptions {
 
 /// Uniform solver output (the engine's replacement for the per-method
 /// result types `WsqSolution` / `ExactOutcome` / bare `Connector`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
     /// Registry name of the solver that produced the report.
     pub solver: String,
@@ -464,6 +464,24 @@ impl SolveCache {
                 inserted: Instant::now(),
             },
         );
+    }
+
+    /// Snapshot of every resident, unexpired entry, most recently used
+    /// first — the order an importer with a smaller budget should insert
+    /// in, so the warmest entries survive its eviction. Counts neither
+    /// hits nor misses: exporting a cache must not skew its stats.
+    fn export(&self) -> Vec<(CacheKey, SolveReport)> {
+        let inner = self.inner.lock().expect("solve cache poisoned");
+        let mut entries: Vec<(&CacheKey, &CacheEntry)> = inner
+            .map
+            .iter()
+            .filter(|(_, e)| self.ttl.is_none_or(|ttl| e.inserted.elapsed() < ttl))
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1.last_used));
+        entries
+            .into_iter()
+            .map(|(k, e)| (k.clone(), e.report.clone()))
+            .collect()
     }
 
     fn stats(&self) -> CacheStats {
@@ -1151,6 +1169,49 @@ impl<'g> QueryEngine<'g> {
     /// A snapshot of the solve cache's hit/miss/eviction counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Snapshot of the solve cache's resident entries — `(solver,
+    /// canonical query, size budget)` keys with their cached reports,
+    /// most recently used first. The handoff side of warm-cache
+    /// migration: a departing replica exports, the arriving replica
+    /// replays through [`Self::seed_cache`]. Expired entries are
+    /// excluded; stats counters are untouched.
+    pub fn export_cache(&self) -> Vec<(String, Vec<NodeId>, Option<usize>, SolveReport)> {
+        self.cache
+            .export()
+            .into_iter()
+            .map(|((solver, q, max_size), report)| (solver, q, max_size, report))
+            .collect()
+    }
+
+    /// Inserts an already-solved report into the solve cache under the
+    /// same key a fresh [`Self::solve`] of `(solver, q, max_size)` would
+    /// probe — the import side of warm-cache migration. The query is
+    /// canonicalized (sorted, deduplicated) exactly like the solve path;
+    /// normal LRU/byte/TTL budgets apply, so seeding more than fits
+    /// simply keeps the most recent inserts. No-op when caching is
+    /// disabled. Returns whether the entry was accepted.
+    pub fn seed_cache(
+        &self,
+        solver: &str,
+        q: &[NodeId],
+        max_size: Option<usize>,
+        report: SolveReport,
+    ) -> bool {
+        if self.cache.disabled() {
+            return false;
+        }
+        let mut canonical = q.to_vec();
+        canonical.sort_unstable();
+        canonical.dedup();
+        let key = (solver.to_string(), canonical, max_size);
+        let size = approx_entry_bytes(&key, &report);
+        if size > self.cache.max_bytes {
+            return false;
+        }
+        self.cache.insert(key, report);
+        true
     }
 
     /// Registers `solver` under [`ConnectorSolver::name`], replacing any

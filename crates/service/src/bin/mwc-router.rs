@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! mwc-router [--listen ADDR] --shard NAME=ADDR [--shard NAME=ADDR]...
-//!            [--vnodes N] [--fail-threshold N] [--reprobe-ms N]
-//!            [--backend-timeout-ms N]
+//!            [--replicas R] [--vnodes N] [--fail-threshold N]
+//!            [--reprobe-ms N] [--backend-timeout-ms N]
 //!
 //!   --listen ADDR           bind address (default 127.0.0.1:7070)
 //!   --shard NAME=ADDR       a backend mwc-server; repeatable, required.
 //!                           NAME is the ring identity (keep it stable
 //!                           across restarts), ADDR its host:port.
+//!   --replicas R            copies of each graph across the ring
+//!                           (default 1; clamped to the shard count).
+//!                           Reads pick among replicas and fall through
+//!                           on failure; loads/evicts fan out to all.
 //!   --vnodes N              virtual nodes per shard (default 64)
 //!   --fail-threshold N      consecutive failures before a shard is
 //!                           ejected (default 3)
@@ -21,8 +25,11 @@
 //! The router speaks the same newline-delimited JSON protocol as
 //! `mwc-server` on both sides: point `mwc-client` (or `loadgen
 //! --addr`) at it and every graph-addressed command is routed to the
-//! shard the ring assigns that graph name to. Stop it with
-//! `mwc-client <addr> shutdown` — the backends keep running.
+//! shard(s) the ring assigns that graph name to. The ring can be
+//! changed live with the `reshard` control command, which streams
+//! graph sources and warm solve caches to their new owners before
+//! flipping routing. Stop the router with `mwc-client <addr> shutdown`
+//! — the backends keep running.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,7 +39,8 @@ use mwc_service::router::{self, RouterConfig, ShardSpec};
 fn usage() -> ! {
     eprintln!(
         "usage: mwc-router [--listen ADDR] --shard NAME=ADDR [--shard NAME=ADDR]... \
-         [--vnodes N] [--fail-threshold N] [--reprobe-ms N] [--backend-timeout-ms N]"
+         [--replicas R] [--vnodes N] [--fail-threshold N] [--reprobe-ms N] \
+         [--backend-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -62,6 +70,13 @@ fn main() -> ExitCode {
                         eprintln!("--shard expects NAME=ADDR, got {spec:?}");
                         usage();
                     }
+                }
+            }
+            "--replicas" => {
+                config.replicas = value("--replicas").parse().unwrap_or_else(|_| usage());
+                if config.replicas == 0 {
+                    eprintln!("--replicas must be at least 1");
+                    usage();
                 }
             }
             "--vnodes" => config.vnodes = value("--vnodes").parse().unwrap_or_else(|_| usage()),
@@ -102,10 +117,12 @@ fn main() -> ExitCode {
     };
     let ring = handle.ring();
     eprintln!(
-        "mwc-router listening on {} ({} shards × {} vnodes: {}); stop with: mwc-client {} shutdown",
+        "mwc-router listening on {} ({} shards × {} vnodes, {} replica(s): {}); \
+         stop with: mwc-client {} shutdown",
         handle.local_addr(),
         ring.len(),
         ring.vnodes(),
+        handle.replicas(),
         ring.shards().join(", "),
         handle.local_addr()
     );

@@ -40,6 +40,7 @@ use mwc_graph::{Graph, NodeId};
 use rand::SeedableRng;
 
 use crate::error::{Result, ServiceError};
+use crate::protocol::CacheSeed;
 
 /// Where a cataloged graph comes from. Parsed from the spec strings the
 /// server takes on its command line and in `load` requests:
@@ -299,6 +300,63 @@ impl CatalogEntry {
             .map(|r| r.map(|report| self.translate_report(report)))
             .collect();
         outcome
+    }
+
+    /// Exports the engine's warm solve-cache entries as wire-ready
+    /// [`CacheSeed`]s, **original ids** throughout (query keys and
+    /// connectors are translated back through the permutation), most
+    /// recently used first. The handoff side of live migration: the
+    /// seeds feed another replica's [`CatalogEntry::import_cache`] —
+    /// possibly one that degree-ordered the same graph into a different
+    /// permutation, which is why the wire speaks original ids.
+    pub fn export_cache(&self) -> Vec<CacheSeed> {
+        self.engine
+            .export_cache()
+            .into_iter()
+            .map(|(solver, q, max_size, report)| CacheSeed {
+                solver,
+                q: self.perm.map_to_old(&q),
+                max_size,
+                report: self.translate_report(report),
+            })
+            .collect()
+    }
+
+    /// Imports warm-cache seeds exported by another replica (original
+    /// ids), translating into this engine's id space and inserting under
+    /// the exact key a fresh solve would probe. Seeds whose vertices do
+    /// not fit this graph are skipped — a stale export must not poison
+    /// the cache. Returns how many seeds were accepted (normal cache
+    /// budgets apply).
+    pub fn import_cache(&self, seeds: &[CacheSeed]) -> usize {
+        let mut imported = 0;
+        for seed in seeds {
+            if seed
+                .q
+                .iter()
+                .chain(seed.report.connector.vertices())
+                .any(|&v| (v as usize) >= self.nodes)
+            {
+                continue;
+            }
+            let q_new: Vec<NodeId> = seed.q.iter().map(|&v| self.to_engine_id(v)).collect();
+            let mut report = seed.report.clone();
+            report.connector = Connector::from_vertices(
+                report
+                    .connector
+                    .vertices()
+                    .iter()
+                    .map(|&v| self.to_engine_id(v))
+                    .collect(),
+            );
+            if self
+                .engine
+                .seed_cache(&seed.solver, &q_new, seed.max_size, report)
+            {
+                imported += 1;
+            }
+        }
+        imported
     }
 
     /// Batch counterpart of [`CatalogEntry::solve`]: queries in, reports
@@ -597,6 +655,49 @@ mod tests {
         e.solve("ws-q", &q, &QueryOptions::default()).unwrap();
         assert_eq!(e.cache_stats().expired, 0);
         assert_eq!(e.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_export_import_streams_warm_entries_in_original_ids() {
+        let catalog = Catalog::new();
+        let old = catalog.load("karate", "karate").unwrap();
+        let q = [11u32, 24, 25, 29];
+        let warm = old.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        old.solve("st", &[0, 33], &QueryOptions::default()).unwrap();
+
+        let seeds = old.export_cache();
+        assert_eq!(seeds.len(), 2);
+        // Seeds speak original ids: the ws-q seed's query is the one the
+        // client sent, and its connector contains it.
+        let ws = seeds.iter().find(|s| s.solver == "ws-q").unwrap();
+        let mut exported_q = ws.q.clone();
+        exported_q.sort_unstable();
+        assert_eq!(exported_q, q.to_vec(), "same terminal set, original ids");
+        assert!(ws.report.connector.contains_all(&q));
+
+        // A fresh replica imports the seeds and serves the first request
+        // warm — same answer, zero misses.
+        let other = Catalog::new();
+        let new = other.load("karate", "karate").unwrap();
+        assert_eq!(new.import_cache(&seeds), 2);
+        let replay = new.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        assert_eq!(replay.connector.vertices(), warm.connector.vertices());
+        assert_eq!(replay.wiener_index, warm.wiener_index);
+        let stats = new.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+
+        // Seeds that do not fit the graph are skipped, not imported.
+        let mut alien = seeds.clone();
+        alien[0].q = vec![9999];
+        let tiny = Catalog::new();
+        let t = tiny.load("karate", "karate").unwrap();
+        assert_eq!(t.import_cache(&alien), 1);
+
+        // A cache-disabled replica accepts nothing.
+        let cold = Catalog::new().with_solve_cache_bytes(0);
+        let c = cold.load("karate", "karate").unwrap();
+        assert_eq!(c.import_cache(&seeds), 0);
     }
 
     #[test]

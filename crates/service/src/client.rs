@@ -10,13 +10,55 @@ use mwc_graph::NodeId;
 
 use crate::json::{parse, Json};
 
-/// A server-reported error: the wire `code` plus its human message.
+/// A server-reported error: the wire `code`, its human message, and the
+/// server's own verdict on whether retrying could help.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireError {
     /// Stable machine-readable code (`overloaded`, `unknown_graph`, …).
     pub code: String,
     /// Human-oriented description.
     pub message: String,
+    /// The wire `retryable` flag: `true` for transient conditions
+    /// (backpressure, eviction races, shard failover) where the same
+    /// request may succeed if re-sent, `false` for deterministic
+    /// rejections.
+    pub retryable: bool,
+}
+
+impl WireError {
+    /// Decodes a wire error object (`{"code": ..., "message": ...,
+    /// "retryable": ...}`). Pre-v1 servers omit `retryable`; for those
+    /// the known transient codes are recognised as a fallback so retry
+    /// loops keep working against old binaries.
+    fn from_json(err: &Json) -> Self {
+        let code = err
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let retryable = err
+            .get("retryable")
+            .and_then(Json::as_bool)
+            .unwrap_or(matches!(
+                code.as_str(),
+                "overloaded" | "too_many_connections" | "graph_evicted" | "shard_unavailable"
+            ));
+        WireError {
+            retryable,
+            message: err
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            code,
+        }
+    }
+
+    /// Whether the server marked this failure transient — the typed
+    /// replacement for string-matching on [`WireError::code`].
+    pub fn is_retryable(&self) -> bool {
+        self.retryable
+    }
 }
 
 impl fmt::Display for WireError {
@@ -209,18 +251,7 @@ impl Client {
             Some(true) => Ok(v),
             Some(false) => {
                 let err = v.get("error").cloned().unwrap_or(Json::Null);
-                Err(ClientError::Server(WireError {
-                    code: err
-                        .get("code")
-                        .and_then(Json::as_str)
-                        .unwrap_or("unknown")
-                        .to_string(),
-                    message: err
-                        .get("message")
-                        .and_then(Json::as_str)
-                        .unwrap_or("")
-                        .to_string(),
-                }))
+                Err(ClientError::Server(WireError::from_json(&err)))
             }
             None => Err(ClientError::Protocol(format!(
                 "response missing \"ok\": {}",
@@ -361,18 +392,7 @@ impl Client {
         reports
             .iter()
             .map(|r| match r.get("error") {
-                Some(e) => Ok(Err(WireError {
-                    code: e
-                        .get("code")
-                        .and_then(Json::as_str)
-                        .unwrap_or("unknown")
-                        .to_string(),
-                    message: e
-                        .get("message")
-                        .and_then(Json::as_str)
-                        .unwrap_or("")
-                        .to_string(),
-                })),
+                Some(e) => Ok(Err(WireError::from_json(e))),
                 None => WireReport::from_json(r).map(Ok),
             })
             .collect()
@@ -615,18 +635,7 @@ impl PipelinedClient {
             Some(true) => Ok(v),
             Some(false) => {
                 let err = v.get("error").cloned().unwrap_or(Json::Null);
-                Err(ClientError::Server(WireError {
-                    code: err
-                        .get("code")
-                        .and_then(Json::as_str)
-                        .unwrap_or("unknown")
-                        .to_string(),
-                    message: err
-                        .get("message")
-                        .and_then(Json::as_str)
-                        .unwrap_or("")
-                        .to_string(),
-                }))
+                Err(ClientError::Server(WireError::from_json(&err)))
             }
             None => Err(ClientError::Protocol(format!(
                 "response missing \"ok\": {v}"
@@ -636,25 +645,27 @@ impl PipelinedClient {
 }
 
 /// A resharding-safe client for the sharded tier: a [`Client`] pointed
-/// at an `mwc-router`, with `shard_unavailable` (and `graph_evicted`)
-/// failures retried after a doubling backoff.
+/// at an `mwc-router`, with failures the server marked
+/// [retryable](WireError::is_retryable) retried after a doubling
+/// backoff.
 ///
-/// `shard_unavailable` is the router's *transient* verdict — the shard
-/// behind a graph is restarting, being replaced, or mid-reshard.
-/// `graph_evicted` is the coalescer's equivalent: the request was parked
-/// in a flush window whose graph was evicted or replaced mid-wait; a
-/// retry resolves the catalog afresh. A plain client surfaces both
-/// immediately; this wrapper absorbs the window:
+/// The server flags each wire error with `"retryable"`: true for
+/// transient conditions — `shard_unavailable` (the shard behind a graph
+/// is restarting, being replaced, or mid-reshard), `graph_evicted` (the
+/// request was parked in a coalescer window whose graph was evicted
+/// mid-wait), `overloaded` and `too_many_connections` (backpressure) —
+/// false for deterministic rejections. A plain client surfaces all of
+/// them immediately; this wrapper absorbs the transient ones:
 ///
-/// * every request method retries the call up to `max_retries` times,
-///   sleeping `backoff`, `2·backoff`, `4·backoff`, … between attempts
-///   (the reprobe loop on the router needs real time to re-admit a
-///   recovered shard);
+/// * every request method retries a retryable failure up to
+///   `max_retries` times, sleeping `backoff`, `2·backoff`, `4·backoff`,
+///   … between attempts (the reprobe loop on the router needs real time
+///   to re-admit a recovered shard);
 /// * [`RouterClient::batch`] additionally heals *partial* failures:
-///   entries that came back `shard_unavailable` inside an otherwise
-///   successful batch are re-issued as individual solves through the
-///   same retry path, so one dying shard costs latency, not answers —
-///   as long as it comes back.
+///   entries that came back retryable inside an otherwise successful
+///   batch are re-issued as individual solves through the same retry
+///   path, so one dying shard costs latency, not answers — as long as
+///   it comes back.
 ///
 /// Any other error (infeasible query, unknown solver, …) is returned
 /// immediately: retrying cannot change a deterministic answer.
@@ -693,9 +704,7 @@ impl RouterClient {
         let mut attempt = 0;
         loop {
             match call(&mut self.client) {
-                Err(ClientError::Server(e))
-                    if e.code == "shard_unavailable" || e.code == "graph_evicted" =>
-                {
+                Err(ClientError::Server(e)) if e.is_retryable() => {
                     if attempt >= self.max_retries {
                         return Err(ClientError::Server(e));
                     }
@@ -710,7 +719,7 @@ impl RouterClient {
         }
     }
 
-    /// [`Client::solve`] with retry-on-`shard_unavailable`.
+    /// [`Client::solve`] with retry on retryable errors.
     pub fn solve(
         &mut self,
         graph: &str,
@@ -722,7 +731,7 @@ impl RouterClient {
         self.with_retries(|c| c.solve(graph, solver, q, deadline_ms, max_size))
     }
 
-    /// [`Client::batch`] with retry-on-`shard_unavailable`, at both
+    /// [`Client::batch`] with retry on retryable errors, at both
     /// levels: a failed request is retried whole, and per-entry
     /// `shard_unavailable` errors in a successful reply are re-issued as
     /// individual solves (each with its own retries).
@@ -737,7 +746,7 @@ impl RouterClient {
         let mut results =
             self.with_retries(|c| c.batch(graph, solver, queries, deadline_ms, max_size))?;
         for (q, slot) in queries.iter().zip(results.iter_mut()) {
-            if matches!(slot, Err(e) if e.code == "shard_unavailable") {
+            if matches!(slot, Err(e) if e.is_retryable()) {
                 match self.solve(graph, solver, q, deadline_ms, max_size) {
                     Ok(report) => *slot = Ok(report),
                     // The re-issue's verdict supersedes the stale one:
@@ -789,13 +798,13 @@ impl RouterClient {
         })
     }
 
-    /// [`Client::load`] with retry-on-`shard_unavailable` (the ring
+    /// [`Client::load`] with retry on retryable errors (the ring
     /// decides which shard materializes the graph).
     pub fn load(&mut self, name: &str, source: &str) -> Result<(usize, usize)> {
         self.with_retries(|c| c.load(name, source))
     }
 
-    /// [`Client::evict`] with retry-on-`shard_unavailable`.
+    /// [`Client::evict`] with retry on retryable errors.
     pub fn evict(&mut self, name: &str) -> Result<bool> {
         self.with_retries(|c| c.evict(name))
     }

@@ -32,12 +32,22 @@ pub enum ServiceError {
         queue_capacity: usize,
     },
     /// The server is at its concurrent-connection limit; the connection
-    /// is refused after one error line. Same wire code as
-    /// [`ServiceError::Overloaded`] (`overloaded`) — clients back off
-    /// identically.
+    /// is refused after one error line. Its own wire code
+    /// (`too_many_connections`) so operators can tell connection-limit
+    /// shedding from queue shedding, but retryable exactly like
+    /// [`ServiceError::Overloaded`] — clients back off identically.
     TooManyConnections {
         /// Configured connection limit that was reached.
         limit: usize,
+    },
+    /// The request carried a `"v"` protocol version this server does not
+    /// speak. Stable code (`unsupported_version`) and NOT retryable: the
+    /// same request will fail the same way until the client downgrades.
+    UnsupportedVersion {
+        /// The version the request asked for.
+        requested: u64,
+        /// The version this server speaks.
+        supported: u64,
     },
     /// The request's deadline expired while it was still queued, so the
     /// solve was never started.
@@ -80,9 +90,9 @@ impl ServiceError {
             ServiceError::BadRequest(_) => "bad_request",
             ServiceError::UnknownGraph { .. } => "unknown_graph",
             ServiceError::BadSource(_) => "bad_source",
-            ServiceError::Overloaded { .. } | ServiceError::TooManyConnections { .. } => {
-                "overloaded"
-            }
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::TooManyConnections { .. } => "too_many_connections",
+            ServiceError::UnsupportedVersion { .. } => "unsupported_version",
             ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServiceError::ShuttingDown => "shutting_down",
             ServiceError::GraphEvicted { .. } => "graph_evicted",
@@ -98,6 +108,22 @@ impl ServiceError {
             },
             ServiceError::Io(_) => "io",
         }
+    }
+
+    /// Whether a client may expect the *same* request to succeed on
+    /// retry (after backoff): transient capacity and topology conditions
+    /// are retryable, semantic failures are not. This is the server-side
+    /// source of truth for the `"retryable"` field on wire error objects
+    /// — clients branch on [`crate::client::WireError::is_retryable`]
+    /// instead of matching code strings.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Overloaded { .. }
+                | ServiceError::TooManyConnections { .. }
+                | ServiceError::GraphEvicted { .. }
+                | ServiceError::ShardUnavailable { .. }
+        )
     }
 }
 
@@ -116,8 +142,15 @@ impl fmt::Display for ServiceError {
                 "server overloaded: admission queue of {queue_capacity} is full"
             ),
             ServiceError::TooManyConnections { limit } => {
-                write!(f, "server overloaded: connection limit {limit} reached")
+                write!(f, "connection limit {limit} reached")
             }
+            ServiceError::UnsupportedVersion {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "protocol version {requested} not supported (this server speaks v{supported})"
+            ),
             ServiceError::DeadlineExceeded { queued_ms } => write!(
                 f,
                 "deadline expired after {queued_ms} ms in the queue; solve not started"
@@ -197,5 +230,39 @@ mod tests {
             ServiceError::GraphEvicted { name: "g".into() }.code(),
             "graph_evicted"
         );
+        assert_eq!(
+            ServiceError::TooManyConnections { limit: 2 }.code(),
+            "too_many_connections"
+        );
+        assert_eq!(
+            ServiceError::UnsupportedVersion {
+                requested: 9,
+                supported: 1,
+            }
+            .code(),
+            "unsupported_version"
+        );
+    }
+
+    #[test]
+    fn retryable_marks_transient_conditions_only() {
+        assert!(ServiceError::Overloaded { queue_capacity: 4 }.retryable());
+        assert!(ServiceError::TooManyConnections { limit: 2 }.retryable());
+        assert!(ServiceError::GraphEvicted { name: "g".into() }.retryable());
+        assert!(ServiceError::ShardUnavailable {
+            shard: "s0".into(),
+            reason: "refused".into(),
+        }
+        .retryable());
+
+        assert!(!ServiceError::BadRequest("x".into()).retryable());
+        assert!(!ServiceError::ShuttingDown.retryable());
+        assert!(!ServiceError::DeadlineExceeded { queued_ms: 5 }.retryable());
+        assert!(!ServiceError::UnsupportedVersion {
+            requested: 9,
+            supported: 1,
+        }
+        .retryable());
+        assert!(!ServiceError::Core(CoreError::EmptyQuery).retryable());
     }
 }

@@ -97,6 +97,7 @@ pub use coalesce::{CoalesceConfig, Coalescer};
 pub use error::{Result, ServiceError};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics};
+pub use protocol::{CacheSeed, ShardChange, PROTOCOL_VERSION};
 pub use router::{RouterConfig, RouterHandle, ShardSpec};
 pub use server::{start, ServerConfig, ServerHandle, Transport};
 pub use shard::HashRing;

@@ -9,10 +9,12 @@
 //! # Grammar
 //!
 //! ```text
-//! request   = { "cmd": <command>, "id"?: <any>, ...command fields } "\n"
+//! request   = { "cmd": <command>, "id"?: <any>, "v"?: 1,
+//!               ...command fields } "\n"
 //! response  = { "ok": true,  "id"?: <echo>, ...payload }            "\n"
 //!           | { "ok": false, "id"?: <echo>,
-//!               "error": { "code": <string>, "message": <string> } } "\n"
+//!               "error": { "code": <string>, "message": <string>,
+//!                          "retryable": <bool> } }                   "\n"
 //!
 //! solve     = { "cmd":"solve", "graph":G, "solver":S, "q":[v…],
 //!               "deadline_ms"?: N, "max_size"?: N, "no_cache"?: bool,
@@ -26,12 +28,32 @@
 //! slowlog   = { "cmd":"slowlog", "limit"?: N }
 //! graphs    = { "cmd":"graphs" }
 //! shard     = { "cmd":"shard", "graph"?: G }  // ring/health introspection
-//! load      = { "cmd":"load", "name":N, "source":SPEC }
+//! load      = { "cmd":"load", "name":N, "source":SPEC,
+//!               "cache"?: [seed…] }           // seed = warm-cache entry
 //! evict     = { "cmd":"evict", "name":N }
+//! cache_export = { "cmd":"cache_export", "name":N }
+//!                                             // → { "entries":[seed…] }
+//! reshard   = { "cmd":"reshard", "add"?: {"name":N,"addr":A},
+//!               "remove"?: N }                // mwc-router only
 //! ping      = { "cmd":"ping" }
 //! burn      = { "cmd":"burn", "ms":N }        // synthetic CPU work
 //! shutdown  = { "cmd":"shutdown" }
+//!
+//! seed      = { "solver":S, "q":[v…], "max_size"?: N,
+//!               "report": <solve report object> }
 //! ```
+//!
+//! **Versioning.** Requests may carry an optional `"v"` field naming the
+//! protocol version they speak; absent means [`PROTOCOL_VERSION`]
+//! (currently 1), the version this grammar describes. A request whose
+//! `"v"` names any other version is rejected with the stable code
+//! `unsupported_version` *before* command dispatch — the field is the
+//! negotiation point for replica-aware commands like `reshard`: a future
+//! v2 client probes with `{"cmd":"ping","v":2}` and falls back on
+//! `unsupported_version` rather than discovering mid-migration that a
+//! command is missing. Servers never answer with a version they were not
+//! asked for; additive fields (like `"retryable"`) do not bump the
+//! version, removed or re-typed ones do.
 //!
 //! `batch` entries default to the top-level `"graph"`; an entry written
 //! as an object may override it, so one batch can span graphs (the
@@ -40,9 +62,17 @@
 //! groups the entries per graph itself). The top-level `"graph"` may be
 //! omitted only when every entry carries its own.
 //!
-//! `shard` is answered by `mwc-router` with ring assignments and backend
-//! health; a single `mwc-server` has no ring and rejects it with
-//! `bad_request`.
+//! `shard` and `reshard` are answered by `mwc-router` (ring/health
+//! introspection and live ring changes respectively); a single
+//! `mwc-server` has no ring and rejects both with `bad_request`.
+//!
+//! `cache_export` dumps a graph's warm solve-cache entries as `seed`
+//! objects (queries and connectors in the graph's *original* vertex ids),
+//! and `load` accepts the same seeds back in its optional `"cache"`
+//! field — together they let a migration stream a graph's warm cache from
+//! its old owner to its new one so the new owner never serves cold. The
+//! `load` response reports how many seeds were accepted in
+//! `"cache_imported"`.
 //!
 //! `no_cache` forces a fresh solve even when the per-graph engine has the
 //! answer cached (see `QueryEngine`'s solve cache), and keeps the fresh
@@ -84,11 +114,16 @@
 
 use std::time::Duration;
 
-use mwc_core::{QueryOptions, SolveReport};
+use mwc_core::{Connector, QueryOptions, SolveReport};
 use mwc_graph::NodeId;
 
 use crate::error::ServiceError;
 use crate::json::{parse, Json};
+
+/// The protocol version this module speaks. Requests may pin it with the
+/// optional `"v"` field; any other value is rejected with the stable
+/// `unsupported_version` code before command dispatch.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Fields shared by `solve` and `batch`.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +188,32 @@ impl BatchEntry {
     }
 }
 
+/// One warm solve-cache entry in transit: the cache key (solver,
+/// canonical query, size budget) plus the cached report, all vertex ids
+/// in the graph's *original* id space. Produced by `cache_export`,
+/// accepted back by `load`'s optional `"cache"` field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSeed {
+    /// Registry name of the solver that produced the entry.
+    pub solver: String,
+    /// The query vertex set (original ids; canonicalized on import).
+    pub q: Vec<NodeId>,
+    /// The `max_size` budget the entry was solved under, if any.
+    pub max_size: Option<usize>,
+    /// The cached solve result.
+    pub report: SolveReport,
+}
+
+/// A shard being added by a `reshard` command: ring name and dial
+/// address, mirroring the router's startup `--shard NAME=ADDR` spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardChange {
+    /// Ring name (identity — stable across restarts).
+    pub name: String,
+    /// `host:port` the router dials.
+    pub addr: String,
+}
+
 /// A parsed protocol command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -189,17 +250,36 @@ pub enum Command {
         /// When present, also report which shard owns this graph name.
         graph: Option<String>,
     },
-    /// Load a graph into the catalog.
+    /// Load a graph into the catalog, optionally pre-warming its solve
+    /// cache with exported entries from another replica.
     Load {
         /// Catalog name to publish under.
         name: String,
         /// Source spec (see [`crate::catalog::GraphSource`]).
         source: String,
+        /// Warm-cache seeds to import after the build (original ids);
+        /// usually from a `cache_export` against the old owner.
+        cache: Vec<CacheSeed>,
     },
     /// Remove a graph from the catalog.
     Evict {
         /// Catalog name to remove.
         name: String,
+    },
+    /// Export a graph's warm solve-cache entries (original ids) for
+    /// streaming to another replica during migration.
+    CacheExport {
+        /// Catalog name of the graph whose cache to export.
+        name: String,
+    },
+    /// Live ring change: add and/or remove a shard, migrating affected
+    /// graphs (source + warm cache) *before* routing flips. Answered by
+    /// `mwc-router`; a plain `mwc-server` rejects it.
+    Reshard {
+        /// Shard to add to the ring, if any.
+        add: Option<ShardChange>,
+        /// Ring name of the shard to remove, if any.
+        remove: Option<String>,
     },
     /// Liveness check.
     Ping,
@@ -339,11 +419,53 @@ fn batch_entry(
     }
 }
 
+/// Parses the seed objects of a `load` request's `"cache"` field.
+fn cache_seeds(v: &Json) -> Result<Vec<CacheSeed>, ServiceError> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| bad("\"cache\" must be an array of cache seeds"))?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, seed)| {
+            if !matches!(seed, Json::Obj(_)) {
+                return Err(bad(format!("cache seed {i} must be an object")));
+            }
+            Ok(CacheSeed {
+                solver: req_str(seed, "solver")?,
+                q: node_list(
+                    seed.get("q")
+                        .ok_or_else(|| bad(format!("cache seed {i} missing field \"q\"")))?,
+                    "cache seed \"q\"",
+                )?,
+                max_size: opt_u64(seed, "max_size")?.map(|m| m as usize),
+                report: report_from_json(
+                    seed.get("report")
+                        .ok_or_else(|| bad(format!("cache seed {i} missing field \"report\"")))?,
+                )?,
+            })
+        })
+        .collect()
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
     let obj = parse(line).map_err(|e| bad(e.to_string()))?;
     if !matches!(obj, Json::Obj(_)) {
         return Err(bad("request must be a JSON object"));
+    }
+    match obj.get("v") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let requested = v
+                .as_u64()
+                .ok_or_else(|| bad("field \"v\" must be a non-negative integer"))?;
+            if requested != PROTOCOL_VERSION {
+                return Err(ServiceError::UnsupportedVersion {
+                    requested,
+                    supported: PROTOCOL_VERSION,
+                });
+            }
+        }
     }
     let id = obj.get("id").cloned();
     let cmd = req_str(&obj, "cmd")?;
@@ -381,10 +503,36 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
         "load" => Command::Load {
             name: req_str(&obj, "name")?,
             source: req_str(&obj, "source")?,
+            cache: match obj.get("cache") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(v) => cache_seeds(v)?,
+            },
         },
         "evict" => Command::Evict {
             name: req_str(&obj, "name")?,
         },
+        "cache_export" => Command::CacheExport {
+            name: req_str(&obj, "name")?,
+        },
+        "reshard" => {
+            let add = match obj.get("add") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    if !matches!(v, Json::Obj(_)) {
+                        return Err(bad("\"add\" must be an object with \"name\" and \"addr\""));
+                    }
+                    Some(ShardChange {
+                        name: req_str(v, "name")?,
+                        addr: req_str(v, "addr")?,
+                    })
+                }
+            };
+            let remove = opt_str(&obj, "remove")?;
+            if add.is_none() && remove.is_none() {
+                return Err(bad("reshard needs \"add\" and/or \"remove\""));
+            }
+            Command::Reshard { add, remove }
+        }
         "ping" => Command::Ping,
         "burn" => Command::Burn {
             ms: opt_u64(&obj, "ms")?.ok_or_else(|| bad("missing field \"ms\""))?,
@@ -408,12 +556,17 @@ pub fn ok_response(id: &Option<Json>, mut payload: Vec<(&'static str, Json)>) ->
     with_id(payload, id).to_string()
 }
 
-/// The `{"code":…,"message":…}` object for `err` — the shape embedded in
-/// error responses and in per-entry `batch` errors.
+/// The `{"code":…,"message":…,"retryable":…}` object for `err` — the
+/// shape embedded in error responses and in per-entry `batch` errors.
+/// `"retryable"` is the machine-readable retry hint
+/// ([`ServiceError::retryable`]); clients branch on it via
+/// [`crate::client::WireError::is_retryable`] instead of matching code
+/// strings.
 pub fn error_json(err: &ServiceError) -> Json {
     Json::obj([
         ("code", Json::from(err.code())),
         ("message", Json::from(err.to_string())),
+        ("retryable", Json::Bool(err.retryable())),
     ])
 }
 
@@ -454,6 +607,53 @@ pub fn report_to_json(report: &SolveReport) -> Json {
             },
         ),
     ])
+}
+
+/// Inverse of [`report_to_json`]: re-inflates a [`SolveReport`] from its
+/// wire object — used when warm-cache seeds travel between replicas (the
+/// connector is re-inflated with [`Connector::from_vertices`]; the
+/// sender vouches for connectivity, exactly as with the client wrapper).
+pub fn report_from_json(v: &Json) -> Result<SolveReport, ServiceError> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("report must be an object"));
+    }
+    let connector = node_list(
+        v.get("connector")
+            .ok_or_else(|| bad("report missing field \"connector\""))?,
+        "report \"connector\"",
+    )?;
+    Ok(SolveReport {
+        solver: req_str(v, "solver")?,
+        connector: Connector::from_vertices(connector),
+        wiener_index: v
+            .get("wiener_index")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("report missing numeric field \"wiener_index\""))?,
+        seconds: v.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+        candidates: v.get("candidates").and_then(Json::as_u64).unwrap_or(0),
+        optimal: match v.get("optimal") {
+            None | Some(Json::Null) => None,
+            Some(Json::Bool(b)) => Some(*b),
+            Some(_) => return Err(bad("report \"optimal\" must be a boolean or null")),
+        },
+    })
+}
+
+/// Encodes one warm-cache seed as its wire object — the element shape of
+/// `cache_export`'s `"entries"` and `load`'s `"cache"`.
+pub fn cache_seed_to_json(seed: &CacheSeed) -> Json {
+    let mut fields = vec![
+        ("solver", Json::from(seed.solver.as_str())),
+        (
+            "q",
+            Json::Arr(seed.q.iter().map(|&v| Json::from(u64::from(v))).collect()),
+        ),
+    ];
+    if let Some(m) = seed.max_size {
+        fields.push(("max_size", Json::from(m)));
+    }
+    fields.push(("report", report_to_json(&seed.report)));
+    Json::obj(fields)
 }
 
 #[cfg(test)]
@@ -540,11 +740,33 @@ mod tests {
                 Command::Load {
                     name: "toy".into(),
                     source: "ba:100x2".into(),
+                    cache: Vec::new(),
                 },
             ),
             (
                 r#"{"cmd":"evict","name":"toy"}"#,
                 Command::Evict { name: "toy".into() },
+            ),
+            (
+                r#"{"cmd":"cache_export","name":"toy"}"#,
+                Command::CacheExport { name: "toy".into() },
+            ),
+            (
+                r#"{"cmd":"reshard","add":{"name":"s9","addr":"127.0.0.1:9"}}"#,
+                Command::Reshard {
+                    add: Some(ShardChange {
+                        name: "s9".into(),
+                        addr: "127.0.0.1:9".into(),
+                    }),
+                    remove: None,
+                },
+            ),
+            (
+                r#"{"cmd":"reshard","remove":"s0"}"#,
+                Command::Reshard {
+                    add: None,
+                    remove: Some("s0".into()),
+                },
             ),
         ];
         for (line, want) in cases {
@@ -645,10 +867,102 @@ mod tests {
             r#"{"cmd":"batch","graph":"g","solver":"s","queries":[0]}"#,
             r#"{"cmd":"burn"}"#,
             r#"{"cmd":"load","name":"x"}"#,
+            r#"{"cmd":"load","name":"x","source":"karate","cache":7}"#,
+            r#"{"cmd":"load","name":"x","source":"karate","cache":[{"solver":"s","q":[0,1]}]}"#,
+            r#"{"cmd":"reshard"}"#,
+            r#"{"cmd":"reshard","add":"s9"}"#,
+            r#"{"cmd":"cache_export"}"#,
+            r#"{"cmd":"ping","v":"one"}"#,
         ] {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.code(), "bad_request", "{line:?} → {err}");
         }
+    }
+
+    #[test]
+    fn version_field_gates_the_protocol() {
+        // Absent and explicit v=1 both parse.
+        assert_eq!(
+            parse_request(r#"{"cmd":"ping"}"#).unwrap().command,
+            Command::Ping
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"ping","v":1}"#).unwrap().command,
+            Command::Ping
+        );
+        // Any other version is rejected with the stable negotiation code,
+        // before command dispatch (even an unknown cmd reports the
+        // version problem, not bad_request).
+        for line in [
+            r#"{"cmd":"ping","v":2}"#,
+            r#"{"cmd":"ping","v":0}"#,
+            r#"{"cmd":"warp","v":7}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code(), "unsupported_version", "{line:?} → {err}");
+            assert!(!err.retryable());
+        }
+    }
+
+    #[test]
+    fn error_objects_carry_machine_readable_retryability() {
+        let retryable = error_json(&ServiceError::Overloaded { queue_capacity: 8 });
+        assert_eq!(retryable.get("retryable").unwrap().as_bool(), Some(true));
+        let terminal = error_json(&ServiceError::BadRequest("x".into()));
+        assert_eq!(terminal.get("retryable").unwrap().as_bool(), Some(false));
+        let conn = error_json(&ServiceError::TooManyConnections { limit: 3 });
+        assert_eq!(
+            conn.get("code").unwrap().as_str(),
+            Some("too_many_connections")
+        );
+        assert_eq!(conn.get("retryable").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn cache_seeds_roundtrip_through_the_wire_shape() {
+        use mwc_core::QueryEngine;
+        let g = mwc_graph::generators::karate::karate_club();
+        let report = QueryEngine::new(&g)
+            .solve("ws-q", &[11, 24, 25, 29])
+            .unwrap();
+        let seed = CacheSeed {
+            solver: "ws-q".into(),
+            q: vec![11, 24, 25, 29],
+            max_size: Some(12),
+            report,
+        };
+        let line = format!(
+            r#"{{"cmd":"load","name":"k","source":"karate","cache":[{}]}}"#,
+            cache_seed_to_json(&seed)
+        );
+        match parse_request(&line).unwrap().command {
+            Command::Load {
+                name,
+                source,
+                cache,
+            } => {
+                assert_eq!(name, "k");
+                assert_eq!(source, "karate");
+                assert_eq!(cache.len(), 1);
+                assert_eq!(cache[0].solver, seed.solver);
+                assert_eq!(cache[0].q, seed.q);
+                assert_eq!(cache[0].max_size, seed.max_size);
+                assert_eq!(
+                    cache[0].report.connector.vertices(),
+                    seed.report.connector.vertices()
+                );
+                assert_eq!(cache[0].report.wiener_index, seed.report.wiener_index);
+                assert_eq!(cache[0].report.optimal, seed.report.optimal);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // max_size is part of the cache key: absent must stay absent.
+        let bare = CacheSeed {
+            max_size: None,
+            ..seed
+        };
+        let json = cache_seed_to_json(&bare);
+        assert!(json.get("max_size").is_none());
     }
 
     #[test]

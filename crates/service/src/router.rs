@@ -21,11 +21,20 @@
 //! boundary inside each shard's `CatalogEntry` means a shard never needs
 //! to know the ring exists. What the router owns:
 //!
-//! * **Routing** — a deterministic [`HashRing`] over the shard names
-//!   (virtual nodes, see [`crate::shard`]) maps every graph name to one
-//!   shard. `solve`, `load`, and `evict` are forwarded verbatim over a
-//!   pooled connection and the backend's response line (ids included) is
-//!   relayed untouched.
+//! * **Replicated routing** — a deterministic [`HashRing`] over the
+//!   shard names (virtual nodes, see [`crate::shard`]) maps every graph
+//!   name to [`RouterConfig::replicas`] distinct shards. Reads (`solve`,
+//!   `batch` entries, `cache_export`) pick among the healthy replicas by
+//!   power-of-two-choices on in-flight load and *fall through* to the
+//!   next replica on transport failure — `shard_unavailable` surfaces
+//!   only when every copy is gone. Writes (`load`, `evict`) fan out to
+//!   all replicas concurrently and report a per-replica ack list.
+//! * **Live resharding** — the `reshard` control command adds and/or
+//!   removes a shard. Before routing flips, every graph whose replica
+//!   set gains a shard is streamed to the new owner — source spec *and*
+//!   warm solve cache, via the backends' `cache_export` / seeded `load`
+//!   commands — so a reshard never drops a graph below R−1 serving
+//!   copies and the new owner starts warm, not cold.
 //! * **Batch fan-out** — a `batch` whose entries span shards is split
 //!   into per-shard sub-batches executed concurrently; the replies are
 //!   reassembled into the original request order, with per-entry errors
@@ -40,18 +49,20 @@
 //! * **Merged observability** — `stats` and `graphs` fan out to every
 //!   live shard and come back as one document: an `aggregate` section
 //!   (summed counters), a per-shard section, and the router's own
-//!   counters; the `shard` command reports ring assignments and health.
+//!   counters; the `shard` command reports ring assignments (with
+//!   replica sets) and health.
 //!
 //! Failure mapping is the contract the acceptance tests pin: any
 //! transport failure talking to a shard — refused connection, EOF from a
 //! killed process, read timeout — surfaces as the stable
 //! `shard_unavailable` error code, never as a hang or a dropped
-//! connection, and the surviving shards keep serving.
+//! connection, and the surviving shards (and surviving replicas of each
+//! graph) keep serving.
 
 use std::io::Write;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -59,7 +70,8 @@ use crate::client::Client;
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::protocol::{
-    error_json, error_response, ok_response, parse_request, Command, Request, SolveParams,
+    error_json, error_response, ok_response, parse_request, Command, Request, ShardChange,
+    SolveParams,
 };
 use crate::server::{read_line_bounded, salvage_id, LineRead};
 use crate::shard::{HashRing, DEFAULT_VNODES};
@@ -90,6 +102,11 @@ impl ShardSpec {
 pub struct RouterConfig {
     /// Virtual nodes per shard on the ring (see [`crate::shard`]).
     pub vnodes: usize,
+    /// Copies of every graph: each graph name maps to this many distinct
+    /// shards (clamped to the shard count). Reads pick among the healthy
+    /// replicas and fall through on failure; `load`/`evict` fan out to
+    /// all of them. 1 (the default) is classic single-owner sharding.
+    pub replicas: usize,
     /// Hard cap on a request line's length, in bytes.
     pub max_line_bytes: usize,
     /// Maximum concurrent client connections (one reader thread each).
@@ -118,6 +135,7 @@ impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig {
             vnodes: DEFAULT_VNODES,
+            replicas: 1,
             max_line_bytes: 4 << 20,
             max_connections: 1024,
             poll_interval: Duration::from_millis(50),
@@ -142,6 +160,14 @@ struct RouterMetrics {
     bad_request_total: AtomicU64,
     /// Requests (or batch entries) failed with `shard_unavailable`.
     shard_unavailable_total: AtomicU64,
+    /// Reads answered by a later replica after an earlier one failed.
+    read_fallthrough_total: AtomicU64,
+    /// Completed `reshard` commands (routing actually flipped).
+    reshards_total: AtomicU64,
+    /// Graph copies streamed to a gaining shard during reshards.
+    migrated_graphs_total: AtomicU64,
+    /// Warm solve-cache entries imported by gaining shards.
+    streamed_cache_entries_total: AtomicU64,
     connections_total: AtomicU64,
 }
 
@@ -157,6 +183,9 @@ struct Backend {
     /// Set at `fail_threshold`; cleared by a successful reprobe (or any
     /// successful roundtrip).
     ejected: AtomicBool,
+    /// Forwards currently in flight — the load signal the
+    /// power-of-two-choices replica pick compares.
+    in_flight: AtomicUsize,
     forwarded_total: AtomicU64,
     failed_total: AtomicU64,
 }
@@ -169,6 +198,7 @@ impl Backend {
             idle: Mutex::new(Vec::new()),
             consecutive_failures: AtomicU32::new(0),
             ejected: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
             forwarded_total: AtomicU64::new(0),
             failed_total: AtomicU64::new(0),
         }
@@ -231,6 +261,13 @@ impl Backend {
                 self.consecutive_failures.load(Ordering::SeqCst)
             )));
         }
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let result = self.forward_inner(config, line);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    fn forward_inner(&self, config: &RouterConfig, line: &str) -> Result<String, ServiceError> {
         self.forwarded_total.fetch_add(1, Ordering::Relaxed);
         // Bind the pop so the pool guard drops *here* — scrutinee
         // temporaries live for the whole `if let` body, and `give_back`
@@ -310,6 +347,10 @@ impl Backend {
                 Json::from(self.consecutive_failures.load(Ordering::SeqCst) as u64),
             ),
             (
+                "in_flight",
+                Json::from(self.in_flight.load(Ordering::Relaxed) as u64),
+            ),
+            (
                 "forwarded",
                 Json::from(self.forwarded_total.load(Ordering::Relaxed)),
             ),
@@ -321,35 +362,92 @@ impl Backend {
     }
 }
 
-struct Inner {
+/// One immutable routing epoch: the ring plus the backends lined up with
+/// it. `reshard` builds a whole new table and swaps it in atomically;
+/// every request snapshots the current table once, so a mid-request flip
+/// never mixes epochs. Retained shards keep their [`Backend`] (pools,
+/// health, counters) across the swap via the `Arc`.
+struct RouteTable {
     ring: HashRing,
     /// Indexed identically to `ring.shards()`.
-    backends: Vec<Backend>,
+    backends: Vec<Arc<Backend>>,
+}
+
+impl RouteTable {
+    /// The replica set serving `graph`, primary first (see
+    /// [`HashRing::route_replicas`]).
+    fn replicas_for(&self, graph: &str, replicas: usize) -> Vec<Arc<Backend>> {
+        self.ring
+            .route_replicas(graph, replicas.max(1))
+            .into_iter()
+            .map(|i| Arc::clone(&self.backends[i]))
+            .collect()
+    }
+}
+
+struct Inner {
+    /// The live routing epoch; swapped whole by `reshard`.
+    routes: RwLock<Arc<RouteTable>>,
     config: RouterConfig,
     metrics: RouterMetrics,
     shutdown: AtomicBool,
-    /// Round-robin cursor for commands with no routing key (`burn`).
+    /// Round-robin cursor: spreads `burn` and seeds the two-choice pick.
     round_robin: AtomicUsize,
+    /// Serializes `reshard` commands — concurrent migrations over the
+    /// same table would race the flip.
+    reshard_gate: Mutex<()>,
 }
 
 impl Inner {
-    fn backend_for(&self, graph: &str) -> &Backend {
-        &self.backends[self.ring.route_index(graph)]
+    /// Snapshots the current routing epoch (cheap: one `Arc` clone).
+    fn table(&self) -> Arc<RouteTable> {
+        Arc::clone(&self.routes.read().expect("route table poisoned"))
+    }
+
+    /// Orders a replica set for a read: healthy replicas first, with the
+    /// front slot decided by power-of-two-choices — two distinct healthy
+    /// candidates, the one with fewer forwards in flight wins. Ejected
+    /// replicas go last: they fail fast and definitively, which is
+    /// exactly what the final fall-through attempt should do.
+    fn read_order(&self, candidates: Vec<Arc<Backend>>) -> Vec<Arc<Backend>> {
+        let (mut healthy, ejected): (Vec<_>, Vec<_>) =
+            candidates.into_iter().partition(|b| b.healthy());
+        if healthy.len() >= 2 {
+            let seq = self.round_robin.fetch_add(1, Ordering::Relaxed) as u64;
+            let n = healthy.len() as u64;
+            let a = (seq % n) as usize;
+            // A second, distinct candidate from a mixed rehash of the
+            // sequence number (no RNG needed for two-choice balance).
+            let b = {
+                let off = 1 + (seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % (n - 1);
+                ((a as u64 + off) % n) as usize
+            };
+            let pick = if healthy[b].in_flight.load(Ordering::Relaxed)
+                < healthy[a].in_flight.load(Ordering::Relaxed)
+            {
+                b
+            } else {
+                a
+            };
+            healthy.swap(0, pick);
+        }
+        healthy.extend(ejected);
+        healthy
     }
 
     /// The next healthy backend in round-robin order (for `burn`), or any
     /// backend if all are ejected (the forward will fail with the right
     /// error).
-    fn round_robin_backend(&self) -> &Backend {
-        let n = self.backends.len();
+    fn round_robin_backend(&self, table: &RouteTable) -> Arc<Backend> {
+        let n = table.backends.len();
         let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
         for off in 0..n {
-            let b = &self.backends[(start + off) % n];
+            let b = &table.backends[(start + off) % n];
             if b.healthy() {
-                return b;
+                return Arc::clone(b);
             }
         }
-        &self.backends[start % n]
+        Arc::clone(&table.backends[start % n])
     }
 }
 
@@ -389,7 +487,7 @@ pub fn start(
     }
     let ring = HashRing::new(shards.iter().map(|s| s.name.clone()), config.vnodes.max(1));
     // `ring.shards()` is sorted; line the backends up with it.
-    let backends: Vec<Backend> = ring
+    let backends: Vec<Arc<Backend>> = ring
         .shards()
         .iter()
         .map(|name| {
@@ -397,19 +495,19 @@ pub fn start(
                 .iter()
                 .find(|s| &s.name == name)
                 .expect("ring names come from the specs");
-            Backend::new(spec.name.clone(), spec.addr.clone())
+            Arc::new(Backend::new(spec.name.clone(), spec.addr.clone()))
         })
         .collect();
 
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let inner = Arc::new(Inner {
-        ring,
-        backends,
+        routes: RwLock::new(Arc::new(RouteTable { ring, backends })),
         config,
         metrics: RouterMetrics::default(),
         shutdown: AtomicBool::new(false),
         round_robin: AtomicUsize::new(0),
+        reshard_gate: Mutex::new(()),
     });
 
     let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -444,9 +542,17 @@ impl RouterHandle {
         self.addr
     }
 
-    /// The routing ring (shard assignment is `ring().route(graph)`).
-    pub fn ring(&self) -> &HashRing {
-        &self.inner.ring
+    /// A snapshot of the routing ring (shard assignment is
+    /// `ring().route(graph)`). A clone, not a borrow: `reshard` swaps
+    /// the live ring out from under long-lived references.
+    pub fn ring(&self) -> HashRing {
+        self.inner.table().ring.clone()
+    }
+
+    /// The configured replication factor (clamped to the shard count at
+    /// routing time).
+    pub fn replicas(&self) -> usize {
+        self.inner.config.replicas.max(1)
     }
 
     /// Whether shutdown has been initiated.
@@ -563,7 +669,8 @@ fn reprobe_loop(inner: &Arc<Inner>) {
             continue;
         }
         since_probe = Duration::ZERO;
-        for backend in inner.backends.iter().filter(|b| !b.healthy()) {
+        let table = inner.table();
+        for backend in table.backends.iter().filter(|b| !b.healthy()) {
             if inner.shutdown.load(Ordering::SeqCst) {
                 return;
             }
@@ -661,6 +768,7 @@ fn handle_request(
 ) -> bool {
     let id = request.id.clone();
     let metrics = &inner.metrics;
+    let replicas = inner.config.replicas.max(1);
     match request.command {
         Command::Ping => {
             metrics.local_total.fetch_add(1, Ordering::Relaxed);
@@ -679,6 +787,16 @@ fn handle_request(
                 out,
                 &ok_response(&id, shard_payload(inner, graph.as_deref())),
             );
+        }
+        Command::Reshard {
+            ref add,
+            ref remove,
+        } => {
+            metrics.local_total.fetch_add(1, Ordering::Relaxed);
+            match handle_reshard(inner, add.as_ref(), remove.as_deref()) {
+                Ok(payload) => write_raw(out, &ok_response(&id, payload)),
+                Err(e) => write_raw(out, &error_response(&id, &e)),
+            }
         }
         Command::Stats => {
             metrics.local_total.fetch_add(1, Ordering::Relaxed);
@@ -700,41 +818,49 @@ fn handle_request(
             write_raw(out, &ok_response(&id, merged_slowlog(inner, limit)));
         }
         Command::Solve { ref params, .. } if params.trace => {
-            relay_traced(
-                inner,
-                out,
-                inner.backend_for(&params.graph),
-                line,
-                &id,
-                params,
-            );
+            let table = inner.table();
+            let candidates = inner.read_order(table.replicas_for(&params.graph, replicas));
+            relay_read_traced(inner, out, &candidates, line, &id, params);
         }
         Command::Solve { ref params, .. } => {
-            relay(inner, out, inner.backend_for(&params.graph), line, &id);
+            let table = inner.table();
+            let candidates = inner.read_order(table.replicas_for(&params.graph, replicas));
+            relay_read(inner, out, &candidates, line, &id);
+        }
+        Command::CacheExport { ref name } => {
+            let table = inner.table();
+            let candidates = inner.read_order(table.replicas_for(name, replicas));
+            relay_read(inner, out, &candidates, line, &id);
         }
         Command::Load { ref name, .. } => {
-            relay(inner, out, inner.backend_for(name), line, &id);
+            let table = inner.table();
+            relay_write(inner, out, &table.replicas_for(name, replicas), line, &id);
         }
         Command::Evict { ref name } => {
-            relay(inner, out, inner.backend_for(name), line, &id);
+            let table = inner.table();
+            relay_write(inner, out, &table.replicas_for(name, replicas), line, &id);
         }
         Command::Burn { .. } => {
-            relay(inner, out, inner.round_robin_backend(), line, &id);
+            let table = inner.table();
+            let backend = inner.round_robin_backend(&table);
+            relay_read(inner, out, &[backend], line, &id);
         }
         Command::Batch { params, queries } => {
-            handle_batch(inner, out, line, &id, &params, &queries);
+            handle_batch(inner, out, &id, &params, &queries);
         }
     }
     false
 }
 
-/// Forwards `line` to `backend` and relays the backend's response line
-/// verbatim (ids pass through untouched); failures become one synthesized
-/// `shard_unavailable` error response.
-fn relay(
+/// Forwards `line` to the first answering replica (candidates in
+/// [`Inner::read_order`]) and relays its response line verbatim (ids
+/// pass through untouched). A transport failure *falls through* to the
+/// next replica; only when every copy failed does the client see one
+/// synthesized `shard_unavailable`.
+fn relay_read(
     inner: &Arc<Inner>,
     out: &Mutex<TcpStream>,
-    backend: &Backend,
+    candidates: &[Arc<Backend>],
     line: &str,
     id: &Option<Json>,
 ) {
@@ -742,29 +868,42 @@ fn relay(
         .metrics
         .forwarded_total
         .fetch_add(1, Ordering::Relaxed);
-    match backend.forward(&inner.config, line) {
-        Ok(response) => write_raw(out, &response),
-        Err(e) => {
-            inner
-                .metrics
-                .shard_unavailable_total
-                .fetch_add(1, Ordering::Relaxed);
-            write_raw(out, &error_response(id, &e));
+    let mut last: Option<ServiceError> = None;
+    for (attempt, backend) in candidates.iter().enumerate() {
+        match backend.forward(&inner.config, line) {
+            Ok(response) => {
+                if attempt > 0 {
+                    inner
+                        .metrics
+                        .read_fallthrough_total
+                        .fetch_add(attempt as u64, Ordering::Relaxed);
+                }
+                write_raw(out, &response);
+                return;
+            }
+            Err(e) => last = Some(e),
         }
     }
+    inner
+        .metrics
+        .shard_unavailable_total
+        .fetch_add(1, Ordering::Relaxed);
+    let err = last.expect("a replica set is never empty");
+    write_raw(out, &error_response(id, &err));
 }
 
-/// Forwards a traced `solve`: pins the trace id (generated here when the
-/// client did not send one) into the forwarded line so the shard's spans
-/// carry the same id, then nests the shard's returned span tree under
+/// Forwards a traced `solve` with the same replica fall-through as
+/// [`relay_read`]: pins the trace id (generated here when the client did
+/// not send one) into the forwarded line so the shard's spans carry the
+/// same id, then nests the answering shard's span tree under
 /// router-built `route`/`backend_rtt` spans. Span offsets inside the
 /// shard's subtree are relative to the *shard's* read instant (clocks
 /// are not synchronized across processes); durations compose — the
 /// shard's root is ≤ `backend_rtt`, which is ≤ `route`.
-fn relay_traced(
+fn relay_read_traced(
     inner: &Arc<Inner>,
     out: &Mutex<TcpStream>,
-    backend: &Backend,
+    candidates: &[Arc<Backend>],
     line: &str,
     id: &Option<Json>,
     params: &SolveParams,
@@ -784,23 +923,373 @@ fn relay_traced(
         // two parsers disagree — forward untouched rather than fail.
         _ => line.to_string(),
     };
-    let t_fwd = Instant::now();
-    match backend.forward(&inner.config, &fwd) {
-        Ok(response) => {
-            let rtt = t_fwd.elapsed();
-            write_raw(
-                out,
-                &wrap_routed_trace(&response, &trace_id, backend, t0, t_fwd, rtt),
-            );
-        }
-        Err(e) => {
-            inner
-                .metrics
-                .shard_unavailable_total
-                .fetch_add(1, Ordering::Relaxed);
-            write_raw(out, &error_response(id, &e));
+    let mut last: Option<ServiceError> = None;
+    for (attempt, backend) in candidates.iter().enumerate() {
+        let t_fwd = Instant::now();
+        match backend.forward(&inner.config, &fwd) {
+            Ok(response) => {
+                if attempt > 0 {
+                    inner
+                        .metrics
+                        .read_fallthrough_total
+                        .fetch_add(attempt as u64, Ordering::Relaxed);
+                }
+                let rtt = t_fwd.elapsed();
+                write_raw(
+                    out,
+                    &wrap_routed_trace(&response, &trace_id, backend, t0, t_fwd, rtt),
+                );
+                return;
+            }
+            Err(e) => last = Some(e),
         }
     }
+    inner
+        .metrics
+        .shard_unavailable_total
+        .fetch_add(1, Ordering::Relaxed);
+    let err = last.expect("a replica set is never empty");
+    write_raw(out, &error_response(id, &err));
+}
+
+/// Fans a write (`load`/`evict`) out to *every* replica concurrently and
+/// reports per-replica acks. The response keeps the first successful
+/// backend's payload verbatim (so single-replica deployments see exactly
+/// the old shape) plus a `"replicas"` ack array; the request fails only
+/// when every replica refused it.
+fn relay_write(
+    inner: &Arc<Inner>,
+    out: &Mutex<TcpStream>,
+    replicas: &[Arc<Backend>],
+    line: &str,
+    id: &Option<Json>,
+) {
+    inner
+        .metrics
+        .forwarded_total
+        .fetch_add(replicas.len() as u64, Ordering::Relaxed);
+    let outcomes: Vec<(&Arc<Backend>, Result<String, ServiceError>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = replicas
+                .iter()
+                .map(|backend| scope.spawn(move || (backend, backend.forward(&inner.config, line))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("write fan-out worker panicked"))
+                .collect()
+        });
+    let mut acks: Vec<Json> = Vec::new();
+    let mut base: Option<Json> = None; // first successful payload
+    let mut first_error: Option<Json> = None;
+    for (backend, outcome) in outcomes {
+        let verdict = outcome.map_err(|e| error_json(&e)).and_then(|response| {
+            match crate::json::parse(&response) {
+                Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => Ok(v),
+                Ok(v) => Err(v.get("error").cloned().unwrap_or(Json::Null)),
+                Err(e) => Err(error_json(
+                    &backend.unavailable(format!("unparseable backend response: {e}")),
+                )),
+            }
+        });
+        match verdict {
+            Ok(v) => {
+                let mut ack = vec![
+                    ("shard", Json::from(backend.name.as_str())),
+                    ("ok", Json::Bool(true)),
+                ];
+                if let Some(imported) = v.get("cache_imported") {
+                    ack.push(("cache_imported", imported.clone()));
+                }
+                acks.push(Json::obj(ack));
+                if base.is_none() {
+                    base = Some(v);
+                }
+            }
+            Err(err) => {
+                inner
+                    .metrics
+                    .shard_unavailable_total
+                    .fetch_add(1, Ordering::Relaxed);
+                acks.push(Json::obj([
+                    ("shard", Json::from(backend.name.as_str())),
+                    ("ok", Json::Bool(false)),
+                    ("error", err.clone()),
+                ]));
+                if first_error.is_none() {
+                    first_error = Some(err);
+                }
+            }
+        }
+    }
+    match base {
+        Some(Json::Obj(mut fields)) => {
+            // The backend already echoed the client's id (the line went
+            // through verbatim); just attach the ack list.
+            fields.insert("replicas".to_string(), Json::Arr(acks));
+            write_raw(out, &Json::Obj(fields).to_string());
+        }
+        _ => {
+            let err = first_error.expect("a replica set is never empty");
+            let mut fields: Vec<(&'static str, Json)> = vec![
+                ("ok", Json::Bool(false)),
+                ("error", err),
+                ("replicas", Json::Arr(acks)),
+            ];
+            if let Some(v) = id {
+                fields.push(("id", v.clone()));
+            }
+            write_raw(out, &Json::obj(fields).to_string());
+        }
+    }
+}
+
+/// The `reshard` control command: applies an `add` and/or `remove` to
+/// the shard set, migrates every affected graph *before* flipping
+/// routing, then drops the copies no longer in any replica set.
+///
+/// Migration streams two things per gaining shard, straight between
+/// backends: the graph's source spec and its warm solve cache (the old
+/// owner's `cache_export` feeds the new owner's seeded `load`). Routing
+/// flips only after every gaining copy acked its load, so a reshard
+/// never drops a graph below R−1 serving copies and the new owner
+/// answers its first solve from cache, not cold.
+///
+/// Failure contract: a gaining shard that cannot take a copy (while a
+/// healthy source exists) aborts the whole reshard with
+/// `shard_unavailable` — the old table keeps serving untouched. A graph
+/// with *no* healthy source (e.g. removing a dead single-replica owner)
+/// cannot be saved; it is reported under `"lost"` and routing still
+/// flips, so the operator can re-`load` it.
+///
+/// Writes racing the migration window land on the *old* replica set; a
+/// graph loaded mid-reshard may need a re-`load` after the flip. The
+/// gate serializes reshards themselves.
+fn handle_reshard(
+    inner: &Arc<Inner>,
+    add: Option<&ShardChange>,
+    remove: Option<&str>,
+) -> Result<Vec<(&'static str, Json)>, ServiceError> {
+    let _gate = inner.reshard_gate.lock().expect("reshard gate poisoned");
+    let old = inner.table();
+
+    // The new shard set: current names ± the requested change.
+    let mut specs: Vec<(String, String)> = old
+        .backends
+        .iter()
+        .map(|b| (b.name.clone(), b.addr.clone()))
+        .collect();
+    if let Some(name) = remove {
+        let before = specs.len();
+        specs.retain(|(n, _)| n != name);
+        if specs.len() == before {
+            return Err(ServiceError::BadRequest(format!(
+                "no shard named {name:?} on the ring"
+            )));
+        }
+    }
+    if let Some(change) = add {
+        if specs.iter().any(|(n, _)| *n == change.name) {
+            return Err(ServiceError::BadRequest(format!(
+                "shard {:?} is already on the ring",
+                change.name
+            )));
+        }
+        specs.push((change.name.clone(), change.addr.clone()));
+    }
+    if specs.is_empty() {
+        return Err(ServiceError::BadRequest(
+            "reshard would leave an empty ring".to_string(),
+        ));
+    }
+
+    let ring = HashRing::new(
+        specs.iter().map(|(n, _)| n.clone()),
+        inner.config.vnodes.max(1),
+    );
+    let backends: Vec<Arc<Backend>> = ring
+        .shards()
+        .iter()
+        .map(|name| {
+            // Retained shards keep their Backend: pools, health state,
+            // and counters survive the flip.
+            old.backends
+                .iter()
+                .find(|b| &b.name == name)
+                .cloned()
+                .unwrap_or_else(|| {
+                    let addr = specs
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, a)| a.clone())
+                        .expect("ring names come from the specs");
+                    Arc::new(Backend::new(name.clone(), addr))
+                })
+        })
+        .collect();
+    let new = Arc::new(RouteTable { ring, backends });
+
+    // Every graph the old fleet serves (replica copies dedupe by name).
+    let mut graphs: Vec<String> = Vec::new();
+    for (_, outcome) in fan_out_all(inner, &old, r#"{"cmd":"graphs"}"#) {
+        let Ok(response) = outcome else { continue };
+        let listed = crate::json::parse(&response)
+            .ok()
+            .and_then(|v| v.get("graphs").cloned());
+        if let Some(Json::Arr(entries)) = listed {
+            for e in &entries {
+                if let Some(name) = e.get("name").and_then(Json::as_str) {
+                    graphs.push(name.to_string());
+                }
+            }
+        }
+    }
+    graphs.sort_unstable();
+    graphs.dedup();
+
+    let r = inner.config.replicas.max(1);
+    let mut migrated: Vec<Json> = Vec::new();
+    let mut lost: Vec<Json> = Vec::new();
+    let mut migrated_graph_count = 0u64;
+    let mut streamed_entries = 0u64;
+    for graph in &graphs {
+        let old_set = old.replicas_for(graph, r);
+        let new_set = new.replicas_for(graph, r);
+        let gaining: Vec<&Arc<Backend>> = new_set
+            .iter()
+            .filter(|nb| old_set.iter().all(|ob| ob.name != nb.name))
+            .collect();
+        if gaining.is_empty() {
+            continue;
+        }
+
+        // Stream source spec + warm cache out of a surviving copy.
+        let export_line = Json::obj([
+            ("cmd", Json::from("cache_export")),
+            ("name", Json::from(graph.as_str())),
+        ])
+        .to_string();
+        let export = old_set.iter().filter(|b| b.healthy()).find_map(|b| {
+            let response = b.forward(&inner.config, &export_line).ok()?;
+            let v = crate::json::parse(&response).ok()?;
+            (v.get("ok").and_then(Json::as_bool) == Some(true)).then_some(v)
+        });
+        let Some(doc) = export else {
+            lost.push(Json::obj([
+                ("graph", Json::from(graph.as_str())),
+                ("reason", Json::from("no healthy replica to stream from")),
+            ]));
+            continue;
+        };
+        let source = doc
+            .get("source")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let entries = match doc.get("entries") {
+            Some(Json::Arr(seeds)) => seeds.clone(),
+            _ => Vec::new(),
+        };
+        let load_line = Json::obj([
+            ("cmd", Json::from("load")),
+            ("name", Json::from(graph.as_str())),
+            ("source", Json::from(source.as_str())),
+            ("cache", Json::Arr(entries)),
+        ])
+        .to_string();
+        for nb in &gaining {
+            let outcome = nb
+                .forward(&inner.config, &load_line)
+                .map_err(|e| e.to_string())
+                .and_then(|response| {
+                    let v = crate::json::parse(&response).map_err(|e| e.to_string())?;
+                    if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                        Ok(v)
+                    } else {
+                        Err(v
+                            .get("error")
+                            .and_then(|e| e.get("message"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("backend refused the load")
+                            .to_string())
+                    }
+                });
+            match outcome {
+                Ok(v) => {
+                    let imported = v.get("cache_imported").and_then(Json::as_u64).unwrap_or(0);
+                    streamed_entries += imported;
+                    migrated.push(Json::obj([
+                        ("graph", Json::from(graph.as_str())),
+                        ("to", Json::from(nb.name.as_str())),
+                        ("cache_entries", Json::from(imported)),
+                    ]));
+                }
+                // A healthy copy exists but the gaining shard cannot
+                // take it: abort without flipping — the old table keeps
+                // serving every graph at full strength.
+                Err(reason) => {
+                    return Err(ServiceError::ShardUnavailable {
+                        shard: nb.name.clone(),
+                        reason: format!("reshard aborted migrating {graph:?}: {reason}"),
+                    })
+                }
+            }
+        }
+        migrated_graph_count += 1;
+    }
+
+    // Flip. Requests snapshot the table once each, so in-flight reads
+    // finish on the old epoch while new ones route on the new — and the
+    // gaining copies are already loaded and warm.
+    *inner.routes.write().expect("route table poisoned") = Arc::clone(&new);
+    inner.metrics.reshards_total.fetch_add(1, Ordering::Relaxed);
+    inner
+        .metrics
+        .migrated_graphs_total
+        .fetch_add(migrated_graph_count, Ordering::Relaxed);
+    inner
+        .metrics
+        .streamed_cache_entries_total
+        .fetch_add(streamed_entries, Ordering::Relaxed);
+
+    // Drop the copies no longer in any replica set (best effort, after
+    // the flip: a failed evict strands memory, never correctness).
+    let mut evicted_copies = 0u64;
+    for graph in &graphs {
+        let new_set = new.replicas_for(graph, r);
+        for ob in old.replicas_for(graph, r) {
+            if new_set.iter().any(|nb| nb.name == ob.name) || !ob.healthy() {
+                continue;
+            }
+            let evict_line = Json::obj([
+                ("cmd", Json::from("evict")),
+                ("name", Json::from(graph.as_str())),
+            ])
+            .to_string();
+            if ob.forward(&inner.config, &evict_line).is_ok() {
+                evicted_copies += 1;
+            }
+        }
+    }
+
+    Ok(vec![
+        ("resharded", Json::Bool(true)),
+        (
+            "shards",
+            Json::Arr(
+                new.ring
+                    .shards()
+                    .iter()
+                    .map(|s| Json::from(s.as_str()))
+                    .collect(),
+            ),
+        ),
+        ("graphs", Json::from(graphs.len() as u64)),
+        ("migrated", Json::Arr(migrated)),
+        ("streamed_cache_entries", Json::from(streamed_entries)),
+        ("evicted_copies", Json::from(evicted_copies)),
+        ("lost", Json::Arr(lost)),
+    ])
 }
 
 /// Rewrites a traced backend response: the shard's span tree (if any) is
@@ -867,9 +1356,10 @@ fn merged_slowlog(inner: &Arc<Inner>, limit: Option<usize>) -> Vec<(&'static str
         Some(l) => format!(r#"{{"cmd":"slowlog","limit":{l}}}"#),
         None => r#"{"cmd":"slowlog"}"#.to_string(),
     };
+    let table = inner.table();
     let mut entries: Vec<Json> = Vec::new();
     let mut unavailable: Vec<Json> = Vec::new();
-    for (backend, outcome) in fan_out_all(inner, &line) {
+    for (backend, outcome) in fan_out_all(inner, &table, &line) {
         match outcome {
             Ok(response) => {
                 let listed = crate::json::parse(&response)
@@ -884,11 +1374,10 @@ fn merged_slowlog(inner: &Arc<Inner>, limit: Option<usize>) -> Vec<(&'static str
                     }
                 }
             }
+            // Merges degrade, they don't fail: the response still
+            // succeeds, so the client-facing shard_unavailable counter
+            // is left alone.
             Err(_) => {
-                inner
-                    .metrics
-                    .shard_unavailable_total
-                    .fetch_add(1, Ordering::Relaxed);
                 unavailable.push(Json::from(backend.name.as_str()));
             }
         }
@@ -945,13 +1434,34 @@ fn router_prometheus(inner: &Arc<Inner>) -> String {
         m.shard_unavailable_total.load(Ordering::Relaxed),
     );
     counter(
+        "mwc_router_read_fallthrough_total",
+        "Reads answered by a later replica after an earlier one failed.",
+        m.read_fallthrough_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "mwc_router_reshards_total",
+        "Completed reshard commands (routing flipped).",
+        m.reshards_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "mwc_router_migrated_graphs_total",
+        "Graphs streamed to gaining shards during reshards.",
+        m.migrated_graphs_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "mwc_router_streamed_cache_entries_total",
+        "Warm solve-cache entries imported by gaining shards.",
+        m.streamed_cache_entries_total.load(Ordering::Relaxed),
+    );
+    counter(
         "mwc_router_connections_total",
         "Client connections accepted.",
         m.connections_total.load(Ordering::Relaxed),
     );
+    let table = inner.table();
     out.push_str("# HELP mwc_router_shard_healthy Shard health (1 = accepting, 0 = ejected).\n");
     out.push_str("# TYPE mwc_router_shard_healthy gauge\n");
-    for b in &inner.backends {
+    for b in &table.backends {
         out.push_str(&format!(
             "mwc_router_shard_healthy{{shard=\"{}\"}} {}\n",
             b.name,
@@ -960,7 +1470,7 @@ fn router_prometheus(inner: &Arc<Inner>) -> String {
     }
     out.push_str("# HELP mwc_router_shard_forwarded_total Requests forwarded per shard.\n");
     out.push_str("# TYPE mwc_router_shard_forwarded_total counter\n");
-    for b in &inner.backends {
+    for b in &table.backends {
         out.push_str(&format!(
             "mwc_router_shard_forwarded_total{{shard=\"{}\"}} {}\n",
             b.name,
@@ -969,7 +1479,7 @@ fn router_prometheus(inner: &Arc<Inner>) -> String {
     }
     out.push_str("# HELP mwc_router_shard_failed_total Forward failures per shard.\n");
     out.push_str("# TYPE mwc_router_shard_failed_total counter\n");
-    for b in &inner.backends {
+    for b in &table.backends {
         out.push_str(&format!(
             "mwc_router_shard_failed_total{{shard=\"{}\"}} {}\n",
             b.name,
@@ -979,10 +1489,12 @@ fn router_prometheus(inner: &Arc<Inner>) -> String {
     out
 }
 
-/// The `shard` introspection payload: ring shape, per-shard health, and
-/// (when asked) the assignment of one graph name.
+/// The `shard` introspection payload: ring shape (replica factor
+/// included), per-shard health, and (when asked) the replica assignment
+/// of one graph name.
 fn shard_payload(inner: &Arc<Inner>, graph: Option<&str>) -> Vec<(&'static str, Json)> {
-    let shards: Vec<Json> = inner
+    let table = inner.table();
+    let shards: Vec<Json> = table
         .backends
         .iter()
         .map(|b| {
@@ -997,18 +1509,25 @@ fn shard_payload(inner: &Arc<Inner>, graph: Option<&str>) -> Vec<(&'static str, 
         (
             "ring",
             Json::obj([
-                ("shards", Json::from(inner.ring.len())),
-                ("vnodes", Json::from(inner.ring.vnodes())),
+                ("shards", Json::from(table.ring.len())),
+                ("vnodes", Json::from(table.ring.vnodes())),
+                ("replicas", Json::from(inner.config.replicas.max(1))),
             ]),
         ),
         ("shards", Json::Arr(shards)),
     ];
     if let Some(graph) = graph {
+        let replica_names: Vec<Json> = table
+            .replicas_for(graph, inner.config.replicas)
+            .iter()
+            .map(|b| Json::from(b.name.as_str()))
+            .collect();
         payload.push((
             "assignment",
             Json::obj([
                 ("graph", Json::from(graph)),
-                ("shard", Json::from(inner.ring.route(graph))),
+                ("shard", Json::from(table.ring.route(graph))),
+                ("replicas", Json::Arr(replica_names)),
             ]),
         ));
     }
@@ -1032,16 +1551,17 @@ fn sum_into(totals: &mut Vec<(String, f64)>, section: &Json, fields: &[&str], pr
     }
 }
 
-/// Forwards `line` to every backend concurrently (one scoped thread per
-/// shard, the same shape as the batch fan-out) so one wedged shard costs
-/// its own timeout, not a serial sum across the fleet. Results keep the
-/// backend order.
+/// Forwards `line` to every backend of `table` concurrently (one scoped
+/// thread per shard, the same shape as the batch fan-out) so one wedged
+/// shard costs its own timeout, not a serial sum across the fleet.
+/// Results keep the backend order.
 fn fan_out_all<'a>(
-    inner: &'a Arc<Inner>,
+    inner: &Arc<Inner>,
+    table: &'a RouteTable,
     line: &str,
-) -> Vec<(&'a Backend, Result<String, ServiceError>)> {
+) -> Vec<(&'a Arc<Backend>, Result<String, ServiceError>)> {
     std::thread::scope(|scope| {
-        let handles: Vec<_> = inner
+        let handles: Vec<_> = table
             .backends
             .iter()
             .map(|backend| scope.spawn(move || (backend, backend.forward(&inner.config, line))))
@@ -1058,9 +1578,10 @@ fn fan_out_all<'a>(
 /// `unavailable` marker), and `router` (the router's own counters and
 /// per-shard health).
 fn merged_stats(inner: &Arc<Inner>) -> Json {
+    let table = inner.table();
     let mut per_shard: Vec<(String, Json)> = Vec::new();
     let mut totals: Vec<(String, f64)> = Vec::new();
-    for (backend, outcome) in fan_out_all(inner, r#"{"cmd":"stats"}"#) {
+    for (backend, outcome) in fan_out_all(inner, &table, r#"{"cmd":"stats"}"#) {
         match outcome {
             Ok(response) => {
                 let stats = crate::json::parse(&response)
@@ -1126,11 +1647,9 @@ fn merged_stats(inner: &Arc<Inner>) -> Json {
                 sum_into(&mut totals, &stats, &["connections"], "");
                 per_shard.push((backend.name.clone(), stats));
             }
+            // A merge marks the shard and moves on — the stats request
+            // itself succeeds, so this is not a shard_unavailable error.
             Err(e) => {
-                inner
-                    .metrics
-                    .shard_unavailable_total
-                    .fetch_add(1, Ordering::Relaxed);
                 per_shard.push((
                     backend.name.clone(),
                     Json::obj([("unavailable", Json::Bool(true)), ("error", error_json(&e))]),
@@ -1166,13 +1685,26 @@ fn merged_stats(inner: &Arc<Inner>) -> Json {
                 ("local", load(&m.local_total)),
                 ("bad_request", load(&m.bad_request_total)),
                 ("shard_unavailable", load(&m.shard_unavailable_total)),
+                ("read_fallthrough", load(&m.read_fallthrough_total)),
             ]),
         ),
         ("connections", load(&m.connections_total)),
+        ("replicas", Json::from(inner.config.replicas.max(1))),
+        (
+            "reshard",
+            Json::obj([
+                ("completed", load(&m.reshards_total)),
+                ("migrated_graphs", load(&m.migrated_graphs_total)),
+                (
+                    "streamed_cache_entries",
+                    load(&m.streamed_cache_entries_total),
+                ),
+            ]),
+        ),
         (
             "shards",
             Json::Obj(
-                inner
+                table
                     .backends
                     .iter()
                     .map(|b| (b.name.clone(), b.health_json()))
@@ -1187,93 +1719,130 @@ fn merged_stats(inner: &Arc<Inner>) -> Json {
     ])
 }
 
-/// Fans `graphs` out and merges the listings, annotating every entry
-/// with the shard that serves it; unreachable shards are listed in
-/// `shards_unavailable` so a partial answer is visibly partial.
+/// Fans `graphs` out and merges the listings. Replica copies of the same
+/// graph collapse into one entry, annotated with `shard` (the ring's
+/// primary owner) and `replicas` (every shard that reported a copy);
+/// unreachable shards are listed in `shards_unavailable` so a partial
+/// answer is visibly partial.
 fn merged_graphs(inner: &Arc<Inner>) -> Vec<(&'static str, Json)> {
-    let mut graphs: Vec<Json> = Vec::new();
+    let table = inner.table();
+    // (name, first-reported entry, shards holding a copy)
+    let mut merged: Vec<(String, Json, Vec<Json>)> = Vec::new();
     let mut unavailable: Vec<Json> = Vec::new();
-    for (backend, outcome) in fan_out_all(inner, r#"{"cmd":"graphs"}"#) {
+    for (backend, outcome) in fan_out_all(inner, &table, r#"{"cmd":"graphs"}"#) {
         match outcome {
             Ok(response) => {
                 let listed = crate::json::parse(&response)
                     .ok()
                     .and_then(|v| v.get("graphs").cloned());
                 if let Some(Json::Arr(entries)) = listed {
-                    for mut entry in entries {
-                        if let Json::Obj(fields) = &mut entry {
-                            fields.insert("shard".to_string(), Json::from(backend.name.as_str()));
+                    for entry in entries {
+                        let name = entry
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .unwrap_or("")
+                            .to_string();
+                        match merged.iter_mut().find(|(n, _, _)| *n == name) {
+                            Some((_, _, holders)) => {
+                                holders.push(Json::from(backend.name.as_str()))
+                            }
+                            None => {
+                                merged.push((name, entry, vec![Json::from(backend.name.as_str())]))
+                            }
                         }
-                        graphs.push(entry);
                     }
                 }
             }
+            // Same degrade-don't-fail contract as the stats merge.
             Err(_) => {
-                inner
-                    .metrics
-                    .shard_unavailable_total
-                    .fetch_add(1, Ordering::Relaxed);
                 unavailable.push(Json::from(backend.name.as_str()));
             }
         }
     }
-    graphs.sort_by(|a, b| {
-        let name = |g: &Json| {
-            g.get("name")
-                .and_then(Json::as_str)
-                .unwrap_or("")
-                .to_string()
-        };
-        name(a).cmp(&name(b))
-    });
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    let graphs: Vec<Json> = merged
+        .into_iter()
+        .map(|(name, mut entry, holders)| {
+            if let Json::Obj(fields) = &mut entry {
+                fields.insert("shard".to_string(), Json::from(table.ring.route(&name)));
+                fields.insert("replicas".to_string(), Json::Arr(holders));
+            }
+            entry
+        })
+        .collect();
     vec![
         ("graphs", Json::Arr(graphs)),
         ("shards_unavailable", Json::Arr(unavailable)),
     ]
 }
 
-/// Splits a batch by owning shard, executes the per-shard sub-batches
-/// concurrently, and reassembles the replies in the original request
-/// order. A single-shard batch (the common case) is forwarded verbatim —
-/// the backend groups per-graph entries itself.
+/// One executed sub-batch: the backend it ran on, the original entry
+/// indices it carried, and the parsed outcome.
+type SubBatchOutcome = (Arc<Backend>, Vec<usize>, Result<Json, ServiceError>);
+
+/// Splits a batch by serving shard (each entry picks a replica of its
+/// graph, two-choice like single solves), executes the per-shard
+/// sub-batches concurrently, and reassembles the replies in the original
+/// request order. A sub-batch lost to a transport failure *falls
+/// through*: its entries are regrouped onto each graph's next untried
+/// replica and re-sent, so one dying shard costs latency, not answers —
+/// `shard_unavailable` lands in an entry's slot only after every replica
+/// of its graph failed.
 fn handle_batch(
     inner: &Arc<Inner>,
     out: &Mutex<TcpStream>,
-    line: &str,
     id: &Option<Json>,
     params: &SolveParams,
     queries: &[crate::protocol::BatchEntry],
 ) {
-    // Group entry indices by owning shard (order within a group follows
-    // the request, so backend replies map back positionally).
-    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-    for (i, entry) in queries.iter().enumerate() {
-        let shard = inner.ring.route_index(entry.graph_name(&params.graph));
-        match groups.iter_mut().find(|(s, _)| *s == shard) {
-            Some((_, idxs)) => idxs.push(i),
-            None => groups.push((shard, vec![i])),
-        }
-    }
-    if groups.len() <= 1 {
-        let backend = match groups.first() {
-            Some(&(shard, _)) => &inner.backends[shard],
-            None => inner.round_robin_backend(), // empty batch: any shard answers
-        };
-        relay(inner, out, backend, line, id);
-        return;
-    }
-
-    inner
-        .metrics
-        .forwarded_total
-        .fetch_add(groups.len() as u64, Ordering::Relaxed);
+    let table = inner.table();
+    let replicas = inner.config.replicas.max(1);
     let mut slots: Vec<Option<Json>> = vec![None; queries.len()];
-    let group_results: Vec<(Vec<usize>, Result<Json, ServiceError>)> =
-        std::thread::scope(|scope| {
+    // Backends already tried (and failed) per entry.
+    let mut tried: Vec<Vec<String>> = vec![Vec::new(); queries.len()];
+    let mut pending: Vec<usize> = (0..queries.len()).collect();
+    while !pending.is_empty() {
+        // Assign every unresolved entry its next untried replica; an
+        // entry with none left gets its terminal shard_unavailable.
+        let mut groups: Vec<(Arc<Backend>, Vec<usize>)> = Vec::new();
+        let mut next_pending: Vec<usize> = Vec::new();
+        for &i in &pending {
+            let graph = queries[i].graph_name(&params.graph);
+            let ordered = inner.read_order(table.replicas_for(graph, replicas));
+            match ordered
+                .into_iter()
+                .find(|b| !tried[i].iter().any(|t| t == &b.name))
+            {
+                Some(backend) => match groups.iter_mut().find(|(b, _)| b.name == backend.name) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((backend, vec![i])),
+                },
+                None => {
+                    inner
+                        .metrics
+                        .shard_unavailable_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    slots[i] = Some(Json::obj([(
+                        "error",
+                        error_json(&ServiceError::ShardUnavailable {
+                            shard: table.ring.route(graph).to_string(),
+                            reason: "every replica failed".to_string(),
+                        }),
+                    )]));
+                }
+            }
+        }
+        if groups.is_empty() {
+            break;
+        }
+        inner
+            .metrics
+            .forwarded_total
+            .fetch_add(groups.len() as u64, Ordering::Relaxed);
+        let group_results: Vec<SubBatchOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .into_iter()
-                .map(|(shard, idxs)| {
-                    let backend = &inner.backends[shard];
+                .map(|(backend, idxs)| {
                     let config = &inner.config;
                     scope.spawn(move || {
                         let sub = sub_batch_line(params, queries, &idxs);
@@ -1282,7 +1851,7 @@ fn handle_batch(
                                 backend.unavailable(format!("unparseable backend response: {e}"))
                             })
                         });
-                        (idxs, outcome)
+                        (backend, idxs, outcome)
                     })
                 })
                 .collect();
@@ -1291,45 +1860,51 @@ fn handle_batch(
                 .map(|h| h.join().expect("batch fan-out worker panicked"))
                 .collect()
         });
-    for (idxs, outcome) in group_results {
-        match outcome {
-            Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
-                let reports = response.get("reports").and_then(Json::as_array);
-                for (slot, i) in idxs.iter().enumerate() {
-                    slots[*i] = Some(match reports.and_then(|r| r.get(slot)) {
-                        Some(report) => report.clone(),
-                        None => Json::obj([(
-                            "error",
-                            error_json(&ServiceError::BadRequest(
-                                "backend reply missing report slots".to_string(),
-                            )),
-                        )]),
+        for (backend, idxs, outcome) in group_results {
+            match outcome {
+                Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
+                    let reports = response.get("reports").and_then(Json::as_array);
+                    for (slot, i) in idxs.iter().enumerate() {
+                        slots[*i] = Some(match reports.and_then(|r| r.get(slot)) {
+                            Some(report) => report.clone(),
+                            None => Json::obj([(
+                                "error",
+                                error_json(&ServiceError::BadRequest(
+                                    "backend reply missing report slots".to_string(),
+                                )),
+                            )]),
+                        });
+                    }
+                }
+                Ok(response) => {
+                    // The whole sub-batch was *refused* (e.g.
+                    // overloaded): a definitive backend verdict, not a
+                    // transport failure — surface it per entry, in
+                    // place, without burning the other replicas.
+                    let err = response.get("error").cloned().unwrap_or_else(|| {
+                        error_json(&ServiceError::BadRequest(
+                            "backend reply carried no error".to_string(),
+                        ))
                     });
+                    for &i in &idxs {
+                        slots[i] = Some(Json::obj([("error", err.clone())]));
+                    }
                 }
-            }
-            Ok(response) => {
-                // The whole sub-batch failed (e.g. overloaded): surface
-                // the backend's error per entry, in place.
-                let err = response.get("error").cloned().unwrap_or_else(|| {
-                    error_json(&ServiceError::BadRequest(
-                        "backend reply carried no error".to_string(),
-                    ))
-                });
-                for &i in &idxs {
-                    slots[i] = Some(Json::obj([("error", err.clone())]));
-                }
-            }
-            Err(e) => {
-                inner
-                    .metrics
-                    .shard_unavailable_total
-                    .fetch_add(1, Ordering::Relaxed);
-                let err = error_json(&e);
-                for &i in &idxs {
-                    slots[i] = Some(Json::obj([("error", err.clone())]));
+                Err(_) => {
+                    // Transport failure: fall through — each entry goes
+                    // back in the pot for its next untried replica.
+                    inner
+                        .metrics
+                        .read_fallthrough_total
+                        .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+                    for i in idxs {
+                        tried[i].push(backend.name.clone());
+                        next_pending.push(i);
+                    }
                 }
             }
         }
+        pending = next_pending;
     }
     let reports: Vec<Json> = slots.into_iter().flatten().collect();
     let solved = reports.iter().filter(|r| r.get("error").is_none()).count() as u64;
@@ -1399,6 +1974,27 @@ mod tests {
         assert_eq!(c.vnodes, DEFAULT_VNODES);
         assert!(c.fail_threshold >= 1);
         assert!(c.reprobe_interval > Duration::ZERO);
+        assert_eq!(c.replicas, 1, "classic single-owner routing by default");
+    }
+
+    #[test]
+    fn replicas_for_clamps_and_returns_distinct_backends() {
+        let ring = HashRing::new(&["a".to_string(), "b".to_string(), "c".to_string()], 64);
+        let backends = vec![
+            Arc::new(Backend::new("a".into(), "127.0.0.1:1".into())),
+            Arc::new(Backend::new("b".into(), "127.0.0.1:2".into())),
+            Arc::new(Backend::new("c".into(), "127.0.0.1:3".into())),
+        ];
+        let table = RouteTable { ring, backends };
+        for want in [1usize, 2, 3, 7] {
+            let picked = table.replicas_for("some-graph", want);
+            assert_eq!(picked.len(), want.min(3));
+            let mut names: Vec<&str> = picked.iter().map(|b| b.name.as_str()).collect();
+            assert_eq!(names[0], table.ring.route("some-graph"), "primary first");
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), picked.len(), "replicas are distinct shards");
+        }
     }
 
     #[test]

@@ -58,8 +58,8 @@ use crate::error::ServiceError;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    error_json, error_response, ok_response, parse_request, report_to_json, Command, Request,
-    SolveParams,
+    cache_seed_to_json, error_json, error_response, ok_response, parse_request, report_to_json,
+    Command, Request, SolveParams,
 };
 use crate::trace::{
     next_trace_id, span_tree, SlowLog, TraceContext, TraceRecorder, DEFAULT_SLOWLOG_CAPACITY,
@@ -805,11 +805,35 @@ pub(crate) fn control_response(inner: &Inner, request: &Request) -> Option<(Stri
                 true,
             ))
         }
-        Command::Shard { .. } => {
+        Command::CacheExport { ref name } => {
+            // Control-plane (bypasses the admission queue): exporting a
+            // warm cache must work while the data plane is saturated —
+            // that is exactly when a migration wants it.
+            let payload = match inner.catalog.get(name) {
+                Ok(entry) => {
+                    let seeds = entry.export_cache();
+                    vec![
+                        ("name", Json::from(name.as_str())),
+                        ("source", Json::from(entry.source.as_str())),
+                        (
+                            "entries",
+                            Json::Arr(seeds.iter().map(cache_seed_to_json).collect()),
+                        ),
+                    ]
+                }
+                Err(err) => {
+                    inner.metrics.error_total.fetch_add(1, Ordering::Relaxed);
+                    return Some((error_response(&request.id, &err), false));
+                }
+            };
+            Some((ok_response(&request.id, payload), true))
+        }
+        Command::Shard { .. } | Command::Reshard { .. } => {
             // A single server is not a shard ring; the router answers
-            // this one. Stable error so probes can tell the two apart.
+            // these. Stable error so probes can tell the two apart.
             let err = ServiceError::BadRequest(
-                "no shard ring here: \"shard\" is answered by mwc-router".to_string(),
+                "no shard ring here: \"shard\" and \"reshard\" are answered by mwc-router"
+                    .to_string(),
             );
             inner
                 .metrics
@@ -1301,17 +1325,26 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
             inner.metrics.record_stage("serialize", t_ser.elapsed());
             Ok(payload)
         }
-        Command::Load { name, source } => {
+        Command::Load {
+            name,
+            source,
+            cache,
+        } => {
             // A load that replaces an entry invalidates the open
             // coalescing window parked on the old engine: fail those
             // requests retryably rather than answering from a stale (or
             // torn) entry.
             inner.coalescer.abort(name);
             let entry = inner.catalog.load(name, source)?;
+            // Warm-cache seeds (from a `cache_export` on another replica)
+            // go in after the build, before the response — the first
+            // request this entry serves can already hit.
+            let imported = entry.import_cache(cache);
             Ok(vec![
                 ("loaded", Json::from(name.as_str())),
                 ("nodes", Json::from(entry.num_nodes())),
                 ("edges", Json::from(entry.num_edges())),
+                ("cache_imported", Json::from(imported)),
             ])
         }
         Command::Burn { ms } => {
@@ -1328,6 +1361,8 @@ fn execute(inner: &Arc<Inner>, job: &Job) -> Result<Vec<(&'static str, Json)>, S
         | Command::Slowlog { .. }
         | Command::Graphs
         | Command::Shard { .. }
+        | Command::Reshard { .. }
+        | Command::CacheExport { .. }
         | Command::Evict { .. }
         | Command::Ping
         | Command::Shutdown => Err(ServiceError::BadRequest(

@@ -123,6 +123,36 @@ impl HashRing {
         shard as usize
     }
 
+    /// The replica set for `key`: up to `replicas` *distinct* shard
+    /// indices, collected by walking the ring clockwise from the key's
+    /// hash and skipping points owned by shards already in the set.
+    ///
+    /// The first element is always [`HashRing::route_index`] — R = 1
+    /// degenerates to single-owner routing. `replicas` is clamped to
+    /// the shard count (a 2-shard ring can hold at most 2 copies), and
+    /// to at least 1. Like single-key routing, the walk is a pure
+    /// function of the shard names, so every router computes the same
+    /// replica sets; and because successor points shift only where ring
+    /// points are inserted or removed, a shard joining or leaving
+    /// disturbs few replica sets (pinned by unit tests below).
+    pub fn route_replicas(&self, key: &str, replicas: usize) -> Vec<usize> {
+        let want = replicas.clamp(1, self.shards.len());
+        let point = key_point(key);
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let mut set: Vec<usize> = Vec::with_capacity(want);
+        for step in 0..self.points.len() {
+            let at = (start + step) % self.points.len();
+            let shard = self.points[at].1 as usize;
+            if !set.contains(&shard) {
+                set.push(shard);
+                if set.len() == want {
+                    break;
+                }
+            }
+        }
+        set
+    }
+
     /// The shard names, sorted (indices match [`HashRing::route_index`]).
     pub fn shards(&self) -> &[String] {
         &self.shards
@@ -237,5 +267,110 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn empty_ring_panics() {
         let _ = HashRing::new(Vec::<String>::new(), 4);
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_and_lead_with_the_owner() {
+        let ring = HashRing::new(["s0", "s1", "s2", "s3"], DEFAULT_VNODES);
+        for k in keys(1000) {
+            let set = ring.route_replicas(&k, 3);
+            assert_eq!(set.len(), 3, "{k}");
+            assert_eq!(set[0], ring.route_index(&k), "{k}");
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "{k}: duplicate replica in {set:?}");
+        }
+    }
+
+    #[test]
+    fn replica_count_clamps_to_ring_size() {
+        let ring = HashRing::new(["a", "b"], 8);
+        for k in keys(50) {
+            assert_eq!(ring.route_replicas(&k, 5).len(), 2, "{k}");
+            assert_eq!(ring.route_replicas(&k, 0), vec![ring.route_index(&k)]);
+        }
+    }
+
+    #[test]
+    fn replica_load_is_balanced() {
+        let ring = HashRing::new(["s0", "s1", "s2", "s3"], DEFAULT_VNODES);
+        let mut counts = [0usize; 4];
+        for k in keys(3000) {
+            for shard in ring.route_replicas(&k, 2) {
+                counts[shard] += 1;
+            }
+        }
+        // 6000 replica slots over 4 shards: expectation 1500 each. Same
+        // deterministic-loose-band style as the single-owner balance test.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (800..=2400).contains(&c),
+                "shard {i} holds {c} of 6000 replica slots: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_disrupts_few_replica_sets() {
+        let before = HashRing::new(["s0", "s1", "s2"], DEFAULT_VNODES);
+        let after = HashRing::new(["s0", "s1", "s2", "s3"], DEFAULT_VNODES);
+        let all = keys(2000);
+        let mut changed = 0usize;
+        for k in &all {
+            let old: Vec<&str> = before
+                .route_replicas(k, 2)
+                .into_iter()
+                .map(|i| before.shards()[i].as_str())
+                .collect();
+            let new: Vec<&str> = after
+                .route_replicas(k, 2)
+                .into_iter()
+                .map(|i| after.shards()[i].as_str())
+                .collect();
+            if old != new {
+                // Every change must involve the new shard somewhere in
+                // the new set — keys never reshuffle between old shards.
+                assert!(
+                    new.contains(&"s3"),
+                    "{k}: {old:?} -> {new:?} without the new shard"
+                );
+                changed += 1;
+            }
+        }
+        // With R=2 a key's set changes when s3 lands in either slot:
+        // expect roughly 2/4 of keys affected, and well below all of them.
+        assert!(
+            (400..=1600).contains(&changed),
+            "{changed} of {} replica sets changed",
+            all.len()
+        );
+    }
+
+    #[test]
+    fn removing_a_shard_preserves_unaffected_replica_sets() {
+        let before = HashRing::new(["s0", "s1", "s2", "s3"], DEFAULT_VNODES);
+        let after = HashRing::new(["s0", "s1", "s2"], DEFAULT_VNODES);
+        for k in keys(2000) {
+            let old: Vec<&str> = before
+                .route_replicas(&k, 2)
+                .into_iter()
+                .map(|i| before.shards()[i].as_str())
+                .collect();
+            let new: Vec<&str> = after
+                .route_replicas(&k, 2)
+                .into_iter()
+                .map(|i| after.shards()[i].as_str())
+                .collect();
+            assert!(!new.contains(&"s3"), "{k}");
+            if !old.contains(&"s3") {
+                assert_eq!(old, new, "{k}: set changed despite not holding s3");
+            } else {
+                // The survivor keeps its slot; only s3's slot is refilled.
+                for shard in old.iter().filter(|s| **s != "s3") {
+                    assert!(new.contains(shard), "{k}: survivor {shard} dropped");
+                }
+            }
+        }
     }
 }

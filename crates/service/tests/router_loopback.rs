@@ -69,7 +69,7 @@ fn routed_solves_match_direct_engine_calls() {
     let mut client = RouterClient::connect(tier.router.local_addr()).unwrap();
 
     // Pick graph names that the ring provably spreads across 2+ shards.
-    let placed = graphs_on_distinct_shards(tier.router.ring(), 2);
+    let placed = graphs_on_distinct_shards(&tier.router.ring(), 2);
     let spec = "ba:200x2";
     for (name, _) in &placed {
         let (nodes, _) = client.load(name, spec).unwrap();
@@ -159,7 +159,7 @@ fn batch_fans_out_and_preserves_request_order() {
     let tier = start_tier(3, RouterConfig::default());
     let mut client = Client::connect(tier.router.local_addr()).unwrap();
 
-    let placed = graphs_on_distinct_shards(tier.router.ring(), 3);
+    let placed = graphs_on_distinct_shards(&tier.router.ring(), 3);
     let spec = "ba:200x2";
     for (name, _) in &placed {
         client.load(name, spec).unwrap();
@@ -318,7 +318,7 @@ fn shard_kill_maps_to_shard_unavailable_and_survivors_serve() {
     let tier = start_tier(2, config);
     let mut client = Client::connect(tier.router.local_addr()).unwrap();
 
-    let placed = graphs_on_distinct_shards(tier.router.ring(), 2);
+    let placed = graphs_on_distinct_shards(&tier.router.ring(), 2);
     let spec = "ba:200x2";
     for (name, _) in &placed {
         client.load(name, spec).unwrap();
@@ -463,7 +463,7 @@ fn shard_kill_maps_to_shard_unavailable_and_survivors_serve() {
 fn stats_merge_aggregates_across_shards() {
     let tier = start_tier(2, RouterConfig::default());
     let mut client = Client::connect(tier.router.local_addr()).unwrap();
-    let placed = graphs_on_distinct_shards(tier.router.ring(), 2);
+    let placed = graphs_on_distinct_shards(&tier.router.ring(), 2);
     for (name, _) in &placed {
         client.load(name, "ba:200x2").unwrap();
     }
@@ -559,7 +559,7 @@ fn router_client_retries_through_shard_recovery() {
         .unwrap()
         .with_retry(20, Duration::from_millis(50));
 
-    let placed = graphs_on_distinct_shards(tier.router.ring(), 2);
+    let placed = graphs_on_distinct_shards(&tier.router.ring(), 2);
     for (name, _) in &placed {
         client.load(name, "karate").unwrap();
     }
@@ -604,6 +604,185 @@ fn router_client_retries_through_shard_recovery() {
     tier.router.shutdown();
     revived.shutdown();
     for s in shards {
+        s.shutdown();
+    }
+}
+
+/// With R = 2, killing one replica must be invisible to readers: every
+/// solve (and batch entry) falls through to the surviving copy with
+/// zero `shard_unavailable`, both before and after the dead shard is
+/// ejected.
+#[test]
+fn replica_reads_survive_one_shard_kill() {
+    let config = RouterConfig {
+        replicas: 2,
+        fail_threshold: 2,
+        reprobe_interval: Duration::from_millis(100),
+        ..RouterConfig::default()
+    };
+    let tier = start_tier(3, config);
+    let mut client = Client::connect(tier.router.local_addr()).unwrap();
+
+    // Loads fan out: the raw response acks both replica copies.
+    let graph = "replicated";
+    let raw = client
+        .roundtrip_line(&format!(
+            r#"{{"cmd":"load","name":"{graph}","source":"ba:200x2"}}"#
+        ))
+        .unwrap();
+    let v = mwc_service::json::parse(raw.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    let acks = v.get("replicas").unwrap().as_array().unwrap();
+    assert_eq!(acks.len(), 2, "R=2 load must ack two replicas");
+    assert!(acks
+        .iter()
+        .all(|a| a.get("ok").unwrap().as_bool() == Some(true)));
+    let holders: Vec<String> = acks
+        .iter()
+        .map(|a| a.get("shard").unwrap().as_str().unwrap().to_string())
+        .collect();
+
+    // Kill the graph's *primary* replica — the worst case for readers.
+    let primary = tier.router.ring().route(graph).to_string();
+    assert!(holders.contains(&primary));
+    let primary_idx: usize = primary.strip_prefix("shard-").unwrap().parse().unwrap();
+    let mut shards = tier.shards;
+    let victim = shards.remove(primary_idx);
+    victim.shutdown();
+
+    // Every read succeeds — across enough attempts to straddle the
+    // ejection threshold, so both the fall-through path (primary still
+    // tried first) and the ejected path (survivor tried first) run.
+    for round in 0..4 {
+        for q in QUERIES {
+            client
+                .solve(graph, "st", q, None, None)
+                .unwrap_or_else(|e| {
+                    panic!("read failed with one replica down (round {round}): {e}")
+                });
+        }
+    }
+    let raw = client
+        .roundtrip_line(&format!(
+            r#"{{"cmd":"batch","solver":"st","queries":[{{"graph":"{graph}","q":[0,199]}},{{"graph":"{graph}","q":[7,61]}}]}}"#
+        ))
+        .unwrap();
+    let v = mwc_service::json::parse(raw.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("solved").unwrap().as_u64(), Some(2));
+
+    // Zero shard_unavailable; the fall-throughs were counted instead.
+    let stats = client.stats().unwrap();
+    let requests = stats.get("router").unwrap().get("requests").unwrap();
+    assert_eq!(
+        requests.get("shard_unavailable").unwrap().as_u64(),
+        Some(0),
+        "reads leaked shard_unavailable despite a live replica"
+    );
+    assert!(
+        requests.get("read_fallthrough").unwrap().as_u64().unwrap() >= 1,
+        "killing the primary should have forced at least one fall-through"
+    );
+
+    tier.router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// A live `reshard` migrates graphs to the joining shard *warm*: the
+/// source spec and the solve cache stream over before routing flips, so
+/// the new owner's first solve of a previously-hot query is a cache hit
+/// — zero cold solves — and readers never see an error.
+#[test]
+fn reshard_streams_warm_caches_to_the_new_owner() {
+    let tier = start_tier(2, RouterConfig::default());
+    let mut client = Client::connect(tier.router.local_addr()).unwrap();
+
+    // Pick names the *post-reshard* ring will hand to the joining shard.
+    let old_ring = tier.router.ring();
+    let grown = HashRing::new(
+        &[
+            "shard-0".to_string(),
+            "shard-1".to_string(),
+            "shard-2".to_string(),
+        ],
+        old_ring.vnodes(),
+    );
+    let moving = (0..)
+        .map(|i| format!("m{i}"))
+        .find(|name| grown.route(name) == "shard-2")
+        .unwrap();
+    let staying = (0..)
+        .map(|i| format!("s{i}"))
+        .find(|name| grown.route(name) != "shard-2")
+        .unwrap();
+
+    for name in [&moving, &staying] {
+        client.load(name, "ba:200x2").unwrap();
+    }
+    // Warm the moving graph's cache with real traffic.
+    for q in QUERIES {
+        client.solve(&moving, "ws-q", q, None, None).unwrap();
+    }
+
+    // Join a fresh, empty shard and flip the ring live.
+    let joiner = server::start(
+        Arc::new(Catalog::new()),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let raw = client
+        .roundtrip_line(&format!(
+            r#"{{"cmd":"reshard","add":{{"name":"shard-2","addr":"{}"}}}}"#,
+            joiner.local_addr()
+        ))
+        .unwrap();
+    let v = mwc_service::json::parse(raw.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{raw}");
+    assert_eq!(v.get("resharded").unwrap().as_bool(), Some(true));
+    assert!(
+        v.get("streamed_cache_entries").unwrap().as_u64().unwrap() >= QUERIES.len() as u64,
+        "warm cache entries did not stream: {raw}"
+    );
+    let migrated = v.get("migrated").unwrap().as_array().unwrap();
+    assert!(
+        migrated.iter().any(
+            |m| m.get("graph").unwrap().as_str() == Some(moving.as_str())
+                && m.get("to").unwrap().as_str() == Some("shard-2")
+        ),
+        "expected {moving} to migrate to shard-2: {raw}"
+    );
+    assert_eq!(tier.router.ring().route(&moving), "shard-2");
+
+    // Replaying the warmed queries through the router now lands on the
+    // joiner and hits only: its cache had the answers before the flip.
+    for q in QUERIES {
+        client.solve(&moving, "ws-q", q, None, None).unwrap();
+    }
+    let joiner_stats = Client::connect(joiner.local_addr())
+        .unwrap()
+        .stats()
+        .unwrap();
+    let cache = joiner_stats.get("solve_cache").unwrap();
+    assert!(
+        cache.get("hits").unwrap().as_u64().unwrap() >= QUERIES.len() as u64,
+        "new owner served cold: {joiner_stats}"
+    );
+    assert_eq!(
+        cache.get("misses").unwrap().as_u64(),
+        Some(0),
+        "zero cold solves on the new owner after a warm handoff"
+    );
+    // The staying graph still answers, untouched.
+    client
+        .solve(&staying, "ws-q", &[0, 199], None, None)
+        .unwrap();
+
+    tier.router.shutdown();
+    joiner.shutdown();
+    for s in tier.shards {
         s.shutdown();
     }
 }

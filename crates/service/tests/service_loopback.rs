@@ -322,10 +322,11 @@ fn oversized_lines_are_rejected_and_the_connection_closed() {
     handle.shutdown();
 }
 
-/// Beyond `max_connections`, a new connection gets one `overloaded`
-/// error line and is closed; slots free up when connections drop.
+/// Beyond `max_connections`, a new connection gets one retryable
+/// `too_many_connections` error line and is closed; slots free up when
+/// connections drop.
 #[test]
-fn connection_limit_refuses_with_overloaded() {
+fn connection_limit_refuses_with_too_many_connections() {
     let config = ServerConfig {
         max_connections: 2,
         ..ServerConfig::default()
@@ -340,7 +341,8 @@ fn connection_limit_refuses_with_overloaded() {
     let mut reader = BufReader::new(s3);
     let mut line = String::new();
     reader.read_line(&mut line).unwrap();
-    assert!(line.contains("\"overloaded\""), "{line}");
+    assert!(line.contains("\"too_many_connections\""), "{line}");
+    assert!(line.contains("\"retryable\":true"), "{line}");
     assert!(line.contains("connection limit"), "{line}");
     let mut rest = String::new();
     assert_eq!(
