@@ -1,7 +1,7 @@
 //! `kernel` — micro-benchmark of the distance kernel, emitting
 //! `BENCH_kernel.json`.
 //!
-//! Six comparisons, each isolating one layer of the cache-aware kernel
+//! Eight comparisons, each isolating one layer of the cache-aware kernel
 //! refactor:
 //!
 //! 1. **per-source vs multi-source BFS** — 64 single-source sweeps
@@ -24,7 +24,16 @@
 //! 6. **sequential vs batched oracle construction** (`oracle_build`) —
 //!    64 hub landmarks built by `k` sequential BFS runs
 //!    ([`LandmarkOracle::build_sequential`]) against the one-sweep
-//!    multi-source build ([`LandmarkOracle::build`]).
+//!    multi-source build ([`LandmarkOracle::build`]);
+//! 7. **per-source Dijkstra vs batched delta-stepping**
+//!    (`delta_stepping`) — the same 64 sources on the weighted twin of
+//!    the bench graph (`wba:` hash weights), 64 pooled
+//!    [`DijkstraWorkspace`] runs against one
+//!    [`MsDeltaWorkspace`] bucket sweep, distances asserted
+//!    bit-identical before timing;
+//! 8. **sequential vs batched weighted oracle** (`weighted_oracle`) —
+//!    the `oracle_build` comparison on the weighted graph, where both
+//!    sides dispatch to the delta-stepping kernels.
 //!
 //! ```text
 //! cargo run --release -p mwc-bench --bin kernel -- \
@@ -43,7 +52,7 @@ use mwc_bench::{Scale, Timer};
 use mwc_core::wsq::batched_root_distances;
 use mwc_core::{QueryEngine, QueryOptions};
 use mwc_graph::oracle::{LandmarkOracle, LandmarkStrategy};
-use mwc_graph::traversal::bfs::{BfsWorkspace, MsBfsWorkspace, MS_BFS_LANES};
+use mwc_graph::traversal::bfs::{BfsWorkspace, MsBfsWorkspace, WorkspacePool, MS_BFS_LANES};
 use mwc_graph::NodeId;
 use mwc_service::Json;
 use rand::{Rng, SeedableRng};
@@ -273,6 +282,71 @@ fn main() {
         batched_build_ms,
     );
 
+    // 7. Per-source Dijkstra vs batched delta-stepping on the weighted
+    //    twin of the bench graph (same topology, `wba:` hash weights).
+    //    Both sides lease through the WorkspacePool, like the serving
+    //    path does; distances are pinned bit-identical before timing so
+    //    the speedup can never come from a wrong answer.
+    let wspec = format!("wba:{n}x{k}");
+    let wg = mwc_service::GraphSource::parse(&wspec)
+        .expect("valid wba spec")
+        .build()
+        .expect("deterministic weighted build");
+    let pool = WorkspacePool::new();
+    {
+        let mut dij = pool.lease_dijkstra();
+        let mut msd = pool.lease_multi_delta();
+        msd.run(&wg, &sources);
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                msd.lane_distances(lane),
+                dij.run(&wg, s),
+                "delta-stepping lane {lane} disagrees with Dijkstra from {s}"
+            );
+        }
+    }
+    let per_source_dijkstra_ms = best_of(gate_reps, || {
+        let mut dij = pool.lease_dijkstra();
+        for &s in &sources {
+            dij.run(&wg, s);
+        }
+    });
+    let batched_delta_ms = best_of(gate_reps, || {
+        let mut msd = pool.lease_multi_delta();
+        msd.run(&wg, &sources);
+    });
+    let delta_cmp = comparison(
+        "weighted:delta_stepping",
+        per_source_dijkstra_ms,
+        batched_delta_ms,
+    );
+
+    // 8. Sequential vs batched oracle construction on the weighted
+    //    graph — both sides dispatch to the delta-stepping kernels.
+    let wseq_build_ms = best_of(gate_reps, || {
+        let mut r = rand::rngs::StdRng::seed_from_u64(args.seed);
+        LandmarkOracle::build_sequential(
+            &wg,
+            ORACLE_LANDMARKS,
+            LandmarkStrategy::HighestDegree,
+            &mut r,
+        );
+    });
+    let wbatched_build_ms = best_of(gate_reps, || {
+        let mut r = rand::rngs::StdRng::seed_from_u64(args.seed);
+        LandmarkOracle::build(
+            &wg,
+            ORACLE_LANDMARKS,
+            LandmarkStrategy::HighestDegree,
+            &mut r,
+        );
+    });
+    let weighted_oracle_cmp = comparison(
+        "weighted:oracle_build",
+        wseq_build_ms,
+        wbatched_build_ms,
+    );
+
     // 4. Cache-cold vs cache-hot solve latency on a fixed query workload.
     let engine = QueryEngine::new(&g);
     let queries: Vec<Vec<NodeId>> = (0..args.scale.pick(24, 32, 32))
@@ -315,6 +389,7 @@ fn main() {
                     }),
                 ),
                 ("graph", Json::from(spec.as_str())),
+                ("weighted_graph", Json::from(wspec.as_str())),
                 ("nodes", Json::from(g.num_nodes())),
                 ("edges", Json::from(g.num_edges())),
                 ("sources", Json::from(MS_BFS_LANES)),
@@ -329,6 +404,8 @@ fn main() {
         ("layout_degree_ordered", layout_cmp.1),
         ("wsq_batched", wsq_cmp.1),
         ("oracle_build", oracle_cmp.1),
+        ("delta_stepping", delta_cmp.1),
+        ("weighted_oracle", weighted_oracle_cmp.1),
         (
             "solve_cache",
             Json::obj([

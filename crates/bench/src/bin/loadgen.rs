@@ -78,6 +78,13 @@
 //!                       `metrics` exposition to PATH (CI artifact)
 //!   --slowlog-out PATH  after the run, dump the server's `slowlog`
 //!                       entries as a JSON array to PATH (CI artifact)
+//!   --weighted          swap every default workload graph for its
+//!                       weighted (`wba:`) twin, so solves run the
+//!                       delta-stepping kernel instead of BFS (default
+//!                       corpus: wba2k=wba:2000x3 and wba5k=wba:5000x4;
+//!                       contend/router/reshard defaults become
+//!                       wba:2000x3). Incompatible with explicit
+//!                       --graph — pass wba:/wfile: specs there instead.
 //! ```
 //!
 //! Closed loop: each client keeps exactly one request in flight —
@@ -131,6 +138,17 @@ struct Args {
     conn_rate: f64,
     metrics_out: Option<String>,
     slowlog_out: Option<String>,
+    /// `--weighted`: the default workload graphs become their weighted
+    /// (`wba:`) twins, so every solve exercises the delta-stepping
+    /// kernel instead of BFS.
+    weighted: bool,
+}
+
+impl Args {
+    /// The workhorse graph spec every self-spawning mode defaults to.
+    fn ba_spec(&self) -> String {
+        if self.weighted { "wba:2000x3" } else { "ba:2000x3" }.to_string()
+    }
 }
 
 fn usage() -> ! {
@@ -141,7 +159,7 @@ fn usage() -> ! {
          \x20      [--router [--reshard] [--shards N] [--shard-workers N]]\n\
          \x20      [--contend [--contend-window-us N]]\n\
          \x20      [--trace-overhead] [--connections N [--conn-rate R]]\n\
-         \x20      [--metrics-out PATH] [--slowlog-out PATH]"
+         \x20      [--metrics-out PATH] [--slowlog-out PATH] [--weighted]"
     );
     std::process::exit(2);
 }
@@ -167,6 +185,7 @@ fn parse_cli() -> Args {
         conn_rate: 0.5,
         metrics_out: None,
         slowlog_out: None,
+        weighted: false,
     };
     let mut clients_set = false;
     let mut it = std::env::args().skip(1);
@@ -208,6 +227,7 @@ fn parse_cli() -> Args {
             }
             "--metrics-out" => args.metrics_out = Some(value()),
             "--slowlog-out" => args.slowlog_out = Some(value()),
+            "--weighted" => args.weighted = true,
             _ => usage(),
         }
     }
@@ -243,11 +263,22 @@ fn parse_cli() -> Args {
         eprintln!("--reshard is a mode of the router tier; pass --router too");
         usage();
     }
+    if args.weighted && !args.graphs.is_empty() {
+        // Explicit specs override the workload defaults; pass wfile:/wba:
+        // sources directly instead of combining them with the flag.
+        eprintln!("--weighted picks the default weighted workload; with --graph, use wba:/wfile: specs");
+        usage();
+    }
     if args.graphs.is_empty() && !args.router {
         args.graphs = if args.contend {
             // One graph: contention for the same coalescing queue is the
             // scenario under measurement.
-            vec![("contend".into(), "ba:2000x3".into())]
+            vec![("contend".into(), args.ba_spec())]
+        } else if args.weighted {
+            vec![
+                ("wba2k".into(), "wba:2000x3".into()),
+                ("wba5k".into(), "wba:5000x4".into()),
+            ]
         } else {
             vec![
                 ("karate".into(), "karate".into()),
@@ -696,7 +727,7 @@ fn router_main(args: &Args) {
         }
         picked
             .into_iter()
-            .map(|(name, _)| (name, "ba:2000x3".to_string()))
+            .map(|(name, _)| (name, args.ba_spec()))
             .collect()
     } else {
         args.graphs.clone()
@@ -832,10 +863,7 @@ fn reshard_main(args: &Args) {
             .map(|i| format!("st-{i}"))
             .find(|n| grown.route(n) != standby_name)
             .expect("ring routed every name to the standby");
-        vec![
-            (moving, "ba:2000x3".to_string()),
-            (staying, "ba:2000x3".to_string()),
-        ]
+        vec![(moving, args.ba_spec()), (staying, args.ba_spec())]
     } else {
         args.graphs.clone()
     };

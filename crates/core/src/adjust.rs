@@ -49,6 +49,7 @@ struct Relaxation<'a, P> {
     p: FxHashMap<NodeId, NodeId>,
     dist_g: &'a [u32],
     parent_g: P,
+    g: &'a Graph,
 }
 
 impl<P: Fn(NodeId) -> NodeId> Relaxation<'_, P> {
@@ -58,12 +59,16 @@ impl<P: Fn(NodeId) -> NodeId> Relaxation<'_, P> {
     }
 
     /// `relax(u, v)`: improves `d[v]` through the `G`-edge `(u, v)`.
+    /// On weighted graphs the edge contributes its weight (the `d` and
+    /// `dist_g` arrays then hold weighted distances); unweighted graphs
+    /// keep the hop count (`edge_weight` is 1 without a lookup).
     #[inline]
     fn relax(&mut self, u: NodeId, v: NodeId) {
         let du = self.dist(u);
         debug_assert_ne!(du, u32::MAX, "relaxing from an unlabelled vertex");
-        if self.dist(v) > du + 1 {
-            self.d.insert(v, du + 1);
+        let cand = du.saturating_add(self.g.edge_weight(u, v));
+        if self.dist(v) > cand {
+            self.d.insert(v, cand);
             self.p.insert(v, u);
         }
     }
@@ -140,6 +145,7 @@ pub fn adjust_distances_with<P: Fn(NodeId) -> NodeId>(
         p: FxHashMap::default(),
         dist_g,
         parent_g,
+        g,
     };
     rx.d.reserve(tree.num_nodes() * 2);
     rx.d.insert(root, 0);
@@ -364,6 +370,63 @@ mod tests {
         let out = adjust_distances(&g, &tree, terms[1], &bfs.dist, &bfs.parent);
         let w = wiener::wiener_index_of_subset(&g, &out.nodes).unwrap();
         assert!(w.is_some(), "induced subgraph disconnected");
+    }
+
+    #[test]
+    fn weighted_graft_respects_weighted_stretch_bound() {
+        // Weighted cycle: light side 0 -1- 1 -1- 2, heavy side
+        // 0 -10- 4 -10- 3 -10- 2. The tree takes the heavy way around, so
+        // vertex 2 sits at weighted tree-distance 30 against d_G(0,2) = 2
+        // — far beyond α·2 — and the light path must be grafted in.
+        let g = Graph::from_weighted_edges(
+            5,
+            &[(0, 1, 1), (1, 2, 1), (0, 4, 10), (4, 3, 10), (3, 2, 10)],
+        )
+        .unwrap();
+        let tree = SteinerTree {
+            nodes: vec![0, 2, 3, 4],
+            edges: vec![(0, 4), (2, 3), (3, 4)],
+            total_weight: 3.0,
+        };
+        assert!(tree.validate());
+        let mut ws = mwc_graph::traversal::delta::DeltaWorkspace::new();
+        let dist: Vec<u32> = ws.run(&g, 0).to_vec();
+        assert_eq!(dist, vec![0, 1, 2, 12, 10]);
+        let out = adjust_distances_with(&g, &tree, 0, &dist, |v| {
+            mwc_graph::traversal::bfs::canonical_parent(&g, &dist, v)
+        });
+        assert!(out.validate());
+        // (a) superset, and the light path's interior vertex was added.
+        for &v in &tree.nodes {
+            assert!(out.contains(v), "(a) lost vertex {v}");
+        }
+        assert!(out.contains(1), "graft must pull in vertex 1");
+        // (c) weighted distances inside the output tree within α of d_G.
+        let adj = out.adjacency();
+        let mut dt: FxHashMap<NodeId, u32> = FxHashMap::default();
+        dt.insert(0, 0);
+        let mut frontier = vec![0u32];
+        while let Some(u) = frontier.pop() {
+            let du = dt[&u];
+            for &v in &adj[&u] {
+                let cand = du + g.edge_weight(u, v);
+                if dt.get(&v).is_none_or(|&cur| cand < cur) {
+                    dt.insert(v, cand);
+                    frontier.push(v);
+                }
+            }
+        }
+        assert_eq!(dt.len(), out.num_nodes());
+        for (&v, &d_in_tree) in &dt {
+            assert!(
+                d_in_tree as f64 <= ALPHA * dist[v as usize] as f64 + 1e-9,
+                "(c) vertex {v}: {d_in_tree} vs {} in G",
+                dist[v as usize]
+            );
+        }
+        for &(u, v) in &out.edges {
+            assert!(g.has_edge(u, v), "edge ({u},{v}) not in G");
+        }
     }
 
     #[test]

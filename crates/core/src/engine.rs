@@ -70,7 +70,8 @@ use crate::exact::{exact_minimum, shortest_path_connector, ExactConfig};
 use crate::local_search::{refine, LocalSearchConfig};
 use crate::trace::TraceContext;
 use crate::wsq::{
-    batched_root_distances, RootPolicy, SharedRootDists, WienerSteiner, WsqConfig, WsqSolution,
+    batched_root_distances_dispatch, MsDistWorkspace, RootPolicy, SharedRootDists, WienerSteiner,
+    WsqConfig, WsqSolution,
 };
 use crate::wsq_approx::{solve_with_oracle, ApproxWsqConfig};
 
@@ -1501,10 +1502,11 @@ impl<'g> QueryEngine<'g> {
             }
             if roots.len() > 1 {
                 let roots: Vec<NodeId> = roots.into_iter().collect();
-                let mut ms = self.shared.pool.lease_multi();
+                let mut ms = MsDistWorkspace::lease(&self.shared.pool, self.graph.get());
                 let mut map = SharedRootDists::with_capacity(roots.len());
                 for batch in roots.chunks(MS_BFS_LANES) {
-                    let arrays = batched_root_distances(self.graph.get(), batch, &mut ms);
+                    let arrays =
+                        batched_root_distances_dispatch(self.graph.get(), batch, &mut ms);
                     stats.shared_sweeps += 1;
                     stats.shared_lanes += batch.len() as u64;
                     for (&r, d) in batch.iter().zip(arrays) {

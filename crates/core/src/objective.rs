@@ -9,6 +9,7 @@
 //!   (Problem 4, Lemma 3).
 
 use mwc_graph::traversal::bfs::{BfsWorkspace, MsBfsWorkspace, MS_BFS_LANES};
+use mwc_graph::traversal::delta::{DeltaWorkspace, MsDeltaWorkspace};
 use mwc_graph::{Graph, NodeId};
 
 use crate::error::{CoreError, Result};
@@ -26,9 +27,15 @@ pub fn objective_a(g: &Graph, vertices: &[NodeId], r: NodeId) -> Result<Option<u
             what: format!("root {r} not contained in the vertex set"),
         });
     };
-    let mut ws = BfsWorkspace::new();
-    ws.run_auto(sub.graph(), r_local);
-    let (sum, reached) = ws.last_run_distance_sum();
+    let (sum, reached) = if sub.graph().is_weighted() {
+        let mut ws = DeltaWorkspace::new();
+        ws.run(sub.graph(), r_local);
+        ws.last_run_distance_sum()
+    } else {
+        let mut ws = BfsWorkspace::new();
+        ws.run_auto(sub.graph(), r_local);
+        ws.last_run_distance_sum()
+    };
     if reached != sub.num_nodes() {
         return Ok(None);
     }
@@ -47,14 +54,23 @@ pub fn objective_a_best_root(g: &Graph, vertices: &[NodeId]) -> Result<Option<(N
     if k == 0 {
         return Err(CoreError::EmptyQuery);
     }
-    let mut ws = MsBfsWorkspace::new();
+    let weighted = sub.graph().is_weighted();
+    let mut bfs = (!weighted).then(MsBfsWorkspace::new);
+    let mut delta = weighted.then(MsDeltaWorkspace::new);
     let mut best: Option<(NodeId, u64)> = None;
     for batch_lo in (0..k).step_by(MS_BFS_LANES) {
         let batch_hi = (batch_lo + MS_BFS_LANES).min(k);
         let sources: Vec<NodeId> = (batch_lo as NodeId..batch_hi as NodeId).collect();
-        ws.run(sub.graph(), &sources);
+        if let Some(ws) = delta.as_mut() {
+            ws.run(sub.graph(), &sources);
+        } else if let Some(ws) = bfs.as_mut() {
+            ws.run(sub.graph(), &sources);
+        }
         for (lane, &local) in sources.iter().enumerate() {
-            let (sum, reached) = ws.distance_sum(lane);
+            let (sum, reached) = match delta.as_ref() {
+                Some(ws) => ws.distance_sum(lane),
+                None => bfs.as_ref().expect("one kernel is leased").distance_sum(lane),
+            };
             if reached != k {
                 return Ok(None);
             }
@@ -121,6 +137,21 @@ mod tests {
         let g = structured::path(5);
         assert_eq!(objective_a(&g, &[0, 1, 3], 0).unwrap(), None);
         assert_eq!(objective_a_best_root(&g, &[0, 1, 3]).unwrap(), None);
+    }
+
+    #[test]
+    fn weighted_objective_a_uses_weighted_distances() {
+        // Path 0 -5- 1 -3- 2 -2- 3: A(·, r) must sum *weighted* distances.
+        let g = Graph::from_weighted_edges(4, &[(0, 1, 5), (1, 2, 3), (2, 3, 2)]).unwrap();
+        let all: Vec<NodeId> = (0..4).collect();
+        // r = 0: Σd = 5 + 8 + 10 = 23 → 92.
+        assert_eq!(objective_a(&g, &all, 0).unwrap(), Some(92));
+        // r = 1 and r = 2 tie at Σd = 13 → 52; the scan keeps the first.
+        let (r, val) = objective_a_best_root(&g, &all).unwrap().unwrap();
+        assert_eq!((r, val), (1, 52));
+        // Disconnected weighted subsets still report None.
+        assert_eq!(objective_a(&g, &[0, 2, 3], 0).unwrap(), None);
+        assert_eq!(objective_a_best_root(&g, &[0, 2, 3]).unwrap(), None);
     }
 
     #[test]

@@ -24,9 +24,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mwc_graph::traversal::bfs::{
-    canonical_parent, multi_source_distances, MsBfsWorkspace, PooledMsWorkspace, WorkspacePool,
-    MS_BFS_LANES,
+    canonical_parent, multi_source_distances, MsBfsWorkspace, PooledMsDeltaWorkspace,
+    PooledMsWorkspace, WorkspacePool, MS_BFS_LANES,
 };
+use mwc_graph::traversal::delta::multi_source_delta_distances;
 use mwc_graph::{wiener, Graph, NodeId, INF_DIST};
 
 use crate::adjust::adjust_distances_with;
@@ -263,13 +264,19 @@ impl<'g> WienerSteiner<'g> {
         let feasibility_folded = use_batch && matches!(self.config.roots, RootPolicy::QueryOnly);
         if !feasibility_folded {
             let span = self.config.trace.span("feasibility");
-            let mut ws = pool.lease();
-            let dist = if self.config.kernel {
-                ws.run_auto(g, q[0])
+            let infeasible = if g.is_weighted() {
+                let mut ws = pool.lease_delta();
+                let dist = ws.run(g, q[0]);
+                q.iter().any(|&v| dist[v as usize] == INF_DIST)
             } else {
-                ws.run(g, q[0])
+                let mut ws = pool.lease();
+                let dist = if self.config.kernel {
+                    ws.run_auto(g, q[0])
+                } else {
+                    ws.run(g, q[0])
+                };
+                q.iter().any(|&v| dist[v as usize] == INF_DIST)
             };
-            let infeasible = q.iter().any(|&v| dist[v as usize] == INF_DIST);
             drop(span);
             if infeasible {
                 return Err(CoreError::QueryNotConnectable);
@@ -297,7 +304,7 @@ impl<'g> WienerSteiner<'g> {
         // identical records) whether the per-root distances come from
         // ⌈|roots|/64⌉ shared multi-source sweeps or one BFS per root.
         let mut all: Vec<EvaluatedCandidate> = Vec::new();
-        let mut ms: Option<PooledMsWorkspace<'_>> = None;
+        let mut ms: Option<MsDistWorkspace<'_>> = None;
         if use_batch {
             // The multi-source workspace is leased lazily: when `shared`
             // covers every batch (the fully coalesced case) no sweep runs
@@ -319,16 +326,16 @@ impl<'g> WienerSteiner<'g> {
                         .collect(),
                     _ => {
                         if ms.is_none() {
-                            let leased = pool.lease_multi();
+                            let leased = MsDistWorkspace::lease(pool, g);
                             // Pooled workspaces carry counters across
                             // leases; report this solve's delta only.
-                            kernel_levels_base = leased.levels_expanded();
+                            kernel_levels_base = leased.expanded();
                             ms = Some(leased);
                         }
                         let ms = ms.as_mut().expect("leased above");
                         local_sweeps += 1;
                         local_lanes += batch.len() as u64;
-                        batched_root_distances(g, batch, ms)
+                        batched_root_distances_dispatch(g, batch, ms)
                             .into_iter()
                             .map(Arc::new)
                             .collect()
@@ -358,9 +365,7 @@ impl<'g> WienerSteiner<'g> {
             all = self.sweep_roots(g, &q, &roots, None, &lambdas, pool, adjust_us)?;
         }
         if let Some(t0) = sweep_start {
-            let kernel_levels = ms
-                .as_ref()
-                .map_or(0, |w| w.levels_expanded() - kernel_levels_base);
+            let kernel_levels = ms.as_ref().map_or(0, |w| w.expanded() - kernel_levels_base);
             self.config.trace.record_with(
                 "root_sweep",
                 t0,
@@ -527,6 +532,58 @@ pub fn batched_root_distances(
     multi_source_distances(g, roots, ws)
 }
 
+/// Pooled multi-source distance workspace, dispatched on the graph's
+/// weightedness: MS-BFS lanes for unweighted graphs, batched
+/// delta-stepping lanes ([`MsDeltaWorkspace`]
+/// (mwc_graph::traversal::delta::MsDeltaWorkspace)) for weighted ones.
+/// Both kernels produce per-root arrays bit-identical to their sequential
+/// references, so the batched solver and the engine's cross-request
+/// prefetch can share arrays regardless of which leased the workspace.
+pub enum MsDistWorkspace<'p> {
+    /// Unweighted graphs: 64-lane multi-source BFS.
+    Bfs(PooledMsWorkspace<'p>),
+    /// Weighted graphs: 64-lane multi-source delta-stepping.
+    Delta(PooledMsDeltaWorkspace<'p>),
+}
+
+impl<'p> MsDistWorkspace<'p> {
+    /// Leases the kernel matching `g` from `pool`.
+    pub fn lease(pool: &'p WorkspacePool, g: &Graph) -> Self {
+        if g.is_weighted() {
+            MsDistWorkspace::Delta(pool.lease_multi_delta())
+        } else {
+            MsDistWorkspace::Bfs(pool.lease_multi())
+        }
+    }
+
+    /// Cumulative work counter for tracing: BFS levels or delta-stepping
+    /// buckets expanded over the workspace's lifetime.
+    pub fn expanded(&self) -> u64 {
+        match self {
+            MsDistWorkspace::Bfs(ws) => ws.levels_expanded(),
+            MsDistWorkspace::Delta(ws) => ws.buckets_expanded(),
+        }
+    }
+}
+
+/// [`batched_root_distances`] with kernel dispatch: weighted graphs route
+/// through the batched delta-stepping kernel
+/// ([`multi_source_delta_distances`]), unweighted ones through MS-BFS.
+/// The solver's batched sweep and
+/// [`QueryEngine::solve_group`](crate::engine::QueryEngine::solve_group)'s
+/// prefetch both go through here, so coalesced and uncoalesced solves run
+/// the same kernel on the same graph.
+pub fn batched_root_distances_dispatch(
+    g: &Graph,
+    roots: &[NodeId],
+    ws: &mut MsDistWorkspace<'_>,
+) -> Vec<Vec<u32>> {
+    match ws {
+        MsDistWorkspace::Bfs(ms) => multi_source_distances(g, roots, ms),
+        MsDistWorkspace::Delta(ms) => multi_source_delta_distances(g, roots, ms),
+    }
+}
+
 /// Per-root distance arrays shared *across* queries: root vertex →
 /// distances-from-root, produced by the same [`multi_source_distances`]
 /// kernel the batched solver runs itself. Built by
@@ -597,7 +654,10 @@ fn run_roots(
     adjust_us: Option<&AtomicU64>,
 ) -> Result<Vec<EvaluatedCandidate>> {
     let mut out = Vec::with_capacity(roots.len() * lambdas.len());
-    let mut ws = pool.lease();
+    // Per-root distances come from the kernel matching the graph:
+    // delta-stepping on weighted graphs, BFS otherwise.
+    let mut ws = (!g.is_weighted()).then(|| pool.lease());
+    let mut delta = g.is_weighted().then(|| pool.lease_delta());
     let mut terminals: Vec<NodeId> = Vec::with_capacity(q.len() + 1);
     for (i, &r) in roots.iter().enumerate() {
         // Cooperative deadline: stop sweeping further roots, but never
@@ -607,8 +667,17 @@ fn run_roots(
         }
         let dist_r: &[u32] = match dists {
             Some(d) => d[i].as_slice(),
-            None if cfg.kernel => ws.run_auto(g, r),
-            None => ws.run(g, r),
+            None => match delta.as_mut() {
+                Some(dw) => dw.run(g, r),
+                None => {
+                    let ws = ws.as_mut().expect("unweighted graphs lease a BFS workspace");
+                    if cfg.kernel {
+                        ws.run_auto(g, r)
+                    } else {
+                        ws.run(g, r)
+                    }
+                }
+            },
         };
         // Terminals: Q ∪ {r} (identical to Q under RootPolicy::QueryOnly).
         terminals.clear();
@@ -681,13 +750,19 @@ pub(crate) fn evaluate_a(
 ) -> Result<u64> {
     let sub = g.induced(nodes)?;
     let r_local = sub.to_local(r).expect("root belongs to its candidate");
-    let mut ws = pool.lease();
-    if kernel {
-        ws.run_auto(sub.graph(), r_local);
-    } else {
+    let (sum, reached) = if sub.graph().is_weighted() {
+        let mut ws = pool.lease_delta();
         ws.run(sub.graph(), r_local);
-    }
-    let (sum, reached) = ws.last_run_distance_sum();
+        ws.last_run_distance_sum()
+    } else {
+        let mut ws = pool.lease();
+        if kernel {
+            ws.run_auto(sub.graph(), r_local);
+        } else {
+            ws.run(sub.graph(), r_local);
+        }
+        ws.last_run_distance_sum()
+    };
     debug_assert_eq!(
         reached,
         sub.num_nodes(),
@@ -1067,6 +1142,106 @@ mod tests {
                 solver.solve(&[0, 3]),
                 Err(CoreError::QueryNotConnectable)
             ));
+        }
+    }
+
+    /// Deterministic weighted twin of `g`: every edge gets a weight in
+    /// `1..=maxw` hashed from its endpoints.
+    fn weighted_version(g: &Graph, maxw: u32) -> Graph {
+        let edges: Vec<(NodeId, NodeId, u32)> = g
+            .edges()
+            .map(|(u, v)| {
+                let h = (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (v as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                (u, v, (h % maxw as u64) as u32 + 1)
+            })
+            .collect();
+        Graph::from_weighted_edges(g.num_nodes(), &edges).unwrap()
+    }
+
+    #[test]
+    fn weighted_solves_are_toggle_invariant() {
+        // On weighted graphs every distance comes from delta-stepping
+        // (batched or single-source) — and delta-stepping is pinned
+        // bit-identical to Dijkstra — so batching, parallelism, and
+        // coalesced shared distances must all leave the connector fixed.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        let base = mwc_graph::generators::barabasi_albert(400, 3, &mut rng);
+        let g = weighted_version(&base, 9);
+        for _ in 0..4 {
+            let q: Vec<NodeId> = (0..4).map(|_| rng.gen_range(0..400)).collect();
+            let reference = WienerSteiner::with_config(
+                &g,
+                WsqConfig {
+                    batch: false,
+                    parallel: false,
+                    ..WsqConfig::default()
+                },
+            )
+            .solve(&q)
+            .unwrap();
+            for (batch, parallel) in [(true, false), (true, true), (false, true)] {
+                let sol = WienerSteiner::with_config(
+                    &g,
+                    WsqConfig {
+                        batch,
+                        parallel,
+                        ..WsqConfig::default()
+                    },
+                )
+                .solve(&q)
+                .unwrap();
+                assert_eq!(
+                    sol.connector.vertices(),
+                    reference.connector.vertices(),
+                    "batch={batch} parallel={parallel} {q:?}"
+                );
+                assert_eq!(sol.wiener_index, reference.wiener_index);
+                assert_eq!(sol.num_candidates, reference.num_candidates);
+            }
+            // The coalescing path: shared arrays from the weighted batched
+            // kernel, exactly as solve_group prefetches them.
+            let q_norm = normalize_query(&g, &q).unwrap();
+            let pool = WorkspacePool::new();
+            let mut ws = MsDistWorkspace::lease(&pool, &g);
+            let arrays = batched_root_distances_dispatch(&g, &q_norm, &mut ws);
+            drop(ws);
+            let shared: SharedRootDists = q_norm
+                .iter()
+                .copied()
+                .zip(arrays.into_iter().map(Arc::new))
+                .collect();
+            let coalesced = WienerSteiner::new(&g)
+                .solve_pooled_shared(&q, &pool, Some(&shared))
+                .unwrap();
+            assert_eq!(
+                coalesced.connector.vertices(),
+                reference.connector.vertices()
+            );
+            assert_eq!(coalesced.wiener_index, reference.wiener_index);
+            // The reported Wiener index is the weighted one.
+            assert!(reference.connector.contains_all(&q_norm));
+            assert_eq!(
+                reference.wiener_index,
+                reference.connector.wiener_index(&g).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn weight_one_graph_solves_like_its_unweighted_twin() {
+        // A weighted graph whose weights are all 1 must produce exactly
+        // the unweighted solve: delta-stepping degenerates to BFS order.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let base = mwc_graph::generators::barabasi_albert(300, 2, &mut rng);
+        let g1 = weighted_version(&base, 1);
+        assert!(g1.is_weighted());
+        for _ in 0..3 {
+            let q: Vec<NodeId> = (0..4).map(|_| rng.gen_range(0..300)).collect();
+            let w = WienerSteiner::new(&g1).solve(&q).unwrap();
+            let u = WienerSteiner::new(&base).solve(&q).unwrap();
+            assert_eq!(w.connector.vertices(), u.connector.vertices(), "{q:?}");
+            assert_eq!(w.wiener_index, u.wiener_index);
         }
     }
 

@@ -27,6 +27,12 @@ pub struct GraphBuilder {
     /// Normalized (min, max) endpoint pairs; may contain duplicates until
     /// `build`.
     edges: Vec<(NodeId, NodeId)>,
+    /// Per-edge weights aligned with `edges` (always maintained; ignored
+    /// unless `weighted` — [`GraphBuilder::add_edge`] records weight 1).
+    weights: Vec<u32>,
+    /// Set by the first [`GraphBuilder::add_weighted_edge`]; selects the
+    /// weighted CSR build (duplicates merge to the minimum weight).
+    weighted: bool,
 }
 
 impl GraphBuilder {
@@ -35,6 +41,8 @@ impl GraphBuilder {
         GraphBuilder {
             num_nodes,
             edges: Vec::new(),
+            weights: Vec::new(),
+            weighted: false,
         }
     }
 
@@ -44,6 +52,8 @@ impl GraphBuilder {
         GraphBuilder {
             num_nodes,
             edges: Vec::with_capacity(edge_capacity),
+            weights: Vec::with_capacity(edge_capacity),
+            weighted: false,
         }
     }
 
@@ -76,6 +86,7 @@ impl GraphBuilder {
         }
         if u != v {
             self.edges.push(if u < v { (u, v) } else { (v, u) });
+            self.weights.push(1);
         }
         Ok(())
     }
@@ -89,6 +100,47 @@ impl GraphBuilder {
         debug_assert!((u as usize) < self.num_nodes && (v as usize) < self.num_nodes);
         if u != v {
             self.edges.push(if u < v { (u, v) } else { (v, u) });
+            self.weights.push(1);
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`. Self-loops are
+    /// ignored, weight 0 is clamped to 1, and duplicate edges merge to the
+    /// minimum weight at [`GraphBuilder::build`] time.
+    ///
+    /// The first weighted edge switches the builder into weighted mode; the
+    /// built graph then reports `is_weighted()` (edges added via
+    /// [`GraphBuilder::add_edge`] carry weight 1).
+    #[inline]
+    pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, w: u32) -> Result<()> {
+        if (u as usize) >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: u as u64,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if (v as usize) >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: v as u64,
+                num_nodes: self.num_nodes,
+            });
+        }
+        self.weighted = true;
+        if u != v {
+            self.edges.push(if u < v { (u, v) } else { (v, u) });
+            self.weights.push(w.max(1));
+        }
+        Ok(())
+    }
+
+    /// Weighted counterpart of [`GraphBuilder::add_edge_unchecked`].
+    #[inline]
+    pub fn add_weighted_edge_unchecked(&mut self, u: NodeId, v: NodeId, w: u32) {
+        debug_assert!((u as usize) < self.num_nodes && (v as usize) < self.num_nodes);
+        self.weighted = true;
+        if u != v {
+            self.edges.push(if u < v { (u, v) } else { (v, u) });
+            self.weights.push(w.max(1));
         }
     }
 
@@ -101,6 +153,9 @@ impl GraphBuilder {
     /// Panics if the graph would need more than `u32::MAX` adjacency entries
     /// (2 per undirected edge); such graphs are outside this project's scope.
     pub fn build(self) -> Graph {
+        if self.weighted {
+            return self.build_weighted();
+        }
         let n = self.num_nodes;
         let directed = self
             .edges
@@ -160,6 +215,66 @@ impl GraphBuilder {
 
         Graph::from_csr_parts(new_offsets, neighbors)
     }
+
+    /// Weighted CSR assembly: same two counting-sort passes, scattering
+    /// `(neighbor, weight)` pairs, with duplicates merged to the minimum
+    /// weight per adjacency list.
+    fn build_weighted(self) -> Graph {
+        let n = self.num_nodes;
+        let directed = self
+            .edges
+            .len()
+            .checked_mul(2)
+            .filter(|&d| d <= u32::MAX as usize)
+            .expect("graph exceeds u32::MAX adjacency entries");
+
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+
+        let mut entries = vec![(0 as NodeId, 0u32); directed];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (&(u, v), &w) in self.edges.iter().zip(&self.weights) {
+            entries[cursor[u as usize] as usize] = (v, w);
+            cursor[u as usize] += 1;
+            entries[cursor[v as usize] as usize] = (u, w);
+            cursor[v as usize] += 1;
+        }
+        drop(cursor);
+
+        // Sort each row by (neighbor, weight); keeping the first occurrence
+        // of each neighbor then merges duplicates to their minimum weight.
+        let mut neighbors = vec![0 as NodeId; directed];
+        let mut weights = vec![0u32; directed];
+        let mut write = 0usize;
+        let mut new_offsets = vec![0u32; n + 1];
+        let mut read_start = 0usize;
+        for v in 0..n {
+            let read_end = offsets[v + 1] as usize;
+            entries[read_start..read_end].sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            for &(nb, w) in &entries[read_start..read_end] {
+                if prev != Some(nb) {
+                    neighbors[write] = nb;
+                    weights[write] = w;
+                    write += 1;
+                    prev = Some(nb);
+                }
+            }
+            new_offsets[v + 1] = write as u32;
+            read_start = read_end;
+        }
+        neighbors.truncate(write);
+        weights.truncate(write);
+        debug_assert_eq!(write % 2, 0, "deduped adjacency must remain symmetric");
+
+        Graph::from_csr_parts_weighted(new_offsets, neighbors, weights)
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +318,23 @@ mod tests {
         assert!(b.add_edge(2, 0).is_err());
         assert!(b.add_edge(0, 2).is_err());
         assert!(b.add_edge(0, 1).is_ok());
+    }
+
+    #[test]
+    fn weighted_build_merges_duplicates_to_min() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 7).unwrap();
+        b.add_weighted_edge(1, 0, 3).unwrap(); // duplicate, keeps min
+        b.add_weighted_edge(2, 2, 9).unwrap(); // self-loop, dropped
+        b.add_weighted_edge(2, 3, 0).unwrap(); // clamps to 1
+        b.add_edge(1, 2).unwrap(); // unweighted add contributes weight 1
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(0, 1), 3);
+        assert_eq!(g.edge_weight(2, 3), 1);
+        assert_eq!(g.edge_weight(1, 2), 1);
+        assert_eq!(g.neighbor_weights(1).unwrap(), &[3, 1]);
     }
 
     #[test]

@@ -72,6 +72,79 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph> {
     })
 }
 
+/// Reads a weighted edge list (`u v w` per line; a missing third token
+/// means weight 1, weight 0 clamps to 1), remapping arbitrary ids to
+/// `0..n` in first-seen order. Duplicate edges merge to the minimum weight.
+pub fn read_weighted_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph> {
+    let mut id_map: FxHashMap<u64, NodeId> = FxHashMap::default();
+    let mut original_id: Vec<u64> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId, u32)> = Vec::new();
+
+    let mut intern = |raw: u64, original_id: &mut Vec<u64>| -> NodeId {
+        *id_map.entry(raw).or_insert_with(|| {
+            let id = original_id.len() as NodeId;
+            original_id.push(raw);
+            id
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad node id {tok:?}: {e}"),
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        let w = match it.next() {
+            None => 1u32,
+            Some(tok) => tok.parse::<u32>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad edge weight {tok:?}: {e}"),
+            })?,
+        };
+        let ul = intern(u, &mut original_id);
+        let vl = intern(v, &mut original_id);
+        edges.push((ul, vl, w));
+    }
+
+    let mut b = GraphBuilder::with_capacity(original_id.len(), edges.len());
+    for (u, v, w) in edges {
+        b.add_weighted_edge(u, v, w)?;
+    }
+    Ok(LoadedGraph {
+        graph: b.build(),
+        original_id,
+    })
+}
+
+/// Writes a graph as a weighted edge list (one `u v w` per line, `u < v`;
+/// unweighted graphs write weight 1 throughout).
+pub fn write_weighted_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
+    writeln!(
+        writer,
+        "# nodes {} edges {} weighted",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
+    for (u, v, w) in g.weighted_edges() {
+        writeln!(writer, "{u} {v} {w}")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
 /// Writes a graph as an edge list (one `u v` per line, `u < v`), with a
 /// leading comment describing the size.
 pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
@@ -135,5 +208,27 @@ mod tests {
         let text = "0 1\n1 0\n2 2\n1 2\n";
         let loaded = read_edge_list(BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(loaded.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn weighted_round_trip() {
+        let text = "# comment\n0 1 5\n1 2 3\n2 0\n";
+        let loaded = read_weighted_edge_list(BufReader::new(text.as_bytes())).unwrap();
+        assert!(loaded.graph.is_weighted());
+        assert_eq!(loaded.graph.edge_weight(0, 1), 5);
+        assert_eq!(loaded.graph.edge_weight(0, 2), 1); // missing weight → 1
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&loaded.graph, &mut buf).unwrap();
+        let again = read_weighted_edge_list(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(again.graph.num_edges(), loaded.graph.num_edges());
+        assert_eq!(again.graph.edge_weight(0, 1), 5);
+    }
+
+    #[test]
+    fn weighted_duplicates_merge_to_min() {
+        let text = "0 1 9\n1 0 4\n0 1 6\n";
+        let loaded = read_weighted_edge_list(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 1);
+        assert_eq!(loaded.graph.edge_weight(0, 1), 4);
     }
 }

@@ -19,7 +19,20 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::traversal::bfs::{bfs_distances, multi_source_distances, MsBfsWorkspace};
+use crate::traversal::delta::{multi_source_delta_distances, DeltaWorkspace, MsDeltaWorkspace};
+use crate::traversal::dijkstra::DijkstraWorkspace;
 use crate::{Graph, NodeId, INF_DIST};
+
+/// Single-source distances dispatching on the graph's weight family —
+/// delta-stepping on weighted graphs, BFS otherwise.
+fn single_source_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    if g.is_weighted() {
+        let mut ws = DeltaWorkspace::new();
+        ws.run(g, source).to_vec()
+    } else {
+        bfs_distances(g, source)
+    }
+}
 
 /// How landmarks are selected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,9 +76,16 @@ impl LandmarkOracle {
     /// level per *batch* rather than once per landmark. Distances are
     /// bit-identical to [`Self::build_sequential`] (pinned by tests); the
     /// `oracle_build` section of `BENCH_kernel.json` records the speedup.
+    /// Weighted graphs swap the BFS sweeps for batched delta-stepping
+    /// ([`MsDeltaWorkspace`]) — same lane layout, distances bit-identical
+    /// to the per-landmark Dijkstra of [`Self::build_sequential`].
     pub fn build<R: Rng>(g: &Graph, k: usize, strategy: LandmarkStrategy, rng: &mut R) -> Self {
         let landmarks = select_landmarks(g, k, strategy, rng);
-        let dist = multi_source_distances(g, &landmarks, &mut MsBfsWorkspace::new());
+        let dist = if g.is_weighted() {
+            multi_source_delta_distances(g, &landmarks, &mut MsDeltaWorkspace::new())
+        } else {
+            multi_source_distances(g, &landmarks, &mut MsBfsWorkspace::new())
+        };
         LandmarkOracle { landmarks, dist }
     }
 
@@ -80,7 +100,12 @@ impl LandmarkOracle {
         rng: &mut R,
     ) -> Self {
         let landmarks = select_landmarks(g, k, strategy, rng);
-        let dist = landmarks.iter().map(|&l| bfs_distances(g, l)).collect();
+        let dist = if g.is_weighted() {
+            let mut ws = DijkstraWorkspace::new();
+            landmarks.iter().map(|&l| ws.run(g, l).to_vec()).collect()
+        } else {
+            landmarks.iter().map(|&l| bfs_distances(g, l)).collect()
+        };
         LandmarkOracle { landmarks, dist }
     }
 
@@ -105,7 +130,8 @@ impl LandmarkOracle {
         for row in &self.dist {
             let (du, dv) = (row[u as usize], row[v as usize]);
             if du != INF_DIST && dv != INF_DIST {
-                best = best.min(du + dv);
+                // saturating: weighted distance sums can brush u32::MAX.
+                best = best.min(du.saturating_add(dv));
             }
         }
         best
@@ -148,7 +174,7 @@ impl LandmarkOracle {
             }
             for (v, &dv) in row.iter().enumerate() {
                 if dv != INF_DIST {
-                    out[v] = out[v].min(ds + dv);
+                    out[v] = out[v].min(ds.saturating_add(dv));
                 }
             }
         }
@@ -187,7 +213,7 @@ impl LandmarkOracle {
                 }
                 for (o, &dv) in out.iter_mut().zip(row.iter()) {
                     if dv != INF_DIST {
-                        *o = (*o).min(ds + dv);
+                        *o = (*o).min(ds.saturating_add(dv));
                     }
                 }
             }
@@ -240,7 +266,7 @@ fn farthest_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<NodeId> {
         return Vec::new();
     }
     let mut landmarks = vec![rng.gen_range(0..n as NodeId)];
-    let mut min_dist = bfs_distances(g, landmarks[0]);
+    let mut min_dist = single_source_distances(g, landmarks[0]);
     while landmarks.len() < k {
         // Farthest *reachable* vertex (unreachable ones would pin all
         // remaining landmarks into other components immediately; taking
@@ -258,7 +284,7 @@ fn farthest_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<NodeId> {
             });
         let Some(next) = next else { break };
         landmarks.push(next);
-        let d = bfs_distances(g, next);
+        let d = single_source_distances(g, next);
         for (m, &dv) in min_dist.iter_mut().zip(&d) {
             *m = (*m).min(dv);
         }
@@ -432,6 +458,48 @@ mod tests {
         let multi = o.estimate_all_multi(&[0, 2]);
         assert_eq!(multi[0], o.estimate_all(0));
         assert_eq!(multi[1], o.estimate_all(2));
+    }
+
+    #[test]
+    fn weighted_build_matches_weighted_sequential_build() {
+        use rand::{Rng as _, SeedableRng};
+        let mut grng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut b = crate::GraphBuilder::new(250);
+        for v in 1..250u32 {
+            b.add_weighted_edge(grng.gen_range(0..v), v, grng.gen_range(1..=9))
+                .unwrap();
+        }
+        for _ in 0..500 {
+            let u = grng.gen_range(0..250u32);
+            let v = grng.gen_range(0..250u32);
+            b.add_weighted_edge(u, v, grng.gen_range(1..=9)).unwrap();
+        }
+        let g = b.build();
+        for strategy in all_strategies() {
+            for k in [1usize, 7, 80] {
+                let mut rng_a = rand::rngs::StdRng::seed_from_u64(13);
+                let mut rng_b = rand::rngs::StdRng::seed_from_u64(13);
+                let batched = LandmarkOracle::build(&g, k, strategy, &mut rng_a);
+                let sequential = LandmarkOracle::build_sequential(&g, k, strategy, &mut rng_b);
+                assert_eq!(
+                    batched.landmarks(),
+                    sequential.landmarks(),
+                    "{strategy:?} k={k}"
+                );
+                assert_eq!(batched.dist, sequential.dist, "{strategy:?} k={k}");
+            }
+        }
+        // Bounds sandwich true weighted distances.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let oracle = LandmarkOracle::build(&g, 6, LandmarkStrategy::HighestDegree, &mut rng);
+        let mut dij = crate::traversal::dijkstra::DijkstraWorkspace::new();
+        for u in [0u32, 100, 249] {
+            let d = dij.run(&g, u).to_vec();
+            for v in 0..250u32 {
+                assert!(oracle.lower_bound(u, v) <= d[v as usize]);
+                assert!(oracle.upper_bound(u, v) >= d[v as usize]);
+            }
+        }
     }
 
     #[test]

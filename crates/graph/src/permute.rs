@@ -118,6 +118,36 @@ impl Graph {
         for new_v in 0..n {
             offsets[new_v + 1] = offsets[new_v] + self.degree(perm.to_old(new_v as NodeId)) as u32;
         }
+        if self.is_weighted() {
+            // Weighted rows carry (neighbor, weight) pairs through the same
+            // translate-and-sort; sorting pairs keeps each weight glued to
+            // its (deduplicated, so unique) neighbor.
+            let mut neighbors = vec![0 as NodeId; offsets[n] as usize];
+            let mut weights = vec![0u32; offsets[n] as usize];
+            let mut row: Vec<(NodeId, u32)> = Vec::new();
+            for new_v in 0..n {
+                let old_v = perm.to_old(new_v as NodeId);
+                let lo = offsets[new_v] as usize;
+                let hi = offsets[new_v + 1] as usize;
+                row.clear();
+                row.extend(
+                    self.neighbors(old_v)
+                        .iter()
+                        .zip(self.neighbor_weights(old_v).expect("weighted graph"))
+                        .map(|(&old_nb, &w)| (perm.to_new(old_nb), w)),
+                );
+                row.sort_unstable();
+                for (slot, &(nb, w)) in row.iter().enumerate() {
+                    neighbors[lo + slot] = nb;
+                    weights[lo + slot] = w;
+                }
+                debug_assert_eq!(row.len(), hi - lo);
+            }
+            return (
+                Graph::from_csr_parts_weighted(offsets, neighbors, weights),
+                perm,
+            );
+        }
         let mut neighbors = vec![0 as NodeId; offsets[n] as usize];
         for new_v in 0..n {
             let old_v = perm.to_old(new_v as NodeId);

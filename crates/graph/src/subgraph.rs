@@ -38,20 +38,26 @@ impl InducedSubgraph {
         let k = original.len();
         let mut offsets = vec![0u32; k + 1];
         let mut neighbors: Vec<NodeId> = Vec::new();
+        let mut weights: Vec<u32> = Vec::new();
         for (local, &global) in original.iter().enumerate() {
-            for &nb in g.neighbors(global) {
+            for (i, &nb) in g.neighbors(global).iter().enumerate() {
                 if let Ok(nb_local) = original.binary_search(&nb) {
                     neighbors.push(nb_local as NodeId);
+                    if let Some(ws) = g.neighbor_weights(global) {
+                        weights.push(ws[i]);
+                    }
                 }
             }
             offsets[local + 1] = neighbors.len() as u32;
         }
         // Global adjacency is sorted and `original` is sorted, so each local
         // list is already sorted and deduplicated.
-        Ok(InducedSubgraph {
-            graph: Graph::from_csr_parts(offsets, neighbors),
-            original,
-        })
+        let graph = if g.is_weighted() {
+            Graph::from_csr_parts_weighted(offsets, neighbors, weights)
+        } else {
+            Graph::from_csr_parts(offsets, neighbors)
+        };
+        Ok(InducedSubgraph { graph, original })
     }
 
     /// The induced subgraph as a standalone [`Graph`] over local ids.

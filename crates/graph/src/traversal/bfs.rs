@@ -544,17 +544,21 @@ impl MsBfsWorkspace {
     }
 }
 
-/// The canonical shortest-path-tree parent of `v` given the BFS distance
-/// array from some source: the **lowest-id** neighbor at distance
-/// `dist[v] − 1` ([`NO_NODE`] for the source and unreachable vertices).
+/// The canonical shortest-path-tree parent of `v` given the distance
+/// array from some source: the **lowest-id** neighbor `u` on a tight edge
+/// — `dist[u] + w(u,v) == dist[v]`, which on unweighted graphs is the
+/// neighbor at distance `dist[v] − 1` ([`NO_NODE`] for the source and
+/// unreachable vertices).
 ///
-/// Any neighbor one level closer is a valid BFS-tree parent; picking the
-/// minimum relabeled id makes the choice a pure function of the distance
-/// array. That is what lets the batched solvers reconstruct parent trees
-/// from [`MsBfsWorkspace`]'s vertex-major matrix and still produce
-/// **bit-identical** connectors to the per-root path: per-source and
-/// multi-source distances agree, so this rule lands on the same parents
-/// no matter which kernel produced the distances.
+/// Any tight in-neighbor is a valid shortest-path-tree parent; picking
+/// the minimum relabeled id makes the choice a pure function of the
+/// distance array. That is what lets the batched solvers reconstruct
+/// parent trees from [`MsBfsWorkspace`]'s (or `MsDeltaWorkspace`'s)
+/// vertex-major matrix and still produce **bit-identical** connectors to
+/// the per-root path: per-source and multi-source distances agree, so
+/// this rule lands on the same parents no matter which kernel produced
+/// the distances. Weighted graphs dispatch on their stored weights, so
+/// `AdjustDistances` and the solvers work unchanged on either family.
 #[inline]
 pub fn canonical_parent(g: &Graph, dist: &[u32], v: NodeId) -> NodeId {
     let dv = dist[v as usize];
@@ -562,9 +566,21 @@ pub fn canonical_parent(g: &Graph, dist: &[u32], v: NodeId) -> NodeId {
         return NO_NODE;
     }
     // CSR adjacency is sorted, so the first hit is the lowest id.
-    for &u in g.neighbors(v) {
-        if dist[u as usize] == dv - 1 {
-            return u;
+    match g.neighbor_weights(v) {
+        Some(ws) => {
+            for (&u, &w) in g.neighbors(v).iter().zip(ws) {
+                // saturating: INF_DIST + w stays INF_DIST ≠ finite dv.
+                if dist[u as usize].saturating_add(w) == dv {
+                    return u;
+                }
+            }
+        }
+        None => {
+            for &u in g.neighbors(v) {
+                if dist[u as usize] == dv - 1 {
+                    return u;
+                }
+            }
         }
     }
     NO_NODE
@@ -618,6 +634,15 @@ pub struct WorkspacePool {
     /// Idle multi-source workspaces — pooled separately because their
     /// `O(lanes · |V|)` distance matrix dwarfs a single-source workspace.
     free_multi: std::sync::Mutex<Vec<MsBfsWorkspace>>,
+    /// Idle integer-Dijkstra workspaces (the sequential weighted
+    /// reference); pooled so per-call heap + distance allocations are
+    /// amortized like every other kernel's.
+    free_dijkstra: std::sync::Mutex<Vec<super::dijkstra::DijkstraWorkspace>>,
+    /// Idle single-source delta-stepping workspaces.
+    free_delta: std::sync::Mutex<Vec<super::delta::DeltaWorkspace>>,
+    /// Idle multi-source delta-stepping workspaces (lane-width distance
+    /// matrices, like `free_multi`).
+    free_multi_delta: std::sync::Mutex<Vec<super::delta::MsDeltaWorkspace>>,
 }
 
 impl WorkspacePool {
@@ -656,6 +681,52 @@ impl WorkspacePool {
         }
     }
 
+    /// Borrows an integer-Dijkstra workspace; creates one if none is
+    /// free. The weighted dispatch paths lease this where the unweighted
+    /// ones lease a [`BfsWorkspace`].
+    pub fn lease_dijkstra(&self) -> PooledDijkstraWorkspace<'_> {
+        let ws = self
+            .free_dijkstra
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledDijkstraWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Borrows a single-source delta-stepping workspace; creates one if
+    /// none is free.
+    pub fn lease_delta(&self) -> PooledDeltaWorkspace<'_> {
+        let ws = self
+            .free_delta
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledDeltaWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Borrows a multi-source delta-stepping workspace; creates one if
+    /// none is free — the weighted twin of [`Self::lease_multi`].
+    pub fn lease_multi_delta(&self) -> PooledMsDeltaWorkspace<'_> {
+        let ws = self
+            .free_multi_delta
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledMsDeltaWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
     /// Number of currently idle (pooled) single-source workspaces.
     pub fn idle(&self) -> usize {
         self.free.lock().expect("workspace pool poisoned").len()
@@ -664,6 +735,31 @@ impl WorkspacePool {
     /// Number of currently idle (pooled) multi-source workspaces.
     pub fn idle_multi(&self) -> usize {
         self.free_multi
+            .lock()
+            .expect("workspace pool poisoned")
+            .len()
+    }
+
+    /// Number of currently idle (pooled) Dijkstra workspaces.
+    pub fn idle_dijkstra(&self) -> usize {
+        self.free_dijkstra
+            .lock()
+            .expect("workspace pool poisoned")
+            .len()
+    }
+
+    /// Number of currently idle (pooled) delta-stepping workspaces.
+    pub fn idle_delta(&self) -> usize {
+        self.free_delta
+            .lock()
+            .expect("workspace pool poisoned")
+            .len()
+    }
+
+    /// Number of currently idle (pooled) multi-source delta-stepping
+    /// workspaces.
+    pub fn idle_multi_delta(&self) -> usize {
+        self.free_multi_delta
             .lock()
             .expect("workspace pool poisoned")
             .len()
@@ -726,6 +822,102 @@ impl Drop for PooledMsWorkspace<'_> {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
             if let Ok(mut free) = self.pool.free_multi.lock() {
+                free.push(ws);
+            }
+        }
+    }
+}
+
+/// RAII lease from a [`WorkspacePool`]; derefs to
+/// [`DijkstraWorkspace`](super::dijkstra::DijkstraWorkspace) and returns
+/// the buffers to the pool on drop.
+#[derive(Debug)]
+pub struct PooledDijkstraWorkspace<'p> {
+    pool: &'p WorkspacePool,
+    ws: Option<super::dijkstra::DijkstraWorkspace>,
+}
+
+impl std::ops::Deref for PooledDijkstraWorkspace<'_> {
+    type Target = super::dijkstra::DijkstraWorkspace;
+    fn deref(&self) -> &Self::Target {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledDijkstraWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledDijkstraWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            if let Ok(mut free) = self.pool.free_dijkstra.lock() {
+                free.push(ws);
+            }
+        }
+    }
+}
+
+/// RAII lease from a [`WorkspacePool`]; derefs to
+/// [`DeltaWorkspace`](super::delta::DeltaWorkspace) and returns the
+/// buffers to the pool on drop.
+#[derive(Debug)]
+pub struct PooledDeltaWorkspace<'p> {
+    pool: &'p WorkspacePool,
+    ws: Option<super::delta::DeltaWorkspace>,
+}
+
+impl std::ops::Deref for PooledDeltaWorkspace<'_> {
+    type Target = super::delta::DeltaWorkspace;
+    fn deref(&self) -> &Self::Target {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledDeltaWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledDeltaWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            if let Ok(mut free) = self.pool.free_delta.lock() {
+                free.push(ws);
+            }
+        }
+    }
+}
+
+/// RAII lease from a [`WorkspacePool`]; derefs to
+/// [`MsDeltaWorkspace`](super::delta::MsDeltaWorkspace) and returns the
+/// buffers to the pool on drop.
+#[derive(Debug)]
+pub struct PooledMsDeltaWorkspace<'p> {
+    pool: &'p WorkspacePool,
+    ws: Option<super::delta::MsDeltaWorkspace>,
+}
+
+impl std::ops::Deref for PooledMsDeltaWorkspace<'_> {
+    type Target = super::delta::MsDeltaWorkspace;
+    fn deref(&self) -> &Self::Target {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledMsDeltaWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledMsDeltaWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            if let Ok(mut free) = self.pool.free_multi_delta.lock() {
                 free.push(ws);
             }
         }

@@ -61,6 +61,119 @@ impl Ord for HeapKey {
     }
 }
 
+/// Reusable integer Dijkstra over the graph's own `u32` weights — the
+/// sequential parity/bench reference for the delta-stepping kernel
+/// (mirroring how `wiener_index_sequential` anchors the batched BFS path).
+///
+/// Buffers are recycled across runs: the distance array is reset
+/// *sparsely* through a touched list (only vertices the previous run
+/// reached are dirty) and the settled set is a generation-stamped array —
+/// no `O(|V|)` clear per run, the same trick `BfsWorkspace` uses. Pool
+/// instances through
+/// [`WorkspacePool::lease_dijkstra`](super::bfs::WorkspacePool::lease_dijkstra).
+///
+/// ```
+/// use mwc_graph::traversal::dijkstra::DijkstraWorkspace;
+/// use mwc_graph::Graph;
+///
+/// let g = Graph::from_weighted_edges(3, &[(0, 1, 10), (0, 2, 1), (2, 1, 2)]).unwrap();
+/// let mut ws = DijkstraWorkspace::new();
+/// assert_eq!(ws.run(&g, 0), &[0, 3, 1]);
+/// assert_eq!(ws.last_run_distance_sum(), (4, 3));
+/// ```
+#[derive(Debug, Default)]
+pub struct DijkstraWorkspace {
+    dist: Vec<u32>,
+    /// `settled_gen[v] == generation` marks `v` settled in the current
+    /// run; bumping the generation invalidates the whole array in `O(1)`.
+    settled_gen: Vec<u64>,
+    generation: u64,
+    heap: BinaryHeap<Reverse<(u32, NodeId)>>,
+    /// Vertices whose distance went finite — drives the sparse reset and
+    /// the distance-sum scan.
+    touched: Vec<NodeId>,
+}
+
+impl DijkstraWorkspace {
+    /// A workspace; buffers grow lazily to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dijkstra distances from `source` over the graph's integer weights
+    /// (weight 1 throughout on unweighted graphs). Returns the filled
+    /// distance slice ([`crate::INF_DIST`] where unreachable).
+    pub fn run(&mut self, g: &Graph, source: NodeId) -> &[u32] {
+        use crate::INF_DIST;
+        let n = g.num_nodes();
+        debug_assert!((source as usize) < n);
+        if self.dist.len() != n {
+            self.dist.clear();
+            self.dist.resize(n, INF_DIST);
+            self.settled_gen.clear();
+            self.settled_gen.resize(n, 0);
+            self.generation = 0;
+        } else {
+            for &v in &self.touched {
+                self.dist[v as usize] = INF_DIST;
+            }
+        }
+        self.touched.clear();
+        self.heap.clear();
+        self.generation += 1;
+        let gen = self.generation;
+
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((du, u))) = self.heap.pop() {
+            if self.settled_gen[u as usize] == gen {
+                continue;
+            }
+            self.settled_gen[u as usize] = gen;
+            debug_assert_eq!(du, self.dist[u as usize]);
+            match g.neighbor_weights(u) {
+                Some(ws) => {
+                    for (&v, &w) in g.neighbors(u).iter().zip(ws) {
+                        let cand = du.saturating_add(w);
+                        if cand < self.dist[v as usize] {
+                            if self.dist[v as usize] == INF_DIST {
+                                self.touched.push(v);
+                            }
+                            self.dist[v as usize] = cand;
+                            self.heap.push(Reverse((cand, v)));
+                        }
+                    }
+                }
+                None => {
+                    for &v in g.neighbors(u) {
+                        let cand = du.saturating_add(1);
+                        if cand < self.dist[v as usize] {
+                            if self.dist[v as usize] == INF_DIST {
+                                self.touched.push(v);
+                            }
+                            self.dist[v as usize] = cand;
+                            self.heap.push(Reverse((cand, v)));
+                        }
+                    }
+                }
+            }
+        }
+        &self.dist
+    }
+
+    /// Sum of distances from the last run's source over reached vertices,
+    /// and the reached count (including the source) — same contract as
+    /// `BfsWorkspace::last_run_distance_sum`.
+    pub fn last_run_distance_sum(&self) -> (u64, usize) {
+        let mut sum = 0u64;
+        for &v in &self.touched {
+            sum += self.dist[v as usize] as u64;
+        }
+        (sum, self.touched.len())
+    }
+}
+
 /// Single-source Dijkstra with edge weights from `weight(u, v)`.
 ///
 /// `weight` must be symmetric and non-negative; it is evaluated once per
@@ -221,6 +334,34 @@ mod tests {
         let v = multi_source_dijkstra(&g, &[0, 0, 2], UNIT);
         assert_eq!(v.source_index[0], 0);
         assert_eq!(v.source_index[2], 2);
+    }
+
+    #[test]
+    fn workspace_matches_closure_dijkstra_and_reuses_buffers() {
+        use super::DijkstraWorkspace;
+        let g = Graph::from_weighted_edges(
+            6,
+            &[(0, 1, 4), (1, 2, 1), (2, 5, 9), (0, 3, 2), (3, 4, 2), (4, 5, 3)],
+        )
+        .unwrap();
+        let weight = |u: NodeId, v: NodeId| g.edge_weight(u, v) as f64;
+        let mut ws = DijkstraWorkspace::new();
+        for source in [0u32, 3, 5] {
+            let expect = dijkstra(&g, source, weight);
+            let got = ws.run(&g, source);
+            for v in 0..6usize {
+                if expect.dist[v].is_infinite() {
+                    assert_eq!(got[v], crate::INF_DIST);
+                } else {
+                    assert_eq!(got[v] as f64, expect.dist[v], "source {source} vertex {v}");
+                }
+            }
+        }
+        // Unweighted fallback: weight 1 everywhere = BFS distances.
+        let h = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(ws.run(&h, 0), bfs_distances(&h, 0).as_slice());
+        let (sum, reached) = ws.last_run_distance_sum();
+        assert_eq!((sum, reached), (6, 4));
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! Graph traversals: BFS (unweighted) and Dijkstra (weighted).
+//! Graph traversals: BFS (unweighted), delta-stepping (integer-weighted),
+//! and Dijkstra (weighted).
 
 pub mod bfs;
+pub mod delta;
 pub mod dijkstra;
 
 pub use bfs::{
     bfs_distances, bfs_parents, canonical_parent, canonical_parents, multi_source_bfs, BfsResult,
     BfsWorkspace, MsBfsWorkspace, MS_BFS_LANES,
 };
-pub use dijkstra::{dijkstra, multi_source_dijkstra, DijkstraResult, VoronoiResult};
+pub use delta::{multi_source_delta_distances, DeltaWorkspace, MsDeltaWorkspace};
+pub use dijkstra::{
+    dijkstra, multi_source_dijkstra, DijkstraResult, DijkstraWorkspace, VoronoiResult,
+};

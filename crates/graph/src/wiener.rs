@@ -10,6 +10,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use crate::csr::Graph;
 use crate::error::Result;
 use crate::traversal::bfs::{BfsWorkspace, MsBfsWorkspace, MS_BFS_LANES};
+use crate::traversal::delta::{DeltaWorkspace, MsDeltaWorkspace};
+use crate::traversal::dijkstra::DijkstraWorkspace;
 use crate::NodeId;
 
 /// Below this many vertices, [`wiener_index`] stays on the sequential
@@ -52,6 +54,7 @@ pub fn wiener_index(g: &Graph) -> Option<u64> {
         return wiener_index_sequential(g);
     }
 
+    let weighted = g.is_weighted();
     let disconnected = AtomicBool::new(false);
     let chunk = batches.len().div_ceil(threads);
     let partials: Vec<Option<u64>> = std::thread::scope(|scope| {
@@ -60,7 +63,11 @@ pub fn wiener_index(g: &Graph) -> Option<u64> {
             .map(|my_batches| {
                 let disconnected = &disconnected;
                 scope.spawn(move || {
-                    let mut ws = MsBfsWorkspace::new();
+                    // One batched workspace per worker; weighted graphs
+                    // run the delta-stepping twin (same lane layout,
+                    // distances bit-identical to per-source Dijkstra).
+                    let mut bfs = (!weighted).then(MsBfsWorkspace::new);
+                    let mut delta = weighted.then(MsDeltaWorkspace::new);
                     let mut total = 0u64;
                     for &(lo, hi) in my_batches {
                         // A disconnected verdict is global: stop early.
@@ -68,9 +75,16 @@ pub fn wiener_index(g: &Graph) -> Option<u64> {
                             return None;
                         }
                         let sources: Vec<NodeId> = (lo..hi).collect();
-                        ws.run(g, &sources);
+                        if let Some(ws) = delta.as_mut() {
+                            ws.run(g, &sources);
+                        } else if let Some(ws) = bfs.as_mut() {
+                            ws.run(g, &sources);
+                        }
                         for lane in 0..sources.len() {
-                            let (sum, reached) = ws.distance_sum(lane);
+                            let (sum, reached) = match delta.as_ref() {
+                                Some(ws) => ws.distance_sum(lane),
+                                None => bfs.as_ref().expect("bfs workspace").distance_sum(lane),
+                            };
                             if reached != n {
                                 disconnected.store(true, Ordering::Relaxed);
                                 return None;
@@ -97,21 +111,34 @@ pub fn wiener_index(g: &Graph) -> Option<u64> {
 
 /// The sequential per-source all-pairs loop — the historical kernel, kept
 /// both as the small-`n` fast path and as the parity reference the
-/// property tests pin [`wiener_index`] against.
+/// property tests pin [`wiener_index`] against. Weighted graphs run
+/// per-source [`DijkstraWorkspace`] (the weighted parity anchor).
 pub fn wiener_index_sequential(g: &Graph) -> Option<u64> {
     let n = g.num_nodes();
     if n <= 1 {
         return Some(0);
     }
-    let mut ws = BfsWorkspace::new();
     let mut total = 0u64;
-    for v in 0..n as NodeId {
-        ws.run(g, v);
-        let (sum, reached) = ws.last_run_distance_sum();
-        if reached != n {
-            return None;
+    if g.is_weighted() {
+        let mut ws = DijkstraWorkspace::new();
+        for v in 0..n as NodeId {
+            ws.run(g, v);
+            let (sum, reached) = ws.last_run_distance_sum();
+            if reached != n {
+                return None;
+            }
+            total += sum;
         }
-        total += sum;
+    } else {
+        let mut ws = BfsWorkspace::new();
+        for v in 0..n as NodeId {
+            ws.run(g, v);
+            let (sum, reached) = ws.last_run_distance_sum();
+            if reached != n {
+                return None;
+            }
+            total += sum;
+        }
     }
     Some(total / 2)
 }
@@ -125,13 +152,20 @@ pub fn wiener_index_of_subset(g: &Graph, nodes: &[NodeId]) -> Result<Option<u64>
     Ok(wiener_index(sub.graph()))
 }
 
-/// Sum of shortest-path distances from `r` to every vertex.
+/// Sum of shortest-path distances from `r` to every vertex (weighted
+/// distances on weighted graphs).
 ///
 /// `None` if some vertex is unreachable from `r`.
 pub fn distance_sum_from(g: &Graph, r: NodeId) -> Option<u64> {
-    let mut ws = BfsWorkspace::new();
-    ws.run(g, r);
-    let (sum, reached) = ws.last_run_distance_sum();
+    let (sum, reached) = if g.is_weighted() {
+        let mut ws = DeltaWorkspace::new();
+        ws.run(g, r);
+        ws.last_run_distance_sum()
+    } else {
+        let mut ws = BfsWorkspace::new();
+        ws.run(g, r);
+        ws.last_run_distance_sum()
+    };
     (reached == g.num_nodes()).then_some(sum)
 }
 
@@ -161,12 +195,19 @@ pub fn wiener_index_sampled<R: rand::Rng>(g: &Graph, samples: usize, rng: &mut R
     if samples >= n {
         return wiener_index(g).map(|w| w as f64);
     }
-    let mut ws = BfsWorkspace::new();
+    let mut bfs = (!g.is_weighted()).then(BfsWorkspace::new);
+    let mut delta = g.is_weighted().then(DeltaWorkspace::new);
     let mut total = 0.0f64;
     for _ in 0..samples.max(1) {
         let v = rng.gen_range(0..n as NodeId);
-        ws.run(g, v);
-        let (sum, reached) = ws.last_run_distance_sum();
+        let (sum, reached) = if let Some(ws) = delta.as_mut() {
+            ws.run(g, v);
+            ws.last_run_distance_sum()
+        } else {
+            let ws = bfs.as_mut().expect("bfs workspace");
+            ws.run(g, v);
+            ws.last_run_distance_sum()
+        };
         if reached != n {
             return None;
         }
@@ -176,11 +217,16 @@ pub fn wiener_index_sampled<R: rand::Rng>(g: &Graph, samples: usize, rng: &mut R
     Some(avg_row * n as f64 / 2.0)
 }
 
-/// Eccentricity of `r` (max distance to any vertex); `None` if `r` does not
-/// reach the whole graph.
+/// Eccentricity of `r` (max distance to any vertex, weighted on weighted
+/// graphs); `None` if `r` does not reach the whole graph.
 pub fn eccentricity(g: &Graph, r: NodeId) -> Option<u32> {
-    let mut ws = BfsWorkspace::new();
-    let dist = ws.run(g, r);
+    let mut bfs = BfsWorkspace::new();
+    let mut delta = DeltaWorkspace::new();
+    let dist = if g.is_weighted() {
+        delta.run(g, r)
+    } else {
+        bfs.run(g, r)
+    };
     let mut reached = 0usize;
     let mut ecc = 0u32;
     for &d in dist.iter() {
@@ -309,6 +355,37 @@ mod tests {
         let p = structured::path(1500);
         let n = 1500u64;
         assert_eq!(wiener_index(&p), Some((n * n * n - n) / 6));
+    }
+
+    #[test]
+    fn weighted_wiener_sums_weighted_distances() {
+        // Weighted path 0 -2- 1 -3- 2: pairs (0,1)=2, (1,2)=3, (0,2)=5.
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 2), (1, 2, 3)]).unwrap();
+        assert_eq!(wiener_index(&g), Some(10));
+        assert_eq!(wiener_index_sequential(&g), Some(10));
+        assert_eq!(distance_sum_from(&g, 0), Some(7));
+        assert_eq!(eccentricity(&g, 0), Some(5));
+        assert_eq!(eccentricity(&g, 1), Some(3));
+    }
+
+    #[test]
+    fn weighted_parallel_path_matches_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let n = 1500usize;
+        let mut b = crate::GraphBuilder::new(n);
+        for v in 1..n as NodeId {
+            b.add_weighted_edge(rng.gen_range(0..v), v, rng.gen_range(1..=7))
+                .unwrap();
+        }
+        for _ in 0..2 * n {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            b.add_weighted_edge(u, v, rng.gen_range(1..=7)).unwrap();
+        }
+        let g = b.build();
+        assert!(g.num_nodes() >= PARALLEL_WIENER_MIN_NODES);
+        assert_eq!(wiener_index(&g), wiener_index_sequential(&g));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use mwc_core::{
 };
 use mwc_graph::generators::barabasi_albert::barabasi_albert;
 use mwc_graph::generators::karate::karate_club;
-use mwc_graph::io::read_edge_list;
+use mwc_graph::io::{read_edge_list, read_weighted_edge_list};
 use mwc_graph::permute::NodePermutation;
 use mwc_graph::{Graph, NodeId};
 use rand::SeedableRng;
@@ -52,6 +52,8 @@ use crate::protocol::CacheSeed;
 /// | `standin:dblp@0.01`     | the same, node count scaled by the factor         |
 /// | `file:/path/edges.txt`  | SNAP-style edge list (`u v` per line, `#` comments) |
 /// | `ba:5000x4`             | Barabási–Albert, 5000 nodes, 4 edges per arrival  |
+/// | `wfile:/path/edges.txt` | weighted edge list (`u v w` per line; missing `w` → 1) |
+/// | `wba:5000x4x8`          | the BA graph with weights in `1..=8` hashed per edge (`x8` optional, default 8) |
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphSource {
     /// Zachary's karate club.
@@ -65,6 +67,8 @@ pub enum GraphSource {
     },
     /// An edge-list file on disk.
     File(String),
+    /// A weighted (`u v w`) edge-list file on disk.
+    WeightedFile(String),
     /// A deterministic Barabási–Albert graph (seeded by the spec itself).
     BarabasiAlbert {
         /// Node count.
@@ -72,6 +76,28 @@ pub enum GraphSource {
         /// Edges per arriving node.
         k: usize,
     },
+    /// The same deterministic BA topology with integer edge weights in
+    /// `1..=max_weight`, hashed from each edge's endpoints (so replicas
+    /// rebuilding the spec agree bit-for-bit on every weight).
+    WeightedBarabasiAlbert {
+        /// Node count.
+        n: usize,
+        /// Edges per arriving node.
+        k: usize,
+        /// Largest edge weight (weights are uniform-ish in `1..=max`).
+        max_weight: u32,
+    },
+}
+
+/// Default `max_weight` of `wba:` specs without an explicit `x<maxw>`.
+pub const DEFAULT_WBA_MAX_WEIGHT: u32 = 8;
+
+/// The deterministic per-edge weight of `wba:` graphs: symmetric (hashed
+/// from the unordered endpoint pair) and in `1..=max_weight`.
+fn wba_edge_weight(u: NodeId, v: NodeId, max_weight: u32) -> u32 {
+    let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+    let h = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    (h % max_weight as u64) as u32 + 1
 }
 
 impl GraphSource {
@@ -107,6 +133,9 @@ impl GraphSource {
         if let Some(path) = spec.strip_prefix("file:") {
             return Ok(GraphSource::File(path.to_string()));
         }
+        if let Some(path) = spec.strip_prefix("wfile:") {
+            return Ok(GraphSource::WeightedFile(path.to_string()));
+        }
         if let Some(rest) = spec.strip_prefix("ba:") {
             let (n, k) = rest
                 .split_once('x')
@@ -120,9 +149,33 @@ impl GraphSource {
             }
             return Ok(GraphSource::BarabasiAlbert { n, k });
         }
+        if let Some(rest) = spec.strip_prefix("wba:") {
+            let (n, rest) = rest
+                .split_once('x')
+                .ok_or_else(|| bad(format!("expected wba:<nodes>x<k>[x<maxw>], got {spec:?}")))?;
+            let n: usize = n
+                .parse()
+                .map_err(|_| bad(format!("bad node count {n:?}")))?;
+            let (k, max_weight) = match rest.split_once('x') {
+                Some((k, m)) => {
+                    let m: u32 = m
+                        .parse()
+                        .map_err(|_| bad(format!("bad max weight {m:?}")))?;
+                    (k, m)
+                }
+                None => (rest, DEFAULT_WBA_MAX_WEIGHT),
+            };
+            let k: usize = k.parse().map_err(|_| bad(format!("bad degree {k:?}")))?;
+            if n < 2 || k == 0 || max_weight == 0 {
+                return Err(bad(
+                    "wba graph needs n >= 2, k >= 1, max weight >= 1".to_string(),
+                ));
+            }
+            return Ok(GraphSource::WeightedBarabasiAlbert { n, k, max_weight });
+        }
         Err(bad(format!(
             "unrecognized source {spec:?} (expected karate | standin:<name>[@scale] | \
-             file:<path> | ba:<n>x<k>)"
+             file:<path> | wfile:<path> | ba:<n>x<k> | wba:<n>x<k>[x<maxw>])"
         )))
     }
 
@@ -141,13 +194,53 @@ impl GraphSource {
                     .map_err(|e| ServiceError::BadSource(format!("{path}: {e}")))?;
                 Ok(loaded.graph)
             }
+            GraphSource::WeightedFile(path) => {
+                let reader = BufReader::new(File::open(path)?);
+                let loaded = read_weighted_edge_list(reader)
+                    .map_err(|e| ServiceError::BadSource(format!("{path}: {e}")))?;
+                Ok(loaded.graph)
+            }
             GraphSource::BarabasiAlbert { n, k } => {
                 let mut rng =
                     rand::rngs::StdRng::seed_from_u64(0xBA ^ (*n as u64) ^ ((*k as u64) << 32));
                 Ok(barabasi_albert(*n, *k, &mut rng))
             }
+            GraphSource::WeightedBarabasiAlbert { n, k, max_weight } => {
+                // Same topology (and seed) as the unweighted `ba:` twin;
+                // only the weights differ.
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(0xBA ^ (*n as u64) ^ ((*k as u64) << 32));
+                let base = barabasi_albert(*n, *k, &mut rng);
+                let edges: Vec<(NodeId, NodeId, u32)> = base
+                    .edges()
+                    .map(|(u, v)| (u, v, wba_edge_weight(u, v, *max_weight)))
+                    .collect();
+                Graph::from_weighted_edges(base.num_nodes(), &edges)
+                    .map_err(|e| ServiceError::BadSource(format!("{self:?}: {e}")))
+            }
         }
     }
+}
+
+/// FNV-1a digest of a graph's weighted edge list in the graph's own id
+/// space — the fingerprint cache seeds carry so imports can tell whether
+/// two catalogs weighted "the same" graph identically. `0` for
+/// unweighted graphs (nonzero for every weighted one).
+pub fn weight_digest(g: &Graph) -> u64 {
+    if !g.is_weighted() {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1_0000_0001_b3);
+    };
+    for (u, v, w) in g.weighted_edges() {
+        mix(u as u64);
+        mix(v as u64);
+        mix(w as u64);
+    }
+    h.max(1)
 }
 
 /// One loaded graph: its name, provenance, shared graph handle, and the
@@ -173,6 +266,13 @@ pub struct CatalogEntry {
     nodes: usize,
     /// Edge count of the served graph.
     edges: usize,
+    /// Whether the served graph carries integer edge weights (every
+    /// distance — and the reported Wiener index — is then weighted).
+    weighted: bool,
+    /// [`weight_digest`] of the original-layout graph: `0` when
+    /// unweighted, a nonzero edge-list fingerprint otherwise. Attached
+    /// to exported cache seeds and checked on import.
+    weight_digest: u64,
     /// Maps original ids (`old`) to the engine's degree-ordered ids
     /// (`new`) and back.
     perm: NodePermutation,
@@ -196,6 +296,9 @@ impl CatalogEntry {
     ) -> CatalogEntry {
         let (ordered, perm) = graph.degree_ordered();
         let (nodes, edges) = (graph.num_nodes(), graph.num_edges());
+        // Fingerprint the original layout: replicas that load the same
+        // spec agree on the digest regardless of their degree ordering.
+        let digest = weight_digest(&graph);
         drop(graph);
         let mut engine = full_engine_shared(Arc::new(ordered));
         if let Some(bytes) = solve_cache_bytes {
@@ -209,6 +312,8 @@ impl CatalogEntry {
             source: source.to_string(),
             nodes,
             edges,
+            weighted: digest != 0,
+            weight_digest: digest,
             perm,
             engine,
         }
@@ -222,6 +327,16 @@ impl CatalogEntry {
     /// Edge count of the served graph.
     pub fn num_edges(&self) -> usize {
         self.edges
+    }
+
+    /// Whether the served graph is integer-weighted.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// The graph's weighted-edge-list fingerprint (`0` when unweighted).
+    pub fn weight_digest(&self) -> u64 {
+        self.weight_digest
     }
 
     /// The serving engine (degree-ordered id space — translate through
@@ -317,6 +432,7 @@ impl CatalogEntry {
                 solver,
                 q: self.perm.map_to_old(&q),
                 max_size,
+                weight_digest: self.weight_digest,
                 report: self.translate_report(report),
             })
             .collect()
@@ -331,6 +447,11 @@ impl CatalogEntry {
     pub fn import_cache(&self, seeds: &[CacheSeed]) -> usize {
         let mut imported = 0;
         for seed in seeds {
+            // A seed solved under a different weighting (or none) would
+            // silently serve wrong weighted answers — skip it.
+            if seed.weight_digest != self.weight_digest {
+                continue;
+            }
             if seed
                 .q
                 .iter()
@@ -522,6 +643,26 @@ mod tests {
             GraphSource::parse("ba:500x3").unwrap(),
             GraphSource::BarabasiAlbert { n: 500, k: 3 }
         );
+        assert_eq!(
+            GraphSource::parse("wfile:/tmp/w.txt").unwrap(),
+            GraphSource::WeightedFile("/tmp/w.txt".into())
+        );
+        assert_eq!(
+            GraphSource::parse("wba:500x3").unwrap(),
+            GraphSource::WeightedBarabasiAlbert {
+                n: 500,
+                k: 3,
+                max_weight: DEFAULT_WBA_MAX_WEIGHT
+            }
+        );
+        assert_eq!(
+            GraphSource::parse("wba:500x3x20").unwrap(),
+            GraphSource::WeightedBarabasiAlbert {
+                n: 500,
+                k: 3,
+                max_weight: 20
+            }
+        );
         for bad in [
             "",
             "nope",
@@ -530,9 +671,86 @@ mod tests {
             "standin:jazz@2",
             "ba:10",
             "ba:ax2",
+            "wba:10",
+            "wba:100x2x0",
+            "wba:100x2xq",
         ] {
             assert!(GraphSource::parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn weighted_ba_shares_topology_with_its_unweighted_twin() {
+        let w = GraphSource::parse("wba:300x2").unwrap().build().unwrap();
+        let u = GraphSource::parse("ba:300x2").unwrap().build().unwrap();
+        assert!(w.is_weighted());
+        assert!(!u.is_weighted());
+        assert_eq!(w.num_edges(), u.num_edges());
+        let we: Vec<_> = w.weighted_edges().map(|(a, b, _)| (a, b)).collect();
+        let ue: Vec<_> = u.edges().collect();
+        assert_eq!(we, ue, "same edges, only weights added");
+        for (_, _, wt) in w.weighted_edges() {
+            assert!((1..=DEFAULT_WBA_MAX_WEIGHT).contains(&wt));
+        }
+        // Deterministic rebuild, including weights (the digest pins it).
+        let again = GraphSource::parse("wba:300x2").unwrap().build().unwrap();
+        assert_eq!(weight_digest(&w), weight_digest(&again));
+        assert_ne!(weight_digest(&w), 0);
+        assert_eq!(weight_digest(&u), 0);
+    }
+
+    #[test]
+    fn weighted_entries_serve_weighted_answers_in_original_ids() {
+        let catalog = Catalog::new();
+        let entry = catalog.load("wtoy", "wba:400x3").unwrap();
+        assert!(entry.is_weighted());
+        assert_ne!(entry.weight_digest(), 0);
+        // Reference graph in original layout (the entry only keeps the
+        // degree-ordered copy).
+        let original = GraphSource::parse("wba:400x3").unwrap().build().unwrap();
+        let q = [5u32, 77, 200, 399];
+        let report = entry.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        assert!(report.connector.contains_all(&q));
+        // The reported index is the *weighted* Wiener index of the
+        // connector, layout-invariant.
+        assert_eq!(
+            report.wiener_index,
+            report.connector.wiener_index(&original).unwrap()
+        );
+        // And it differs from the unweighted index of the same set (the
+        // weights actually flowed through).
+        let unweighted_twin = GraphSource::parse("ba:400x3").unwrap().build().unwrap();
+        assert_ne!(
+            report.wiener_index,
+            report
+                .connector
+                .wiener_index(&unweighted_twin)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn import_rejects_seeds_from_a_different_weighting() {
+        let catalog = Catalog::new();
+        let weighted = catalog.load("w", "wba:200x2").unwrap();
+        let plain = catalog.load("u", "ba:200x2").unwrap();
+        let q = [3u32, 50, 150];
+        weighted.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        plain.solve("ws-q", &q, &QueryOptions::default()).unwrap();
+        let wseeds = weighted.export_cache();
+        assert!(wseeds.iter().all(|s| s.weight_digest != 0));
+        let useeds = plain.export_cache();
+        assert!(useeds.iter().all(|s| s.weight_digest == 0));
+        // Cross imports are rejected in both directions…
+        assert_eq!(plain.import_cache(&wseeds), 0);
+        assert_eq!(weighted.import_cache(&useeds), 0);
+        // …while matching replicas accept them.
+        let other = Catalog::new();
+        let replica = other.load("w2", "wba:200x2").unwrap();
+        assert_eq!(replica.import_cache(&wseeds), wseeds.len());
+        // A different max weight is a different weighting.
+        let reweighted = other.load("w3", "wba:200x2x31").unwrap();
+        assert_eq!(reweighted.import_cache(&wseeds), 0);
     }
 
     #[test]

@@ -167,6 +167,9 @@ pub struct GraphInfo {
     pub nodes: usize,
     /// Edge count.
     pub edges: usize,
+    /// Whether the graph carries edge weights (weighted distances and
+    /// Wiener indices in every report).
+    pub weighted: bool,
     /// Registered solver names (sorted).
     pub solvers: Vec<String>,
 }
@@ -451,6 +454,7 @@ impl Client {
                         .to_string(),
                     nodes: g.get("nodes").and_then(Json::as_u64).unwrap_or(0) as usize,
                     edges: g.get("edges").and_then(Json::as_u64).unwrap_or(0) as usize,
+                    weighted: g.get("weighted").and_then(Json::as_bool).unwrap_or(false),
                     solvers: g
                         .get("solvers")
                         .and_then(Json::as_array)

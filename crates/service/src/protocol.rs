@@ -40,6 +40,7 @@
 //! shutdown  = { "cmd":"shutdown" }
 //!
 //! seed      = { "solver":S, "q":[v…], "max_size"?: N,
+//!               "weight_digest"?: N,          // omitted ⇔ unweighted graph
 //!               "report": <solve report object> }
 //! ```
 //!
@@ -73,6 +74,15 @@
 //! its old owner to its new one so the new owner never serves cold. The
 //! `load` response reports how many seeds were accepted in
 //! `"cache_imported"`.
+//!
+//! **Weighted graphs.** Sources prefixed `wfile:` / `wba:` load
+//! integer-weighted graphs (see [`crate::catalog::GraphSource`]); every
+//! distance the server computes for them — and the `wiener_index` it
+//! reports — is weighted. `graphs` entries carry a `"weighted"` boolean,
+//! and cache seeds from a weighted graph carry its `"weight_digest"`
+//! (a hash of the weighted edge list, original ids): `load` skips seeds
+//! whose digest does not match the target graph, so answers solved under
+//! one weighting never seed a graph with another (or with none).
 //!
 //! `no_cache` forces a fresh solve even when the per-graph engine has the
 //! answer cached (see `QueryEngine`'s solve cache), and keeps the fresh
@@ -200,6 +210,11 @@ pub struct CacheSeed {
     pub q: Vec<NodeId>,
     /// The `max_size` budget the entry was solved under, if any.
     pub max_size: Option<usize>,
+    /// Digest of the source graph's weighted edge list (original ids);
+    /// `0` for unweighted graphs (and omitted on the wire). Import
+    /// skips seeds whose digest does not match the target graph's, so a
+    /// result solved under one weighting never poisons another.
+    pub weight_digest: u64,
     /// The cached solve result.
     pub report: SolveReport,
 }
@@ -438,6 +453,7 @@ fn cache_seeds(v: &Json) -> Result<Vec<CacheSeed>, ServiceError> {
                     "cache seed \"q\"",
                 )?,
                 max_size: opt_u64(seed, "max_size")?.map(|m| m as usize),
+                weight_digest: opt_u64(seed, "weight_digest")?.unwrap_or(0),
                 report: report_from_json(
                     seed.get("report")
                         .ok_or_else(|| bad(format!("cache seed {i} missing field \"report\"")))?,
@@ -651,6 +667,9 @@ pub fn cache_seed_to_json(seed: &CacheSeed) -> Json {
     ];
     if let Some(m) = seed.max_size {
         fields.push(("max_size", Json::from(m)));
+    }
+    if seed.weight_digest != 0 {
+        fields.push(("weight_digest", Json::from(seed.weight_digest)));
     }
     fields.push(("report", report_to_json(&seed.report)));
     Json::obj(fields)
@@ -929,6 +948,7 @@ mod tests {
             solver: "ws-q".into(),
             q: vec![11, 24, 25, 29],
             max_size: Some(12),
+            weight_digest: 0,
             report,
         };
         let line = format!(
@@ -963,6 +983,20 @@ mod tests {
         };
         let json = cache_seed_to_json(&bare);
         assert!(json.get("max_size").is_none());
+        // weight_digest: zero stays off the wire, nonzero round-trips.
+        assert!(json.get("weight_digest").is_none());
+        let weighted = CacheSeed {
+            weight_digest: 99,
+            ..bare
+        };
+        let line = format!(
+            r#"{{"cmd":"load","name":"k","source":"karate","cache":[{}]}}"#,
+            cache_seed_to_json(&weighted)
+        );
+        match parse_request(&line).unwrap().command {
+            Command::Load { cache, .. } => assert_eq!(cache[0].weight_digest, 99),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -775,6 +775,7 @@ pub(crate) fn control_response(inner: &Inner, request: &Request) -> Option<(Stri
                         ("source", Json::from(e.source.as_str())),
                         ("nodes", Json::from(e.num_nodes())),
                         ("edges", Json::from(e.num_edges())),
+                        ("weighted", Json::Bool(e.is_weighted())),
                         (
                             "solvers",
                             Json::Arr(e.solver_names().iter().map(|s| Json::from(*s)).collect()),

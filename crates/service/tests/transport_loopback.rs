@@ -276,6 +276,54 @@ fn connections_live_gauge_tracks_open_connections() {
     }
 }
 
+/// Weighted solves over the wire are pinned to the direct engine call:
+/// the same catalog entry answers a `wba:` graph's query locally and
+/// through a TCP round trip, and the connector, weighted Wiener index,
+/// and candidate count must coincide — under both transports. The
+/// `graphs` listing must also advertise the weighting.
+#[test]
+fn weighted_wire_solves_match_direct_engine_calls() {
+    let queries: [&[u32]; 3] = [&[2, 190, 377], &[5, 41], &[77, 200, 350, 399]];
+    for transport in transports() {
+        let catalog = Arc::new(Catalog::new());
+        let entry = catalog.load("wtoy", "wba:400x3").unwrap();
+        let direct: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                entry
+                    .solve("ws-q", q, &mwc_core::QueryOptions::default())
+                    .unwrap()
+            })
+            .collect();
+        let handle = server::start(
+            catalog,
+            ServerConfig {
+                transport,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind loopback");
+        let mut client = mwc_service::Client::connect(handle.local_addr()).unwrap();
+        let info = client.graphs().unwrap();
+        assert!(
+            info.iter().any(|g| g.name == "wtoy" && g.weighted),
+            "{transport:?}: graphs listing must flag the weighted entry"
+        );
+        for (q, want) in queries.iter().zip(&direct) {
+            let wire = client.solve("wtoy", "ws-q", q, None, None).unwrap();
+            assert_eq!(
+                wire.connector,
+                want.connector.vertices(),
+                "{transport:?} q={q:?}"
+            );
+            assert_eq!(wire.wiener_index, want.wiener_index, "{transport:?} q={q:?}");
+            assert_eq!(wire.candidates, want.candidates, "{transport:?} q={q:?}");
+        }
+        handle.shutdown();
+    }
+}
+
 /// Epoll backpressure: a client that pipelines requests but never reads
 /// its responses crosses the per-connection write-buffer cap and is
 /// disconnected (instead of growing the buffer without bound).
