@@ -75,6 +75,13 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph> {
 /// Reads a weighted edge list (`u v w` per line; a missing third token
 /// means weight 1, weight 0 clamps to 1), remapping arbitrary ids to
 /// `0..n` in first-seen order. Duplicate edges merge to the minimum weight.
+///
+/// Weights above [`crate::MAX_EDGE_WEIGHT`] are rejected with a parse
+/// error: distance arithmetic saturates at [`crate::INF_DIST`]
+/// (`u32::MAX`), so a near-`u32::MAX` weight would silently make
+/// connected vertices read as unreachable. Path sums that exceed
+/// [`crate::INF_DIST`] despite the per-edge bound still saturate, and
+/// the affected vertices are reported unreachable.
 pub fn read_weighted_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph> {
     let mut id_map: FxHashMap<u64, NodeId> = FxHashMap::default();
     let mut original_id: Vec<u64> = Vec::new();
@@ -109,10 +116,23 @@ pub fn read_weighted_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph> {
         let v = parse(it.next())?;
         let w = match it.next() {
             None => 1u32,
-            Some(tok) => tok.parse::<u32>().map_err(|e| GraphError::Parse {
-                line: lineno + 1,
-                message: format!("bad edge weight {tok:?}: {e}"),
-            })?,
+            Some(tok) => {
+                let w = tok.parse::<u32>().map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad edge weight {tok:?}: {e}"),
+                })?;
+                if w > crate::MAX_EDGE_WEIGHT {
+                    return Err(GraphError::Parse {
+                        line: lineno + 1,
+                        message: format!(
+                            "edge weight {w} exceeds the maximum {} (distances saturate at \
+                             u32::MAX, so larger weights would read as unreachable)",
+                            crate::MAX_EDGE_WEIGHT
+                        ),
+                    });
+                }
+                w
+            }
         };
         let ul = intern(u, &mut original_id);
         let vl = intern(v, &mut original_id);
@@ -230,5 +250,16 @@ mod tests {
         let loaded = read_weighted_edge_list(BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(loaded.graph.num_edges(), 1);
         assert_eq!(loaded.graph.edge_weight(0, 1), 4);
+    }
+
+    #[test]
+    fn oversized_weights_rejected_at_load() {
+        let max = crate::MAX_EDGE_WEIGHT;
+        let text = format!("0 1 {max}\n");
+        let loaded = read_weighted_edge_list(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(loaded.graph.edge_weight(0, 1), max);
+        let text = format!("0 1 1\n1 2 {}\n", max as u64 + 1);
+        let err = read_weighted_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("exceeds the maximum"), "{err}");
     }
 }

@@ -76,3 +76,16 @@ pub const NO_NODE: NodeId = NodeId::MAX;
 
 /// Sentinel distance for unreachable vertices.
 pub const INF_DIST: u32 = u32::MAX;
+
+/// Largest edge weight the weighted loaders accept (`2^30 − 1`).
+///
+/// All distance arithmetic is `u32` and **saturates at [`INF_DIST`]**
+/// (`u32::MAX`), where a vertex reads as unreachable — so an edge
+/// anywhere near `u32::MAX` would make *connected* vertices report as
+/// disconnected after a single hop. Capping loader weights at a quarter
+/// of the headroom means at least four maximal-weight hops fit before
+/// saturation; path sums that still exceed [`INF_DIST`] saturate there
+/// and the far vertices are reported unreachable (the documented
+/// semantics of every weighted kernel, identical across Dijkstra and
+/// delta-stepping).
+pub const MAX_EDGE_WEIGHT: u32 = (1 << 30) - 1;

@@ -29,8 +29,13 @@
 //!   `dist[v·lanes + lane]` matrix, the same accessor surface, pooled
 //!   through the same [`WorkspacePool`](super::bfs::WorkspacePool).
 //!
-//! `Δ` is rounded up to a power of two so the per-relaxation bucket index
-//! is a shift. Buckets store plain vertex ids, deduplicated by a
+//! `Δ` is rounded down to a power of two so the per-relaxation bucket
+//! index is a shift, then clamped *up* under extreme weight skew so the
+//! bucket span `max_w/Δ` stays bounded (a graph mixing weight-1 edges
+//! with one near-`u32::MAX` edge would otherwise demand billions of
+//! buckets — and, batched, an `n × buckets` pending matrix). Clamping
+//! only trades bucket granularity for re-relaxations; distances are
+//! exact for every `Δ`. Buckets store plain vertex ids, deduplicated by a
 //! per-`(vertex, bucket slot)` pending lane mask: however many lanes
 //! improve a vertex into one bucket, it is queued once, and the pop
 //! examines exactly the lanes that queued it (each re-checked against
@@ -41,11 +46,21 @@ use super::bfs::MS_BFS_LANES;
 use crate::csr::Graph;
 use crate::{NodeId, INF_DIST, NO_NODE};
 
+/// Hard ceiling on the bucket span `max_w/Δ`: [`tune_delta`] clamps `Δ`
+/// up until the span fits, so the cyclic bucket array never exceeds
+/// `MAX_BUCKET_SPAN + 3` slots no matter how skewed the weights are.
+const MAX_BUCKET_SPAN: usize = 1 << 10;
+
+/// Word budget for [`MsDeltaWorkspace`]'s `pending` lane-mask matrix
+/// (`n × bucket count` `u64`s, ≤ 32 MiB): on large graphs the span is
+/// clamped below [`MAX_BUCKET_SPAN`] so the matrix stays within it.
+const MS_PENDING_BUDGET_WORDS: usize = 1 << 22;
+
 /// Shared bucket-queue plumbing: cyclic bucket array sized to the largest
-/// forward jump a relaxation can make (`max_w/Δ + 1` buckets ahead), plus
-/// two slots of slack.
-fn bucket_count(g: &Graph, delta: u32) -> usize {
-    (g.max_edge_weight() as usize / delta as usize) + 3
+/// forward jump a relaxation can make (`max_w/Δ + 1` buckets ahead, with
+/// `Δ = 2^shift`), plus two slots of slack.
+fn bucket_count(g: &Graph, shift: u32) -> usize {
+    (g.max_edge_weight() >> shift) as usize + 3
 }
 
 /// Rounds `Δ` down to a power of two and returns `(Δ, log2 Δ)`, so the
@@ -59,6 +74,22 @@ fn bucket_count(g: &Graph, delta: u32) -> usize {
 fn pow2_delta(delta: u32) -> (u32, u32) {
     let shift = 31 - delta.max(1).leading_zeros();
     (1u32 << shift, shift)
+}
+
+/// [`pow2_delta`] plus the skew clamp: raises `Δ` until the bucket span
+/// `max_w/Δ` drops below `max_span`, so bucket-array (and, batched,
+/// pending-matrix) memory is bounded by the caller's budget instead of
+/// by the weight distribution. A larger `Δ` costs extra light-edge
+/// re-relaxations but never changes the computed distances.
+fn tune_delta(g: &Graph, delta: u32, max_span: usize) -> (u32, u32) {
+    debug_assert!(max_span >= 2);
+    let (mut delta, mut shift) = pow2_delta(delta);
+    let max_w = g.max_edge_weight();
+    while (max_w >> shift) as usize >= max_span {
+        shift += 1;
+        delta = 1u32 << shift;
+    }
+    (delta, shift)
 }
 
 /// Single-source delta-stepping over reusable buffers.
@@ -112,15 +143,16 @@ impl DeltaWorkspace {
         self.run_with_delta(g, source, g.mean_edge_weight())
     }
 
-    /// [`Self::run`] with an explicit `Δ` (clamped to ≥ 1, rounded up to
-    /// a power of two) — the knob the parity proptests sweep
-    /// (`Δ ∈ {1, mean, large}`).
+    /// [`Self::run`] with an explicit `Δ` (clamped to ≥ 1, rounded down
+    /// to a power of two, and raised under extreme weight skew so the
+    /// bucket array stays bounded — see [`tune_delta`]) — the knob the
+    /// parity proptests sweep (`Δ ∈ {1, mean, large}`).
     pub fn run_with_delta(&mut self, g: &Graph, source: NodeId, delta: u32) -> &[u32] {
         let n = g.num_nodes();
         debug_assert!((source as usize) < n);
-        let (delta, shift) = pow2_delta(delta);
+        let (delta, shift) = tune_delta(g, delta, MAX_BUCKET_SPAN);
         self.prepare(n);
-        let nb = bucket_count(g, delta);
+        let nb = bucket_count(g, shift);
         if self.buckets.len() < nb {
             self.buckets.resize_with(nb, Vec::new);
         }
@@ -352,8 +384,10 @@ impl MsDeltaWorkspace {
         self.run_with_delta(g, sources, g.mean_edge_weight());
     }
 
-    /// [`Self::run`] with an explicit `Δ` (clamped to ≥ 1, rounded up to
-    /// a power of two so bucket indexing is a shift).
+    /// [`Self::run`] with an explicit `Δ` (clamped to ≥ 1, rounded down
+    /// to a power of two so bucket indexing is a shift, and raised under
+    /// extreme weight skew so the `n × buckets` pending matrix stays
+    /// within a fixed budget — see [`tune_delta`]).
     pub fn run_with_delta(&mut self, g: &Graph, sources: &[NodeId], delta: u32) {
         assert!(
             !sources.is_empty() && sources.len() <= MS_BFS_LANES,
@@ -362,9 +396,10 @@ impl MsDeltaWorkspace {
         );
         let n = g.num_nodes();
         let lanes = sources.len();
-        let (delta, shift) = pow2_delta(delta);
+        let max_span = (MS_PENDING_BUDGET_WORDS / n.max(1)).clamp(4, MAX_BUCKET_SPAN);
+        let (delta, shift) = tune_delta(g, delta, max_span);
         self.prepare(n, lanes);
-        let nbc = bucket_count(g, delta);
+        let nbc = bucket_count(g, shift);
         if self.buckets.len() < nbc {
             self.buckets.resize_with(nbc, Vec::new);
         }
@@ -742,6 +777,38 @@ mod tests {
             .unwrap();
         let mut ws = DeltaWorkspace::new();
         assert_eq!(ws.run_with_delta(&g, 0, 10), &[0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn weight_skew_keeps_bucket_arrays_bounded() {
+        // Weight-1 path plus two ~3e9 edges: an unclamped Δ = 1 would
+        // demand ~3e9 buckets (and, batched, an n × 3e9 pending matrix).
+        // The span clamp raises Δ instead; distances stay exact, and a
+        // path sum past u32::MAX saturates to "unreachable" in both
+        // kernels identically.
+        let mut b = crate::GraphBuilder::new(9);
+        for v in 1..7u32 {
+            b.add_weighted_edge(v - 1, v, 1).unwrap();
+        }
+        b.add_weighted_edge(6, 7, 3_000_000_000).unwrap();
+        b.add_weighted_edge(7, 8, 3_000_000_000).unwrap();
+        let g = b.build();
+        let mut dij = DijkstraWorkspace::new();
+        let expect: Vec<u32> = dij.run(&g, 0).to_vec();
+        assert_eq!(expect[7], 3_000_000_006);
+        assert_eq!(expect[8], INF_DIST);
+        let mut ws = DeltaWorkspace::new();
+        for delta in [1u32, g.mean_edge_weight(), u32::MAX] {
+            let got = ws.run_with_delta(&g, 0, delta);
+            assert_eq!(got, expect.as_slice(), "delta {delta}");
+            assert!(ws.buckets.len() <= MAX_BUCKET_SPAN + 3);
+        }
+        let mut ms = MsDeltaWorkspace::new();
+        ms.run_with_delta(&g, &[0, 8], 1);
+        assert_eq!(ms.lane_distances(0), expect);
+        assert_eq!(ms.dist_at(1, 8), 0);
+        assert_eq!(ms.dist_at(1, 7), 3_000_000_000);
+        assert!(ms.pending.len() <= 9 * (MAX_BUCKET_SPAN + 3));
     }
 
     #[test]

@@ -171,6 +171,15 @@ impl GraphSource {
                     "wba graph needs n >= 2, k >= 1, max weight >= 1".to_string(),
                 ));
             }
+            // Same bound the wfile: loader enforces: u32 distance
+            // arithmetic saturates at INF_DIST, so near-u32::MAX weights
+            // would read as unreachable.
+            if max_weight > mwc_graph::MAX_EDGE_WEIGHT {
+                return Err(bad(format!(
+                    "wba max weight {max_weight} exceeds the maximum {}",
+                    mwc_graph::MAX_EDGE_WEIGHT
+                )));
+            }
             return Ok(GraphSource::WeightedBarabasiAlbert { n, k, max_weight });
         }
         Err(bad(format!(
@@ -674,6 +683,7 @@ mod tests {
             "wba:10",
             "wba:100x2x0",
             "wba:100x2xq",
+            "wba:100x2x4294967295", // above MAX_EDGE_WEIGHT
         ] {
             assert!(GraphSource::parse(bad).is_err(), "{bad:?}");
         }

@@ -40,7 +40,7 @@
 //! shutdown  = { "cmd":"shutdown" }
 //!
 //! seed      = { "solver":S, "q":[v…], "max_size"?: N,
-//!               "weight_digest"?: N,          // omitted ⇔ unweighted graph
+//!               "weight_digest"?: "16-hex",   // omitted ⇔ unweighted graph
 //!               "report": <solve report object> }
 //! ```
 //!
@@ -79,8 +79,11 @@
 //! integer-weighted graphs (see [`crate::catalog::GraphSource`]); every
 //! distance the server computes for them — and the `wiener_index` it
 //! reports — is weighted. `graphs` entries carry a `"weighted"` boolean,
-//! and cache seeds from a weighted graph carry its `"weight_digest"`
-//! (a hash of the weighted edge list, original ids): `load` skips seeds
+//! and cache seeds from a weighted graph carry its `"weight_digest"` —
+//! a hash of the weighted edge list (original ids), encoded as a
+//! 16-hex-char string because the digest ranges over all of `u64` and
+//! JSON numbers are `f64` (integers above 2^53 would not survive the
+//! wire): `load` skips seeds
 //! whose digest does not match the target graph, so answers solved under
 //! one weighting never seed a graph with another (or with none).
 //!
@@ -434,6 +437,26 @@ fn batch_entry(
     }
 }
 
+/// Parses a cache seed's optional `"weight_digest"` field. The digest is
+/// a full-range `u64`, so the wire form is a hex *string* — a JSON
+/// number is an `f64` and silently corrupts integers above 2^53 (which
+/// nearly every real digest is); numeric digests are rejected outright
+/// rather than accepted lossily.
+fn weight_digest_from_json(seed: &Json, i: usize) -> Result<u64, ServiceError> {
+    match seed.get("weight_digest") {
+        None | Some(Json::Null) => Ok(0),
+        Some(Json::Str(s)) => u64::from_str_radix(s, 16).map_err(|_| {
+            bad(format!(
+                "cache seed {i} field \"weight_digest\" must be a hex string of at most 16 digits"
+            ))
+        }),
+        Some(_) => Err(bad(format!(
+            "cache seed {i} field \"weight_digest\" must be a hex string \
+             (digests exceed JSON's exact-integer range)"
+        ))),
+    }
+}
+
 /// Parses the seed objects of a `load` request's `"cache"` field.
 fn cache_seeds(v: &Json) -> Result<Vec<CacheSeed>, ServiceError> {
     let arr = v
@@ -453,7 +476,7 @@ fn cache_seeds(v: &Json) -> Result<Vec<CacheSeed>, ServiceError> {
                     "cache seed \"q\"",
                 )?,
                 max_size: opt_u64(seed, "max_size")?.map(|m| m as usize),
-                weight_digest: opt_u64(seed, "weight_digest")?.unwrap_or(0),
+                weight_digest: weight_digest_from_json(seed, i)?,
                 report: report_from_json(
                     seed.get("report")
                         .ok_or_else(|| bad(format!("cache seed {i} missing field \"report\"")))?,
@@ -669,7 +692,12 @@ pub fn cache_seed_to_json(seed: &CacheSeed) -> Json {
         fields.push(("max_size", Json::from(m)));
     }
     if seed.weight_digest != 0 {
-        fields.push(("weight_digest", Json::from(seed.weight_digest)));
+        // Hex string, not a number: `Json` numbers are `f64`, which
+        // mangles u64 digests above 2^53 (see `weight_digest_from_json`).
+        fields.push((
+            "weight_digest",
+            Json::from(format!("{:016x}", seed.weight_digest)),
+        ));
     }
     fields.push(("report", report_to_json(&seed.report)));
     Json::obj(fields)
@@ -983,20 +1011,28 @@ mod tests {
         };
         let json = cache_seed_to_json(&bare);
         assert!(json.get("max_size").is_none());
-        // weight_digest: zero stays off the wire, nonzero round-trips.
+        // weight_digest: zero stays off the wire; a nonzero digest above
+        // 2^53 (as ~all real FNV digests are) round-trips exactly via
+        // its hex-string encoding.
         assert!(json.get("weight_digest").is_none());
+        let digest: u64 = 0xfedc_ba98_7654_3210; // > 2^53: f64-lossy as a number
         let weighted = CacheSeed {
-            weight_digest: 99,
+            weight_digest: digest,
             ..bare
         };
-        let line = format!(
-            r#"{{"cmd":"load","name":"k","source":"karate","cache":[{}]}}"#,
-            cache_seed_to_json(&weighted)
+        let wire = cache_seed_to_json(&weighted);
+        assert_eq!(
+            wire.get("weight_digest").unwrap().as_str(),
+            Some("fedcba9876543210")
         );
+        let line = format!(r#"{{"cmd":"load","name":"k","source":"karate","cache":[{wire}]}}"#);
         match parse_request(&line).unwrap().command {
-            Command::Load { cache, .. } => assert_eq!(cache[0].weight_digest, 99),
+            Command::Load { cache, .. } => assert_eq!(cache[0].weight_digest, digest),
             other => panic!("unexpected {other:?}"),
         }
+        // Numeric digests are rejected, never accepted lossily.
+        let numeric = line.replace("\"fedcba9876543210\"", "99");
+        assert!(parse_request(&numeric).is_err());
     }
 
     #[test]

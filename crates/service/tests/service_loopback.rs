@@ -476,3 +476,81 @@ fn protocol_shutdown_drains_and_stops() {
             || Client::connect(addr).and_then(|mut c| c.ping()).is_err()
     );
 }
+
+/// A weighted graph's warm cache survives the wire. The exported seeds
+/// carry a full-range u64 `weight_digest` (essentially always above
+/// 2^53, i.e. past JSON's exact-integer range), so the hex-string
+/// encoding is load-bearing: a second server's seeded `load` must
+/// accept every seed, serve the warmed queries without a single cold
+/// solve, and a differently-weighted twin must still refuse them.
+#[test]
+fn weighted_cache_seeds_survive_the_wire() {
+    use mwc_service::json::{parse, Json};
+
+    let catalog = Arc::new(Catalog::new());
+    catalog.load("w", "wba:200x2").unwrap();
+    let exporter = server::start(catalog, ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(exporter.local_addr()).unwrap();
+    let queries: &[&[NodeId]] = &[&[0, 199], &[7, 150], &[42, 84, 126]];
+    for q in queries {
+        client.solve("w", "ws-q", q, None, None).unwrap();
+    }
+    let raw = client
+        .roundtrip_line(r#"{"cmd":"cache_export","name":"w"}"#)
+        .unwrap();
+    let v = parse(raw.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{raw}");
+    let entries = v.get("entries").unwrap().as_array().unwrap().to_vec();
+    assert!(entries.len() >= queries.len(), "{raw}");
+    for e in &entries {
+        let digest = e.get("weight_digest").unwrap();
+        assert!(digest.as_str().is_some(), "digest must be a hex string: {e}");
+    }
+    exporter.shutdown();
+
+    // Seeded load on a fresh server: every seed accepted, replay all-hit.
+    let importer = server::start(
+        Arc::new(Catalog::new()),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = Client::connect(importer.local_addr()).unwrap();
+    let seeds = Json::Arr(entries).to_string();
+    let raw = client
+        .roundtrip_line(&format!(
+            r#"{{"cmd":"load","name":"w","source":"wba:200x2","cache":{seeds}}}"#
+        ))
+        .unwrap();
+    let v = parse(raw.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{raw}");
+    assert!(
+        v.get("cache_imported").unwrap().as_u64().unwrap() >= queries.len() as u64,
+        "weighted seeds were not imported: {raw}"
+    );
+    for q in queries {
+        client.solve("w", "ws-q", q, None, None).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    let cache = stats.get("solve_cache").unwrap();
+    assert_eq!(
+        cache.get("misses").unwrap().as_u64(),
+        Some(0),
+        "warmed importer served cold: {stats}"
+    );
+
+    // Same topology, different weighting: the digest check still bites.
+    let raw = client
+        .roundtrip_line(&format!(
+            r#"{{"cmd":"load","name":"w2","source":"wba:200x2x31","cache":{seeds}}}"#
+        ))
+        .unwrap();
+    let v = parse(raw.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{raw}");
+    assert_eq!(
+        v.get("cache_imported").unwrap().as_u64(),
+        Some(0),
+        "foreign weighting must reject the seeds: {raw}"
+    );
+    importer.shutdown();
+}
